@@ -1,0 +1,42 @@
+//! Figure 8(c): cumulative frequency of per-query performance gain on
+//! the Lab dataset.
+//!
+//! "The frequency at a particular x-coordinate indicates the fraction of
+//! experiments that did at least that well." Gains are the ratio of the
+//! baseline's per-query test cost to the conditional plan's.
+
+use acqp_bench::{assert_all_correct, costs_of, print_gain_cdf, run_batch, Algo};
+use acqp_core::SeqAlgorithm;
+use acqp_data::lab::{self, LabConfig};
+use acqp_data::workload::lab_queries;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let g = lab::generate(&LabConfig::default());
+    let (train_full, test) = g.split(0.6);
+    let train = train_full.thin(2);
+    let n_queries: usize = std::env::var("ACQP_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(95);
+    let queries = lab_queries(&g.schema, &train, n_queries, 3, 0x8c);
+
+    let algos = vec![
+        Algo::Naive,
+        Algo::CorrSeq(SeqAlgorithm::Optimal),
+        Algo::Heuristic { splits: 10, grid_r: 12, base: SeqAlgorithm::Optimal },
+    ];
+    println!("=== Figure 8(c): gain CDF over {n_queries} Lab queries ===\n");
+    let cells = run_batch(&g.schema, &queries, &train, &test, &algos);
+    assert_all_correct(&cells);
+
+    let naive = costs_of(&cells, "Naive");
+    let corr = costs_of(&cells, "CorrSeq");
+    let heur = costs_of(&cells, "Heuristic-10(r=12)");
+    print_gain_cdf("Heuristic-10 vs Naive", &naive, &heur);
+    println!();
+    print_gain_cdf("Heuristic-10 vs CorrSeq", &corr, &heur);
+    println!();
+    print_gain_cdf("CorrSeq vs Naive", &naive, &corr);
+    println!("\nelapsed: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,63 @@
+//! Figure 9: detailed plan study — a conditional plan for the "bright,
+//! cool and dry" Lab query, printed as a tree.
+//!
+//! The paper's narrative, reproduced by construction of the Lab twin:
+//! the plan first conditions on the hour; early in the morning it
+//! samples light first (the lab is dark and unused, so the light
+//! predicate fails); by day it prefers temperature; late at night it
+//! samples *humidity* first (HVAC is off, air is damp, the dry
+//! predicate fails). Node-id splits appear when zone behaviour
+//! (nodes 1–6 unused at night) separates the lighting patterns.
+
+use acqp_core::prelude::*;
+use acqp_data::lab::{self, attrs, LabConfig};
+
+fn main() {
+    let g = lab::generate(&LabConfig::default());
+    let (train, test) = g.split(0.6);
+    let schema = &g.schema;
+
+    let light_d = g.discretizers[attrs::LIGHT].as_ref().unwrap();
+    let temp_d = g.discretizers[attrs::TEMP].as_ref().unwrap();
+    let hum_d = g.discretizers[attrs::HUMIDITY].as_ref().unwrap();
+    let query = Query::checked(
+        vec![
+            Pred::in_range(attrs::LIGHT, light_d.quantize(350.0), light_d.bins() - 1),
+            Pred::in_range(attrs::TEMP, 0, temp_d.quantize(21.0)),
+            Pred::in_range(attrs::HUMIDITY, 0, hum_d.quantize(48.0)),
+        ],
+        schema,
+    )
+    .unwrap();
+
+    let est = CountingEstimator::with_ranges(&train, Ranges::root(schema));
+    let naive = SeqPlanner::naive().plan(schema, &query, &est).unwrap();
+    let (plan, model_cost) = GreedyPlanner::new(6)
+        .with_base(SeqAlgorithm::Optimal)
+        .plan_with_cost(schema, &query, &est)
+        .unwrap();
+
+    let naive_rep = measure(&naive, &query, schema, &test);
+    let cond_rep = measure(&plan, &query, schema, &test);
+    assert!(naive_rep.all_correct && cond_rep.all_correct);
+
+    println!("=== Figure 9: plan study — bright AND cool AND dry ===\n");
+    println!("query: light >= 350 lux AND temp <= 21 C AND humidity <= 48 %");
+    println!(
+        "selectivities (train): {:?}",
+        query
+            .selectivities(&train)
+            .iter()
+            .map(|s| (s * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    println!("\nconditional plan ({} splits, {} bytes):", plan.split_count(), plan.wire_size());
+    println!("{}", plan.pretty(schema, &query));
+    println!("expected cost (model): {model_cost:.1}");
+    println!("measured   (test set): {:.1}", cond_rep.mean_cost);
+    println!("Naive      (test set): {:.1}", naive_rep.mean_cost);
+    println!(
+        "gain over Naive: {:.1}%  (paper reports ~20% for its Fig. 9 plan)",
+        100.0 * (naive_rep.mean_cost - cond_rep.mean_cost) / naive_rep.mean_cost
+    );
+}

@@ -1,0 +1,58 @@
+//! Figure 10: the Garden-5 dataset — 90 queries of 10 identical range
+//! (or NOT-range) predicates over every mote's temperature and
+//! humidity; cumulative gain plots of `Heuristic` against both `Naive`
+//! and `CorrSeq`.
+//!
+//! Paper's claims: Heuristic significantly better than both for a large
+//! fraction of queries; where it loses (train/test drift), the penalty
+//! stays under ~10%.
+
+use acqp_bench::{assert_all_correct, costs_of, mean_by_algo, print_gain_cdf, run_batch, Algo};
+use acqp_core::SeqAlgorithm;
+use acqp_data::garden::{self, GardenConfig};
+use acqp_data::workload::garden_queries_on;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let g = garden::generate(&GardenConfig { epochs: 8_000, ..GardenConfig::garden5() });
+    let (train, test) = g.split(0.5);
+    let n_queries: usize = std::env::var("ACQP_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(90);
+    let queries = garden_queries_on(&g.schema, Some(&train), 5, n_queries, 0x6a10);
+
+    let algos = vec![
+        Algo::Naive,
+        Algo::CorrSeq(SeqAlgorithm::Greedy),
+        Algo::Heuristic { splits: 10, grid_r: 12, base: SeqAlgorithm::Greedy },
+    ];
+    println!("=== Figure 10: Garden-5, {n_queries} ten-predicate queries ===");
+    println!("train rows: {}, test rows: {}, attrs: {}\n", train.len(), test.len(), g.schema.len());
+    let cells = run_batch(&g.schema, &queries, &train, &test, &algos);
+    assert_all_correct(&cells);
+
+    for (label, mean) in mean_by_algo(&cells) {
+        println!("  mean test cost {label:<20} {mean:>10.2}");
+    }
+    println!();
+
+    let naive = costs_of(&cells, "Naive");
+    let corr = costs_of(&cells, "CorrSeq");
+    let heur = costs_of(&cells, "Heuristic-10(r=12)");
+    print_gain_cdf("Heuristic vs Naive", &naive, &heur);
+    println!();
+    print_gain_cdf("Heuristic vs CorrSeq", &corr, &heur);
+
+    // The paper's "penalty is negligible" check.
+    let worst_penalty = corr
+        .iter()
+        .zip(&heur)
+        .map(|(c, h)| h / c)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nworst-case Heuristic/CorrSeq = {worst_penalty:.3} \
+         (paper: losses stay under ~10%, i.e. < 1.10)"
+    );
+    println!("elapsed: {:.1?}", t0.elapsed());
+}

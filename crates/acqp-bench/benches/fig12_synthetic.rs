@@ -1,0 +1,57 @@
+//! Figure 12: the synthetic dataset (Babu et al. generator) for four
+//! parameter settings — (Γ=1, n=10), (Γ=3, n=10), (Γ=1, n=40),
+//! (Γ=3, n=40) with 5/7/20/30 query predicates respectively — plotting
+//! execution cost against the unconditional selectivity `sel`.
+//!
+//! Paper's claims: conditional planning beats `Naive` and `CorrSeq` in
+//! all four settings, by more than 2x in several; `Naive` and `CorrSeq`
+//! produce nearly identical plans when Γ=1; `Heuristic-5` and
+//! `Heuristic-10` nearly coincide at n=10.
+
+use acqp_bench::{assert_all_correct, costs_of, run_batch, Algo};
+use acqp_core::SeqAlgorithm;
+use acqp_data::synthetic::{self, SyntheticConfig};
+use acqp_data::workload::synthetic_query;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let sels = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    let rows: usize = std::env::var("ACQP_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+
+    for (gamma, n) in [(1usize, 10usize), (3, 10), (1, 40), (3, 40)] {
+        let m = SyntheticConfig::new(n, gamma, 0.5).expensive_attrs().len();
+        println!("=== Figure 12: synthetic, gamma={gamma}, n={n} ({m} predicates) ===");
+        println!(
+            "{:>5} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10}",
+            "sel", "Naive", "CorrSeq", "Heuristic-5", "Heuristic-10", "N/H10", "C/H10"
+        );
+        for &sel in &sels {
+            let cfg = SyntheticConfig::new(n, gamma, sel).with_rows(rows).with_seed(0xf12);
+            let g = synthetic::generate(&cfg);
+            let (train, test) = g.split(0.5);
+            let query = synthetic_query(&cfg, &g.schema);
+            let algos = vec![
+                Algo::Naive,
+                Algo::CorrSeq(SeqAlgorithm::Greedy),
+                Algo::Heuristic { splits: 5, grid_r: 0, base: SeqAlgorithm::Greedy },
+                Algo::Heuristic { splits: 10, grid_r: 0, base: SeqAlgorithm::Greedy },
+            ];
+            let cells = run_batch(&g.schema, std::slice::from_ref(&query), &train, &test, &algos);
+            assert_all_correct(&cells);
+            let naive = costs_of(&cells, "Naive")[0];
+            let corr = costs_of(&cells, "CorrSeq")[0];
+            let h5 = costs_of(&cells, "Heuristic-5")[0];
+            let h10 = costs_of(&cells, "Heuristic-10")[0];
+            println!(
+                "{sel:>5.1} {naive:>10.1} {corr:>10.1} {h5:>12.1} {h10:>12.1} {:>10.2} {:>10.2}",
+                naive / h10,
+                corr / h10
+            );
+        }
+        println!();
+    }
+    println!("elapsed: {:.1?}", t0.elapsed());
+}

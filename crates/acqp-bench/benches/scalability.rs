@@ -1,0 +1,180 @@
+//! §6.4 scalability: planner running time versus the number of query
+//! predicates, attribute domain size, and the amount of historical
+//! data.
+//!
+//! Expected complexity shapes (§6.4):
+//! * heuristic — linear in |D|, linear in domain size, exponential
+//!   (base 2) in the number of query predicates when `OptSeq` base
+//!   plans are used (polynomial with `GreedySeq`);
+//! * exhaustive — linear in |D|, polynomial in domain size, exponential
+//!   in attributes with the domain size as base.
+//!
+//! Criterion timings; run `cargo bench -p acqp-bench --bench scalability`.
+
+use criterion::{BenchmarkId, Criterion};
+use std::time::Duration;
+
+use acqp_core::prelude::*;
+use acqp_data::synthetic::{self, SyntheticConfig};
+use acqp_data::workload::synthetic_query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A correlated dataset with `n` attributes of domain `k` and `rows`
+/// tuples; attribute 0 is cheap, the rest expensive.
+fn correlated(n: usize, k: u16, rows: usize, seed: u64) -> (Schema, Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let attrs: Vec<Attribute> = (0..n)
+        .map(|i| Attribute::new(format!("x{i}"), k, if i == 0 { 1.0 } else { 100.0 }))
+        .collect();
+    let schema = Schema::new(attrs).unwrap();
+    let data = Dataset::from_rows(
+        &schema,
+        (0..rows)
+            .map(|_| {
+                let base = rng.gen_range(0..k);
+                (0..n)
+                    .map(|_| {
+                        let jitter = rng.gen_range(0..=k / 4);
+                        (base + jitter) % k
+                    })
+                    .collect()
+            })
+            .collect(),
+    )
+    .unwrap();
+    (schema, data)
+}
+
+fn mid_query(schema: &Schema, preds: usize) -> Query {
+    let k = schema.domain(1);
+    Query::checked(
+        (1..=preds).map(|a| Pred::in_range(a, k / 4, 3 * k / 4)).collect(),
+        schema,
+    )
+    .unwrap()
+}
+
+fn main() {
+    let mut c = Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10)
+        .configure_from_args();
+
+    // --- Heuristic vs dataset size (expect linear) ---
+    {
+        let mut group = c.benchmark_group("heuristic_vs_rows");
+        for rows in [2_000usize, 4_000, 8_000, 16_000] {
+            let (schema, data) = correlated(6, 16, rows, 1);
+            let query = mid_query(&schema, 3);
+            group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+                b.iter(|| {
+                    let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+                    GreedyPlanner::new(5).plan(&schema, &query, &est).unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+
+    // --- Heuristic vs domain size (expect ~linear) ---
+    {
+        let mut group = c.benchmark_group("heuristic_vs_domain");
+        for k in [8u16, 16, 32, 64] {
+            let (schema, data) = correlated(6, k, 6_000, 2);
+            let query = mid_query(&schema, 3);
+            group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+                b.iter(|| {
+                    let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+                    GreedyPlanner::new(5).plan(&schema, &query, &est).unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+
+    // --- Heuristic (OptSeq base) vs number of predicates (expect 2^m) ---
+    {
+        let mut group = c.benchmark_group("heuristic_optseq_vs_preds");
+        for m in [4usize, 6, 8, 10, 12] {
+            let (schema, data) = correlated(m + 1, 8, 4_000, 3);
+            let query = mid_query(&schema, m);
+            group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+                b.iter(|| {
+                    let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+                    GreedyPlanner::new(3)
+                        .with_base(SeqAlgorithm::Optimal)
+                        .plan(&schema, &query, &est)
+                        .unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+
+    // --- Heuristic (GreedySeq base) vs number of predicates (polynomial) ---
+    {
+        let mut group = c.benchmark_group("heuristic_greedyseq_vs_preds");
+        for n in [7usize, 14, 27, 40] {
+            let cfg = SyntheticConfig::new(n, 3, 0.5).with_rows(4_000);
+            let g = synthetic::generate(&cfg);
+            let query = synthetic_query(&cfg, &g.schema);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(query.len()),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let est =
+                            CountingEstimator::with_ranges(&g.data, Ranges::root(&g.schema));
+                        GreedyPlanner::new(3)
+                            .with_base(SeqAlgorithm::Greedy)
+                            .plan(&g.schema, &query, &est)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+
+    // --- Exhaustive vs domain size (expect high-degree polynomial) ---
+    {
+        let mut group = c.benchmark_group("exhaustive_vs_domain");
+        for k in [4u16, 6, 8] {
+            let (schema, data) = correlated(3, k, 2_000, 4);
+            let query = mid_query(&schema, 2);
+            group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+                b.iter(|| {
+                    let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+                    ExhaustivePlanner::new()
+                        .max_subproblems(5_000_000)
+                        .plan(&schema, &query, &est)
+                        .unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+
+    // --- Exhaustive vs number of attributes (expect exponential) ---
+    {
+        let mut group = c.benchmark_group("exhaustive_vs_attrs");
+        for n in [2usize, 3, 4] {
+            let (schema, data) = correlated(n, 6, 2_000, 5);
+            let query = mid_query(&schema, n - 1);
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+                b.iter(|| {
+                    let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+                    ExhaustivePlanner::new()
+                        .max_subproblems(5_000_000)
+                        .plan(&schema, &query, &est)
+                        .unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+
+    c.final_summary();
+}

@@ -1,0 +1,283 @@
+//! `acqp` — the command-line front end of the workspace.
+//!
+//! ```text
+//! acqp info     --dataset lab
+//! acqp gen      lab --out lab.csv [--seed N] [--epochs N]
+//! acqp plan     --dataset lab --query "light >= 350 AND temp <= 21" \
+//!               [--algo naive|corrseq|heuristic|exhaustive] [--splits K] [--grid R]
+//! acqp simulate --dataset garden5 --query "temp0 BETWEEN 10 AND 18 AND hum0 <= 75" \
+//!               [--motes M] [--splits K]
+//! ```
+
+mod args;
+mod datasets;
+mod query_parse;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use acqp_core::prelude::*;
+
+/// CLI-level result (the core prelude shadows `Result`).
+type CliResult<T> = std::result::Result<T, String>;
+use acqp_sensornet::{run_simulation, sim::fleet_from_trace, Basestation, EnergyModel};
+use args::Args;
+
+const USAGE: &str = "\
+acqp — correlation-aware acquisitional query planning (ICDE 2005)
+
+USAGE:
+  acqp info     --dataset <kind> | --schema <file> --data <file.csv>
+  acqp gen      <kind> --out <file.csv> [--seed N] [--epochs N] [--motes N]
+                [--n N --gamma G --sel S --rows R]        (synthetic)
+  acqp plan     --dataset <kind> --query \"<expr>\"
+                [--algo naive|corrseq|heuristic|exhaustive]
+                [--splits K] [--grid R] [--train-frac F] [--explain yes]
+  acqp simulate --dataset <kind> --query \"<expr>\" [--motes M] [--splits K]
+
+  <kind> = lab | garden5 | garden11 | synthetic
+  <expr> = clause (AND clause)*          values in natural units
+  clause = name >= v | name <= v | name > v | name < v | name = v
+         | name BETWEEN v AND v | NOT( clause )
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(raw: Vec<String>) -> CliResult<()> {
+    let args = Args::parse(raw)?;
+    match args.positional.first().map(String::as_str) {
+        Some("info") => cmd_info(&args),
+        Some("gen") => cmd_gen(&args),
+        Some("plan") => cmd_plan(&args),
+        Some("simulate") => cmd_simulate(&args),
+        Some(other) => Err(format!("unknown subcommand `{other}`")),
+        None => Err("no subcommand given".into()),
+    }
+}
+
+fn cmd_info(args: &Args) -> CliResult<()> {
+    let g = datasets::resolve(args)?;
+    println!("dataset: {} tuples, {} attributes\n", g.data.len(), g.schema.len());
+    println!("{:<4} {:<12} {:>7} {:>9}  natural range", "id", "name", "domain", "cost");
+    for (i, a) in g.schema.attrs().iter().enumerate() {
+        let range = match &g.discretizers[i] {
+            Some(d) => format!("[{:.1}, {:.1}]", d.bin_lo(0), d.bin_hi(d.bins() - 1)),
+            None => format!("raw 0..{}", a.domain()),
+        };
+        println!("{i:<4} {:<12} {:>7} {:>9.1}  {range}", a.name(), a.domain(), a.cost());
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> CliResult<()> {
+    let kind = args
+        .positional
+        .get(1)
+        .ok_or("gen needs a dataset kind, e.g. `acqp gen lab --out lab.csv`")?;
+    let out = args.require("out")?;
+    let g = datasets::build(kind, args)?;
+    acqp_data::csv::save_csv(Path::new(out), &g.schema, &g.data)
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} tuples x {} attributes to {out}",
+        g.data.len(),
+        g.schema.len()
+    );
+    Ok(())
+}
+
+fn planner_label(algo: &str, splits: usize) -> String {
+    match algo {
+        "heuristic" => format!("heuristic (at most {splits} splits)"),
+        other => other.to_string(),
+    }
+}
+
+fn cmd_plan(args: &Args) -> CliResult<()> {
+    let g = datasets::resolve(args)?;
+    let query_text = args.require("query")?;
+    let query = query_parse::parse_query(query_text, &g.schema, &g.discretizers)
+        .map_err(|e| format!("parsing query: {e}"))?;
+
+    let train_frac: f64 = args.get_or("train-frac", 0.6)?;
+    let (train, test) = g.data.split_at(train_frac);
+    let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
+
+    let algo = args.get("algo").unwrap_or("heuristic");
+    let splits: usize = args.get_or("splits", 10)?;
+    let grid: usize = args.get_or("grid", 12)?;
+    let plan = match algo {
+        "naive" => SeqPlanner::naive().plan(&g.schema, &query, &est),
+        "corrseq" => SeqPlanner::auto().plan(&g.schema, &query, &est),
+        "heuristic" => GreedyPlanner::new(splits)
+            .with_grid(SplitGrid::for_query(&g.schema, &query, grid))
+            .plan(&g.schema, &query, &est),
+        "exhaustive" => {
+            ExhaustivePlanner::with_grid(SplitGrid::for_query(&g.schema, &query, grid.min(3)))
+                .max_subproblems(args.get_or("budget", 1_000_000usize)?)
+                .plan(&g.schema, &query, &est)
+        }
+        other => return Err(format!("unknown --algo `{other}`")),
+    }
+    .map_err(|e| format!("planning: {e}"))?;
+    let plan = plan.simplify();
+
+    println!("query  : {query_text}");
+    println!("planner: {}", planner_label(algo, splits));
+    println!(
+        "plan   : {} splits, {} bytes on the wire\n",
+        plan.split_count(),
+        plan.wire_size()
+    );
+    if args.get("explain").is_some_and(|v| v != "no") {
+        let ex = explain(&plan, &query, &g.schema, &CostModel::PerAttribute, &est);
+        println!("{}", ex.render(&g.schema, &query));
+        println!("expected cost (model): {:.2}\n", ex.total_cost());
+    } else {
+        println!("{}", plan.pretty(&g.schema, &query));
+    }
+
+    let rtr = measure(&plan, &query, &g.schema, &train);
+    let rte = measure(&plan, &query, &g.schema, &test);
+    if !(rtr.all_correct && rte.all_correct) {
+        return Err("internal error: plan disagreed with direct evaluation".into());
+    }
+    println!("cost/tuple: {:.2} (train window), {:.2} (held-out window)", rtr.mean_cost, rte.mean_cost);
+    println!("pass rate : {:.1}% of held-out tuples", 100.0 * rte.pass_rate);
+
+    // Always show the Naive baseline for context.
+    if algo != "naive" {
+        let naive = SeqPlanner::naive()
+            .plan(&g.schema, &query, &est)
+            .map_err(|e| format!("planning baseline: {e}"))?;
+        let base = measure(&naive, &query, &g.schema, &test);
+        println!(
+            "vs Naive  : {:.2} cost/tuple -> {:.2}x gain",
+            base.mean_cost,
+            base.mean_cost / rte.mean_cost.max(1e-9)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> CliResult<()> {
+    let g = datasets::resolve(args)?;
+    let query_text = args.require("query")?;
+    let query = query_parse::parse_query(query_text, &g.schema, &g.discretizers)
+        .map_err(|e| format!("parsing query: {e}"))?;
+
+    let (history, live) = g.data.split_at(0.5);
+    let fleet: u16 = args.get_or("motes", 4)?;
+    let splits: usize = args.get_or("splits", 8)?;
+    let bs = Basestation::new(g.schema.clone(), &history);
+    let model = EnergyModel::mica_like();
+    let alpha = Basestation::alpha_for(&model, fleet as usize, live.len());
+    let (k, planned) = bs
+        .plan_query_sized(&query, alpha, &[0, 1, 2, 4, splits.max(1)])
+        .map_err(|e| format!("planning: {e}"))?;
+
+    println!("query : {query_text}");
+    println!(
+        "plan  : Heuristic-{k}, {} splits, {} bytes (alpha = {alpha:.5})",
+        planned.plan.split_count(),
+        planned.wire.len()
+    );
+    let mut motes = fleet_from_trace(&live, fleet);
+    let rep = run_simulation(&g.schema, &query, &planned, &mut motes, &model, live.len());
+    if !rep.all_correct {
+        return Err("internal error: simulation verdicts diverged".into());
+    }
+    println!(
+        "\nsimulated {} tuples over {} motes x {} epochs: {} results",
+        rep.tuples, fleet, rep.epochs, rep.results
+    );
+    println!(
+        "energy: sensing {:.0} uJ + boards {:.0} uJ + radio {:.0} uJ = {:.0} uJ total",
+        rep.network.sensing_uj,
+        rep.network.board_uj,
+        rep.network.radio_tx_uj + rep.network.radio_rx_uj,
+        rep.network.total_uj()
+    );
+    println!("sensing energy per tuple: {:.1} uJ", rep.sensing_uj_per_tuple);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_vec(v: &[&str]) -> CliResult<()> {
+        run(v.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(run_vec(&[]).is_err());
+        assert!(run_vec(&["bogus"]).is_err());
+        assert!(run_vec(&["plan", "--dataset", "lab"]).is_err(), "missing --query");
+        assert!(run_vec(&["plan", "--dataset", "nope", "--query", "x > 1"]).is_err());
+    }
+
+    #[test]
+    fn plan_end_to_end_small() {
+        // Small lab dataset; heuristic plan.
+        assert_eq!(
+            run_vec(&[
+                "plan",
+                "--dataset",
+                "lab",
+                "--epochs",
+                "300",
+                "--motes",
+                "6",
+                "--query",
+                "light >= 350 AND temp <= 21",
+                "--splits",
+                "4",
+            ]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn info_and_gen_roundtrip() {
+        assert_eq!(run_vec(&["info", "--dataset", "synthetic", "--rows", "50"]), Ok(()));
+        let out = std::env::temp_dir().join("acqp_cli_gen.csv");
+        let out_s = out.to_str().unwrap();
+        assert_eq!(
+            run_vec(&["gen", "synthetic", "--rows", "100", "--out", out_s]),
+            Ok(())
+        );
+        assert!(out.exists());
+        std::fs::remove_file(out).ok();
+    }
+
+    #[test]
+    fn simulate_small() {
+        assert_eq!(
+            run_vec(&[
+                "simulate",
+                "--dataset",
+                "garden5",
+                "--epochs",
+                "400",
+                "--query",
+                "temp0 BETWEEN 5 AND 25 AND hum0 <= 90",
+                "--motes",
+                "2",
+                "--splits",
+                "2",
+            ]),
+            Ok(())
+        );
+    }
+}

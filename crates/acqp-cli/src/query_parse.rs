@@ -1,0 +1,314 @@
+//! A small textual query language over a dataset's schema, in natural
+//! units.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := clause ( "AND" clause )*
+//! clause  := "NOT" "(" cmp ")" | cmp
+//! cmp     := ident op number
+//!          | ident "BETWEEN" number "AND" number
+//! op      := ">=" | "<=" | ">" | "<" | "="
+//! ```
+//!
+//! Examples: `light >= 350 AND temp <= 21 AND humidity <= 48`,
+//! `NOT(temp0 BETWEEN 10 AND 17) AND volt3 < 2.8`.
+//!
+//! Numbers are given in natural units and converted to discretized bins
+//! through the dataset's [`Discretizer`]s (attributes without one —
+//! node ids, hours — take their raw integer value).
+
+use acqp_core::{Discretizer, Error, Pred, Query, Result, Schema};
+
+/// Parses `text` into a [`Query`] against `schema`, converting values
+/// through `discretizers` (indexed per attribute, `None` = raw bins).
+pub fn parse_query(
+    text: &str,
+    schema: &Schema,
+    discretizers: &[Option<Discretizer>],
+) -> Result<Query> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0, schema, discretizers };
+    let preds = p.parse_all()?;
+    Query::checked(preds, schema)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Op(&'static str),
+    And,
+    Not,
+    Between,
+    LParen,
+    RParen,
+}
+
+fn bad(what: &'static str) -> Error {
+    Error::Parse { what }
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let b = text.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '>' | '<' | '=' => {
+                if c != '=' && i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Tok::Op(if c == '>' { ">=" } else { "<=" }));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(match c {
+                        '>' => ">",
+                        '<' => "<",
+                        _ => "=",
+                    }));
+                    i += 1;
+                }
+            }
+            '0'..='9' | '-' | '.' => {
+                let start = i;
+                i += 1;
+                while i < b.len()
+                    && matches!(b[i] as char, '0'..='9' | '.' | 'e' | 'E' | '-' | '+')
+                {
+                    // Stop '-'/'+' unless part of an exponent.
+                    if matches!(b[i] as char, '-' | '+')
+                        && !matches!(b[i - 1] as char, 'e' | 'E')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let s = &text[start..i];
+                let v: f64 = s.parse().map_err(|_| bad("malformed number"))?;
+                out.push(Tok::Num(v));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len()
+                    && ((b[i] as char).is_alphanumeric() || b[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &text[start..i];
+                match word.to_ascii_uppercase().as_str() {
+                    "AND" => out.push(Tok::And),
+                    "NOT" => out.push(Tok::Not),
+                    "BETWEEN" => out.push(Tok::Between),
+                    _ => out.push(Tok::Ident(word.to_string())),
+                }
+            }
+            _ => return Err(bad("unexpected character in query")),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Tok>,
+    pos: usize,
+    schema: &'a Schema,
+    discretizers: &'a [Option<Discretizer>],
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &'static str) -> Result<()> {
+        match self.next() {
+            Some(ref got) if got == t => Ok(()),
+            _ => Err(bad(what)),
+        }
+    }
+
+    fn parse_all(&mut self) -> Result<Vec<Pred>> {
+        let mut preds = vec![self.clause()?];
+        while self.peek() == Some(&Tok::And) {
+            self.next();
+            preds.push(self.clause()?);
+        }
+        if self.pos != self.tokens.len() {
+            return Err(bad("trailing tokens after query"));
+        }
+        Ok(preds)
+    }
+
+    fn clause(&mut self) -> Result<Pred> {
+        if self.peek() == Some(&Tok::Not) {
+            self.next();
+            self.expect(&Tok::LParen, "expected '(' after NOT")?;
+            let p = self.cmp()?;
+            self.expect(&Tok::RParen, "expected ')' closing NOT")?;
+            return Ok(negate(p));
+        }
+        self.cmp()
+    }
+
+    fn cmp(&mut self) -> Result<Pred> {
+        let name = match self.next() {
+            Some(Tok::Ident(n)) => n,
+            _ => return Err(bad("expected attribute name")),
+        };
+        let attr = self
+            .schema
+            .by_name(&name)
+            .ok_or(Error::UnknownAttr { attr: usize::MAX, n: self.schema.len() })?;
+        let k = self.schema.domain(attr);
+        match self.next() {
+            Some(Tok::Op(op)) => {
+                let v = self.number()?;
+                let bin = self.to_bin(attr, v);
+                Ok(match op {
+                    ">=" => Pred::in_range(attr, bin, k - 1),
+                    ">" => Pred::in_range(attr, bin.saturating_add(1).min(k - 1), k - 1),
+                    "<=" => Pred::in_range(attr, 0, bin),
+                    "<" => Pred::in_range(attr, 0, bin.saturating_sub(1)),
+                    "=" => Pred::in_range(attr, bin, bin),
+                    _ => unreachable!(),
+                })
+            }
+            Some(Tok::Between) => {
+                let lo = self.number()?;
+                self.expect(&Tok::And, "expected AND inside BETWEEN")?;
+                let hi = self.number()?;
+                let (blo, bhi) = (self.to_bin(attr, lo), self.to_bin(attr, hi));
+                if blo > bhi {
+                    return Err(Error::InvertedRange { lo: blo, hi: bhi });
+                }
+                Ok(Pred::in_range(attr, blo, bhi))
+            }
+            _ => Err(bad("expected comparison operator or BETWEEN")),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.next() {
+            Some(Tok::Num(v)) => Ok(v),
+            _ => Err(bad("expected a number")),
+        }
+    }
+
+    fn to_bin(&self, attr: usize, v: f64) -> u16 {
+        let k = self.schema.domain(attr);
+        match self.discretizers.get(attr).and_then(|d| d.as_ref()) {
+            Some(d) => d.quantize(v),
+            None => (v.max(0.0).round() as u32).min(u32::from(k) - 1) as u16,
+        }
+    }
+}
+
+fn negate(p: Pred) -> Pred {
+    let (lo, hi) = p.bounds();
+    if p.is_negated() {
+        Pred::in_range(p.attr(), lo, hi)
+    } else {
+        Pred::not_in_range(p.attr(), lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acqp_core::Attribute;
+
+    fn setup() -> (Schema, Vec<Option<Discretizer>>) {
+        let schema = Schema::new(vec![
+            Attribute::new("light", 64, 100.0),
+            Attribute::new("temp", 64, 100.0),
+            Attribute::new("hour", 24, 1.0),
+        ])
+        .unwrap();
+        let d = vec![
+            Some(Discretizer::uniform(0.0, 1200.0, 64)),
+            Some(Discretizer::uniform(10.0, 35.0, 64)),
+            None,
+        ];
+        (schema, d)
+    }
+
+    #[test]
+    fn parses_conjunction_with_units() {
+        let (s, d) = setup();
+        let q = parse_query("light >= 350 AND temp <= 21 AND hour < 6", &s, &d).unwrap();
+        assert_eq!(q.len(), 3);
+        let p0 = q.pred(0);
+        assert_eq!(p0.attr(), 0);
+        assert_eq!(p0.bounds(), (d[0].as_ref().unwrap().quantize(350.0), 63));
+        let p2 = q.pred(2);
+        assert_eq!(p2.attr(), 2);
+        assert_eq!(p2.bounds(), (0, 5));
+    }
+
+    #[test]
+    fn parses_between_and_not() {
+        let (s, d) = setup();
+        let q = parse_query("NOT(temp BETWEEN 15 AND 25) AND hour = 3", &s, &d).unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(q.pred(0).is_negated());
+        let td = d[1].as_ref().unwrap();
+        assert_eq!(q.pred(0).bounds(), (td.quantize(15.0), td.quantize(25.0)));
+        assert_eq!(q.pred(1).bounds(), (3, 3));
+    }
+
+    #[test]
+    fn strict_inequalities_shift_bins() {
+        let (s, d) = setup();
+        let q = parse_query("hour > 6 AND light < 100", &s, &d).unwrap();
+        assert_eq!(q.pred(0).bounds(), (7, 23));
+        let lb = d[0].as_ref().unwrap().quantize(100.0);
+        assert_eq!(q.pred(1).bounds(), (0, lb - 1));
+    }
+
+    #[test]
+    fn case_insensitive_keywords_and_whitespace() {
+        let (s, d) = setup();
+        let q = parse_query("  light>=350   and not( temp between 15 and 20 ) ", &s, &d);
+        assert!(q.is_ok(), "{q:?}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let (s, d) = setup();
+        assert!(parse_query("", &s, &d).is_err());
+        assert!(parse_query("light >=", &s, &d).is_err());
+        assert!(parse_query("nosuchattr > 1", &s, &d).is_err());
+        assert!(parse_query("light > 1 OR temp < 2", &s, &d).is_err());
+        assert!(parse_query("light > 1 temp < 2", &s, &d).is_err());
+        assert!(parse_query("light BETWEEN 500 AND 100", &s, &d).is_err());
+        assert!(parse_query("light > 1 AND light < 5", &s, &d).is_err(), "dup attr");
+        assert!(parse_query("light # 3", &s, &d).is_err());
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        let s = Schema::new(vec![Attribute::new("t", 64, 1.0)]).unwrap();
+        let d = vec![Some(Discretizer::uniform(-5.0, 35.0, 64))];
+        let q = parse_query("t >= -2.5", &s, &d).unwrap();
+        assert_eq!(q.pred(0).bounds().0, d[0].as_ref().unwrap().quantize(-2.5));
+        let q = parse_query("t < 1e1", &s, &d).unwrap();
+        assert!(q.pred(0).bounds().1 < 64);
+    }
+}

@@ -1,0 +1,157 @@
+//! Attributes, acquisition costs and schemas.
+//!
+//! Following §2.1 of the paper, a query table has `n` attributes
+//! `X_1..X_n`, each taking a discretized value in a finite domain, and
+//! each carrying an *acquisition cost* `C_i` — the price (energy,
+//! latency, money) of observing the attribute's value for one tuple.
+//! Internally values are 0-based: attribute `i` takes values in
+//! `0..K_i`, where the paper writes `{1..K_i}`.
+
+use crate::error::{Error, Result};
+
+/// Index of an attribute within a [`Schema`].
+pub type AttrId = usize;
+
+/// One attribute of the query table: a name, a discretized domain size
+/// `K` and an acquisition cost `C`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    name: String,
+    domain: u16,
+    cost: f64,
+}
+
+impl Attribute {
+    /// Creates an attribute with `domain` possible values (`0..domain`)
+    /// and per-tuple acquisition cost `cost`.
+    pub fn new(name: impl Into<String>, domain: u16, cost: f64) -> Self {
+        Attribute { name: name.into(), domain, cost }
+    }
+
+    /// Attribute name (used by the plan pretty-printer).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Domain size `K`: values are `0..K`.
+    pub fn domain(&self) -> u16 {
+        self.domain
+    }
+
+    /// Acquisition cost `C` of observing this attribute once.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+}
+
+/// An ordered collection of attributes; the "query table" of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Creates a schema, validating that it is non-empty and every
+    /// attribute has a non-empty domain and a finite, non-negative cost.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Self> {
+        if attrs.is_empty() {
+            return Err(Error::EmptySchema);
+        }
+        for a in &attrs {
+            if a.domain == 0 {
+                return Err(Error::EmptyDomain { attr: a.name.clone() });
+            }
+            debug_assert!(a.cost.is_finite() && a.cost >= 0.0, "cost must be finite and >= 0");
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Number of attributes `n`.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the schema holds no attributes (never true for a
+    /// successfully constructed schema).
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attribute with id `id`. Panics if out of range.
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.attrs[id]
+    }
+
+    /// All attributes in order.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Domain size `K_i` of attribute `id`.
+    pub fn domain(&self, id: AttrId) -> u16 {
+        self.attrs[id].domain
+    }
+
+    /// Acquisition cost `C_i` of attribute `id`.
+    pub fn cost(&self, id: AttrId) -> f64 {
+        self.attrs[id].cost
+    }
+
+    /// Looks an attribute up by name.
+    pub fn by_name(&self, name: &str) -> Option<AttrId> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Validates that `id` names an attribute of this schema.
+    pub fn check_attr(&self, id: AttrId) -> Result<()> {
+        if id < self.attrs.len() {
+            Ok(())
+        } else {
+            Err(Error::UnknownAttr { attr: id, n: self.attrs.len() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema3() -> Schema {
+        Schema::new(vec![
+            Attribute::new("temp", 16, 100.0),
+            Attribute::new("light", 8, 100.0),
+            Attribute::new("hour", 24, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_accessors() {
+        let s = schema3();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.attr(0).name(), "temp");
+        assert_eq!(s.domain(1), 8);
+        assert_eq!(s.cost(2), 1.0);
+        assert_eq!(s.by_name("light"), Some(1));
+        assert_eq!(s.by_name("nope"), None);
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert_eq!(Schema::new(vec![]).unwrap_err(), Error::EmptySchema);
+    }
+
+    #[test]
+    fn empty_domain_rejected() {
+        let err = Schema::new(vec![Attribute::new("x", 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, Error::EmptyDomain { .. }));
+    }
+
+    #[test]
+    fn check_attr_bounds() {
+        let s = schema3();
+        assert!(s.check_attr(2).is_ok());
+        assert!(matches!(s.check_attr(3), Err(Error::UnknownAttr { attr: 3, n: 3 })));
+    }
+}

@@ -1,0 +1,272 @@
+//! Plan cost: the empirical expectation of Eq. (4)
+//! (`C(P) ≈ (1/d) Σ_{x∈D} C(P, x)`, [`measure`]) and the model
+//! expectation of Eq. (3) ([`expected_cost`]).
+
+use crate::attr::Schema;
+use crate::dataset::Dataset;
+use crate::exec::RowSource;
+use crate::plan::Plan;
+use crate::prob::Estimator;
+use crate::query::Query;
+use crate::range::Range;
+
+/// Summary of running a plan over every tuple of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostReport {
+    /// Mean per-tuple acquisition cost.
+    pub mean_cost: f64,
+    /// Highest per-tuple cost observed.
+    pub max_cost: f64,
+    /// Fraction of tuples the plan outputs.
+    pub pass_rate: f64,
+    /// Whether the plan's verdict matched `φ(x)` on *every* tuple.
+    pub all_correct: bool,
+    /// Number of tuples evaluated.
+    pub tuples: usize,
+}
+
+/// Runs `plan` over every row of `data`, checking the verdict against a
+/// direct evaluation of the query.
+pub fn measure(plan: &Plan, query: &Query, schema: &Schema, data: &Dataset) -> CostReport {
+    measure_rows(plan, query, schema, data, 0..data.len())
+}
+
+/// Like [`measure`] with order-dependent acquisition pricing (§7).
+pub fn measure_model(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &crate::costmodel::CostModel,
+    data: &Dataset,
+) -> CostReport {
+    measure_rows_model(plan, query, schema, model, data, 0..data.len())
+}
+
+/// Like [`measure`] but restricted to the given row indices.
+pub fn measure_rows(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    data: &Dataset,
+    rows: impl IntoIterator<Item = usize>,
+) -> CostReport {
+    measure_rows_model(
+        plan,
+        query,
+        schema,
+        &crate::costmodel::CostModel::PerAttribute,
+        data,
+        rows,
+    )
+}
+
+/// The general measurement loop: cost model and row subset.
+pub fn measure_rows_model(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &crate::costmodel::CostModel,
+    data: &Dataset,
+    rows: impl IntoIterator<Item = usize>,
+) -> CostReport {
+    let mut total = 0.0;
+    let mut max_cost: f64 = 0.0;
+    let mut passes = 0usize;
+    let mut all_correct = true;
+    let mut tuples = 0usize;
+    for row in rows {
+        let out = crate::exec::execute_model(
+            plan,
+            query,
+            schema,
+            model,
+            &mut RowSource::new(data, row),
+        );
+        total += out.cost;
+        max_cost = max_cost.max(out.cost);
+        passes += usize::from(out.verdict);
+        let truth = query.eval_with(|a| data.value(row, a));
+        all_correct &= out.verdict == truth;
+        tuples += 1;
+    }
+    let d = tuples.max(1) as f64;
+    CostReport {
+        mean_cost: total / d,
+        max_cost,
+        pass_rate: passes as f64 / d,
+        all_correct,
+        tuples,
+    }
+}
+
+/// Model-expected cost of `plan` under `est`, per the recursion of
+/// Eq. (3): split nodes weight child costs by the conditioned branch
+/// probabilities; sequential leaves charge each predicate's effective
+/// cost times the probability every earlier predicate held.
+///
+/// Under a [`crate::prob::CountingEstimator`] built from dataset `D`,
+/// this equals [`measure`]`(plan, …, D).mean_cost` exactly.
+pub fn expected_cost<E: Estimator>(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    est: &E,
+) -> f64 {
+    expected_cost_model(plan, query, schema, &crate::costmodel::CostModel::PerAttribute, est)
+}
+
+/// [`expected_cost`] under an order-dependent cost model (§7).
+pub fn expected_cost_model<E: Estimator>(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &crate::costmodel::CostModel,
+    est: &E,
+) -> f64 {
+    expected_cost_at(plan, query, schema, model, est, &est.root())
+}
+
+fn expected_cost_at<E: Estimator>(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &crate::costmodel::CostModel,
+    est: &E,
+    ctx: &E::Ctx,
+) -> f64 {
+    use crate::costmodel::acquired_mask;
+    match plan {
+        Plan::Decided(_) => 0.0,
+        Plan::Seq(seq) => {
+            let ranges = est.ranges(ctx);
+            let initial = acquired_mask(schema, ranges);
+            let attr_of: Vec<usize> = query.preds().iter().map(|p| p.attr()).collect();
+            est.truth_table(ctx, query)
+                .seq_cost_model(&seq.order, &attr_of, schema, model, initial)
+        }
+        Plan::Split { attr, cut, lo, hi } => {
+            let ranges = est.ranges(ctx);
+            let r = ranges.get(*attr);
+            let c0 = model.cost(schema, *attr, acquired_mask(schema, ranges));
+            // Clamp hand-built plans whose cut falls outside the range.
+            if *cut <= r.lo() {
+                return c0 + expected_cost_at(hi, query, schema, model, est, ctx);
+            }
+            if *cut > r.hi() {
+                return c0 + expected_cost_at(lo, query, schema, model, est, ctx);
+            }
+            let p_lo = est.prob_below(ctx, *attr, *cut).clamp(0.0, 1.0);
+            let mut c = c0;
+            if p_lo > 0.0 {
+                let child = est.refine(ctx, *attr, Range::new(r.lo(), cut - 1));
+                c += p_lo * expected_cost_at(lo, query, schema, model, est, &child);
+            }
+            if p_lo < 1.0 {
+                let child = est.refine(ctx, *attr, Range::new(*cut, r.hi()));
+                c += (1.0 - p_lo) * expected_cost_at(hi, query, schema, model, est, &child);
+            }
+            c
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::plan::SeqOrder;
+    use crate::prob::CountingEstimator;
+    use crate::query::Pred;
+    use crate::range::Ranges;
+
+    #[test]
+    fn measures_mean_and_correctness() {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 4, 10.0),
+            Attribute::new("b", 4, 2.0),
+        ])
+        .unwrap();
+        // Half the rows fail the first predicate.
+        let rows: Vec<Vec<u16>> = (0..8u16).map(|i| vec![i % 4, i % 2]).collect();
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query =
+            Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 1, 1)]).unwrap();
+        let plan = Plan::Seq(SeqOrder::new(vec![0, 1]));
+        let rep = measure(&plan, &query, &schema, &data);
+        assert!(rep.all_correct);
+        assert_eq!(rep.tuples, 8);
+        // 4 rows fail pred0 (cost 10); 4 rows evaluate both (cost 12).
+        assert!((rep.mean_cost - 11.0).abs() < 1e-12);
+        assert_eq!(rep.max_cost, 12.0);
+        // pred0 passes when a in {0,1}; of those 4 rows, b==1 for rows 1 and 5 only.
+        assert!((rep.pass_rate - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_incorrect_plans() {
+        let schema = Schema::new(vec![Attribute::new("a", 4, 1.0)]).unwrap();
+        let data = Dataset::from_rows(&schema, vec![vec![0], vec![3]]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 0, 1)]).unwrap();
+        // A plan that always accepts is wrong for the row with a=3.
+        let rep = measure(&Plan::pass(), &query, &schema, &data);
+        assert!(!rep.all_correct);
+    }
+
+    #[test]
+    fn expected_cost_equals_measured_on_training_data() {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 4, 10.0),
+            Attribute::new("b", 4, 2.0),
+            Attribute::new("t", 4, 0.5),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<u16>> =
+            (0..64u16).map(|i| vec![i % 4, (i / 4) % 4, (i / 16) % 4]).collect();
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query =
+            Query::new(vec![Pred::in_range(0, 1, 2), Pred::in_range(1, 0, 1)]).unwrap();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        // A hand-built conditional plan with nested splits and seq leaves.
+        let plan = Plan::split(
+            2,
+            2,
+            Plan::split(0, 2, Plan::Seq(SeqOrder::new(vec![0, 1])), Plan::fail()),
+            Plan::Seq(SeqOrder::new(vec![1, 0])),
+        );
+        let model = expected_cost(&plan, &query, &schema, &est);
+        let rep = measure(&plan, &query, &schema, &data);
+        assert!(
+            (model - rep.mean_cost).abs() < 1e-9,
+            "model {model} vs measured {}",
+            rep.mean_cost
+        );
+    }
+
+    #[test]
+    fn expected_cost_clamps_out_of_range_cuts() {
+        let schema = Schema::new(vec![Attribute::new("a", 4, 3.0)]).unwrap();
+        let data = Dataset::from_rows(&schema, vec![vec![0], vec![3]]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 0, 1)]).unwrap();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        // Nested split re-splitting `a` at a cut outside the child range.
+        let plan = Plan::split(
+            0,
+            2,
+            Plan::split(0, 3, Plan::pass(), Plan::fail()), // cut 3 > child hi 1
+            Plan::fail(),
+        );
+        let c = expected_cost(&plan, &query, &schema, &est);
+        assert!((c - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let schema = Schema::new(vec![Attribute::new("a", 4, 1.0)]).unwrap();
+        let data = Dataset::from_rows(&schema, vec![]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 0, 1)]).unwrap();
+        let rep = measure(&Plan::pass(), &query, &schema, &data);
+        assert_eq!(rep.tuples, 0);
+        assert_eq!(rep.mean_cost, 0.0);
+        assert!(rep.all_correct);
+    }
+}

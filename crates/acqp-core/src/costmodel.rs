@@ -1,0 +1,179 @@
+//! Order-dependent acquisition costs — §7, "Complex acquisition costs".
+//!
+//! The base model charges each attribute its schema cost exactly once.
+//! The *boards* model adds the paper's motivating example: "motes have
+//! sensor boards with multiple sensors that are powered up
+//! simultaneously. Thus, the cost of acquiring a reading can be
+//! decomposed as the high cost of powering up the board, plus a low
+//! cost for a reading of each sensor in the board." The cost of an
+//! acquisition then depends on *which attributes were acquired before
+//! it* — exactly the conditionality §7 suggests simulating in the
+//! planners.
+//!
+//! All planners and the executor take a [`CostModel`]; a plan that
+//! clusters same-board sensors amortizes the power-up, and the planners
+//! discover such clusterings because the model is consulted with the
+//! current acquired-set at every step.
+
+use crate::attr::{AttrId, Schema};
+
+/// How acquiring an attribute is priced, given what was already
+/// acquired for the current tuple. Attribute sets are bitmasks, so
+/// schemas are limited to 64 attributes when planning with cost models
+/// (the Garden-11 schema has 34).
+///
+/// ```
+/// use acqp_core::{Attribute, CostModel, Schema};
+///
+/// let schema = Schema::new(vec![
+///     Attribute::new("light", 8, 10.0),
+///     Attribute::new("temp", 8, 10.0),
+/// ]).unwrap();
+/// // Both sensors share a board that costs 50 to power up.
+/// let m = CostModel::boards(2, &[(vec![0, 1], 50.0)]);
+/// assert_eq!(m.cost(&schema, 0, 0b00), 60.0);  // cold board
+/// assert_eq!(m.cost(&schema, 1, 0b01), 10.0);  // warmed by the sibling
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum CostModel {
+    /// Each attribute costs its schema cost, independent of order.
+    #[default]
+    PerAttribute,
+    /// Schema costs plus a shared-board power-up: the first acquisition
+    /// from a board also pays that board's power-up cost.
+    Boards {
+        /// `board_of[attr]` — which board the attribute's sensor sits
+        /// on, if any.
+        board_of: Vec<Option<u8>>,
+        /// Power-up cost of each board.
+        powerup: Vec<f64>,
+    },
+}
+
+impl CostModel {
+    /// Builds a boards model from `(attrs, powerup_cost)` groups.
+    pub fn boards(n_attrs: usize, groups: &[(Vec<AttrId>, f64)]) -> CostModel {
+        let mut board_of = vec![None; n_attrs];
+        let mut powerup = Vec::with_capacity(groups.len());
+        for (b, (attrs, cost)) in groups.iter().enumerate() {
+            for &a in attrs {
+                debug_assert!(board_of[a].is_none(), "attribute {a} on two boards");
+                board_of[a] = Some(b as u8);
+            }
+            powerup.push(*cost);
+        }
+        CostModel::Boards { board_of, powerup }
+    }
+
+    /// Cost of acquiring `attr` when the attributes in `acquired`
+    /// (bitmask) are already in hand. Returns 0 when `attr` itself was
+    /// already acquired.
+    #[inline]
+    pub fn cost(&self, schema: &Schema, attr: AttrId, acquired: u64) -> f64 {
+        if acquired & (1u64 << attr) != 0 {
+            return 0.0;
+        }
+        match self {
+            CostModel::PerAttribute => schema.cost(attr),
+            CostModel::Boards { board_of, powerup } => {
+                let mut c = schema.cost(attr);
+                if let Some(b) = board_of[attr] {
+                    // Board already powered iff some acquired attribute
+                    // shares it.
+                    let powered = board_of
+                        .iter()
+                        .enumerate()
+                        .any(|(a, &bd)| bd == Some(b) && acquired & (1u64 << a) != 0);
+                    if !powered {
+                        c += powerup[usize::from(b)];
+                    }
+                }
+                c
+            }
+        }
+    }
+
+    /// Conservative per-attribute lower bound on the acquisition cost
+    /// (used by admissible pruning): the schema cost alone.
+    #[inline]
+    pub fn min_cost(&self, schema: &Schema, attr: AttrId, acquired: u64) -> f64 {
+        if acquired & (1u64 << attr) != 0 {
+            0.0
+        } else {
+            schema.cost(attr)
+        }
+    }
+}
+
+/// Bitmask of attributes that a plan has acquired once the ranges have
+/// been narrowed from their full domains (splitting an attribute
+/// acquires it; see Fig. 5's cost rule).
+pub fn acquired_mask(schema: &Schema, ranges: &crate::range::Ranges) -> u64 {
+    debug_assert!(schema.len() <= 64, "cost-model planning supports <= 64 attributes");
+    let mut mask = 0u64;
+    for a in 0..schema.len() {
+        if !ranges.attr_unacquired(schema, a) {
+            mask |= 1 << a;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::range::{Range, Ranges};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("light", 8, 10.0),
+            Attribute::new("temp", 8, 10.0),
+            Attribute::new("hour", 8, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn per_attribute_is_memoryless() {
+        let s = schema();
+        let m = CostModel::PerAttribute;
+        assert_eq!(m.cost(&s, 0, 0), 10.0);
+        assert_eq!(m.cost(&s, 0, 0b010), 10.0);
+        assert_eq!(m.cost(&s, 0, 0b001), 0.0, "already acquired is free");
+    }
+
+    #[test]
+    fn board_powerup_charged_once_per_board() {
+        let s = schema();
+        let m = CostModel::boards(3, &[(vec![0, 1], 50.0)]);
+        // Cold board: sensor + powerup.
+        assert_eq!(m.cost(&s, 0, 0), 60.0);
+        // Board warmed by the sibling sensor: just the sensor.
+        assert_eq!(m.cost(&s, 1, 0b001), 10.0);
+        // Off-board attribute never pays powerup.
+        assert_eq!(m.cost(&s, 2, 0), 1.0);
+        // Already-acquired attr is free even with boards.
+        assert_eq!(m.cost(&s, 1, 0b010), 0.0);
+    }
+
+    #[test]
+    fn acquired_mask_tracks_narrowed_ranges() {
+        let s = schema();
+        let root = Ranges::root(&s);
+        assert_eq!(acquired_mask(&s, &root), 0);
+        let narrowed = root.with(1, Range::new(2, 5));
+        assert_eq!(acquired_mask(&s, &narrowed), 0b010);
+    }
+
+    #[test]
+    fn min_cost_is_a_lower_bound() {
+        let s = schema();
+        let m = CostModel::boards(3, &[(vec![0, 1], 50.0)]);
+        for attr in 0..3 {
+            for acquired in [0u64, 0b001, 0b011] {
+                assert!(m.min_cost(&s, attr, acquired) <= m.cost(&s, attr, acquired));
+            }
+        }
+    }
+}

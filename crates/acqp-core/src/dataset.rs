@@ -1,0 +1,275 @@
+//! Historical datasets: column-major discretized samples.
+//!
+//! The planners of §3–4 estimate every probability from a historical
+//! dataset `D` of `d` tuples (§2.3, §5). Storage is column-major so the
+//! counting estimator can scan a single attribute of a row subset without
+//! touching the rest of the tuple.
+
+use crate::attr::{AttrId, Schema};
+use crate::error::{Error, Result};
+use crate::range::Ranges;
+
+/// A dataset of discretized tuples over a [`Schema`], stored column-major.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// `cols[a][row]` = value of attribute `a` in tuple `row`.
+    cols: Vec<Vec<u16>>,
+    rows: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from row-major tuples, validating arity and
+    /// domain membership against `schema`.
+    pub fn from_rows(schema: &Schema, rows: Vec<Vec<u16>>) -> Result<Self> {
+        let n = schema.len();
+        let mut cols: Vec<Vec<u16>> = (0..n).map(|_| Vec::with_capacity(rows.len())).collect();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n {
+                return Err(Error::BadRow { row: i, what: "wrong arity" });
+            }
+            for (a, &v) in row.iter().enumerate() {
+                if v >= schema.domain(a) {
+                    return Err(Error::BadRow { row: i, what: "value outside attribute domain" });
+                }
+                cols[a].push(v);
+            }
+        }
+        Ok(Dataset { cols, rows: rows.len() })
+    }
+
+    /// Builds directly from columns (every column must have the same
+    /// length); validates domains.
+    pub fn from_columns(schema: &Schema, cols: Vec<Vec<u16>>) -> Result<Self> {
+        if cols.len() != schema.len() {
+            return Err(Error::BadRow { row: 0, what: "wrong number of columns" });
+        }
+        let rows = cols.first().map_or(0, Vec::len);
+        for (a, col) in cols.iter().enumerate() {
+            if col.len() != rows {
+                return Err(Error::BadRow { row: 0, what: "ragged columns" });
+            }
+            if col.iter().any(|&v| v >= schema.domain(a)) {
+                return Err(Error::BadRow { row: 0, what: "value outside attribute domain" });
+            }
+        }
+        Ok(Dataset { cols, rows })
+    }
+
+    /// Number of tuples `d`.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the dataset holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of attributes.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Value of attribute `a` in tuple `row`.
+    #[inline]
+    pub fn value(&self, row: usize, a: AttrId) -> u16 {
+        self.cols[a][row]
+    }
+
+    /// The whole column of attribute `a`.
+    pub fn column(&self, a: AttrId) -> &[u16] {
+        &self.cols[a]
+    }
+
+    /// Materializes tuple `row` (allocates; prefer [`Dataset::value`] in
+    /// hot paths).
+    pub fn row(&self, row: usize) -> Vec<u16> {
+        self.cols.iter().map(|c| c[row]).collect()
+    }
+
+    /// Splits into `(train, test)` at `frac` (fraction of rows that go to
+    /// `train`), preserving order — i.e. a *time* split, matching the
+    /// paper's disjoint train/test windows (§6).
+    pub fn split_at(&self, frac: f64) -> (Dataset, Dataset) {
+        let cut = ((self.rows as f64) * frac.clamp(0.0, 1.0)).round() as usize;
+        let train = Dataset {
+            cols: self.cols.iter().map(|c| c[..cut].to_vec()).collect(),
+            rows: cut,
+        };
+        let test = Dataset {
+            cols: self.cols.iter().map(|c| c[cut..].to_vec()).collect(),
+            rows: self.rows - cut,
+        };
+        (train, test)
+    }
+
+    /// A copy containing only every `stride`-th row, used to subsample
+    /// training data for the expensive exhaustive planner.
+    pub fn thin(&self, stride: usize) -> Dataset {
+        let stride = stride.max(1);
+        Dataset {
+            cols: self
+                .cols
+                .iter()
+                .map(|c| c.iter().step_by(stride).copied().collect())
+                .collect(),
+            rows: self.rows.div_ceil(stride),
+        }
+    }
+
+    /// A copy containing only the first `n` rows.
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.rows);
+        Dataset { cols: self.cols.iter().map(|c| c[..n].to_vec()).collect(), rows: n }
+    }
+
+    /// Row indices admitted by `ranges`.
+    pub fn rows_matching(&self, ranges: &Ranges) -> Vec<u32> {
+        (0..self.rows as u32)
+            .filter(|&r| {
+                ranges
+                    .as_slice()
+                    .iter()
+                    .enumerate()
+                    .all(|(a, rg)| rg.contains(self.cols[a][r as usize]))
+            })
+            .collect()
+    }
+}
+
+/// Maps a real-valued signal into `0..bins` discretized values, keeping
+/// the bin edges so plans can be pretty-printed in natural units.
+///
+/// §2.1 requires real-valued attributes to be "discretized appropriately";
+/// sensor ADCs do this naturally. The generators in `acqp-data` quantize
+/// through this type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discretizer {
+    min: f64,
+    max: f64,
+    bins: u16,
+}
+
+impl Discretizer {
+    /// Equal-width discretizer over `[min, max]` with `bins ≥ 1` bins.
+    pub fn uniform(min: f64, max: f64, bins: u16) -> Self {
+        debug_assert!(bins >= 1 && max > min);
+        Discretizer { min, max, bins }
+    }
+
+    /// Number of bins (the attribute's domain size).
+    pub fn bins(&self) -> u16 {
+        self.bins
+    }
+
+    /// Quantizes `x`, clamping out-of-range inputs into the end bins.
+    pub fn quantize(&self, x: f64) -> u16 {
+        let t = (x - self.min) / (self.max - self.min);
+        let b = (t * f64::from(self.bins)).floor();
+        (b.max(0.0) as u32).min(u32::from(self.bins) - 1) as u16
+    }
+
+    /// Lower edge (natural units) of bin `b`.
+    pub fn bin_lo(&self, b: u16) -> f64 {
+        self.min + (self.max - self.min) * f64::from(b) / f64::from(self.bins)
+    }
+
+    /// Upper edge (natural units) of bin `b`.
+    pub fn bin_hi(&self, b: u16) -> f64 {
+        self.bin_lo(b + 1)
+    }
+
+    /// Midpoint (natural units) of bin `b`.
+    pub fn bin_mid(&self, b: u16) -> f64 {
+        (self.bin_lo(b) + self.bin_hi(b)) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("a", 4, 10.0),
+            Attribute::new("b", 8, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let s = schema();
+        let d = Dataset::from_rows(&s, vec![vec![0, 1], vec![3, 7], vec![2, 2]]).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.value(1, 0), 3);
+        assert_eq!(d.row(2), vec![2, 2]);
+        assert_eq!(d.column(1), &[1, 7, 2]);
+    }
+
+    #[test]
+    fn bad_rows_rejected() {
+        let s = schema();
+        assert!(matches!(
+            Dataset::from_rows(&s, vec![vec![0]]),
+            Err(Error::BadRow { row: 0, .. })
+        ));
+        assert!(matches!(
+            Dataset::from_rows(&s, vec![vec![0, 1], vec![4, 0]]),
+            Err(Error::BadRow { row: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn from_columns_checks_shape() {
+        let s = schema();
+        assert!(Dataset::from_columns(&s, vec![vec![0, 1], vec![1, 2]]).is_ok());
+        assert!(Dataset::from_columns(&s, vec![vec![0], vec![1, 2]]).is_err());
+        assert!(Dataset::from_columns(&s, vec![vec![0, 9], vec![1, 2]]).is_err());
+    }
+
+    #[test]
+    fn split_preserves_order() {
+        let s = schema();
+        let rows: Vec<Vec<u16>> = (0..10).map(|i| vec![i % 4, i % 8]).collect();
+        let d = Dataset::from_rows(&s, rows).unwrap();
+        let (tr, te) = d.split_at(0.7);
+        assert_eq!(tr.len(), 7);
+        assert_eq!(te.len(), 3);
+        assert_eq!(te.value(0, 1), 7);
+    }
+
+    #[test]
+    fn thin_and_take() {
+        let s = schema();
+        let rows: Vec<Vec<u16>> = (0..9).map(|i| vec![i % 4, i % 8]).collect();
+        let d = Dataset::from_rows(&s, rows).unwrap();
+        assert_eq!(d.thin(3).len(), 3);
+        assert_eq!(d.thin(0).len(), 9); // stride clamped to 1
+        assert_eq!(d.take(4).len(), 4);
+        assert_eq!(d.take(100).len(), 9);
+    }
+
+    #[test]
+    fn rows_matching_filters() {
+        let s = schema();
+        let d = Dataset::from_rows(&s, vec![vec![0, 0], vec![1, 5], vec![3, 5]]).unwrap();
+        let ranges = Ranges::root(&s).with(1, crate::range::Range::new(4, 7));
+        assert_eq!(d.rows_matching(&ranges), vec![1, 2]);
+    }
+
+    #[test]
+    fn discretizer_quantize_and_edges() {
+        let q = Discretizer::uniform(0.0, 100.0, 10);
+        assert_eq!(q.quantize(0.0), 0);
+        assert_eq!(q.quantize(99.9), 9);
+        assert_eq!(q.quantize(100.0), 9); // clamped at top
+        assert_eq!(q.quantize(-5.0), 0); // clamped at bottom
+        assert_eq!(q.quantize(35.0), 3);
+        assert_eq!(q.bin_lo(3), 30.0);
+        assert_eq!(q.bin_hi(3), 40.0);
+        assert_eq!(q.bin_mid(3), 35.0);
+    }
+}

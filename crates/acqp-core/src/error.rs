@@ -1,0 +1,105 @@
+//! Error type shared across the crate.
+
+use std::fmt;
+
+/// Errors produced when constructing models, queries or plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A schema was constructed with no attributes, or an attribute had an
+    /// empty domain.
+    EmptySchema,
+    /// An attribute domain size of zero (every attribute must take at
+    /// least one value).
+    EmptyDomain {
+        /// Offending attribute name.
+        attr: String,
+    },
+    /// An attribute id referenced an attribute outside the schema.
+    UnknownAttr {
+        /// The out-of-range attribute id.
+        attr: usize,
+        /// Number of attributes in the schema.
+        n: usize,
+    },
+    /// A predicate range was inverted (`lo > hi`).
+    InvertedRange {
+        /// Lower endpoint supplied.
+        lo: u16,
+        /// Upper endpoint supplied.
+        hi: u16,
+    },
+    /// Two predicates referenced the same attribute. The paper's queries
+    /// (and this implementation) allow at most one unary predicate per
+    /// attribute.
+    DuplicatePredicate {
+        /// Attribute with more than one predicate.
+        attr: usize,
+    },
+    /// A query had no predicates.
+    EmptyQuery,
+    /// A dataset row had the wrong arity or an out-of-domain value.
+    BadRow {
+        /// Row index in the input.
+        row: usize,
+        /// Explanation.
+        what: &'static str,
+    },
+    /// A query had too many predicates for an exponential-time algorithm
+    /// (`OptSeq` is O(m·2^m); the exhaustive planner is worse).
+    TooManyPredicates {
+        /// Number of predicates in the query.
+        m: usize,
+        /// Maximum the algorithm accepts.
+        max: usize,
+    },
+    /// Plan wire-format decoding failed.
+    BadWireFormat {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// Explanation.
+        what: &'static str,
+    },
+    /// Textual input (e.g. a query expression) failed to parse.
+    Parse {
+        /// Explanation.
+        what: &'static str,
+    },
+    /// The training data (or conditioned model) had no support at all,
+    /// so no probabilities can be estimated.
+    NoData,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptySchema => write!(f, "schema must contain at least one attribute"),
+            Error::EmptyDomain { attr } => {
+                write!(f, "attribute `{attr}` has an empty domain")
+            }
+            Error::UnknownAttr { attr, n } => {
+                write!(f, "attribute id {attr} out of range (schema has {n})")
+            }
+            Error::InvertedRange { lo, hi } => {
+                write!(f, "inverted range [{lo}, {hi}]")
+            }
+            Error::DuplicatePredicate { attr } => {
+                write!(f, "more than one predicate on attribute {attr}")
+            }
+            Error::EmptyQuery => write!(f, "query must contain at least one predicate"),
+            Error::BadRow { row, what } => write!(f, "bad dataset row {row}: {what}"),
+            Error::TooManyPredicates { m, max } => {
+                write!(f, "query has {m} predicates; this algorithm accepts at most {max}")
+            }
+            Error::BadWireFormat { offset, what } => {
+                write!(f, "bad plan wire format at byte {offset}: {what}")
+            }
+            Error::Parse { what } => write!(f, "parse error: {what}"),
+            Error::NoData => write!(f, "no historical data to estimate probabilities from"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

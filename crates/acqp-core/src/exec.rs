@@ -1,0 +1,247 @@
+//! Per-tuple plan execution — the traversal cost of Eq. (1).
+//!
+//! Executing a plan on a tuple walks one root-to-leaf path, *acquiring*
+//! each attribute the first time a node needs it and charging its
+//! acquisition cost exactly once. Re-reading an already-acquired
+//! attribute is free: a second split on the same attribute merely routes
+//! on the remembered value.
+
+use crate::attr::{AttrId, Schema};
+use crate::dataset::Dataset;
+use crate::plan::Plan;
+use crate::query::Query;
+
+/// Source of attribute values for one tuple. The dataset-backed
+/// [`RowSource`] simply reads a stored row; the sensornet substrate
+/// implements this with energy-accounting sensor reads.
+pub trait TupleSource {
+    /// Observes (acquires) the value of attribute `attr` for the current
+    /// tuple. Called at most once per attribute per tuple.
+    fn acquire(&mut self, attr: AttrId) -> u16;
+}
+
+/// A [`TupleSource`] reading one row of a [`Dataset`].
+#[derive(Debug, Clone, Copy)]
+pub struct RowSource<'a> {
+    data: &'a Dataset,
+    row: usize,
+}
+
+impl<'a> RowSource<'a> {
+    /// Wraps row `row` of `data`.
+    pub fn new(data: &'a Dataset, row: usize) -> Self {
+        RowSource { data, row }
+    }
+}
+
+impl TupleSource for RowSource<'_> {
+    fn acquire(&mut self, attr: AttrId) -> u16 {
+        self.data.value(self.row, attr)
+    }
+}
+
+/// Result of executing a plan on one tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Whether the plan outputs (`true`) or rejects (`false`) the tuple.
+    pub verdict: bool,
+    /// Total acquisition cost `C(P, x)` charged along the traversal.
+    pub cost: f64,
+    /// Attributes acquired, in acquisition order.
+    pub acquired: Vec<AttrId>,
+}
+
+/// Executes `plan` for the tuple behind `src`, charging acquisition
+/// costs from `schema` per Eq. (1).
+pub fn execute(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    src: &mut impl TupleSource,
+) -> ExecOutcome {
+    execute_model(plan, query, schema, &crate::costmodel::CostModel::PerAttribute, src)
+}
+
+/// Like [`execute`] but with order-dependent acquisition pricing
+/// (§7 "Complex acquisition costs"), e.g. shared-board power-ups.
+pub fn execute_model(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &crate::costmodel::CostModel,
+    src: &mut impl TupleSource,
+) -> ExecOutcome {
+    let mut st = ExecState {
+        cache: vec![None; schema.len()],
+        mask: 0,
+        cost: 0.0,
+        acquired: Vec::new(),
+    };
+    let mut node = plan;
+    loop {
+        match node {
+            Plan::Decided(b) => {
+                return ExecOutcome { verdict: *b, cost: st.cost, acquired: st.acquired };
+            }
+            Plan::Seq(seq) => {
+                for &j in &seq.order {
+                    let p = query.pred(j);
+                    let v = st.fetch(p.attr(), schema, model, src);
+                    if !p.eval(v) {
+                        return ExecOutcome {
+                            verdict: false,
+                            cost: st.cost,
+                            acquired: st.acquired,
+                        };
+                    }
+                }
+                return ExecOutcome { verdict: true, cost: st.cost, acquired: st.acquired };
+            }
+            Plan::Split { attr, cut, lo, hi } => {
+                let v = st.fetch(*attr, schema, model, src);
+                node = if v < *cut { lo } else { hi };
+            }
+        }
+    }
+}
+
+struct ExecState {
+    cache: Vec<Option<u16>>,
+    mask: u64,
+    cost: f64,
+    acquired: Vec<AttrId>,
+}
+
+impl ExecState {
+    #[inline]
+    fn fetch(
+        &mut self,
+        attr: AttrId,
+        schema: &Schema,
+        model: &crate::costmodel::CostModel,
+        src: &mut impl TupleSource,
+    ) -> u16 {
+        if let Some(v) = self.cache[attr] {
+            return v;
+        }
+        let v = src.acquire(attr);
+        self.cache[attr] = Some(v);
+        self.cost += model.cost(schema, attr, self.mask);
+        self.mask |= 1u64 << attr;
+        self.acquired.push(attr);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::plan::SeqOrder;
+    use crate::query::Pred;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("x0", 4, 10.0),
+            Attribute::new("x1", 4, 20.0),
+            Attribute::new("x2", 4, 1.0),
+        ])
+        .unwrap()
+    }
+
+    fn query() -> Query {
+        Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 2, 3)]).unwrap()
+    }
+
+    struct FixedTuple(Vec<u16>, usize);
+    impl TupleSource for FixedTuple {
+        fn acquire(&mut self, attr: AttrId) -> u16 {
+            self.1 += 1;
+            self.0[attr]
+        }
+    }
+
+    #[test]
+    fn seq_early_termination() {
+        let s = schema();
+        let q = query();
+        let plan = Plan::Seq(SeqOrder::new(vec![0, 1]));
+        // First predicate fails -> only x0 acquired.
+        let mut src = FixedTuple(vec![3, 3, 0], 0);
+        let out = execute(&plan, &q, &s, &mut src);
+        assert!(!out.verdict);
+        assert_eq!(out.cost, 10.0);
+        assert_eq!(out.acquired, vec![0]);
+        assert_eq!(src.1, 1);
+
+        // Both pass -> both acquired.
+        let mut src = FixedTuple(vec![1, 2, 0], 0);
+        let out = execute(&plan, &q, &s, &mut src);
+        assert!(out.verdict);
+        assert_eq!(out.cost, 30.0);
+        assert_eq!(out.acquired, vec![0, 1]);
+    }
+
+    #[test]
+    fn split_routes_and_charges_once() {
+        let s = schema();
+        let q = query();
+        // Condition on cheap x2, then different orders; re-split on x2 is free.
+        let plan = Plan::split(
+            2,
+            2,
+            Plan::split(2, 1, Plan::fail(), Plan::Seq(SeqOrder::new(vec![1, 0]))),
+            Plan::Seq(SeqOrder::new(vec![0, 1])),
+        );
+        // x2 = 1 -> lo branch -> inner split (free) -> hi -> eval pred1 first.
+        let mut src = FixedTuple(vec![0, 2, 1], 0);
+        let out = execute(&plan, &q, &s, &mut src);
+        assert!(out.verdict);
+        // x2 once (1.0) + x1 (20) + x0 (10)
+        assert_eq!(out.cost, 31.0);
+        assert_eq!(out.acquired, vec![2, 1, 0]);
+        assert_eq!(src.1, 3, "x2 must be acquired exactly once");
+
+        // x2 = 0 -> lo, lo -> REJECT with only x2 acquired.
+        let mut src = FixedTuple(vec![0, 2, 0], 0);
+        let out = execute(&plan, &q, &s, &mut src);
+        assert!(!out.verdict);
+        assert_eq!(out.cost, 1.0);
+    }
+
+    #[test]
+    fn decided_leaf_costs_nothing() {
+        let s = schema();
+        let q = query();
+        let out = execute(&Plan::pass(), &q, &s, &mut FixedTuple(vec![0, 0, 0], 0));
+        assert!(out.verdict);
+        assert_eq!(out.cost, 0.0);
+        assert!(out.acquired.is_empty());
+    }
+
+    #[test]
+    fn row_source_reads_dataset() {
+        let s = schema();
+        let d = Dataset::from_rows(&s, vec![vec![1, 2, 3], vec![0, 0, 0]]).unwrap();
+        let q = query();
+        let plan = Plan::Seq(SeqOrder::new(vec![0, 1]));
+        let out = execute(&plan, &q, &s, &mut RowSource::new(&d, 0));
+        assert!(out.verdict);
+        let out = execute(&plan, &q, &s, &mut RowSource::new(&d, 1));
+        assert!(!out.verdict);
+    }
+
+    #[test]
+    fn empty_seq_outputs() {
+        let s = schema();
+        let q = query();
+        let out = execute(
+            &Plan::Seq(SeqOrder::default()),
+            &q,
+            &s,
+            &mut FixedTuple(vec![3, 0, 0], 0),
+        );
+        assert!(out.verdict);
+        assert_eq!(out.cost, 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Plan introspection — an `EXPLAIN ANALYZE` for conditional plans.
+//!
+//! [`explain`] walks a plan under an estimator and annotates every node
+//! with the probability a tuple reaches it, the expected cost charged
+//! there, and (for sequential leaves) each predicate's conditional pass
+//! probability. The renderer prints the annotated tree; totals equal
+//! the Eq. (3) expected cost exactly, which the tests pin down.
+
+use crate::attr::Schema;
+use crate::costmodel::{acquired_mask, CostModel};
+use crate::plan::Plan;
+use crate::prob::Estimator;
+use crate::query::Query;
+use crate::range::Range;
+
+/// One annotated node of an explained plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExplainNode {
+    /// A decided leaf.
+    Decided {
+        /// Verdict at this leaf.
+        verdict: bool,
+        /// Probability of reaching the leaf.
+        reach: f64,
+    },
+    /// A sequential leaf.
+    Seq {
+        /// Probability of reaching the leaf.
+        reach: f64,
+        /// Expected cost charged at the leaf, *given* it is reached.
+        cost_here: f64,
+        /// Per step: predicate index, effective acquisition cost and the
+        /// conditional probability the predicate passes.
+        steps: Vec<SeqStepInfo>,
+    },
+    /// A conditioning split.
+    Split {
+        /// Attribute observed.
+        attr: usize,
+        /// Cut point.
+        cut: u16,
+        /// Probability of reaching the node.
+        reach: f64,
+        /// Acquisition cost charged here, given the node is reached.
+        cost_here: f64,
+        /// `P(X_attr < cut | reached)`.
+        p_lo: f64,
+        /// Low child.
+        lo: Box<ExplainNode>,
+        /// High child.
+        hi: Box<ExplainNode>,
+    },
+}
+
+/// Expected evaluation of one sequential-leaf step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqStepInfo {
+    /// Predicate index into the query.
+    pub pred: usize,
+    /// Effective acquisition cost when the step runs.
+    pub cost: f64,
+    /// Probability the step runs (given the leaf is reached).
+    pub p_run: f64,
+    /// Conditional probability the predicate passes, given it runs.
+    pub p_pass: f64,
+}
+
+impl ExplainNode {
+    /// Total expected cost of the explained plan (reach-weighted).
+    pub fn total_cost(&self) -> f64 {
+        match self {
+            ExplainNode::Decided { .. } => 0.0,
+            ExplainNode::Seq { reach, cost_here, .. } => reach * cost_here,
+            ExplainNode::Split { reach, cost_here, lo, hi, .. } => {
+                reach * cost_here + lo.total_cost() + hi.total_cost()
+            }
+        }
+    }
+
+    /// Renders the annotated tree.
+    pub fn render(&self, schema: &Schema, query: &Query) -> String {
+        let mut out = String::new();
+        self.render_into(schema, query, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, schema: &Schema, query: &Query, indent: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(indent);
+        match self {
+            ExplainNode::Decided { verdict, reach } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}=> {} [reach {:.1}%]",
+                    if *verdict { "OUTPUT" } else { "REJECT" },
+                    reach * 100.0
+                );
+            }
+            ExplainNode::Seq { reach, cost_here, steps } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}=> sequential [reach {:.1}%, E[cost|here] {:.1}]",
+                    reach * 100.0,
+                    cost_here
+                );
+                for s in steps {
+                    let p = query.pred(s.pred);
+                    let _ = writeln!(
+                        out,
+                        "{pad}   - {} (cost {:.1}) runs {:.1}%, passes {:.1}%",
+                        schema.attr(p.attr()).name(),
+                        s.cost,
+                        (s.p_run * 100.0).max(0.0),
+                        (s.p_pass * 100.0).max(0.0)
+                    );
+                }
+            }
+            ExplainNode::Split { attr, cut, reach, cost_here, p_lo, lo, hi } => {
+                let name = schema.attr(*attr).name();
+                let _ = writeln!(
+                    out,
+                    "{pad}observe {name} [reach {:.1}%, cost {:.1}]: {name} < {cut} w.p. {:.1}%",
+                    reach * 100.0,
+                    cost_here,
+                    p_lo * 100.0
+                );
+                lo.render_into(schema, query, indent + 1, out);
+                hi.render_into(schema, query, indent + 1, out);
+            }
+        }
+    }
+}
+
+/// Annotates `plan` with reach probabilities and expected costs under
+/// `est` (Eq. (3)'s recursion, kept per node).
+pub fn explain<E: Estimator>(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &CostModel,
+    est: &E,
+) -> ExplainNode {
+    explain_at(plan, query, schema, model, est, &est.root(), 1.0)
+}
+
+fn explain_at<E: Estimator>(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &CostModel,
+    est: &E,
+    ctx: &E::Ctx,
+    reach: f64,
+) -> ExplainNode {
+    match plan {
+        Plan::Decided(b) => ExplainNode::Decided { verdict: *b, reach },
+        Plan::Seq(seq) => {
+            let ranges = est.ranges(ctx);
+            let mut acquired = acquired_mask(schema, ranges);
+            let table = est.truth_table(ctx, query);
+            let mut steps = Vec::with_capacity(seq.order.len());
+            let mut cost_here = 0.0;
+            let mut prefix = 0u64;
+            let mut p_run = 1.0;
+            for &j in &seq.order {
+                let attr = query.pred(j).attr();
+                let cost = model.cost(schema, attr, acquired);
+                let p_pass = table.cond_prob(j, prefix);
+                steps.push(SeqStepInfo { pred: j, cost, p_run, p_pass });
+                cost_here += cost * p_run;
+                acquired |= 1 << attr;
+                prefix |= 1 << j;
+                p_run *= p_pass;
+            }
+            ExplainNode::Seq { reach, cost_here, steps }
+        }
+        Plan::Split { attr, cut, lo, hi } => {
+            let ranges = est.ranges(ctx);
+            let r = ranges.get(*attr);
+            let cost_here = model.cost(schema, *attr, acquired_mask(schema, ranges));
+            // Out-of-range cuts (hand-built plans) route one way.
+            let p_lo = if *cut <= r.lo() {
+                0.0
+            } else if *cut > r.hi() {
+                1.0
+            } else {
+                est.prob_below(ctx, *attr, *cut).clamp(0.0, 1.0)
+            };
+            let lo_node = if p_lo > 0.0 && *cut > r.lo() {
+                let child = est.refine(ctx, *attr, Range::new(r.lo(), cut - 1));
+                explain_at(lo, query, schema, model, est, &child, reach * p_lo)
+            } else {
+                zero_reach(lo)
+            };
+            let hi_node = if p_lo < 1.0 && *cut <= r.hi() {
+                let child = est.refine(ctx, *attr, Range::new(*cut, r.hi()));
+                explain_at(hi, query, schema, model, est, &child, reach * (1.0 - p_lo))
+            } else {
+                zero_reach(hi)
+            };
+            ExplainNode::Split {
+                attr: *attr,
+                cut: *cut,
+                reach,
+                cost_here,
+                p_lo,
+                lo: Box::new(lo_node),
+                hi: Box::new(hi_node),
+            }
+        }
+    }
+}
+
+/// Structure-preserving zero-probability annotation for unreachable
+/// subtrees.
+fn zero_reach(plan: &Plan) -> ExplainNode {
+    match plan {
+        Plan::Decided(b) => ExplainNode::Decided { verdict: *b, reach: 0.0 },
+        Plan::Seq(_) => ExplainNode::Seq { reach: 0.0, cost_here: 0.0, steps: Vec::new() },
+        Plan::Split { attr, cut, lo, hi } => ExplainNode::Split {
+            attr: *attr,
+            cut: *cut,
+            reach: 0.0,
+            cost_here: 0.0,
+            p_lo: 0.0,
+            lo: Box::new(zero_reach(lo)),
+            hi: Box::new(zero_reach(hi)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::cost::expected_cost;
+    use crate::dataset::Dataset;
+    use crate::planner::GreedyPlanner;
+    use crate::prob::CountingEstimator;
+    use crate::query::Pred;
+    use crate::range::Ranges;
+
+    fn setup() -> (Schema, Dataset, Query) {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 4, 10.0),
+            Attribute::new("b", 4, 4.0),
+            Attribute::new("t", 4, 0.5),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<u16>> =
+            (0..128u16).map(|i| vec![(i / 2) % 4, (i / 8) % 4, (i / 32) % 4]).collect();
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query =
+            Query::new(vec![Pred::in_range(0, 1, 2), Pred::in_range(1, 0, 1)]).unwrap();
+        (schema, data, query)
+    }
+
+    #[test]
+    fn totals_match_expected_cost() {
+        let (schema, data, query) = setup();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let plan = GreedyPlanner::new(4).plan(&schema, &query, &est).unwrap();
+        let ex = explain(&plan, &query, &schema, &CostModel::PerAttribute, &est);
+        let want = expected_cost(&plan, &query, &schema, &est);
+        assert!(
+            (ex.total_cost() - want).abs() < 1e-9,
+            "explain total {} vs Eq.(3) {}",
+            ex.total_cost(),
+            want
+        );
+    }
+
+    #[test]
+    fn reach_probabilities_sum_to_one_at_leaves() {
+        let (schema, data, query) = setup();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let plan = GreedyPlanner::new(4).plan(&schema, &query, &est).unwrap();
+        let ex = explain(&plan, &query, &schema, &CostModel::PerAttribute, &est);
+        fn leaf_reach(n: &ExplainNode) -> f64 {
+            match n {
+                ExplainNode::Decided { reach, .. } | ExplainNode::Seq { reach, .. } => *reach,
+                ExplainNode::Split { lo, hi, .. } => leaf_reach(lo) + leaf_reach(hi),
+            }
+        }
+        assert!((leaf_reach(&ex) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_mentions_names_and_percentages() {
+        let (schema, data, query) = setup();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let plan = GreedyPlanner::new(2).plan(&schema, &query, &est).unwrap();
+        let ex = explain(&plan, &query, &schema, &CostModel::PerAttribute, &est);
+        let text = ex.render(&schema, &query);
+        assert!(text.contains('%'), "{text}");
+        assert!(text.contains("reach"), "{text}");
+    }
+
+    #[test]
+    fn seq_step_probabilities_are_conditional() {
+        let (schema, data, query) = setup();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let plan = crate::plan::Plan::Seq(crate::plan::SeqOrder::new(vec![0, 1]));
+        let ex = explain(&plan, &query, &schema, &CostModel::PerAttribute, &est);
+        let ExplainNode::Seq { steps, .. } = &ex else { panic!() };
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].p_run, 1.0);
+        // Second step runs exactly when the first passes.
+        assert!((steps[1].p_run - steps[0].p_pass).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,365 @@
+//! Conditional plan trees, their size `ζ(P)` and wire format.
+//!
+//! A conditional plan (§2.1) is a binary decision tree. Interior nodes
+//! carry a *conditioning predicate* `T(X_i ≥ x)` that splits into a
+//! low branch (`X_i < x`) and a high branch (`X_i ≥ x`). Leaves either
+//! carry a decided verdict, or a residual *sequential plan*: an order in
+//! which to evaluate the still-undecided query predicates, stopping at
+//! the first failure.
+//!
+//! The compact wire encoding defined here is what the basestation ships
+//! to the motes (§2.5); its byte length is the plan size `ζ(P)` in the
+//! communication-aware objective of §2.4.
+
+use crate::attr::{AttrId, Schema};
+use crate::error::{Error, Result};
+use crate::query::Query;
+
+/// A residual sequential plan: indices of query predicates, evaluated in
+/// order with early termination on the first failed predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SeqOrder {
+    /// Predicate indices (into [`Query::preds`]) in evaluation order.
+    pub order: Vec<usize>,
+}
+
+impl SeqOrder {
+    /// Creates a sequential order from predicate indices.
+    pub fn new(order: Vec<usize>) -> Self {
+        SeqOrder { order }
+    }
+}
+
+/// A conditional query plan.
+///
+/// ```
+/// use acqp_core::{Plan, SeqOrder};
+///
+/// // "Observe attribute 2; below 12 evaluate predicate 1 then 0,
+/// //  otherwise reject."
+/// let plan = Plan::split(2, 12, Plan::Seq(SeqOrder::new(vec![1, 0])), Plan::fail());
+/// assert_eq!(plan.split_count(), 1);
+/// // The wire encoding is what a basestation ships to the motes.
+/// let bytes = plan.encode();
+/// assert_eq!(Plan::decode(&bytes).unwrap(), plan);
+/// assert_eq!(bytes.len(), plan.wire_size());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// The verdict is already known: output or reject the tuple.
+    Decided(bool),
+    /// Evaluate the remaining predicates sequentially.
+    Seq(SeqOrder),
+    /// Conditioning split `T(X_attr ≥ cut)`: execute `lo` when the
+    /// observed value is `< cut`, `hi` otherwise.
+    Split {
+        /// Attribute acquired / inspected at this node.
+        attr: AttrId,
+        /// Split point: low branch is `[.., cut-1]`, high is `[cut, ..]`.
+        cut: u16,
+        /// Plan for `X_attr < cut`.
+        lo: Box<Plan>,
+        /// Plan for `X_attr ≥ cut`.
+        hi: Box<Plan>,
+    },
+}
+
+impl Plan {
+    /// A leaf accepting the tuple.
+    pub fn pass() -> Plan {
+        Plan::Decided(true)
+    }
+
+    /// A leaf rejecting the tuple.
+    pub fn fail() -> Plan {
+        Plan::Decided(false)
+    }
+
+    /// Builds a split node.
+    pub fn split(attr: AttrId, cut: u16, lo: Plan, hi: Plan) -> Plan {
+        Plan::Split { attr, cut, lo: Box::new(lo), hi: Box::new(hi) }
+    }
+
+    /// Total number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Plan::Decided(_) | Plan::Seq(_) => 1,
+            Plan::Split { lo, hi, .. } => 1 + lo.node_count() + hi.node_count(),
+        }
+    }
+
+    /// Number of conditioning splits (interior nodes); the paper's
+    /// `Heuristic-k` bounds this by `k`.
+    pub fn split_count(&self) -> usize {
+        match self {
+            Plan::Decided(_) | Plan::Seq(_) => 0,
+            Plan::Split { lo, hi, .. } => 1 + lo.split_count() + hi.split_count(),
+        }
+    }
+
+    /// Height of the tree (a lone leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Plan::Decided(_) | Plan::Seq(_) => 1,
+            Plan::Split { lo, hi, .. } => 1 + lo.depth().max(hi.depth()),
+        }
+    }
+
+    /// Plan size `ζ(P)` in bytes: the length of the wire encoding
+    /// shipped to query-processing nodes (§2.4).
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Structurally simplifies the plan: any split whose two subtrees
+    /// are identical is replaced by that subtree (the observation cannot
+    /// change what happens next; deferring — or dropping — the
+    /// acquisition never increases cost, because attributes are charged
+    /// on first use and board power-ups depend only on the acquired
+    /// *set*). Verdicts are preserved exactly; wire size and expected
+    /// cost can only shrink.
+    pub fn simplify(&self) -> Plan {
+        match self {
+            Plan::Decided(_) | Plan::Seq(_) => self.clone(),
+            Plan::Split { attr, cut, lo, hi } => {
+                let lo = lo.simplify();
+                let hi = hi.simplify();
+                if lo == hi {
+                    lo
+                } else {
+                    Plan::split(*attr, *cut, lo, hi)
+                }
+            }
+        }
+    }
+
+    /// Iterates over all leaves.
+    pub fn for_each_leaf(&self, f: &mut impl FnMut(&Plan)) {
+        match self {
+            Plan::Split { lo, hi, .. } => {
+                lo.for_each_leaf(f);
+                hi.for_each_leaf(f);
+            }
+            leaf => f(leaf),
+        }
+    }
+
+    // ---- wire format ------------------------------------------------
+
+    /// Encodes into the compact byte format executed by the sensornet
+    /// interpreter.
+    ///
+    /// Grammar (little-endian):
+    /// `0x00` = reject, `0x01` = accept,
+    /// `0x02 len:u8 (pred:u8)*` = sequential leaf,
+    /// `0x03 attr:u8 cut:u16 <lo> <hi>` = split.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Plan::Decided(false) => out.push(0x00),
+            Plan::Decided(true) => out.push(0x01),
+            Plan::Seq(s) => {
+                debug_assert!(s.order.len() <= u8::MAX as usize);
+                out.push(0x02);
+                out.push(s.order.len() as u8);
+                out.extend(s.order.iter().map(|&p| p as u8));
+            }
+            Plan::Split { attr, cut, lo, hi } => {
+                debug_assert!(*attr <= u8::MAX as usize);
+                out.push(0x03);
+                out.push(*attr as u8);
+                out.extend_from_slice(&cut.to_le_bytes());
+                lo.encode_into(out);
+                hi.encode_into(out);
+            }
+        }
+    }
+
+    /// Decodes a plan from its wire encoding, consuming the whole buffer.
+    pub fn decode(bytes: &[u8]) -> Result<Plan> {
+        let mut pos = 0usize;
+        let plan = Self::decode_at(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(Error::BadWireFormat { offset: pos, what: "trailing bytes" });
+        }
+        Ok(plan)
+    }
+
+    fn decode_at(bytes: &[u8], pos: &mut usize) -> Result<Plan> {
+        let tag = *bytes
+            .get(*pos)
+            .ok_or(Error::BadWireFormat { offset: *pos, what: "truncated" })?;
+        *pos += 1;
+        match tag {
+            0x00 => Ok(Plan::Decided(false)),
+            0x01 => Ok(Plan::Decided(true)),
+            0x02 => {
+                let len = *bytes
+                    .get(*pos)
+                    .ok_or(Error::BadWireFormat { offset: *pos, what: "truncated seq len" })?
+                    as usize;
+                *pos += 1;
+                let end = *pos + len;
+                let body = bytes
+                    .get(*pos..end)
+                    .ok_or(Error::BadWireFormat { offset: *pos, what: "truncated seq body" })?;
+                *pos = end;
+                Ok(Plan::Seq(SeqOrder::new(body.iter().map(|&b| b as usize).collect())))
+            }
+            0x03 => {
+                let hdr = bytes
+                    .get(*pos..*pos + 3)
+                    .ok_or(Error::BadWireFormat { offset: *pos, what: "truncated split" })?;
+                let attr = hdr[0] as usize;
+                let cut = u16::from_le_bytes([hdr[1], hdr[2]]);
+                *pos += 3;
+                let lo = Self::decode_at(bytes, pos)?;
+                let hi = Self::decode_at(bytes, pos)?;
+                Ok(Plan::split(attr, cut, lo, hi))
+            }
+            _ => Err(Error::BadWireFormat { offset: *pos - 1, what: "unknown tag" }),
+        }
+    }
+
+    // ---- pretty printing ---------------------------------------------
+
+    /// Renders the plan as an indented tree using attribute names, in the
+    /// style of the paper's Fig. 9.
+    pub fn pretty(&self, schema: &Schema, query: &Query) -> String {
+        let mut out = String::new();
+        self.pretty_into(schema, query, 0, &mut out);
+        out
+    }
+
+    fn pretty_into(&self, schema: &Schema, query: &Query, indent: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(indent);
+        match self {
+            Plan::Decided(b) => {
+                let _ = writeln!(out, "{pad}=> {}", if *b { "OUTPUT" } else { "REJECT" });
+            }
+            Plan::Seq(s) => {
+                if s.order.is_empty() {
+                    let _ = writeln!(out, "{pad}=> OUTPUT (all predicates proven)");
+                } else {
+                    let descr: Vec<String> = s
+                        .order
+                        .iter()
+                        .map(|&j| {
+                            let p = query.pred(j);
+                            let (lo, hi) = p.bounds();
+                            let name = schema.attr(p.attr()).name();
+                            if p.is_negated() {
+                                format!("NOT({lo} <= {name} <= {hi})")
+                            } else {
+                                format!("{lo} <= {name} <= {hi}")
+                            }
+                        })
+                        .collect();
+                    let _ = writeln!(out, "{pad}=> evaluate [{}]", descr.join(", "));
+                }
+            }
+            Plan::Split { attr, cut, lo, hi } => {
+                let name = schema.attr(*attr).name();
+                let _ = writeln!(out, "{pad}if {name} < {cut}:");
+                lo.pretty_into(schema, query, indent + 1, out);
+                let _ = writeln!(out, "{pad}else ({name} >= {cut}):");
+                hi.pretty_into(schema, query, indent + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::query::Pred;
+
+    fn sample_plan() -> Plan {
+        Plan::split(
+            2,
+            12,
+            Plan::Seq(SeqOrder::new(vec![1, 0])),
+            Plan::split(0, 3, Plan::fail(), Plan::Seq(SeqOrder::new(vec![0, 1]))),
+        )
+    }
+
+    #[test]
+    fn counting_metrics() {
+        let p = sample_plan();
+        assert_eq!(p.node_count(), 5);
+        assert_eq!(p.split_count(), 2);
+        assert_eq!(p.depth(), 3);
+        assert_eq!(Plan::pass().node_count(), 1);
+        assert_eq!(Plan::pass().split_count(), 0);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let p = sample_plan();
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), p.wire_size());
+        let back = Plan::decode(&bytes).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn wire_rejects_garbage() {
+        assert!(matches!(Plan::decode(&[]), Err(Error::BadWireFormat { .. })));
+        assert!(matches!(Plan::decode(&[0x07]), Err(Error::BadWireFormat { .. })));
+        assert!(matches!(Plan::decode(&[0x03, 0x00]), Err(Error::BadWireFormat { .. })));
+        // trailing bytes
+        assert!(matches!(Plan::decode(&[0x01, 0x01]), Err(Error::BadWireFormat { .. })));
+        // truncated seq body
+        assert!(matches!(Plan::decode(&[0x02, 0x03, 0x01]), Err(Error::BadWireFormat { .. })));
+    }
+
+    #[test]
+    fn simplify_collapses_identical_siblings() {
+        // A split whose branches agree is pointless.
+        let p = Plan::split(
+            1,
+            3,
+            Plan::split(0, 2, Plan::fail(), Plan::pass()),
+            Plan::split(0, 2, Plan::fail(), Plan::pass()),
+        );
+        let s = p.simplify();
+        assert_eq!(s, Plan::split(0, 2, Plan::fail(), Plan::pass()));
+        assert!(s.wire_size() < p.wire_size());
+        // Simplification cascades bottom-up.
+        let p2 = Plan::split(2, 1, Plan::split(0, 1, Plan::pass(), Plan::pass()), Plan::pass());
+        assert_eq!(p2.simplify(), Plan::pass());
+        // Useful splits survive.
+        let keep = Plan::split(0, 2, Plan::fail(), Plan::pass());
+        assert_eq!(keep.simplify(), keep);
+    }
+
+    #[test]
+    fn leaf_iteration() {
+        let p = sample_plan();
+        let mut leaves = 0;
+        p.for_each_leaf(&mut |_| leaves += 1);
+        assert_eq!(leaves, 3);
+    }
+
+    #[test]
+    fn pretty_mentions_names() {
+        let schema = crate::attr::Schema::new(vec![
+            Attribute::new("temp", 16, 100.0),
+            Attribute::new("light", 16, 100.0),
+            Attribute::new("hour", 24, 1.0),
+        ])
+        .unwrap();
+        let q = Query::new(vec![Pred::in_range(0, 0, 7), Pred::not_in_range(1, 3, 9)]).unwrap();
+        let text = sample_plan().pretty(&schema, &q);
+        assert!(text.contains("if hour < 12:"));
+        assert!(text.contains("NOT(3 <= light <= 9)"));
+        assert!(text.contains("REJECT"));
+    }
+}

@@ -1,0 +1,488 @@
+//! The optimal conditional planner — Fig. 5's `EXHAUSTIVEPLAN`.
+//!
+//! A depth-first dynamic program over range subproblems
+//! `Subproblem(φ, R_1, …, R_n)`:
+//!
+//! * **Base cases** — the ranges alone determine `φ` (leaf `Decided`),
+//!   or every query attribute has already been acquired (leaf `Seq` over
+//!   the undecided predicates, which costs nothing at runtime because
+//!   their attributes are in hand).
+//! * **Recursive case** — try every candidate conditioning predicate
+//!   `T(X_i ≥ x)` allowed by the split grid, recursing into the two
+//!   induced subproblems, weighting by `P(X_i ∈ [a, x−1] | R_1…R_n)`
+//!   (Eq. 5).
+//! * **Memoization** — optimal results are cached by range vector;
+//!   results obtained under a pruning bound are *not* cached, exactly as
+//!   the paper's pseudo-code notes.
+//! * **Pruning** — a branch is abandoned as soon as its partial cost
+//!   reaches the best cost found so far. Unlike the paper's pseudo-code,
+//!   which hands the *un-normalized* remaining budget to recursive calls,
+//!   we divide the remaining budget by the branch probability
+//!   (`(bound − acc) / p`), which keeps the bound sound: a pruned child
+//!   provably cannot be part of a better plan.
+//!
+//! The worst-case complexity is exponential in the number of attributes
+//! (the problem is #P-hard, Thm 3.1), so a `max_subproblems` budget
+//! bounds the effort: past the budget, remaining subproblems are closed
+//! with greedy sequential leaves (the result degrades gracefully toward
+//! the heuristic planner instead of running forever).
+
+use std::collections::HashMap;
+
+use crate::attr::Schema;
+use crate::error::Result;
+use crate::plan::{Plan, SeqOrder};
+use crate::prob::Estimator;
+use crate::query::Query;
+use crate::range::{Range, Ranges};
+
+use super::seq::SeqPlanner;
+use super::spsf::SplitGrid;
+
+/// The exhaustive dynamic-programming planner of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct ExhaustivePlanner {
+    grid: Option<SplitGrid>,
+    max_subproblems: usize,
+    cost_model: crate::costmodel::CostModel,
+}
+
+impl Default for ExhaustivePlanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExhaustivePlanner {
+    /// Planner over the unrestricted split grid (every cut of every
+    /// attribute) with a default effort budget.
+    pub fn new() -> Self {
+        ExhaustivePlanner {
+            grid: None,
+            max_subproblems: 2_000_000,
+            cost_model: crate::costmodel::CostModel::PerAttribute,
+        }
+    }
+
+    /// Planner restricted to the given candidate split grid (§4.3).
+    pub fn with_grid(grid: SplitGrid) -> Self {
+        ExhaustivePlanner { grid: Some(grid), ..Self::new() }
+    }
+
+    /// Uses order-dependent acquisition costs (§7 "Complex acquisition
+    /// costs"), e.g. shared-board power-ups.
+    pub fn with_cost_model(mut self, model: crate::costmodel::CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Sets the subproblem budget; past it, open subproblems are closed
+    /// with greedy sequential leaves.
+    pub fn max_subproblems(mut self, n: usize) -> Self {
+        self.max_subproblems = n;
+        self
+    }
+
+    /// Finds the minimum expected-cost conditional plan.
+    pub fn plan<E: Estimator>(&self, schema: &Schema, query: &Query, est: &E) -> Result<Plan> {
+        self.plan_with_cost(schema, query, est).map(|(p, _)| p)
+    }
+
+    /// Like [`ExhaustivePlanner::plan`], also returning the model-expected cost.
+    pub fn plan_with_cost<E: Estimator>(
+        &self,
+        schema: &Schema,
+        query: &Query,
+        est: &E,
+    ) -> Result<(Plan, f64)> {
+        let grid = match &self.grid {
+            Some(g) => g.clone(),
+            None => SplitGrid::all(schema),
+        };
+        let mut search = Search {
+            schema,
+            query,
+            est,
+            grid,
+            memo: HashMap::new(),
+            lb_memo: HashMap::new(),
+            seq: SeqPlanner::greedy().with_cost_model(self.cost_model.clone()),
+            model: self.cost_model.clone(),
+            budget: self.max_subproblems,
+            used: 0,
+        };
+        let root = est.root();
+        let (cost, plan) = search
+            .solve(&root, f64::INFINITY)?
+            .expect("unbounded search always yields a plan");
+        Ok((plan, cost))
+    }
+
+    /// Number of memoized subproblems the last call would create — not
+    /// tracked across calls; exposed for the scalability bench via
+    /// [`ExhaustivePlanner::plan_with_stats`].
+    pub fn plan_with_stats<E: Estimator>(
+        &self,
+        schema: &Schema,
+        query: &Query,
+        est: &E,
+    ) -> Result<(Plan, f64, usize)> {
+        let grid = match &self.grid {
+            Some(g) => g.clone(),
+            None => SplitGrid::all(schema),
+        };
+        let mut search = Search {
+            schema,
+            query,
+            est,
+            grid,
+            memo: HashMap::new(),
+            lb_memo: HashMap::new(),
+            seq: SeqPlanner::greedy().with_cost_model(self.cost_model.clone()),
+            model: self.cost_model.clone(),
+            budget: self.max_subproblems,
+            used: 0,
+        };
+        let root = est.root();
+        let (cost, plan) = search
+            .solve(&root, f64::INFINITY)?
+            .expect("unbounded search always yields a plan");
+        Ok((plan, cost, search.used))
+    }
+}
+
+struct Search<'a, E: Estimator> {
+    schema: &'a Schema,
+    query: &'a Query,
+    est: &'a E,
+    grid: SplitGrid,
+    memo: HashMap<Ranges, (f64, Plan)>,
+    /// Proven lower bounds for subproblems that were pruned: a prior
+    /// `solve(…, bound)` returning `None` proves `opt ≥ bound`, so later
+    /// visits with an equal-or-smaller bound can return immediately
+    /// instead of re-exploring.
+    lb_memo: HashMap<Ranges, f64>,
+    seq: SeqPlanner,
+    model: crate::costmodel::CostModel,
+    budget: usize,
+    used: usize,
+}
+
+impl<E: Estimator> Search<'_, E> {
+    /// Returns `Ok(None)` when every plan for this subproblem provably
+    /// costs at least `bound`; otherwise the optimal `(cost, plan)`.
+    fn solve(&mut self, ctx: &E::Ctx, bound: f64) -> Result<Option<(f64, Plan)>> {
+        let ranges = self.est.ranges(ctx).clone();
+
+        // Base case 1: ranges decide the query.
+        if let Some(b) = self.query.truth_given(&ranges) {
+            return Ok(Some((0.0, Plan::Decided(b))));
+        }
+        // Base case 2: every query attribute acquired — the residual
+        // predicates evaluate for free on values already in hand.
+        if self
+            .query
+            .preds()
+            .iter()
+            .all(|p| !ranges.attr_unacquired(self.schema, p.attr()))
+        {
+            let order = self.query.undecided(&ranges);
+            return Ok(Some((0.0, Plan::Seq(SeqOrder::new(order)))));
+        }
+        if let Some((c, p)) = self.memo.get(&ranges) {
+            return Ok(Some((*c, p.clone())));
+        }
+        if let Some(&lb) = self.lb_memo.get(&ranges) {
+            if lb >= bound {
+                return Ok(None);
+            }
+        }
+
+        self.used += 1;
+        if self.used > self.budget {
+            // Effort budget exhausted: close this subproblem with a
+            // greedy sequential leaf. Not cached (it is not optimal).
+            let (cost, plan) = self.seq_leaf(ctx, &ranges)?;
+            return Ok(Some((cost, plan)));
+        }
+
+        // Branch-and-bound incumbent: a sequential leaf is itself a valid
+        // plan for this subproblem (it is expressible as a chain of
+        // splits at predicate endpoints), so its cost is a sound initial
+        // upper bound. This is the "more elaborate pruning" §3.2 alludes
+        // to, and it shrinks the explored space by orders of magnitude.
+        let (seq_cost, seq_plan) = self.seq_leaf(ctx, &ranges)?;
+        let mut best: Option<(f64, Plan)> =
+            if seq_cost < bound { Some((seq_cost, seq_plan)) } else { None };
+        let mut bound_local = bound.min(seq_cost);
+
+        // Try cheap conditioning attributes first: good incumbents found
+        // early make the admissible lower-bound pruning below bite.
+        let mask = crate::costmodel::acquired_mask(self.schema, &ranges);
+        let mut attr_order: Vec<usize> = (0..self.schema.len())
+            .filter(|&a| !ranges.get(a).is_point())
+            .collect();
+        attr_order.sort_by(|&a, &b| {
+            self.model
+                .cost(self.schema, a, mask)
+                .partial_cmp(&self.model.cost(self.schema, b, mask))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+
+        for attr in attr_order {
+            let r = ranges.get(attr);
+            let c0 = self.model.cost(self.schema, attr, mask);
+            if c0 >= bound_local {
+                continue;
+            }
+            let mut hist: Option<Vec<f64>> = None;
+            let cuts: Vec<u16> = self.grid.cuts_in(attr, r).collect();
+            for cut in cuts {
+                let h = hist.get_or_insert_with(|| self.est.hist(ctx, attr));
+                let p_lo: f64 =
+                    h[usize::from(r.lo())..usize::from(cut)].iter().sum::<f64>().clamp(0.0, 1.0);
+                let p_hi = 1.0 - p_lo;
+                let lo_ranges = ranges.with(attr, Range::new(r.lo(), cut - 1));
+                let hi_ranges = ranges.with(attr, Range::new(cut, r.hi()));
+                // Admissible lower bounds: every completion path of a
+                // subproblem with an undecided predicate must acquire at
+                // least its cheapest undecided predicate attribute.
+                let lb_lo = self.lower_bound(&lo_ranges);
+                let lb_hi = self.lower_bound(&hi_ranges);
+                let mut acc = c0;
+                if acc + p_lo * lb_lo + p_hi * lb_hi >= bound_local {
+                    continue;
+                }
+
+                let lo_plan;
+                if p_lo > 0.0 {
+                    let child = self.est.refine(ctx, attr, Range::new(r.lo(), cut - 1));
+                    let child_bound = (bound_local - acc - p_hi * lb_hi) / p_lo;
+                    match self.solve(&child, child_bound)? {
+                        None => continue,
+                        Some((c, p)) => {
+                            acc += p_lo * c;
+                            lo_plan = p;
+                        }
+                    }
+                } else {
+                    // Zero-mass branch (a "grayed out" region): still
+                    // needs a valid plan in case the test distribution
+                    // reaches it.
+                    lo_plan = self.zero_mass_leaf(&lo_ranges);
+                }
+                if acc + p_hi * lb_hi >= bound_local {
+                    continue;
+                }
+
+                let hi_plan;
+                if p_hi > 0.0 {
+                    let child = self.est.refine(ctx, attr, Range::new(cut, r.hi()));
+                    match self.solve(&child, (bound_local - acc) / p_hi)? {
+                        None => continue,
+                        Some((c, p)) => {
+                            acc += p_hi * c;
+                            hi_plan = p;
+                        }
+                    }
+                } else {
+                    hi_plan = self.zero_mass_leaf(&hi_ranges);
+                }
+                if acc < bound_local {
+                    bound_local = acc;
+                    best = Some((acc, Plan::split(attr, cut, lo_plan, hi_plan)));
+                }
+            }
+        }
+
+        match best {
+            Some((c, p)) => {
+                // `best` beat the caller's bound, so pruning never
+                // removed a cheaper candidate: this is the optimum and
+                // may be cached (Fig. 5 caches exactly in this case).
+                self.memo.insert(ranges, (c, p.clone()));
+                Ok(Some((c, p)))
+            }
+            None => {
+                // Nothing under `bound` exists: record the proof so a
+                // revisit with the same or smaller bound is free.
+                let slot = self.lb_memo.entry(ranges).or_insert(f64::NEG_INFINITY);
+                *slot = slot.max(bound);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Admissible lower bound on the optimal completion cost of a
+    /// subproblem: unless the ranges already decide `φ`, every path to a
+    /// decided leaf must acquire at least the cheapest attribute of an
+    /// undecided predicate.
+    fn lower_bound(&self, ranges: &Ranges) -> f64 {
+        if self.query.truth_given(ranges).is_some() {
+            return 0.0;
+        }
+        let mask = crate::costmodel::acquired_mask(self.schema, ranges);
+        let lb = self
+            .query
+            .preds()
+            .iter()
+            .filter(|p| p.truth_given(ranges.get(p.attr())).is_none())
+            .map(|p| self.model.min_cost(self.schema, p.attr(), mask))
+            .fold(f64::INFINITY, f64::min);
+        if lb.is_finite() {
+            lb
+        } else {
+            0.0
+        }
+    }
+
+    fn seq_leaf(&self, ctx: &E::Ctx, ranges: &Ranges) -> Result<(f64, Plan)> {
+        let table = self.est.truth_table(ctx, self.query);
+        let (order, cost) = self.seq.order_for(self.schema, self.query, ranges, &table)?;
+        Ok((cost, Plan::Seq(SeqOrder::new(order))))
+    }
+
+    fn zero_mass_leaf(&self, ranges: &Ranges) -> Plan {
+        match self.query.truth_given(ranges) {
+            Some(b) => Plan::Decided(b),
+            None => Plan::Seq(SeqOrder::new(self.query.undecided(ranges))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::cost::measure;
+    use crate::dataset::Dataset;
+    use crate::prob::CountingEstimator;
+    use crate::query::Pred;
+
+    /// The motivating example of §2.1 / Fig. 2: temp and light predicates
+    /// with selectivity 1/2 each, costs 1; an extra free "time" attribute
+    /// skews selectivities to 1/10 by day/night. The conditional plan
+    /// must cost ~1.1 versus 1.5 sequential.
+    #[test]
+    fn fig2_motivating_example() {
+        let schema = Schema::new(vec![
+            Attribute::new("temp", 2, 1.0),  // bit: temp > 20C
+            Attribute::new("light", 2, 1.0), // bit: light < 100 lux
+            Attribute::new("time", 2, 0.0),  // 0 = night, 1 = day; free
+        ])
+        .unwrap();
+        // Night: P(temp-pred)=1/10, P(light-pred)=9/10.
+        // Day:   P(temp-pred)=9/10, P(light-pred)=1/10.
+        // Marginals are 1/2 each. Encode with 20 rows (10 night, 10 day).
+        let mut rows = Vec::new();
+        for i in 0..10u16 {
+            rows.push(vec![u16::from(i < 1), u16::from(i < 9), 0]); // night
+            rows.push(vec![u16::from(i < 9), u16::from(i < 1), 1]); // day
+        }
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query =
+            Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)]).unwrap();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let (plan, cost) = ExhaustivePlanner::new()
+            .plan_with_cost(&schema, &query, &est)
+            .unwrap();
+        // Expected: observe time (free); at night evaluate temp first
+        // (cost 1 + 1/10·1 = 1.1), by day light first (1.1). Total 1.1.
+        assert!((cost - 1.1).abs() < 1e-9, "cost {cost}");
+        let rep = measure(&plan, &query, &schema, &data);
+        assert!(rep.all_correct);
+        assert!((rep.mean_cost - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_cost_matches_measured_cost_on_training_data() {
+        // With a counting estimator, the model expectation *is* the
+        // empirical mean on the training set.
+        let schema = Schema::new(vec![
+            Attribute::new("a", 4, 7.0),
+            Attribute::new("b", 4, 3.0),
+            Attribute::new("t", 4, 0.5),
+        ])
+        .unwrap();
+        let mut x = 42u64;
+        let mut rng = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) % 4) as u16
+        };
+        let rows: Vec<Vec<u16>> = (0..200)
+            .map(|_| {
+                let t = rng();
+                vec![(t + rng() % 2) % 4, (3 - t + rng() % 2) % 4, t]
+            })
+            .collect();
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query =
+            Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 2, 3)]).unwrap();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let (plan, cost) = ExhaustivePlanner::new()
+            .plan_with_cost(&schema, &query, &est)
+            .unwrap();
+        let rep = measure(&plan, &query, &schema, &data);
+        assert!(rep.all_correct);
+        assert!(
+            (cost - rep.mean_cost).abs() < 1e-9,
+            "model {cost} vs measured {}",
+            rep.mean_cost
+        );
+    }
+
+    #[test]
+    fn never_worse_than_optimal_sequential() {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 3, 5.0),
+            Attribute::new("b", 3, 5.0),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<u16>> =
+            (0..27).map(|i| vec![i % 3, (i / 3) % 3]).collect();
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query =
+            Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 1, 2)]).unwrap();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let (_, ex) = ExhaustivePlanner::new().plan_with_cost(&schema, &query, &est).unwrap();
+        let (_, seq) = SeqPlanner::optimal().plan_with_cost(&schema, &query, &est).unwrap();
+        assert!(ex <= seq + 1e-9, "exhaustive {ex} > optseq {seq}");
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_gracefully() {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 8, 5.0),
+            Attribute::new("b", 8, 5.0),
+            Attribute::new("c", 8, 1.0),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<u16>> = (0..64).map(|i| vec![i % 8, (i / 8) % 8, i % 8]).collect();
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query =
+            Query::new(vec![Pred::in_range(0, 2, 5), Pred::in_range(1, 0, 3)]).unwrap();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let planner = ExhaustivePlanner::new().max_subproblems(3);
+        let (plan, _) = planner.plan_with_cost(&schema, &query, &est).unwrap();
+        let rep = measure(&plan, &query, &schema, &data);
+        assert!(rep.all_correct, "budget fallback must stay correct");
+    }
+
+    #[test]
+    fn coarse_grid_dead_end_still_correct() {
+        let schema = Schema::new(vec![Attribute::new("a", 16, 5.0)]).unwrap();
+        let rows: Vec<Vec<u16>> = (0..16).map(|i| vec![i]).collect();
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        // Grid with zero candidate cuts: the planner must fall back to a
+        // sequential leaf at the root.
+        let grid = SplitGrid::per_attr(&schema, &[0]);
+        let query = Query::new(vec![Pred::in_range(0, 3, 9)]).unwrap();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let (plan, cost) =
+            ExhaustivePlanner::with_grid(grid).plan_with_cost(&schema, &query, &est).unwrap();
+        assert_eq!(plan, Plan::Seq(SeqOrder::new(vec![0])));
+        assert!((cost - 5.0).abs() < 1e-12);
+        assert!(measure(&plan, &query, &schema, &data).all_correct);
+    }
+}

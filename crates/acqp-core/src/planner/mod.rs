@@ -1,0 +1,67 @@
+//! Plan-search algorithms.
+//!
+//! * [`SeqPlanner`] — sequential (non-branching) plans: `Naive`
+//!   (§4.1.1), optimal `OptSeq` (§4.1.2) and `GreedySeq` (§4.1.3).
+//! * [`ExhaustivePlanner`] — the optimal conditional planner of Fig. 5:
+//!   depth-first dynamic programming over range subproblems with
+//!   memoization and cost-bound pruning.
+//! * [`GreedyPlanner`] — the polynomial heuristic of Figs. 6–7: locally
+//!   optimal binary splits expanded off a priority queue, bounded by a
+//!   maximum number of splits.
+//! * [`SplitGrid`] — candidate split-point restriction (§4.3), measured
+//!   by the Split Point Selection Factor (SPSF).
+//! * [`enumerate_plans`] — brute-force enumeration of all conditional
+//!   plans for tiny instances (the Fig. 3 example).
+
+mod enumerate;
+mod exhaustive;
+mod greedy;
+mod seq;
+mod spsf;
+
+pub use enumerate::{enumerate_plans, full_tree_count, EnumeratedPlans};
+pub use exhaustive::ExhaustivePlanner;
+pub use greedy::GreedyPlanner;
+pub use seq::{NaivePlanner, SeqAlgorithm, SeqPlanner};
+pub use spsf::SplitGrid;
+
+/// A totally ordered f64 for priority queues; NaNs compare smallest so a
+/// NaN priority can never displace a finite one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or_else(|| {
+            // Treat NaN as -inf.
+            match (self.0.is_nan(), other.0.is_nan()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Less,
+                (false, true) => std::cmp::Ordering::Greater,
+                (false, false) => unreachable!(),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::OrdF64;
+
+    #[test]
+    fn ordf64_orders() {
+        let mut v = [OrdF64(2.0), OrdF64(f64::NAN), OrdF64(-1.0), OrdF64(0.5)];
+        v.sort();
+        assert!(v[0].0.is_nan());
+        assert_eq!(v[1].0, -1.0);
+        assert_eq!(v[3].0, 2.0);
+    }
+}

@@ -1,0 +1,478 @@
+//! Sequential (non-branching) plans — §4.1.
+//!
+//! A sequential plan fixes one order over the query predicates and
+//! evaluates them with early termination; it never uses conditioning
+//! splits. Three ordering algorithms are provided:
+//!
+//! * **Naive** (§4.1.1) — rank predicates by `cost / (1 − selectivity)`
+//!   using *marginal* selectivities only, as traditional optimizers do.
+//!   Correlations are ignored, which is exactly the weakness conditional
+//!   plans exploit.
+//! * **GreedySeq** (§4.1.3, Munagala et al.) — repeatedly pick the
+//!   predicate minimizing `C_j / (1 − p_j)`, where `p_j` conditions on
+//!   every predicate already chosen having been *satisfied*. Known to be
+//!   4-approximate.
+//! * **OptSeq** (§4.1.2) — the optimal sequential order, computed by a
+//!   dynamic program over subsets of satisfied predicates in
+//!   `O(m · 2^m)` after rediscretizing each query attribute to its
+//!   predicate's truth value.
+
+use crate::attr::{AttrId, Schema};
+use crate::costmodel::{acquired_mask, CostModel};
+use crate::error::{Error, Result};
+use crate::plan::{Plan, SeqOrder};
+use crate::prob::{Estimator, TruthTable};
+use crate::query::Query;
+use crate::range::Ranges;
+
+/// Hard cap on `m` for the `O(m·2^m)` optimal-sequential DP.
+pub const OPTSEQ_MAX_PREDS: usize = 20;
+
+/// How a sequential order is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqAlgorithm {
+    /// Traditional `cost / (1 − selectivity)` ranking on marginals.
+    Naive,
+    /// Munagala et al.'s correlation-aware greedy (4-approximate).
+    Greedy,
+    /// Exact subset DP; errors when more than [`OPTSEQ_MAX_PREDS`]
+    /// predicates are undecided.
+    Optimal,
+    /// `Optimal` when few enough predicates are undecided, `Greedy`
+    /// otherwise — matching the paper's practice of using `OptSeq` on the
+    /// Lab dataset and `GreedySeq` on Garden/synthetic.
+    Auto,
+}
+
+/// Threshold below which [`SeqAlgorithm::Auto`] uses the exact DP.
+const AUTO_OPT_LIMIT: usize = 12;
+
+/// Plans sequential predicate orders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqPlanner {
+    algo: SeqAlgorithm,
+    cost_model: CostModel,
+}
+
+impl SeqPlanner {
+    /// Creates a planner with the given ordering algorithm.
+    pub fn new(algo: SeqAlgorithm) -> Self {
+        SeqPlanner { algo, cost_model: CostModel::PerAttribute }
+    }
+
+    /// Uses order-dependent acquisition costs (§7 "Complex acquisition
+    /// costs") — e.g. shared-board power-ups that make clustering
+    /// same-board predicates cheaper.
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// §4.1.1's traditional optimizer.
+    pub fn naive() -> Self {
+        Self::new(SeqAlgorithm::Naive)
+    }
+
+    /// §4.1.3's correlation-aware greedy.
+    pub fn greedy() -> Self {
+        Self::new(SeqAlgorithm::Greedy)
+    }
+
+    /// §4.1.2's optimal sequential DP.
+    pub fn optimal() -> Self {
+        Self::new(SeqAlgorithm::Optimal)
+    }
+
+    /// Optimal for small queries, greedy for large ones.
+    pub fn auto() -> Self {
+        Self::new(SeqAlgorithm::Auto)
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> SeqAlgorithm {
+        self.algo
+    }
+
+    /// Produces a whole-query sequential [`Plan`].
+    pub fn plan<E: Estimator>(&self, schema: &Schema, query: &Query, est: &E) -> Result<Plan> {
+        self.plan_with_cost(schema, query, est).map(|(p, _)| p)
+    }
+
+    /// Produces the plan together with its model-expected cost.
+    pub fn plan_with_cost<E: Estimator>(
+        &self,
+        schema: &Schema,
+        query: &Query,
+        est: &E,
+    ) -> Result<(Plan, f64)> {
+        let ctx = est.root();
+        let ranges = est.ranges(&ctx);
+        if let Some(b) = query.truth_given(ranges) {
+            return Ok((Plan::Decided(b), 0.0));
+        }
+        let table = est.truth_table(&ctx, query);
+        let (order, cost) = self.order_for(schema, query, ranges, &table)?;
+        Ok((Plan::Seq(SeqOrder::new(order)), cost))
+    }
+
+    /// Chooses an order over the predicates still undecided under
+    /// `ranges`, and returns it with its expected cost. `table` must be
+    /// the truth distribution conditioned on `ranges`.
+    ///
+    /// This is the `OPTSEQUENTIAL` subroutine of Figs. 6–7 (with the
+    /// algorithm pluggable).
+    pub fn order_for(
+        &self,
+        schema: &Schema,
+        query: &Query,
+        ranges: &Ranges,
+        table: &TruthTable,
+    ) -> Result<(Vec<usize>, f64)> {
+        let undecided = query.undecided(ranges);
+        if undecided.is_empty() {
+            return Ok((Vec::new(), 0.0));
+        }
+        // Attributes already acquired by conditioning splits above (their
+        // ranges were narrowed); predicates over them evaluate for free.
+        let initial = acquired_mask(schema, ranges);
+        let attr_of: Vec<AttrId> = query.preds().iter().map(|p| p.attr()).collect();
+        let env = SeqEnv { schema, model: &self.cost_model, attr_of: &attr_of, initial };
+        let algo = match self.algo {
+            SeqAlgorithm::Auto if undecided.len() <= AUTO_OPT_LIMIT => SeqAlgorithm::Optimal,
+            SeqAlgorithm::Auto => SeqAlgorithm::Greedy,
+            a => a,
+        };
+        let order = match algo {
+            SeqAlgorithm::Naive => naive_order(&undecided, &env, table),
+            SeqAlgorithm::Greedy => greedy_order(&undecided, &env, table),
+            SeqAlgorithm::Optimal => optimal_order(&undecided, &env, table)?,
+            SeqAlgorithm::Auto => unreachable!(),
+        };
+        let cost =
+            table.seq_cost_model(&order, &attr_of, schema, &self.cost_model, initial);
+        Ok((order, cost))
+    }
+}
+
+/// Shared context for the ordering algorithms: schema, cost model,
+/// predicate→attribute map and the initially-acquired attribute set.
+struct SeqEnv<'a> {
+    schema: &'a Schema,
+    model: &'a CostModel,
+    attr_of: &'a [AttrId],
+    initial: u64,
+}
+
+impl SeqEnv<'_> {
+    /// Acquisition cost of predicate `j` once the predicates in `done`
+    /// (by index) have been evaluated.
+    fn cost(&self, j: usize, done_attrs: u64) -> f64 {
+        self.model.cost(self.schema, self.attr_of[j], self.initial | done_attrs)
+    }
+
+    fn attr_bit(&self, j: usize) -> u64 {
+        1u64 << self.attr_of[j]
+    }
+}
+
+/// The `Naive` whole-query planner of §4.1.1, as its own type for
+/// discoverability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaivePlanner;
+
+impl NaivePlanner {
+    /// Plans with the traditional `cost / (1 − selectivity)` rule.
+    pub fn plan<E: Estimator>(schema: &Schema, query: &Query, est: &E) -> Result<Plan> {
+        SeqPlanner::naive().plan(schema, query, est)
+    }
+}
+
+/// Rank = `cost / (1 − selectivity)` on marginals, ascending; ties by
+/// predicate index for determinism. Costs are taken at the start state
+/// (a traditional optimizer does not model order-dependence either).
+fn naive_order(undecided: &[usize], env: &SeqEnv<'_>, table: &TruthTable) -> Vec<usize> {
+    let mut order = undecided.to_vec();
+    let rank = |j: usize| {
+        let p_true = table.marginal(j);
+        let denom = 1.0 - p_true;
+        if denom <= 0.0 {
+            f64::INFINITY
+        } else {
+            env.cost(j, 0) / denom
+        }
+    };
+    order.sort_by(|&a, &b| {
+        rank(a).partial_cmp(&rank(b)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    order
+}
+
+/// Munagala et al.'s greedy: repeatedly take `argmin_j C_j / (1 − p_j)`
+/// with `p_j = P(φ_j | all chosen predicates satisfied)` and `C_j` the
+/// cost-model price given everything acquired so far.
+fn greedy_order(undecided: &[usize], env: &SeqEnv<'_>, table: &TruthTable) -> Vec<usize> {
+    let mut remaining = undecided.to_vec();
+    let mut order = Vec::with_capacity(remaining.len());
+    let mut satisfied: u64 = 0;
+    let mut done_attrs: u64 = 0;
+    while !remaining.is_empty() {
+        let mut best = 0usize;
+        let mut best_rank = f64::INFINITY;
+        let mut best_cost = f64::INFINITY;
+        for (idx, &j) in remaining.iter().enumerate() {
+            let p = table.cond_prob(j, satisfied);
+            let denom = 1.0 - p;
+            let c = env.cost(j, done_attrs);
+            let rank = if denom <= 0.0 { f64::INFINITY } else { c / denom };
+            // Primary: minimize rank; among all-infinite ranks (predicates
+            // that never fail) prefer the cheapest; final tie on index.
+            let better = rank < best_rank
+                || (rank == best_rank && c < best_cost)
+                || (rank == best_rank && c == best_cost && j < remaining[best]);
+            if idx == 0 || better {
+                best = idx;
+                best_rank = rank;
+                best_cost = c;
+            }
+        }
+        let j = remaining.swap_remove(best);
+        satisfied |= 1 << j;
+        done_attrs |= env.attr_bit(j);
+        order.push(j);
+    }
+    order
+}
+
+/// Exact DP over subsets of satisfied predicates (§4.1.2).
+///
+/// `J(S) = min_{j∉S} C_j + P(φ_j | S) · J(S ∪ {j})`, `J(full) = 0`;
+/// probabilities come from superset sums of the truth table projected
+/// onto the undecided predicates.
+fn optimal_order(
+    undecided: &[usize],
+    env: &SeqEnv<'_>,
+    table: &TruthTable,
+) -> Result<Vec<usize>> {
+    let u = undecided.len();
+    if u > OPTSEQ_MAX_PREDS {
+        return Err(Error::TooManyPredicates { m: u, max: OPTSEQ_MAX_PREDS });
+    }
+    let proj = table.project(undecided);
+    let g = proj.superset_weights();
+    let full = (1usize << u) - 1;
+    let mut value = vec![0.0f64; full + 1];
+    let mut choice = vec![usize::MAX; full + 1];
+    // Attribute mask of a satisfied-predicate subset: the state's
+    // acquired set is determined by which predicates were evaluated.
+    let attrs_of = |s: usize| -> u64 {
+        undecided
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| s & (1 << j) != 0)
+            .fold(0u64, |m, (_, &pred)| m | (1u64 << env.attr_of[pred]))
+    };
+    // Iterate S descending: S | bit > S numerically, so supersets are done.
+    for s in (0..full).rev() {
+        if g[s] <= 0.0 {
+            // Unreachable state; value irrelevant.
+            continue;
+        }
+        let done_attrs = attrs_of(s);
+        let mut best = f64::INFINITY;
+        let mut best_j = usize::MAX;
+        for (j, &pred) in undecided.iter().enumerate() {
+            let bit = 1usize << j;
+            if s & bit != 0 {
+                continue;
+            }
+            let p = g[s | bit] / g[s];
+            let c = env.cost(pred, done_attrs) + p * value[s | bit];
+            if c < best {
+                best = c;
+                best_j = j;
+            }
+        }
+        value[s] = best;
+        choice[s] = best_j;
+    }
+    // Reconstruct the order from the empty set.
+    let mut order = Vec::with_capacity(u);
+    let mut s = 0usize;
+    while s != full {
+        let j = choice[s];
+        if j == usize::MAX {
+            // Zero-support state (probability-0 under the model): append
+            // the remaining predicates in index order.
+            order.extend(
+                undecided.iter().enumerate().filter(|(j, _)| s & (1 << j) == 0).map(|(_, &p)| p),
+            );
+            break;
+        }
+        order.push(undecided[j]);
+        s |= 1 << j;
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::dataset::Dataset;
+    use crate::prob::CountingEstimator;
+    use crate::query::Pred;
+
+    /// Schema: two expensive attrs (a: 10, b: 40) over domain {0,1}.
+    fn schema2() -> Schema {
+        Schema::new(vec![
+            Attribute::new("a", 2, 10.0),
+            Attribute::new("b", 2, 40.0),
+        ])
+        .unwrap()
+    }
+
+    /// a=1 in half the rows; b=1 in a quarter; independent.
+    fn data2(schema: &Schema) -> Dataset {
+        let mut rows = Vec::new();
+        for i in 0..8u16 {
+            rows.push(vec![i % 2, u16::from(i % 4 == 0)]);
+        }
+        Dataset::from_rows(schema, rows).unwrap()
+    }
+
+    fn query2() -> Query {
+        Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)]).unwrap()
+    }
+
+    #[test]
+    fn naive_orders_by_rank() {
+        let s = schema2();
+        let d = data2(&s);
+        let est = CountingEstimator::with_ranges(&d, Ranges::root(&s));
+        let (plan, cost) = SeqPlanner::naive().plan_with_cost(&s, &query2(), &est).unwrap();
+        // rank(a) = 10/(1-0.5) = 20; rank(b) = 40/(1-0.25) = 53.3 -> a first.
+        match &plan {
+            Plan::Seq(o) => assert_eq!(o.order, vec![0, 1]),
+            _ => panic!("expected Seq"),
+        }
+        // cost = 10 + P(a=1)*40 = 10 + 20 = 30.
+        assert!((cost - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_beats_or_ties_other_orders() {
+        let s = schema2();
+        let d = data2(&s);
+        let est = CountingEstimator::with_ranges(&d, Ranges::root(&s));
+        let q = query2();
+        let (_, opt) = SeqPlanner::optimal().plan_with_cost(&s, &q, &est).unwrap();
+        // order [0,1]: 10 + 0.5*40 = 30; order [1,0]: 40 + 0.25*10 = 42.5.
+        assert!((opt - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_uses_conditionals() {
+        // Build data where b is almost always false *given* a true, so
+        // greedy flips the order relative to marginals.
+        let s = Schema::new(vec![
+            Attribute::new("a", 2, 10.0),
+            Attribute::new("b", 2, 10.0),
+        ])
+        .unwrap();
+        // Patterns: (a=1,b=0) x4, (a=0,b=1) x4 -> marginals 0.5/0.5 but
+        // P(b|a)=0.
+        let rows: Vec<Vec<u16>> =
+            (0..8).map(|i| if i % 2 == 0 { vec![1, 0] } else { vec![0, 1] }).collect();
+        let d = Dataset::from_rows(&s, rows).unwrap();
+        let est = CountingEstimator::with_ranges(&d, Ranges::root(&s));
+        let q = Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)]).unwrap();
+        let (_, cost) = SeqPlanner::greedy().plan_with_cost(&s, &q, &est).unwrap();
+        // Either order pays 10 up front and, with probability 1/2, pays
+        // another 10 to discover the (always-false) second predicate:
+        // 10 + 0.5·10 = 15. Greedy's conditionals make it match OptSeq.
+        assert!((cost - 15.0).abs() < 1e-12);
+        let (_, opt) = SeqPlanner::optimal().plan_with_cost(&s, &q, &est).unwrap();
+        assert!((cost - opt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_matches_bruteforce_on_random_instances() {
+        use std::collections::HashSet;
+        // Deterministic pseudo-random datasets; compare DP vs all m!
+        // orders.
+        let mut x = 0xdeadbeefu64;
+        let mut rng = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as u32
+        };
+        for trial in 0..20 {
+            let m = 2 + (trial % 4) as usize; // 2..=5 predicates
+            let attrs: Vec<Attribute> =
+                (0..m).map(|i| Attribute::new(format!("x{i}"), 2, f64::from(1 + rng() % 50))).collect();
+            let s = Schema::new(attrs).unwrap();
+            let rows: Vec<Vec<u16>> =
+                (0..64).map(|_| (0..m).map(|_| (rng() % 2) as u16).collect()).collect();
+            let d = Dataset::from_rows(&s, rows).unwrap();
+            let est = CountingEstimator::with_ranges(&d, Ranges::root(&s));
+            let q = Query::new((0..m).map(|i| Pred::in_range(i, 1, 1)).collect()).unwrap();
+            let ctx = est.root();
+            let table = est.truth_table(&ctx, &q);
+            let ranges = est.ranges(&ctx).clone();
+            let eff: Vec<f64> = (0..m).map(|i| s.cost(i)).collect();
+
+            let (order, dp_cost) =
+                SeqPlanner::optimal().order_for(&s, &q, &ranges, &table).unwrap();
+            assert_eq!(order.iter().copied().collect::<HashSet<_>>().len(), m);
+
+            // Brute force all permutations.
+            let mut perm: Vec<usize> = (0..m).collect();
+            let mut best = f64::INFINITY;
+            permute(&mut perm, 0, &mut |p| {
+                best = best.min(table.seq_cost(p, &eff));
+            });
+            assert!(
+                (dp_cost - best).abs() < 1e-9,
+                "trial {trial}: dp {dp_cost} vs brute {best}"
+            );
+        }
+
+        fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+            if k == v.len() {
+                f(v);
+                return;
+            }
+            for i in k..v.len() {
+                v.swap(k, i);
+                permute(v, k + 1, f);
+                v.swap(k, i);
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_rejects_huge_queries() {
+        let n = 25;
+        let attrs: Vec<Attribute> = (0..n).map(|i| Attribute::new(format!("x{i}"), 2, 1.0)).collect();
+        let s = Schema::new(attrs).unwrap();
+        let d = Dataset::from_rows(&s, vec![vec![0; n]]).unwrap();
+        let est = CountingEstimator::with_ranges(&d, Ranges::root(&s));
+        let q = Query::new((0..n).map(|i| Pred::in_range(i, 0, 0)).collect()).unwrap();
+        let err = SeqPlanner::optimal().plan_with_cost(&s, &q, &est).unwrap_err();
+        assert!(matches!(err, Error::TooManyPredicates { m: 25, .. }));
+        // Auto degrades to greedy instead of erroring.
+        assert!(SeqPlanner::auto().plan_with_cost(&s, &q, &est).is_ok());
+    }
+
+    #[test]
+    fn decided_query_yields_decided_plan() {
+        let s = schema2();
+        let d = data2(&s);
+        let est = CountingEstimator::with_ranges(&d, Ranges::root(&s));
+        // Predicate spans the whole domain -> proven true by the root
+        // ranges.
+        let q = Query::new(vec![Pred::in_range(0, 0, 1)]).unwrap();
+        let (plan, cost) = SeqPlanner::greedy().plan_with_cost(&s, &q, &est).unwrap();
+        assert_eq!(plan, Plan::Decided(true));
+        assert_eq!(cost, 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Candidate split-point restriction — §4.3.
+//!
+//! The planners only consider conditioning predicates `T(X_i ≥ x)` whose
+//! cut `x` lies on a per-attribute grid. The paper divides each domain
+//! into equal-width ranges and keeps the endpoints; the *Split Point
+//! Selection Factor* `SPSF = Π_i r_i` measures how much freedom the
+//! planner retains (`r_i` = number of candidate cuts for attribute `i`).
+//!
+//! Beyond the paper's equal-width rule, [`SplitGrid::for_query`] also
+//! injects the query's own predicate endpoints into the grid, so that
+//! "acquire the attribute and test its predicate" is always expressible
+//! as a pair of splits regardless of how coarse the grid is.
+
+use crate::attr::{AttrId, Schema};
+use crate::query::Query;
+use crate::range::Range;
+
+/// Per-attribute candidate split points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitGrid {
+    /// `cuts[a]` — sorted, deduplicated candidate cut values `x` (a cut
+    /// `x` splits a range `[a, b]` with `a < x ≤ b` into `[a, x−1]`,
+    /// `[x, b]`). Valid cuts lie in `1..K_a`.
+    cuts: Vec<Vec<u16>>,
+}
+
+impl SplitGrid {
+    /// Unrestricted grid: every cut `1..K_i` of every attribute
+    /// (SPSF = Π (K_i − 1)).
+    pub fn all(schema: &Schema) -> Self {
+        SplitGrid {
+            cuts: schema.attrs().iter().map(|a| (1..a.domain()).collect()).collect(),
+        }
+    }
+
+    /// Equal-width grid with (at most) `r` split points per attribute.
+    pub fn equal_width(schema: &Schema, r: usize) -> Self {
+        Self::per_attr(schema, &vec![r; schema.len()])
+    }
+
+    /// Equal-width grid with `rs[i]` split points for attribute `i`.
+    pub fn per_attr(schema: &Schema, rs: &[usize]) -> Self {
+        assert_eq!(rs.len(), schema.len());
+        let cuts = schema
+            .attrs()
+            .iter()
+            .zip(rs)
+            .map(|(a, &r)| {
+                let k = u32::from(a.domain());
+                let mut v: Vec<u16> = (1..=r as u32)
+                    .map(|j| ((k * j) as f64 / (r as f64 + 1.0)).round() as u32)
+                    .filter(|&c| c >= 1 && c < k)
+                    .map(|c| c as u16)
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        SplitGrid { cuts }
+    }
+
+    /// Equal-width grid augmented with the query's predicate endpoints
+    /// (`lo` and `hi+1` of each predicate), so predicates stay exactly
+    /// expressible under any SPSF.
+    pub fn for_query(schema: &Schema, query: &Query, r: usize) -> Self {
+        let mut g = Self::equal_width(schema, r);
+        for p in query.preds() {
+            let a = p.attr();
+            let k = schema.domain(a);
+            let (lo, hi) = p.bounds();
+            for c in [lo, hi.saturating_add(1)] {
+                if c >= 1 && c < k {
+                    g.cuts[a].push(c);
+                }
+            }
+            g.cuts[a].sort_unstable();
+            g.cuts[a].dedup();
+        }
+        g
+    }
+
+    /// Candidate cuts for attribute `a` that are valid inside `range`
+    /// (`range.lo < cut ≤ range.hi`).
+    pub fn cuts_in(&self, a: AttrId, range: Range) -> impl Iterator<Item = u16> + '_ {
+        let lo = range.lo();
+        let hi = range.hi();
+        self.cuts[a].iter().copied().filter(move |&c| c > lo && c <= hi)
+    }
+
+    /// Number of candidate cuts for attribute `a`.
+    pub fn num_cuts(&self, a: AttrId) -> usize {
+        self.cuts[a].len()
+    }
+
+    /// `log10` of the Split Point Selection Factor `Π_i r_i` (the raw
+    /// product overflows f64 readability for wide schemas).
+    pub fn log10_spsf(&self) -> f64 {
+        self.cuts.iter().map(|c| (c.len().max(1) as f64).log10()).sum()
+    }
+
+    /// The Split Point Selection Factor `Π_i r_i` itself (saturating).
+    pub fn spsf(&self) -> f64 {
+        self.cuts.iter().map(|c| c.len().max(1) as f64).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::query::Pred;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("a", 16, 10.0),
+            Attribute::new("b", 4, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn all_cuts() {
+        let g = SplitGrid::all(&schema());
+        assert_eq!(g.num_cuts(0), 15);
+        assert_eq!(g.num_cuts(1), 3);
+        assert_eq!(g.spsf(), 45.0);
+    }
+
+    #[test]
+    fn equal_width_counts() {
+        let g = SplitGrid::equal_width(&schema(), 3);
+        assert_eq!(g.num_cuts(0), 3);
+        // Domain 4 with r=3 -> cuts {1,2,3}.
+        assert_eq!(g.num_cuts(1), 3);
+        let g1 = SplitGrid::equal_width(&schema(), 1);
+        // Single midpoint cut.
+        assert_eq!(g1.cuts_in(0, Range::full(16)).collect::<Vec<_>>(), vec![8]);
+        assert_eq!(g1.cuts_in(1, Range::full(4)).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn equal_width_saturates_at_domain() {
+        // Asking for more points than the domain has just yields all cuts.
+        let g = SplitGrid::equal_width(&schema(), 100);
+        assert_eq!(g.num_cuts(1), 3);
+    }
+
+    #[test]
+    fn cuts_in_respects_range() {
+        let g = SplitGrid::all(&schema());
+        let cuts: Vec<u16> = g.cuts_in(0, Range::new(4, 7)).collect();
+        assert_eq!(cuts, vec![5, 6, 7]);
+        // Point ranges admit no cut.
+        assert!(g.cuts_in(0, Range::new(3, 3)).next().is_none());
+    }
+
+    #[test]
+    fn for_query_includes_endpoints() {
+        let s = schema();
+        let q = Query::new(vec![Pred::in_range(0, 3, 11)]).unwrap();
+        let g = SplitGrid::for_query(&s, &q, 1);
+        let cuts: Vec<u16> = g.cuts_in(0, Range::full(16)).collect();
+        // midpoint 8 plus endpoints 3 and 12.
+        assert_eq!(cuts, vec![3, 8, 12]);
+    }
+
+    #[test]
+    fn for_query_clamps_endpoints() {
+        let s = schema();
+        // hi+1 == K is not a valid cut; lo == 0 is not a valid cut.
+        let q = Query::new(vec![Pred::in_range(0, 0, 15)]).unwrap();
+        let g = SplitGrid::for_query(&s, &q, 0);
+        assert_eq!(g.num_cuts(0), 0);
+    }
+
+    #[test]
+    fn spsf_logs() {
+        let g = SplitGrid::equal_width(&schema(), 3);
+        assert!((g.log10_spsf() - (9.0f64).log10()).abs() < 1e-12);
+    }
+}

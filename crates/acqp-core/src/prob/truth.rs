@@ -1,0 +1,383 @@
+//! Weighted joint truth distributions over query predicates.
+//!
+//! §4.1.2 rediscretizes each query attribute `X_i` into a boolean
+//! `X'_i = [X_i satisfies φ_i]` and plans over the joint distribution
+//! `P(X'_1, …, X'_m)`. We represent that joint as a *weighted multiset of
+//! truth bitmasks*: one entry per distinct outcome pattern seen in the
+//! conditioned data (or sampled from a model), with its weight. On
+//! correlated data this is dramatically smaller than the dense `2^m`
+//! table, and every quantity the sequential planners need — prefix
+//! probabilities, greedy conditionals, the `O(m·2^m)` subset DP — reads
+//! straight off it.
+
+use std::collections::HashMap;
+
+/// Weighted multiset of predicate-truth bitmasks (bit `j` ⇔ predicate
+/// `j` holds).
+///
+/// ```
+/// use acqp_core::TruthTable;
+///
+/// // Three historical tuples over two predicates: both pass, only the
+/// // first passes, neither passes.
+/// let t = TruthTable::from_masks(2, [0b11, 0b01, 0b00]);
+/// assert_eq!(t.total(), 3.0);
+/// assert!((t.marginal(0) - 2.0 / 3.0).abs() < 1e-12);
+/// // P(pred1 | pred0) = 1/2.
+/// assert!((t.cond_prob(1, 0b01) - 0.5).abs() < 1e-12);
+/// // Expected cost of evaluating pred0 (cost 10) then pred1 (cost 4):
+/// // always pay 10, pay 4 in the 2/3 of cases where pred0 held.
+/// let c = t.seq_cost(&[0, 1], &[10.0, 4.0]);
+/// assert!((c - (10.0 + 4.0 * 2.0 / 3.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthTable {
+    m: usize,
+    masks: Vec<u64>,
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl TruthTable {
+    /// Aggregates an iterator of `(mask, weight)` pairs over `m`
+    /// predicates.
+    pub fn from_weighted(m: usize, it: impl IntoIterator<Item = (u64, f64)>) -> Self {
+        debug_assert!(m <= 64);
+        let mut agg: HashMap<u64, f64> = HashMap::new();
+        for (mask, w) in it {
+            debug_assert!(m == 64 || mask < (1u64 << m));
+            *agg.entry(mask).or_insert(0.0) += w;
+        }
+        let mut masks: Vec<u64> = agg.keys().copied().collect();
+        masks.sort_unstable();
+        let weights: Vec<f64> = masks.iter().map(|k| agg[k]).collect();
+        let total = weights.iter().sum();
+        TruthTable { m, masks, weights, total }
+    }
+
+    /// Aggregates unit-weight masks (one per historical tuple).
+    pub fn from_masks(m: usize, masks: impl IntoIterator<Item = u64>) -> Self {
+        Self::from_weighted(m, masks.into_iter().map(|k| (k, 1.0)))
+    }
+
+    /// Number of predicates.
+    pub fn num_preds(&self) -> usize {
+        self.m
+    }
+
+    /// Number of distinct truth patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Total weight (the conditioned sample mass).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// True when the table has no support.
+    pub fn is_empty(&self) -> bool {
+        self.total <= 0.0
+    }
+
+    /// `P(all predicates in `subset` are true)`.
+    pub fn prob_all(&self, subset: u64) -> f64 {
+        if self.total <= 0.0 {
+            return 0.0;
+        }
+        self.weight_superset(subset) / self.total
+    }
+
+    /// Total weight of patterns whose mask is a superset of `subset`.
+    pub fn weight_superset(&self, subset: u64) -> f64 {
+        self.masks
+            .iter()
+            .zip(&self.weights)
+            .filter(|(&mask, _)| mask & subset == subset)
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// `P(φ_j | all predicates in `given` true)`. Returns 0.5 when the
+    /// conditioning event has no support (uninformative prior; such
+    /// states are reached with probability 0 under the model anyway).
+    pub fn cond_prob(&self, j: usize, given: u64) -> f64 {
+        let g = self.weight_superset(given);
+        if g <= 0.0 {
+            return 0.5;
+        }
+        self.weight_superset(given | (1 << j)) / g
+    }
+
+    /// Expected cost of evaluating predicates in `order` sequentially
+    /// with early termination, where `eff_cost[j]` is the (effective)
+    /// acquisition cost of predicate `j`'s attribute:
+    /// `Σ_t eff_cost[o_t] · P(o_1 … o_{t−1} all true)`.
+    pub fn seq_cost(&self, order: &[usize], eff_cost: &[f64]) -> f64 {
+        if self.total <= 0.0 {
+            // No support: charge the full pessimistic order (all
+            // predicates evaluated); this only matters for zero-mass
+            // branches.
+            return order.iter().map(|&j| eff_cost[j]).sum();
+        }
+        let mut cost = 0.0;
+        let mut prefix: u64 = 0;
+        let mut survivors = self.total;
+        for &j in order {
+            cost += eff_cost[j] * (survivors / self.total);
+            prefix |= 1 << j;
+            survivors = self.weight_superset(prefix);
+            if survivors <= 0.0 {
+                break;
+            }
+        }
+        cost
+    }
+
+    /// Like [`TruthTable::seq_cost`] but with order-dependent costs from
+    /// a [`crate::costmodel::CostModel`]: `attr_of[j]` is predicate
+    /// `j`'s attribute, and `initial` the attributes already acquired
+    /// when the sequence starts. Every surviving path has acquired the
+    /// same attributes at step `t`, so the acquired mask evolves
+    /// deterministically along the order.
+    pub fn seq_cost_model(
+        &self,
+        order: &[usize],
+        attr_of: &[crate::attr::AttrId],
+        schema: &crate::attr::Schema,
+        model: &crate::costmodel::CostModel,
+        initial: u64,
+    ) -> f64 {
+        let mut acquired = initial;
+        if self.total <= 0.0 {
+            let mut cost = 0.0;
+            for &j in order {
+                cost += model.cost(schema, attr_of[j], acquired);
+                acquired |= 1 << attr_of[j];
+            }
+            return cost;
+        }
+        let mut cost = 0.0;
+        let mut prefix: u64 = 0;
+        let mut survivors = self.total;
+        for &j in order {
+            cost += model.cost(schema, attr_of[j], acquired) * (survivors / self.total);
+            acquired |= 1 << attr_of[j];
+            prefix |= 1 << j;
+            survivors = self.weight_superset(prefix);
+            if survivors <= 0.0 {
+                break;
+            }
+        }
+        cost
+    }
+
+    /// Dense superset-sum table `g[S] = Σ_{mask ⊇ S} weight(mask)` for
+    /// all `2^m` subsets, via the zeta transform. Used by the `OptSeq`
+    /// subset DP; guarded to small `m` by callers.
+    pub fn superset_weights(&self) -> Vec<f64> {
+        assert!(self.m <= 25, "superset_weights is O(m·2^m); m={} too large", self.m);
+        let size = 1usize << self.m;
+        let mut g = vec![0.0f64; size];
+        for (&mask, &w) in self.masks.iter().zip(&self.weights) {
+            g[mask as usize] += w;
+        }
+        for bit in 0..self.m {
+            let b = 1usize << bit;
+            for s in 0..size {
+                if s & b == 0 {
+                    g[s] += g[s | b];
+                }
+            }
+        }
+        g
+    }
+
+    /// Marginal probability that predicate `j` holds.
+    pub fn marginal(&self, j: usize) -> f64 {
+        self.prob_all(1 << j)
+    }
+
+    /// Iterates over `(mask, weight)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.masks.iter().copied().zip(self.weights.iter().copied())
+    }
+
+    /// Projects onto a subset of predicates: bit `i` of the projected
+    /// masks is bit `bits[i]` of the original. Used to compact a table to
+    /// the undecided predicates before the `OptSeq` subset DP.
+    pub fn project(&self, bits: &[usize]) -> TruthTable {
+        TruthTable::from_weighted(
+            bits.len(),
+            self.entries().map(|(mask, w)| {
+                let mut p = 0u64;
+                for (i, &b) in bits.iter().enumerate() {
+                    p |= ((mask >> b) & 1) << i;
+                }
+                (p, w)
+            }),
+        )
+    }
+
+    /// Per-pattern weight subtraction (`self − other`), clamped at zero.
+    /// Used to derive the high side of a split from the whole table and
+    /// the accumulated low side in one pass.
+    pub fn subtract(&self, other: &TruthTable) -> TruthTable {
+        debug_assert_eq!(self.m, other.m);
+        let mut acc = TruthAccum::new();
+        for (mask, w) in self.entries() {
+            acc.add(mask, w);
+        }
+        for (mask, w) in other.entries() {
+            acc.add(mask, -w);
+        }
+        acc.into_table(self.m)
+    }
+}
+
+/// Mutable accumulator for building [`TruthTable`]s incrementally — the
+/// prefix-merge used when sweeping split points left to right.
+#[derive(Debug, Clone, Default)]
+pub struct TruthAccum {
+    agg: HashMap<u64, f64>,
+}
+
+impl TruthAccum {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        TruthAccum { agg: HashMap::new() }
+    }
+
+    /// Adds weight `w` to pattern `mask`.
+    pub fn add(&mut self, mask: u64, w: f64) {
+        *self.agg.entry(mask).or_insert(0.0) += w;
+    }
+
+    /// Merges a whole table in.
+    pub fn add_table(&mut self, t: &TruthTable) {
+        for (mask, w) in t.entries() {
+            self.add(mask, w);
+        }
+    }
+
+    /// Snapshot as a [`TruthTable`] over `m` predicates, dropping
+    /// non-positive weights.
+    pub fn snapshot(&self, m: usize) -> TruthTable {
+        TruthTable::from_weighted(
+            m,
+            self.agg.iter().filter(|(_, &w)| w > 0.0).map(|(&k, &w)| (k, w)),
+        )
+    }
+
+    /// Consumes the accumulator into a [`TruthTable`].
+    pub fn into_table(self, m: usize) -> TruthTable {
+        self.snapshot(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Patterns: 11 (w=3), 01 (w=1), 00 (w=4) over m=2.
+    fn table() -> TruthTable {
+        TruthTable::from_weighted(2, vec![(0b11, 2.0), (0b01, 1.0), (0b00, 4.0), (0b11, 1.0)])
+    }
+
+    #[test]
+    fn aggregation_merges_duplicates() {
+        let t = table();
+        assert_eq!(t.num_patterns(), 3);
+        assert_eq!(t.total(), 8.0);
+        assert_eq!(t.num_preds(), 2);
+    }
+
+    #[test]
+    fn probabilities() {
+        let t = table();
+        assert!((t.prob_all(0b00) - 1.0).abs() < 1e-12);
+        assert!((t.prob_all(0b01) - 0.5).abs() < 1e-12); // masks 11,01 -> 4/8
+        assert!((t.prob_all(0b10) - 3.0 / 8.0).abs() < 1e-12);
+        assert!((t.prob_all(0b11) - 3.0 / 8.0).abs() < 1e-12);
+        assert!((t.marginal(0) - 0.5).abs() < 1e-12);
+        // P(pred1 | pred0) = P(11)/P(01-bit) = (3/8)/(4/8)
+        assert!((t.cond_prob(1, 0b01) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cond_prob_no_support_returns_half() {
+        let t = TruthTable::from_masks(2, vec![0b00]);
+        assert_eq!(t.cond_prob(1, 0b01), 0.5);
+    }
+
+    #[test]
+    fn seq_cost_matches_hand_computation() {
+        let t = table();
+        let costs = [10.0, 4.0];
+        // Order [0, 1]: pay 10 always; pred0 true w.p. 1/2 -> pay 4 then.
+        assert!((t.seq_cost(&[0, 1], &costs) - (10.0 + 0.5 * 4.0)).abs() < 1e-12);
+        // Order [1, 0]: pay 4 always; pred1 true w.p. 3/8 -> pay 10 then.
+        assert!((t.seq_cost(&[1, 0], &costs) - (4.0 + 3.0 / 8.0 * 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seq_cost_empty_table_is_pessimistic() {
+        let t = TruthTable::from_masks(2, Vec::<u64>::new());
+        assert!(t.is_empty());
+        assert_eq!(t.seq_cost(&[0, 1], &[10.0, 4.0]), 14.0);
+    }
+
+    #[test]
+    fn superset_weights_zeta() {
+        let t = table();
+        let g = t.superset_weights();
+        assert_eq!(g.len(), 4);
+        assert!((g[0b00] - 8.0).abs() < 1e-12);
+        assert!((g[0b01] - 4.0).abs() < 1e-12);
+        assert!((g[0b10] - 3.0).abs() < 1e-12);
+        assert!((g[0b11] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_gathers_bits() {
+        let t = TruthTable::from_weighted(3, vec![(0b101, 2.0), (0b010, 3.0), (0b111, 1.0)]);
+        let p = t.project(&[2, 0]); // new bit0 = old bit2, new bit1 = old bit0
+        assert_eq!(p.num_preds(), 2);
+        // 0b101 -> bit2=1,bit0=1 -> 0b11 (w=2); 0b010 -> 0b00 (w=3); 0b111 -> 0b11 (w=1)
+        assert!((p.weight_superset(0b11) - 3.0).abs() < 1e-12);
+        assert!((p.prob_all(0b00) - 1.0).abs() < 1e-12);
+        assert_eq!(p.total(), 6.0);
+    }
+
+    #[test]
+    fn subtract_and_accumulate() {
+        let whole = TruthTable::from_weighted(2, vec![(0b11, 5.0), (0b01, 3.0)]);
+        let part = TruthTable::from_weighted(2, vec![(0b11, 2.0)]);
+        let rest = whole.subtract(&part);
+        assert_eq!(rest.total(), 6.0);
+        assert!((rest.weight_superset(0b11) - 3.0).abs() < 1e-12);
+
+        let mut acc = TruthAccum::new();
+        acc.add_table(&part);
+        acc.add(0b01, 1.5);
+        let snap = acc.snapshot(2);
+        assert_eq!(snap.total(), 3.5);
+    }
+
+    #[test]
+    fn superset_weights_against_bruteforce_random() {
+        // Pseudo-random patterns, m = 5.
+        let mut masks = Vec::new();
+        let mut x = 0x9e3779b9u64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            masks.push((x >> 33) & 0b11111);
+        }
+        let t = TruthTable::from_masks(5, masks.clone());
+        let g = t.superset_weights();
+        for s in 0u64..32 {
+            let brute = masks.iter().filter(|&&m| m & s == s).count() as f64;
+            assert!((g[s as usize] - brute).abs() < 1e-9, "mismatch at {s}");
+        }
+    }
+}

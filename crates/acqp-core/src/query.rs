@@ -1,0 +1,331 @@
+//! Range predicates and conjunctive queries.
+//!
+//! The paper's query class (Query 1, §1) is
+//! `SELECT … WHERE l_1 ≤ a_1 ≤ r_1 AND … AND l_k ≤ a_k ≤ r_k`.
+//! We additionally support negated ranges `NOT(l ≤ a ≤ r)`, which the
+//! Garden workload of §6.2 uses.
+
+use crate::attr::{AttrId, Schema};
+use crate::error::{Error, Result};
+use crate::range::{Range, Ranges};
+
+/// A unary predicate over a single attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// `lo ≤ X_attr ≤ hi`.
+    In {
+        /// Attribute the predicate reads.
+        attr: AttrId,
+        /// Lower endpoint (inclusive, discretized).
+        lo: u16,
+        /// Upper endpoint (inclusive, discretized).
+        hi: u16,
+    },
+    /// `NOT (lo ≤ X_attr ≤ hi)`.
+    NotIn {
+        /// Attribute the predicate reads.
+        attr: AttrId,
+        /// Lower endpoint (inclusive, discretized).
+        lo: u16,
+        /// Upper endpoint (inclusive, discretized).
+        hi: u16,
+    },
+}
+
+impl Pred {
+    /// Convenience constructor for `lo ≤ X_attr ≤ hi`.
+    pub fn in_range(attr: AttrId, lo: u16, hi: u16) -> Pred {
+        Pred::In { attr, lo, hi }
+    }
+
+    /// Convenience constructor for `NOT (lo ≤ X_attr ≤ hi)`.
+    pub fn not_in_range(attr: AttrId, lo: u16, hi: u16) -> Pred {
+        Pred::NotIn { attr, lo, hi }
+    }
+
+    /// The attribute this predicate reads.
+    pub fn attr(&self) -> AttrId {
+        match *self {
+            Pred::In { attr, .. } | Pred::NotIn { attr, .. } => attr,
+        }
+    }
+
+    /// The predicate's range endpoints `(lo, hi)`.
+    pub fn bounds(&self) -> (u16, u16) {
+        match *self {
+            Pred::In { lo, hi, .. } | Pred::NotIn { lo, hi, .. } => (lo, hi),
+        }
+    }
+
+    /// True when this is a negated range.
+    pub fn is_negated(&self) -> bool {
+        matches!(self, Pred::NotIn { .. })
+    }
+
+    /// Truth of the predicate on a concrete value.
+    #[inline]
+    pub fn eval(&self, v: u16) -> bool {
+        match *self {
+            Pred::In { lo, hi, .. } => lo <= v && v <= hi,
+            Pred::NotIn { lo, hi, .. } => v < lo || hi < v,
+        }
+    }
+
+    /// Truth of the predicate given only that the attribute lies in `r`:
+    /// `Some(b)` when the range alone determines the outcome, `None` when
+    /// both outcomes remain possible.
+    pub fn truth_given(&self, r: Range) -> Option<bool> {
+        let (lo, hi) = self.bounds();
+        let pr = Range::new(lo, hi.max(lo));
+        let inside = pr.contains_range(r);
+        let outside = pr.disjoint(r);
+        let (t, f) = if self.is_negated() { (outside, inside) } else { (inside, outside) };
+        if t {
+            Some(true)
+        } else if f {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn validate(&self, schema: &Schema) -> Result<()> {
+        let attr = self.attr();
+        schema.check_attr(attr)?;
+        let (lo, hi) = self.bounds();
+        if lo > hi {
+            return Err(Error::InvertedRange { lo, hi });
+        }
+        if hi >= schema.domain(attr) {
+            return Err(Error::BadRow { row: 0, what: "predicate endpoint outside domain" });
+        }
+        Ok(())
+    }
+}
+
+/// A conjunction `φ = φ_1 ∧ … ∧ φ_m` of unary predicates, at most one
+/// per attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Query {
+    preds: Vec<Pred>,
+}
+
+impl Query {
+    /// Creates a conjunctive query; rejects empty queries and duplicate
+    /// predicates on one attribute.
+    pub fn new(preds: Vec<Pred>) -> Result<Self> {
+        if preds.is_empty() {
+            return Err(Error::EmptyQuery);
+        }
+        for (i, p) in preds.iter().enumerate() {
+            if preds[..i].iter().any(|q| q.attr() == p.attr()) {
+                return Err(Error::DuplicatePredicate { attr: p.attr() });
+            }
+            let (lo, hi) = p.bounds();
+            if lo > hi {
+                return Err(Error::InvertedRange { lo, hi });
+            }
+        }
+        Ok(Query { preds })
+    }
+
+    /// Creates a query and validates all predicates against `schema`.
+    pub fn checked(preds: Vec<Pred>, schema: &Schema) -> Result<Self> {
+        let q = Query::new(preds)?;
+        for p in &q.preds {
+            p.validate(schema)?;
+        }
+        Ok(q)
+    }
+
+    /// Number of predicates `m`.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True when the query is predicate-free (never true after
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// The predicates, in declaration order.
+    pub fn preds(&self) -> &[Pred] {
+        &self.preds
+    }
+
+    /// Predicate `j`.
+    pub fn pred(&self, j: usize) -> Pred {
+        self.preds[j]
+    }
+
+    /// The distinct attributes referenced by the query.
+    pub fn attrs(&self) -> Vec<AttrId> {
+        self.preds.iter().map(Pred::attr).collect()
+    }
+
+    /// Evaluates `φ(x)` on a full tuple.
+    pub fn eval(&self, tuple: &[u16]) -> bool {
+        self.preds.iter().all(|p| p.eval(tuple[p.attr()]))
+    }
+
+    /// Evaluates `φ` on a dataset row accessor.
+    pub fn eval_with(&self, mut value: impl FnMut(AttrId) -> u16) -> bool {
+        self.preds.iter().all(|p| p.eval(value(p.attr())))
+    }
+
+    /// Truth of `φ` given only the range knowledge in `ranges`:
+    /// `Some(false)` as soon as any predicate is disproven, `Some(true)`
+    /// when all are proven, `None` otherwise.
+    pub fn truth_given(&self, ranges: &Ranges) -> Option<bool> {
+        let mut all_true = true;
+        for p in &self.preds {
+            match p.truth_given(ranges.get(p.attr())) {
+                Some(false) => return Some(false),
+                Some(true) => {}
+                None => all_true = false,
+            }
+        }
+        if all_true {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Indices of predicates whose truth is *not* determined by `ranges`.
+    pub fn undecided(&self, ranges: &Ranges) -> Vec<usize> {
+        self.preds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.truth_given(ranges.get(p.attr())).is_none())
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// The per-row truth bitmask: bit `j` set iff predicate `j` holds.
+    /// Used by the counting estimator to make sequential-plan costing
+    /// popcount-cheap (§5.2).
+    pub fn truth_mask(&self, mut value: impl FnMut(AttrId) -> u16) -> u64 {
+        debug_assert!(self.preds.len() <= 64);
+        let mut mask = 0u64;
+        for (j, p) in self.preds.iter().enumerate() {
+            if p.eval(value(p.attr())) {
+                mask |= 1 << j;
+            }
+        }
+        mask
+    }
+
+    /// Marginal selectivity of each predicate on `data` — the fraction
+    /// of tuples it accepts. The `Naive` planner orders by
+    /// `cost / (1 − selectivity)` using exactly these numbers (§4.1.1).
+    pub fn selectivities(&self, data: &crate::dataset::Dataset) -> Vec<f64> {
+        let d = data.len().max(1) as f64;
+        self.preds
+            .iter()
+            .map(|p| {
+                let col = data.column(p.attr());
+                col.iter().filter(|&&v| p.eval(v)).count() as f64 / d
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use crate::dataset::Dataset;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("a", 10, 100.0),
+            Attribute::new("b", 10, 100.0),
+            Attribute::new("c", 10, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn pred_eval() {
+        let p = Pred::in_range(0, 3, 6);
+        assert!(!p.eval(2));
+        assert!(p.eval(3) && p.eval(6));
+        assert!(!p.eval(7));
+        let np = Pred::not_in_range(0, 3, 6);
+        assert!(np.eval(2) && np.eval(7));
+        assert!(!np.eval(4));
+    }
+
+    #[test]
+    fn pred_truth_given_range() {
+        let p = Pred::in_range(0, 3, 6);
+        assert_eq!(p.truth_given(Range::new(4, 5)), Some(true));
+        assert_eq!(p.truth_given(Range::new(7, 9)), Some(false));
+        assert_eq!(p.truth_given(Range::new(0, 9)), None);
+        assert_eq!(p.truth_given(Range::new(6, 7)), None);
+
+        let np = Pred::not_in_range(0, 3, 6);
+        assert_eq!(np.truth_given(Range::new(4, 5)), Some(false));
+        assert_eq!(np.truth_given(Range::new(7, 9)), Some(true));
+        assert_eq!(np.truth_given(Range::new(0, 9)), None);
+    }
+
+    #[test]
+    fn query_validation() {
+        assert_eq!(Query::new(vec![]).unwrap_err(), Error::EmptyQuery);
+        let dup = Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(0, 2, 3)]);
+        assert!(matches!(dup, Err(Error::DuplicatePredicate { attr: 0 })));
+        let inv = Query::new(vec![Pred::in_range(0, 5, 2)]);
+        assert!(matches!(inv, Err(Error::InvertedRange { .. })));
+        let s = schema();
+        let oob = Query::checked(vec![Pred::in_range(0, 0, 10)], &s);
+        assert!(oob.is_err());
+        let bad_attr = Query::checked(vec![Pred::in_range(9, 0, 1)], &s);
+        assert!(matches!(bad_attr, Err(Error::UnknownAttr { .. })));
+    }
+
+    #[test]
+    fn query_eval_and_mask() {
+        let q = Query::new(vec![
+            Pred::in_range(0, 3, 6),
+            Pred::not_in_range(1, 0, 4),
+            Pred::in_range(2, 0, 9),
+        ])
+        .unwrap();
+        let t = [4u16, 7, 0];
+        assert!(q.eval(&t));
+        assert_eq!(q.truth_mask(|a| t[a]), 0b111);
+        let t2 = [4u16, 2, 0];
+        assert!(!q.eval(&t2));
+        assert_eq!(q.truth_mask(|a| t2[a]), 0b101);
+    }
+
+    #[test]
+    fn query_truth_given_and_undecided() {
+        let s = schema();
+        let q = Query::new(vec![Pred::in_range(0, 3, 6), Pred::in_range(1, 0, 4)]).unwrap();
+        let root = Ranges::root(&s);
+        assert_eq!(q.truth_given(&root), None);
+        assert_eq!(q.undecided(&root), vec![0, 1]);
+
+        let proven = root.with(0, Range::new(4, 5)).with(1, Range::new(0, 2));
+        assert_eq!(q.truth_given(&proven), Some(true));
+        assert!(q.undecided(&proven).is_empty());
+
+        let failed = root.with(0, Range::new(7, 9));
+        assert_eq!(q.truth_given(&failed), Some(false));
+    }
+
+    #[test]
+    fn selectivities_count_fractions() {
+        let s = schema();
+        let rows: Vec<Vec<u16>> = (0..10).map(|i| vec![i, 9 - i, 0]).collect();
+        let d = Dataset::from_rows(&s, rows).unwrap();
+        let q = Query::new(vec![Pred::in_range(0, 0, 4), Pred::in_range(1, 0, 1)]).unwrap();
+        let sel = q.selectivities(&d);
+        assert!((sel[0] - 0.5).abs() < 1e-12);
+        assert!((sel[1] - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,233 @@
+//! Value ranges and range vectors — the *subproblems* of the paper's
+//! dynamic program (§3.2).
+//!
+//! A subproblem is written `Subproblem(φ, R_1=[a_1,b_1], …, R_n=[a_n,b_n])`:
+//! the plan so far has narrowed each attribute `X_i` to an inclusive range
+//! `R_i`. Splitting a subproblem on a conditioning predicate
+//! `T(X_i ≥ x)` divides `R_i = [a, b]` into `[a, x−1]` and `[x, b]`.
+
+use crate::attr::{AttrId, Schema};
+
+/// An inclusive range `[lo, hi]` of discretized attribute values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Range {
+    lo: u16,
+    hi: u16,
+}
+
+impl Range {
+    /// Creates `[lo, hi]`. Panics (debug) if inverted.
+    pub fn new(lo: u16, hi: u16) -> Self {
+        debug_assert!(lo <= hi, "inverted range [{lo}, {hi}]");
+        Range { lo, hi }
+    }
+
+    /// The full domain `[0, k-1]` of an attribute with `k` values.
+    pub fn full(k: u16) -> Self {
+        debug_assert!(k > 0);
+        Range { lo: 0, hi: k - 1 }
+    }
+
+    /// Lower endpoint (inclusive).
+    pub fn lo(&self) -> u16 {
+        self.lo
+    }
+
+    /// Upper endpoint (inclusive).
+    pub fn hi(&self) -> u16 {
+        self.hi
+    }
+
+    /// Number of values in the range.
+    pub fn width(&self) -> u32 {
+        u32::from(self.hi) - u32::from(self.lo) + 1
+    }
+
+    /// True when this range covers the whole `k`-value domain — i.e. the
+    /// attribute has *not* been acquired yet (Fig. 5 charges its cost
+    /// `C_i` exactly in this case).
+    pub fn is_full(&self, k: u16) -> bool {
+        self.lo == 0 && self.hi == k - 1
+    }
+
+    /// True when the range pins a single value.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: u16) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// True when `other` lies entirely inside `self`.
+    pub fn contains_range(&self, other: Range) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// True when the two ranges share no value.
+    pub fn disjoint(&self, other: Range) -> bool {
+        self.hi < other.lo || other.hi < self.lo
+    }
+
+    /// Splits at `cut` into `([lo, cut-1], [cut, hi])`. `cut` must satisfy
+    /// `lo < cut <= hi`.
+    pub fn split_at(&self, cut: u16) -> (Range, Range) {
+        debug_assert!(self.lo < cut && cut <= self.hi, "cut {cut} outside ({}, {}]", self.lo, self.hi);
+        (Range::new(self.lo, cut - 1), Range::new(cut, self.hi))
+    }
+
+    /// Intersection, if non-empty.
+    pub fn intersect(&self, other: Range) -> Option<Range> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then(|| Range::new(lo, hi))
+    }
+}
+
+/// A vector of ranges, one per schema attribute: the key identifying a
+/// subproblem in the exhaustive planner's memo table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ranges(Box<[Range]>);
+
+impl Ranges {
+    /// The root subproblem: every attribute spans its full domain.
+    pub fn root(schema: &Schema) -> Self {
+        Ranges(schema.attrs().iter().map(|a| Range::full(a.domain())).collect())
+    }
+
+    /// Builds from an explicit vector (one range per attribute).
+    pub fn from_vec(v: Vec<Range>) -> Self {
+        Ranges(v.into_boxed_slice())
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if there are no attributes (cannot happen for a schema-built
+    /// value).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Range of attribute `a`.
+    pub fn get(&self, a: AttrId) -> Range {
+        self.0[a]
+    }
+
+    /// All ranges in attribute order.
+    pub fn as_slice(&self) -> &[Range] {
+        &self.0
+    }
+
+    /// A copy with attribute `a` replaced by `r`.
+    pub fn with(&self, a: AttrId, r: Range) -> Ranges {
+        let mut v = self.0.clone();
+        v[a] = r;
+        Ranges(v)
+    }
+
+    /// True when attribute `a` still spans its full domain under
+    /// `schema` — i.e. splitting on it must pay its acquisition cost.
+    pub fn attr_unacquired(&self, schema: &Schema, a: AttrId) -> bool {
+        self.0[a].is_full(schema.domain(a))
+    }
+
+    /// Effective acquisition cost of attribute `a` at this subproblem:
+    /// `C_a` if unacquired, else 0 (Fig. 5's `C'`).
+    pub fn effective_cost(&self, schema: &Schema, a: AttrId) -> f64 {
+        if self.attr_unacquired(schema, a) {
+            schema.cost(a)
+        } else {
+            0.0
+        }
+    }
+
+    /// True when the tuple `row` (full attribute vector) is consistent
+    /// with every range.
+    pub fn admits(&self, row: &[u16]) -> bool {
+        self.0.iter().zip(row).all(|(r, &v)| r.contains(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+
+    #[test]
+    fn range_basics() {
+        let r = Range::new(2, 5);
+        assert_eq!(r.width(), 4);
+        assert!(r.contains(2) && r.contains(5) && !r.contains(6));
+        assert!(!r.is_point());
+        assert!(Range::new(3, 3).is_point());
+        assert!(Range::full(8).is_full(8));
+        assert!(!r.is_full(8));
+    }
+
+    #[test]
+    fn range_split() {
+        let r = Range::new(0, 7);
+        let (lo, hi) = r.split_at(3);
+        assert_eq!(lo, Range::new(0, 2));
+        assert_eq!(hi, Range::new(3, 7));
+        assert_eq!(lo.width() + hi.width(), r.width());
+    }
+
+    #[test]
+    fn range_set_ops() {
+        let a = Range::new(0, 4);
+        let b = Range::new(3, 9);
+        let c = Range::new(6, 9);
+        assert!(!a.disjoint(b));
+        assert!(a.disjoint(c));
+        assert_eq!(a.intersect(b), Some(Range::new(3, 4)));
+        assert_eq!(a.intersect(c), None);
+        assert!(b.contains_range(c));
+        assert!(!c.contains_range(b));
+    }
+
+    #[test]
+    fn full_range_single_value_domain() {
+        let r = Range::full(1);
+        assert!(r.is_full(1));
+        assert!(r.is_point());
+        assert_eq!(r.width(), 1);
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("a", 4, 10.0),
+            Attribute::new("b", 8, 1.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ranges_root_and_with() {
+        let s = schema();
+        let root = Ranges::root(&s);
+        assert_eq!(root.get(0), Range::full(4));
+        assert!(root.attr_unacquired(&s, 0));
+        assert_eq!(root.effective_cost(&s, 0), 10.0);
+
+        let narrowed = root.with(0, Range::new(1, 2));
+        assert!(!narrowed.attr_unacquired(&s, 0));
+        assert_eq!(narrowed.effective_cost(&s, 0), 0.0);
+        // The original is unchanged.
+        assert!(root.attr_unacquired(&s, 0));
+    }
+
+    #[test]
+    fn ranges_admits() {
+        let s = schema();
+        let root = Ranges::root(&s);
+        assert!(root.admits(&[3, 7]));
+        let narrowed = root.with(1, Range::new(0, 3));
+        assert!(narrowed.admits(&[3, 3]));
+        assert!(!narrowed.admits(&[3, 4]));
+    }
+}

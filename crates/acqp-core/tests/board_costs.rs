@@ -1,0 +1,167 @@
+//! Integration tests for §7's complex acquisition costs: planners that
+//! know about shared sensor boards cluster same-board predicates, and
+//! every cost claim matches the model-priced executor.
+
+use acqp_core::prelude::*;
+
+/// Schema: light/temp share board 0; humidity sits on board 1; hour is
+/// boardless and free-ish.
+fn board_setup() -> (Schema, Dataset, Query, CostModel) {
+    let schema = Schema::new(vec![
+        Attribute::new("light", 4, 10.0),
+        Attribute::new("temp", 4, 10.0),
+        Attribute::new("humidity", 4, 10.0),
+        Attribute::new("hour", 4, 1.0),
+    ])
+    .unwrap();
+    // Independent-ish data with all predicates ~50% selective.
+    let mut rows = Vec::new();
+    for i in 0..256u32 {
+        rows.push(vec![
+            (i % 4) as u16,
+            ((i / 4) % 4) as u16,
+            ((i / 16) % 4) as u16,
+            ((i / 64) % 4) as u16,
+        ]);
+    }
+    let data = Dataset::from_rows(&schema, rows).unwrap();
+    let query = Query::checked(
+        vec![
+            Pred::in_range(0, 0, 1),
+            Pred::in_range(1, 0, 1),
+            Pred::in_range(2, 0, 1),
+        ],
+        &schema,
+    )
+    .unwrap();
+    // A power-up dwarfing the per-sensor cost makes clustering decisive.
+    let model = CostModel::boards(4, &[(vec![0, 1], 40.0), (vec![2], 40.0)]);
+    (schema, data, query, model)
+}
+
+#[test]
+fn optimal_order_clusters_same_board_sensors() {
+    let (schema, data, query, model) = board_setup();
+    let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+    let plan = SeqPlanner::optimal()
+        .with_cost_model(model.clone())
+        .plan(&schema, &query, &est)
+        .unwrap();
+    let Plan::Seq(seq) = &plan else { panic!("expected sequential plan") };
+    // light (0) and temp (1) share a board; with uniform ~50%
+    // selectivities, evaluating them back-to-back amortizes the 40-unit
+    // power-up, so they must be adjacent in the optimal order.
+    let pos0 = seq.order.iter().position(|&j| query.pred(j).attr() == 0).unwrap();
+    let pos1 = seq.order.iter().position(|&j| query.pred(j).attr() == 1).unwrap();
+    assert_eq!(
+        pos0.abs_diff(pos1),
+        1,
+        "same-board predicates should be adjacent: {:?}",
+        seq.order
+    );
+    // And the shared-board pair must come first: starting with humidity
+    // risks paying both boards' power-ups more often.
+    assert!(pos0.min(pos1) == 0, "board pair should lead: {:?}", seq.order);
+}
+
+#[test]
+fn board_blind_plan_costs_more_under_board_pricing() {
+    let (schema, data, query, model) = board_setup();
+    let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+    let aware = SeqPlanner::optimal()
+        .with_cost_model(model.clone())
+        .plan(&schema, &query, &est)
+        .unwrap();
+    // A deliberately interleaved order: board0, board1, board0.
+    let blind = Plan::Seq(SeqOrder::new(vec![0, 2, 1]));
+    let c_aware = measure_model(&aware, &query, &schema, &model, &data);
+    let c_blind = measure_model(&blind, &query, &schema, &model, &data);
+    assert!(c_aware.all_correct && c_blind.all_correct);
+    assert!(
+        c_aware.mean_cost < c_blind.mean_cost,
+        "aware {} vs blind {}",
+        c_aware.mean_cost,
+        c_blind.mean_cost
+    );
+}
+
+#[test]
+fn claimed_cost_matches_model_priced_executor() {
+    let (schema, data, query, model) = board_setup();
+    let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+    for planner in [
+        SeqPlanner::naive().with_cost_model(model.clone()),
+        SeqPlanner::greedy().with_cost_model(model.clone()),
+        SeqPlanner::optimal().with_cost_model(model.clone()),
+    ] {
+        let (plan, claimed) = planner.plan_with_cost(&schema, &query, &est).unwrap();
+        let measured = measure_model(&plan, &query, &schema, &model, &data);
+        assert!(measured.all_correct);
+        assert!(
+            (claimed - measured.mean_cost).abs() < 1e-9,
+            "claimed {claimed} vs measured {}",
+            measured.mean_cost
+        );
+    }
+    // The conditional planner too.
+    let (plan, claimed) = GreedyPlanner::new(4)
+        .with_cost_model(model.clone())
+        .plan_with_cost(&schema, &query, &est)
+        .unwrap();
+    let measured = measure_model(&plan, &query, &schema, &model, &data);
+    assert!(measured.all_correct);
+    assert!((claimed - measured.mean_cost).abs() < 1e-9);
+    // Eq. (3) agrees as well.
+    let eq3 = expected_cost_model(&plan, &query, &schema, &model, &est);
+    assert!((eq3 - measured.mean_cost).abs() < 1e-9);
+}
+
+#[test]
+fn executor_charges_powerup_once_per_tuple() {
+    let (schema, data, query, model) = board_setup();
+    // Evaluate all three predicates: light+temp share one power-up.
+    let plan = Plan::Seq(SeqOrder::new(vec![0, 1, 2]));
+    // Row 0 satisfies everything (all zeros).
+    let out = execute_model(&plan, &query, &schema, &model, &mut RowSource::new(&data, 0));
+    assert!(out.verdict);
+    // light: 10+40, temp: 10 (board warm), humidity: 10+40.
+    assert_eq!(out.cost, 110.0);
+}
+
+#[test]
+fn per_attribute_model_reduces_to_plain_costs() {
+    let (schema, data, query, _) = board_setup();
+    let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+    let a = SeqPlanner::optimal().plan_with_cost(&schema, &query, &est).unwrap();
+    let b = SeqPlanner::optimal()
+        .with_cost_model(CostModel::PerAttribute)
+        .plan_with_cost(&schema, &query, &est)
+        .unwrap();
+    assert_eq!(a.0, b.0);
+    assert!((a.1 - b.1).abs() < 1e-12);
+}
+
+#[test]
+fn exhaustive_planner_honors_boards() {
+    let (schema, data, query, model) = board_setup();
+    let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+    let grid = SplitGrid::for_query(&schema, &query, 2);
+    let (plan, claimed) = ExhaustivePlanner::with_grid(grid)
+        .with_cost_model(model.clone())
+        .plan_with_cost(&schema, &query, &est)
+        .unwrap();
+    let measured = measure_model(&plan, &query, &schema, &model, &data);
+    assert!(measured.all_correct);
+    assert!(
+        (claimed - measured.mean_cost).abs() < 1e-9,
+        "claimed {claimed} vs measured {}",
+        measured.mean_cost
+    );
+    // It can never beat the true optimum priced under the same model,
+    // and must be at least as good as the optimal sequential plan.
+    let (_, seq_cost) = SeqPlanner::optimal()
+        .with_cost_model(model)
+        .plan_with_cost(&schema, &query, &est)
+        .unwrap();
+    assert!(claimed <= seq_cost + 1e-9);
+}

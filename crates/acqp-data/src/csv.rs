@@ -1,0 +1,99 @@
+//! Plain CSV import/export, so real TinyDB/TinyOS traces can replace the
+//! statistical generators.
+//!
+//! Format: a header row of attribute names, then one row of discretized
+//! `u16` values per tuple. Hand-rolled (the format is trivial and keeps
+//! the workspace dependency-light).
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use acqp_core::{Dataset, Schema};
+
+/// Writes `data` as CSV with a header derived from `schema`.
+pub fn save_csv(path: &Path, schema: &Schema, data: &Dataset) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    let names: Vec<&str> = schema.attrs().iter().map(|a| a.name()).collect();
+    writeln!(out, "{}", names.join(","))?;
+    for row in 0..data.len() {
+        for a in 0..schema.len() {
+            if a > 0 {
+                write!(out, ",")?;
+            }
+            write!(out, "{}", data.value(row, a))?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Reads a CSV produced by [`save_csv`] (or any header + u16 rows file
+/// whose columns match `schema` in order).
+pub fn load_csv(path: &Path, schema: &Schema) -> io::Result<Dataset> {
+    let mut lines = BufReader::new(File::open(path)?).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))??;
+    let names: Vec<&str> = header.split(',').collect();
+    if names.len() != schema.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("csv has {} columns, schema has {}", names.len(), schema.len()),
+        ));
+    }
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let row: Result<Vec<u16>, _> = line.split(',').map(str::parse::<u16>).collect();
+        let row = row.map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("row {}: {e}", i + 2))
+        })?;
+        rows.push(row);
+    }
+    Dataset::from_rows(schema, rows)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acqp_core::Attribute;
+
+    #[test]
+    fn roundtrip() {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 8, 1.0),
+            Attribute::new("b", 8, 2.0),
+        ])
+        .unwrap();
+        let data =
+            Dataset::from_rows(&schema, vec![vec![0, 7], vec![3, 3], vec![5, 1]]).unwrap();
+        let dir = std::env::temp_dir().join("acqp_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        save_csv(&path, &schema, &data).unwrap();
+        let back = load_csv(&path, &schema).unwrap();
+        assert_eq!(back.len(), 3);
+        for r in 0..3 {
+            assert_eq!(back.row(r), data.row(r));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_mismatched_columns() {
+        let schema = Schema::new(vec![Attribute::new("a", 8, 1.0)]).unwrap();
+        let dir = std::env::temp_dir().join("acqp_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "a,b\n1,2\n").unwrap();
+        assert!(load_csv(&path, &schema).is_err());
+        std::fs::write(&path, "a\nx\n").unwrap();
+        assert!(load_csv(&path, &schema).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

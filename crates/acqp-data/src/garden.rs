@@ -1,0 +1,297 @@
+//! The Garden dataset — a statistical twin of the forest deployment of
+//! §6.2.
+//!
+//! Eleven motes (or a five-mote subset) each expose *temperature*,
+//! *voltage* and *humidity*; a global *time* attribute completes the
+//! schema (3·M + 1 attributes — 16 for Garden-5, 34 for Garden-11).
+//! Temperature and humidity cost 100 units; voltage and time cost 1.
+//!
+//! The motes share a forest microclimate: a common diurnal temperature
+//! wave plus weather fronts spanning hours, with small per-mote offsets
+//! (canopy position). Humidity moves inversely to temperature and spikes
+//! during rain events. Battery voltage sags measurably in the cold, so
+//! the *cheap* voltage of one mote carries information about the
+//! *expensive* temperature of every mote — exactly the cross-attribute
+//! correlation Figs. 10–11 exploit.
+
+use acqp_core::{Attribute, Dataset, Discretizer, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rng::normal;
+use crate::Generated;
+
+/// Configuration for the Garden generator.
+#[derive(Debug, Clone)]
+pub struct GardenConfig {
+    /// Number of motes (5 for Garden-5, 11 for Garden-11).
+    pub motes: u16,
+    /// Number of sampling epochs.
+    pub epochs: usize,
+    /// Minutes between epochs.
+    pub epoch_minutes: u32,
+    /// Discretization bins for temperature and humidity.
+    pub sensor_bins: u16,
+    /// Acquisition cost of temperature/humidity.
+    pub expensive_cost: f64,
+    /// Acquisition cost of voltage/time.
+    pub cheap_cost: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GardenConfig {
+    fn default() -> Self {
+        GardenConfig {
+            motes: 11,
+            epochs: 2_500,
+            epoch_minutes: 15,
+            sensor_bins: 64,
+            expensive_cost: 100.0,
+            cheap_cost: 1.0,
+            seed: 0x9a2d,
+        }
+    }
+}
+
+impl GardenConfig {
+    /// The Garden-5 subset of §6.2.
+    pub fn garden5() -> Self {
+        GardenConfig { motes: 5, ..Self::default() }
+    }
+
+    /// The full Garden-11 deployment of §6.2.
+    pub fn garden11() -> Self {
+        Self::default()
+    }
+
+    /// A small configuration for unit tests.
+    pub fn small() -> Self {
+        GardenConfig { motes: 3, epochs: 400, ..Self::default() }
+    }
+}
+
+/// Attribute ids within the Garden schema.
+#[derive(Debug, Clone, Copy)]
+pub struct GardenAttrs {
+    motes: u16,
+}
+
+impl GardenAttrs {
+    /// Layout helper for a deployment with `motes` motes.
+    pub fn new(motes: u16) -> Self {
+        GardenAttrs { motes }
+    }
+
+    /// Temperature of mote `m`.
+    pub fn temp(&self, m: u16) -> usize {
+        debug_assert!(m < self.motes);
+        usize::from(m) * 3
+    }
+
+    /// Voltage of mote `m`.
+    pub fn voltage(&self, m: u16) -> usize {
+        usize::from(m) * 3 + 1
+    }
+
+    /// Humidity of mote `m`.
+    pub fn humidity(&self, m: u16) -> usize {
+        usize::from(m) * 3 + 2
+    }
+
+    /// The shared time-of-day attribute.
+    pub fn time(&self) -> usize {
+        usize::from(self.motes) * 3
+    }
+
+    /// Total attribute count (3·motes + 1).
+    pub fn len(&self) -> usize {
+        usize::from(self.motes) * 3 + 1
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Generates the Garden dataset.
+pub fn generate(cfg: &GardenConfig) -> Generated {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let temp_d = Discretizer::uniform(-5.0, 35.0, cfg.sensor_bins);
+    let hum_d = Discretizer::uniform(20.0, 100.0, cfg.sensor_bins);
+    let volt_d = Discretizer::uniform(2.3, 3.1, cfg.sensor_bins.min(32));
+
+    let layout = GardenAttrs::new(cfg.motes);
+    let mut attrs = Vec::with_capacity(layout.len());
+    for m in 0..cfg.motes {
+        attrs.push(Attribute::new(format!("temp{m}"), temp_d.bins(), cfg.expensive_cost));
+        attrs.push(Attribute::new(format!("volt{m}"), volt_d.bins(), cfg.cheap_cost));
+        attrs.push(Attribute::new(format!("hum{m}"), hum_d.bins(), cfg.expensive_cost));
+    }
+    attrs.push(Attribute::new("time", 24, cfg.cheap_cost));
+    let schema = Schema::new(attrs).expect("garden schema is valid");
+
+    // Per-mote microclimate: canopy position shifts the mean and damps
+    // or amplifies the diurnal swing; shelter damps rain response. This
+    // heterogeneity is what makes *which mote to probe next* depend on
+    // observed values — the leverage conditional plans exploit.
+    // Amplitudes below zero model cold-air pooling hollows that move
+    // *against* the canopy-level diurnal wave — their predicate failures
+    // anti-correlate with everyone else's, which is what defeats
+    // marginal-selectivity (Naive) ordering per-tuple.
+    let t_off: Vec<f64> = (0..cfg.motes).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let t_amp: Vec<f64> = (0..cfg.motes).map(|i| {
+        if i % 4 == 3 {
+            rng.gen_range(-0.7..-0.2)
+        } else {
+            rng.gen_range(0.3..1.5)
+        }
+    }).collect();
+    let h_off: Vec<f64> = (0..cfg.motes).map(|_| rng.gen_range(-4.0..4.0)).collect();
+    let h_slope: Vec<f64> = (0..cfg.motes).map(|_| rng.gen_range(-2.2..-1.2)).collect();
+    let rain_gain: Vec<f64> = (0..cfg.motes).map(|_| rng.gen_range(6.0..30.0)).collect();
+    let batt0: Vec<f64> = (0..cfg.motes).map(|_| rng.gen_range(2.95..3.08)).collect();
+
+    // Weather front: an AR(1) walk over epochs; rain events several
+    // hours long.
+    let mut front = 0.0f64;
+    let mut rain_left = 0usize;
+    let mut rows = Vec::with_capacity(cfg.epochs);
+
+    for epoch in 0..cfg.epochs {
+        let minutes = epoch as u32 * cfg.epoch_minutes;
+        let hour_f = f64::from(minutes % (24 * 60)) / 60.0;
+        let hour = ((minutes / 60) % 24) as u16;
+        front = 0.985 * front + normal(&mut rng, 0.0, 0.3);
+        if rain_left == 0 && rng.gen_bool(0.004) {
+            rain_left = rng.gen_range(8..40); // a few hours of rain
+        }
+        let raining = rain_left > 0;
+        rain_left = rain_left.saturating_sub(1);
+
+        // Diurnal wave peaking mid-afternoon.
+        let diurnal = 8.0 * ((hour_f - 14.5) / 24.0 * 2.0 * std::f64::consts::PI).cos();
+        let base_temp = 14.0 + front - if raining { 4.0 } else { 0.0 };
+
+        let mut row = Vec::with_capacity(layout.len());
+        for m in 0..cfg.motes {
+            let mi = m as usize;
+            let t = base_temp
+                + t_amp[mi] * diurnal
+                + t_off[mi]
+                + normal(&mut rng, 0.0, 0.45);
+            let h = (62.0
+                + h_slope[mi] * (t - 14.0)
+                + h_off[mi]
+                + if raining { rain_gain[mi] } else { 0.0 }
+                + normal(&mut rng, 0.0, 1.8))
+            .clamp(20.0, 99.9);
+            // Battery voltage tracks temperature (~6 mV/°C thermal
+            // coefficient) on top of a slow discharge.
+            let drain = 0.03 * epoch as f64 / cfg.epochs as f64;
+            let v = batt0[m as usize] - drain + 0.006 * (t - 15.0) + normal(&mut rng, 0.0, 0.008);
+            row.push(temp_d.quantize(t));
+            row.push(volt_d.quantize(v));
+            row.push(hum_d.quantize(h));
+        }
+        row.push(hour);
+        rows.push(row);
+    }
+
+    let data = Dataset::from_rows(&schema, rows).expect("generated rows fit the schema");
+    let mut discretizers: Vec<Option<Discretizer>> = Vec::with_capacity(layout.len());
+    for _ in 0..cfg.motes {
+        discretizers.push(Some(temp_d.clone()));
+        discretizers.push(Some(volt_d.clone()));
+        discretizers.push(Some(hum_d.clone()));
+    }
+    discretizers.push(None);
+    Generated { schema, data, discretizers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corr(data: &Dataset, a: usize, b: usize) -> f64 {
+        let n = data.len() as f64;
+        let ca = data.column(a);
+        let cb = data.column(b);
+        let ma = ca.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+        let mb = cb.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+        let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+        for i in 0..data.len() {
+            let da = f64::from(ca[i]) - ma;
+            let db = f64::from(cb[i]) - mb;
+            cov += da * db;
+            va += da * da;
+            vb += db * db;
+        }
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    #[test]
+    fn layout_matches_paper_counts() {
+        assert_eq!(GardenAttrs::new(5).len(), 16);
+        assert_eq!(GardenAttrs::new(11).len(), 34);
+        let l = GardenAttrs::new(5);
+        assert_eq!(l.temp(0), 0);
+        assert_eq!(l.voltage(0), 1);
+        assert_eq!(l.humidity(4), 14);
+        assert_eq!(l.time(), 15);
+    }
+
+    #[test]
+    fn schema_costs() {
+        let g = generate(&GardenConfig::small());
+        let l = GardenAttrs::new(3);
+        assert_eq!(g.schema.cost(l.temp(0)), 100.0);
+        assert_eq!(g.schema.cost(l.voltage(0)), 1.0);
+        assert_eq!(g.schema.cost(l.humidity(2)), 100.0);
+        assert_eq!(g.schema.cost(l.time()), 1.0);
+    }
+
+    #[test]
+    fn cross_mote_temperature_correlation() {
+        let g = generate(&GardenConfig::garden5());
+        let l = GardenAttrs::new(5);
+        let r = corr(&g.data, l.temp(0), l.temp(4));
+        assert!(r > 0.8, "cross-mote temp correlation r = {r}");
+        // Humidity anti-correlates with temperature.
+        let rh = corr(&g.data, l.temp(1), l.humidity(1));
+        assert!(rh < -0.5, "temp vs humidity r = {rh}");
+    }
+
+    #[test]
+    fn cheap_voltage_predicts_expensive_temperature() {
+        let g = generate(&GardenConfig::garden5());
+        let l = GardenAttrs::new(5);
+        // Voltage of mote 0 vs temperature of *another* (non-contrarian)
+        // mote.
+        let r = corr(&g.data, l.voltage(0), l.temp(1));
+        assert!(r > 0.35, "voltage-temp cross correlation r = {r}");
+    }
+
+    #[test]
+    fn contrarian_mote_anticorrelates() {
+        // Every fourth mote (id % 4 == 3) sits in a cold-air pooling
+        // hollow and moves against the diurnal wave.
+        let g = generate(&GardenConfig::garden5());
+        let l = GardenAttrs::new(5);
+        let r = corr(&g.data, l.temp(0), l.temp(3));
+        assert!(r < 0.3, "contrarian mote should not track the wave, r = {r}");
+    }
+
+    #[test]
+    fn determinism_and_domains() {
+        let cfg = GardenConfig::small();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.data.column(0), b.data.column(0));
+        for attr in 0..a.schema.len() {
+            let k = a.schema.domain(attr);
+            assert!(a.data.column(attr).iter().all(|&v| v < k));
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The Lab dataset — a statistical twin of the Intel-lab trace of §6.1.
+//!
+//! The paper's Lab data has six attributes: expensive *light*,
+//! *temperature* and *humidity* (cost 100 each) and cheap *nodeid*,
+//! *hour* and *voltage* (cost 1 each). The correlations its plans
+//! exploit, all reproduced here, are:
+//!
+//! * **light ↔ hour** (Fig. 1): dark at night, a wide bright band by
+//!   day; nearly deterministic outside working hours.
+//! * **light ↔ nodeid ↔ hour** (Fig. 9): nodes 1–6 sit in a part of the
+//!   lab unused at night (dark whenever it's late), while nodes 7+ are
+//!   sometimes used until late, so light is less predictable there.
+//! * **temperature ↔ hour**: the building is cooler at night.
+//! * **humidity ↔ hour** (Fig. 9's discussion): HVAC runs by day and
+//!   keeps humidity low; at night it is off and humidity climbs.
+//! * **voltage**: slow per-mote battery decline — cheap but largely
+//!   uninformative, a deliberate distractor.
+
+use acqp_core::{Attribute, Dataset, Discretizer, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rng::normal;
+use crate::Generated;
+
+/// Attribute indices of the Lab schema.
+pub mod attrs {
+    /// Expensive light sensor (cost 100).
+    pub const LIGHT: usize = 0;
+    /// Expensive temperature sensor (cost 100).
+    pub const TEMP: usize = 1;
+    /// Expensive humidity sensor (cost 100).
+    pub const HUMIDITY: usize = 2;
+    /// Cheap node identifier (cost 1).
+    pub const NODEID: usize = 3;
+    /// Cheap hour-of-day clock (cost 1).
+    pub const HOUR: usize = 4;
+    /// Cheap battery voltage (cost 1).
+    pub const VOLTAGE: usize = 5;
+}
+
+/// Configuration for the Lab generator.
+#[derive(Debug, Clone)]
+pub struct LabConfig {
+    /// Number of motes (the paper had ~45; nodes `0..boundary` behave
+    /// like its nodes 1–6).
+    pub motes: u16,
+    /// Motes with id `< night_quiet_boundary` sit in the zone that is
+    /// never occupied at night.
+    pub night_quiet_boundary: u16,
+    /// Number of sampling epochs (readings per mote).
+    pub epochs: usize,
+    /// Minutes between epochs.
+    pub epoch_minutes: u32,
+    /// Discretization bins for light / temperature / humidity / voltage.
+    pub sensor_bins: u16,
+    /// Acquisition cost of the expensive sensors.
+    pub expensive_cost: f64,
+    /// Acquisition cost of the cheap attributes.
+    pub cheap_cost: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LabConfig {
+    fn default() -> Self {
+        LabConfig {
+            motes: 20,
+            night_quiet_boundary: 6,
+            epochs: 2_000,
+            epoch_minutes: 10,
+            sensor_bins: 64,
+            expensive_cost: 100.0,
+            cheap_cost: 1.0,
+            seed: 0x1ab,
+        }
+    }
+}
+
+impl LabConfig {
+    /// A small configuration for unit tests and doc examples.
+    pub fn small() -> Self {
+        LabConfig { motes: 8, epochs: 300, ..Self::default() }
+    }
+}
+
+/// Generates the Lab dataset.
+pub fn generate(cfg: &LabConfig) -> Generated {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let light_d = Discretizer::uniform(0.0, 1200.0, cfg.sensor_bins);
+    let temp_d = Discretizer::uniform(10.0, 35.0, cfg.sensor_bins);
+    let hum_d = Discretizer::uniform(20.0, 80.0, cfg.sensor_bins);
+    let volt_d = Discretizer::uniform(2.2, 3.1, cfg.sensor_bins.min(32));
+
+    let schema = Schema::new(vec![
+        Attribute::new("light", light_d.bins(), cfg.expensive_cost),
+        Attribute::new("temp", temp_d.bins(), cfg.expensive_cost),
+        Attribute::new("humidity", hum_d.bins(), cfg.expensive_cost),
+        Attribute::new("nodeid", cfg.motes, cfg.cheap_cost),
+        Attribute::new("hour", 24, cfg.cheap_cost),
+        Attribute::new("voltage", volt_d.bins(), cfg.cheap_cost),
+    ])
+    .expect("lab schema is valid");
+
+    // Per-mote battery start levels.
+    let batt0: Vec<f64> = (0..cfg.motes).map(|_| rng.gen_range(2.9..3.05)).collect();
+    // Per-day evening-occupancy draw for the late-night zone.
+    let mut rows = Vec::with_capacity(cfg.epochs * cfg.motes as usize);
+    let mut late_zone_busy_tonight = false;
+    let mut current_day = u32::MAX;
+
+    for epoch in 0..cfg.epochs {
+        let minutes = epoch as u32 * cfg.epoch_minutes;
+        let day = minutes / (24 * 60);
+        let hour_f = f64::from(minutes % (24 * 60)) / 60.0;
+        let hour = (minutes / 60) % 24;
+        let weekday = (day % 7) < 5;
+        if day != current_day {
+            current_day = day;
+            // Roughly half the evenings someone works late in zone B.
+            late_zone_busy_tonight = rng.gen_bool(0.5);
+        }
+        // Daylight: bell-shaped between 6h and 20h.
+        let daylight = if (6.0..20.0).contains(&hour_f) {
+            let t = (hour_f - 6.0) / 14.0;
+            550.0 * (std::f64::consts::PI * t).sin().max(0.0)
+        } else {
+            0.0
+        };
+
+        for mote in 0..cfg.motes {
+            let quiet_zone = mote < cfg.night_quiet_boundary;
+            // Occupancy: working hours on weekdays; zone B also evenings.
+            let working_hours = weekday && (8.0..18.0).contains(&hour_f);
+            let evening = (18.0..24.0).contains(&hour_f);
+            let occupied = (working_hours && rng.gen_bool(0.9))
+                || (!quiet_zone && evening && late_zone_busy_tonight && rng.gen_bool(0.8));
+
+            let artificial = if occupied { 420.0 } else { 0.0 };
+            let light = (daylight * rng.gen_range(0.55..1.0) + artificial
+                + normal(&mut rng, 3.0, 2.0))
+            .max(0.0);
+
+            let base_temp = if (7.0..19.0).contains(&hour_f) { 23.5 } else { 18.5 };
+            let temp = base_temp
+                + if occupied { 1.5 } else { 0.0 }
+                + normal(&mut rng, 0.0, 1.0);
+
+            // HVAC dries the air by day; off at night.
+            let hvac_on = (6.0..20.0).contains(&hour_f);
+            let humidity = if hvac_on {
+                normal(&mut rng, 40.0, 4.0)
+            } else {
+                normal(&mut rng, 58.0, 5.0)
+            };
+
+            let drain = 0.25 * epoch as f64 / cfg.epochs as f64;
+            let voltage = batt0[mote as usize] - drain + normal(&mut rng, 0.0, 0.01);
+
+            rows.push(vec![
+                light_d.quantize(light),
+                temp_d.quantize(temp),
+                hum_d.quantize(humidity),
+                mote,
+                hour as u16,
+                volt_d.quantize(voltage),
+            ]);
+        }
+    }
+
+    let data = Dataset::from_rows(&schema, rows).expect("generated rows fit the schema");
+    Generated {
+        schema,
+        data,
+        discretizers: vec![
+            Some(light_d),
+            Some(temp_d),
+            Some(hum_d),
+            None,
+            None,
+            Some(volt_d),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corr(data: &Dataset, a: usize, b: usize) -> f64 {
+        let n = data.len() as f64;
+        let ca = data.column(a);
+        let cb = data.column(b);
+        let ma = ca.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+        let mb = cb.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for i in 0..data.len() {
+            let da = f64::from(ca[i]) - ma;
+            let db = f64::from(cb[i]) - mb;
+            cov += da * db;
+            va += da * da;
+            vb += db * db;
+        }
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = LabConfig::small();
+        let g1 = generate(&cfg);
+        let g2 = generate(&cfg);
+        assert_eq!(g1.data.len(), cfg.epochs * cfg.motes as usize);
+        assert_eq!(g1.schema.len(), 6);
+        assert_eq!(g1.data.column(attrs::LIGHT), g2.data.column(attrs::LIGHT));
+        // A different seed changes the data.
+        let g3 = generate(&LabConfig { seed: 999, ..cfg });
+        assert_ne!(g1.data.column(attrs::LIGHT), g3.data.column(attrs::LIGHT));
+    }
+
+    #[test]
+    fn night_is_dark_in_the_quiet_zone() {
+        let g = generate(&LabConfig::small());
+        let mut dark = 0usize;
+        let mut total = 0usize;
+        for row in 0..g.data.len() {
+            let hour = g.data.value(row, attrs::HOUR);
+            let node = g.data.value(row, attrs::NODEID);
+            if !(6..20).contains(&hour) && node < 6 {
+                total += 1;
+                // < ~40 lux.
+                if g.data.value(row, attrs::LIGHT) <= 2 {
+                    dark += 1;
+                }
+            }
+        }
+        assert!(total > 100);
+        assert!(
+            dark as f64 / total as f64 > 0.95,
+            "quiet zone must be dark at night ({dark}/{total})"
+        );
+    }
+
+    #[test]
+    fn diurnal_correlations_present() {
+        let g = generate(&LabConfig::default());
+        // Day indicator vs sensors: build a synthetic day column via hour.
+        // Directly: temp correlates positively with daytime hours bucket.
+        let day_flags: Vec<u16> = g
+            .data
+            .column(attrs::HOUR)
+            .iter()
+            .map(|&h| u16::from((7..19).contains(&h)))
+            .collect();
+        // Splice a temp/day comparison by hand.
+        let n = g.data.len() as f64;
+        let temp = g.data.column(attrs::TEMP);
+        let mt = temp.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+        let md = day_flags.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut vt = 0.0;
+        let mut vd = 0.0;
+        for i in 0..temp.len() {
+            let a = f64::from(temp[i]) - mt;
+            let b = f64::from(day_flags[i]) - md;
+            cov += a * b;
+            vt += a * a;
+            vd += b * b;
+        }
+        let r_temp_day = cov / (vt.sqrt() * vd.sqrt());
+        assert!(r_temp_day > 0.6, "temp should track daytime, r = {r_temp_day}");
+        // Humidity drops by day (HVAC): negative correlation with temp.
+        let r_th = corr(&g.data, attrs::TEMP, attrs::HUMIDITY);
+        assert!(r_th < -0.4, "temp vs humidity r = {r_th}");
+        // Voltage is a weak distractor.
+        let r_lv = corr(&g.data, attrs::LIGHT, attrs::VOLTAGE).abs();
+        assert!(r_lv < 0.3, "light vs voltage r = {r_lv}");
+    }
+
+    #[test]
+    fn values_fit_domains() {
+        let g = generate(&LabConfig::small());
+        for a in 0..g.schema.len() {
+            let k = g.schema.domain(a);
+            assert!(g.data.column(a).iter().all(|&v| v < k), "attr {a} out of domain");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Plain-text schema descriptions, so real traces (TinyDB exports,
+//! anything CSV-shaped) can be planned against without writing Rust.
+//!
+//! Format — one attribute per line, comma-separated:
+//!
+//! ```text
+//! # name, domain_bins, acquisition_cost [, natural_min, natural_max]
+//! light, 64, 100, 0, 1200
+//! temp,  64, 100, 10, 35
+//! hour,  24, 1
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored. When the
+//! optional natural range is present, a uniform [`Discretizer`] is
+//! attached so queries can be written in natural units.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use acqp_core::{Attribute, Discretizer, Schema};
+
+/// A schema plus its per-attribute discretizers.
+pub type SchemaWithUnits = (Schema, Vec<Option<Discretizer>>);
+
+/// Parses a schema description file.
+pub fn load_schema(path: &Path) -> io::Result<SchemaWithUnits> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut attrs = Vec::new();
+    let mut discs = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let err = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("schema line {}: {what}: `{line}`", lineno + 1),
+            )
+        };
+        if !(3..=5).contains(&fields.len()) || fields.len() == 4 {
+            return Err(err("expected `name, bins, cost` or `name, bins, cost, min, max`"));
+        }
+        let name = fields[0];
+        if name.is_empty() {
+            return Err(err("empty attribute name"));
+        }
+        let bins: u16 = fields[1].parse().map_err(|_| err("bad domain size"))?;
+        if bins == 0 {
+            return Err(err("domain size must be positive"));
+        }
+        let cost: f64 = fields[2].parse().map_err(|_| err("bad cost"))?;
+        let disc = if fields.len() == 5 {
+            let min: f64 = fields[3].parse().map_err(|_| err("bad natural min"))?;
+            let max: f64 = fields[4].parse().map_err(|_| err("bad natural max"))?;
+            if max <= min {
+                return Err(err("natural max must exceed min"));
+            }
+            Some(Discretizer::uniform(min, max, bins))
+        } else {
+            None
+        };
+        attrs.push(Attribute::new(name, bins, cost));
+        discs.push(disc);
+    }
+    let schema = Schema::new(attrs)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((schema, discs))
+}
+
+/// Writes a schema description file round-trippable by [`load_schema`].
+pub fn save_schema(
+    path: &Path,
+    schema: &Schema,
+    discretizers: &[Option<Discretizer>],
+) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "# name, domain_bins, acquisition_cost [, natural_min, natural_max]")?;
+    for (i, a) in schema.attrs().iter().enumerate() {
+        match discretizers.get(i).and_then(|d| d.as_ref()) {
+            Some(d) => writeln!(
+                out,
+                "{}, {}, {}, {}, {}",
+                a.name(),
+                a.domain(),
+                a.cost(),
+                d.bin_lo(0),
+                d.bin_hi(d.bins() - 1)
+            )?,
+            None => writeln!(out, "{}, {}, {}", a.name(), a.domain(), a.cost())?,
+        }
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("acqp_schema_file");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn parse_and_roundtrip() {
+        let p = tmp("ok.schema");
+        std::fs::write(
+            &p,
+            "# comment\n\nlight, 64, 100, 0, 1200\ntemp, 64, 100, 10, 35\nhour, 24, 1\n",
+        )
+        .unwrap();
+        let (schema, discs) = load_schema(&p).unwrap();
+        assert_eq!(schema.len(), 3);
+        assert_eq!(schema.attr(0).name(), "light");
+        assert_eq!(schema.domain(2), 24);
+        assert_eq!(schema.cost(1), 100.0);
+        assert!(discs[0].is_some() && discs[2].is_none());
+        assert_eq!(discs[0].as_ref().unwrap().quantize(1200.0), 63);
+
+        let p2 = tmp("rt.schema");
+        save_schema(&p2, &schema, &discs).unwrap();
+        let (schema2, discs2) = load_schema(&p2).unwrap();
+        assert_eq!(schema, schema2);
+        assert_eq!(discs, discs2);
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (name, body) in [
+            ("f1", "light\n"),
+            ("f2", "light, x, 1\n"),
+            ("f3", "light, 8, 1, 5\n"),
+            ("f4", "light, 8, 1, 10, 5\n"),
+            ("f5", "light, 0, 1\n"),
+            ("f6", ", 8, 1\n"),
+            ("f7", ""),
+        ] {
+            let p = tmp(name);
+            std::fs::write(&p, body).unwrap();
+            assert!(load_schema(&p).is_err(), "{body:?} should fail");
+            std::fs::remove_file(&p).ok();
+        }
+    }
+}

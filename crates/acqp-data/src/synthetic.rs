@@ -1,0 +1,229 @@
+//! The synthetic generator of §6.3, reimplementing the data generator of
+//! Babu et al. (*Adaptive ordering of pipelined stream filters*, SIGMOD
+//! 2004) as adapted by the paper.
+//!
+//! Parameters: `n` binary attributes, correlation factor `Γ`, and
+//! unconditional selectivity `sel`. The attributes form
+//! `⌈n / (Γ+1)⌉` groups of (up to) `Γ+1` attributes each, such that:
+//!
+//! 1. any two attributes in the same group are positively correlated and
+//!    take **identical values for 80% of the tuples**,
+//! 2. attributes in different groups are independent,
+//! 3. every attribute's marginal `P(X = 1) ≈ sel`.
+//!
+//! One attribute per group is *cheap* (cost 1), the rest are *expensive*
+//! (cost 100); the benchmark query asks whether **all expensive
+//! attributes equal 1**, so with Γ > 0 a cheap group-mate is an almost
+//! free oracle for its expensive peers.
+//!
+//! To hit the 80% pairwise-identity exactly we draw, per group and
+//! tuple, a latent "copy" event with probability `β`: all members equal
+//! the group leader draw; otherwise all members are independent
+//! Bernoulli(`sel`). Two members then agree with probability
+//! `β + (1−β)·c` where `c = sel² + (1−sel)²`, and `β` is calibrated so
+//! this equals 0.8 (clamped to `[0, 1]` for extreme `sel`).
+
+use acqp_core::{Attribute, Dataset, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Generated;
+
+/// Configuration for the Babu-et-al synthetic generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of attributes `n`.
+    pub n: usize,
+    /// Correlation factor `Γ`: group size is `Γ + 1`.
+    pub gamma: usize,
+    /// Unconditional selectivity `sel = P(X = 1)`.
+    pub sel: f64,
+    /// Target pairwise within-group identity (the paper's 0.8).
+    pub identity: f64,
+    /// Number of tuples.
+    pub rows: usize,
+    /// Cost of the cheap attribute in each group.
+    pub cheap_cost: f64,
+    /// Cost of the expensive attributes.
+    pub expensive_cost: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's parameterization with `rows` tuples.
+    pub fn new(n: usize, gamma: usize, sel: f64) -> Self {
+        SyntheticConfig {
+            n,
+            gamma,
+            sel,
+            identity: 0.8,
+            rows: 10_000,
+            cheap_cost: 1.0,
+            expensive_cost: 100.0,
+            seed: 0x5e17,
+        }
+    }
+
+    /// Overrides the number of tuples.
+    pub fn with_rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of groups `⌈n / (Γ+1)⌉`.
+    pub fn groups(&self) -> usize {
+        self.n.div_ceil(self.gamma + 1)
+    }
+
+    /// Ids of the cheap attributes (the first member of each group).
+    pub fn cheap_attrs(&self) -> Vec<usize> {
+        (0..self.groups()).map(|g| g * (self.gamma + 1)).collect()
+    }
+
+    /// Ids of the expensive attributes (the paper's query predicates).
+    pub fn expensive_attrs(&self) -> Vec<usize> {
+        (0..self.n).filter(|a| a % (self.gamma + 1) != 0).collect()
+    }
+
+    /// The calibrated latent-copy probability β.
+    pub fn beta(&self) -> f64 {
+        let c = self.sel * self.sel + (1.0 - self.sel) * (1.0 - self.sel);
+        if c >= 1.0 {
+            0.0
+        } else {
+            ((self.identity - c) / (1.0 - c)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// Generates the synthetic dataset.
+pub fn generate(cfg: &SyntheticConfig) -> Generated {
+    assert!(cfg.n >= 1 && (0.0..=1.0).contains(&cfg.sel));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let beta = cfg.beta();
+    let group_size = cfg.gamma + 1;
+
+    let schema = Schema::new(
+        (0..cfg.n)
+            .map(|a| {
+                let cost = if a % group_size == 0 { cfg.cheap_cost } else { cfg.expensive_cost };
+                Attribute::new(format!("x{a}"), 2, cost)
+            })
+            .collect(),
+    )
+    .expect("synthetic schema is valid");
+
+    let mut rows = Vec::with_capacity(cfg.rows);
+    for _ in 0..cfg.rows {
+        let mut row = vec![0u16; cfg.n];
+        let mut a = 0usize;
+        while a < cfg.n {
+            let members = group_size.min(cfg.n - a);
+            let leader = u16::from(rng.gen_bool(cfg.sel));
+            if rng.gen_bool(beta) {
+                for slot in &mut row[a..a + members] {
+                    *slot = leader;
+                }
+            } else {
+                for slot in &mut row[a..a + members] {
+                    *slot = u16::from(rng.gen_bool(cfg.sel));
+                }
+            }
+            a += members;
+        }
+        rows.push(row);
+    }
+
+    let data = Dataset::from_rows(&schema, rows).expect("generated rows fit the schema");
+    Generated { schema, data, discretizers: vec![None; cfg.n] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairwise_identity(data: &Dataset, a: usize, b: usize) -> f64 {
+        let ca = data.column(a);
+        let cb = data.column(b);
+        let same = ca.iter().zip(cb).filter(|(x, y)| x == y).count();
+        same as f64 / data.len() as f64
+    }
+
+    #[test]
+    fn group_structure_matches_paper_predicate_counts() {
+        // The four Fig. 12 settings must yield 5, 7, 20 and 30 expensive
+        // attributes (= query predicates).
+        assert_eq!(SyntheticConfig::new(10, 1, 0.5).expensive_attrs().len(), 5);
+        assert_eq!(SyntheticConfig::new(10, 3, 0.5).expensive_attrs().len(), 7);
+        assert_eq!(SyntheticConfig::new(40, 1, 0.5).expensive_attrs().len(), 20);
+        assert_eq!(SyntheticConfig::new(40, 3, 0.5).expensive_attrs().len(), 30);
+        assert_eq!(SyntheticConfig::new(10, 3, 0.5).groups(), 3);
+    }
+
+    #[test]
+    fn within_group_identity_near_eighty_percent() {
+        let cfg = SyntheticConfig::new(8, 3, 0.5).with_rows(40_000);
+        let g = generate(&cfg);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (4, 7)] {
+            let id = pairwise_identity(&g.data, a, b);
+            assert!((id - 0.8).abs() < 0.02, "attrs {a},{b}: identity {id}");
+        }
+    }
+
+    #[test]
+    fn cross_group_independence() {
+        let cfg = SyntheticConfig::new(8, 3, 0.5).with_rows(40_000);
+        let g = generate(&cfg);
+        // Independent fair bits agree half the time.
+        let id = pairwise_identity(&g.data, 1, 5);
+        assert!((id - 0.5).abs() < 0.02, "cross-group identity {id}");
+    }
+
+    #[test]
+    fn marginals_match_sel() {
+        for sel in [0.3, 0.5, 0.7] {
+            let cfg = SyntheticConfig::new(6, 2, sel).with_rows(40_000);
+            let g = generate(&cfg);
+            for a in 0..6 {
+                let p = g.data.column(a).iter().filter(|&&v| v == 1).count() as f64
+                    / g.data.len() as f64;
+                assert!((p - sel).abs() < 0.02, "attr {a} sel {p} (want {sel})");
+            }
+        }
+    }
+
+    #[test]
+    fn costs_follow_group_layout() {
+        let g = generate(&SyntheticConfig::new(10, 1, 0.5).with_rows(10));
+        assert_eq!(g.schema.cost(0), 1.0);
+        assert_eq!(g.schema.cost(1), 100.0);
+        assert_eq!(g.schema.cost(2), 1.0);
+        assert_eq!(g.schema.cost(3), 100.0);
+    }
+
+    #[test]
+    fn beta_calibration_extremes() {
+        // sel = 0 or 1 makes c = 1; identity is trivially 1, β clamps 0.
+        assert_eq!(SyntheticConfig::new(4, 1, 0.0).beta(), 0.0);
+        assert_eq!(SyntheticConfig::new(4, 1, 1.0).beta(), 0.0);
+        // sel = 0.5 -> c = 0.5 -> β = 0.6.
+        assert!((SyntheticConfig::new(4, 1, 0.5).beta() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ragged_final_group() {
+        // n not divisible by Γ+1: last group is smaller but still valid.
+        let cfg = SyntheticConfig::new(7, 2, 0.5).with_rows(100);
+        let g = generate(&cfg);
+        assert_eq!(g.schema.len(), 7);
+        assert_eq!(cfg.groups(), 3);
+        assert_eq!(cfg.cheap_attrs(), vec![0, 3, 6]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # acqp-gm — graphical-model probability estimation
+//!
+//! §7 of the paper ("Graphical Models") observes two weaknesses of
+//! estimating probabilities by counting a historical dataset: every
+//! estimate costs a scan, and after each conditioning split the
+//! surviving sample halves, so deep subproblems are estimated from
+//! almost no data and the planner overfits. The proposed remedy is a
+//! *compact probabilistic model* of the data.
+//!
+//! This crate implements that remedy as a **Chow–Liu tree**: the
+//! maximum-mutual-information spanning tree over the attributes, with
+//! Laplace-smoothed conditional probability tables. It supports:
+//!
+//! * exact inference of per-attribute marginals under *range evidence*
+//!   (each attribute constrained to an interval) via one
+//!   upward–downward message pass ([`ChowLiuTree::condition`]);
+//! * exact conditional *sampling* under the same evidence, used to build
+//!   joint truth-distributions over query predicates;
+//! * [`GmEstimator`], a drop-in [`acqp_core::Estimator`]: unlike the
+//!   counting estimator, its effective support never shrinks as the
+//!   planner descends — every subproblem is backed by a fresh
+//!   `sample_size`-tuple draw from the conditioned model.
+
+
+#![warn(missing_docs)]
+mod estimator;
+mod tree;
+
+pub use estimator::{GmCtx, GmEstimator};
+pub use tree::{ChowLiuTree, Conditioned};

@@ -1,0 +1,164 @@
+//! The basestation: off-line plan construction and dissemination
+//! costing (§2.4, §2.5).
+
+use acqp_core::prelude::*;
+
+use crate::energy::EnergyModel;
+
+/// Which planning algorithm the basestation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerChoice {
+    /// §4.1.1's traditional ordering.
+    Naive,
+    /// Correlation-aware sequential plan (`OptSeq`/`GreedySeq` via
+    /// [`SeqAlgorithm::Auto`]).
+    CorrSeq,
+    /// The greedy conditional planner with at most `k` splits.
+    Heuristic(usize),
+}
+
+/// A plan ready for dissemination.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The plan tree.
+    pub plan: Plan,
+    /// Its wire encoding (what is actually broadcast).
+    pub wire: Vec<u8>,
+    /// Expected per-tuple acquisition cost under the training data
+    /// (schema cost units).
+    pub expected_cost: f64,
+    /// The §2.4 objective `C(P) + α·ζ(P)` used to select it.
+    pub objective: f64,
+}
+
+/// The well-provisioned node that plans for the network.
+pub struct Basestation<'h> {
+    schema: Schema,
+    history: &'h Dataset,
+}
+
+impl<'h> Basestation<'h> {
+    /// Creates a basestation over collected historical readings.
+    pub fn new(schema: Schema, history: &'h Dataset) -> Self {
+        Basestation { schema, history }
+    }
+
+    /// The schema being planned over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Builds a plan with the given planner; `alpha` is the §2.4
+    /// plan-size penalty (cost units per byte of plan).
+    pub fn plan_query(
+        &self,
+        query: &Query,
+        choice: PlannerChoice,
+        alpha: f64,
+    ) -> Result<PlannedQuery> {
+        let est = CountingEstimator::with_ranges(self.history, Ranges::root(&self.schema));
+        let (plan, expected_cost) = match choice {
+            PlannerChoice::Naive => {
+                SeqPlanner::naive().plan_with_cost(&self.schema, query, &est)?
+            }
+            PlannerChoice::CorrSeq => {
+                SeqPlanner::auto().plan_with_cost(&self.schema, query, &est)?
+            }
+            PlannerChoice::Heuristic(k) => {
+                GreedyPlanner::new(k).plan_with_cost(&self.schema, query, &est)?
+            }
+        };
+        let wire = plan.encode();
+        let objective = expected_cost + alpha * wire.len() as f64;
+        Ok(PlannedQuery { plan, wire, expected_cost, objective })
+    }
+
+    /// §2.4's joint optimization, by sweep: builds `Heuristic-k` plans
+    /// for each candidate `k` and keeps the one minimizing
+    /// `C(P) + α·ζ(P)`. `α = (cost to transmit a byte) / (tuples
+    /// processed in the query lifetime)`: long-running queries drive α
+    /// toward 0 and larger plans win; short ones keep plans small.
+    pub fn plan_query_sized(
+        &self,
+        query: &Query,
+        alpha: f64,
+        candidate_splits: &[usize],
+    ) -> Result<(usize, PlannedQuery)> {
+        let mut best: Option<(usize, PlannedQuery)> = None;
+        for &k in candidate_splits {
+            let p = self.plan_query(query, PlannerChoice::Heuristic(k), alpha)?;
+            if best.as_ref().is_none_or(|(_, b)| p.objective < b.objective) {
+                best = Some((k, p));
+            }
+        }
+        best.ok_or(Error::EmptyQuery)
+    }
+
+    /// The §2.4 scaling factor for a deployment: transmit cost per byte
+    /// divided by the number of tuples the query will process.
+    pub fn alpha_for(model: &EnergyModel, motes: usize, epochs: usize) -> f64 {
+        let tuples = (motes * epochs).max(1) as f64;
+        // Dissemination reaches every mote: cost per plan byte is
+        // tx (basestation) plus rx at each mote.
+        let per_byte =
+            model.radio_tx_uj_per_byte + model.radio_rx_uj_per_byte * motes as f64;
+        per_byte / tuples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acqp_core::Attribute;
+
+    fn setup() -> (Schema, Dataset, Query) {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 2, 100.0),
+            Attribute::new("b", 2, 100.0),
+            Attribute::new("t", 2, 1.0),
+        ])
+        .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..200u16 {
+            let t = i % 2;
+            let a = if i % 10 == 0 { 1 - t } else { t };
+            let b = if i % 12 == 0 { t } else { 1 - t };
+            rows.push(vec![a, b, t]);
+        }
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)]).unwrap();
+        (schema, data, query)
+    }
+
+    #[test]
+    fn conditional_beats_naive_in_expectation() {
+        let (schema, data, query) = setup();
+        let bs = Basestation::new(schema, &data);
+        let naive = bs.plan_query(&query, PlannerChoice::Naive, 0.0).unwrap();
+        let cond = bs.plan_query(&query, PlannerChoice::Heuristic(4), 0.0).unwrap();
+        assert!(cond.expected_cost < naive.expected_cost);
+        assert!(cond.plan.split_count() >= 1);
+        assert_eq!(cond.wire.len(), cond.plan.wire_size());
+    }
+
+    #[test]
+    fn alpha_shrinks_chosen_plans_for_short_queries() {
+        let (schema, data, query) = setup();
+        let bs = Basestation::new(schema, &data);
+        let candidates = [0usize, 1, 2, 4, 8];
+        // Long-lived query: alpha ~ 0 -> richest beneficial plan.
+        let (k_long, _) = bs.plan_query_sized(&query, 0.0, &candidates).unwrap();
+        // Absurdly expensive dissemination: alpha huge -> smallest plan.
+        let (k_short, p_short) = bs.plan_query_sized(&query, 1e6, &candidates).unwrap();
+        assert!(k_short <= k_long);
+        assert_eq!(p_short.plan.split_count(), 0, "huge alpha must force a leaf plan");
+    }
+
+    #[test]
+    fn alpha_formula_scales_with_lifetime() {
+        let model = EnergyModel::mica_like();
+        let a_short = Basestation::alpha_for(&model, 10, 10);
+        let a_long = Basestation::alpha_for(&model, 10, 10_000);
+        assert!(a_long < a_short);
+    }
+}

@@ -1,0 +1,118 @@
+//! Energy accounting for motes.
+//!
+//! Acquisition energy follows the schema's abstract per-attribute costs
+//! scaled to microjoules; §7's *complex acquisition costs* are modelled
+//! by sensor boards: the first reading from any sensor on a board in a
+//! given epoch additionally pays the board's power-up energy. Radio
+//! traffic (plan dissemination down, results up) is charged per byte.
+
+use acqp_core::{AttrId, Schema};
+
+/// Static energy parameters of a mote.
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    /// Microjoules per abstract schema cost unit.
+    pub uj_per_cost_unit: f64,
+    /// Sensor boards: the first acquisition from any attribute of a
+    /// board in an epoch pays `board_powerup_uj` once (§7).
+    pub boards: Vec<Vec<AttrId>>,
+    /// Energy to power a sensor board up, per epoch it is used.
+    pub board_powerup_uj: f64,
+    /// Radio transmit energy per byte.
+    pub radio_tx_uj_per_byte: f64,
+    /// Radio receive energy per byte.
+    pub radio_rx_uj_per_byte: f64,
+}
+
+impl EnergyModel {
+    /// A model loosely calibrated to mica-mote magnitudes: ~90 µJ per
+    /// sampled expensive sensor unit scale, ~1 µJ/byte radio.
+    pub fn mica_like() -> Self {
+        EnergyModel {
+            uj_per_cost_unit: 1.0,
+            boards: Vec::new(),
+            board_powerup_uj: 0.0,
+            radio_tx_uj_per_byte: 1.0,
+            radio_rx_uj_per_byte: 0.75,
+        }
+    }
+
+    /// Adds a sensor board over the given attributes with the given
+    /// power-up energy.
+    pub fn with_board(mut self, attrs: Vec<AttrId>, powerup_uj: f64) -> Self {
+        self.boards.push(attrs);
+        self.board_powerup_uj = powerup_uj;
+        self
+    }
+
+    /// The board index of an attribute, if it sits on one.
+    pub fn board_of(&self, attr: AttrId) -> Option<usize> {
+        self.boards.iter().position(|b| b.contains(&attr))
+    }
+
+    /// Acquisition energy of one reading of `attr` (excluding board
+    /// power-up).
+    pub fn sense_uj(&self, schema: &Schema, attr: AttrId) -> f64 {
+        schema.cost(attr) * self.uj_per_cost_unit
+    }
+}
+
+/// Running energy totals for one mote (or the whole network).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyLedger {
+    /// Sensor sampling energy.
+    pub sensing_uj: f64,
+    /// Board power-up energy (§7 complex costs).
+    pub board_uj: f64,
+    /// Radio transmit energy.
+    pub radio_tx_uj: f64,
+    /// Radio receive energy.
+    pub radio_rx_uj: f64,
+}
+
+impl EnergyLedger {
+    /// Total energy across all categories.
+    pub fn total_uj(&self) -> f64 {
+        self.sensing_uj + self.board_uj + self.radio_tx_uj + self.radio_rx_uj
+    }
+
+    /// Accumulates another ledger into this one.
+    pub fn absorb(&mut self, other: &EnergyLedger) {
+        self.sensing_uj += other.sensing_uj;
+        self.board_uj += other.board_uj;
+        self.radio_tx_uj += other.radio_tx_uj;
+        self.radio_rx_uj += other.radio_rx_uj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acqp_core::Attribute;
+
+    #[test]
+    fn board_lookup_and_energy() {
+        let schema = acqp_core::Schema::new(vec![
+            Attribute::new("light", 8, 100.0),
+            Attribute::new("temp", 8, 100.0),
+            Attribute::new("hour", 24, 1.0),
+        ])
+        .unwrap();
+        let m = EnergyModel::mica_like().with_board(vec![0, 1], 500.0);
+        assert_eq!(m.board_of(0), Some(0));
+        assert_eq!(m.board_of(1), Some(0));
+        assert_eq!(m.board_of(2), None);
+        assert_eq!(m.sense_uj(&schema, 0), 100.0);
+        assert_eq!(m.sense_uj(&schema, 2), 1.0);
+    }
+
+    #[test]
+    fn ledger_totals_and_absorb() {
+        let mut a = EnergyLedger { sensing_uj: 10.0, board_uj: 5.0, radio_tx_uj: 2.0, radio_rx_uj: 1.0 };
+        assert_eq!(a.total_uj(), 18.0);
+        let b = EnergyLedger { sensing_uj: 1.0, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.sensing_uj, 11.0);
+        assert_eq!(a.total_uj(), 19.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Byte-code plan interpreter.
+//!
+//! Motes receive a plan as the compact wire encoding of
+//! [`acqp_core::Plan::encode`] and execute it *directly from the bytes*:
+//! no tree materialization, no heap — matching the "minimal
+//! computational power" execution story of §2.5. Branching to the high
+//! side of a split skips over the low subtree with a structural scan.
+
+use acqp_core::{Error, ExecOutcome, Query, Result, Schema, TupleSource};
+
+/// Executes the wire-encoded plan for one tuple, charging acquisition
+/// costs from `schema` exactly like [`acqp_core::execute`] does for the
+/// decoded tree.
+pub fn execute_wire(
+    bytes: &[u8],
+    query: &Query,
+    schema: &Schema,
+    src: &mut impl TupleSource,
+) -> Result<ExecOutcome> {
+    let mut cache: Vec<Option<u16>> = vec![None; schema.len()];
+    let mut cost = 0.0;
+    let mut acquired = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let tag = *bytes.get(pos).ok_or(Error::BadWireFormat { offset: pos, what: "truncated" })?;
+        match tag {
+            0x00 | 0x01 => {
+                return Ok(ExecOutcome { verdict: tag == 0x01, cost, acquired });
+            }
+            0x02 => {
+                let len = *bytes
+                    .get(pos + 1)
+                    .ok_or(Error::BadWireFormat { offset: pos + 1, what: "truncated seq" })?
+                    as usize;
+                let body = bytes
+                    .get(pos + 2..pos + 2 + len)
+                    .ok_or(Error::BadWireFormat { offset: pos + 2, what: "truncated seq body" })?;
+                for &pb in body {
+                    let j = pb as usize;
+                    if j >= query.len() {
+                        return Err(Error::BadWireFormat {
+                            offset: pos,
+                            what: "predicate index out of range",
+                        });
+                    }
+                    let p = query.pred(j);
+                    let v = fetch(p.attr(), schema, src, &mut cache, &mut cost, &mut acquired);
+                    if !p.eval(v) {
+                        return Ok(ExecOutcome { verdict: false, cost, acquired });
+                    }
+                }
+                return Ok(ExecOutcome { verdict: true, cost, acquired });
+            }
+            0x03 => {
+                let hdr = bytes
+                    .get(pos + 1..pos + 4)
+                    .ok_or(Error::BadWireFormat { offset: pos + 1, what: "truncated split" })?;
+                let attr = hdr[0] as usize;
+                if attr >= schema.len() {
+                    return Err(Error::BadWireFormat { offset: pos + 1, what: "attr out of range" });
+                }
+                let cut = u16::from_le_bytes([hdr[1], hdr[2]]);
+                let v = fetch(attr, schema, src, &mut cache, &mut cost, &mut acquired);
+                if v < cut {
+                    pos += 4;
+                } else {
+                    pos = skip_subtree(bytes, pos + 4)?;
+                }
+            }
+            _ => return Err(Error::BadWireFormat { offset: pos, what: "unknown tag" }),
+        }
+    }
+}
+
+/// Returns the byte offset just past the subtree starting at `pos`.
+pub fn skip_subtree(bytes: &[u8], pos: usize) -> Result<usize> {
+    let tag = *bytes.get(pos).ok_or(Error::BadWireFormat { offset: pos, what: "truncated" })?;
+    match tag {
+        0x00 | 0x01 => Ok(pos + 1),
+        0x02 => {
+            let len = *bytes
+                .get(pos + 1)
+                .ok_or(Error::BadWireFormat { offset: pos + 1, what: "truncated seq" })?
+                as usize;
+            let end = pos + 2 + len;
+            if end > bytes.len() {
+                return Err(Error::BadWireFormat { offset: pos, what: "truncated seq body" });
+            }
+            Ok(end)
+        }
+        0x03 => {
+            if pos + 4 > bytes.len() {
+                return Err(Error::BadWireFormat { offset: pos, what: "truncated split" });
+            }
+            let after_lo = skip_subtree(bytes, pos + 4)?;
+            skip_subtree(bytes, after_lo)
+        }
+        _ => Err(Error::BadWireFormat { offset: pos, what: "unknown tag" }),
+    }
+}
+
+#[inline]
+fn fetch(
+    attr: usize,
+    schema: &Schema,
+    src: &mut impl TupleSource,
+    cache: &mut [Option<u16>],
+    cost: &mut f64,
+    acquired: &mut Vec<usize>,
+) -> u16 {
+    if let Some(v) = cache[attr] {
+        return v;
+    }
+    let v = src.acquire(attr);
+    cache[attr] = Some(v);
+    *cost += schema.cost(attr);
+    acquired.push(attr);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acqp_core::{execute, Attribute, Dataset, Plan, Pred, RowSource, SeqOrder};
+
+    fn setup() -> (Schema, Dataset, Query) {
+        let schema = acqp_core::Schema::new(vec![
+            Attribute::new("a", 8, 10.0),
+            Attribute::new("b", 8, 20.0),
+            Attribute::new("t", 8, 1.0),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<u16>> =
+            (0..64u16).map(|i| vec![i % 8, (i / 8) % 8, (i * 3) % 8]).collect();
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query =
+            Query::new(vec![Pred::in_range(0, 2, 5), Pred::not_in_range(1, 3, 6)]).unwrap();
+        (schema, data, query)
+    }
+
+    fn plans() -> Vec<Plan> {
+        vec![
+            Plan::pass(),
+            Plan::fail(),
+            Plan::Seq(SeqOrder::new(vec![0, 1])),
+            Plan::Seq(SeqOrder::new(vec![1, 0])),
+            Plan::split(2, 4, Plan::Seq(SeqOrder::new(vec![0, 1])), Plan::Seq(SeqOrder::new(vec![1, 0]))),
+            Plan::split(
+                2,
+                3,
+                Plan::split(0, 3, Plan::fail(), Plan::Seq(SeqOrder::new(vec![0, 1]))),
+                Plan::split(1, 5, Plan::Seq(SeqOrder::new(vec![1, 0])), Plan::Seq(SeqOrder::new(vec![0]))),
+            ),
+        ]
+    }
+
+    #[test]
+    fn interpreter_matches_tree_executor_on_every_row() {
+        let (schema, data, query) = setup();
+        for plan in plans() {
+            let wire = plan.encode();
+            for row in 0..data.len() {
+                let tree = execute(&plan, &query, &schema, &mut RowSource::new(&data, row));
+                let byte =
+                    execute_wire(&wire, &query, &schema, &mut RowSource::new(&data, row))
+                        .unwrap();
+                assert_eq!(tree.verdict, byte.verdict, "row {row} plan {plan:?}");
+                assert_eq!(tree.cost, byte.cost);
+                assert_eq!(tree.acquired, byte.acquired);
+            }
+        }
+    }
+
+    #[test]
+    fn skip_subtree_spans() {
+        let plan = plans().pop().unwrap();
+        let wire = plan.encode();
+        // Skipping the whole tree lands exactly at the end.
+        assert_eq!(skip_subtree(&wire, 0).unwrap(), wire.len());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let (schema, data, query) = setup();
+        let mut src = RowSource::new(&data, 0);
+        assert!(execute_wire(&[], &query, &schema, &mut src).is_err());
+        assert!(execute_wire(&[0x07], &query, &schema, &mut src).is_err());
+        // Split referencing an out-of-schema attribute.
+        assert!(execute_wire(&[0x03, 99, 0, 0, 0x00, 0x01], &query, &schema, &mut src).is_err());
+        // Seq referencing an out-of-range predicate.
+        assert!(execute_wire(&[0x02, 1, 9], &query, &schema, &mut src).is_err());
+    }
+}

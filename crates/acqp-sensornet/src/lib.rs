@@ -1,0 +1,39 @@
+//! # acqp-sensornet — sensor-network execution substrate
+//!
+//! The paper's architecture (§2.5, Fig. 4): a well-provisioned
+//! *basestation* collects historical readings, builds a conditional plan
+//! off-line, and ships its compact encoding into the network; *motes*
+//! execute the plan per epoch — a cheap binary-tree traversal — and
+//! transmit passing tuples back. §2.4 adds the communication-aware
+//! objective `argmin_P C(P) + α·ζ(P)`, and §7 the "complex acquisition
+//! costs" extension where sensors share a board whose power-up is paid
+//! once per tuple.
+//!
+//! All of that is built here:
+//!
+//! * [`energy`] — energy accounting: per-sensor µJ, shared-board
+//!   power-up, radio per-byte costs.
+//! * [`interp`] — a byte-code interpreter that executes the *wire
+//!   encoding* of a plan directly (no decoding, no heap) — what a mote
+//!   would run.
+//! * [`mote`] — a mote: a trace-fed tuple source with an energy ledger.
+//! * [`basestation`] — plan construction, the α-penalized plan-size
+//!   choice, dissemination costing.
+//! * [`sim`] — the epoch loop tying it together, with a network-wide
+//!   energy report.
+
+
+#![warn(missing_docs)]
+pub mod basestation;
+pub mod energy;
+pub mod interp;
+pub mod mote;
+pub mod sim;
+pub mod topology;
+
+pub use basestation::{Basestation, PlannedQuery, PlannerChoice};
+pub use energy::{EnergyLedger, EnergyModel};
+pub use interp::execute_wire;
+pub use mote::Mote;
+pub use sim::{run_simulation, run_simulation_multihop, SimReport};
+pub use topology::Topology;

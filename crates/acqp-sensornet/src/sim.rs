@@ -1,0 +1,255 @@
+//! The epoch-loop simulation: dissemination, per-epoch plan execution on
+//! every mote, result reporting, network-wide energy accounting.
+
+use acqp_core::{Dataset, Query, Schema};
+
+use crate::basestation::PlannedQuery;
+use crate::energy::{EnergyLedger, EnergyModel};
+use crate::interp::execute_wire;
+use crate::mote::Mote;
+
+/// Result of simulating one planned query over a fleet of motes.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Epochs executed.
+    pub epochs: usize,
+    /// Tuples evaluated (motes × epochs).
+    pub tuples: usize,
+    /// Tuples that satisfied the query (transmitted to the basestation).
+    pub results: usize,
+    /// Whether every verdict matched ground truth.
+    pub all_correct: bool,
+    /// Aggregate energy over all motes.
+    pub network: EnergyLedger,
+    /// Per-mote energy ledgers.
+    pub per_mote: Vec<EnergyLedger>,
+    /// Mean per-tuple sensing energy (µJ) — the quantity conditional
+    /// plans minimize.
+    pub sensing_uj_per_tuple: f64,
+}
+
+/// Size of one reported result tuple on air, in bytes (id + values of
+/// the selected attributes; a fixed small constant keeps the model
+/// simple).
+const RESULT_BYTES: usize = 8;
+
+/// Runs `planned` for `epochs` epochs on the given motes.
+///
+/// Each mote receives the plan (radio rx), executes its wire encoding
+/// once per epoch against its own trace (sensing + board energy), and
+/// transmits a fixed-size result packet for every passing tuple.
+pub fn run_simulation(
+    schema: &Schema,
+    query: &Query,
+    planned: &PlannedQuery,
+    motes: &mut [Mote],
+    model: &EnergyModel,
+    epochs: usize,
+) -> SimReport {
+    // Dissemination.
+    for m in motes.iter_mut() {
+        m.receive(planned.wire.len(), model);
+    }
+
+    let mut results = 0usize;
+    let mut tuples = 0usize;
+    let mut all_correct = true;
+    for e in 0..epochs {
+        for m in motes.iter_mut() {
+            if e >= m.epochs() {
+                continue;
+            }
+            tuples += 1;
+            let out = {
+                let mut src = m.epoch_source(e, schema, model);
+                execute_wire(&planned.wire, query, schema, &mut src)
+                    .expect("basestation-produced wire plans are well-formed")
+            };
+            let truth = query.eval_with(|a| m.peek(e, a));
+            all_correct &= out.verdict == truth;
+            if out.verdict {
+                results += 1;
+                m.transmit(RESULT_BYTES, model);
+            }
+        }
+    }
+
+    let per_mote: Vec<EnergyLedger> = motes.iter().map(|m| *m.ledger()).collect();
+    let mut network = EnergyLedger::default();
+    for l in &per_mote {
+        network.absorb(l);
+    }
+    SimReport {
+        epochs,
+        tuples,
+        results,
+        all_correct,
+        network,
+        per_mote,
+        sensing_uj_per_tuple: if tuples > 0 {
+            network.sensing_uj / tuples as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Splits a flat multi-mote trace (one row per epoch, whole-network
+/// schema — the Garden layout) into per-mote traces is not needed: in
+/// the Garden model every mote evaluates the *network-wide* tuple, so
+/// each "mote" is handed the same epoch rows. This helper instead builds
+/// a fleet of `n` motes that all observe the given trace.
+pub fn fleet_from_trace(trace: &Dataset, n: u16) -> Vec<Mote> {
+    (0..n).map(|id| Mote::new(id, trace.clone())).collect()
+}
+
+/// Like [`run_simulation`] but over a multihop collection tree:
+/// dissemination floods down the tree (interior motes forward the plan)
+/// and every result climbs hop by hop, charging each ancestor a relay.
+/// Returns the report plus the basestation's own transmit energy.
+pub fn run_simulation_multihop(
+    schema: &Schema,
+    query: &Query,
+    planned: &PlannedQuery,
+    motes: &mut [Mote],
+    topo: &crate::topology::Topology,
+    model: &EnergyModel,
+    epochs: usize,
+) -> (SimReport, f64) {
+    assert_eq!(motes.len(), topo.len());
+    // Dissemination down the tree.
+    let mut ledgers: Vec<EnergyLedger> = motes.iter().map(|m| *m.ledger()).collect();
+    let bs_tx = topo.charge_dissemination(planned.wire.len(), model, &mut ledgers);
+
+    let mut results = 0usize;
+    let mut tuples = 0usize;
+    let mut all_correct = true;
+    for e in 0..epochs {
+        for (mi, m) in motes.iter_mut().enumerate() {
+            if e >= m.epochs() {
+                continue;
+            }
+            tuples += 1;
+            let out = {
+                let mut src = m.epoch_source(e, schema, model);
+                execute_wire(&planned.wire, query, schema, &mut src)
+                    .expect("basestation-produced wire plans are well-formed")
+            };
+            let truth = query.eval_with(|a| m.peek(e, a));
+            all_correct &= out.verdict == truth;
+            if out.verdict {
+                results += 1;
+                topo.charge_result(mi, RESULT_BYTES, model, &mut ledgers);
+            }
+        }
+    }
+    // Merge sensing/board energy (tracked inside each mote) with the
+    // radio energy tracked by the topology layer.
+    for (m, topo_ledger) in motes.iter_mut().zip(&ledgers) {
+        let l = m.ledger_mut();
+        l.radio_rx_uj = topo_ledger.radio_rx_uj;
+        l.radio_tx_uj = topo_ledger.radio_tx_uj;
+    }
+    let per_mote: Vec<EnergyLedger> = motes.iter().map(|m| *m.ledger()).collect();
+    let mut network = EnergyLedger::default();
+    for l in &per_mote {
+        network.absorb(l);
+    }
+    let report = SimReport {
+        epochs,
+        tuples,
+        results,
+        all_correct,
+        sensing_uj_per_tuple: if tuples > 0 {
+            network.sensing_uj / tuples as f64
+        } else {
+            0.0
+        },
+        network,
+        per_mote,
+    };
+    (report, bs_tx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basestation::{Basestation, PlannerChoice};
+    use acqp_core::{Attribute, Pred};
+
+    fn setup() -> (Schema, Dataset, Query) {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 2, 100.0),
+            Attribute::new("b", 2, 100.0),
+            Attribute::new("t", 2, 1.0),
+        ])
+        .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..400u16 {
+            let t = i % 2;
+            let a = if i % 10 == 0 { 1 - t } else { t };
+            let b = if i % 12 == 0 { t } else { 1 - t };
+            rows.push(vec![a, b, t]);
+        }
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)]).unwrap();
+        (schema, data, query)
+    }
+
+    #[test]
+    fn simulation_accounts_and_validates() {
+        let (schema, data, query) = setup();
+        let (train, live) = data.split_at(0.5);
+        let bs = Basestation::new(schema.clone(), &train);
+        let planned = bs.plan_query(&query, PlannerChoice::Heuristic(4), 0.0).unwrap();
+
+        let mut motes = fleet_from_trace(&live, 3);
+        let report = run_simulation(&schema, &query, &planned, &mut motes, &EnergyModel::mica_like(), live.len());
+        assert!(report.all_correct);
+        assert_eq!(report.tuples, 3 * live.len());
+        // Dissemination was charged to every mote.
+        assert!(report.network.radio_rx_uj > 0.0);
+        assert_eq!(report.per_mote.len(), 3);
+        // Sensing energy per tuple sits between the single- and
+        // two-sensor cost.
+        assert!(report.sensing_uj_per_tuple >= 1.0);
+        assert!(report.sensing_uj_per_tuple <= 201.0);
+    }
+
+    #[test]
+    fn conditional_plan_saves_network_energy_vs_naive() {
+        let (schema, data, query) = setup();
+        let (train, live) = data.split_at(0.5);
+        let bs = Basestation::new(schema.clone(), &train);
+        let model = EnergyModel::mica_like();
+
+        let run = |choice: PlannerChoice| {
+            let planned = bs.plan_query(&query, choice, 0.0).unwrap();
+            let mut motes = fleet_from_trace(&live, 2);
+            run_simulation(&schema, &query, &planned, &mut motes, &model, live.len())
+        };
+        let naive = run(PlannerChoice::Naive);
+        let cond = run(PlannerChoice::Heuristic(4));
+        assert!(naive.all_correct && cond.all_correct);
+        assert!(
+            cond.network.sensing_uj < naive.network.sensing_uj,
+            "conditional {} vs naive {}",
+            cond.network.sensing_uj,
+            naive.network.sensing_uj
+        );
+    }
+
+    #[test]
+    fn board_powerup_charged_in_simulation() {
+        let (schema, data, query) = setup();
+        let (train, live) = data.split_at(0.5);
+        let bs = Basestation::new(schema.clone(), &train);
+        let model = EnergyModel::mica_like().with_board(vec![0, 1], 300.0);
+        let planned = bs.plan_query(&query, PlannerChoice::Naive, 0.0).unwrap();
+        let mut motes = fleet_from_trace(&live, 1);
+        let report = run_simulation(&schema, &query, &planned, &mut motes, &model, live.len());
+        assert!(report.network.board_uj > 0.0);
+        // At most one power-up per tuple.
+        assert!(report.network.board_uj <= 300.0 * report.tuples as f64);
+    }
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Records every figure/table reproduction into bench_output.txt.
+#
+# The exhaustive-planner benches (fig08a, fig08b) are the long pole; the
+# ACQP_QUERIES knob trades queries-per-figure against wall time. The
+# defaults below finish in ~10 minutes on a 16-core box; unset the env
+# vars (paper-scale 95/20 queries) for a fuller run.
+set -euo pipefail
+cd "$(dirname "$0")"
+out=bench_output.txt
+: >"$out"
+
+run() {
+  echo "### $*" | tee -a "$out"
+  "$@" 2>&1 | tee -a "$out"
+  echo | tee -a "$out"
+}
+
+run cargo bench -p acqp-bench --bench fig01_lab_correlation
+run cargo bench -p acqp-bench --bench fig02_motivating_example
+run cargo bench -p acqp-bench --bench fig03_plan_enumeration
+run env ACQP_QUERIES=${ACQP_QUERIES_FIG8A:-24} \
+  cargo bench -p acqp-bench --bench fig08a_lab_quality
+run env ACQP_QUERIES=${ACQP_QUERIES_FIG8B:-10} \
+  cargo bench -p acqp-bench --bench fig08b_spsf_sweep
+run cargo bench -p acqp-bench --bench fig08c_gain_cdf
+run cargo bench -p acqp-bench --bench fig09_plan_study
+run cargo bench -p acqp-bench --bench fig10_garden5
+run cargo bench -p acqp-bench --bench fig11_garden11
+run cargo bench -p acqp-bench --bench fig12_synthetic
+run cargo bench -p acqp-bench --bench exists_queries
+run cargo bench -p acqp-bench --bench ablations
+run cargo bench -p acqp-bench --bench ablation_plan_size
+run cargo bench -p acqp-bench --bench estimator_ops
+run cargo bench -p acqp-bench --bench scalability
+echo "ALL BENCHES RECORDED" | tee -a "$out"

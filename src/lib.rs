@@ -1,0 +1,39 @@
+//! # acqp — correlation-aware acquisitional query processing
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of
+//! *"Exploiting Correlated Attributes in Acquisitional Query Processing"*
+//! (Deshpande, Guestrin, Hong, Madden — ICDE 2005).
+//!
+//! * [`core`] — the paper's contribution: conditional plans, cost model,
+//!   probability estimation and all planners.
+//! * [`data`] — dataset substrates: Lab, Garden and Babu-et-al synthetic
+//!   sensor-trace generators, CSV I/O.
+//! * [`gm`] — §7 extension: Chow–Liu tree graphical-model estimation.
+//! * [`sensornet`] — execution substrate: motes, energy accounting,
+//!   radio costs, basestation planning, plan byte-code interpreter.
+//! * [`stream`] — §7 extension: sliding-window statistics, drift
+//!   detection and automatic re-planning over data streams.
+//!
+//! See `examples/` for runnable end-to-end scenarios; start with
+//! `cargo run --release --example quickstart`.
+
+
+#![warn(missing_docs)]
+pub use acqp_core as core;
+pub use acqp_data as data;
+pub use acqp_gm as gm;
+pub use acqp_sensornet as sensornet;
+pub use acqp_stream as stream;
+
+/// Everything most programs need: the core prelude plus generators and
+/// the sensornet front door.
+pub mod prelude {
+    pub use acqp_core::prelude::*;
+    pub use acqp_data::garden::GardenConfig;
+    pub use acqp_data::lab::LabConfig;
+    pub use acqp_data::synthetic::SyntheticConfig;
+    pub use acqp_data::Generated;
+    pub use acqp_gm::{ChowLiuTree, GmEstimator};
+    pub use acqp_sensornet::{Basestation, EnergyModel, PlannerChoice, Topology};
+    pub use acqp_stream::{AdaptivePlanner, SlidingWindow};
+}

@@ -1,0 +1,223 @@
+//! Property-based invariants over random schemas, datasets and queries.
+
+use acqp::core::prelude::*;
+use proptest::prelude::*;
+
+/// A random planning instance: schema (2–5 attributes, domains 2–8,
+/// mixed costs), dataset (20–120 correlated-ish rows) and a conjunctive
+/// query over a subset of attributes.
+#[derive(Debug, Clone)]
+struct Instance {
+    schema: Schema,
+    data: Dataset,
+    query: Query,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (2usize..=5, any::<u64>()).prop_flat_map(|(n, seed)| {
+        (
+            proptest::collection::vec(2u16..=8, n),
+            proptest::collection::vec(proptest::bool::ANY, n),
+            20usize..=120,
+            Just(seed),
+        )
+            .prop_map(move |(domains, cheap, rows, seed)| {
+                let attrs: Vec<Attribute> = domains
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &k)| {
+                        Attribute::new(
+                            format!("x{i}"),
+                            k,
+                            if cheap[i] { 1.0 } else { 50.0 },
+                        )
+                    })
+                    .collect();
+                let schema = Schema::new(attrs).unwrap();
+                // Correlated rows from a tiny xorshift stream: a latent
+                // value drives every attribute plus noise.
+                let mut s = seed | 1;
+                let mut next = move || {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s
+                };
+                let data = Dataset::from_rows(
+                    &schema,
+                    (0..rows)
+                        .map(|_| {
+                            let latent = next();
+                            domains
+                                .iter()
+                                .map(|&k| {
+                                    let noise = next() % 3;
+                                    ((latent.wrapping_add(noise) >> 5) % u64::from(k)) as u16
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                )
+                .unwrap();
+                // Query over the first 1..=min(3,n) attributes with
+                // mid-domain ranges, negated on odd attrs.
+                let m = domains.len().clamp(1, 3);
+                let preds: Vec<Pred> = (0..m)
+                    .map(|a| {
+                        let k = domains[a];
+                        let lo = k / 4;
+                        let hi = (3 * k / 4).max(lo);
+                        if a % 2 == 1 {
+                            Pred::not_in_range(a, lo, hi)
+                        } else {
+                            Pred::in_range(a, lo, hi)
+                        }
+                    })
+                    .collect();
+                let query = Query::checked(preds, &schema).unwrap();
+                Instance { schema, data, query }
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every plan from every planner computes exactly φ(x) on every
+    /// tuple, and the claimed model cost equals the training mean.
+    #[test]
+    fn planners_always_exact(inst in instance_strategy()) {
+        let Instance { schema, data, query } = inst;
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let plans = vec![
+            SeqPlanner::naive().plan_with_cost(&schema, &query, &est).unwrap(),
+            SeqPlanner::greedy().plan_with_cost(&schema, &query, &est).unwrap(),
+            SeqPlanner::optimal().plan_with_cost(&schema, &query, &est).unwrap(),
+            GreedyPlanner::new(4).plan_with_cost(&schema, &query, &est).unwrap(),
+        ];
+        for (plan, claimed) in plans {
+            let rep = measure(&plan, &query, &schema, &data);
+            prop_assert!(rep.all_correct, "incorrect plan {plan:?}");
+            prop_assert!((claimed - rep.mean_cost).abs() < 1e-6,
+                "claimed {claimed} vs measured {}", rep.mean_cost);
+        }
+    }
+
+    /// The exhaustive optimum never exceeds any other planner's cost on
+    /// the training distribution (grids aligned).
+    #[test]
+    fn exhaustive_dominates(inst in instance_strategy()) {
+        let Instance { schema, data, query } = inst;
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let (exh, ce, used) = ExhaustivePlanner::new()
+            .max_subproblems(500_000)
+            .plan_with_stats(&schema, &query, &est)
+            .unwrap();
+        prop_assume!(used <= 500_000); // only check proven optima
+        let rep = measure(&exh, &query, &schema, &data);
+        prop_assert!(rep.all_correct);
+        prop_assert!((ce - rep.mean_cost).abs() < 1e-6);
+        for (plan, _) in [
+            SeqPlanner::optimal().plan_with_cost(&schema, &query, &est).unwrap(),
+            GreedyPlanner::new(6).plan_with_cost(&schema, &query, &est).unwrap(),
+        ] {
+            let other = measure(&plan, &query, &schema, &data).mean_cost;
+            prop_assert!(ce <= other + 1e-6, "exhaustive {ce} > other {other}");
+        }
+    }
+
+    /// Wire encoding round-trips and the byte-code interpreter agrees
+    /// with the tree executor on every tuple.
+    #[test]
+    fn wire_format_and_interpreter_agree(inst in instance_strategy()) {
+        let Instance { schema, data, query } = inst;
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let plan = GreedyPlanner::new(5).plan(&schema, &query, &est).unwrap();
+        let wire = plan.encode();
+        prop_assert_eq!(&Plan::decode(&wire).unwrap(), &plan);
+        for row in 0..data.len() {
+            let a = execute(&plan, &query, &schema, &mut RowSource::new(&data, row));
+            let b = acqp::sensornet::execute_wire(
+                &wire, &query, &schema, &mut RowSource::new(&data, row)).unwrap();
+            prop_assert_eq!(a.verdict, b.verdict);
+            prop_assert!((a.cost - b.cost).abs() < 1e-12);
+            prop_assert_eq!(a.acquired, b.acquired);
+        }
+    }
+
+    /// Estimator laws: histograms are distributions, refinement is
+    /// monotone in mass, and truth tables are consistent with direct
+    /// counting.
+    #[test]
+    fn estimator_laws(inst in instance_strategy()) {
+        let Instance { schema, data, query } = inst;
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let root = est.root();
+        prop_assert!((est.mass(&root) - 1.0).abs() < 1e-9);
+        for a in 0..schema.len() {
+            let h = est.hist(&root, a);
+            prop_assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(h.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+            let k = schema.domain(a);
+            if k >= 2 {
+                let child = est.refine(&root, a, Range::new(0, k / 2));
+                prop_assert!(est.mass(&child) <= est.mass(&root) + 1e-12);
+                prop_assert!(est.support(&child) <= est.support(&root));
+            }
+        }
+        let t = est.truth_table(&root, &query);
+        let direct = (0..data.len())
+            .filter(|&r| query.eval_with(|a| data.value(r, a)))
+            .count() as f64;
+        let full_mask = (1u64 << query.len()) - 1;
+        prop_assert!((t.weight_superset(full_mask) - direct).abs() < 1e-9);
+    }
+
+    /// Simplification preserves every verdict and never increases
+    /// measured cost or wire size.
+    #[test]
+    fn simplify_is_sound_and_non_increasing(inst in instance_strategy()) {
+        let Instance { schema, data, query } = inst;
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let plan = GreedyPlanner::new(5).plan(&schema, &query, &est).unwrap();
+        let simp = plan.simplify();
+        prop_assert!(simp.wire_size() <= plan.wire_size());
+        let a = measure(&plan, &query, &schema, &data);
+        let b = measure(&simp, &query, &schema, &data);
+        prop_assert!(a.all_correct && b.all_correct);
+        prop_assert!(b.mean_cost <= a.mean_cost + 1e-9);
+        prop_assert!((a.pass_rate - b.pass_rate).abs() < 1e-12);
+    }
+
+    /// Explain totals equal the Eq.(3) expected cost for every planner
+    /// output.
+    #[test]
+    fn explain_totals_match(inst in instance_strategy()) {
+        let Instance { schema, data, query } = inst;
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let plan = GreedyPlanner::new(4).plan(&schema, &query, &est).unwrap();
+        let ex = explain(&plan, &query, &schema, &CostModel::PerAttribute, &est);
+        let want = expected_cost(&plan, &query, &schema, &est);
+        prop_assert!((ex.total_cost() - want).abs() < 1e-9);
+    }
+
+    /// Sequential-plan expected cost from the truth table equals a
+    /// brute-force per-row simulation.
+    #[test]
+    fn seq_cost_matches_simulation(inst in instance_strategy()) {
+        let Instance { schema, data, query } = inst;
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let root = est.root();
+        let table = est.truth_table(&root, &query);
+        let order: Vec<usize> = (0..query.len()).collect();
+        let eff: Vec<f64> = query
+            .preds()
+            .iter()
+            .map(|p| schema.cost(p.attr()))
+            .collect();
+        let model = table.seq_cost(&order, &eff);
+        let plan = Plan::Seq(SeqOrder::new(order));
+        let measured = measure(&plan, &query, &schema, &data).mean_cost;
+        prop_assert!((model - measured).abs() < 1e-9, "{model} vs {measured}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: full plan→execute pipelines over every
+//! dataset substrate, checking the paper's structural guarantees.
+
+use acqp::core::prelude::*;
+use acqp::data::garden::{self, GardenConfig};
+use acqp::data::lab::{self, LabConfig};
+use acqp::data::synthetic::{self, SyntheticConfig};
+use acqp::data::workload::{garden_queries_on, lab_queries, synthetic_query};
+
+/// Every planner on every Lab query: plans are always exact, and on the
+/// *training* window the quality ordering
+/// `Exhaustive ≤ Heuristic ≤ OptSeq ≤ Naive-as-executed` holds.
+#[test]
+fn lab_dominance_chain_on_training_data() {
+    let g = lab::generate(&LabConfig { motes: 8, epochs: 500, ..LabConfig::default() });
+    let (train, _) = g.split(0.8);
+    let queries = lab_queries(&g.schema, &train, 6, 3, 11);
+    for (qi, q) in queries.iter().enumerate() {
+        let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
+        let grid = SplitGrid::for_query(&g.schema, q, 2);
+
+        let naive = SeqPlanner::naive().plan(&g.schema, q, &est).unwrap();
+        let optseq = SeqPlanner::optimal().plan(&g.schema, q, &est).unwrap();
+        let heur = GreedyPlanner::new(10)
+            .with_base(SeqAlgorithm::Optimal)
+            .with_grid(grid.clone())
+            .plan(&g.schema, q, &est)
+            .unwrap();
+        let (exh, _, used) = ExhaustivePlanner::with_grid(grid)
+            .max_subproblems(2_000_000)
+            .plan_with_stats(&g.schema, q, &est)
+            .unwrap();
+        assert!(used <= 2_000_000, "query {qi}: exhaustive must complete");
+
+        let c = |p: &Plan| {
+            let r = measure(p, q, &g.schema, &train);
+            assert!(r.all_correct, "query {qi}: plan must be exact");
+            r.mean_cost
+        };
+        let (cn, co, ch, ce) = (c(&naive), c(&optseq), c(&heur), c(&exh));
+        assert!(ce <= ch + 1e-6, "query {qi}: exhaustive {ce} > heuristic {ch}");
+        assert!(ch <= co + 1e-6, "query {qi}: heuristic {ch} > optseq {co}");
+        assert!(co <= cn + 1e-6, "query {qi}: optseq {co} > naive {cn}");
+    }
+}
+
+/// Garden: all three §6.2 algorithms stay exact on held-out data, and
+/// the conditional planner never regresses on the training window.
+#[test]
+fn garden_planners_exact_and_no_train_regression() {
+    let g = garden::generate(&GardenConfig { epochs: 1_500, ..GardenConfig::garden5() });
+    let (train, test) = g.split(0.5);
+    let queries = garden_queries_on(&g.schema, Some(&train), 5, 5, 22);
+    for q in &queries {
+        let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
+        let corr = SeqPlanner::greedy().plan(&g.schema, q, &est).unwrap();
+        let heur = GreedyPlanner::new(8)
+            .with_base(SeqAlgorithm::Greedy)
+            .with_grid(SplitGrid::for_query(&g.schema, q, 10))
+            .plan(&g.schema, q, &est)
+            .unwrap();
+        for p in [&corr, &heur] {
+            assert!(measure(p, q, &g.schema, &test).all_correct);
+        }
+        let tr_corr = measure(&corr, q, &g.schema, &train).mean_cost;
+        let tr_heur = measure(&heur, q, &g.schema, &train).mean_cost;
+        assert!(
+            tr_heur <= tr_corr + 1e-6,
+            "heuristic must not regress on training data: {tr_heur} vs {tr_corr}"
+        );
+    }
+}
+
+/// Synthetic: the planner exploits the cheap group-mates; Γ > 0 makes
+/// the conditional plan strictly cheaper than Naive out of sample.
+#[test]
+fn synthetic_conditional_beats_naive_out_of_sample() {
+    let cfg = SyntheticConfig::new(10, 1, 0.5).with_rows(8_000);
+    let g = synthetic::generate(&cfg);
+    let (train, test) = g.split(0.5);
+    let q = synthetic_query(&cfg, &g.schema);
+    let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
+    let naive = SeqPlanner::naive().plan(&g.schema, &q, &est).unwrap();
+    let heur = GreedyPlanner::new(10).plan(&g.schema, &q, &est).unwrap();
+    let cn = measure(&naive, &q, &g.schema, &test);
+    let ch = measure(&heur, &q, &g.schema, &test);
+    assert!(cn.all_correct && ch.all_correct);
+    assert!(
+        ch.mean_cost < 0.95 * cn.mean_cost,
+        "conditional {} should clearly beat naive {}",
+        ch.mean_cost,
+        cn.mean_cost
+    );
+    // The conditional plan must actually observe cheap attributes.
+    assert!(heur.split_count() > 0);
+}
+
+/// The planner-claimed expected cost equals the measured training-window
+/// mean for every planner (the counting estimator *is* the empirical
+/// distribution).
+#[test]
+fn model_cost_equals_training_cost_everywhere() {
+    let g = lab::generate(&LabConfig { motes: 6, epochs: 400, ..LabConfig::default() });
+    let (train, _) = g.split(0.9);
+    let queries = lab_queries(&g.schema, &train, 4, 3, 33);
+    for q in &queries {
+        let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
+        let checks: Vec<(&str, Plan, f64)> = vec![
+            {
+                let (p, c) = SeqPlanner::naive().plan_with_cost(&g.schema, q, &est).unwrap();
+                ("naive", p, c)
+            },
+            {
+                let (p, c) =
+                    SeqPlanner::optimal().plan_with_cost(&g.schema, q, &est).unwrap();
+                ("optseq", p, c)
+            },
+            {
+                let (p, c) = GreedyPlanner::new(6)
+                    .with_grid(SplitGrid::for_query(&g.schema, q, 8))
+                    .plan_with_cost(&g.schema, q, &est)
+                    .unwrap();
+                ("greedy", p, c)
+            },
+        ];
+        for (name, plan, claimed) in checks {
+            let measured = measure(&plan, q, &g.schema, &train).mean_cost;
+            assert!(
+                (claimed - measured).abs() < 1e-6,
+                "{name}: claimed {claimed} vs measured {measured}"
+            );
+            // Eq. (3) recursion agrees too.
+            let eq3 = expected_cost(&plan, q, &g.schema, &est);
+            assert!(
+                (eq3 - measured).abs() < 1e-6,
+                "{name}: Eq.(3) {eq3} vs measured {measured}"
+            );
+        }
+    }
+}
+
+/// CSV round-trip composes with planning: persist the Lab trace, reload
+/// it, and the same plan comes out.
+#[test]
+fn csv_roundtrip_preserves_planning() {
+    let g = lab::generate(&LabConfig { motes: 6, epochs: 300, ..LabConfig::default() });
+    let dir = std::env::temp_dir().join("acqp_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("lab.csv");
+    acqp::data::csv::save_csv(&path, &g.schema, &g.data).unwrap();
+    let reloaded = acqp::data::csv::load_csv(&path, &g.schema).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let queries = lab_queries(&g.schema, &g.data, 2, 3, 44);
+    for q in &queries {
+        let e1 = CountingEstimator::with_ranges(&g.data, Ranges::root(&g.schema));
+        let e2 = CountingEstimator::with_ranges(&reloaded, Ranges::root(&g.schema));
+        let p1 = GreedyPlanner::new(5).plan(&g.schema, q, &e1).unwrap();
+        let p2 = GreedyPlanner::new(5).plan(&g.schema, q, &e2).unwrap();
+        assert_eq!(p1, p2);
+    }
+}
+
+/// The graphical-model estimator slots into every planner.
+#[test]
+fn gm_estimator_drives_all_planners() {
+    let g = lab::generate(&LabConfig { motes: 6, epochs: 400, ..LabConfig::default() });
+    let (train, test) = g.split(0.7);
+    let tree = acqp::gm::ChowLiuTree::fit(&g.schema, &train, 0.5);
+    let est = acqp::gm::GmEstimator::new(&tree, Ranges::root(&g.schema), 1_500, 9);
+    let queries = lab_queries(&g.schema, &train, 3, 3, 55);
+    for q in &queries {
+        for plan in [
+            SeqPlanner::naive().plan(&g.schema, q, &est).unwrap(),
+            SeqPlanner::greedy().plan(&g.schema, q, &est).unwrap(),
+            GreedyPlanner::new(5)
+                .with_grid(SplitGrid::for_query(&g.schema, q, 6))
+                .plan(&g.schema, q, &est)
+                .unwrap(),
+        ] {
+            assert!(measure(&plan, q, &g.schema, &test).all_correct);
+        }
+    }
+}
