@@ -1,0 +1,77 @@
+//! Parallel plan search: wall-clock scaling of the exhaustive planner's
+//! memo-warming workers on the Fig. 8(b) workload.
+//!
+//! Queries are planned one at a time (no cross-query parallelism) so the
+//! planner's internal thread pool is the only concurrency being
+//! measured. For every query the serial and parallel searches must
+//! return bitwise-identical expected costs — parallelism here is a
+//! cache-warming strategy, not a different search.
+//!
+//! Env: `ACQP_QUERIES` (default 12), `ACQP_THREADS` (default 4).
+
+use std::time::Instant;
+
+use acqp_core::prelude::*;
+use acqp_data::lab::{self, LabConfig};
+use acqp_data::workload::lab_queries;
+
+fn plan_all(
+    schema: &Schema,
+    queries: &[Query],
+    est: &CountingEstimator,
+    grid_r: usize,
+    threads: usize,
+) -> (f64, Vec<u64>, usize) {
+    let t0 = Instant::now();
+    let mut cost_bits = Vec::with_capacity(queries.len());
+    let mut truncated = 0usize;
+    for query in queries {
+        let report = ExhaustivePlanner::with_grid(SplitGrid::for_query(schema, query, grid_r))
+            .max_subproblems(700_000)
+            .threads(threads)
+            .plan_with_report(schema, query, est)
+            .expect("planning failed");
+        cost_bits.push(report.expected_cost.to_bits());
+        truncated += usize::from(report.truncated);
+    }
+    (t0.elapsed().as_secs_f64(), cost_bits, truncated)
+}
+
+fn main() {
+    let g = lab::generate(&LabConfig::default());
+    let (train_full, _) = g.split(0.6);
+    let train = train_full.thin(4);
+    let n_queries: usize = std::env::var("ACQP_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let threads: usize = std::env::var("ACQP_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let queries = lab_queries(&g.schema, &train, n_queries, 3, 0x8b);
+    let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
+
+    println!("=== Parallel exhaustive search: threads=1 vs threads={threads} ===");
+    println!("train rows: {}, queries: {n_queries}, grid r=3", train.len());
+
+    // Warm-up pass so page cache and allocator state do not favour
+    // whichever configuration runs first.
+    let _ = plan_all(&g.schema, &queries[..queries.len().min(2)], &est, 3, 1);
+
+    let (t_serial, bits_serial, trunc_serial) = plan_all(&g.schema, &queries, &est, 3, 1);
+    let (t_par, bits_par, trunc_par) = plan_all(&g.schema, &queries, &est, 3, threads);
+
+    assert_eq!(
+        bits_serial, bits_par,
+        "serial and parallel searches returned different expected costs"
+    );
+    println!("\n{:<14} {:>12} {:>10}", "config", "wall (s)", "truncated");
+    println!("{:<14} {:>12.3} {:>7}/{}", "threads=1", t_serial, trunc_serial, n_queries);
+    println!("{:<14} {:>12.3} {:>7}/{}", format!("threads={threads}"), t_par, trunc_par, n_queries);
+    println!(
+        "\nspeedup: {:.2}x (expected costs bitwise identical on all {} queries)",
+        t_serial / t_par.max(1e-9),
+        n_queries
+    );
+}

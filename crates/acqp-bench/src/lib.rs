@@ -38,6 +38,8 @@ pub enum Algo {
         grid_r: usize,
         /// Subproblem budget before greedy-leaf fallback.
         budget: usize,
+        /// Worker threads for memo warming (`1` = serial search).
+        threads: usize,
     },
 }
 
@@ -78,12 +80,13 @@ impl Algo {
                 }
                 Ok((p.plan(schema, query, &est)?, None))
             }
-            Algo::Exhaustive { grid_r, budget } => {
+            Algo::Exhaustive { grid_r, budget, threads } => {
                 let grid = SplitGrid::for_query(schema, query, *grid_r);
-                let (plan, _, used) = ExhaustivePlanner::with_grid(grid)
+                let report = ExhaustivePlanner::with_grid(grid)
                     .max_subproblems(*budget)
-                    .plan_with_stats(schema, query, &est)?;
-                Ok((plan, Some(used <= *budget)))
+                    .threads(*threads)
+                    .plan_with_report(schema, query, &est)?;
+                Ok((report.plan, Some(!report.truncated)))
             }
         }
     }

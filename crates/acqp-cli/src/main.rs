@@ -33,6 +33,7 @@ USAGE:
   acqp plan     --dataset <kind> --query \"<expr>\"
                 [--algo naive|corrseq|heuristic|exhaustive]
                 [--splits K] [--grid R] [--train-frac F] [--explain yes]
+                [--threads N] [--plan-budget-ms MS]
   acqp simulate --dataset <kind> --query \"<expr>\" [--motes M] [--splits K]
 
   <kind> = lab | garden5 | garden11 | synthetic
@@ -115,21 +116,49 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
     let algo = args.get("algo").unwrap_or("heuristic");
     let splits: usize = args.get_or("splits", 10)?;
     let grid: usize = args.get_or("grid", 12)?;
+    let threads: usize = args.get_or("threads", 1)?;
+    let plan_budget = match args.get("plan-budget-ms") {
+        Some(v) => Some(std::time::Duration::from_millis(
+            v.parse().map_err(|_| format!("bad value for --plan-budget-ms: {v}"))?,
+        )),
+        None => None,
+    };
+    let mut truncated = false;
     let plan = match algo {
         "naive" => SeqPlanner::naive().plan(&g.schema, &query, &est),
         "corrseq" => SeqPlanner::auto().plan(&g.schema, &query, &est),
-        "heuristic" => GreedyPlanner::new(splits)
-            .with_grid(SplitGrid::for_query(&g.schema, &query, grid))
-            .plan(&g.schema, &query, &est),
+        "heuristic" => {
+            let mut p = GreedyPlanner::new(splits)
+                .with_grid(SplitGrid::for_query(&g.schema, &query, grid))
+                .threads(threads);
+            if let Some(d) = plan_budget {
+                p = p.time_budget(d);
+            }
+            p.plan_with_report(&g.schema, &query, &est).map(|r| {
+                truncated = r.truncated;
+                r.plan
+            })
+        }
         "exhaustive" => {
-            ExhaustivePlanner::with_grid(SplitGrid::for_query(&g.schema, &query, grid.min(3)))
-                .max_subproblems(args.get_or("budget", 1_000_000usize)?)
-                .plan(&g.schema, &query, &est)
+            let mut p =
+                ExhaustivePlanner::with_grid(SplitGrid::for_query(&g.schema, &query, grid.min(3)))
+                    .max_subproblems(args.get_or("budget", 1_000_000usize)?)
+                    .threads(threads);
+            if let Some(d) = plan_budget {
+                p = p.time_budget(d);
+            }
+            p.plan_with_report(&g.schema, &query, &est).map(|r| {
+                truncated = r.truncated;
+                r.plan
+            })
         }
         other => return Err(format!("unknown --algo `{other}`")),
     }
     .map_err(|e| format!("planning: {e}"))?;
     let plan = plan.simplify();
+    if truncated {
+        println!("note   : planning budget exhausted; plan is best-effort, not optimal");
+    }
 
     println!("query  : {query_text}");
     println!("planner: {}", planner_label(algo, splits));
@@ -246,6 +275,60 @@ mod tests {
             ]),
             Ok(())
         );
+    }
+
+    #[test]
+    fn plan_with_threads_and_budget() {
+        assert_eq!(
+            run_vec(&[
+                "plan",
+                "--dataset",
+                "lab",
+                "--epochs",
+                "300",
+                "--motes",
+                "6",
+                "--query",
+                "light >= 350 AND temp <= 21",
+                "--splits",
+                "4",
+                "--threads",
+                "4",
+                "--plan-budget-ms",
+                "5000",
+            ]),
+            Ok(())
+        );
+        assert_eq!(
+            run_vec(&[
+                "plan",
+                "--dataset",
+                "lab",
+                "--epochs",
+                "300",
+                "--motes",
+                "6",
+                "--query",
+                "light >= 350 AND temp <= 21",
+                "--algo",
+                "exhaustive",
+                "--grid",
+                "2",
+                "--threads",
+                "2",
+            ]),
+            Ok(())
+        );
+        assert!(run_vec(&[
+            "plan",
+            "--dataset",
+            "lab",
+            "--query",
+            "light >= 350",
+            "--plan-budget-ms",
+            "abc",
+        ])
+        .is_err());
     }
 
     #[test]

@@ -296,6 +296,34 @@ mod tests {
         assert!(text.contains("reach"), "{text}");
     }
 
+    /// Full-text snapshot of the renderer on a hand-built plan: one split
+    /// on the cheap clock attribute with a sequential leaf per branch.
+    /// Pins wording, indentation and number formatting — `acqp plan
+    /// --explain` output is user-facing and should not drift silently.
+    #[test]
+    fn render_snapshot() {
+        let (schema, data, query) = setup();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let plan = Plan::split(
+            2,
+            2,
+            Plan::Seq(crate::plan::SeqOrder::new(vec![1, 0])),
+            Plan::Seq(crate::plan::SeqOrder::new(vec![0, 1])),
+        );
+        let ex = explain(&plan, &query, &schema, &CostModel::PerAttribute, &est);
+        let text = ex.render(&schema, &query);
+        let want = "\
+observe t [reach 100.0%, cost 0.5]: t < 2 w.p. 50.0%
+  => sequential [reach 50.0%, E[cost|here] 9.0]
+     - b (cost 4.0) runs 100.0%, passes 50.0%
+     - a (cost 10.0) runs 50.0%, passes 50.0%
+  => sequential [reach 50.0%, E[cost|here] 12.0]
+     - a (cost 10.0) runs 100.0%, passes 50.0%
+     - b (cost 4.0) runs 50.0%, passes 50.0%
+";
+        assert_eq!(text, want);
+    }
+
     #[test]
     fn seq_step_probabilities_are_conditional() {
         let (schema, data, query) = setup();

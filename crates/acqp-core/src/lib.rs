@@ -101,7 +101,7 @@ pub mod prelude {
     pub use crate::plan::{Plan, SeqOrder};
     pub use crate::planner::{
         enumerate_plans, full_tree_count, EnumeratedPlans, ExhaustivePlanner, GreedyPlanner,
-        NaivePlanner, SeqAlgorithm, SeqPlanner, SplitGrid,
+        NaivePlanner, PlanReport, SeqAlgorithm, SeqPlanner, SplitGrid,
     };
     pub use crate::prob::{
         CountingEstimator, Estimator, IndependenceEstimator, TruthAccum, TruthTable,

@@ -1,0 +1,115 @@
+//! Cooperative planning budgets and search reports.
+//!
+//! Plan search is worst-case exponential (#P-hard, Thm 3.1), so both
+//! conditional planners accept an effort budget: a cap on expanded
+//! subproblems and an optional wall-clock deadline. The budget is
+//! *cooperative* — every worker consults the same shared [`SearchLimits`]
+//! before expanding a subproblem, and once it is exhausted the search
+//! degrades gracefully: open subproblems are closed with the best
+//! sequential plan found so far, and the result is flagged as truncated.
+//!
+//! Truncation trades optimality for latency, never validity: a truncated
+//! plan still computes `φ` exactly on every tuple, and its expected cost
+//! is at least the optimum's (see `tests/parallel_equivalence.rs`).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::plan::Plan;
+
+/// The outcome of a plan search: the plan plus how the search went.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// The produced conditional plan.
+    pub plan: Plan,
+    /// The plan's expected cost under the estimator's model.
+    pub expected_cost: f64,
+    /// Subproblems expanded (exhaustive) or leaf expansions applied
+    /// (greedy) during the search.
+    pub subproblems: usize,
+    /// Whether the search hit its subproblem cap or deadline and closed
+    /// remaining work with sequential fallbacks. Untruncated exhaustive
+    /// results are provably optimal under their split grid.
+    pub truncated: bool,
+}
+
+/// Shared, thread-safe effort accounting for one plan search.
+#[derive(Debug)]
+pub(crate) struct SearchLimits {
+    max_subproblems: usize,
+    deadline: Option<Instant>,
+    used: AtomicUsize,
+    truncated: AtomicBool,
+}
+
+impl SearchLimits {
+    pub(crate) fn new(max_subproblems: usize, budget: Option<Duration>) -> Self {
+        SearchLimits {
+            max_subproblems,
+            deadline: budget.map(|d| Instant::now() + d),
+            used: AtomicUsize::new(0),
+            truncated: AtomicBool::new(false),
+        }
+    }
+
+    /// Claims one subproblem expansion. Returns `false` (and marks the
+    /// search truncated) when the cap or deadline has been reached; the
+    /// caller must then close its subproblem with a fallback plan.
+    pub(crate) fn try_expand(&self) -> bool {
+        let n = self.used.fetch_add(1, Ordering::Relaxed);
+        if n >= self.max_subproblems
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            self.truncated.store(true, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Expansions attempted so far (successful or denied).
+    pub(crate) fn used(&self) -> usize {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn truncated(&self) -> bool {
+        self.truncated.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_denies_after_limit() {
+        let l = SearchLimits::new(3, None);
+        assert!(l.try_expand());
+        assert!(l.try_expand());
+        assert!(l.try_expand());
+        assert!(!l.truncated());
+        assert!(!l.try_expand());
+        assert!(l.truncated());
+        assert_eq!(l.used(), 4);
+    }
+
+    #[test]
+    fn expired_deadline_denies_immediately() {
+        let l = SearchLimits::new(usize::MAX, Some(Duration::ZERO));
+        assert!(!l.try_expand());
+        assert!(l.truncated());
+    }
+
+    #[test]
+    fn limits_are_shared_across_threads() {
+        let l = SearchLimits::new(100, None);
+        let granted: usize = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|_| (0..50).filter(|_| l.try_expand()).count()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(granted, 100);
+        assert!(l.truncated());
+    }
+}

@@ -195,6 +195,53 @@ mod tests {
         }
     }
 
+    /// Compact structural signature for golden comparisons:
+    /// `x<attr>@<cut>(<lo>,<hi>)`, `T`/`F` for decided leaves.
+    fn sig(p: &Plan) -> String {
+        match p {
+            Plan::Decided(b) => (if *b { "T" } else { "F" }).into(),
+            Plan::Seq(o) => format!("seq{o:?}"),
+            Plan::Split { attr, cut, lo, hi } => {
+                format!("x{attr}@{cut}({},{})", sig(lo), sig(hi))
+            }
+        }
+    }
+
+    /// Golden pin of the full Fig. 3 enumeration: exact structures, exact
+    /// order, costs to 1e-6. Guards both the enumeration order (which the
+    /// DP's determinism argument leans on) and the estimator's arithmetic.
+    #[test]
+    fn fig3_enumeration_golden() {
+        let (schema, data, query) = fig3();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let e = enumerate_plans(&schema, &query, &est, 10_000).unwrap();
+        let got: Vec<(String, f64)> = e
+            .plans
+            .iter()
+            .map(|(p, c)| (sig(p), (c * 1e6).round() / 1e6))
+            .collect();
+        let want: Vec<(&str, f64)> = vec![
+            ("x0@1(x1@1(T,F),F)", 1.625),
+            ("x0@1(x2@1(x1@1(T,F),x1@1(T,F)),F)", 2.25),
+            ("x1@1(x0@1(T,F),F)", 1.375),
+            ("x1@1(x2@1(x0@1(T,F),x0@1(T,F)),F)", 1.75),
+            ("x2@1(x0@1(x1@1(T,F),F),x0@1(x1@1(T,F),F))", 2.625),
+            ("x2@1(x0@1(x1@1(T,F),F),x1@1(x0@1(T,F),F))", 2.5),
+            ("x2@1(x1@1(x0@1(T,F),F),x0@1(x1@1(T,F),F))", 2.5),
+            ("x2@1(x1@1(x0@1(T,F),F),x1@1(x0@1(T,F),F))", 2.375),
+        ];
+        assert_eq!(got.len(), want.len(), "got {got:#?}");
+        for (i, ((gs, gc), (ws, wc))) in got.iter().zip(&want).enumerate() {
+            assert_eq!(gs, ws, "plan {i} structure");
+            assert!((gc - wc).abs() < 1e-9, "plan {i} cost {gc} != {wc}");
+        }
+        // full_tree_count stays pinned to the paper's closed form.
+        assert_eq!(
+            (0..=5).map(full_tree_count).collect::<Vec<_>>(),
+            vec![1, 1, 2, 12, 576, 1_658_880]
+        );
+    }
+
     #[test]
     fn limit_guards_explosion() {
         let (schema, data, query) = fig3();

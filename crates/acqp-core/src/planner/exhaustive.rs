@@ -1,7 +1,6 @@
 //! The optimal conditional planner — Fig. 5's `EXHAUSTIVEPLAN`.
 //!
-//! A depth-first dynamic program over range subproblems
-//! `Subproblem(φ, R_1, …, R_n)`:
+//! A dynamic program over range subproblems `Subproblem(φ, R_1, …, R_n)`:
 //!
 //! * **Base cases** — the ranges alone determine `φ` (leaf `Decided`),
 //!   or every query attribute has already been acquired (leaf `Seq` over
@@ -11,23 +10,47 @@
 //!   `T(X_i ≥ x)` allowed by the split grid, recursing into the two
 //!   induced subproblems, weighting by `P(X_i ∈ [a, x−1] | R_1…R_n)`
 //!   (Eq. 5).
-//! * **Memoization** — optimal results are cached by range vector;
-//!   results obtained under a pruning bound are *not* cached, exactly as
-//!   the paper's pseudo-code notes.
-//! * **Pruning** — a branch is abandoned as soon as its partial cost
-//!   reaches the best cost found so far. Unlike the paper's pseudo-code,
-//!   which hands the *un-normalized* remaining budget to recursive calls,
-//!   we divide the remaining budget by the branch probability
-//!   (`(bound − acc) / p`), which keeps the bound sound: a pruned child
-//!   provably cannot be part of a better plan.
+//! * **Memoization** — optimal results are cached by range vector in a
+//!   sharded concurrent table shared by every search thread.
+//! * **Pruning** — all pruning is *local to a subproblem* and uses only
+//!   canonical quantities: the greedy sequential plan seeds an incumbent
+//!   upper bound, candidates whose admissible lower bound
+//!   `C'_i + P_lo·lb(lo) + P_hi·lb(hi)` cannot strictly beat it are
+//!   skipped, and a candidate is abandoned as soon as its accumulated
+//!   cost plus the remaining branch's lower bound reaches the incumbent.
+//!
+//! ## Determinism under parallelism
+//!
+//! Unlike classic branch-and-bound, no caller-supplied cost bound flows
+//! into recursive calls. That makes [`Search::solve`] a *pure function
+//! of the subproblem*: every skip decision compares canonical values
+//! (child optima, admissible bounds, the local incumbent) that do not
+//! depend on what the rest of the tree is doing, so the `(cost, plan)`
+//! computed for a given range vector is identical in any execution
+//! order. Parallel search exploits this by running the same `solve` on
+//! many subproblems concurrently, purely to *warm the shared memo
+//! table*; the final combining pass runs the identical serial code and
+//! therefore returns a bit-for-bit identical expected cost regardless
+//! of thread count or scheduling. The only escape hatch is the
+//! cooperative budget: once it trips, subproblems close with sequential
+//! fallbacks whose placement depends on timing, so equivalence is only
+//! guaranteed for untruncated searches (truncated plans remain valid
+//! and can only cost more than the optimum).
 //!
 //! The worst-case complexity is exponential in the number of attributes
-//! (the problem is #P-hard, Thm 3.1), so a `max_subproblems` budget
-//! bounds the effort: past the budget, remaining subproblems are closed
-//! with greedy sequential leaves (the result degrades gracefully toward
-//! the heuristic planner instead of running forever).
+//! (the problem is #P-hard, Thm 3.1), so a `max_subproblems` cap and an
+//! optional wall-clock deadline bound the effort: past the budget,
+//! remaining subproblems are closed with greedy sequential leaves (the
+//! result degrades gracefully toward the heuristic planner instead of
+//! running forever).
 
-use std::collections::HashMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crossbeam::deque::{Injector, Steal};
 
 use crate::attr::Schema;
 use crate::error::Result;
@@ -36,6 +59,7 @@ use crate::prob::Estimator;
 use crate::query::Query;
 use crate::range::{Range, Ranges};
 
+use super::budget::{PlanReport, SearchLimits};
 use super::seq::SeqPlanner;
 use super::spsf::SplitGrid;
 
@@ -44,6 +68,8 @@ use super::spsf::SplitGrid;
 pub struct ExhaustivePlanner {
     grid: Option<SplitGrid>,
     max_subproblems: usize,
+    time_budget: Option<Duration>,
+    threads: usize,
     cost_model: crate::costmodel::CostModel,
 }
 
@@ -55,11 +81,13 @@ impl Default for ExhaustivePlanner {
 
 impl ExhaustivePlanner {
     /// Planner over the unrestricted split grid (every cut of every
-    /// attribute) with a default effort budget.
+    /// attribute) with a default effort budget, single-threaded.
     pub fn new() -> Self {
         ExhaustivePlanner {
             grid: None,
             max_subproblems: 2_000_000,
+            time_budget: None,
+            threads: 1,
             cost_model: crate::costmodel::CostModel::PerAttribute,
         }
     }
@@ -83,9 +111,25 @@ impl ExhaustivePlanner {
         self
     }
 
+    /// Adds a wall-clock deadline: once elapsed, the search degrades to
+    /// sequential fallbacks exactly like an exhausted subproblem cap.
+    pub fn time_budget(mut self, d: Duration) -> Self {
+        self.time_budget = Some(d);
+        self
+    }
+
+    /// Number of search threads. With `n > 1` the planner fans the DP's
+    /// subproblems over a scoped work-stealing pool that warms a shared
+    /// memo table; the answer is bit-identical to `threads(1)` whenever
+    /// the search completes within budget.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
     /// Finds the minimum expected-cost conditional plan.
     pub fn plan<E: Estimator>(&self, schema: &Schema, query: &Query, est: &E) -> Result<Plan> {
-        self.plan_with_cost(schema, query, est).map(|(p, _)| p)
+        self.plan_with_report(schema, query, est).map(|r| r.plan)
     }
 
     /// Like [`ExhaustivePlanner::plan`], also returning the model-expected cost.
@@ -95,59 +139,83 @@ impl ExhaustivePlanner {
         query: &Query,
         est: &E,
     ) -> Result<(Plan, f64)> {
-        let grid = match &self.grid {
-            Some(g) => g.clone(),
-            None => SplitGrid::all(schema),
-        };
-        let mut search = Search {
-            schema,
-            query,
-            est,
-            grid,
-            memo: HashMap::new(),
-            lb_memo: HashMap::new(),
-            seq: SeqPlanner::greedy().with_cost_model(self.cost_model.clone()),
-            model: self.cost_model.clone(),
-            budget: self.max_subproblems,
-            used: 0,
-        };
-        let root = est.root();
-        let (cost, plan) = search
-            .solve(&root, f64::INFINITY)?
-            .expect("unbounded search always yields a plan");
-        Ok((plan, cost))
+        self.plan_with_report(schema, query, est).map(|r| (r.plan, r.expected_cost))
     }
 
-    /// Number of memoized subproblems the last call would create — not
-    /// tracked across calls; exposed for the scalability bench via
-    /// [`ExhaustivePlanner::plan_with_stats`].
+    /// Like [`ExhaustivePlanner::plan_with_cost`], also returning the
+    /// number of subproblem expansions attempted (for effort studies).
     pub fn plan_with_stats<E: Estimator>(
         &self,
         schema: &Schema,
         query: &Query,
         est: &E,
     ) -> Result<(Plan, f64, usize)> {
+        self.plan_with_report(schema, query, est)
+            .map(|r| (r.plan, r.expected_cost, r.subproblems))
+    }
+
+    /// Full search outcome: plan, expected cost, effort, truncation.
+    pub fn plan_with_report<E: Estimator>(
+        &self,
+        schema: &Schema,
+        query: &Query,
+        est: &E,
+    ) -> Result<PlanReport> {
         let grid = match &self.grid {
             Some(g) => g.clone(),
             None => SplitGrid::all(schema),
         };
-        let mut search = Search {
+        let search = Search {
             schema,
             query,
             est,
             grid,
-            memo: HashMap::new(),
-            lb_memo: HashMap::new(),
+            memo: ShardedMemo::new(),
             seq: SeqPlanner::greedy().with_cost_model(self.cost_model.clone()),
             model: self.cost_model.clone(),
-            budget: self.max_subproblems,
-            used: 0,
+            limits: SearchLimits::new(self.max_subproblems, self.time_budget),
         };
         let root = est.root();
-        let (cost, plan) = search
-            .solve(&root, f64::INFINITY)?
-            .expect("unbounded search always yields a plan");
-        Ok((plan, cost, search.used))
+        if self.threads > 1 {
+            search.warm_parallel(&root, self.threads);
+        }
+        let (cost, plan, _) = search.solve(&root)?;
+        Ok(PlanReport {
+            plan,
+            expected_cost: cost,
+            subproblems: search.limits.used(),
+            truncated: search.limits.truncated(),
+        })
+    }
+}
+
+const MEMO_SHARDS: usize = 64;
+
+/// A concurrent memo table: optimal `(cost, plan)` per range vector,
+/// striped over independently locked shards to keep contention low.
+/// Values are canonical (see the module docs), so racing writers for the
+/// same key always store the same value and overwrites are benign.
+struct ShardedMemo {
+    shards: Vec<Mutex<HashMap<Ranges, (f64, Plan)>>>,
+}
+
+impl ShardedMemo {
+    fn new() -> Self {
+        ShardedMemo { shards: (0..MEMO_SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, key: &Ranges) -> &Mutex<HashMap<Ranges, (f64, Plan)>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize % MEMO_SHARDS]
+    }
+
+    fn get(&self, key: &Ranges) -> Option<(f64, Plan)> {
+        self.shard(key).lock().unwrap().get(key).cloned()
+    }
+
+    fn insert(&self, key: Ranges, value: (f64, Plan)) {
+        self.shard(&key).lock().unwrap().insert(key, value);
     }
 }
 
@@ -156,27 +224,24 @@ struct Search<'a, E: Estimator> {
     query: &'a Query,
     est: &'a E,
     grid: SplitGrid,
-    memo: HashMap<Ranges, (f64, Plan)>,
-    /// Proven lower bounds for subproblems that were pruned: a prior
-    /// `solve(…, bound)` returning `None` proves `opt ≥ bound`, so later
-    /// visits with an equal-or-smaller bound can return immediately
-    /// instead of re-exploring.
-    lb_memo: HashMap<Ranges, f64>,
+    memo: ShardedMemo,
     seq: SeqPlanner,
     model: crate::costmodel::CostModel,
-    budget: usize,
-    used: usize,
+    limits: SearchLimits,
 }
 
 impl<E: Estimator> Search<'_, E> {
-    /// Returns `Ok(None)` when every plan for this subproblem provably
-    /// costs at least `bound`; otherwise the optimal `(cost, plan)`.
-    fn solve(&mut self, ctx: &E::Ctx, bound: f64) -> Result<Option<(f64, Plan)>> {
+    /// Solves one subproblem to optimality (or to a sequential fallback
+    /// once the budget trips). Returns `(cost, plan, exact)`; `exact`
+    /// is false when any subproblem in this subtree was closed by the
+    /// budget, in which case the value is an upper bound on the optimum
+    /// and is not memoized.
+    fn solve(&self, ctx: &E::Ctx) -> Result<(f64, Plan, bool)> {
         let ranges = self.est.ranges(ctx).clone();
 
         // Base case 1: ranges decide the query.
         if let Some(b) = self.query.truth_given(&ranges) {
-            return Ok(Some((0.0, Plan::Decided(b))));
+            return Ok((0.0, Plan::Decided(b), true));
         }
         // Base case 2: every query attribute acquired — the residual
         // predicates evaluate for free on values already in hand.
@@ -187,37 +252,31 @@ impl<E: Estimator> Search<'_, E> {
             .all(|p| !ranges.attr_unacquired(self.schema, p.attr()))
         {
             let order = self.query.undecided(&ranges);
-            return Ok(Some((0.0, Plan::Seq(SeqOrder::new(order)))));
+            return Ok((0.0, Plan::Seq(SeqOrder::new(order)), true));
         }
         if let Some((c, p)) = self.memo.get(&ranges) {
-            return Ok(Some((*c, p.clone())));
-        }
-        if let Some(&lb) = self.lb_memo.get(&ranges) {
-            if lb >= bound {
-                return Ok(None);
-            }
+            return Ok((c, p, true));
         }
 
-        self.used += 1;
-        if self.used > self.budget {
+        if !self.limits.try_expand() {
             // Effort budget exhausted: close this subproblem with a
             // greedy sequential leaf. Not cached (it is not optimal).
             let (cost, plan) = self.seq_leaf(ctx, &ranges)?;
-            return Ok(Some((cost, plan)));
+            return Ok((cost, plan, false));
         }
 
-        // Branch-and-bound incumbent: a sequential leaf is itself a valid
-        // plan for this subproblem (it is expressible as a chain of
-        // splits at predicate endpoints), so its cost is a sound initial
-        // upper bound. This is the "more elaborate pruning" §3.2 alludes
-        // to, and it shrinks the explored space by orders of magnitude.
+        // Incumbent: a sequential leaf is itself a valid plan for this
+        // subproblem (it is expressible as a chain of splits at
+        // predicate endpoints), so its cost is a sound upper bound that
+        // makes the admissible lower-bound skips below bite. This is
+        // the "more elaborate pruning" §3.2 alludes to.
         let (seq_cost, seq_plan) = self.seq_leaf(ctx, &ranges)?;
-        let mut best: Option<(f64, Plan)> =
-            if seq_cost < bound { Some((seq_cost, seq_plan)) } else { None };
-        let mut bound_local = bound.min(seq_cost);
+        let mut best_cost = seq_cost;
+        let mut best_plan = seq_plan;
+        let mut exact = true;
 
         // Try cheap conditioning attributes first: good incumbents found
-        // early make the admissible lower-bound pruning below bite.
+        // early make the admissible lower-bound pruning bite sooner.
         let mask = crate::costmodel::acquired_mask(self.schema, &ranges);
         let mut attr_order: Vec<usize> = (0..self.schema.len())
             .filter(|&a| !ranges.get(a).is_point())
@@ -233,7 +292,9 @@ impl<E: Estimator> Search<'_, E> {
         for attr in attr_order {
             let r = ranges.get(attr);
             let c0 = self.model.cost(self.schema, attr, mask);
-            if c0 >= bound_local {
+            // Child costs are non-negative, so no split on this
+            // attribute can strictly beat the incumbent.
+            if c0 >= best_cost {
                 continue;
             }
             let mut hist: Option<Vec<f64>> = None;
@@ -245,73 +306,54 @@ impl<E: Estimator> Search<'_, E> {
                 let p_hi = 1.0 - p_lo;
                 let lo_ranges = ranges.with(attr, Range::new(r.lo(), cut - 1));
                 let hi_ranges = ranges.with(attr, Range::new(cut, r.hi()));
-                // Admissible lower bounds: every completion path of a
+                // Admissible lower bounds: every completion of a
                 // subproblem with an undecided predicate must acquire at
                 // least its cheapest undecided predicate attribute.
                 let lb_lo = self.lower_bound(&lo_ranges);
                 let lb_hi = self.lower_bound(&hi_ranges);
                 let mut acc = c0;
-                if acc + p_lo * lb_lo + p_hi * lb_hi >= bound_local {
+                if acc + p_lo * lb_lo + p_hi * lb_hi >= best_cost {
                     continue;
                 }
 
                 let lo_plan;
                 if p_lo > 0.0 {
                     let child = self.est.refine(ctx, attr, Range::new(r.lo(), cut - 1));
-                    let child_bound = (bound_local - acc - p_hi * lb_hi) / p_lo;
-                    match self.solve(&child, child_bound)? {
-                        None => continue,
-                        Some((c, p)) => {
-                            acc += p_lo * c;
-                            lo_plan = p;
-                        }
-                    }
+                    let (c, p, e) = self.solve(&child)?;
+                    acc += p_lo * c;
+                    lo_plan = p;
+                    exact &= e;
                 } else {
                     // Zero-mass branch (a "grayed out" region): still
                     // needs a valid plan in case the test distribution
                     // reaches it.
                     lo_plan = self.zero_mass_leaf(&lo_ranges);
                 }
-                if acc + p_hi * lb_hi >= bound_local {
+                if acc + p_hi * lb_hi >= best_cost {
                     continue;
                 }
 
                 let hi_plan;
                 if p_hi > 0.0 {
                     let child = self.est.refine(ctx, attr, Range::new(cut, r.hi()));
-                    match self.solve(&child, (bound_local - acc) / p_hi)? {
-                        None => continue,
-                        Some((c, p)) => {
-                            acc += p_hi * c;
-                            hi_plan = p;
-                        }
-                    }
+                    let (c, p, e) = self.solve(&child)?;
+                    acc += p_hi * c;
+                    hi_plan = p;
+                    exact &= e;
                 } else {
                     hi_plan = self.zero_mass_leaf(&hi_ranges);
                 }
-                if acc < bound_local {
-                    bound_local = acc;
-                    best = Some((acc, Plan::split(attr, cut, lo_plan, hi_plan)));
+                if acc < best_cost {
+                    best_cost = acc;
+                    best_plan = Plan::split(attr, cut, lo_plan, hi_plan);
                 }
             }
         }
 
-        match best {
-            Some((c, p)) => {
-                // `best` beat the caller's bound, so pruning never
-                // removed a cheaper candidate: this is the optimum and
-                // may be cached (Fig. 5 caches exactly in this case).
-                self.memo.insert(ranges, (c, p.clone()));
-                Ok(Some((c, p)))
-            }
-            None => {
-                // Nothing under `bound` exists: record the proof so a
-                // revisit with the same or smaller bound is free.
-                let slot = self.lb_memo.entry(ranges).or_insert(f64::NEG_INFINITY);
-                *slot = slot.max(bound);
-                Ok(None)
-            }
+        if exact {
+            self.memo.insert(ranges, (best_cost, best_plan.clone()));
         }
+        Ok((best_cost, best_plan, exact))
     }
 
     /// Admissible lower bound on the optimal completion cost of a
@@ -348,6 +390,81 @@ impl<E: Estimator> Search<'_, E> {
             Some(b) => Plan::Decided(b),
             None => Plan::Seq(SeqOrder::new(self.query.undecided(ranges))),
         }
+    }
+
+    /// Warms the shared memo by solving a frontier of subproblems on a
+    /// scoped work-stealing pool. Purely an accelerator: every value a
+    /// worker computes is the same one the final serial pass would, so
+    /// the combine below it sees memo hits instead of recomputation.
+    /// Worker errors are swallowed here — a failing subproblem is not
+    /// memoized, so the serial pass re-encounters the same error
+    /// deterministically.
+    fn warm_parallel(&self, root: &E::Ctx, threads: usize) {
+        let tasks = self.frontier(root, threads * 4);
+        if tasks.len() < 2 {
+            return;
+        }
+        let injector = Injector::new();
+        for t in tasks {
+            injector.push(t);
+        }
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    match injector.steal() {
+                        Steal::Success(ctx) => {
+                            let _ = self.solve(&ctx);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                });
+            }
+        })
+        .expect("planner worker panicked");
+    }
+
+    /// Collects distinct reachable subproblems one or two split levels
+    /// below the root — the fan-out units for the worker pool. Zero-mass
+    /// and already-decided children are excluded: the serial pass never
+    /// recurses into them, so warming them would only burn budget.
+    fn frontier(&self, root: &E::Ctx, target: usize) -> Vec<E::Ctx> {
+        let mut cur = vec![root.clone()];
+        for _depth in 0..2 {
+            if cur.len() >= target {
+                break;
+            }
+            let mut seen: HashSet<Ranges> = HashSet::new();
+            let mut next = Vec::new();
+            for ctx in &cur {
+                let ranges = self.est.ranges(ctx).clone();
+                if self.query.truth_given(&ranges).is_some() {
+                    continue;
+                }
+                for attr in 0..self.schema.len() {
+                    let r = ranges.get(attr);
+                    if r.is_point() {
+                        continue;
+                    }
+                    for cut in self.grid.cuts_in(attr, r) {
+                        for child_r in [Range::new(r.lo(), cut - 1), Range::new(cut, r.hi())] {
+                            if !seen.insert(ranges.with(attr, child_r)) {
+                                continue;
+                            }
+                            let child = self.est.refine(ctx, attr, child_r);
+                            if self.est.mass(&child) > 0.0 {
+                                next.push(child);
+                            }
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            cur = next;
+        }
+        cur
     }
 }
 
@@ -464,9 +581,30 @@ mod tests {
             Query::new(vec![Pred::in_range(0, 2, 5), Pred::in_range(1, 0, 3)]).unwrap();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
         let planner = ExhaustivePlanner::new().max_subproblems(3);
-        let (plan, _) = planner.plan_with_cost(&schema, &query, &est).unwrap();
-        let rep = measure(&plan, &query, &schema, &data);
+        let report = planner.plan_with_report(&schema, &query, &est).unwrap();
+        assert!(report.truncated, "a 3-subproblem budget must truncate here");
+        let rep = measure(&report.plan, &query, &schema, &data);
         assert!(rep.all_correct, "budget fallback must stay correct");
+    }
+
+    #[test]
+    fn zero_time_budget_degrades_gracefully() {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 6, 2.0),
+            Attribute::new("b", 6, 2.0),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<u16>> = (0..36).map(|i| vec![i % 6, (i / 6) % 6]).collect();
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query =
+            Query::new(vec![Pred::in_range(0, 1, 4), Pred::in_range(1, 2, 5)]).unwrap();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let report = ExhaustivePlanner::new()
+            .time_budget(Duration::ZERO)
+            .plan_with_report(&schema, &query, &est)
+            .unwrap();
+        assert!(report.truncated);
+        assert!(measure(&report.plan, &query, &schema, &data).all_correct);
     }
 
     #[test]
@@ -484,5 +622,48 @@ mod tests {
         assert_eq!(plan, Plan::Seq(SeqOrder::new(vec![0])));
         assert!((cost - 5.0).abs() < 1e-12);
         assert!(measure(&plan, &query, &schema, &data).all_correct);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 5, 4.0),
+            Attribute::new("b", 5, 2.0),
+            Attribute::new("t", 5, 0.5),
+        ])
+        .unwrap();
+        let mut x = 9u64;
+        let mut rng = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) % 5) as u16
+        };
+        let rows: Vec<Vec<u16>> = (0..250)
+            .map(|_| {
+                let t = rng();
+                vec![(t + rng() % 2) % 5, (4 - t + rng() % 3) % 5, t]
+            })
+            .collect();
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query =
+            Query::new(vec![Pred::in_range(0, 0, 2), Pred::in_range(1, 2, 4)]).unwrap();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let serial =
+            ExhaustivePlanner::new().plan_with_report(&schema, &query, &est).unwrap();
+        assert!(!serial.truncated);
+        for threads in [2, 4, 8] {
+            let par = ExhaustivePlanner::new()
+                .threads(threads)
+                .plan_with_report(&schema, &query, &est)
+                .unwrap();
+            assert!(!par.truncated);
+            assert_eq!(
+                serial.expected_cost.to_bits(),
+                par.expected_cost.to_bits(),
+                "threads={threads}: serial {} vs parallel {}",
+                serial.expected_cost,
+                par.expected_cost
+            );
+            assert_eq!(serial.plan, par.plan, "threads={threads}");
+        }
     }
 }

@@ -21,9 +21,19 @@
 //! side's conditioned truth distribution by prefix-merging per-value
 //! tables ([`Estimator::truth_by_value`]) — one pass over the leaf's
 //! support per attribute instead of one per candidate cut.
+//!
+//! With [`GreedyPlanner::threads`] > 1 the per-attribute cut sweeps of
+//! `GREEDYSPLIT` run concurrently on a scoped pool. Each attribute's
+//! sweep is self-contained (no cross-attribute pruning), and the winner
+//! is reduced in attribute-index order with a strict `<`, so the chosen
+//! split — and therefore the whole plan — is bit-identical to the
+//! single-threaded search.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use crate::attr::Schema;
 use crate::error::Result;
@@ -32,6 +42,7 @@ use crate::prob::{Estimator, TruthAccum, TruthTable};
 use crate::query::Query;
 use crate::range::{Range, Ranges};
 
+use super::budget::PlanReport;
 use super::seq::{SeqAlgorithm, SeqPlanner};
 use super::spsf::SplitGrid;
 use super::OrdF64;
@@ -70,6 +81,8 @@ pub struct GreedyPlanner {
     base: SeqAlgorithm,
     min_support: usize,
     min_gain: f64,
+    threads: usize,
+    time_budget: Option<Duration>,
     cost_model: crate::costmodel::CostModel,
 }
 
@@ -85,8 +98,26 @@ impl GreedyPlanner {
             base: SeqAlgorithm::Auto,
             min_support: 2,
             min_gain: 1e-9,
+            threads: 1,
+            time_budget: None,
             cost_model: crate::costmodel::CostModel::PerAttribute,
         }
+    }
+
+    /// Number of threads for the `GREEDYSPLIT` attribute sweeps. The
+    /// produced plan is bit-identical for any thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Adds a wall-clock deadline: once elapsed, no further leaves are
+    /// expanded and the best-so-far plan is returned (flagged truncated
+    /// in [`GreedyPlanner::plan_with_report`] when gainful leaves
+    /// remained).
+    pub fn time_budget(mut self, d: Duration) -> Self {
+        self.time_budget = Some(d);
+        self
     }
 
     /// Uses order-dependent acquisition costs (§7 "Complex acquisition
@@ -143,6 +174,17 @@ impl GreedyPlanner {
         query: &Query,
         est: &E,
     ) -> Result<(Plan, f64)> {
+        self.plan_with_report(schema, query, est).map(|r| (r.plan, r.expected_cost))
+    }
+
+    /// Full search outcome: plan, expected cost, leaf expansions
+    /// applied, and whether the deadline cut the expansion short.
+    pub fn plan_with_report<E: Estimator>(
+        &self,
+        schema: &Schema,
+        query: &Query,
+        est: &E,
+    ) -> Result<PlanReport> {
         let grid = match &self.grid {
             Some(g) => g.clone(),
             None => SplitGrid::all(schema),
@@ -151,8 +193,14 @@ impl GreedyPlanner {
         let root_ctx = est.root();
         let root_ranges = est.ranges(&root_ctx).clone();
         if let Some(b) = query.truth_given(&root_ranges) {
-            return Ok((Plan::Decided(b), 0.0));
+            return Ok(PlanReport {
+                plan: Plan::Decided(b),
+                expected_cost: 0.0,
+                subproblems: 0,
+                truncated: false,
+            });
         }
+        let deadline = self.time_budget.map(|d| Instant::now() + d);
 
         // Arena-based tree under construction. Leaf payloads live in
         // `leaves`; arena nodes reference them by slot.
@@ -204,7 +252,14 @@ impl GreedyPlanner {
         }
 
         let mut splits_used = 0usize;
+        let mut truncated = false;
         while splits_used < self.max_splits {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                // Best-so-far degradation: the current tree is already a
+                // complete, valid plan; we just stop improving it.
+                truncated = !heap.is_empty();
+                break;
+            }
             let Some((OrdF64(gain), _, slot)) = heap.pop() else { break };
             let Some(leaf) = leaves[slot].take() else { continue };
             let split = leaf.split.expect("enqueued leaves always carry a split");
@@ -277,12 +332,21 @@ impl GreedyPlanner {
                 ),
             }
         }
-        Ok((realize(&arena, &leaves, 0), plan_cost))
+        Ok(PlanReport {
+            plan: realize(&arena, &leaves, 0),
+            expected_cost: plan_cost,
+            subproblems: splits_used,
+            truncated,
+        })
     }
 
     /// `GREEDYSPLIT` (Fig. 6): the locally optimal conditioning
     /// predicate for one subproblem, or `None` when no valid split
     /// exists.
+    ///
+    /// Each attribute's cut sweep is scored independently (optionally in
+    /// parallel) and the winner is reduced in attribute-index order with
+    /// a strict `<`, so the result does not depend on thread count.
     #[allow(clippy::too_many_arguments)] // mirrors Fig. 6's parameter list
     fn greedy_split<E: Estimator>(
         &self,
@@ -299,61 +363,119 @@ impl GreedyPlanner {
         if total_w <= 0.0 {
             return Ok(None);
         }
-        let mut best: Option<BestSplit> = None;
+        let cand: Vec<usize> =
+            (0..schema.len()).filter(|&a| !ranges.get(a).is_point()).collect();
 
-        for attr in 0..schema.len() {
-            let r = ranges.get(attr);
-            if r.is_point() {
-                continue;
+        let scored: Vec<Result<Option<BestSplit>>> =
+            if self.threads > 1 && cand.len() > 1 {
+                let slots: Mutex<Vec<Option<Result<Option<BestSplit>>>>> =
+                    Mutex::new(vec![None; cand.len()]);
+                let next = AtomicUsize::new(0);
+                crossbeam::scope(|s| {
+                    for _ in 0..self.threads.min(cand.len()) {
+                        s.spawn(|_| loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= cand.len() {
+                                break;
+                            }
+                            let r = self.score_attr(
+                                schema, query, est, seq, grid, ctx, table, &ranges, total_w,
+                                cand[i],
+                            );
+                            slots.lock().unwrap()[i] = Some(r);
+                        });
+                    }
+                })
+                .expect("greedy-split worker panicked");
+                slots
+                    .into_inner()
+                    .unwrap()
+                    .into_iter()
+                    .map(|slot| slot.expect("every candidate attribute was scored"))
+                    .collect()
+            } else {
+                cand.iter()
+                    .map(|&a| {
+                        self.score_attr(
+                            schema, query, est, seq, grid, ctx, table, &ranges, total_w, a,
+                        )
+                    })
+                    .collect()
+            };
+
+        // Deterministic reduce: first strictly-better wins, scanning
+        // attributes in index order — ties keep the lower attribute id,
+        // matching the serial sweep.
+        let mut best: Option<BestSplit> = None;
+        for r in scored {
+            if let Some(s) = r? {
+                if best.as_ref().is_none_or(|b| s.total < b.total) {
+                    best = Some(s);
+                }
             }
-            let c0 = self.cost_model.cost(
-                schema,
-                attr,
-                crate::costmodel::acquired_mask(schema, &ranges),
-            );
+        }
+        Ok(best)
+    }
+
+    /// Scores every candidate cut of one attribute, returning the
+    /// attribute's best split. Self-contained per attribute — no state
+    /// from other attributes' sweeps — so calls can run concurrently
+    /// while producing exactly the serial sweep's values.
+    #[allow(clippy::too_many_arguments)]
+    fn score_attr<E: Estimator>(
+        &self,
+        schema: &Schema,
+        query: &Query,
+        est: &E,
+        seq: &SeqPlanner,
+        grid: &SplitGrid,
+        ctx: &E::Ctx,
+        table: &TruthTable,
+        ranges: &Ranges,
+        total_w: f64,
+        attr: usize,
+    ) -> Result<Option<BestSplit>> {
+        let r = ranges.get(attr);
+        let c0 =
+            self.cost_model.cost(schema, attr, crate::costmodel::acquired_mask(schema, ranges));
+        let cuts: Vec<u16> = grid.cuts_in(attr, r).collect();
+        if cuts.is_empty() {
+            return Ok(None);
+        }
+        let by_value = est.truth_by_value(ctx, attr, query);
+        debug_assert_eq!(by_value.len(), r.width() as usize);
+
+        let mut best: Option<BestSplit> = None;
+        let mut acc = TruthAccum::new();
+        let mut merged_upto = r.lo(); // values < merged_upto are in `acc`
+        for cut in cuts {
+            while merged_upto < cut {
+                acc.add_table(&by_value[usize::from(merged_upto - r.lo())]);
+                merged_upto += 1;
+            }
+            let lo_table = acc.snapshot(query.len());
+            let p_lo = (lo_table.total() / total_w).clamp(0.0, 1.0);
+            let mut c = c0;
+
+            let lo_ranges = ranges.with(attr, Range::new(r.lo(), cut - 1));
+            if p_lo > 0.0 {
+                let (_, lo_cost) = seq.order_for(schema, query, &lo_ranges, &lo_table)?;
+                c += p_lo * lo_cost;
+            }
             if let Some(b) = &best {
-                if c0 >= b.total {
+                if c >= b.total {
                     continue;
                 }
             }
-            let cuts: Vec<u16> = grid.cuts_in(attr, r).collect();
-            if cuts.is_empty() {
-                continue;
+            let p_hi = 1.0 - p_lo;
+            if p_hi > 0.0 {
+                let hi_table = table.subtract(&lo_table);
+                let hi_ranges = ranges.with(attr, Range::new(cut, r.hi()));
+                let (_, hi_cost) = seq.order_for(schema, query, &hi_ranges, &hi_table)?;
+                c += p_hi * hi_cost;
             }
-            let by_value = est.truth_by_value(ctx, attr, query);
-            debug_assert_eq!(by_value.len(), r.width() as usize);
-
-            let mut acc = TruthAccum::new();
-            let mut merged_upto = r.lo(); // values < merged_upto are in `acc`
-            for cut in cuts {
-                while merged_upto < cut {
-                    acc.add_table(&by_value[usize::from(merged_upto - r.lo())]);
-                    merged_upto += 1;
-                }
-                let lo_table = acc.snapshot(query.len());
-                let p_lo = (lo_table.total() / total_w).clamp(0.0, 1.0);
-                let mut c = c0;
-
-                let lo_ranges = ranges.with(attr, Range::new(r.lo(), cut - 1));
-                if p_lo > 0.0 {
-                    let (_, lo_cost) = seq.order_for(schema, query, &lo_ranges, &lo_table)?;
-                    c += p_lo * lo_cost;
-                }
-                if let Some(b) = &best {
-                    if c >= b.total {
-                        continue;
-                    }
-                }
-                let p_hi = 1.0 - p_lo;
-                if p_hi > 0.0 {
-                    let hi_table = table.subtract(&lo_table);
-                    let hi_ranges = ranges.with(attr, Range::new(cut, r.hi()));
-                    let (_, hi_cost) = seq.order_for(schema, query, &hi_ranges, &hi_table)?;
-                    c += p_hi * hi_cost;
-                }
-                if best.as_ref().is_none_or(|b| c < b.total) {
-                    best = Some(BestSplit { attr, cut, total: c });
-                }
+            if best.as_ref().is_none_or(|b| c < b.total) {
+                best = Some(BestSplit { attr, cut, total: c });
             }
         }
         Ok(best)
@@ -505,5 +627,74 @@ mod tests {
             .plan(&schema, &query, &est)
             .unwrap();
         assert!(plan.split_count() <= 1);
+    }
+
+    /// Dense instance where many attributes compete per split, so the
+    /// parallel per-attribute sweeps actually fan out.
+    fn dense_setup() -> (Schema, Dataset, Query) {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 5, 7.0),
+            Attribute::new("b", 5, 5.0),
+            Attribute::new("c", 5, 3.0),
+            Attribute::new("d", 5, 1.0),
+        ])
+        .unwrap();
+        let mut x = 99u64;
+        let mut rng = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 33) % 5) as u16
+        };
+        let rows: Vec<Vec<u16>> = (0..400)
+            .map(|_| {
+                let d = rng();
+                vec![(d + rng() % 2) % 5, (4 - d + rng() % 3) % 5, rng(), d]
+            })
+            .collect();
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query = Query::new(vec![
+            Pred::in_range(0, 0, 2),
+            Pred::in_range(1, 2, 4),
+            Pred::in_range(2, 0, 3),
+        ])
+        .unwrap();
+        (schema, data, query)
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let (schema, data, query) = dense_setup();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let serial =
+            GreedyPlanner::new(8).plan_with_report(&schema, &query, &est).unwrap();
+        assert!(!serial.truncated);
+        for threads in [2, 4, 8] {
+            let par = GreedyPlanner::new(8)
+                .threads(threads)
+                .plan_with_report(&schema, &query, &est)
+                .unwrap();
+            assert!(!par.truncated);
+            assert_eq!(
+                serial.expected_cost.to_bits(),
+                par.expected_cost.to_bits(),
+                "threads={threads}: {} vs {}",
+                serial.expected_cost,
+                par.expected_cost
+            );
+            assert_eq!(serial.plan, par.plan, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_time_budget_truncates_to_valid_plan() {
+        let (schema, data, query) = dense_setup();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let report = GreedyPlanner::new(8)
+            .time_budget(Duration::ZERO)
+            .plan_with_report(&schema, &query, &est)
+            .unwrap();
+        assert!(report.truncated);
+        assert_eq!(report.plan.split_count(), 0);
+        let rep = measure(&report.plan, &query, &schema, &data);
+        assert!(rep.all_correct);
     }
 }

@@ -13,12 +13,14 @@
 //! * [`enumerate_plans`] — brute-force enumeration of all conditional
 //!   plans for tiny instances (the Fig. 3 example).
 
+mod budget;
 mod enumerate;
 mod exhaustive;
 mod greedy;
 mod seq;
 mod spsf;
 
+pub use budget::PlanReport;
 pub use enumerate::{enumerate_plans, full_tree_count, EnumeratedPlans};
 pub use exhaustive::ExhaustivePlanner;
 pub use greedy::GreedyPlanner;
@@ -55,6 +57,7 @@ impl Ord for OrdF64 {
 #[cfg(test)]
 mod tests {
     use super::OrdF64;
+    use std::cmp::Ordering;
 
     #[test]
     fn ordf64_orders() {
@@ -63,5 +66,61 @@ mod tests {
         assert!(v[0].0.is_nan());
         assert_eq!(v[1].0, -1.0);
         assert_eq!(v[3].0, 2.0);
+    }
+
+    /// Representative values covering every interesting comparison class.
+    fn probes() -> Vec<OrdF64> {
+        vec![
+            OrdF64(f64::NAN),
+            OrdF64(f64::NEG_INFINITY),
+            OrdF64(-1.0),
+            OrdF64(-0.0),
+            OrdF64(0.0),
+            OrdF64(1.0),
+            OrdF64(f64::MAX),
+            OrdF64(f64::INFINITY),
+        ]
+    }
+
+    /// `cmp` is a total order: total, antisymmetric, transitive, and
+    /// consistent with `partial_cmp` — even with NaN in the mix, which
+    /// is exactly the case `BinaryHeap<OrdF64>` has to survive.
+    #[test]
+    fn ordf64_total_order_laws() {
+        let v = probes();
+        for a in &v {
+            assert_eq!(a.cmp(a), Ordering::Equal, "reflexive: {a:?}");
+            for b in &v {
+                // Totality + antisymmetry.
+                assert_eq!(a.cmp(b), b.cmp(a).reverse(), "{a:?} vs {b:?}");
+                // partial_cmp agrees (OrdF64's order is never partial).
+                assert_eq!(a.partial_cmp(b), Some(a.cmp(b)), "{a:?} vs {b:?}");
+                for c in &v {
+                    // Transitivity.
+                    if a.cmp(b) != Ordering::Greater && b.cmp(c) != Ordering::Greater {
+                        assert_ne!(
+                            a.cmp(c),
+                            Ordering::Greater,
+                            "transitivity broke: {a:?} <= {b:?} <= {c:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// NaN is the minimum element, so as a max-heap priority it can
+    /// never displace a finite gain.
+    #[test]
+    fn ordf64_nan_is_smallest() {
+        let nan = OrdF64(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        for x in probes().iter().filter(|x| !x.0.is_nan()) {
+            assert_eq!(nan.cmp(x), Ordering::Less, "NaN vs {x:?}");
+            assert_eq!(x.cmp(&nan), Ordering::Greater, "{x:?} vs NaN");
+        }
+        let mut heap = std::collections::BinaryHeap::from(probes());
+        assert_eq!(heap.pop().unwrap().0, f64::INFINITY);
+        assert!(heap.into_sorted_vec()[0].0.is_nan());
     }
 }

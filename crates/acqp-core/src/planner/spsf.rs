@@ -179,4 +179,53 @@ mod tests {
         let g = SplitGrid::equal_width(&schema(), 3);
         assert!((g.log10_spsf() - (9.0f64).log10()).abs() < 1e-12);
     }
+
+    #[test]
+    fn binary_domain_has_exactly_one_cut() {
+        // Domain size 2: the only valid cut is 1, at every SPSF >= 1.
+        let s = Schema::new(vec![Attribute::new("flag", 2, 1.0)]).unwrap();
+        for r in [1usize, 2, 5, 100] {
+            let g = SplitGrid::equal_width(&s, r);
+            assert_eq!(
+                g.cuts_in(0, Range::full(2)).collect::<Vec<_>>(),
+                vec![1],
+                "r={r}"
+            );
+        }
+        assert_eq!(SplitGrid::all(&s).num_cuts(0), 1);
+        assert_eq!(SplitGrid::all(&s).spsf(), 1.0);
+    }
+
+    #[test]
+    fn spsf_one_is_the_midpoint_only() {
+        // SPSF=1 keeps a single midpoint cut per attribute, so the grid's
+        // product measure is 1 per attribute and cuts never fall outside
+        // the open interval (0, K).
+        let s = schema();
+        let g = SplitGrid::equal_width(&s, 1);
+        for a in 0..s.len() {
+            assert_eq!(g.num_cuts(a), 1, "attr {a}");
+            let c = g.cuts_in(a, Range::full(s.domain(a))).next().unwrap();
+            assert!(c >= 1 && c < s.domain(a));
+        }
+        assert_eq!(g.spsf(), 1.0);
+        assert_eq!(g.log10_spsf(), 0.0);
+    }
+
+    #[test]
+    fn empty_candidate_set() {
+        // r=0 yields no candidate cuts anywhere; spsf() uses max(1) so
+        // the product measure stays 1 rather than collapsing to 0.
+        let s = schema();
+        let g = SplitGrid::equal_width(&s, 0);
+        for a in 0..s.len() {
+            assert_eq!(g.num_cuts(a), 0, "attr {a}");
+            assert!(g.cuts_in(a, Range::full(s.domain(a))).next().is_none());
+        }
+        assert_eq!(g.spsf(), 1.0);
+        assert_eq!(g.log10_spsf(), 0.0);
+        // A point range admits no cut even on an unrestricted grid.
+        let all = SplitGrid::all(&s);
+        assert!(all.cuts_in(0, Range::new(9, 9)).next().is_none());
+    }
 }

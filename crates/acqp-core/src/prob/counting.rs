@@ -9,8 +9,7 @@
 //! cached, so building a conditioned joint truth distribution is a gather
 //! plus an aggregation.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::attr::AttrId;
 use crate::dataset::Dataset;
@@ -23,7 +22,7 @@ use crate::range::{Range, Ranges};
 #[derive(Debug, Clone)]
 pub struct CountingCtx {
     ranges: Ranges,
-    rows: Rc<Vec<u32>>,
+    rows: Arc<Vec<u32>>,
 }
 
 impl CountingCtx {
@@ -37,8 +36,9 @@ impl CountingCtx {
 pub struct CountingEstimator<'d> {
     data: &'d Dataset,
     root_ranges: Ranges,
-    /// Memoized per-row truth bitmasks for the most recent query.
-    mask_cache: RefCell<Option<(Query, Rc<Vec<u64>>)>>,
+    /// Memoized per-row truth bitmasks for the most recent query,
+    /// behind a mutex so planner worker threads can share the estimator.
+    mask_cache: Mutex<Option<(Query, Arc<Vec<u64>>)>>,
 }
 
 impl<'d> CountingEstimator<'d> {
@@ -57,14 +57,14 @@ impl<'d> CountingEstimator<'d> {
                 })
                 .collect(),
         );
-        CountingEstimator { data, root_ranges: ranges, mask_cache: RefCell::new(None) }
+        CountingEstimator { data, root_ranges: ranges, mask_cache: Mutex::new(None) }
     }
 
     /// Builds an estimator whose root context carries the given (full)
     /// ranges — normally `Ranges::root(schema)`.
     pub fn with_ranges(data: &'d Dataset, ranges: Ranges) -> Self {
         debug_assert_eq!(ranges.len(), data.width());
-        CountingEstimator { data, root_ranges: ranges, mask_cache: RefCell::new(None) }
+        CountingEstimator { data, root_ranges: ranges, mask_cache: Mutex::new(None) }
     }
 
     /// The underlying dataset.
@@ -72,18 +72,18 @@ impl<'d> CountingEstimator<'d> {
         self.data
     }
 
-    fn masks_for(&self, query: &Query) -> Rc<Vec<u64>> {
-        let mut cache = self.mask_cache.borrow_mut();
+    fn masks_for(&self, query: &Query) -> Arc<Vec<u64>> {
+        let mut cache = self.mask_cache.lock().unwrap();
         if let Some((q, masks)) = cache.as_ref() {
             if q == query {
-                return Rc::clone(masks);
+                return Arc::clone(masks);
             }
         }
         let masks: Vec<u64> = (0..self.data.len())
             .map(|row| query.truth_mask(|a| self.data.value(row, a)))
             .collect();
-        let masks = Rc::new(masks);
-        *cache = Some((query.clone(), Rc::clone(&masks)));
+        let masks = Arc::new(masks);
+        *cache = Some((query.clone(), Arc::clone(&masks)));
         masks
     }
 }
@@ -94,7 +94,7 @@ impl Estimator for CountingEstimator<'_> {
     fn root(&self) -> CountingCtx {
         CountingCtx {
             ranges: self.root_ranges.clone(),
-            rows: Rc::new((0..self.data.len() as u32).collect()),
+            rows: Arc::new((0..self.data.len() as u32).collect()),
         }
     }
 
@@ -103,7 +103,7 @@ impl Estimator for CountingEstimator<'_> {
         let col = self.data.column(attr);
         let rows: Vec<u32> =
             ctx.rows.iter().copied().filter(|&i| r.contains(col[i as usize])).collect();
-        CountingCtx { ranges: ctx.ranges.with(attr, r), rows: Rc::new(rows) }
+        CountingCtx { ranges: ctx.ranges.with(attr, r), rows: Arc::new(rows) }
     }
 
     fn ranges<'c>(&self, ctx: &'c CountingCtx) -> &'c Ranges {

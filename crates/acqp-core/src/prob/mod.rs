@@ -37,9 +37,13 @@ pub type CtxId = usize;
 /// range constraints — one subproblem of the planners' recursion.
 /// Contexts are refined functionally: [`Estimator::refine`] returns a new
 /// context conditioned on one additional range.
-pub trait Estimator {
+///
+/// Estimators are `Sync` and contexts are `Send + Sync` so the planners
+/// can fan subproblems out across a thread pool: workers share one
+/// estimator by reference and move contexts through a work queue.
+pub trait Estimator: Sync {
     /// Conditioning context; cheap to clone.
-    type Ctx: Clone;
+    type Ctx: Clone + Send + Sync;
 
     /// The unconditioned model (every attribute spans its full domain).
     fn root(&self) -> Self::Ctx;

@@ -3,82 +3,8 @@
 use acqp::core::prelude::*;
 use proptest::prelude::*;
 
-/// A random planning instance: schema (2–5 attributes, domains 2–8,
-/// mixed costs), dataset (20–120 correlated-ish rows) and a conjunctive
-/// query over a subset of attributes.
-#[derive(Debug, Clone)]
-struct Instance {
-    schema: Schema,
-    data: Dataset,
-    query: Query,
-}
-
-fn instance_strategy() -> impl Strategy<Value = Instance> {
-    (2usize..=5, any::<u64>()).prop_flat_map(|(n, seed)| {
-        (
-            proptest::collection::vec(2u16..=8, n),
-            proptest::collection::vec(proptest::bool::ANY, n),
-            20usize..=120,
-            Just(seed),
-        )
-            .prop_map(move |(domains, cheap, rows, seed)| {
-                let attrs: Vec<Attribute> = domains
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &k)| {
-                        Attribute::new(
-                            format!("x{i}"),
-                            k,
-                            if cheap[i] { 1.0 } else { 50.0 },
-                        )
-                    })
-                    .collect();
-                let schema = Schema::new(attrs).unwrap();
-                // Correlated rows from a tiny xorshift stream: a latent
-                // value drives every attribute plus noise.
-                let mut s = seed | 1;
-                let mut next = move || {
-                    s ^= s << 13;
-                    s ^= s >> 7;
-                    s ^= s << 17;
-                    s
-                };
-                let data = Dataset::from_rows(
-                    &schema,
-                    (0..rows)
-                        .map(|_| {
-                            let latent = next();
-                            domains
-                                .iter()
-                                .map(|&k| {
-                                    let noise = next() % 3;
-                                    ((latent.wrapping_add(noise) >> 5) % u64::from(k)) as u16
-                                })
-                                .collect()
-                        })
-                        .collect(),
-                )
-                .unwrap();
-                // Query over the first 1..=min(3,n) attributes with
-                // mid-domain ranges, negated on odd attrs.
-                let m = domains.len().clamp(1, 3);
-                let preds: Vec<Pred> = (0..m)
-                    .map(|a| {
-                        let k = domains[a];
-                        let lo = k / 4;
-                        let hi = (3 * k / 4).max(lo);
-                        if a % 2 == 1 {
-                            Pred::not_in_range(a, lo, hi)
-                        } else {
-                            Pred::in_range(a, lo, hi)
-                        }
-                    })
-                    .collect();
-                let query = Query::checked(preds, &schema).unwrap();
-                Instance { schema, data, query }
-            })
-    })
-}
+mod common;
+use common::{instance_strategy, Instance};
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]

@@ -1,0 +1,99 @@
+//! Serial/parallel equivalence of the plan search.
+//!
+//! Parallelism in both planners is designed to be *observationally
+//! invisible*: the exhaustive planner uses worker threads only to warm a
+//! shared memo table whose entries are exact subproblem optima, and the
+//! greedy planner fans out self-contained per-attribute sweeps reduced
+//! in a fixed order. Either way the values every comparison sees are
+//! identical to the serial run's, so the chosen plan and its expected
+//! cost must match *bitwise* for any thread count — not merely within a
+//! tolerance.
+//!
+//! Truncation (subproblem cap or deadline) is the one escape hatch:
+//! a truncated search may return a worse plan, but never an invalid or
+//! super-optimal one.
+
+use acqp::core::prelude::*;
+use proptest::prelude::*;
+
+mod common;
+use common::{instance_strategy, Instance};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Exhaustive search: threads=1 and threads=N return bitwise-equal
+    /// expected costs and identical plans when neither run truncates.
+    #[test]
+    fn exhaustive_parallel_is_bitwise_equal(inst in instance_strategy()) {
+        let Instance { schema, data, query } = inst;
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let serial = ExhaustivePlanner::new()
+            .max_subproblems(500_000)
+            .plan_with_report(&schema, &query, &est)
+            .unwrap();
+        prop_assume!(!serial.truncated);
+        for threads in [2usize, 4] {
+            let par = ExhaustivePlanner::new()
+                .max_subproblems(500_000)
+                .threads(threads)
+                .plan_with_report(&schema, &query, &est)
+                .unwrap();
+            prop_assert!(!par.truncated,
+                "parallel run truncated where serial did not (threads={threads})");
+            prop_assert_eq!(
+                serial.expected_cost.to_bits(), par.expected_cost.to_bits(),
+                "threads={}: {} vs {}", threads, serial.expected_cost, par.expected_cost);
+            prop_assert_eq!(&serial.plan, &par.plan, "threads={}", threads);
+        }
+    }
+
+    /// Greedy search: per-attribute fan-out never changes the result,
+    /// truncated or not (determinism does not rely on prop_assume).
+    #[test]
+    fn greedy_parallel_is_bitwise_equal(inst in instance_strategy()) {
+        let Instance { schema, data, query } = inst;
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let serial = GreedyPlanner::new(5)
+            .plan_with_report(&schema, &query, &est)
+            .unwrap();
+        for threads in [2usize, 4] {
+            let par = GreedyPlanner::new(5)
+                .threads(threads)
+                .plan_with_report(&schema, &query, &est)
+                .unwrap();
+            prop_assert_eq!(
+                serial.expected_cost.to_bits(), par.expected_cost.to_bits(),
+                "threads={}: {} vs {}", threads, serial.expected_cost, par.expected_cost);
+            prop_assert_eq!(&serial.plan, &par.plan, "threads={}", threads);
+        }
+    }
+
+    /// A budget-truncated exhaustive search still returns a correct plan
+    /// whose cost is never below the true optimum.
+    #[test]
+    fn truncated_never_beats_optimum(inst in instance_strategy()) {
+        let Instance { schema, data, query } = inst;
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let full = ExhaustivePlanner::new()
+            .max_subproblems(500_000)
+            .plan_with_report(&schema, &query, &est)
+            .unwrap();
+        prop_assume!(!full.truncated);
+        for cap in [1usize, 8, 64] {
+            let cut = ExhaustivePlanner::new()
+                .max_subproblems(cap)
+                .plan_with_report(&schema, &query, &est)
+                .unwrap();
+            // The truncated plan is still exact on every tuple...
+            let rep = measure(&cut.plan, &query, &schema, &data);
+            prop_assert!(rep.all_correct, "cap={cap} produced an incorrect plan");
+            prop_assert!((cut.expected_cost - rep.mean_cost).abs() < 1e-6,
+                "cap={}: claimed {} vs measured {}", cap, cut.expected_cost, rep.mean_cost);
+            // ...and never cheaper than the proven optimum.
+            prop_assert!(cut.expected_cost >= full.expected_cost - 1e-9,
+                "cap={}: truncated {} beat optimum {}",
+                cap, cut.expected_cost, full.expected_cost);
+        }
+    }
+}

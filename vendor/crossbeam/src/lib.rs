@@ -1,0 +1,168 @@
+//! Offline stand-in for the `crossbeam` crate (0.8 API subset).
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored crate provides the slice of crossbeam the workspace uses:
+//! [`thread::scope`] (implemented on top of `std::thread::scope`, which
+//! has subsumed crossbeam's scoped threads since Rust 1.63) and a
+//! mutex-backed [`deque::Injector`] work queue with the same
+//! `push`/`steal` surface as crossbeam-deque's injector.
+
+pub mod thread {
+    //! Scoped threads with crossbeam's calling convention.
+
+    use std::any::Any;
+
+    /// A scope handle; closures passed to [`Scope::spawn`] receive a
+    /// reference to it so spawned threads can spawn further work.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// payload of its panic.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, like
+        /// crossbeam's `|_|` idiom.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment
+    /// may be spawned; all are joined before `scope` returns. Child
+    /// panics propagate as a panic of the scope itself, so the `Ok`
+    /// arm matches crossbeam's common `scope(...).unwrap()` usage.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+pub mod deque {
+    //! A minimal FIFO injector queue with crossbeam-deque's `steal`
+    //! surface, sufficient for a shared work pool.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt raced with another consumer; retry.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A FIFO queue any thread may push to or steal from.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Steals one task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal};
+
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1, 2, 3, 4];
+        let total: i32 = super::scope(|s| {
+            let handles: Vec<_> =
+                data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn injector_drains_across_threads() {
+        let q = Injector::new();
+        for i in 0..1000 {
+            q.push(i);
+        }
+        let sum: i64 = super::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|_| {
+                        let mut local = 0i64;
+                        while let Steal::Success(v) = q.steal() {
+                            local += v;
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, (0..1000).sum::<i64>());
+        assert!(q.is_empty());
+    }
+}
