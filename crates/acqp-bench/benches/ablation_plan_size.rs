@@ -24,16 +24,8 @@ fn main() {
     let hum_d = g.discretizers[layout.humidity(0)].as_ref().unwrap();
     let mut preds = Vec::new();
     for m in 0..cfg.motes {
-        preds.push(Pred::in_range(
-            layout.temp(m),
-            temp_d.quantize(10.5),
-            temp_d.quantize(17.5),
-        ));
-        preds.push(Pred::in_range(
-            layout.humidity(m),
-            hum_d.quantize(50.0),
-            hum_d.quantize(78.0),
-        ));
+        preds.push(Pred::in_range(layout.temp(m), temp_d.quantize(10.5), temp_d.quantize(17.5)));
+        preds.push(Pred::in_range(layout.humidity(m), hum_d.quantize(50.0), hum_d.quantize(78.0)));
     }
     let query = Query::checked(preds, &schema).unwrap();
 

@@ -57,10 +57,8 @@ fn ablation_board_costs() {
         // Optimal *sequential* plans make the comparison exact: the
         // aware order provably dominates any order on training data.
         let blind = SeqPlanner::optimal().plan(&g.schema, q, &est).unwrap();
-        let aware = SeqPlanner::optimal()
-            .with_cost_model(board.clone())
-            .plan(&g.schema, q, &est)
-            .unwrap();
+        let aware =
+            SeqPlanner::optimal().with_cost_model(board.clone()).plan(&g.schema, q, &est).unwrap();
         let rb_tr = measure_model(&blind, q, &g.schema, &board, &train);
         let ra_tr = measure_model(&aware, q, &g.schema, &board, &train);
         // The aware plan is optimized under the board pricing: on the
@@ -100,9 +98,7 @@ fn ablation_independence() {
     let mut indep_splits = 0usize;
     for q in &queries {
         let grid = SplitGrid::for_query(&g.schema, q, 12);
-        let planner = GreedyPlanner::new(10)
-            .with_base(SeqAlgorithm::Optimal)
-            .with_grid(grid);
+        let planner = GreedyPlanner::new(10).with_base(SeqAlgorithm::Optimal).with_grid(grid);
 
         let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
         let p = planner.plan(&g.schema, q, &est).unwrap();
@@ -136,10 +132,7 @@ fn ablation_bnb() {
     let g = lab::generate(&LabConfig { epochs: 800, ..LabConfig::default() });
     let (train, _) = g.split(0.8);
     let queries = lab_queries(&g.schema, &train, 4, 3, 0xab1);
-    println!(
-        "{:>12} {:>14} {:>10} {:>8}",
-        "budget", "mean model", "expansions", "exact"
-    );
+    println!("{:>12} {:>14} {:>10} {:>8}", "budget", "mean model", "expansions", "exact");
     for budget in [1_000usize, 10_000, 100_000, 1_000_000] {
         let mut cost_sum = 0.0;
         let mut used_sum = 0usize;

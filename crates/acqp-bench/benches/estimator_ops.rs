@@ -20,10 +20,8 @@ use rand::{Rng, SeedableRng};
 
 fn dataset(rows: usize, seed: u64) -> (Schema, Dataset, Query) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let schema = Schema::new(
-        (0..8).map(|i| Attribute::new(format!("x{i}"), 32, 10.0)).collect(),
-    )
-    .unwrap();
+    let schema =
+        Schema::new((0..8).map(|i| Attribute::new(format!("x{i}"), 32, 10.0)).collect()).unwrap();
     let data = Dataset::from_rows(
         &schema,
         (0..rows)
@@ -34,11 +32,8 @@ fn dataset(rows: usize, seed: u64) -> (Schema, Dataset, Query) {
             .collect(),
     )
     .unwrap();
-    let query = Query::checked(
-        (0..4).map(|a| Pred::in_range(a, 8, 23)).collect(),
-        &schema,
-    )
-    .unwrap();
+    let query =
+        Query::checked((0..4).map(|a| Pred::in_range(a, 8, 23)).collect(), &schema).unwrap();
     (schema, data, query)
 }
 

@@ -38,13 +38,7 @@ fn main() {
     for (hour, row) in grid.iter().enumerate() {
         let cells: Vec<String> = row
             .iter()
-            .map(|&c| {
-                if c == 0 {
-                    "   .".to_string()
-                } else {
-                    format!("{c:>4}")
-                }
-            })
+            .map(|&c| if c == 0 { "   .".to_string() } else { format!("{c:>4}") })
             .collect();
         println!("h{hour:>2} |{}", cells.join(""));
     }

@@ -34,8 +34,7 @@ fn main() {
     let (_, c_naive) = SeqPlanner::naive().plan_with_cost(&schema, &query, &est).unwrap();
     println!("{:<34} {c_naive:>10.3} {:>12}", "sequential (either order)", "1.5");
 
-    let (plan, c_cond) =
-        GreedyPlanner::new(4).plan_with_cost(&schema, &query, &est).unwrap();
+    let (plan, c_cond) = GreedyPlanner::new(4).plan_with_cost(&schema, &query, &est).unwrap();
     println!("{:<34} {c_cond:>10.3} {:>12}", "conditional on time of day", "1.1");
 
     let (_, c_opt) = ExhaustivePlanner::new().plan_with_cost(&schema, &query, &est).unwrap();

@@ -31,10 +31,7 @@ fn main() {
     let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
 
     println!("=== Figure 3: plan enumeration, 3 binary attributes ===\n");
-    println!(
-        "full acquisition trees (paper's counting): {} (paper: 12)",
-        full_tree_count(3)
-    );
+    println!("full acquisition trees (paper's counting): {} (paper: 12)", full_tree_count(3));
 
     let e = enumerate_plans(&schema, &query, &est, 10_000).unwrap();
     println!("distinct executed plans: {}\n", e.plans.len());
@@ -49,11 +46,7 @@ fn main() {
     }
 
     let (_, dp_cost) = ExhaustivePlanner::new().plan_with_cost(&schema, &query, &est).unwrap();
-    println!(
-        "\nbest enumerated cost {:.4} == exhaustive DP cost {:.4}",
-        e.best_cost(),
-        dp_cost
-    );
+    println!("\nbest enumerated cost {:.4} == exhaustive DP cost {:.4}", e.best_cost(), dp_cost);
     assert!((e.best_cost() - dp_cost).abs() < 1e-9);
 
     // The paper's observation: the cheapest plan may start with the

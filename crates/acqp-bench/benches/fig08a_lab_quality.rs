@@ -26,10 +26,8 @@ fn main() {
     let (train_full, test) = g.split(0.6);
     // Plan on a thinned training window (planners are linear in |D|).
     let train = train_full.thin(3);
-    let n_queries: usize = std::env::var("ACQP_QUERIES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(95);
+    let n_queries: usize =
+        std::env::var("ACQP_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(95);
     let queries = lab_queries(&g.schema, &train, n_queries, 3, 0xf18a);
 
     let algos = vec![

@@ -19,14 +19,10 @@ fn main() {
     let g = lab::generate(&LabConfig::default());
     let (train_full, test) = g.split(0.6);
     let train = train_full.thin(4);
-    let n_queries: usize = std::env::var("ACQP_QUERIES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
-    let threads: usize = std::env::var("ACQP_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let n_queries: usize =
+        std::env::var("ACQP_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(20);
+    let threads: usize =
+        std::env::var("ACQP_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
     let queries = lab_queries(&g.schema, &train, n_queries, 3, 0x8b);
 
     let heuristic = Algo::Heuristic { splits: 5, grid_r: 12, base: SeqAlgorithm::Optimal };
@@ -64,10 +60,7 @@ fn main() {
             .zip(&heur_costs)
             .map(|(c, h)| if *h > 0.0 { c / h } else { 1.0 })
             .fold(0.0f64, f64::max);
-        let exact = cells
-            .iter()
-            .filter(|c| c.algo == label && c.exact == Some(true))
-            .count();
+        let exact = cells.iter().filter(|c| c.algo == label && c.exact == Some(true)).count();
         let r = match algo {
             Algo::Exhaustive { grid_r, .. } => *grid_r,
             _ => unreachable!(),

@@ -15,10 +15,8 @@ fn main() {
     let g = lab::generate(&LabConfig::default());
     let (train_full, test) = g.split(0.6);
     let train = train_full.thin(2);
-    let n_queries: usize = std::env::var("ACQP_QUERIES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(95);
+    let n_queries: usize =
+        std::env::var("ACQP_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(95);
     let queries = lab_queries(&g.schema, &train, n_queries, 3, 0x8c);
 
     let algos = vec![

@@ -45,11 +45,7 @@ fn main() {
     println!("query: light >= 350 lux AND temp <= 21 C AND humidity <= 48 %");
     println!(
         "selectivities (train): {:?}",
-        query
-            .selectivities(&train)
-            .iter()
-            .map(|s| (s * 100.0).round() / 100.0)
-            .collect::<Vec<_>>()
+        query.selectivities(&train).iter().map(|s| (s * 100.0).round() / 100.0).collect::<Vec<_>>()
     );
     println!("\nconditional plan ({} splits, {} bytes):", plan.split_count(), plan.wire_size());
     println!("{}", plan.pretty(schema, &query));

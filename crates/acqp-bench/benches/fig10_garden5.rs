@@ -16,10 +16,8 @@ fn main() {
     let t0 = std::time::Instant::now();
     let g = garden::generate(&GardenConfig { epochs: 8_000, ..GardenConfig::garden5() });
     let (train, test) = g.split(0.5);
-    let n_queries: usize = std::env::var("ACQP_QUERIES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(90);
+    let n_queries: usize =
+        std::env::var("ACQP_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(90);
     let queries = garden_queries_on(&g.schema, Some(&train), 5, n_queries, 0x6a10);
 
     let algos = vec![
@@ -45,11 +43,7 @@ fn main() {
     print_gain_cdf("Heuristic vs CorrSeq", &corr, &heur);
 
     // The paper's "penalty is negligible" check.
-    let worst_penalty = corr
-        .iter()
-        .zip(&heur)
-        .map(|(c, h)| h / c)
-        .fold(0.0f64, f64::max);
+    let worst_penalty = corr.iter().zip(&heur).map(|(c, h)| h / c).fold(0.0f64, f64::max);
     println!(
         "\nworst-case Heuristic/CorrSeq = {worst_penalty:.3} \
          (paper: losses stay under ~10%, i.e. < 1.10)"

@@ -15,10 +15,8 @@ fn main() {
     let t0 = std::time::Instant::now();
     let g = garden::generate(&GardenConfig { epochs: 8_000, ..GardenConfig::garden11() });
     let (train, test) = g.split(0.5);
-    let n_queries: usize = std::env::var("ACQP_QUERIES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(90);
+    let n_queries: usize =
+        std::env::var("ACQP_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(90);
     let queries = garden_queries_on(&g.schema, Some(&train), 11, n_queries, 0x6a11);
 
     let algos = vec![
@@ -43,11 +41,7 @@ fn main() {
     println!();
     print_gain_cdf("Heuristic vs CorrSeq", &corr, &heur);
 
-    let best_gain = naive
-        .iter()
-        .zip(&heur)
-        .map(|(n, h)| n / h)
-        .fold(0.0f64, f64::max);
+    let best_gain = naive.iter().zip(&heur).map(|(n, h)| n / h).fold(0.0f64, f64::max);
     println!(
         "\nbest per-query gain over Naive: {best_gain:.2}x \
          (paper reports up to ~4x on its real forest trace)"

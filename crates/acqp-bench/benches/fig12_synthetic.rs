@@ -16,10 +16,8 @@ use acqp_data::workload::synthetic_query;
 fn main() {
     let t0 = std::time::Instant::now();
     let sels = [0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
-    let rows: usize = std::env::var("ACQP_ROWS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20_000);
+    let rows: usize =
+        std::env::var("ACQP_ROWS").ok().and_then(|s| s.parse().ok()).unwrap_or(20_000);
 
     for (gamma, n) in [(1usize, 10usize), (3, 10), (1, 40), (3, 40)] {
         let m = SyntheticConfig::new(n, gamma, 0.5).expensive_attrs().len();

@@ -41,14 +41,10 @@ fn main() {
     let g = lab::generate(&LabConfig::default());
     let (train_full, _) = g.split(0.6);
     let train = train_full.thin(4);
-    let n_queries: usize = std::env::var("ACQP_QUERIES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
-    let threads: usize = std::env::var("ACQP_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+    let n_queries: usize =
+        std::env::var("ACQP_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(12);
+    let threads: usize =
+        std::env::var("ACQP_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(4);
     let queries = lab_queries(&g.schema, &train, n_queries, 3, 0x8b);
     let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
 

@@ -48,11 +48,8 @@ fn correlated(n: usize, k: u16, rows: usize, seed: u64) -> (Schema, Dataset) {
 
 fn mid_query(schema: &Schema, preds: usize) -> Query {
     let k = schema.domain(1);
-    Query::checked(
-        (1..=preds).map(|a| Pred::in_range(a, k / 4, 3 * k / 4)).collect(),
-        schema,
-    )
-    .unwrap()
+    Query::checked((1..=preds).map(|a| Pred::in_range(a, k / 4, 3 * k / 4)).collect(), schema)
+        .unwrap()
 }
 
 fn main() {
@@ -120,20 +117,15 @@ fn main() {
             let cfg = SyntheticConfig::new(n, 3, 0.5).with_rows(4_000);
             let g = synthetic::generate(&cfg);
             let query = synthetic_query(&cfg, &g.schema);
-            group.bench_with_input(
-                BenchmarkId::from_parameter(query.len()),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let est =
-                            CountingEstimator::with_ranges(&g.data, Ranges::root(&g.schema));
-                        GreedyPlanner::new(3)
-                            .with_base(SeqAlgorithm::Greedy)
-                            .plan(&g.schema, &query, &est)
-                            .unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::from_parameter(query.len()), &n, |b, _| {
+                b.iter(|| {
+                    let est = CountingEstimator::with_ranges(&g.data, Ranges::root(&g.schema));
+                    GreedyPlanner::new(3)
+                        .with_base(SeqAlgorithm::Greedy)
+                        .plan(&g.schema, &query, &est)
+                        .unwrap()
+                })
+            });
         }
         group.finish();
     }

@@ -70,9 +70,7 @@ impl Algo {
         let est = CountingEstimator::with_ranges(train, Ranges::root(schema));
         match self {
             Algo::Naive => Ok((SeqPlanner::naive().plan(schema, query, &est)?, None)),
-            Algo::CorrSeq(algo) => {
-                Ok((SeqPlanner::new(*algo).plan(schema, query, &est)?, None))
-            }
+            Algo::CorrSeq(algo) => Ok((SeqPlanner::new(*algo).plan(schema, query, &est)?, None)),
             Algo::Heuristic { splits, grid_r, base } => {
                 let mut p = GreedyPlanner::new(*splits).with_base(*base);
                 if *grid_r > 0 {
@@ -184,11 +182,8 @@ pub fn mean_by_algo(cells: &[Cell]) -> Vec<(String, f64)> {
 
 /// Per-query cost of `algo`, indexed by query.
 pub fn costs_of(cells: &[Cell], algo: &str) -> Vec<f64> {
-    let mut v: Vec<(usize, f64)> = cells
-        .iter()
-        .filter(|c| c.algo == algo)
-        .map(|c| (c.query_idx, c.test_cost))
-        .collect();
+    let mut v: Vec<(usize, f64)> =
+        cells.iter().filter(|c| c.algo == algo).map(|c| (c.query_idx, c.test_cost)).collect();
     v.sort_by_key(|(q, _)| *q);
     v.into_iter().map(|(_, c)| c).collect()
 }
@@ -253,11 +248,8 @@ mod tests {
         assert_eq!(means.len(), 3);
         // The heuristic never loses to Naive on *training* data.
         for qi in 0..queries.len() {
-            let naive = cells
-                .iter()
-                .find(|c| c.query_idx == qi && c.algo == "Naive")
-                .unwrap()
-                .train_cost;
+            let naive =
+                cells.iter().find(|c| c.query_idx == qi && c.algo == "Naive").unwrap().train_cost;
             let heur = cells
                 .iter()
                 .find(|c| c.query_idx == qi && c.algo == "Heuristic-3(r=8)")

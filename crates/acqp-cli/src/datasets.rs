@@ -26,8 +26,9 @@ pub fn resolve(args: &Args) -> Result<Generated, String> {
                 .map_err(|e| format!("loading data {data_path}: {e}"))?;
             Ok(Generated { schema, data, discretizers })
         }
-        _ => Err("pass either --dataset <kind> or both --schema <file> and --data <file.csv>"
-            .into()),
+        _ => {
+            Err("pass either --dataset <kind> or both --schema <file> and --data <file.csv>".into())
+        }
     }
 }
 
@@ -44,11 +45,8 @@ pub fn build(kind: &str, args: &Args) -> Result<Generated, String> {
             Ok(lab::generate(&cfg))
         }
         "garden5" | "garden11" => {
-            let mut cfg = if kind == "garden5" {
-                GardenConfig::garden5()
-            } else {
-                GardenConfig::garden11()
-            };
+            let mut cfg =
+                if kind == "garden5" { GardenConfig::garden5() } else { GardenConfig::garden11() };
             cfg.seed = args.get_or("seed", cfg.seed)?;
             cfg.epochs = args.get_or("epochs", 6_000)?;
             Ok(garden::generate(&cfg))
@@ -62,10 +60,7 @@ pub fn build(kind: &str, args: &Args) -> Result<Generated, String> {
                 .with_seed(args.get_or("seed", 0x5e17u64)?);
             Ok(synthetic::generate(&cfg))
         }
-        other => Err(format!(
-            "unknown dataset `{other}` (expected one of: {})",
-            KINDS.join(", ")
-        )),
+        other => Err(format!("unknown dataset `{other}` (expected one of: {})", KINDS.join(", "))),
     }
 }
 
@@ -90,8 +85,8 @@ mod tests {
     fn overrides_apply() {
         let small = build("lab", &args(&["--epochs", "50", "--motes", "4"])).unwrap();
         assert_eq!(small.data.len(), 200);
-        let synth = build("synthetic", &args(&["--n", "6", "--gamma", "2", "--rows", "77"]))
-            .unwrap();
+        let synth =
+            build("synthetic", &args(&["--n", "6", "--gamma", "2", "--rows", "77"])).unwrap();
         assert_eq!(synth.schema.len(), 6);
         assert_eq!(synth.data.len(), 77);
     }

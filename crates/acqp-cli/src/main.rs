@@ -88,11 +88,7 @@ fn cmd_gen(args: &Args) -> CliResult<()> {
     let g = datasets::build(kind, args)?;
     acqp_data::csv::save_csv(Path::new(out), &g.schema, &g.data)
         .map_err(|e| format!("writing {out}: {e}"))?;
-    println!(
-        "wrote {} tuples x {} attributes to {out}",
-        g.data.len(),
-        g.schema.len()
-    );
+    println!("wrote {} tuples x {} attributes to {out}", g.data.len(), g.schema.len());
     Ok(())
 }
 
@@ -162,11 +158,7 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
 
     println!("query  : {query_text}");
     println!("planner: {}", planner_label(algo, splits));
-    println!(
-        "plan   : {} splits, {} bytes on the wire\n",
-        plan.split_count(),
-        plan.wire_size()
-    );
+    println!("plan   : {} splits, {} bytes on the wire\n", plan.split_count(), plan.wire_size());
     if args.get("explain").is_some_and(|v| v != "no") {
         let ex = explain(&plan, &query, &g.schema, &CostModel::PerAttribute, &est);
         println!("{}", ex.render(&g.schema, &query));
@@ -180,7 +172,10 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
     if !(rtr.all_correct && rte.all_correct) {
         return Err("internal error: plan disagreed with direct evaluation".into());
     }
-    println!("cost/tuple: {:.2} (train window), {:.2} (held-out window)", rtr.mean_cost, rte.mean_cost);
+    println!(
+        "cost/tuple: {:.2} (train window), {:.2} (held-out window)",
+        rtr.mean_cost, rte.mean_cost
+    );
     println!("pass rate : {:.1}% of held-out tuples", 100.0 * rte.pass_rate);
 
     // Always show the Naive baseline for context.
@@ -336,10 +331,7 @@ mod tests {
         assert_eq!(run_vec(&["info", "--dataset", "synthetic", "--rows", "50"]), Ok(()));
         let out = std::env::temp_dir().join("acqp_cli_gen.csv");
         let out_s = out.to_str().unwrap();
-        assert_eq!(
-            run_vec(&["gen", "synthetic", "--rows", "100", "--out", out_s]),
-            Ok(())
-        );
+        assert_eq!(run_vec(&["gen", "synthetic", "--rows", "100", "--out", out_s]), Ok(()));
         assert!(out.exists());
         std::fs::remove_file(out).ok();
     }

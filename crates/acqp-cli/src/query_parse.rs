@@ -81,13 +81,10 @@ fn tokenize(text: &str) -> Result<Vec<Tok>> {
             '0'..='9' | '-' | '.' => {
                 let start = i;
                 i += 1;
-                while i < b.len()
-                    && matches!(b[i] as char, '0'..='9' | '.' | 'e' | 'E' | '-' | '+')
+                while i < b.len() && matches!(b[i] as char, '0'..='9' | '.' | 'e' | 'E' | '-' | '+')
                 {
                     // Stop '-'/'+' unless part of an exponent.
-                    if matches!(b[i] as char, '-' | '+')
-                        && !matches!(b[i - 1] as char, 'e' | 'E')
-                    {
+                    if matches!(b[i] as char, '-' | '+') && !matches!(b[i - 1] as char, 'e' | 'E') {
                         break;
                     }
                     i += 1;
@@ -98,9 +95,7 @@ fn tokenize(text: &str) -> Result<Vec<Tok>> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < b.len()
-                    && ((b[i] as char).is_alphanumeric() || b[i] == b'_')
-                {
+                while i < b.len() && ((b[i] as char).is_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
                 let word = &text[start..i];

@@ -50,14 +50,7 @@ pub fn measure_rows(
     data: &Dataset,
     rows: impl IntoIterator<Item = usize>,
 ) -> CostReport {
-    measure_rows_model(
-        plan,
-        query,
-        schema,
-        &crate::costmodel::CostModel::PerAttribute,
-        data,
-        rows,
-    )
+    measure_rows_model(plan, query, schema, &crate::costmodel::CostModel::PerAttribute, data, rows)
 }
 
 /// The general measurement loop: cost model and row subset.
@@ -75,13 +68,8 @@ pub fn measure_rows_model(
     let mut all_correct = true;
     let mut tuples = 0usize;
     for row in rows {
-        let out = crate::exec::execute_model(
-            plan,
-            query,
-            schema,
-            model,
-            &mut RowSource::new(data, row),
-        );
+        let out =
+            crate::exec::execute_model(plan, query, schema, model, &mut RowSource::new(data, row));
         total += out.cost;
         max_cost = max_cost.max(out.cost);
         passes += usize::from(out.verdict);
@@ -90,13 +78,7 @@ pub fn measure_rows_model(
         tuples += 1;
     }
     let d = tuples.max(1) as f64;
-    CostReport {
-        mean_cost: total / d,
-        max_cost,
-        pass_rate: passes as f64 / d,
-        all_correct,
-        tuples,
-    }
+    CostReport { mean_cost: total / d, max_cost, pass_rate: passes as f64 / d, all_correct, tuples }
 }
 
 /// Model-expected cost of `plan` under `est`, per the recursion of
@@ -106,12 +88,7 @@ pub fn measure_rows_model(
 ///
 /// Under a [`crate::prob::CountingEstimator`] built from dataset `D`,
 /// this equals [`measure`]`(plan, …, D).mean_cost` exactly.
-pub fn expected_cost<E: Estimator>(
-    plan: &Plan,
-    query: &Query,
-    schema: &Schema,
-    est: &E,
-) -> f64 {
+pub fn expected_cost<E: Estimator>(plan: &Plan, query: &Query, schema: &Schema, est: &E) -> f64 {
     expected_cost_model(plan, query, schema, &crate::costmodel::CostModel::PerAttribute, est)
 }
 
@@ -141,8 +118,7 @@ fn expected_cost_at<E: Estimator>(
             let ranges = est.ranges(ctx);
             let initial = acquired_mask(schema, ranges);
             let attr_of: Vec<usize> = query.preds().iter().map(|p| p.attr()).collect();
-            est.truth_table(ctx, query)
-                .seq_cost_model(&seq.order, &attr_of, schema, model, initial)
+            est.truth_table(ctx, query).seq_cost_model(&seq.order, &attr_of, schema, model, initial)
         }
         Plan::Split { attr, cut, lo, hi } => {
             let ranges = est.ranges(ctx);
@@ -181,16 +157,12 @@ mod tests {
 
     #[test]
     fn measures_mean_and_correctness() {
-        let schema = Schema::new(vec![
-            Attribute::new("a", 4, 10.0),
-            Attribute::new("b", 4, 2.0),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::new("a", 4, 10.0), Attribute::new("b", 4, 2.0)]).unwrap();
         // Half the rows fail the first predicate.
         let rows: Vec<Vec<u16>> = (0..8u16).map(|i| vec![i % 4, i % 2]).collect();
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let query =
-            Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 1, 1)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 1, 1)]).unwrap();
         let plan = Plan::Seq(SeqOrder::new(vec![0, 1]));
         let rep = measure(&plan, &query, &schema, &data);
         assert!(rep.all_correct);
@@ -223,8 +195,7 @@ mod tests {
         let rows: Vec<Vec<u16>> =
             (0..64u16).map(|i| vec![i % 4, (i / 4) % 4, (i / 16) % 4]).collect();
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let query =
-            Query::new(vec![Pred::in_range(0, 1, 2), Pred::in_range(1, 0, 1)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 1, 2), Pred::in_range(1, 0, 1)]).unwrap();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
         // A hand-built conditional plan with nested splits and seq leaves.
         let plan = Plan::split(

@@ -92,10 +92,8 @@ impl Dataset {
     /// paper's disjoint train/test windows (§6).
     pub fn split_at(&self, frac: f64) -> (Dataset, Dataset) {
         let cut = ((self.rows as f64) * frac.clamp(0.0, 1.0)).round() as usize;
-        let train = Dataset {
-            cols: self.cols.iter().map(|c| c[..cut].to_vec()).collect(),
-            rows: cut,
-        };
+        let train =
+            Dataset { cols: self.cols.iter().map(|c| c[..cut].to_vec()).collect(), rows: cut };
         let test = Dataset {
             cols: self.cols.iter().map(|c| c[cut..].to_vec()).collect(),
             rows: self.rows - cut,
@@ -108,11 +106,7 @@ impl Dataset {
     pub fn thin(&self, stride: usize) -> Dataset {
         let stride = stride.max(1);
         Dataset {
-            cols: self
-                .cols
-                .iter()
-                .map(|c| c.iter().step_by(stride).copied().collect())
-                .collect(),
+            cols: self.cols.iter().map(|c| c.iter().step_by(stride).copied().collect()).collect(),
             rows: self.rows.div_ceil(stride),
         }
     }
@@ -191,11 +185,7 @@ mod tests {
     use crate::attr::Attribute;
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            Attribute::new("a", 4, 10.0),
-            Attribute::new("b", 8, 1.0),
-        ])
-        .unwrap()
+        Schema::new(vec![Attribute::new("a", 4, 10.0), Attribute::new("b", 8, 1.0)]).unwrap()
     }
 
     #[test]
@@ -212,10 +202,7 @@ mod tests {
     #[test]
     fn bad_rows_rejected() {
         let s = schema();
-        assert!(matches!(
-            Dataset::from_rows(&s, vec![vec![0]]),
-            Err(Error::BadRow { row: 0, .. })
-        ));
+        assert!(matches!(Dataset::from_rows(&s, vec![vec![0]]), Err(Error::BadRow { row: 0, .. })));
         assert!(matches!(
             Dataset::from_rows(&s, vec![vec![0, 1], vec![4, 0]]),
             Err(Error::BadRow { row: 1, .. })

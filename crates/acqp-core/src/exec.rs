@@ -71,12 +71,8 @@ pub fn execute_model(
     model: &crate::costmodel::CostModel,
     src: &mut impl TupleSource,
 ) -> ExecOutcome {
-    let mut st = ExecState {
-        cache: vec![None; schema.len()],
-        mask: 0,
-        cost: 0.0,
-        acquired: Vec::new(),
-    };
+    let mut st =
+        ExecState { cache: vec![None; schema.len()], mask: 0, cost: 0.0, acquired: Vec::new() };
     let mut node = plan;
     loop {
         match node {
@@ -235,12 +231,8 @@ mod tests {
     fn empty_seq_outputs() {
         let s = schema();
         let q = query();
-        let out = execute(
-            &Plan::Seq(SeqOrder::default()),
-            &q,
-            &s,
-            &mut FixedTuple(vec![3, 0, 0], 0),
-        );
+        let out =
+            execute(&Plan::Seq(SeqOrder::default()), &q, &s, &mut FixedTuple(vec![3, 0, 0], 0));
         assert!(out.verdict);
         assert_eq!(out.cost, 0.0);
     }

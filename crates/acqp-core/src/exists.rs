@@ -156,11 +156,11 @@ pub fn execute_exists(
     let mut cost = 0.0;
     let mut acquired = Vec::new();
     let fetch = |attr: AttrId,
-                     src: &mut dyn FnMut(AttrId) -> u16,
-                     cache: &mut Vec<Option<u16>>,
-                     mask: &mut u64,
-                     cost: &mut f64,
-                     acquired: &mut Vec<AttrId>| {
+                 src: &mut dyn FnMut(AttrId) -> u16,
+                 cache: &mut Vec<Option<u16>>,
+                 mask: &mut u64,
+                 cost: &mut f64,
+                 acquired: &mut Vec<AttrId>| {
         if let Some(v) = cache[attr] {
             return v;
         }
@@ -204,8 +204,7 @@ pub fn execute_exists(
                 return crate::exec::ExecOutcome { verdict: false, cost, acquired };
             }
             ExistsPlan::Split { attr, cut, lo, hi } => {
-                let v =
-                    fetch(*attr, &mut read, &mut cache, &mut mask, &mut cost, &mut acquired);
+                let v = fetch(*attr, &mut read, &mut cache, &mut mask, &mut cost, &mut acquired);
                 node = if v < *cut { lo } else { hi };
             }
         }
@@ -225,8 +224,7 @@ pub fn measure_exists(
     let mut passes = 0usize;
     let mut all_correct = true;
     for row in 0..data.len() {
-        let out =
-            execute_exists(plan, query, schema, &model, &mut RowSource::new(data, row));
+        let out = execute_exists(plan, query, schema, &model, &mut RowSource::new(data, row));
         total += out.cost;
         max_cost = max_cost.max(out.cost);
         passes += usize::from(out.verdict);
@@ -264,12 +262,7 @@ impl ExistsPlanner {
     }
 
     /// Builds the plan.
-    pub fn plan(
-        &self,
-        schema: &Schema,
-        query: &ExistsQuery,
-        data: &Dataset,
-    ) -> Result<ExistsPlan> {
+    pub fn plan(&self, schema: &Schema, query: &ExistsQuery, data: &Dataset) -> Result<ExistsPlan> {
         // Candidate grid: equal-width plus every branch predicate's
         // endpoints.
         let mut grid = SplitGrid::equal_width(schema, self.grid_points);
@@ -427,11 +420,7 @@ impl ExistsPlanner {
                 // P(branch i fails | earlier all failed).
                 let p_fail = fail_table.cond_prob(i, failed_set);
                 let p_succ = 1.0 - p_fail;
-                let rank = if p_succ <= 0.0 {
-                    f64::INFINITY
-                } else {
-                    branch_cost[i] / p_succ
-                };
+                let rank = if p_succ <= 0.0 { f64::INFINITY } else { branch_cost[i] / p_succ };
                 if idx == 0 || rank < pick_rank {
                     pick = idx;
                     pick_rank = rank;
@@ -452,10 +441,7 @@ impl ExistsPlanner {
         let _ = (initial, model);
 
         let plan = ExistsPlan::Seq(
-            order
-                .into_iter()
-                .map(|i| BranchStep { branch: i, inner: steps[i].clone() })
-                .collect(),
+            order.into_iter().map(|i| BranchStep { branch: i, inner: steps[i].clone() }).collect(),
         );
         Ok((plan, cost))
     }
@@ -482,12 +468,7 @@ fn ctx_rows(ctx: &crate::prob::CountingCtx) -> &[u32] {
     ctx.rows()
 }
 
-fn merge_query_endpoints(
-    grid: SplitGrid,
-    schema: &Schema,
-    query: &Query,
-    r: usize,
-) -> SplitGrid {
+fn merge_query_endpoints(grid: SplitGrid, schema: &Schema, query: &Query, r: usize) -> SplitGrid {
     // SplitGrid::for_query builds equal-width + endpoints from scratch;
     // simply rebuild per branch and rely on idempotent dedup by taking
     // the union through for_query repeatedly.
@@ -525,9 +506,7 @@ mod tests {
             rows.push(row);
         }
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let branches = (0..3)
-            .map(|s| Query::new(vec![Pred::in_range(s, 3, 3)]).unwrap())
-            .collect();
+        let branches = (0..3).map(|s| Query::new(vec![Pred::in_range(s, 3, 3)]).unwrap()).collect();
         (schema.clone(), data, ExistsQuery::new(branches).unwrap())
     }
 
@@ -535,10 +514,8 @@ mod tests {
     fn validation() {
         assert!(matches!(ExistsQuery::new(vec![]), Err(Error::EmptyQuery)));
         let (schema, _, _) = setup();
-        let bad = ExistsQuery::checked(
-            vec![Query::new(vec![Pred::in_range(9, 0, 1)]).unwrap()],
-            &schema,
-        );
+        let bad =
+            ExistsQuery::checked(vec![Query::new(vec![Pred::in_range(9, 0, 1)]).unwrap()], &schema);
         assert!(bad.is_err());
     }
 
@@ -605,8 +582,7 @@ mod tests {
     fn decided_by_ranges() {
         let (schema, data, _) = setup();
         // A branch whose predicate spans the whole domain is proven true.
-        let q = ExistsQuery::new(vec![Query::new(vec![Pred::in_range(0, 0, 3)]).unwrap()])
-            .unwrap();
+        let q = ExistsQuery::new(vec![Query::new(vec![Pred::in_range(0, 0, 3)]).unwrap()]).unwrap();
         let plan = ExistsPlanner::new(2).plan(&schema, &q, &data).unwrap();
         assert_eq!(plan, ExistsPlan::Decided(true));
     }

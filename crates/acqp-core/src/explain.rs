@@ -250,8 +250,7 @@ mod tests {
         let rows: Vec<Vec<u16>> =
             (0..128u16).map(|i| vec![(i / 2) % 4, (i / 8) % 4, (i / 32) % 4]).collect();
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let query =
-            Query::new(vec![Pred::in_range(0, 1, 2), Pred::in_range(1, 0, 1)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 1, 2), Pred::in_range(1, 0, 1)]).unwrap();
         (schema, data, query)
     }
 

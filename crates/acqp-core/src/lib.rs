@@ -68,7 +68,6 @@
 //! assert!(report.mean_cost <= 101.0);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod attr;
 pub mod cost;

@@ -191,9 +191,8 @@ impl Plan {
     }
 
     fn decode_at(bytes: &[u8], pos: &mut usize) -> Result<Plan> {
-        let tag = *bytes
-            .get(*pos)
-            .ok_or(Error::BadWireFormat { offset: *pos, what: "truncated" })?;
+        let tag =
+            *bytes.get(*pos).ok_or(Error::BadWireFormat { offset: *pos, what: "truncated" })?;
         *pos += 1;
         match tag {
             0x00 => Ok(Plan::Decided(false)),

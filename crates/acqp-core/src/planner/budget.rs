@@ -57,9 +57,7 @@ impl SearchLimits {
     /// caller must then close its subproblem with a fallback plan.
     pub(crate) fn try_expand(&self) -> bool {
         let n = self.used.fetch_add(1, Ordering::Relaxed);
-        if n >= self.max_subproblems
-            || self.deadline.is_some_and(|d| Instant::now() >= d)
-        {
+        if n >= self.max_subproblems || self.deadline.is_some_and(|d| Instant::now() >= d) {
             self.truncated.store(true, Ordering::Relaxed);
             return false;
         }
@@ -103,9 +101,8 @@ mod tests {
     fn limits_are_shared_across_threads() {
         let l = SearchLimits::new(100, None);
         let granted: usize = crossbeam::scope(|s| {
-            let handles: Vec<_> = (0..4)
-                .map(|_| s.spawn(|_| (0..50).filter(|_| l.try_expand()).count()))
-                .collect();
+            let handles: Vec<_> =
+                (0..4).map(|_| s.spawn(|_| (0..50).filter(|_| l.try_expand()).count())).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();

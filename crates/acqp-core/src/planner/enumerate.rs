@@ -144,8 +144,7 @@ mod tests {
             rows.push(vec![x1, x2, x3]);
         }
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let query =
-            Query::new(vec![Pred::in_range(0, 0, 0), Pred::in_range(1, 0, 0)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 0, 0), Pred::in_range(1, 0, 0)]).unwrap();
         (schema, data, query)
     }
 
@@ -174,8 +173,7 @@ mod tests {
         let (schema, data, query) = fig3();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
         let e = enumerate_plans(&schema, &query, &est, 10_000).unwrap();
-        let (_, dp_cost) =
-            ExhaustivePlanner::new().plan_with_cost(&schema, &query, &est).unwrap();
+        let (_, dp_cost) = ExhaustivePlanner::new().plan_with_cost(&schema, &query, &est).unwrap();
         assert!(
             (e.best_cost() - dp_cost).abs() < 1e-9,
             "enumeration best {} vs DP {}",
@@ -215,11 +213,8 @@ mod tests {
         let (schema, data, query) = fig3();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
         let e = enumerate_plans(&schema, &query, &est, 10_000).unwrap();
-        let got: Vec<(String, f64)> = e
-            .plans
-            .iter()
-            .map(|(p, c)| (sig(p), (c * 1e6).round() / 1e6))
-            .collect();
+        let got: Vec<(String, f64)> =
+            e.plans.iter().map(|(p, c)| (sig(p), (c * 1e6).round() / 1e6)).collect();
         let want: Vec<(&str, f64)> = vec![
             ("x0@1(x1@1(T,F),F)", 1.625),
             ("x0@1(x2@1(x1@1(T,F),x1@1(T,F)),F)", 2.25),

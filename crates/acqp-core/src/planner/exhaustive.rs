@@ -150,8 +150,7 @@ impl ExhaustivePlanner {
         query: &Query,
         est: &E,
     ) -> Result<(Plan, f64, usize)> {
-        self.plan_with_report(schema, query, est)
-            .map(|r| (r.plan, r.expected_cost, r.subproblems))
+        self.plan_with_report(schema, query, est).map(|r| (r.plan, r.expected_cost, r.subproblems))
     }
 
     /// Full search outcome: plan, expected cost, effort, truncation.
@@ -245,12 +244,7 @@ impl<E: Estimator> Search<'_, E> {
         }
         // Base case 2: every query attribute acquired — the residual
         // predicates evaluate for free on values already in hand.
-        if self
-            .query
-            .preds()
-            .iter()
-            .all(|p| !ranges.attr_unacquired(self.schema, p.attr()))
-        {
+        if self.query.preds().iter().all(|p| !ranges.attr_unacquired(self.schema, p.attr())) {
             let order = self.query.undecided(&ranges);
             return Ok((0.0, Plan::Seq(SeqOrder::new(order)), true));
         }
@@ -278,9 +272,8 @@ impl<E: Estimator> Search<'_, E> {
         // Try cheap conditioning attributes first: good incumbents found
         // early make the admissible lower-bound pruning bite sooner.
         let mask = crate::costmodel::acquired_mask(self.schema, &ranges);
-        let mut attr_order: Vec<usize> = (0..self.schema.len())
-            .filter(|&a| !ranges.get(a).is_point())
-            .collect();
+        let mut attr_order: Vec<usize> =
+            (0..self.schema.len()).filter(|&a| !ranges.get(a).is_point()).collect();
         attr_order.sort_by(|&a, &b| {
             self.model
                 .cost(self.schema, a, mask)
@@ -498,12 +491,9 @@ mod tests {
             rows.push(vec![u16::from(i < 9), u16::from(i < 1), 1]); // day
         }
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let query =
-            Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)]).unwrap();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
-        let (plan, cost) = ExhaustivePlanner::new()
-            .plan_with_cost(&schema, &query, &est)
-            .unwrap();
+        let (plan, cost) = ExhaustivePlanner::new().plan_with_cost(&schema, &query, &est).unwrap();
         // Expected: observe time (free); at night evaluate temp first
         // (cost 1 + 1/10·1 = 1.1), by day light first (1.1). Total 1.1.
         assert!((cost - 1.1).abs() < 1e-9, "cost {cost}");
@@ -534,33 +524,21 @@ mod tests {
             })
             .collect();
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let query =
-            Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 2, 3)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 2, 3)]).unwrap();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
-        let (plan, cost) = ExhaustivePlanner::new()
-            .plan_with_cost(&schema, &query, &est)
-            .unwrap();
+        let (plan, cost) = ExhaustivePlanner::new().plan_with_cost(&schema, &query, &est).unwrap();
         let rep = measure(&plan, &query, &schema, &data);
         assert!(rep.all_correct);
-        assert!(
-            (cost - rep.mean_cost).abs() < 1e-9,
-            "model {cost} vs measured {}",
-            rep.mean_cost
-        );
+        assert!((cost - rep.mean_cost).abs() < 1e-9, "model {cost} vs measured {}", rep.mean_cost);
     }
 
     #[test]
     fn never_worse_than_optimal_sequential() {
-        let schema = Schema::new(vec![
-            Attribute::new("a", 3, 5.0),
-            Attribute::new("b", 3, 5.0),
-        ])
-        .unwrap();
-        let rows: Vec<Vec<u16>> =
-            (0..27).map(|i| vec![i % 3, (i / 3) % 3]).collect();
+        let schema =
+            Schema::new(vec![Attribute::new("a", 3, 5.0), Attribute::new("b", 3, 5.0)]).unwrap();
+        let rows: Vec<Vec<u16>> = (0..27).map(|i| vec![i % 3, (i / 3) % 3]).collect();
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let query =
-            Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 1, 2)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 1, 2)]).unwrap();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
         let (_, ex) = ExhaustivePlanner::new().plan_with_cost(&schema, &query, &est).unwrap();
         let (_, seq) = SeqPlanner::optimal().plan_with_cost(&schema, &query, &est).unwrap();
@@ -577,8 +555,7 @@ mod tests {
         .unwrap();
         let rows: Vec<Vec<u16>> = (0..64).map(|i| vec![i % 8, (i / 8) % 8, i % 8]).collect();
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let query =
-            Query::new(vec![Pred::in_range(0, 2, 5), Pred::in_range(1, 0, 3)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 2, 5), Pred::in_range(1, 0, 3)]).unwrap();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
         let planner = ExhaustivePlanner::new().max_subproblems(3);
         let report = planner.plan_with_report(&schema, &query, &est).unwrap();
@@ -589,15 +566,11 @@ mod tests {
 
     #[test]
     fn zero_time_budget_degrades_gracefully() {
-        let schema = Schema::new(vec![
-            Attribute::new("a", 6, 2.0),
-            Attribute::new("b", 6, 2.0),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::new("a", 6, 2.0), Attribute::new("b", 6, 2.0)]).unwrap();
         let rows: Vec<Vec<u16>> = (0..36).map(|i| vec![i % 6, (i / 6) % 6]).collect();
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let query =
-            Query::new(vec![Pred::in_range(0, 1, 4), Pred::in_range(1, 2, 5)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 1, 4), Pred::in_range(1, 2, 5)]).unwrap();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
         let report = ExhaustivePlanner::new()
             .time_budget(Duration::ZERO)
@@ -644,11 +617,9 @@ mod tests {
             })
             .collect();
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let query =
-            Query::new(vec![Pred::in_range(0, 0, 2), Pred::in_range(1, 2, 4)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 0, 2), Pred::in_range(1, 2, 4)]).unwrap();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
-        let serial =
-            ExhaustivePlanner::new().plan_with_report(&schema, &query, &est).unwrap();
+        let serial = ExhaustivePlanner::new().plan_with_report(&schema, &query, &est).unwrap();
         assert!(!serial.truncated);
         for threads in [2, 4, 8] {
             let par = ExhaustivePlanner::new()

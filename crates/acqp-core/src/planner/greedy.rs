@@ -271,12 +271,8 @@ impl GreedyPlanner {
 
             let lo_idx = arena.len();
             let hi_idx = arena.len() + 1;
-            arena[leaf.arena_idx] = TNode::Split {
-                attr: split.attr,
-                cut: split.cut,
-                lo: lo_idx,
-                hi: hi_idx,
-            };
+            arena[leaf.arena_idx] =
+                TNode::Split { attr: split.attr, cut: split.cut, lo: lo_idx, hi: hi_idx };
 
             for (child_r, arena_idx) in [(lo_r, lo_idx), (hi_r, hi_idx)] {
                 let ctx = est.refine(&leaf.ctx, split.attr, child_r);
@@ -294,8 +290,7 @@ impl GreedyPlanner {
                     let table = est.truth_table(&ctx, query);
                     self.greedy_split(schema, query, est, &seq, &grid, &ctx, &table)?
                 };
-                let state =
-                    LeafState { ctx, ranges, decided, order, seq_cost, split, arena_idx };
+                let state = LeafState { ctx, ranges, decided, order, seq_cost, split, arena_idx };
                 let leaf_slot = leaves.len();
                 arena.push(TNode::Leaf(leaf_slot));
                 if let Some(s) = &state.split {
@@ -311,11 +306,7 @@ impl GreedyPlanner {
         }
 
         // Realize the arena into a Plan.
-        fn realize<C>(
-            arena: &[TNode],
-            leaves: &[Option<LeafState<C>>],
-            idx: usize,
-        ) -> Plan {
+        fn realize<C>(arena: &[TNode], leaves: &[Option<LeafState<C>>], idx: usize) -> Plan {
             match &arena[idx] {
                 TNode::Leaf(slot) => {
                     let leaf = leaves[*slot].as_ref().expect("live leaf");
@@ -363,45 +354,40 @@ impl GreedyPlanner {
         if total_w <= 0.0 {
             return Ok(None);
         }
-        let cand: Vec<usize> =
-            (0..schema.len()).filter(|&a| !ranges.get(a).is_point()).collect();
+        let cand: Vec<usize> = (0..schema.len()).filter(|&a| !ranges.get(a).is_point()).collect();
 
-        let scored: Vec<Result<Option<BestSplit>>> =
-            if self.threads > 1 && cand.len() > 1 {
-                let slots: Mutex<Vec<Option<Result<Option<BestSplit>>>>> =
-                    Mutex::new(vec![None; cand.len()]);
-                let next = AtomicUsize::new(0);
-                crossbeam::scope(|s| {
-                    for _ in 0..self.threads.min(cand.len()) {
-                        s.spawn(|_| loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= cand.len() {
-                                break;
-                            }
-                            let r = self.score_attr(
-                                schema, query, est, seq, grid, ctx, table, &ranges, total_w,
-                                cand[i],
-                            );
-                            slots.lock().unwrap()[i] = Some(r);
-                        });
-                    }
+        let scored: Vec<Result<Option<BestSplit>>> = if self.threads > 1 && cand.len() > 1 {
+            let slots: Mutex<Vec<Option<Result<Option<BestSplit>>>>> =
+                Mutex::new(vec![None; cand.len()]);
+            let next = AtomicUsize::new(0);
+            crossbeam::scope(|s| {
+                for _ in 0..self.threads.min(cand.len()) {
+                    s.spawn(|_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cand.len() {
+                            break;
+                        }
+                        let r = self.score_attr(
+                            schema, query, est, seq, grid, ctx, table, &ranges, total_w, cand[i],
+                        );
+                        slots.lock().unwrap()[i] = Some(r);
+                    });
+                }
+            })
+            .expect("greedy-split worker panicked");
+            slots
+                .into_inner()
+                .unwrap()
+                .into_iter()
+                .map(|slot| slot.expect("every candidate attribute was scored"))
+                .collect()
+        } else {
+            cand.iter()
+                .map(|&a| {
+                    self.score_attr(schema, query, est, seq, grid, ctx, table, &ranges, total_w, a)
                 })
-                .expect("greedy-split worker panicked");
-                slots
-                    .into_inner()
-                    .unwrap()
-                    .into_iter()
-                    .map(|slot| slot.expect("every candidate attribute was scored"))
-                    .collect()
-            } else {
-                cand.iter()
-                    .map(|&a| {
-                        self.score_attr(
-                            schema, query, est, seq, grid, ctx, table, &ranges, total_w, a,
-                        )
-                    })
-                    .collect()
-            };
+                .collect()
+        };
 
         // Deterministic reduce: first strictly-better wins, scanning
         // attributes in index order — ties keep the lower attribute id,
@@ -514,8 +500,7 @@ mod tests {
             rows.push(vec![u16::from(i < 9), u16::from(i < 1), 1]);
         }
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let query =
-            Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)]).unwrap();
         (schema, data, query)
     }
 
@@ -523,8 +508,7 @@ mod tests {
     fn finds_the_fig2_conditional_plan() {
         let (schema, data, query) = day_night_setup();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
-        let (plan, cost) =
-            GreedyPlanner::new(4).plan_with_cost(&schema, &query, &est).unwrap();
+        let (plan, cost) = GreedyPlanner::new(4).plan_with_cost(&schema, &query, &est).unwrap();
         assert!((cost - 1.1).abs() < 1e-9, "cost {cost}");
         assert!(plan.split_count() >= 1);
         // Root split must condition on the free time attribute.
@@ -541,8 +525,7 @@ mod tests {
     fn zero_splits_equals_base_sequential() {
         let (schema, data, query) = day_night_setup();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
-        let (plan, cost) =
-            GreedyPlanner::new(0).plan_with_cost(&schema, &query, &est).unwrap();
+        let (plan, cost) = GreedyPlanner::new(0).plan_with_cost(&schema, &query, &est).unwrap();
         assert_eq!(plan.split_count(), 0);
         let (_, seq_cost) = SeqPlanner::auto().plan_with_cost(&schema, &query, &est).unwrap();
         assert!((cost - seq_cost).abs() < 1e-12);
@@ -578,11 +561,9 @@ mod tests {
             })
             .collect();
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let query =
-            Query::new(vec![Pred::in_range(0, 0, 2), Pred::in_range(1, 3, 5)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 0, 2), Pred::in_range(1, 3, 5)]).unwrap();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
-        let (plan, cost) =
-            GreedyPlanner::new(6).plan_with_cost(&schema, &query, &est).unwrap();
+        let (plan, cost) = GreedyPlanner::new(6).plan_with_cost(&schema, &query, &est).unwrap();
         let rep = measure(&plan, &query, &schema, &data);
         assert!(rep.all_correct);
         assert!(
@@ -622,10 +603,8 @@ mod tests {
         // with >= 1000 tuples could split; none exist, so exactly the
         // root split (made before any support check) plus children that
         // never split.
-        let plan = GreedyPlanner::new(10)
-            .with_min_support(1000)
-            .plan(&schema, &query, &est)
-            .unwrap();
+        let plan =
+            GreedyPlanner::new(10).with_min_support(1000).plan(&schema, &query, &est).unwrap();
         assert!(plan.split_count() <= 1);
     }
 
@@ -664,8 +643,7 @@ mod tests {
     fn parallel_matches_serial_bitwise() {
         let (schema, data, query) = dense_setup();
         let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
-        let serial =
-            GreedyPlanner::new(8).plan_with_report(&schema, &query, &est).unwrap();
+        let serial = GreedyPlanner::new(8).plan_with_report(&schema, &query, &est).unwrap();
         assert!(!serial.truncated);
         for threads in [2, 4, 8] {
             let par = GreedyPlanner::new(8)

@@ -148,8 +148,7 @@ impl SeqPlanner {
             SeqAlgorithm::Optimal => optimal_order(&undecided, &env, table)?,
             SeqAlgorithm::Auto => unreachable!(),
         };
-        let cost =
-            table.seq_cost_model(&order, &attr_of, schema, &self.cost_model, initial);
+        let cost = table.seq_cost_model(&order, &attr_of, schema, &self.cost_model, initial);
         Ok((order, cost))
     }
 }
@@ -248,11 +247,7 @@ fn greedy_order(undecided: &[usize], env: &SeqEnv<'_>, table: &TruthTable) -> Ve
 /// `J(S) = min_{j∉S} C_j + P(φ_j | S) · J(S ∪ {j})`, `J(full) = 0`;
 /// probabilities come from superset sums of the truth table projected
 /// onto the undecided predicates.
-fn optimal_order(
-    undecided: &[usize],
-    env: &SeqEnv<'_>,
-    table: &TruthTable,
-) -> Result<Vec<usize>> {
+fn optimal_order(undecided: &[usize], env: &SeqEnv<'_>, table: &TruthTable) -> Result<Vec<usize>> {
     let u = undecided.len();
     if u > OPTSEQ_MAX_PREDS {
         return Err(Error::TooManyPredicates { m: u, max: OPTSEQ_MAX_PREDS });
@@ -324,11 +319,7 @@ mod tests {
 
     /// Schema: two expensive attrs (a: 10, b: 40) over domain {0,1}.
     fn schema2() -> Schema {
-        Schema::new(vec![
-            Attribute::new("a", 2, 10.0),
-            Attribute::new("b", 2, 40.0),
-        ])
-        .unwrap()
+        Schema::new(vec![Attribute::new("a", 2, 10.0), Attribute::new("b", 2, 40.0)]).unwrap()
     }
 
     /// a=1 in half the rows; b=1 in a quarter; independent.
@@ -374,11 +365,8 @@ mod tests {
     fn greedy_uses_conditionals() {
         // Build data where b is almost always false *given* a true, so
         // greedy flips the order relative to marginals.
-        let s = Schema::new(vec![
-            Attribute::new("a", 2, 10.0),
-            Attribute::new("b", 2, 10.0),
-        ])
-        .unwrap();
+        let s =
+            Schema::new(vec![Attribute::new("a", 2, 10.0), Attribute::new("b", 2, 10.0)]).unwrap();
         // Patterns: (a=1,b=0) x4, (a=0,b=1) x4 -> marginals 0.5/0.5 but
         // P(b|a)=0.
         let rows: Vec<Vec<u16>> =
@@ -407,8 +395,9 @@ mod tests {
         };
         for trial in 0..20 {
             let m = 2 + (trial % 4) as usize; // 2..=5 predicates
-            let attrs: Vec<Attribute> =
-                (0..m).map(|i| Attribute::new(format!("x{i}"), 2, f64::from(1 + rng() % 50))).collect();
+            let attrs: Vec<Attribute> = (0..m)
+                .map(|i| Attribute::new(format!("x{i}"), 2, f64::from(1 + rng() % 50)))
+                .collect();
             let s = Schema::new(attrs).unwrap();
             let rows: Vec<Vec<u16>> =
                 (0..64).map(|_| (0..m).map(|_| (rng() % 2) as u16).collect()).collect();
@@ -430,10 +419,7 @@ mod tests {
             permute(&mut perm, 0, &mut |p| {
                 best = best.min(table.seq_cost(p, &eff));
             });
-            assert!(
-                (dp_cost - best).abs() < 1e-9,
-                "trial {trial}: dp {dp_cost} vs brute {best}"
-            );
+            assert!((dp_cost - best).abs() < 1e-9, "trial {trial}: dp {dp_cost} vs brute {best}");
         }
 
         fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
@@ -452,7 +438,8 @@ mod tests {
     #[test]
     fn optimal_rejects_huge_queries() {
         let n = 25;
-        let attrs: Vec<Attribute> = (0..n).map(|i| Attribute::new(format!("x{i}"), 2, 1.0)).collect();
+        let attrs: Vec<Attribute> =
+            (0..n).map(|i| Attribute::new(format!("x{i}"), 2, 1.0)).collect();
         let s = Schema::new(attrs).unwrap();
         let d = Dataset::from_rows(&s, vec![vec![0; n]]).unwrap();
         let est = CountingEstimator::with_ranges(&d, Ranges::root(&s));

@@ -28,9 +28,7 @@ impl SplitGrid {
     /// Unrestricted grid: every cut `1..K_i` of every attribute
     /// (SPSF = Π (K_i − 1)).
     pub fn all(schema: &Schema) -> Self {
-        SplitGrid {
-            cuts: schema.attrs().iter().map(|a| (1..a.domain()).collect()).collect(),
-        }
+        SplitGrid { cuts: schema.attrs().iter().map(|a| (1..a.domain()).collect()).collect() }
     }
 
     /// Equal-width grid with (at most) `r` split points per attribute.
@@ -112,11 +110,7 @@ mod tests {
     use crate::query::Pred;
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            Attribute::new("a", 16, 10.0),
-            Attribute::new("b", 4, 1.0),
-        ])
-        .unwrap()
+        Schema::new(vec![Attribute::new("a", 16, 10.0), Attribute::new("b", 4, 1.0)]).unwrap()
     }
 
     #[test]
@@ -186,11 +180,7 @@ mod tests {
         let s = Schema::new(vec![Attribute::new("flag", 2, 1.0)]).unwrap();
         for r in [1usize, 2, 5, 100] {
             let g = SplitGrid::equal_width(&s, r);
-            assert_eq!(
-                g.cuts_in(0, Range::full(2)).collect::<Vec<_>>(),
-                vec![1],
-                "r={r}"
-            );
+            assert_eq!(g.cuts_in(0, Range::full(2)).collect::<Vec<_>>(), vec![1], "r={r}");
         }
         assert_eq!(SplitGrid::all(&s).num_cuts(0), 1);
         assert_eq!(SplitGrid::all(&s).spsf(), 1.0);

@@ -79,9 +79,8 @@ impl<'d> CountingEstimator<'d> {
                 return Arc::clone(masks);
             }
         }
-        let masks: Vec<u64> = (0..self.data.len())
-            .map(|row| query.truth_mask(|a| self.data.value(row, a)))
-            .collect();
+        let masks: Vec<u64> =
+            (0..self.data.len()).map(|row| query.truth_mask(|a| self.data.value(row, a))).collect();
         let masks = Arc::new(masks);
         *cache = Some((query.clone(), Arc::clone(&masks)));
         masks

@@ -73,7 +73,12 @@ impl Range {
     /// Splits at `cut` into `([lo, cut-1], [cut, hi])`. `cut` must satisfy
     /// `lo < cut <= hi`.
     pub fn split_at(&self, cut: u16) -> (Range, Range) {
-        debug_assert!(self.lo < cut && cut <= self.hi, "cut {cut} outside ({}, {}]", self.lo, self.hi);
+        debug_assert!(
+            self.lo < cut && cut <= self.hi,
+            "cut {cut} outside ({}, {}]",
+            self.lo,
+            self.hi
+        );
         (Range::new(self.lo, cut - 1), Range::new(cut, self.hi))
     }
 
@@ -199,11 +204,7 @@ mod tests {
     }
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            Attribute::new("a", 4, 10.0),
-            Attribute::new("b", 8, 1.0),
-        ])
-        .unwrap()
+        Schema::new(vec![Attribute::new("a", 4, 10.0), Attribute::new("b", 8, 1.0)]).unwrap()
     }
 
     #[test]

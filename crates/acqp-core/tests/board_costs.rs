@@ -26,11 +26,7 @@ fn board_setup() -> (Schema, Dataset, Query, CostModel) {
     }
     let data = Dataset::from_rows(&schema, rows).unwrap();
     let query = Query::checked(
-        vec![
-            Pred::in_range(0, 0, 1),
-            Pred::in_range(1, 0, 1),
-            Pred::in_range(2, 0, 1),
-        ],
+        vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 0, 1), Pred::in_range(2, 0, 1)],
         &schema,
     )
     .unwrap();
@@ -43,22 +39,15 @@ fn board_setup() -> (Schema, Dataset, Query, CostModel) {
 fn optimal_order_clusters_same_board_sensors() {
     let (schema, data, query, model) = board_setup();
     let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
-    let plan = SeqPlanner::optimal()
-        .with_cost_model(model.clone())
-        .plan(&schema, &query, &est)
-        .unwrap();
+    let plan =
+        SeqPlanner::optimal().with_cost_model(model.clone()).plan(&schema, &query, &est).unwrap();
     let Plan::Seq(seq) = &plan else { panic!("expected sequential plan") };
     // light (0) and temp (1) share a board; with uniform ~50%
     // selectivities, evaluating them back-to-back amortizes the 40-unit
     // power-up, so they must be adjacent in the optimal order.
     let pos0 = seq.order.iter().position(|&j| query.pred(j).attr() == 0).unwrap();
     let pos1 = seq.order.iter().position(|&j| query.pred(j).attr() == 1).unwrap();
-    assert_eq!(
-        pos0.abs_diff(pos1),
-        1,
-        "same-board predicates should be adjacent: {:?}",
-        seq.order
-    );
+    assert_eq!(pos0.abs_diff(pos1), 1, "same-board predicates should be adjacent: {:?}", seq.order);
     // And the shared-board pair must come first: starting with humidity
     // risks paying both boards' power-ups more often.
     assert!(pos0.min(pos1) == 0, "board pair should lead: {:?}", seq.order);
@@ -68,10 +57,8 @@ fn optimal_order_clusters_same_board_sensors() {
 fn board_blind_plan_costs_more_under_board_pricing() {
     let (schema, data, query, model) = board_setup();
     let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
-    let aware = SeqPlanner::optimal()
-        .with_cost_model(model.clone())
-        .plan(&schema, &query, &est)
-        .unwrap();
+    let aware =
+        SeqPlanner::optimal().with_cost_model(model.clone()).plan(&schema, &query, &est).unwrap();
     // A deliberately interleaved order: board0, board1, board0.
     let blind = Plan::Seq(SeqOrder::new(vec![0, 2, 1]));
     let c_aware = measure_model(&aware, &query, &schema, &model, &data);
@@ -159,9 +146,7 @@ fn exhaustive_planner_honors_boards() {
     );
     // It can never beat the true optimum priced under the same model,
     // and must be at least as good as the optimal sequential plan.
-    let (_, seq_cost) = SeqPlanner::optimal()
-        .with_cost_model(model)
-        .plan_with_cost(&schema, &query, &est)
-        .unwrap();
+    let (_, seq_cost) =
+        SeqPlanner::optimal().with_cost_model(model).plan_with_cost(&schema, &query, &est).unwrap();
     assert!(claimed <= seq_cost + 1e-9);
 }

@@ -32,9 +32,8 @@ pub fn save_csv(path: &Path, schema: &Schema, data: &Dataset) -> io::Result<()> 
 /// whose columns match `schema` in order).
 pub fn load_csv(path: &Path, schema: &Schema) -> io::Result<Dataset> {
     let mut lines = BufReader::new(File::open(path)?).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))??;
+    let header =
+        lines.next().ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))??;
     let names: Vec<&str> = header.split(',').collect();
     if names.len() != schema.len() {
         return Err(io::Error::new(
@@ -65,13 +64,9 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let schema = Schema::new(vec![
-            Attribute::new("a", 8, 1.0),
-            Attribute::new("b", 8, 2.0),
-        ])
-        .unwrap();
-        let data =
-            Dataset::from_rows(&schema, vec![vec![0, 7], vec![3, 3], vec![5, 1]]).unwrap();
+        let schema =
+            Schema::new(vec![Attribute::new("a", 8, 1.0), Attribute::new("b", 8, 2.0)]).unwrap();
+        let data = Dataset::from_rows(&schema, vec![vec![0, 7], vec![3, 3], vec![5, 1]]).unwrap();
         let dir = std::env::temp_dir().join("acqp_csv_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("roundtrip.csv");

@@ -141,13 +141,9 @@ pub fn generate(cfg: &GardenConfig) -> Generated {
     // anti-correlate with everyone else's, which is what defeats
     // marginal-selectivity (Naive) ordering per-tuple.
     let t_off: Vec<f64> = (0..cfg.motes).map(|_| rng.gen_range(-2.0..2.0)).collect();
-    let t_amp: Vec<f64> = (0..cfg.motes).map(|i| {
-        if i % 4 == 3 {
-            rng.gen_range(-0.7..-0.2)
-        } else {
-            rng.gen_range(0.3..1.5)
-        }
-    }).collect();
+    let t_amp: Vec<f64> = (0..cfg.motes)
+        .map(|i| if i % 4 == 3 { rng.gen_range(-0.7..-0.2) } else { rng.gen_range(0.3..1.5) })
+        .collect();
     let h_off: Vec<f64> = (0..cfg.motes).map(|_| rng.gen_range(-4.0..4.0)).collect();
     let h_slope: Vec<f64> = (0..cfg.motes).map(|_| rng.gen_range(-2.2..-1.2)).collect();
     let rain_gain: Vec<f64> = (0..cfg.motes).map(|_| rng.gen_range(6.0..30.0)).collect();
@@ -177,10 +173,7 @@ pub fn generate(cfg: &GardenConfig) -> Generated {
         let mut row = Vec::with_capacity(layout.len());
         for m in 0..cfg.motes {
             let mi = m as usize;
-            let t = base_temp
-                + t_amp[mi] * diurnal
-                + t_off[mi]
-                + normal(&mut rng, 0.0, 0.45);
+            let t = base_temp + t_amp[mi] * diurnal + t_off[mi] + normal(&mut rng, 0.0, 0.45);
             let h = (62.0
                 + h_slope[mi] * (t - 14.0)
                 + h_off[mi]

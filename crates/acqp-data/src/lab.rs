@@ -137,22 +137,17 @@ pub fn generate(cfg: &LabConfig) -> Generated {
                 || (!quiet_zone && evening && late_zone_busy_tonight && rng.gen_bool(0.8));
 
             let artificial = if occupied { 420.0 } else { 0.0 };
-            let light = (daylight * rng.gen_range(0.55..1.0) + artificial
-                + normal(&mut rng, 3.0, 2.0))
-            .max(0.0);
+            let light =
+                (daylight * rng.gen_range(0.55..1.0) + artificial + normal(&mut rng, 3.0, 2.0))
+                    .max(0.0);
 
             let base_temp = if (7.0..19.0).contains(&hour_f) { 23.5 } else { 18.5 };
-            let temp = base_temp
-                + if occupied { 1.5 } else { 0.0 }
-                + normal(&mut rng, 0.0, 1.0);
+            let temp = base_temp + if occupied { 1.5 } else { 0.0 } + normal(&mut rng, 0.0, 1.0);
 
             // HVAC dries the air by day; off at night.
             let hvac_on = (6.0..20.0).contains(&hour_f);
-            let humidity = if hvac_on {
-                normal(&mut rng, 40.0, 4.0)
-            } else {
-                normal(&mut rng, 58.0, 5.0)
-            };
+            let humidity =
+                if hvac_on { normal(&mut rng, 40.0, 4.0) } else { normal(&mut rng, 58.0, 5.0) };
 
             let drain = 0.25 * epoch as f64 / cfg.epochs as f64;
             let voltage = batt0[mote as usize] - drain + normal(&mut rng, 0.0, 0.01);
@@ -172,14 +167,7 @@ pub fn generate(cfg: &LabConfig) -> Generated {
     Generated {
         schema,
         data,
-        discretizers: vec![
-            Some(light_d),
-            Some(temp_d),
-            Some(hum_d),
-            None,
-            None,
-            Some(volt_d),
-        ],
+        discretizers: vec![Some(light_d), Some(temp_d), Some(hum_d), None, None, Some(volt_d)],
     }
 }
 
@@ -247,12 +235,8 @@ mod tests {
         let g = generate(&LabConfig::default());
         // Day indicator vs sensors: build a synthetic day column via hour.
         // Directly: temp correlates positively with daytime hours bucket.
-        let day_flags: Vec<u16> = g
-            .data
-            .column(attrs::HOUR)
-            .iter()
-            .map(|&h| u16::from((7..19).contains(&h)))
-            .collect();
+        let day_flags: Vec<u16> =
+            g.data.column(attrs::HOUR).iter().map(|&h| u16::from((7..19).contains(&h))).collect();
         // Splice a temp/day comparison by hand.
         let n = g.data.len() as f64;
         let temp = g.data.column(attrs::TEMP);

@@ -27,7 +27,6 @@
 //!
 //! All generators are deterministic given a seed.
 
-
 #![warn(missing_docs)]
 pub mod csv;
 pub mod garden;
@@ -80,9 +79,11 @@ mod tests {
     #[test]
     fn column_std_known_values() {
         let schema = Schema::new(vec![Attribute::new("a", 10, 1.0)]).unwrap();
-        let data =
-            Dataset::from_rows(&schema, vec![vec![2], vec![4], vec![4], vec![4], vec![5], vec![5], vec![7], vec![9]])
-                .unwrap();
+        let data = Dataset::from_rows(
+            &schema,
+            vec![vec![2], vec![4], vec![4], vec![4], vec![5], vec![5], vec![7], vec![9]],
+        )
+        .unwrap();
         // Known sample std of [2,4,4,4,5,5,7,9] = sqrt(32/7).
         assert!((column_std(&data, 0) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
     }

@@ -47,15 +47,13 @@ pub fn lab_queries(
                 let hi = lo.saturating_add(width).min(k - 1);
                 (counts[usize::from(hi) + 1] - counts[usize::from(lo)]) as f64 / n
             };
-            let mut good: Vec<u16> = (0..k).filter(|&lo| (0.35..=0.65).contains(&sel(lo))).collect();
+            let mut good: Vec<u16> =
+                (0..k).filter(|&lo| (0.35..=0.65).contains(&sel(lo))).collect();
             if good.is_empty() {
                 // Fall back to the endpoint closest to 50%.
                 let best = (0..k)
                     .min_by(|&x, &y| {
-                        (sel(x) - 0.5)
-                            .abs()
-                            .partial_cmp(&(sel(y) - 0.5).abs())
-                            .unwrap()
+                        (sel(x) - 0.5).abs().partial_cmp(&(sel(y) - 0.5).abs()).unwrap()
                     })
                     .unwrap_or(0);
                 good.push(best);
@@ -92,12 +90,7 @@ pub fn lab_queries(
 /// the occupied region and makes every query degenerate-selective).
 /// With probability 1/2 the predicates are negated (`NOT(a ≤ x ≤ b)`),
 /// matching the two query forms the paper lists.
-pub fn garden_queries(
-    schema: &Schema,
-    motes: u16,
-    n_queries: usize,
-    seed: u64,
-) -> Vec<Query> {
+pub fn garden_queries(schema: &Schema, motes: u16, n_queries: usize, seed: u64) -> Vec<Query> {
     garden_queries_on(schema, None, motes, n_queries, seed)
 }
 
@@ -121,8 +114,7 @@ pub fn garden_queries_on(
             }
             let n = vals.len().max(1) as f64;
             let mean = vals.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
-            let std = (vals.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n)
-                .sqrt();
+            let std = (vals.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n).sqrt();
             (vals, std)
         };
         [collect(&|m| layout.temp(m)), collect(&|m| layout.humidity(m))]
@@ -175,11 +167,7 @@ pub fn garden_queries_on(
 /// §6.3's synthetic workload: the conjunction `X_e = 1` over every
 /// expensive attribute.
 pub fn synthetic_query(cfg: &SyntheticConfig, schema: &Schema) -> Query {
-    let preds = cfg
-        .expensive_attrs()
-        .into_iter()
-        .map(|a| Pred::in_range(a, 1, 1))
-        .collect();
+    let preds = cfg.expensive_attrs().into_iter().map(|a| Pred::in_range(a, 1, 1)).collect();
     Query::checked(preds, schema).expect("synthetic query is valid for its schema")
 }
 
@@ -215,10 +203,7 @@ mod tests {
         let g = lab::generate(&LabConfig::small());
         let (train, _) = g.split(0.7);
         let qs = lab_queries(&g.schema, &train, 40, 3, 2);
-        let mut sels: Vec<f64> = qs
-            .iter()
-            .flat_map(|q| q.selectivities(&train))
-            .collect();
+        let mut sels: Vec<f64> = qs.iter().flat_map(|q| q.selectivities(&train)).collect();
         sels.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sels[sels.len() / 2];
         assert!(

@@ -121,10 +121,7 @@ impl Estimator for GmEstimator<'_> {
 
     fn truth_table(&self, ctx: &GmCtx, query: &Query) -> TruthTable {
         let s = ctx.sample_len();
-        TruthTable::from_masks(
-            query.len(),
-            (0..s).map(|i| query.truth_mask(|a| ctx.samples[a][i])),
-        )
+        TruthTable::from_masks(query.len(), (0..s).map(|i| query.truth_mask(|a| ctx.samples[a][i])))
     }
 
     fn truth_by_value(&self, ctx: &GmCtx, attr: AttrId, query: &Query) -> Vec<TruthTable> {
@@ -270,8 +267,7 @@ mod tests {
         // zero-mass region by conditioning a to 1 and b to 1 and t to 0
         // with alpha=0 data that lacks such rows? Row (a=1,b=1,t=0)
         // occurs when i%10==0 fails... build directly instead:
-        let rows: Vec<Vec<u16>> =
-            (0..100).map(|i| vec![i % 2, i % 2, i % 2]).collect();
+        let rows: Vec<Vec<u16>> = (0..100).map(|i| vec![i % 2, i % 2, i % 2]).collect();
         let data2 = Dataset::from_rows(&schema, rows).unwrap();
         let tree = ChowLiuTree::fit(&schema, &data2, 0.0);
         let est = GmEstimator::new(&tree, Ranges::root(&schema), 100, 3);

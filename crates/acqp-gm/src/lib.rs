@@ -21,7 +21,6 @@
 //!   planner descends — every subproblem is backed by a fresh
 //!   `sample_size`-tuple draw from the conditioned model.
 
-
 #![warn(missing_docs)]
 mod estimator;
 mod tree;

@@ -192,8 +192,7 @@ impl ChowLiuTree {
         let mut count = self.prior.len() - 1;
         for i in 0..self.len() {
             if let Some(p) = self.parent[i] {
-                count +=
-                    usize::from(self.domains[p]) * (usize::from(self.domains[i]) - 1);
+                count += usize::from(self.domains[p]) * (usize::from(self.domains[i]) - 1);
             }
         }
         count
@@ -236,9 +235,7 @@ impl ChowLiuTree {
         let masks: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 let r = ranges.get(i);
-                (0..self.domains[i])
-                    .map(|v| if r.contains(v) { 1.0 } else { 0.0 })
-                    .collect()
+                (0..self.domains[i]).map(|v| if r.contains(v) { 1.0 } else { 0.0 }).collect()
             })
             .collect();
 
@@ -257,11 +254,7 @@ impl ChowLiuTree {
                 let kp = usize::from(self.domains[p]);
                 let mut out = vec![0.0f64; kp];
                 for (xp, slot) in out.iter_mut().enumerate() {
-                    *slot = self.cpt[i][xp]
-                        .iter()
-                        .zip(&lambda[i])
-                        .map(|(c, l)| c * l)
-                        .sum();
+                    *slot = self.cpt[i][xp].iter().zip(&lambda[i]).map(|(c, l)| c * l).sum();
                 }
                 mu[i] = out;
             }
@@ -446,16 +439,13 @@ mod tests {
         let (schema, data) = chain_data();
         let t = ChowLiuTree::fit(&schema, &data, 0.5);
         // Evidence: b in {1,2}, c = 0.
-        let ranges = Ranges::root(&schema)
-            .with(1, Range::new(1, 2))
-            .with(2, Range::new(0, 0));
+        let ranges = Ranges::root(&schema).with(1, Range::new(1, 2)).with(2, Range::new(0, 0));
         let cond = t.condition(&ranges);
 
         // Brute force over the 27 joint states using the tree's own
         // factorization.
-        let joint = |a: usize, b: usize, c: usize| -> f64 {
-            t.prior[a] * t.cpt[1][a][b] * t.cpt[2][b][c]
-        };
+        let joint =
+            |a: usize, b: usize, c: usize| -> f64 { t.prior[a] * t.cpt[1][a][b] * t.cpt[2][b][c] };
         let mut z = 0.0;
         let mut pa = [0.0f64; 3];
         for (a, slot) in pa.iter_mut().enumerate() {
@@ -535,10 +525,8 @@ mod tests {
         // Remove all rows with a = 2 so P(a=2, b=copying...) is tiny but
         // smoothing keeps it positive; then build impossible evidence by
         // fitting with alpha = 0 on filtered data.
-        let rows: Vec<Vec<u16>> = (0..data.len())
-            .map(|r| data.row(r))
-            .filter(|row| row[0] != 2)
-            .collect();
+        let rows: Vec<Vec<u16>> =
+            (0..data.len()).map(|r| data.row(r)).filter(|row| row[0] != 2).collect();
         let filtered = Dataset::from_rows(&schema, rows).unwrap();
         let t = ChowLiuTree::fit(&schema, &filtered, 0.0);
         let cond = t.condition(&Ranges::root(&schema).with(0, Range::new(2, 2)));

@@ -100,8 +100,7 @@ impl<'h> Basestation<'h> {
         let tuples = (motes * epochs).max(1) as f64;
         // Dissemination reaches every mote: cost per plan byte is
         // tx (basestation) plus rx at each mote.
-        let per_byte =
-            model.radio_tx_uj_per_byte + model.radio_rx_uj_per_byte * motes as f64;
+        let per_byte = model.radio_tx_uj_per_byte + model.radio_rx_uj_per_byte * motes as f64;
         per_byte / tuples
     }
 }

@@ -108,7 +108,8 @@ mod tests {
 
     #[test]
     fn ledger_totals_and_absorb() {
-        let mut a = EnergyLedger { sensing_uj: 10.0, board_uj: 5.0, radio_tx_uj: 2.0, radio_rx_uj: 1.0 };
+        let mut a =
+            EnergyLedger { sensing_uj: 10.0, board_uj: 5.0, radio_tx_uj: 2.0, radio_rx_uj: 1.0 };
         assert_eq!(a.total_uj(), 18.0);
         let b = EnergyLedger { sensing_uj: 1.0, ..Default::default() };
         a.absorb(&b);

@@ -57,7 +57,10 @@ pub fn execute_wire(
                     .ok_or(Error::BadWireFormat { offset: pos + 1, what: "truncated split" })?;
                 let attr = hdr[0] as usize;
                 if attr >= schema.len() {
-                    return Err(Error::BadWireFormat { offset: pos + 1, what: "attr out of range" });
+                    return Err(Error::BadWireFormat {
+                        offset: pos + 1,
+                        what: "attr out of range",
+                    });
                 }
                 let cut = u16::from_le_bytes([hdr[1], hdr[2]]);
                 let v = fetch(attr, schema, src, &mut cache, &mut cost, &mut acquired);
@@ -133,8 +136,7 @@ mod tests {
         let rows: Vec<Vec<u16>> =
             (0..64u16).map(|i| vec![i % 8, (i / 8) % 8, (i * 3) % 8]).collect();
         let data = Dataset::from_rows(&schema, rows).unwrap();
-        let query =
-            Query::new(vec![Pred::in_range(0, 2, 5), Pred::not_in_range(1, 3, 6)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 2, 5), Pred::not_in_range(1, 3, 6)]).unwrap();
         (schema, data, query)
     }
 
@@ -144,12 +146,22 @@ mod tests {
             Plan::fail(),
             Plan::Seq(SeqOrder::new(vec![0, 1])),
             Plan::Seq(SeqOrder::new(vec![1, 0])),
-            Plan::split(2, 4, Plan::Seq(SeqOrder::new(vec![0, 1])), Plan::Seq(SeqOrder::new(vec![1, 0]))),
+            Plan::split(
+                2,
+                4,
+                Plan::Seq(SeqOrder::new(vec![0, 1])),
+                Plan::Seq(SeqOrder::new(vec![1, 0])),
+            ),
             Plan::split(
                 2,
                 3,
                 Plan::split(0, 3, Plan::fail(), Plan::Seq(SeqOrder::new(vec![0, 1]))),
-                Plan::split(1, 5, Plan::Seq(SeqOrder::new(vec![1, 0])), Plan::Seq(SeqOrder::new(vec![0]))),
+                Plan::split(
+                    1,
+                    5,
+                    Plan::Seq(SeqOrder::new(vec![1, 0])),
+                    Plan::Seq(SeqOrder::new(vec![0])),
+                ),
             ),
         ]
     }
@@ -162,8 +174,7 @@ mod tests {
             for row in 0..data.len() {
                 let tree = execute(&plan, &query, &schema, &mut RowSource::new(&data, row));
                 let byte =
-                    execute_wire(&wire, &query, &schema, &mut RowSource::new(&data, row))
-                        .unwrap();
+                    execute_wire(&wire, &query, &schema, &mut RowSource::new(&data, row)).unwrap();
                 assert_eq!(tree.verdict, byte.verdict, "row {row} plan {plan:?}");
                 assert_eq!(tree.cost, byte.cost);
                 assert_eq!(tree.acquired, byte.acquired);

@@ -22,7 +22,6 @@
 //! * [`sim`] — the epoch loop tying it together, with a network-wide
 //!   energy report.
 
-
 #![warn(missing_docs)]
 pub mod basestation;
 pub mod energy;

@@ -115,8 +115,7 @@ mod tests {
             Attribute::new("hour", 8, 1.0),
         ])
         .unwrap();
-        let trace =
-            Dataset::from_rows(&schema, vec![vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
+        let trace = Dataset::from_rows(&schema, vec![vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
         let model = EnergyModel::mica_like().with_board(vec![0, 1], 500.0);
         (schema.clone(), Mote::new(7, trace), model)
     }

@@ -86,11 +86,7 @@ pub fn run_simulation(
         all_correct,
         network,
         per_mote,
-        sensing_uj_per_tuple: if tuples > 0 {
-            network.sensing_uj / tuples as f64
-        } else {
-            0.0
-        },
+        sensing_uj_per_tuple: if tuples > 0 { network.sensing_uj / tuples as f64 } else { 0.0 },
     }
 }
 
@@ -160,11 +156,7 @@ pub fn run_simulation_multihop(
         tuples,
         results,
         all_correct,
-        sensing_uj_per_tuple: if tuples > 0 {
-            network.sensing_uj / tuples as f64
-        } else {
-            0.0
-        },
+        sensing_uj_per_tuple: if tuples > 0 { network.sensing_uj / tuples as f64 } else { 0.0 },
         network,
         per_mote,
     };
@@ -204,7 +196,14 @@ mod tests {
         let planned = bs.plan_query(&query, PlannerChoice::Heuristic(4), 0.0).unwrap();
 
         let mut motes = fleet_from_trace(&live, 3);
-        let report = run_simulation(&schema, &query, &planned, &mut motes, &EnergyModel::mica_like(), live.len());
+        let report = run_simulation(
+            &schema,
+            &query,
+            &planned,
+            &mut motes,
+            &EnergyModel::mica_like(),
+            live.len(),
+        );
         assert!(report.all_correct);
         assert_eq!(report.tuples, 3 * live.len());
         // Dissemination was charged to every mote.

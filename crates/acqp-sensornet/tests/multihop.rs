@@ -14,8 +14,7 @@ fn setup() -> (Schema, Dataset, Query) {
         Attribute::new("t", 4, 1.0),
     ])
     .unwrap();
-    let rows: Vec<Vec<u16>> =
-        (0..400u16).map(|i| vec![(i / 7) % 4, (i / 3) % 4, i % 4]).collect();
+    let rows: Vec<Vec<u16>> = (0..400u16).map(|i| vec![(i / 7) % 4, (i / 3) % 4, i % 4]).collect();
     let data = Dataset::from_rows(&schema, rows).unwrap();
     let query = Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 2, 3)]).unwrap();
     (schema, data, query)
@@ -34,9 +33,8 @@ fn star_topology_matches_single_hop_simulation() {
 
     let mut multi = fleet_from_trace(&live, 4);
     let topo = Topology::star(4);
-    let (multi_rep, bs_tx) = run_simulation_multihop(
-        &schema, &query, &planned, &mut multi, &topo, &model, live.len(),
-    );
+    let (multi_rep, bs_tx) =
+        run_simulation_multihop(&schema, &query, &planned, &mut multi, &topo, &model, live.len());
     assert!(flat_rep.all_correct && multi_rep.all_correct);
     assert_eq!(flat_rep.results, multi_rep.results);
     // Sensing identical; radio identical at depth 1 (no relays, no
@@ -64,7 +62,13 @@ fn deeper_topologies_cost_more_radio_never_more_sensing() {
     let run = |topo: Topology| {
         let mut motes = fleet_from_trace(&live, 6);
         let (rep, _) = run_simulation_multihop(
-            &schema, &query, &planned, &mut motes, &topo, &model, live.len(),
+            &schema,
+            &query,
+            &planned,
+            &mut motes,
+            &topo,
+            &model,
+            live.len(),
         );
         assert!(rep.all_correct);
         rep
@@ -73,9 +77,7 @@ fn deeper_topologies_cost_more_radio_never_more_sensing() {
     let tree = run(Topology::balanced(6, 2));
     let line = run(Topology::line(6));
     assert!((star.network.sensing_uj - line.network.sensing_uj).abs() < 1e-9);
-    let radio = |r: &acqp_sensornet::SimReport| {
-        r.network.radio_rx_uj + r.network.radio_tx_uj
-    };
+    let radio = |r: &acqp_sensornet::SimReport| r.network.radio_rx_uj + r.network.radio_tx_uj;
     assert!(radio(&star) < radio(&tree));
     assert!(radio(&tree) < radio(&line), "line tops the relay bill");
 }
@@ -89,14 +91,10 @@ fn relay_burden_lands_on_ancestors() {
     let model = EnergyModel::mica_like();
     let mut motes = fleet_from_trace(&live, 4);
     let topo = Topology::line(4);
-    let (rep, _) = run_simulation_multihop(
-        &schema, &query, &planned, &mut motes, &topo, &model, live.len(),
-    );
+    let (rep, _) =
+        run_simulation_multihop(&schema, &query, &planned, &mut motes, &topo, &model, live.len());
     // Mote 0 relays for everyone: strictly more radio than the leaf.
     let tx0 = rep.per_mote[0].radio_tx_uj;
     let tx3 = rep.per_mote[3].radio_tx_uj;
-    assert!(
-        tx0 > tx3,
-        "root-adjacent mote must carry the relay burden: {tx0} vs {tx3}"
-    );
+    assert!(tx0 > tx3, "root-adjacent mote must carry the relay burden: {tx0} vs {tx3}");
 }

@@ -22,7 +22,6 @@
 //!   and switch plans only when the candidate wins on the current
 //!   window (hysteresis, so a noisy batch does not thrash plans).
 
-
 #![warn(missing_docs)]
 use acqp_core::prelude::*;
 
@@ -268,10 +267,7 @@ impl AdaptivePlanner {
             self.install(plan, expected);
             return Ok(Adaptation::ReplannedOnSchedule);
         }
-        let drifted = self
-            .tracker
-            .as_ref()
-            .is_some_and(|t| t.degradation() > self.drift_tolerance);
+        let drifted = self.tracker.as_ref().is_some_and(|t| t.degradation() > self.drift_tolerance);
         let scheduled = self.replan_interval > 0
             && self.window.total_pushed() - self.last_replan_at >= self.replan_interval;
         if !drifted && !scheduled {
@@ -288,11 +284,7 @@ impl AdaptivePlanner {
         if new + 1e-9 < cur {
             self.install(candidate, cand_expected);
             self.replans += 1;
-            Ok(if drifted {
-                Adaptation::ReplannedOnDrift
-            } else {
-                Adaptation::ReplannedOnSchedule
-            })
+            Ok(if drifted { Adaptation::ReplannedOnDrift } else { Adaptation::ReplannedOnSchedule })
         } else {
             // Reset the tracker against the re-validated expectation so
             // the same drift does not re-trigger every tuple.
@@ -402,8 +394,8 @@ mod tests {
     fn replans_on_regime_flip_and_recovers_cost() {
         let s = schema();
         let q = Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)]).unwrap();
-        let mut ap = AdaptivePlanner::new(s, q, GreedyPlanner::new(4), 300, 150)
-            .with_drift_tolerance(0.1);
+        let mut ap =
+            AdaptivePlanner::new(s, q, GreedyPlanner::new(4), 300, 150).with_drift_tolerance(0.1);
         let mut rng = StdRng::seed_from_u64(2);
         // Regime 0 until the plan settles.
         let mut costs_before = Vec::new();
@@ -425,10 +417,7 @@ mod tests {
         // drift spike right after the flip.
         let spike: f64 = post_costs[..100].iter().sum::<f64>() / 100.0;
         let tail: f64 = post_costs[post_costs.len() - 200..].iter().sum::<f64>() / 200.0;
-        assert!(
-            tail < spike * 0.85,
-            "adaptation should recover: spike {spike:.1}, tail {tail:.1}"
-        );
+        assert!(tail < spike * 0.85, "adaptation should recover: spike {spike:.1}, tail {tail:.1}");
     }
 
     #[test]

@@ -23,11 +23,7 @@ use rand::{Rng, SeedableRng};
 fn tuple(rng: &mut StdRng, regime: usize) -> Vec<u16> {
     let t = u16::from(rng.gen_bool(0.5));
     let (a, b) = if regime == 0 { (t, 1 - t) } else { (1 - t, t) };
-    vec![
-        if rng.gen_bool(0.1) { 1 - a } else { a },
-        if rng.gen_bool(0.1) { 1 - b } else { b },
-        t,
-    ]
+    vec![if rng.gen_bool(0.1) { 1 - a } else { a }, if rng.gen_bool(0.1) { 1 - b } else { b }, t]
 }
 
 fn main() -> Result<()> {
@@ -36,10 +32,7 @@ fn main() -> Result<()> {
         Attribute::new("b", 2, 100.0),
         Attribute::new("t", 2, 1.0),
     ])?;
-    let query = Query::checked(
-        vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)],
-        &schema,
-    )?;
+    let query = Query::checked(vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)], &schema)?;
 
     let mut rng = StdRng::seed_from_u64(42);
     const WINDOW: usize = 600;
@@ -48,14 +41,9 @@ fn main() -> Result<()> {
 
     // The adaptive loop, plus a frozen copy of its first plan for
     // comparison.
-    let mut adaptive = AdaptivePlanner::new(
-        schema.clone(),
-        query.clone(),
-        GreedyPlanner::new(4),
-        WINDOW,
-        WINDOW,
-    )
-    .with_drift_tolerance(0.1);
+    let mut adaptive =
+        AdaptivePlanner::new(schema.clone(), query.clone(), GreedyPlanner::new(4), WINDOW, WINDOW)
+            .with_drift_tolerance(0.1);
     // Warm the window in regime 0.
     for _ in 0..WINDOW {
         adaptive.ingest(tuple(&mut rng, 0))?;

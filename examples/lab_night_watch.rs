@@ -37,9 +37,8 @@ fn main() -> Result<()> {
 
     let est = CountingEstimator::with_ranges(&train, Ranges::root(schema));
     let naive = SeqPlanner::naive().plan(schema, &query, &est)?;
-    let conditional = GreedyPlanner::new(6)
-        .with_base(SeqAlgorithm::Optimal)
-        .plan(schema, &query, &est)?;
+    let conditional =
+        GreedyPlanner::new(6).with_base(SeqAlgorithm::Optimal).plan(schema, &query, &est)?;
 
     let naive_rep = measure(&naive, &query, schema, &test);
     let cond_rep = measure(&conditional, &query, schema, &test);

@@ -17,7 +17,6 @@
 //! See `examples/` for runnable end-to-end scenarios; start with
 //! `cargo run --release --example quickstart`.
 
-
 #![warn(missing_docs)]
 pub use acqp_core as core;
 pub use acqp_data as data;

@@ -26,11 +26,7 @@ pub fn instance_strategy() -> impl Strategy<Value = Instance> {
                     .iter()
                     .enumerate()
                     .map(|(i, &k)| {
-                        Attribute::new(
-                            format!("x{i}"),
-                            k,
-                            if cheap[i] { 1.0 } else { 50.0 },
-                        )
+                        Attribute::new(format!("x{i}"), k, if cheap[i] { 1.0 } else { 50.0 })
                     })
                     .collect();
                 let schema = Schema::new(attrs).unwrap();

@@ -49,14 +49,8 @@ fn adaptive_planner_over_lab_rows() {
         &g.schema,
     )
     .unwrap();
-    let mut ap = AdaptivePlanner::new(
-        g.schema.clone(),
-        q.clone(),
-        GreedyPlanner::new(4),
-        400,
-        200,
-    )
-    .with_drift_tolerance(0.1);
+    let mut ap = AdaptivePlanner::new(g.schema.clone(), q.clone(), GreedyPlanner::new(4), 400, 200)
+        .with_drift_tolerance(0.1);
     for row in 0..g.data.len() {
         let tuple = g.data.row(row);
         let expect = q.eval(&tuple);
@@ -97,23 +91,22 @@ fn window_snapshot_feeds_gm_estimator() {
 /// mote-level ledger.
 #[test]
 fn board_costs_compose_with_sensornet_energy() {
-    use acqp::sensornet::{run_simulation, sim::fleet_from_trace, Basestation, EnergyModel, PlannerChoice};
+    use acqp::sensornet::{
+        run_simulation, sim::fleet_from_trace, Basestation, EnergyModel, PlannerChoice,
+    };
     let g = garden::generate(&GardenConfig { epochs: 800, ..GardenConfig::garden5() });
     let (history, live) = g.data.split_at(0.5);
     let layout = GardenAttrs::new(5);
     let q = Query::checked(
-        vec![
-            Pred::in_range(layout.temp(0), 10, 40),
-            Pred::in_range(layout.humidity(0), 10, 50),
-        ],
+        vec![Pred::in_range(layout.temp(0), 10, 40), Pred::in_range(layout.humidity(0), 10, 50)],
         &g.schema,
     )
     .unwrap();
     let bs = Basestation::new(g.schema.clone(), &history);
     let planned = bs.plan_query(&q, PlannerChoice::CorrSeq, 0.0).unwrap();
     // Same physical board for this mote's two sensors.
-    let model = EnergyModel::mica_like()
-        .with_board(vec![layout.temp(0), layout.humidity(0)], 200.0);
+    let model =
+        EnergyModel::mica_like().with_board(vec![layout.temp(0), layout.humidity(0)], 200.0);
     let mut motes = fleet_from_trace(&live, 2);
     let rep = run_simulation(&g.schema, &q, &planned, &mut motes, &model, live.len());
     assert!(rep.all_correct);

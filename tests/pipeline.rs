@@ -111,8 +111,7 @@ fn model_cost_equals_training_cost_everywhere() {
                 ("naive", p, c)
             },
             {
-                let (p, c) =
-                    SeqPlanner::optimal().plan_with_cost(&g.schema, q, &est).unwrap();
+                let (p, c) = SeqPlanner::optimal().plan_with_cost(&g.schema, q, &est).unwrap();
                 ("optseq", p, c)
             },
             {
@@ -131,10 +130,7 @@ fn model_cost_equals_training_cost_everywhere() {
             );
             // Eq. (3) recursion agrees too.
             let eq3 = expected_cost(&plan, q, &g.schema, &est);
-            assert!(
-                (eq3 - measured).abs() < 1e-6,
-                "{name}: Eq.(3) {eq3} vs measured {measured}"
-            );
+            assert!((eq3 - measured).abs() < 1e-6, "{name}: Eq.(3) {eq3} vs measured {measured}");
         }
     }
 }

@@ -27,11 +27,7 @@ fn full_pipeline_is_exact_and_accounts_energy() {
     let bs = Basestation::new(g.schema.clone(), &history);
     let model = EnergyModel::mica_like();
 
-    for choice in [
-        PlannerChoice::Naive,
-        PlannerChoice::CorrSeq,
-        PlannerChoice::Heuristic(6),
-    ] {
+    for choice in [PlannerChoice::Naive, PlannerChoice::CorrSeq, PlannerChoice::Heuristic(6)] {
         let planned = bs.plan_query(&query, choice, 0.0).unwrap();
         // The wire must decode back to the same plan the planner built.
         assert_eq!(Plan::decode(&planned.wire).unwrap(), planned.plan);
@@ -43,16 +39,13 @@ fn full_pipeline_is_exact_and_accounts_energy() {
         // Every mote paid for receiving the plan.
         for l in &rep.per_mote {
             assert!(
-                (l.radio_rx_uj
-                    - planned.wire.len() as f64 * model.radio_rx_uj_per_byte)
-                    .abs()
+                (l.radio_rx_uj - planned.wire.len() as f64 * model.radio_rx_uj_per_byte).abs()
                     < 1e-9
             );
         }
         // Sensing energy is bounded by acquiring every query attribute
         // for every tuple.
-        let max_per_tuple: f64 =
-            query.preds().iter().map(|p| g.schema.cost(p.attr())).sum();
+        let max_per_tuple: f64 = query.preds().iter().map(|p| g.schema.cost(p.attr())).sum();
         assert!(rep.sensing_uj_per_tuple <= max_per_tuple * model.uj_per_cost_unit + 1e-9);
     }
 }
@@ -64,8 +57,7 @@ fn plan_size_objective_prefers_small_plans_for_short_queries() {
     let bs = Basestation::new(g.schema.clone(), &history);
     let candidates = [0usize, 2, 8, 24];
     let (k_free, planned_free) = bs.plan_query_sized(&query, 0.0, &candidates).unwrap();
-    let (k_tight, planned_tight) =
-        bs.plan_query_sized(&query, 50.0, &candidates).unwrap();
+    let (k_tight, planned_tight) = bs.plan_query_sized(&query, 50.0, &candidates).unwrap();
     assert!(k_tight <= k_free);
     assert!(planned_tight.wire.len() <= planned_free.wire.len());
     // The objective must actually be minimized at the chosen k.
@@ -88,8 +80,8 @@ fn board_powerup_reduces_to_zero_without_boards() {
     assert_eq!(rep.network.board_uj, 0.0);
 
     let layout = GardenAttrs::new(5);
-    let with_board = EnergyModel::mica_like()
-        .with_board((0..5).map(|m| layout.temp(m)).collect(), 100.0);
+    let with_board =
+        EnergyModel::mica_like().with_board((0..5).map(|m| layout.temp(m)).collect(), 100.0);
     let mut motes = fleet_from_trace(&live.take(200), 2);
     let rep2 = run_simulation(&g.schema, &query, &planned, &mut motes, &with_board, 200);
     assert!(rep2.network.board_uj > 0.0);

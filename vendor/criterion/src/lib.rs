@@ -80,7 +80,12 @@ pub struct BenchmarkGroup<'c> {
 
 impl BenchmarkGroup<'_> {
     /// Benchmarks `f` with `input`, labeled by `id`.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {

@@ -40,9 +40,7 @@ pub mod thread {
             T: Send + 'scope,
         {
             let inner = self.inner;
-            ScopedJoinHandle {
-                inner: inner.spawn(move || f(&Scope { inner })),
-            }
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
         }
     }
 
@@ -133,8 +131,7 @@ mod tests {
     fn scope_joins_and_collects() {
         let data = [1, 2, 3, 4];
         let total: i32 = super::scope(|s| {
-            let handles: Vec<_> =
-                data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();

@@ -134,11 +134,7 @@ pub trait Strategy {
     }
 
     /// Keeps only values satisfying `f` (bounded retries).
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(
-        self,
-        whence: &'static str,
-        f: F,
-    ) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
     where
         Self: Sized,
     {
@@ -377,13 +373,13 @@ pub mod bool {
 pub mod prelude {
     //! One-stop imports, mirroring `proptest::prelude::*`.
 
+    /// Re-export so `proptest::collection::vec` resolves via the prelude
+    /// crate alias too.
+    pub use crate::collection;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
         ProptestConfig, Strategy,
     };
-    /// Re-export so `proptest::collection::vec` resolves via the prelude
-    /// crate alias too.
-    pub use crate::collection;
 }
 
 /// Fails the current case unless `cond` holds.
@@ -426,7 +422,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             l != r,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }

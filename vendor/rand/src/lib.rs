@@ -105,8 +105,12 @@ impl Standard for f32 {
 /// Types uniformly sampleable over a half-open or closed interval.
 pub trait SampleUniform: Sized + Copy + PartialOrd {
     #[doc(hidden)]
-    fn sample_interval<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_interval<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! impl_uniform_int {
