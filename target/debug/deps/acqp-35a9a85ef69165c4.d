@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/acqp-35a9a85ef69165c4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libacqp-35a9a85ef69165c4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libacqp-35a9a85ef69165c4.rmeta: src/lib.rs
+
+src/lib.rs:

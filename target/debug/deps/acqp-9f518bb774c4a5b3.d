@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/acqp-9f518bb774c4a5b3.d: src/lib.rs
+
+/root/repo/target/debug/deps/acqp-9f518bb774c4a5b3: src/lib.rs
+
+src/lib.rs:

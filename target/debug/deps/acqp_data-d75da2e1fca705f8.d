@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/acqp_data-d75da2e1fca705f8.d: crates/acqp-data/src/lib.rs crates/acqp-data/src/csv.rs crates/acqp-data/src/garden.rs crates/acqp-data/src/lab.rs crates/acqp-data/src/rng.rs crates/acqp-data/src/schema_file.rs crates/acqp-data/src/synthetic.rs crates/acqp-data/src/workload.rs
+
+/root/repo/target/debug/deps/libacqp_data-d75da2e1fca705f8.rlib: crates/acqp-data/src/lib.rs crates/acqp-data/src/csv.rs crates/acqp-data/src/garden.rs crates/acqp-data/src/lab.rs crates/acqp-data/src/rng.rs crates/acqp-data/src/schema_file.rs crates/acqp-data/src/synthetic.rs crates/acqp-data/src/workload.rs
+
+/root/repo/target/debug/deps/libacqp_data-d75da2e1fca705f8.rmeta: crates/acqp-data/src/lib.rs crates/acqp-data/src/csv.rs crates/acqp-data/src/garden.rs crates/acqp-data/src/lab.rs crates/acqp-data/src/rng.rs crates/acqp-data/src/schema_file.rs crates/acqp-data/src/synthetic.rs crates/acqp-data/src/workload.rs
+
+crates/acqp-data/src/lib.rs:
+crates/acqp-data/src/csv.rs:
+crates/acqp-data/src/garden.rs:
+crates/acqp-data/src/lab.rs:
+crates/acqp-data/src/rng.rs:
+crates/acqp-data/src/schema_file.rs:
+crates/acqp-data/src/synthetic.rs:
+crates/acqp-data/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/acqp_gm-e9ddbe0ce945a7c9.d: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs
+
+/root/repo/target/debug/deps/libacqp_gm-e9ddbe0ce945a7c9.rlib: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs
+
+/root/repo/target/debug/deps/libacqp_gm-e9ddbe0ce945a7c9.rmeta: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs
+
+crates/acqp-gm/src/lib.rs:
+crates/acqp-gm/src/estimator.rs:
+crates/acqp-gm/src/tree.rs:

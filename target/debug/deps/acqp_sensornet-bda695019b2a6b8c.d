@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/acqp_sensornet-bda695019b2a6b8c.d: crates/acqp-sensornet/src/lib.rs crates/acqp-sensornet/src/basestation.rs crates/acqp-sensornet/src/energy.rs crates/acqp-sensornet/src/interp.rs crates/acqp-sensornet/src/mote.rs crates/acqp-sensornet/src/sim.rs crates/acqp-sensornet/src/topology.rs
+
+/root/repo/target/debug/deps/libacqp_sensornet-bda695019b2a6b8c.rlib: crates/acqp-sensornet/src/lib.rs crates/acqp-sensornet/src/basestation.rs crates/acqp-sensornet/src/energy.rs crates/acqp-sensornet/src/interp.rs crates/acqp-sensornet/src/mote.rs crates/acqp-sensornet/src/sim.rs crates/acqp-sensornet/src/topology.rs
+
+/root/repo/target/debug/deps/libacqp_sensornet-bda695019b2a6b8c.rmeta: crates/acqp-sensornet/src/lib.rs crates/acqp-sensornet/src/basestation.rs crates/acqp-sensornet/src/energy.rs crates/acqp-sensornet/src/interp.rs crates/acqp-sensornet/src/mote.rs crates/acqp-sensornet/src/sim.rs crates/acqp-sensornet/src/topology.rs
+
+crates/acqp-sensornet/src/lib.rs:
+crates/acqp-sensornet/src/basestation.rs:
+crates/acqp-sensornet/src/energy.rs:
+crates/acqp-sensornet/src/interp.rs:
+crates/acqp-sensornet/src/mote.rs:
+crates/acqp-sensornet/src/sim.rs:
+crates/acqp-sensornet/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/acqp_stream-d1f8e0d32516af67.d: crates/acqp-stream/src/lib.rs
+
+/root/repo/target/debug/deps/libacqp_stream-d1f8e0d32516af67.rlib: crates/acqp-stream/src/lib.rs
+
+/root/repo/target/debug/deps/libacqp_stream-d1f8e0d32516af67.rmeta: crates/acqp-stream/src/lib.rs
+
+crates/acqp-stream/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-244d940503ba132b.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-244d940503ba132b: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/invariants-1190df09fe0e6037.d: tests/invariants.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/invariants-1190df09fe0e6037: tests/invariants.rs tests/common/mod.rs
+
+tests/invariants.rs:
+tests/common/mod.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/parallel_equivalence-e28da141286653b8.d: tests/parallel_equivalence.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/parallel_equivalence-e28da141286653b8: tests/parallel_equivalence.rs tests/common/mod.rs
+
+tests/parallel_equivalence.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-75ef0d1f468b7232.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-75ef0d1f468b7232: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensornet_e2e-bd6652fe7d97dcba.d: tests/sensornet_e2e.rs
+
+/root/repo/target/debug/deps/sensornet_e2e-bd6652fe7d97dcba: tests/sensornet_e2e.rs
+
+tests/sensornet_e2e.rs:

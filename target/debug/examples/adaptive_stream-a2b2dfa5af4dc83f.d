@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_stream-a2b2dfa5af4dc83f.d: examples/adaptive_stream.rs
+
+/root/repo/target/debug/examples/adaptive_stream-a2b2dfa5af4dc83f: examples/adaptive_stream.rs
+
+examples/adaptive_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/garden_monitoring-69e30e5c9234bd28.d: examples/garden_monitoring.rs
+
+/root/repo/target/debug/examples/garden_monitoring-69e30e5c9234bd28: examples/garden_monitoring.rs
+
+examples/garden_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lab_night_watch-7736ebffdd0af289.d: examples/lab_night_watch.rs
+
+/root/repo/target/debug/examples/lab_night_watch-7736ebffdd0af289: examples/lab_night_watch.rs
+
+examples/lab_night_watch.rs:

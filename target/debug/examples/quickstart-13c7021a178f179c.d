@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-13c7021a178f179c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-13c7021a178f179c: examples/quickstart.rs
+
+examples/quickstart.rs:

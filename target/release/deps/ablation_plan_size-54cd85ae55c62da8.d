@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_plan_size-54cd85ae55c62da8.d: crates/acqp-bench/benches/ablation_plan_size.rs
+
+/root/repo/target/release/deps/ablation_plan_size-54cd85ae55c62da8: crates/acqp-bench/benches/ablation_plan_size.rs
+
+crates/acqp-bench/benches/ablation_plan_size.rs:

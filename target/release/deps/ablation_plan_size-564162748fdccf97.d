@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_plan_size-564162748fdccf97.d: crates/acqp-bench/benches/ablation_plan_size.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_plan_size-564162748fdccf97.rmeta: crates/acqp-bench/benches/ablation_plan_size.rs Cargo.toml
+
+crates/acqp-bench/benches/ablation_plan_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablations-3fa443c30ee3a905.d: crates/acqp-bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/release/deps/libablations-3fa443c30ee3a905.rmeta: crates/acqp-bench/benches/ablations.rs Cargo.toml
+
+crates/acqp-bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

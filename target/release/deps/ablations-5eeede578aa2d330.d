@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-5eeede578aa2d330.d: crates/acqp-bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-5eeede578aa2d330: crates/acqp-bench/benches/ablations.rs
+
+crates/acqp-bench/benches/ablations.rs:

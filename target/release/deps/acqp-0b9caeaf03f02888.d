@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/acqp-0b9caeaf03f02888.d: src/lib.rs
+
+/root/repo/target/release/deps/libacqp-0b9caeaf03f02888.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libacqp-0b9caeaf03f02888.rmeta: src/lib.rs
+
+src/lib.rs:

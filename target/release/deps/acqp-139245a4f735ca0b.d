@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/acqp-139245a4f735ca0b.d: crates/acqp-cli/src/main.rs crates/acqp-cli/src/args.rs crates/acqp-cli/src/datasets.rs crates/acqp-cli/src/query_parse.rs Cargo.toml
+
+/root/repo/target/release/deps/libacqp-139245a4f735ca0b.rmeta: crates/acqp-cli/src/main.rs crates/acqp-cli/src/args.rs crates/acqp-cli/src/datasets.rs crates/acqp-cli/src/query_parse.rs Cargo.toml
+
+crates/acqp-cli/src/main.rs:
+crates/acqp-cli/src/args.rs:
+crates/acqp-cli/src/datasets.rs:
+crates/acqp-cli/src/query_parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

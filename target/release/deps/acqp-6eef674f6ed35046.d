@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/acqp-6eef674f6ed35046.d: crates/acqp-cli/src/main.rs crates/acqp-cli/src/args.rs crates/acqp-cli/src/datasets.rs crates/acqp-cli/src/query_parse.rs Cargo.toml
+
+/root/repo/target/release/deps/libacqp-6eef674f6ed35046.rmeta: crates/acqp-cli/src/main.rs crates/acqp-cli/src/args.rs crates/acqp-cli/src/datasets.rs crates/acqp-cli/src/query_parse.rs Cargo.toml
+
+crates/acqp-cli/src/main.rs:
+crates/acqp-cli/src/args.rs:
+crates/acqp-cli/src/datasets.rs:
+crates/acqp-cli/src/query_parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

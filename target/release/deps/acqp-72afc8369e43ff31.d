@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/acqp-72afc8369e43ff31.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libacqp-72afc8369e43ff31.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

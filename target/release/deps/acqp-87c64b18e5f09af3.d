@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/acqp-87c64b18e5f09af3.d: crates/acqp-cli/src/main.rs crates/acqp-cli/src/args.rs crates/acqp-cli/src/datasets.rs crates/acqp-cli/src/query_parse.rs
+
+/root/repo/target/release/deps/acqp-87c64b18e5f09af3: crates/acqp-cli/src/main.rs crates/acqp-cli/src/args.rs crates/acqp-cli/src/datasets.rs crates/acqp-cli/src/query_parse.rs
+
+crates/acqp-cli/src/main.rs:
+crates/acqp-cli/src/args.rs:
+crates/acqp-cli/src/datasets.rs:
+crates/acqp-cli/src/query_parse.rs:

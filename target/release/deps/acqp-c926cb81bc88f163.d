@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/acqp-c926cb81bc88f163.d: src/lib.rs
+
+/root/repo/target/release/deps/acqp-c926cb81bc88f163: src/lib.rs
+
+src/lib.rs:

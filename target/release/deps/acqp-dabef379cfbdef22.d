@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/acqp-dabef379cfbdef22.d: crates/acqp-cli/src/main.rs crates/acqp-cli/src/args.rs crates/acqp-cli/src/datasets.rs crates/acqp-cli/src/query_parse.rs
+
+/root/repo/target/release/deps/acqp-dabef379cfbdef22: crates/acqp-cli/src/main.rs crates/acqp-cli/src/args.rs crates/acqp-cli/src/datasets.rs crates/acqp-cli/src/query_parse.rs
+
+crates/acqp-cli/src/main.rs:
+crates/acqp-cli/src/args.rs:
+crates/acqp-cli/src/datasets.rs:
+crates/acqp-cli/src/query_parse.rs:

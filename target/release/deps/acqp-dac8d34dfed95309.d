@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/acqp-dac8d34dfed95309.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libacqp-dac8d34dfed95309.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/acqp-e1fedab566438bd8.d: src/lib.rs
+
+/root/repo/target/release/deps/libacqp-e1fedab566438bd8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libacqp-e1fedab566438bd8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/acqp-fa3f700928b74095.d: src/lib.rs
+
+/root/repo/target/release/deps/acqp-fa3f700928b74095: src/lib.rs
+
+src/lib.rs:

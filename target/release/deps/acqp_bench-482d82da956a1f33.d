@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/acqp_bench-482d82da956a1f33.d: crates/acqp-bench/src/lib.rs
+
+/root/repo/target/release/deps/libacqp_bench-482d82da956a1f33.rlib: crates/acqp-bench/src/lib.rs
+
+/root/repo/target/release/deps/libacqp_bench-482d82da956a1f33.rmeta: crates/acqp-bench/src/lib.rs
+
+crates/acqp-bench/src/lib.rs:

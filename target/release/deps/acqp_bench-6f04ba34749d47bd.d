@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/acqp_bench-6f04ba34749d47bd.d: crates/acqp-bench/src/lib.rs
+
+/root/repo/target/release/deps/acqp_bench-6f04ba34749d47bd: crates/acqp-bench/src/lib.rs
+
+crates/acqp-bench/src/lib.rs:

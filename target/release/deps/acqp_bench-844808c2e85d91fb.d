@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/acqp_bench-844808c2e85d91fb.d: crates/acqp-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libacqp_bench-844808c2e85d91fb.rmeta: crates/acqp-bench/src/lib.rs Cargo.toml
+
+crates/acqp-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

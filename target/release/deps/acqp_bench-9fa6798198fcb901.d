@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/acqp_bench-9fa6798198fcb901.d: crates/acqp-bench/src/lib.rs
+
+/root/repo/target/release/deps/acqp_bench-9fa6798198fcb901: crates/acqp-bench/src/lib.rs
+
+crates/acqp-bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/acqp_bench-c3eefc70728097c8.d: crates/acqp-bench/src/lib.rs
+
+/root/repo/target/release/deps/libacqp_bench-c3eefc70728097c8.rlib: crates/acqp-bench/src/lib.rs
+
+/root/repo/target/release/deps/libacqp_bench-c3eefc70728097c8.rmeta: crates/acqp-bench/src/lib.rs
+
+crates/acqp-bench/src/lib.rs:

@@ -1,0 +1,31 @@
+/root/repo/target/release/deps/acqp_core-34e310ea2c3abac5.d: crates/acqp-core/src/lib.rs crates/acqp-core/src/attr.rs crates/acqp-core/src/cost.rs crates/acqp-core/src/costmodel.rs crates/acqp-core/src/dataset.rs crates/acqp-core/src/error.rs crates/acqp-core/src/exec.rs crates/acqp-core/src/exists.rs crates/acqp-core/src/explain.rs crates/acqp-core/src/plan.rs crates/acqp-core/src/planner/mod.rs crates/acqp-core/src/planner/budget.rs crates/acqp-core/src/planner/enumerate.rs crates/acqp-core/src/planner/exhaustive.rs crates/acqp-core/src/planner/greedy.rs crates/acqp-core/src/planner/seq.rs crates/acqp-core/src/planner/spsf.rs crates/acqp-core/src/prob/mod.rs crates/acqp-core/src/prob/counting.rs crates/acqp-core/src/prob/independence.rs crates/acqp-core/src/prob/truth.rs crates/acqp-core/src/query.rs crates/acqp-core/src/range.rs Cargo.toml
+
+/root/repo/target/release/deps/libacqp_core-34e310ea2c3abac5.rmeta: crates/acqp-core/src/lib.rs crates/acqp-core/src/attr.rs crates/acqp-core/src/cost.rs crates/acqp-core/src/costmodel.rs crates/acqp-core/src/dataset.rs crates/acqp-core/src/error.rs crates/acqp-core/src/exec.rs crates/acqp-core/src/exists.rs crates/acqp-core/src/explain.rs crates/acqp-core/src/plan.rs crates/acqp-core/src/planner/mod.rs crates/acqp-core/src/planner/budget.rs crates/acqp-core/src/planner/enumerate.rs crates/acqp-core/src/planner/exhaustive.rs crates/acqp-core/src/planner/greedy.rs crates/acqp-core/src/planner/seq.rs crates/acqp-core/src/planner/spsf.rs crates/acqp-core/src/prob/mod.rs crates/acqp-core/src/prob/counting.rs crates/acqp-core/src/prob/independence.rs crates/acqp-core/src/prob/truth.rs crates/acqp-core/src/query.rs crates/acqp-core/src/range.rs Cargo.toml
+
+crates/acqp-core/src/lib.rs:
+crates/acqp-core/src/attr.rs:
+crates/acqp-core/src/cost.rs:
+crates/acqp-core/src/costmodel.rs:
+crates/acqp-core/src/dataset.rs:
+crates/acqp-core/src/error.rs:
+crates/acqp-core/src/exec.rs:
+crates/acqp-core/src/exists.rs:
+crates/acqp-core/src/explain.rs:
+crates/acqp-core/src/plan.rs:
+crates/acqp-core/src/planner/mod.rs:
+crates/acqp-core/src/planner/budget.rs:
+crates/acqp-core/src/planner/enumerate.rs:
+crates/acqp-core/src/planner/exhaustive.rs:
+crates/acqp-core/src/planner/greedy.rs:
+crates/acqp-core/src/planner/seq.rs:
+crates/acqp-core/src/planner/spsf.rs:
+crates/acqp-core/src/prob/mod.rs:
+crates/acqp-core/src/prob/counting.rs:
+crates/acqp-core/src/prob/independence.rs:
+crates/acqp-core/src/prob/truth.rs:
+crates/acqp-core/src/query.rs:
+crates/acqp-core/src/range.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

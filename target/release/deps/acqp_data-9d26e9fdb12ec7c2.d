@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/acqp_data-9d26e9fdb12ec7c2.d: crates/acqp-data/src/lib.rs crates/acqp-data/src/csv.rs crates/acqp-data/src/garden.rs crates/acqp-data/src/lab.rs crates/acqp-data/src/rng.rs crates/acqp-data/src/schema_file.rs crates/acqp-data/src/synthetic.rs crates/acqp-data/src/workload.rs
+
+/root/repo/target/release/deps/libacqp_data-9d26e9fdb12ec7c2.rlib: crates/acqp-data/src/lib.rs crates/acqp-data/src/csv.rs crates/acqp-data/src/garden.rs crates/acqp-data/src/lab.rs crates/acqp-data/src/rng.rs crates/acqp-data/src/schema_file.rs crates/acqp-data/src/synthetic.rs crates/acqp-data/src/workload.rs
+
+/root/repo/target/release/deps/libacqp_data-9d26e9fdb12ec7c2.rmeta: crates/acqp-data/src/lib.rs crates/acqp-data/src/csv.rs crates/acqp-data/src/garden.rs crates/acqp-data/src/lab.rs crates/acqp-data/src/rng.rs crates/acqp-data/src/schema_file.rs crates/acqp-data/src/synthetic.rs crates/acqp-data/src/workload.rs
+
+crates/acqp-data/src/lib.rs:
+crates/acqp-data/src/csv.rs:
+crates/acqp-data/src/garden.rs:
+crates/acqp-data/src/lab.rs:
+crates/acqp-data/src/rng.rs:
+crates/acqp-data/src/schema_file.rs:
+crates/acqp-data/src/synthetic.rs:
+crates/acqp-data/src/workload.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/acqp_data-b50ea001446f4f7a.d: crates/acqp-data/src/lib.rs crates/acqp-data/src/csv.rs crates/acqp-data/src/garden.rs crates/acqp-data/src/lab.rs crates/acqp-data/src/rng.rs crates/acqp-data/src/schema_file.rs crates/acqp-data/src/synthetic.rs crates/acqp-data/src/workload.rs Cargo.toml
+
+/root/repo/target/release/deps/libacqp_data-b50ea001446f4f7a.rmeta: crates/acqp-data/src/lib.rs crates/acqp-data/src/csv.rs crates/acqp-data/src/garden.rs crates/acqp-data/src/lab.rs crates/acqp-data/src/rng.rs crates/acqp-data/src/schema_file.rs crates/acqp-data/src/synthetic.rs crates/acqp-data/src/workload.rs Cargo.toml
+
+crates/acqp-data/src/lib.rs:
+crates/acqp-data/src/csv.rs:
+crates/acqp-data/src/garden.rs:
+crates/acqp-data/src/lab.rs:
+crates/acqp-data/src/rng.rs:
+crates/acqp-data/src/schema_file.rs:
+crates/acqp-data/src/synthetic.rs:
+crates/acqp-data/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

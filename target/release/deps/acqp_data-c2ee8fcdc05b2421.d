@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/acqp_data-c2ee8fcdc05b2421.d: crates/acqp-data/src/lib.rs crates/acqp-data/src/csv.rs crates/acqp-data/src/garden.rs crates/acqp-data/src/lab.rs crates/acqp-data/src/rng.rs crates/acqp-data/src/schema_file.rs crates/acqp-data/src/synthetic.rs crates/acqp-data/src/workload.rs
+
+/root/repo/target/release/deps/acqp_data-c2ee8fcdc05b2421: crates/acqp-data/src/lib.rs crates/acqp-data/src/csv.rs crates/acqp-data/src/garden.rs crates/acqp-data/src/lab.rs crates/acqp-data/src/rng.rs crates/acqp-data/src/schema_file.rs crates/acqp-data/src/synthetic.rs crates/acqp-data/src/workload.rs
+
+crates/acqp-data/src/lib.rs:
+crates/acqp-data/src/csv.rs:
+crates/acqp-data/src/garden.rs:
+crates/acqp-data/src/lab.rs:
+crates/acqp-data/src/rng.rs:
+crates/acqp-data/src/schema_file.rs:
+crates/acqp-data/src/synthetic.rs:
+crates/acqp-data/src/workload.rs:

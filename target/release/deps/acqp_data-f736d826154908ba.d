@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/acqp_data-f736d826154908ba.d: crates/acqp-data/src/lib.rs crates/acqp-data/src/csv.rs crates/acqp-data/src/garden.rs crates/acqp-data/src/lab.rs crates/acqp-data/src/rng.rs crates/acqp-data/src/schema_file.rs crates/acqp-data/src/synthetic.rs crates/acqp-data/src/workload.rs Cargo.toml
+
+/root/repo/target/release/deps/libacqp_data-f736d826154908ba.rmeta: crates/acqp-data/src/lib.rs crates/acqp-data/src/csv.rs crates/acqp-data/src/garden.rs crates/acqp-data/src/lab.rs crates/acqp-data/src/rng.rs crates/acqp-data/src/schema_file.rs crates/acqp-data/src/synthetic.rs crates/acqp-data/src/workload.rs Cargo.toml
+
+crates/acqp-data/src/lib.rs:
+crates/acqp-data/src/csv.rs:
+crates/acqp-data/src/garden.rs:
+crates/acqp-data/src/lab.rs:
+crates/acqp-data/src/rng.rs:
+crates/acqp-data/src/schema_file.rs:
+crates/acqp-data/src/synthetic.rs:
+crates/acqp-data/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

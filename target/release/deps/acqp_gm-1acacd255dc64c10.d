@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/acqp_gm-1acacd255dc64c10.d: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs Cargo.toml
+
+/root/repo/target/release/deps/libacqp_gm-1acacd255dc64c10.rmeta: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs Cargo.toml
+
+crates/acqp-gm/src/lib.rs:
+crates/acqp-gm/src/estimator.rs:
+crates/acqp-gm/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/acqp_gm-3a96f60ea98fc75c.d: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs
+
+/root/repo/target/release/deps/libacqp_gm-3a96f60ea98fc75c.rlib: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs
+
+/root/repo/target/release/deps/libacqp_gm-3a96f60ea98fc75c.rmeta: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs
+
+crates/acqp-gm/src/lib.rs:
+crates/acqp-gm/src/estimator.rs:
+crates/acqp-gm/src/tree.rs:

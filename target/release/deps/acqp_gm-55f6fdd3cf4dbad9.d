@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/acqp_gm-55f6fdd3cf4dbad9.d: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs
+
+/root/repo/target/release/deps/acqp_gm-55f6fdd3cf4dbad9: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs
+
+crates/acqp-gm/src/lib.rs:
+crates/acqp-gm/src/estimator.rs:
+crates/acqp-gm/src/tree.rs:

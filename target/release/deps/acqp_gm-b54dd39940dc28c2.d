@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/acqp_gm-b54dd39940dc28c2.d: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs
+
+/root/repo/target/release/deps/acqp_gm-b54dd39940dc28c2: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs
+
+crates/acqp-gm/src/lib.rs:
+crates/acqp-gm/src/estimator.rs:
+crates/acqp-gm/src/tree.rs:

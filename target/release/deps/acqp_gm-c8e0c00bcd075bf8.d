@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/acqp_gm-c8e0c00bcd075bf8.d: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs
+
+/root/repo/target/release/deps/libacqp_gm-c8e0c00bcd075bf8.rlib: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs
+
+/root/repo/target/release/deps/libacqp_gm-c8e0c00bcd075bf8.rmeta: crates/acqp-gm/src/lib.rs crates/acqp-gm/src/estimator.rs crates/acqp-gm/src/tree.rs
+
+crates/acqp-gm/src/lib.rs:
+crates/acqp-gm/src/estimator.rs:
+crates/acqp-gm/src/tree.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/acqp_sensornet-8896abacb94cedf2.d: crates/acqp-sensornet/src/lib.rs crates/acqp-sensornet/src/basestation.rs crates/acqp-sensornet/src/energy.rs crates/acqp-sensornet/src/interp.rs crates/acqp-sensornet/src/mote.rs crates/acqp-sensornet/src/sim.rs crates/acqp-sensornet/src/topology.rs Cargo.toml
+
+/root/repo/target/release/deps/libacqp_sensornet-8896abacb94cedf2.rmeta: crates/acqp-sensornet/src/lib.rs crates/acqp-sensornet/src/basestation.rs crates/acqp-sensornet/src/energy.rs crates/acqp-sensornet/src/interp.rs crates/acqp-sensornet/src/mote.rs crates/acqp-sensornet/src/sim.rs crates/acqp-sensornet/src/topology.rs Cargo.toml
+
+crates/acqp-sensornet/src/lib.rs:
+crates/acqp-sensornet/src/basestation.rs:
+crates/acqp-sensornet/src/energy.rs:
+crates/acqp-sensornet/src/interp.rs:
+crates/acqp-sensornet/src/mote.rs:
+crates/acqp-sensornet/src/sim.rs:
+crates/acqp-sensornet/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/acqp_sensornet-b37a6d888ab5c481.d: crates/acqp-sensornet/src/lib.rs crates/acqp-sensornet/src/basestation.rs crates/acqp-sensornet/src/energy.rs crates/acqp-sensornet/src/interp.rs crates/acqp-sensornet/src/mote.rs crates/acqp-sensornet/src/sim.rs crates/acqp-sensornet/src/topology.rs
+
+/root/repo/target/release/deps/libacqp_sensornet-b37a6d888ab5c481.rlib: crates/acqp-sensornet/src/lib.rs crates/acqp-sensornet/src/basestation.rs crates/acqp-sensornet/src/energy.rs crates/acqp-sensornet/src/interp.rs crates/acqp-sensornet/src/mote.rs crates/acqp-sensornet/src/sim.rs crates/acqp-sensornet/src/topology.rs
+
+/root/repo/target/release/deps/libacqp_sensornet-b37a6d888ab5c481.rmeta: crates/acqp-sensornet/src/lib.rs crates/acqp-sensornet/src/basestation.rs crates/acqp-sensornet/src/energy.rs crates/acqp-sensornet/src/interp.rs crates/acqp-sensornet/src/mote.rs crates/acqp-sensornet/src/sim.rs crates/acqp-sensornet/src/topology.rs
+
+crates/acqp-sensornet/src/lib.rs:
+crates/acqp-sensornet/src/basestation.rs:
+crates/acqp-sensornet/src/energy.rs:
+crates/acqp-sensornet/src/interp.rs:
+crates/acqp-sensornet/src/mote.rs:
+crates/acqp-sensornet/src/sim.rs:
+crates/acqp-sensornet/src/topology.rs:

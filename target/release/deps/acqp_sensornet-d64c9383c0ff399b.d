@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/acqp_sensornet-d64c9383c0ff399b.d: crates/acqp-sensornet/src/lib.rs crates/acqp-sensornet/src/basestation.rs crates/acqp-sensornet/src/energy.rs crates/acqp-sensornet/src/interp.rs crates/acqp-sensornet/src/mote.rs crates/acqp-sensornet/src/sim.rs crates/acqp-sensornet/src/topology.rs
+
+/root/repo/target/release/deps/acqp_sensornet-d64c9383c0ff399b: crates/acqp-sensornet/src/lib.rs crates/acqp-sensornet/src/basestation.rs crates/acqp-sensornet/src/energy.rs crates/acqp-sensornet/src/interp.rs crates/acqp-sensornet/src/mote.rs crates/acqp-sensornet/src/sim.rs crates/acqp-sensornet/src/topology.rs
+
+crates/acqp-sensornet/src/lib.rs:
+crates/acqp-sensornet/src/basestation.rs:
+crates/acqp-sensornet/src/energy.rs:
+crates/acqp-sensornet/src/interp.rs:
+crates/acqp-sensornet/src/mote.rs:
+crates/acqp-sensornet/src/sim.rs:
+crates/acqp-sensornet/src/topology.rs:

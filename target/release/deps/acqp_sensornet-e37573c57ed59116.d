@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/acqp_sensornet-e37573c57ed59116.d: crates/acqp-sensornet/src/lib.rs crates/acqp-sensornet/src/basestation.rs crates/acqp-sensornet/src/energy.rs crates/acqp-sensornet/src/interp.rs crates/acqp-sensornet/src/mote.rs crates/acqp-sensornet/src/sim.rs crates/acqp-sensornet/src/topology.rs
+
+/root/repo/target/release/deps/libacqp_sensornet-e37573c57ed59116.rlib: crates/acqp-sensornet/src/lib.rs crates/acqp-sensornet/src/basestation.rs crates/acqp-sensornet/src/energy.rs crates/acqp-sensornet/src/interp.rs crates/acqp-sensornet/src/mote.rs crates/acqp-sensornet/src/sim.rs crates/acqp-sensornet/src/topology.rs
+
+/root/repo/target/release/deps/libacqp_sensornet-e37573c57ed59116.rmeta: crates/acqp-sensornet/src/lib.rs crates/acqp-sensornet/src/basestation.rs crates/acqp-sensornet/src/energy.rs crates/acqp-sensornet/src/interp.rs crates/acqp-sensornet/src/mote.rs crates/acqp-sensornet/src/sim.rs crates/acqp-sensornet/src/topology.rs
+
+crates/acqp-sensornet/src/lib.rs:
+crates/acqp-sensornet/src/basestation.rs:
+crates/acqp-sensornet/src/energy.rs:
+crates/acqp-sensornet/src/interp.rs:
+crates/acqp-sensornet/src/mote.rs:
+crates/acqp-sensornet/src/sim.rs:
+crates/acqp-sensornet/src/topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/acqp_stream-02162ffa4b19fcbc.d: crates/acqp-stream/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libacqp_stream-02162ffa4b19fcbc.rmeta: crates/acqp-stream/src/lib.rs Cargo.toml
+
+crates/acqp-stream/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

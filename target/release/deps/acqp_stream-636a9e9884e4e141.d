@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/acqp_stream-636a9e9884e4e141.d: crates/acqp-stream/src/lib.rs
+
+/root/repo/target/release/deps/acqp_stream-636a9e9884e4e141: crates/acqp-stream/src/lib.rs
+
+crates/acqp-stream/src/lib.rs:

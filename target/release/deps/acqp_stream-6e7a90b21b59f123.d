@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/acqp_stream-6e7a90b21b59f123.d: crates/acqp-stream/src/lib.rs
+
+/root/repo/target/release/deps/acqp_stream-6e7a90b21b59f123: crates/acqp-stream/src/lib.rs
+
+crates/acqp-stream/src/lib.rs:

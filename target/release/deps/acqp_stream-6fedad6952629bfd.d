@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/acqp_stream-6fedad6952629bfd.d: crates/acqp-stream/src/lib.rs
+
+/root/repo/target/release/deps/libacqp_stream-6fedad6952629bfd.rlib: crates/acqp-stream/src/lib.rs
+
+/root/repo/target/release/deps/libacqp_stream-6fedad6952629bfd.rmeta: crates/acqp-stream/src/lib.rs
+
+crates/acqp-stream/src/lib.rs:

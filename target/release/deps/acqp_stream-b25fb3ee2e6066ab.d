@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/acqp_stream-b25fb3ee2e6066ab.d: crates/acqp-stream/src/lib.rs
+
+/root/repo/target/release/deps/libacqp_stream-b25fb3ee2e6066ab.rlib: crates/acqp-stream/src/lib.rs
+
+/root/repo/target/release/deps/libacqp_stream-b25fb3ee2e6066ab.rmeta: crates/acqp-stream/src/lib.rs
+
+crates/acqp-stream/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/acqp_stream-bd3ffb7b739e275b.d: crates/acqp-stream/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libacqp_stream-bd3ffb7b739e275b.rmeta: crates/acqp-stream/src/lib.rs Cargo.toml
+
+crates/acqp-stream/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

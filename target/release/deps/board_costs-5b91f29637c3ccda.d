@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/board_costs-5b91f29637c3ccda.d: crates/acqp-core/tests/board_costs.rs
+
+/root/repo/target/release/deps/board_costs-5b91f29637c3ccda: crates/acqp-core/tests/board_costs.rs
+
+crates/acqp-core/tests/board_costs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/board_costs-62e068abf80a5bf5.d: crates/acqp-core/tests/board_costs.rs Cargo.toml
+
+/root/repo/target/release/deps/libboard_costs-62e068abf80a5bf5.rmeta: crates/acqp-core/tests/board_costs.rs Cargo.toml
+
+crates/acqp-core/tests/board_costs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

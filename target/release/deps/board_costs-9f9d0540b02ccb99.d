@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/board_costs-9f9d0540b02ccb99.d: crates/acqp-core/tests/board_costs.rs
+
+/root/repo/target/release/deps/board_costs-9f9d0540b02ccb99: crates/acqp-core/tests/board_costs.rs
+
+crates/acqp-core/tests/board_costs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/estimator_ops-8e354eb54903dd1f.d: crates/acqp-bench/benches/estimator_ops.rs
+
+/root/repo/target/release/deps/estimator_ops-8e354eb54903dd1f: crates/acqp-bench/benches/estimator_ops.rs
+
+crates/acqp-bench/benches/estimator_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/estimator_ops-c8252b8d500fd2cc.d: crates/acqp-bench/benches/estimator_ops.rs Cargo.toml
+
+/root/repo/target/release/deps/libestimator_ops-c8252b8d500fd2cc.rmeta: crates/acqp-bench/benches/estimator_ops.rs Cargo.toml
+
+crates/acqp-bench/benches/estimator_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

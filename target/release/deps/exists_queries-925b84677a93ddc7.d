@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exists_queries-925b84677a93ddc7.d: crates/acqp-bench/benches/exists_queries.rs
+
+/root/repo/target/release/deps/exists_queries-925b84677a93ddc7: crates/acqp-bench/benches/exists_queries.rs
+
+crates/acqp-bench/benches/exists_queries.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exists_queries-ad34ac2fa4992d40.d: crates/acqp-bench/benches/exists_queries.rs Cargo.toml
+
+/root/repo/target/release/deps/libexists_queries-ad34ac2fa4992d40.rmeta: crates/acqp-bench/benches/exists_queries.rs Cargo.toml
+
+crates/acqp-bench/benches/exists_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

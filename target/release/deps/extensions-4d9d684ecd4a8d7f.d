@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-4d9d684ecd4a8d7f.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-4d9d684ecd4a8d7f: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extensions-a683760fa3d24d01.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/release/deps/libextensions-a683760fa3d24d01.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-d938b4278e7df700.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-d938b4278e7df700: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_lab_correlation-1d38ec73d1fc537b.d: crates/acqp-bench/benches/fig01_lab_correlation.rs
+
+/root/repo/target/release/deps/fig01_lab_correlation-1d38ec73d1fc537b: crates/acqp-bench/benches/fig01_lab_correlation.rs
+
+crates/acqp-bench/benches/fig01_lab_correlation.rs:

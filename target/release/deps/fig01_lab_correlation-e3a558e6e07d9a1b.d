@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig01_lab_correlation-e3a558e6e07d9a1b.d: crates/acqp-bench/benches/fig01_lab_correlation.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig01_lab_correlation-e3a558e6e07d9a1b.rmeta: crates/acqp-bench/benches/fig01_lab_correlation.rs Cargo.toml
+
+crates/acqp-bench/benches/fig01_lab_correlation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_motivating_example-87add1c5c85b2fde.d: crates/acqp-bench/benches/fig02_motivating_example.rs
+
+/root/repo/target/release/deps/fig02_motivating_example-87add1c5c85b2fde: crates/acqp-bench/benches/fig02_motivating_example.rs
+
+crates/acqp-bench/benches/fig02_motivating_example.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig02_motivating_example-c97aa85d5e84df05.d: crates/acqp-bench/benches/fig02_motivating_example.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig02_motivating_example-c97aa85d5e84df05.rmeta: crates/acqp-bench/benches/fig02_motivating_example.rs Cargo.toml
+
+crates/acqp-bench/benches/fig02_motivating_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_plan_enumeration-63d114d0f5497b4a.d: crates/acqp-bench/benches/fig03_plan_enumeration.rs
+
+/root/repo/target/release/deps/fig03_plan_enumeration-63d114d0f5497b4a: crates/acqp-bench/benches/fig03_plan_enumeration.rs
+
+crates/acqp-bench/benches/fig03_plan_enumeration.rs:

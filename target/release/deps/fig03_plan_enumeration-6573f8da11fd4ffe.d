@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig03_plan_enumeration-6573f8da11fd4ffe.d: crates/acqp-bench/benches/fig03_plan_enumeration.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig03_plan_enumeration-6573f8da11fd4ffe.rmeta: crates/acqp-bench/benches/fig03_plan_enumeration.rs Cargo.toml
+
+crates/acqp-bench/benches/fig03_plan_enumeration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

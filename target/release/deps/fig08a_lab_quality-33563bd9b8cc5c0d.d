@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08a_lab_quality-33563bd9b8cc5c0d.d: crates/acqp-bench/benches/fig08a_lab_quality.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08a_lab_quality-33563bd9b8cc5c0d.rmeta: crates/acqp-bench/benches/fig08a_lab_quality.rs Cargo.toml
+
+crates/acqp-bench/benches/fig08a_lab_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

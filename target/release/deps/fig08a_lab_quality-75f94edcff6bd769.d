@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08a_lab_quality-75f94edcff6bd769.d: crates/acqp-bench/benches/fig08a_lab_quality.rs
+
+/root/repo/target/release/deps/fig08a_lab_quality-75f94edcff6bd769: crates/acqp-bench/benches/fig08a_lab_quality.rs
+
+crates/acqp-bench/benches/fig08a_lab_quality.rs:

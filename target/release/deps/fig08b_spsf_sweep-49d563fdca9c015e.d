@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08b_spsf_sweep-49d563fdca9c015e.d: crates/acqp-bench/benches/fig08b_spsf_sweep.rs
+
+/root/repo/target/release/deps/fig08b_spsf_sweep-49d563fdca9c015e: crates/acqp-bench/benches/fig08b_spsf_sweep.rs
+
+crates/acqp-bench/benches/fig08b_spsf_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08b_spsf_sweep-77823f0cb9c819da.d: crates/acqp-bench/benches/fig08b_spsf_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08b_spsf_sweep-77823f0cb9c819da.rmeta: crates/acqp-bench/benches/fig08b_spsf_sweep.rs Cargo.toml
+
+crates/acqp-bench/benches/fig08b_spsf_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig08c_gain_cdf-229a2e9d60f9b9db.d: crates/acqp-bench/benches/fig08c_gain_cdf.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig08c_gain_cdf-229a2e9d60f9b9db.rmeta: crates/acqp-bench/benches/fig08c_gain_cdf.rs Cargo.toml
+
+crates/acqp-bench/benches/fig08c_gain_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08c_gain_cdf-5599cbbee7411cb1.d: crates/acqp-bench/benches/fig08c_gain_cdf.rs
+
+/root/repo/target/release/deps/fig08c_gain_cdf-5599cbbee7411cb1: crates/acqp-bench/benches/fig08c_gain_cdf.rs
+
+crates/acqp-bench/benches/fig08c_gain_cdf.rs:

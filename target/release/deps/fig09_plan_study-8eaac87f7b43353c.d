@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig09_plan_study-8eaac87f7b43353c.d: crates/acqp-bench/benches/fig09_plan_study.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig09_plan_study-8eaac87f7b43353c.rmeta: crates/acqp-bench/benches/fig09_plan_study.rs Cargo.toml
+
+crates/acqp-bench/benches/fig09_plan_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_plan_study-b1d20eb515abf2fd.d: crates/acqp-bench/benches/fig09_plan_study.rs
+
+/root/repo/target/release/deps/fig09_plan_study-b1d20eb515abf2fd: crates/acqp-bench/benches/fig09_plan_study.rs
+
+crates/acqp-bench/benches/fig09_plan_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_garden5-7fea05ab47dcc0ae.d: crates/acqp-bench/benches/fig10_garden5.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_garden5-7fea05ab47dcc0ae.rmeta: crates/acqp-bench/benches/fig10_garden5.rs Cargo.toml
+
+crates/acqp-bench/benches/fig10_garden5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_garden5-aff6af11575b1fec.d: crates/acqp-bench/benches/fig10_garden5.rs
+
+/root/repo/target/release/deps/fig10_garden5-aff6af11575b1fec: crates/acqp-bench/benches/fig10_garden5.rs
+
+crates/acqp-bench/benches/fig10_garden5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_garden11-40023dd481e36662.d: crates/acqp-bench/benches/fig11_garden11.rs
+
+/root/repo/target/release/deps/fig11_garden11-40023dd481e36662: crates/acqp-bench/benches/fig11_garden11.rs
+
+crates/acqp-bench/benches/fig11_garden11.rs:

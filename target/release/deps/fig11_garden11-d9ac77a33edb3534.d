@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig11_garden11-d9ac77a33edb3534.d: crates/acqp-bench/benches/fig11_garden11.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig11_garden11-d9ac77a33edb3534.rmeta: crates/acqp-bench/benches/fig11_garden11.rs Cargo.toml
+
+crates/acqp-bench/benches/fig11_garden11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

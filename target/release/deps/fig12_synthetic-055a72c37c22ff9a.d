@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_synthetic-055a72c37c22ff9a.d: crates/acqp-bench/benches/fig12_synthetic.rs
+
+/root/repo/target/release/deps/fig12_synthetic-055a72c37c22ff9a: crates/acqp-bench/benches/fig12_synthetic.rs
+
+crates/acqp-bench/benches/fig12_synthetic.rs:

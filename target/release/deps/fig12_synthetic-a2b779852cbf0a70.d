@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig12_synthetic-a2b779852cbf0a70.d: crates/acqp-bench/benches/fig12_synthetic.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig12_synthetic-a2b779852cbf0a70.rmeta: crates/acqp-bench/benches/fig12_synthetic.rs Cargo.toml
+
+crates/acqp-bench/benches/fig12_synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

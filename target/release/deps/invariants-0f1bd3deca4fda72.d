@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/invariants-0f1bd3deca4fda72.d: tests/invariants.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/invariants-0f1bd3deca4fda72: tests/invariants.rs tests/common/mod.rs
+
+tests/invariants.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/invariants-1d7edcd69d4c08e8.d: tests/invariants.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/release/deps/libinvariants-1d7edcd69d4c08e8.rmeta: tests/invariants.rs tests/common/mod.rs Cargo.toml
+
+tests/invariants.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/invariants-a76ef003ca8d524f.d: tests/invariants.rs
+
+/root/repo/target/release/deps/invariants-a76ef003ca8d524f: tests/invariants.rs
+
+tests/invariants.rs:

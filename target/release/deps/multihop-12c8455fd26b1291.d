@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/multihop-12c8455fd26b1291.d: crates/acqp-sensornet/tests/multihop.rs Cargo.toml
+
+/root/repo/target/release/deps/libmultihop-12c8455fd26b1291.rmeta: crates/acqp-sensornet/tests/multihop.rs Cargo.toml
+
+crates/acqp-sensornet/tests/multihop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

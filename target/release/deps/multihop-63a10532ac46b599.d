@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multihop-63a10532ac46b599.d: crates/acqp-sensornet/tests/multihop.rs
+
+/root/repo/target/release/deps/multihop-63a10532ac46b599: crates/acqp-sensornet/tests/multihop.rs
+
+crates/acqp-sensornet/tests/multihop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multihop-9bd754a05d91e3ec.d: crates/acqp-sensornet/tests/multihop.rs
+
+/root/repo/target/release/deps/multihop-9bd754a05d91e3ec: crates/acqp-sensornet/tests/multihop.rs
+
+crates/acqp-sensornet/tests/multihop.rs:

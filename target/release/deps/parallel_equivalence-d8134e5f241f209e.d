@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/parallel_equivalence-d8134e5f241f209e.d: tests/parallel_equivalence.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/parallel_equivalence-d8134e5f241f209e: tests/parallel_equivalence.rs tests/common/mod.rs
+
+tests/parallel_equivalence.rs:
+tests/common/mod.rs:

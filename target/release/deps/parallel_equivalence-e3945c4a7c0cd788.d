@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/parallel_equivalence-e3945c4a7c0cd788.d: tests/parallel_equivalence.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/release/deps/libparallel_equivalence-e3945c4a7c0cd788.rmeta: tests/parallel_equivalence.rs tests/common/mod.rs Cargo.toml
+
+tests/parallel_equivalence.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parallel_search-1257407d5b5b2439.d: crates/acqp-bench/benches/parallel_search.rs Cargo.toml
+
+/root/repo/target/release/deps/libparallel_search-1257407d5b5b2439.rmeta: crates/acqp-bench/benches/parallel_search.rs Cargo.toml
+
+crates/acqp-bench/benches/parallel_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_search-945ecbf73fb22e51.d: crates/acqp-bench/benches/parallel_search.rs
+
+/root/repo/target/release/deps/parallel_search-945ecbf73fb22e51: crates/acqp-bench/benches/parallel_search.rs
+
+crates/acqp-bench/benches/parallel_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-b1ad6ac881e358ed.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-b1ad6ac881e358ed: tests/pipeline.rs
+
+tests/pipeline.rs:

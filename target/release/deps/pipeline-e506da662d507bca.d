@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-e506da662d507bca.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-e506da662d507bca: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/scalability-931dc73e48da33e2.d: crates/acqp-bench/benches/scalability.rs Cargo.toml
+
+/root/repo/target/release/deps/libscalability-931dc73e48da33e2.rmeta: crates/acqp-bench/benches/scalability.rs Cargo.toml
+
+crates/acqp-bench/benches/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scalability-a0d7d776ecc89142.d: crates/acqp-bench/benches/scalability.rs
+
+/root/repo/target/release/deps/scalability-a0d7d776ecc89142: crates/acqp-bench/benches/scalability.rs
+
+crates/acqp-bench/benches/scalability.rs:

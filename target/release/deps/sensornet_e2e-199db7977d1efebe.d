@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensornet_e2e-199db7977d1efebe.d: tests/sensornet_e2e.rs
+
+/root/repo/target/release/deps/sensornet_e2e-199db7977d1efebe: tests/sensornet_e2e.rs
+
+tests/sensornet_e2e.rs:

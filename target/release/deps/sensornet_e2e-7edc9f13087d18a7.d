@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensornet_e2e-7edc9f13087d18a7.d: tests/sensornet_e2e.rs
+
+/root/repo/target/release/deps/sensornet_e2e-7edc9f13087d18a7: tests/sensornet_e2e.rs
+
+tests/sensornet_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sensornet_e2e-faaa2656497b34c2.d: tests/sensornet_e2e.rs Cargo.toml
+
+/root/repo/target/release/deps/libsensornet_e2e-faaa2656497b34c2.rmeta: tests/sensornet_e2e.rs Cargo.toml
+
+tests/sensornet_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

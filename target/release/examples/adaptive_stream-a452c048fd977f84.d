@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/adaptive_stream-a452c048fd977f84.d: examples/adaptive_stream.rs Cargo.toml
+
+/root/repo/target/release/examples/libadaptive_stream-a452c048fd977f84.rmeta: examples/adaptive_stream.rs Cargo.toml
+
+examples/adaptive_stream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

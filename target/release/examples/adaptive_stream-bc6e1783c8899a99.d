@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_stream-bc6e1783c8899a99.d: examples/adaptive_stream.rs
+
+/root/repo/target/release/examples/adaptive_stream-bc6e1783c8899a99: examples/adaptive_stream.rs
+
+examples/adaptive_stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_stream-e58697b54918225b.d: examples/adaptive_stream.rs
+
+/root/repo/target/release/examples/adaptive_stream-e58697b54918225b: examples/adaptive_stream.rs
+
+examples/adaptive_stream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/garden_monitoring-30b26ba76ef0ae70.d: examples/garden_monitoring.rs Cargo.toml
+
+/root/repo/target/release/examples/libgarden_monitoring-30b26ba76ef0ae70.rmeta: examples/garden_monitoring.rs Cargo.toml
+
+examples/garden_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

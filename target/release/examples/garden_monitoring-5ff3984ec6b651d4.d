@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/garden_monitoring-5ff3984ec6b651d4.d: examples/garden_monitoring.rs
+
+/root/repo/target/release/examples/garden_monitoring-5ff3984ec6b651d4: examples/garden_monitoring.rs
+
+examples/garden_monitoring.rs:

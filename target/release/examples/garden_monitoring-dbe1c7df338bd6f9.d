@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/garden_monitoring-dbe1c7df338bd6f9.d: examples/garden_monitoring.rs
+
+/root/repo/target/release/examples/garden_monitoring-dbe1c7df338bd6f9: examples/garden_monitoring.rs
+
+examples/garden_monitoring.rs:

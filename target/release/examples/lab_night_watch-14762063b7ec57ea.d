@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lab_night_watch-14762063b7ec57ea.d: examples/lab_night_watch.rs
+
+/root/repo/target/release/examples/lab_night_watch-14762063b7ec57ea: examples/lab_night_watch.rs
+
+examples/lab_night_watch.rs:

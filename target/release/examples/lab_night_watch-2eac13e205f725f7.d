@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/lab_night_watch-2eac13e205f725f7.d: examples/lab_night_watch.rs Cargo.toml
+
+/root/repo/target/release/examples/liblab_night_watch-2eac13e205f725f7.rmeta: examples/lab_night_watch.rs Cargo.toml
+
+examples/lab_night_watch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

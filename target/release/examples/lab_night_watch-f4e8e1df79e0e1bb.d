@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lab_night_watch-f4e8e1df79e0e1bb.d: examples/lab_night_watch.rs
+
+/root/repo/target/release/examples/lab_night_watch-f4e8e1df79e0e1bb: examples/lab_night_watch.rs
+
+examples/lab_night_watch.rs:

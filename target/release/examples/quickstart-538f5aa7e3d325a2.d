@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-538f5aa7e3d325a2.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-538f5aa7e3d325a2.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

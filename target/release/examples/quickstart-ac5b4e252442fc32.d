@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ac5b4e252442fc32.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ac5b4e252442fc32: examples/quickstart.rs
+
+examples/quickstart.rs:

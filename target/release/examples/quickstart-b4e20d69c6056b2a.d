@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b4e20d69c6056b2a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b4e20d69c6056b2a: examples/quickstart.rs
+
+examples/quickstart.rs:
