@@ -9,11 +9,13 @@
 //!
 //! Env: `ACQP_QUERIES` (default 12), `ACQP_THREADS` (default 4).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use acqp_core::prelude::*;
 use acqp_data::lab::{self, LabConfig};
 use acqp_data::workload::lab_queries;
+use acqp_obs::{NoopSink, Recorder};
 
 fn plan_all(
     schema: &Schema,
@@ -21,6 +23,7 @@ fn plan_all(
     est: &CountingEstimator,
     grid_r: usize,
     threads: usize,
+    rec: &Recorder,
 ) -> (f64, Vec<u64>, usize) {
     let t0 = Instant::now();
     let mut cost_bits = Vec::with_capacity(queries.len());
@@ -29,6 +32,7 @@ fn plan_all(
         let report = ExhaustivePlanner::with_grid(SplitGrid::for_query(schema, query, grid_r))
             .max_subproblems(700_000)
             .threads(threads)
+            .with_recorder(rec.clone())
             .plan_with_report(schema, query, est)
             .expect("planning failed");
         cost_bits.push(report.expected_cost.to_bits());
@@ -53,10 +57,12 @@ fn main() {
 
     // Warm-up pass so page cache and allocator state do not favour
     // whichever configuration runs first.
-    let _ = plan_all(&g.schema, &queries[..queries.len().min(2)], &est, 3, 1);
+    let _ =
+        plan_all(&g.schema, &queries[..queries.len().min(2)], &est, 3, 1, &Recorder::disabled());
 
-    let (t_serial, bits_serial, trunc_serial) = plan_all(&g.schema, &queries, &est, 3, 1);
-    let (t_par, bits_par, trunc_par) = plan_all(&g.schema, &queries, &est, 3, threads);
+    let rec = Recorder::new(Arc::new(NoopSink));
+    let (t_serial, bits_serial, trunc_serial) = plan_all(&g.schema, &queries, &est, 3, 1, &rec);
+    let (t_par, bits_par, trunc_par) = plan_all(&g.schema, &queries, &est, 3, threads, &rec);
 
     assert_eq!(
         bits_serial, bits_par,
@@ -70,4 +76,18 @@ fn main() {
         t_serial / t_par.max(1e-9),
         n_queries
     );
+
+    let snap = rec.drain();
+    let mut fields = vec![
+        ("wall_serial_s".to_string(), t_serial),
+        ("wall_parallel_s".to_string(), t_par),
+        ("threads".to_string(), threads as f64),
+        ("queries".to_string(), n_queries as f64),
+        ("speedup".to_string(), t_serial / t_par.max(1e-9)),
+    ];
+    fields.extend(acqp_bench::planner_rates(&snap));
+    match acqp_bench::write_bench_json("parallel_search", &fields) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_parallel_search.json: {e}"),
+    }
 }

@@ -225,6 +225,48 @@ pub fn assert_all_correct(cells: &[Cell]) {
     }
 }
 
+/// Headline planner-health rates derived from a drained observability
+/// snapshot, for embedding in bench JSON artifacts:
+///
+/// * `planner.memo.hit_rate` — memo lookups served from the table;
+/// * `planner.prune_rate` — candidate cuts abandoned by an admissible
+///   lower bound, as a fraction of all split evaluations.
+pub fn planner_rates(snap: &acqp_obs::Snapshot) -> Vec<(String, f64)> {
+    let hit = snap.counter("planner.memo.hit") as f64;
+    let miss = snap.counter("planner.memo.miss") as f64;
+    let evaluated = snap.counter("planner.split.evaluated") as f64;
+    let pruned = snap.counter("planner.prune.lower_bound") as f64;
+    vec![
+        ("planner.subproblems.opened".into(), snap.counter("planner.subproblems.opened") as f64),
+        ("planner.memo.hit_rate".into(), hit / (hit + miss).max(1.0)),
+        ("planner.split.evaluated".into(), evaluated),
+        ("planner.prune_rate".into(), pruned / evaluated.max(1.0)),
+        ("planner.budget.truncated".into(), snap.counter("planner.budget.truncated") as f64),
+    ]
+}
+
+/// Writes `BENCH_<name>.json` in the working directory: one flat JSON
+/// object mapping metric names to numbers, so bench results (wall
+/// clocks, planner rates) land in a machine-readable artifact next to
+/// the printed tables. Returns the path written.
+pub fn write_bench_json(
+    name: &str,
+    fields: &[(String, f64)],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
+    let mut body = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let v = if v.is_finite() { *v } else { 0.0 };
+        body.push_str(&format!("\n  \"{k}\": {v}"));
+    }
+    body.push_str("\n}\n");
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +299,40 @@ mod tests {
                 .train_cost;
             assert!(heur <= naive + 1e-6, "query {qi}: heuristic {heur} vs naive {naive}");
         }
+    }
+
+    #[test]
+    fn bench_json_and_planner_rates() {
+        use acqp_obs::{NoopSink, Recorder};
+        use std::sync::Arc;
+
+        let g = lab::generate(&LabConfig { motes: 6, epochs: 220, ..LabConfig::default() });
+        let (train, _) = g.split(0.7);
+        let queries = lab_queries(&g.schema, &train, 2, 3, 5);
+        let rec = Recorder::new(Arc::new(NoopSink));
+        for q in &queries {
+            let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
+            ExhaustivePlanner::with_grid(SplitGrid::for_query(&g.schema, q, 3))
+                .with_recorder(rec.clone())
+                .plan(&g.schema, q, &est)
+                .unwrap();
+        }
+        let rates = planner_rates(&rec.drain());
+        let get = |k: &str| rates.iter().find(|(n, _)| n == k).unwrap().1;
+        assert!(get("planner.subproblems.opened") > 0.0);
+        assert!(get("planner.memo.hit_rate") >= 0.0 && get("planner.memo.hit_rate") <= 1.0);
+        assert!(get("planner.split.evaluated") > 0.0);
+
+        let dir = std::env::temp_dir().join(format!("acqp_bench_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cwd = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let path = write_bench_json("unit_test", &rates).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(cwd).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"planner.memo.hit_rate\":"));
     }
 
     #[test]

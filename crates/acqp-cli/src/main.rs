@@ -15,12 +15,14 @@ mod query_parse;
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use acqp_core::prelude::*;
+use acqp_obs::{JsonLinesSink, NoopSink, Recorder};
 
 /// CLI-level result (the core prelude shadows `Result`).
 type CliResult<T> = std::result::Result<T, String>;
-use acqp_sensornet::{run_simulation, sim::fleet_from_trace, Basestation, EnergyModel};
+use acqp_sensornet::{run_simulation_recorded, sim::fleet_from_trace, Basestation, EnergyModel};
 use args::Args;
 
 const USAGE: &str = "\
@@ -34,7 +36,12 @@ USAGE:
                 [--algo naive|corrseq|heuristic|exhaustive]
                 [--splits K] [--grid R] [--train-frac F] [--explain yes]
                 [--threads N] [--plan-budget-ms MS]
+                [--trace-json <file>] [--metrics yes]
   acqp simulate --dataset <kind> --query \"<expr>\" [--motes M] [--splits K]
+                [--trace-json <file>] [--metrics yes]
+
+  --trace-json <file>  stream spans and drained metrics as JSON lines
+  --metrics yes        append a metrics summary table to the output
 
   <kind> = lab | garden5 | garden11 | synthetic
   <expr> = clause (AND clause)*          values in natural units
@@ -92,6 +99,33 @@ fn cmd_gen(args: &Args) -> CliResult<()> {
     Ok(())
 }
 
+/// Builds the command's recorder from `--trace-json` / `--metrics`.
+/// Observability stays disabled (zero overhead) unless one was asked for.
+fn recorder_from(args: &Args) -> CliResult<Recorder> {
+    if let Some(path) = args.get("trace-json") {
+        let sink =
+            JsonLinesSink::create(Path::new(path)).map_err(|e| format!("creating {path}: {e}"))?;
+        return Ok(Recorder::new(Arc::new(sink)));
+    }
+    if args.get("metrics").is_some_and(|v| v != "no") {
+        return Ok(Recorder::new(Arc::new(NoopSink)));
+    }
+    Ok(Recorder::disabled())
+}
+
+/// Drains `rec` (flushing any `--trace-json` sink) and prints the
+/// `--metrics` summary table when requested.
+fn finish_metrics(args: &Args, rec: &Recorder) {
+    if !rec.enabled() {
+        return;
+    }
+    let snap = rec.drain();
+    if args.get("metrics").is_some_and(|v| v != "no") {
+        println!("\nmetrics:");
+        print!("{}", snap.render_table());
+    }
+}
+
 fn planner_label(algo: &str, splits: usize) -> String {
     match algo {
         "heuristic" => format!("heuristic (at most {splits} splits)"),
@@ -107,7 +141,8 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
 
     let train_frac: f64 = args.get_or("train-frac", 0.6)?;
     let (train, test) = g.data.split_at(train_frac);
-    let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
+    let rec = recorder_from(args)?;
+    let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema)).with_recorder(&rec);
 
     let algo = args.get("algo").unwrap_or("heuristic");
     let splits: usize = args.get_or("splits", 10)?;
@@ -126,7 +161,8 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
         "heuristic" => {
             let mut p = GreedyPlanner::new(splits)
                 .with_grid(SplitGrid::for_query(&g.schema, &query, grid))
-                .threads(threads);
+                .threads(threads)
+                .with_recorder(rec.clone());
             if let Some(d) = plan_budget {
                 p = p.time_budget(d);
             }
@@ -139,7 +175,8 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
             let mut p =
                 ExhaustivePlanner::with_grid(SplitGrid::for_query(&g.schema, &query, grid.min(3)))
                     .max_subproblems(args.get_or("budget", 1_000_000usize)?)
-                    .threads(threads);
+                    .threads(threads)
+                    .with_recorder(rec.clone());
             if let Some(d) = plan_budget {
                 p = p.time_budget(d);
             }
@@ -168,7 +205,23 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
     }
 
     let rtr = measure(&plan, &query, &g.schema, &train);
-    let rte = measure(&plan, &query, &g.schema, &test);
+    let (rte, exec_metrics) = if rec.enabled() {
+        // Meter the held-out window: per-attribute acquisitions, cost
+        // distribution, per-predicate outcomes.
+        let m = ExecMetrics::new(&rec, &g.schema, &query);
+        let r = measure_metered(
+            &plan,
+            &query,
+            &g.schema,
+            &CostModel::PerAttribute,
+            &test,
+            0..test.len(),
+            &m,
+        );
+        (r, Some(m))
+    } else {
+        (measure(&plan, &query, &g.schema, &test), None)
+    };
     if !(rtr.all_correct && rte.all_correct) {
         return Err("internal error: plan disagreed with direct evaluation".into());
     }
@@ -177,6 +230,21 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
         rtr.mean_cost, rte.mean_cost
     );
     println!("pass rate : {:.1}% of held-out tuples", 100.0 * rte.pass_rate);
+
+    if let Some(m) = &exec_metrics {
+        // Estimated-vs-actual selectivity per predicate: the training
+        // marginal against the held-out pass fraction (§7's train/test
+        // shift, quantified per predicate).
+        let table = est.truth_table(&est.root(), &query);
+        for j in 0..query.len() {
+            let est_sel = table.marginal(j);
+            rec.gauge(&format!("exec.pred{j}.est_sel"), est_sel);
+            if let Some(actual) = m.actual_selectivity(j) {
+                rec.gauge(&format!("exec.pred{j}.actual_sel"), actual);
+                rec.gauge(&format!("exec.pred{j}.sel_abs_err"), (est_sel - actual).abs());
+            }
+        }
+    }
 
     // Always show the Naive baseline for context.
     if algo != "naive" {
@@ -190,6 +258,7 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
             base.mean_cost / rte.mean_cost.max(1e-9)
         );
     }
+    finish_metrics(args, &rec);
     Ok(())
 }
 
@@ -215,8 +284,10 @@ fn cmd_simulate(args: &Args) -> CliResult<()> {
         planned.plan.split_count(),
         planned.wire.len()
     );
+    let rec = recorder_from(args)?;
     let mut motes = fleet_from_trace(&live, fleet);
-    let rep = run_simulation(&g.schema, &query, &planned, &mut motes, &model, live.len());
+    let rep =
+        run_simulation_recorded(&g.schema, &query, &planned, &mut motes, &model, live.len(), &rec);
     if !rep.all_correct {
         return Err("internal error: simulation verdicts diverged".into());
     }
@@ -232,6 +303,7 @@ fn cmd_simulate(args: &Args) -> CliResult<()> {
         rep.network.total_uj()
     );
     println!("sensing energy per tuple: {:.1} uJ", rep.sensing_uj_per_tuple);
+    finish_metrics(args, &rec);
     Ok(())
 }
 
@@ -324,6 +396,68 @@ mod tests {
             "abc",
         ])
         .is_err());
+    }
+
+    #[test]
+    fn plan_with_trace_json_and_metrics() {
+        let trace =
+            std::env::temp_dir().join(format!("acqp_cli_trace_{}.jsonl", std::process::id()));
+        let trace_s = trace.to_str().unwrap();
+        assert_eq!(
+            run_vec(&[
+                "plan",
+                "--dataset",
+                "lab",
+                "--epochs",
+                "300",
+                "--motes",
+                "6",
+                "--query",
+                "light >= 350 AND temp <= 21",
+                "--splits",
+                "4",
+                "--trace-json",
+                trace_s,
+                "--metrics",
+                "yes",
+            ]),
+            Ok(())
+        );
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            let span_shape = line.starts_with("{\"span\":") && line.contains("\"elapsed_us\":");
+            let counter_shape = line.starts_with("{\"counter\":") && line.contains("\"value\":");
+            assert!(span_shape || counter_shape, "unexpected trace line {line}");
+        }
+        // Planner, estimator and executor metrics all made it to the trace.
+        assert!(text.contains("\"counter\":\"planner.subproblems.opened\""), "{text}");
+        assert!(text.contains("\"counter\":\"estimator.mask_cache.hit\""));
+        assert!(text.contains("\"counter\":\"exec.acquire."));
+        assert!(text.contains("\"counter\":\"exec.pred0.est_sel\""));
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn simulate_with_metrics_table() {
+        assert_eq!(
+            run_vec(&[
+                "simulate",
+                "--dataset",
+                "garden5",
+                "--epochs",
+                "400",
+                "--query",
+                "temp0 BETWEEN 5 AND 25 AND hum0 <= 90",
+                "--motes",
+                "2",
+                "--splits",
+                "2",
+                "--metrics",
+                "yes",
+            ]),
+            Ok(())
+        );
     }
 
     #[test]

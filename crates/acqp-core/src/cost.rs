@@ -62,14 +62,44 @@ pub fn measure_rows_model(
     data: &Dataset,
     rows: impl IntoIterator<Item = usize>,
 ) -> CostReport {
+    measure_loop(plan, query, schema, model, data, rows, None)
+}
+
+/// Like [`measure_rows_model`], recording per-attribute acquisition
+/// counts, per-tuple cost and per-predicate outcomes into `metrics`
+/// (see [`crate::exec::execute_metered`]).
+pub fn measure_metered(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &crate::costmodel::CostModel,
+    data: &Dataset,
+    rows: impl IntoIterator<Item = usize>,
+    metrics: &crate::exec::ExecMetrics,
+) -> CostReport {
+    measure_loop(plan, query, schema, model, data, rows, Some(metrics))
+}
+
+fn measure_loop(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &crate::costmodel::CostModel,
+    data: &Dataset,
+    rows: impl IntoIterator<Item = usize>,
+    metrics: Option<&crate::exec::ExecMetrics>,
+) -> CostReport {
     let mut total = 0.0;
     let mut max_cost: f64 = 0.0;
     let mut passes = 0usize;
     let mut all_correct = true;
     let mut tuples = 0usize;
     for row in rows {
-        let out =
-            crate::exec::execute_model(plan, query, schema, model, &mut RowSource::new(data, row));
+        let mut src = RowSource::new(data, row);
+        let out = match metrics {
+            Some(m) => crate::exec::execute_metered(plan, query, schema, model, &mut src, m),
+            None => crate::exec::execute_model(plan, query, schema, model, &mut src),
+        };
         total += out.cost;
         max_cost = max_cost.max(out.cost);
         passes += usize::from(out.verdict);

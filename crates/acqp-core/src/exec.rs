@@ -6,6 +6,8 @@
 //! attribute is free: a second split on the same attribute merely routes
 //! on the remembered value.
 
+use acqp_obs::{Counter, FloatCounter, Hist, Recorder};
+
 use crate::attr::{AttrId, Schema};
 use crate::dataset::Dataset;
 use crate::plan::Plan;
@@ -71,33 +73,119 @@ pub fn execute_model(
     model: &crate::costmodel::CostModel,
     src: &mut impl TupleSource,
 ) -> ExecOutcome {
+    execute_inner(plan, query, schema, model, src, None)
+}
+
+/// Like [`execute_model`], recording per-attribute acquisition counts,
+/// per-tuple cost, and per-predicate evaluation outcomes into `metrics`.
+pub fn execute_metered(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &crate::costmodel::CostModel,
+    src: &mut impl TupleSource,
+    metrics: &ExecMetrics,
+) -> ExecOutcome {
+    execute_inner(plan, query, schema, model, src, Some(metrics))
+}
+
+fn execute_inner(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &crate::costmodel::CostModel,
+    src: &mut impl TupleSource,
+    metrics: Option<&ExecMetrics>,
+) -> ExecOutcome {
     let mut st =
         ExecState { cache: vec![None; schema.len()], mask: 0, cost: 0.0, acquired: Vec::new() };
     let mut node = plan;
-    loop {
+    let verdict = loop {
         match node {
-            Plan::Decided(b) => {
-                return ExecOutcome { verdict: *b, cost: st.cost, acquired: st.acquired };
-            }
+            Plan::Decided(b) => break *b,
             Plan::Seq(seq) => {
+                let mut pass = true;
                 for &j in &seq.order {
                     let p = query.pred(j);
-                    let v = st.fetch(p.attr(), schema, model, src);
-                    if !p.eval(v) {
-                        return ExecOutcome {
-                            verdict: false,
-                            cost: st.cost,
-                            acquired: st.acquired,
-                        };
+                    let v = st.fetch(p.attr(), schema, model, src, metrics);
+                    let held = p.eval(v);
+                    if let Some(m) = metrics {
+                        m.pred_evaluated[j].incr(1);
+                        m.pred_passed[j].incr(u64::from(held));
+                    }
+                    if !held {
+                        pass = false;
+                        break;
                     }
                 }
-                return ExecOutcome { verdict: true, cost: st.cost, acquired: st.acquired };
+                break pass;
             }
             Plan::Split { attr, cut, lo, hi } => {
-                let v = st.fetch(*attr, schema, model, src);
+                let v = st.fetch(*attr, schema, model, src, metrics);
                 node = if v < *cut { lo } else { hi };
             }
         }
+    };
+    if let Some(m) = metrics {
+        m.tuples.incr(1);
+        m.outputs.incr(u64::from(verdict));
+        m.cost_total.add(st.cost);
+        m.cost_per_tuple.observe(st.cost.round().max(0.0) as u64);
+        m.acquisitions_per_tuple.observe(st.acquired.len() as u64);
+    }
+    ExecOutcome { verdict, cost: st.cost, acquired: st.acquired }
+}
+
+/// Pre-hoisted executor instruments (`exec.*`), built once per
+/// measurement run so the per-tuple hot path records through lock-free
+/// handles. See `DESIGN.md` §8 for the metric names.
+#[derive(Debug)]
+pub struct ExecMetrics {
+    /// `exec.acquire.<attr>` — acquisitions charged, per attribute.
+    acquire: Vec<Counter>,
+    /// `exec.tuples` — tuples executed.
+    tuples: Counter,
+    /// `exec.outputs` — tuples the plan output.
+    outputs: Counter,
+    /// `exec.cost_total` — summed acquisition cost over all tuples.
+    cost_total: FloatCounter,
+    /// `exec.cost_per_tuple` — per-tuple cost distribution (rounded).
+    cost_per_tuple: Hist,
+    /// `exec.acquisitions_per_tuple` — attributes acquired per tuple.
+    acquisitions_per_tuple: Hist,
+    /// `exec.pred<j>.evaluated` — times predicate `j` was evaluated.
+    pred_evaluated: Vec<Counter>,
+    /// `exec.pred<j>.passed` — times predicate `j` held.
+    pred_passed: Vec<Counter>,
+}
+
+impl ExecMetrics {
+    /// Registers the executor instruments for `schema`/`query` on `rec`.
+    pub fn new(rec: &Recorder, schema: &Schema, query: &Query) -> Self {
+        ExecMetrics {
+            acquire: (0..schema.len())
+                .map(|a| rec.counter(&format!("exec.acquire.{}", schema.attr(a).name())))
+                .collect(),
+            tuples: rec.counter("exec.tuples"),
+            outputs: rec.counter("exec.outputs"),
+            cost_total: rec.float_counter("exec.cost_total"),
+            cost_per_tuple: rec.hist("exec.cost_per_tuple"),
+            acquisitions_per_tuple: rec.hist("exec.acquisitions_per_tuple"),
+            pred_evaluated: (0..query.len())
+                .map(|j| rec.counter(&format!("exec.pred{j}.evaluated")))
+                .collect(),
+            pred_passed: (0..query.len())
+                .map(|j| rec.counter(&format!("exec.pred{j}.passed")))
+                .collect(),
+        }
+    }
+
+    /// Observed pass fraction of predicate `j` (its actual selectivity
+    /// over the tuples that evaluated it), or `None` before any
+    /// evaluation.
+    pub fn actual_selectivity(&self, j: usize) -> Option<f64> {
+        let n = self.pred_evaluated[j].value();
+        (n > 0).then(|| self.pred_passed[j].value() as f64 / n as f64)
     }
 }
 
@@ -116,6 +204,7 @@ impl ExecState {
         schema: &Schema,
         model: &crate::costmodel::CostModel,
         src: &mut impl TupleSource,
+        metrics: Option<&ExecMetrics>,
     ) -> u16 {
         if let Some(v) = self.cache[attr] {
             return v;
@@ -125,6 +214,9 @@ impl ExecState {
         self.cost += model.cost(schema, attr, self.mask);
         self.mask |= 1u64 << attr;
         self.acquired.push(attr);
+        if let Some(m) = metrics {
+            m.acquire[attr].incr(1);
+        }
         v
     }
 }
@@ -225,6 +317,36 @@ mod tests {
         assert!(out.verdict);
         let out = execute(&plan, &q, &s, &mut RowSource::new(&d, 1));
         assert!(!out.verdict);
+    }
+
+    #[test]
+    fn metered_execution_counts_acquisitions_and_predicates() {
+        use acqp_obs::NoopSink;
+        use std::sync::Arc;
+
+        let s = schema();
+        let q = query();
+        let rec = Recorder::new(Arc::new(NoopSink));
+        let m = ExecMetrics::new(&rec, &s, &q);
+        let plan = Plan::Seq(SeqOrder::new(vec![0, 1]));
+        let model = crate::costmodel::CostModel::PerAttribute;
+        // Row 1: pred0 fails (only x0 acquired). Row 2: both pass.
+        for row in [vec![3, 3, 0], vec![1, 2, 0]] {
+            execute_metered(&plan, &q, &s, &model, &mut FixedTuple(row, 0), &m);
+        }
+        let snap = rec.drain();
+        assert_eq!(snap.counter("exec.tuples"), 2);
+        assert_eq!(snap.counter("exec.outputs"), 1);
+        assert_eq!(snap.counter("exec.acquire.x0"), 2);
+        assert_eq!(snap.counter("exec.acquire.x1"), 1);
+        assert_eq!(snap.counter("exec.acquire.x2"), 0);
+        assert_eq!(snap.counter("exec.pred0.evaluated"), 2);
+        assert_eq!(snap.counter("exec.pred0.passed"), 1);
+        assert_eq!(snap.counter("exec.pred1.evaluated"), 1);
+        assert_eq!(snap.counter("exec.pred1.passed"), 1);
+        assert!((snap.value("exec.cost_total") - 40.0).abs() < 1e-9);
+        assert_eq!(snap.hists["exec.acquisitions_per_tuple"].1, 2);
+        assert!((m.actual_selectivity(0).unwrap() - 0.5).abs() < 1e-12);
     }
 
     #[test]

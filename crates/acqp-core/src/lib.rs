@@ -87,12 +87,15 @@ pub mod range;
 pub mod prelude {
     pub use crate::attr::{AttrId, Attribute, Schema};
     pub use crate::cost::{
-        expected_cost, expected_cost_model, measure, measure_model, measure_rows, CostReport,
+        expected_cost, expected_cost_model, measure, measure_metered, measure_model, measure_rows,
+        CostReport,
     };
     pub use crate::costmodel::{acquired_mask, CostModel};
     pub use crate::dataset::{Dataset, Discretizer};
     pub use crate::error::{Error, Result};
-    pub use crate::exec::{execute, execute_model, ExecOutcome, RowSource, TupleSource};
+    pub use crate::exec::{
+        execute, execute_metered, execute_model, ExecMetrics, ExecOutcome, RowSource, TupleSource,
+    };
     pub use crate::exists::{
         execute_exists, measure_exists, BranchStep, ExistsPlan, ExistsPlanner, ExistsQuery,
     };

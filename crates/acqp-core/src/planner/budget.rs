@@ -42,6 +42,14 @@ pub(crate) struct SearchLimits {
     truncated: AtomicBool,
 }
 
+/// How many subproblem expansions pass between deadline polls. Reading
+/// the monotonic clock is a vsyscall — cheap, but not free on a path
+/// taken millions of times — so the deadline is only consulted on every
+/// 64th expansion (the attempt counter is already maintained for the
+/// subproblem cap). At worst a search overruns its deadline by 63
+/// subproblems' work; once tripped, every later call denies immediately.
+const DEADLINE_CHECK_INTERVAL: usize = 64;
+
 impl SearchLimits {
     pub(crate) fn new(max_subproblems: usize, budget: Option<Duration>) -> Self {
         SearchLimits {
@@ -57,7 +65,12 @@ impl SearchLimits {
     /// caller must then close its subproblem with a fallback plan.
     pub(crate) fn try_expand(&self) -> bool {
         let n = self.used.fetch_add(1, Ordering::Relaxed);
-        if n >= self.max_subproblems || self.deadline.is_some_and(|d| Instant::now() >= d) {
+        if self.truncated.load(Ordering::Relaxed) {
+            return false;
+        }
+        let deadline_hit = n.is_multiple_of(DEADLINE_CHECK_INTERVAL)
+            && self.deadline.is_some_and(|d| Instant::now() >= d);
+        if n >= self.max_subproblems || deadline_hit {
             self.truncated.store(true, Ordering::Relaxed);
             return false;
         }
@@ -95,6 +108,40 @@ mod tests {
         let l = SearchLimits::new(usize::MAX, Some(Duration::ZERO));
         assert!(!l.try_expand());
         assert!(l.truncated());
+    }
+
+    /// The deadline is only polled every `DEADLINE_CHECK_INTERVAL`
+    /// expansions, but truncation must still fire — on attempt 0 (the
+    /// first poll) and then stick for every later attempt, so an expired
+    /// deadline can never leak more than one polling window of work.
+    #[test]
+    fn coarse_deadline_polling_still_truncates_and_sticks() {
+        let l = SearchLimits::new(usize::MAX, Some(Duration::ZERO));
+        for i in 0..(3 * DEADLINE_CHECK_INTERVAL) {
+            assert!(!l.try_expand(), "attempt {i} granted after deadline expiry");
+        }
+        assert!(l.truncated());
+        assert_eq!(l.used(), 3 * DEADLINE_CHECK_INTERVAL);
+    }
+
+    /// A deadline that expires mid-search trips at the next polling
+    /// point: grants can continue for at most one interval afterwards.
+    #[test]
+    fn mid_search_expiry_trips_within_one_interval() {
+        let l = SearchLimits::new(usize::MAX, Some(Duration::from_millis(5)));
+        // Burn past the first polling point while the deadline is live.
+        for _ in 0..10 {
+            assert!(l.try_expand());
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        let granted_after_expiry =
+            (0..2 * DEADLINE_CHECK_INTERVAL).filter(|_| l.try_expand()).count();
+        assert!(
+            granted_after_expiry < DEADLINE_CHECK_INTERVAL,
+            "deadline ignored for {granted_after_expiry} expansions"
+        );
+        assert!(l.truncated());
+        assert!(!l.try_expand());
     }
 
     #[test]

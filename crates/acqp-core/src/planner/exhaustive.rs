@@ -47,9 +47,11 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use acqp_obs::{Counter, Recorder};
 use crossbeam::deque::{Injector, Steal};
 
 use crate::attr::Schema;
@@ -71,6 +73,7 @@ pub struct ExhaustivePlanner {
     time_budget: Option<Duration>,
     threads: usize,
     cost_model: crate::costmodel::CostModel,
+    recorder: Recorder,
 }
 
 impl Default for ExhaustivePlanner {
@@ -89,6 +92,7 @@ impl ExhaustivePlanner {
             time_budget: None,
             threads: 1,
             cost_model: crate::costmodel::CostModel::PerAttribute,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -124,6 +128,16 @@ impl ExhaustivePlanner {
     /// the search completes within budget.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Attaches an observability recorder. The search records memo
+    /// hits/misses, prune and split-evaluation counts, budget events and
+    /// warm/combine phase timings through it; see `DESIGN.md` §8 for the
+    /// metric taxonomy. Metrics never feed back into search decisions,
+    /// so recording cannot perturb the chosen plan.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -173,18 +187,69 @@ impl ExhaustivePlanner {
             seq: SeqPlanner::greedy().with_cost_model(self.cost_model.clone()),
             model: self.cost_model.clone(),
             limits: SearchLimits::new(self.max_subproblems, self.time_budget),
+            metrics: SearchMetrics::new(&self.recorder),
         };
         let root = est.root();
+        let span = self.recorder.span("planner.exhaustive");
         if self.threads > 1 {
+            let _warm = span.child("warm");
             search.warm_parallel(&root, self.threads);
         }
-        let (cost, plan, _) = search.solve(&root)?;
+        let (cost, plan) = {
+            let _combine = span.child("combine");
+            let (cost, plan, _) = search.solve(&root)?;
+            (cost, plan)
+        };
+        drop(span);
+        if search.limits.truncated() {
+            search.metrics.budget_truncated.incr(1);
+        }
+        if self.recorder.enabled() {
+            search.memo.report_shards(&self.recorder);
+        }
         Ok(PlanReport {
             plan,
             expected_cost: cost,
             subproblems: search.limits.used(),
             truncated: search.limits.truncated(),
         })
+    }
+}
+
+/// Pre-hoisted instrument handles for one plan search: looked up once
+/// per search so the hot DP loop records through lock-free handles. All
+/// handles are detached no-ops under [`Recorder::disabled`].
+struct SearchMetrics {
+    /// Incremented adjacent to every `SearchLimits::try_expand` call, so
+    /// its total equals [`PlanReport::subproblems`] exactly.
+    opened: Counter,
+    memo_hit: Counter,
+    memo_miss: Counter,
+    /// Attributes skipped because their bare acquisition cost already
+    /// meets the incumbent.
+    prune_attr_cost: Counter,
+    /// Candidate cuts abandoned by an admissible lower-bound check.
+    prune_lower_bound: Counter,
+    /// Candidate split points evaluated (cut loop iterations).
+    split_evaluated: Counter,
+    /// Expansions denied by the cooperative budget.
+    budget_denied: Counter,
+    /// 1 when the search ended truncated.
+    budget_truncated: Counter,
+}
+
+impl SearchMetrics {
+    fn new(rec: &Recorder) -> Self {
+        SearchMetrics {
+            opened: rec.counter("planner.subproblems.opened"),
+            memo_hit: rec.counter("planner.memo.hit"),
+            memo_miss: rec.counter("planner.memo.miss"),
+            prune_attr_cost: rec.counter("planner.prune.attr_cost"),
+            prune_lower_bound: rec.counter("planner.prune.lower_bound"),
+            split_evaluated: rec.counter("planner.split.evaluated"),
+            budget_denied: rec.counter("planner.budget.denied"),
+            budget_truncated: rec.counter("planner.budget.truncated"),
+        }
     }
 }
 
@@ -196,25 +261,53 @@ const MEMO_SHARDS: usize = 64;
 /// same key always store the same value and overwrites are benign.
 struct ShardedMemo {
     shards: Vec<Mutex<HashMap<Ranges, (f64, Plan)>>>,
+    /// Per-shard lookup outcomes: `(hits, misses)` per shard, kept as
+    /// plain relaxed atomics (noise next to the shard mutex) so shard
+    /// balance can be reported even though lookups race.
+    stats: Vec<(AtomicU64, AtomicU64)>,
 }
 
 impl ShardedMemo {
     fn new() -> Self {
-        ShardedMemo { shards: (0..MEMO_SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+        ShardedMemo {
+            shards: (0..MEMO_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            stats: (0..MEMO_SHARDS).map(|_| (AtomicU64::new(0), AtomicU64::new(0))).collect(),
+        }
     }
 
-    fn shard(&self, key: &Ranges) -> &Mutex<HashMap<Ranges, (f64, Plan)>> {
+    fn shard_index(&self, key: &Ranges) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[h.finish() as usize % MEMO_SHARDS]
+        h.finish() as usize % MEMO_SHARDS
     }
 
     fn get(&self, key: &Ranges) -> Option<(f64, Plan)> {
-        self.shard(key).lock().unwrap().get(key).cloned()
+        let i = self.shard_index(key);
+        let found = self.shards[i].lock().unwrap().get(key).cloned();
+        let (hits, misses) = &self.stats[i];
+        if found.is_some() { hits } else { misses }.fetch_add(1, Ordering::Relaxed);
+        found
     }
 
     fn insert(&self, key: Ranges, value: (f64, Plan)) {
-        self.shard(&key).lock().unwrap().insert(key, value);
+        self.shards[self.shard_index(&key)].lock().unwrap().insert(key, value);
+    }
+
+    /// Publishes per-shard hit/miss/size gauges
+    /// (`planner.memo.shard<i>.hits` etc.) for shards that saw traffic.
+    fn report_shards(&self, rec: &Recorder) {
+        for (i, (hits, misses)) in self.stats.iter().enumerate() {
+            let (h, m) = (hits.load(Ordering::Relaxed), misses.load(Ordering::Relaxed));
+            if h + m == 0 {
+                continue;
+            }
+            rec.gauge(&format!("planner.memo.shard{i}.hits"), h as f64);
+            rec.gauge(&format!("planner.memo.shard{i}.misses"), m as f64);
+            rec.gauge(
+                &format!("planner.memo.shard{i}.entries"),
+                self.shards[i].lock().unwrap().len() as f64,
+            );
+        }
     }
 }
 
@@ -227,6 +320,7 @@ struct Search<'a, E: Estimator> {
     seq: SeqPlanner,
     model: crate::costmodel::CostModel,
     limits: SearchLimits,
+    metrics: SearchMetrics,
 }
 
 impl<E: Estimator> Search<'_, E> {
@@ -248,13 +342,22 @@ impl<E: Estimator> Search<'_, E> {
             let order = self.query.undecided(&ranges);
             return Ok((0.0, Plan::Seq(SeqOrder::new(order)), true));
         }
-        if let Some((c, p)) = self.memo.get(&ranges) {
-            return Ok((c, p, true));
+        match self.memo.get(&ranges) {
+            Some((c, p)) => {
+                self.metrics.memo_hit.incr(1);
+                return Ok((c, p, true));
+            }
+            None => self.metrics.memo_miss.incr(1),
         }
 
+        // `opened` tracks expansion *attempts* exactly like
+        // `SearchLimits::used`, so it always equals the report's
+        // `subproblems` (asserted in `tests/parallel_equivalence.rs`).
+        self.metrics.opened.incr(1);
         if !self.limits.try_expand() {
             // Effort budget exhausted: close this subproblem with a
             // greedy sequential leaf. Not cached (it is not optimal).
+            self.metrics.budget_denied.incr(1);
             let (cost, plan) = self.seq_leaf(ctx, &ranges)?;
             return Ok((cost, plan, false));
         }
@@ -288,11 +391,13 @@ impl<E: Estimator> Search<'_, E> {
             // Child costs are non-negative, so no split on this
             // attribute can strictly beat the incumbent.
             if c0 >= best_cost {
+                self.metrics.prune_attr_cost.incr(1);
                 continue;
             }
             let mut hist: Option<Vec<f64>> = None;
             let cuts: Vec<u16> = self.grid.cuts_in(attr, r).collect();
             for cut in cuts {
+                self.metrics.split_evaluated.incr(1);
                 let h = hist.get_or_insert_with(|| self.est.hist(ctx, attr));
                 let p_lo: f64 =
                     h[usize::from(r.lo())..usize::from(cut)].iter().sum::<f64>().clamp(0.0, 1.0);
@@ -306,6 +411,7 @@ impl<E: Estimator> Search<'_, E> {
                 let lb_hi = self.lower_bound(&hi_ranges);
                 let mut acc = c0;
                 if acc + p_lo * lb_lo + p_hi * lb_hi >= best_cost {
+                    self.metrics.prune_lower_bound.incr(1);
                     continue;
                 }
 
@@ -323,6 +429,7 @@ impl<E: Estimator> Search<'_, E> {
                     lo_plan = self.zero_mass_leaf(&lo_ranges);
                 }
                 if acc + p_hi * lb_hi >= best_cost {
+                    self.metrics.prune_lower_bound.incr(1);
                     continue;
                 }
 

@@ -35,6 +35,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use acqp_obs::{Counter, Recorder};
+
 use crate::attr::Schema;
 use crate::error::Result;
 use crate::plan::{Plan, SeqOrder};
@@ -84,6 +86,7 @@ pub struct GreedyPlanner {
     threads: usize,
     time_budget: Option<Duration>,
     cost_model: crate::costmodel::CostModel,
+    recorder: Recorder,
 }
 
 impl GreedyPlanner {
@@ -101,7 +104,16 @@ impl GreedyPlanner {
             threads: 1,
             time_budget: None,
             cost_model: crate::costmodel::CostModel::PerAttribute,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches an observability recorder: leaf expansions, split-point
+    /// evaluations and deadline truncation are counted through it (see
+    /// `DESIGN.md` §8). Metrics never influence which leaf expands.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Number of threads for the `GREEDYSPLIT` attribute sweeps. The
@@ -201,6 +213,11 @@ impl GreedyPlanner {
             });
         }
         let deadline = self.time_budget.map(|d| Instant::now() + d);
+        let _span = self.recorder.span("planner.greedy");
+        // Leaf expansions applied; kept equal to the report's
+        // `subproblems` field, mirroring the exhaustive planner.
+        let opened = self.recorder.counter("planner.subproblems.opened");
+        let split_eval = self.recorder.counter("planner.split.evaluated");
 
         // Arena-based tree under construction. Leaf payloads live in
         // `leaves`; arena nodes reference them by slot.
@@ -230,7 +247,8 @@ impl GreedyPlanner {
             let table = est.truth_table(&root_ctx, query);
             let (order, seq_cost) = seq.order_for(schema, query, &root_ranges, &table)?;
             plan_cost = seq_cost;
-            let split = self.greedy_split(schema, query, est, &seq, &grid, &root_ctx, &table)?;
+            let split =
+                self.greedy_split(schema, query, est, &seq, &grid, &root_ctx, &table, &split_eval)?;
             let state = LeafState {
                 ctx: root_ctx,
                 ranges: root_ranges,
@@ -288,7 +306,7 @@ impl GreedyPlanner {
                     None
                 } else {
                     let table = est.truth_table(&ctx, query);
-                    self.greedy_split(schema, query, est, &seq, &grid, &ctx, &table)?
+                    self.greedy_split(schema, query, est, &seq, &grid, &ctx, &table, &split_eval)?
                 };
                 let state = LeafState { ctx, ranges, decided, order, seq_cost, split, arena_idx };
                 let leaf_slot = leaves.len();
@@ -303,6 +321,10 @@ impl GreedyPlanner {
                 leaves.push(Some(state));
             }
             splits_used += 1;
+            opened.incr(1);
+        }
+        if truncated {
+            self.recorder.counter("planner.budget.truncated").incr(1);
         }
 
         // Realize the arena into a Plan.
@@ -348,6 +370,7 @@ impl GreedyPlanner {
         grid: &SplitGrid,
         ctx: &E::Ctx,
         table: &TruthTable,
+        split_eval: &Counter,
     ) -> Result<Option<BestSplit>> {
         let ranges = est.ranges(ctx).clone();
         let total_w = table.total();
@@ -369,6 +392,7 @@ impl GreedyPlanner {
                         }
                         let r = self.score_attr(
                             schema, query, est, seq, grid, ctx, table, &ranges, total_w, cand[i],
+                            split_eval,
                         );
                         slots.lock().unwrap()[i] = Some(r);
                     });
@@ -384,7 +408,9 @@ impl GreedyPlanner {
         } else {
             cand.iter()
                 .map(|&a| {
-                    self.score_attr(schema, query, est, seq, grid, ctx, table, &ranges, total_w, a)
+                    self.score_attr(
+                        schema, query, est, seq, grid, ctx, table, &ranges, total_w, a, split_eval,
+                    )
                 })
                 .collect()
         };
@@ -420,6 +446,7 @@ impl GreedyPlanner {
         ranges: &Ranges,
         total_w: f64,
         attr: usize,
+        split_eval: &Counter,
     ) -> Result<Option<BestSplit>> {
         let r = ranges.get(attr);
         let c0 =
@@ -431,6 +458,7 @@ impl GreedyPlanner {
         let by_value = est.truth_by_value(ctx, attr, query);
         debug_assert_eq!(by_value.len(), r.width() as usize);
 
+        split_eval.incr(cuts.len() as u64);
         let mut best: Option<BestSplit> = None;
         let mut acc = TruthAccum::new();
         let mut merged_upto = r.lo(); // values < merged_upto are in `acc`

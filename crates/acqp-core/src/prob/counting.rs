@@ -11,6 +11,8 @@
 
 use std::sync::{Arc, Mutex};
 
+use acqp_obs::{Counter, Recorder};
+
 use crate::attr::AttrId;
 use crate::dataset::Dataset;
 use crate::prob::{Estimator, TruthTable};
@@ -39,6 +41,10 @@ pub struct CountingEstimator<'d> {
     /// Memoized per-row truth bitmasks for the most recent query,
     /// behind a mutex so planner worker threads can share the estimator.
     mask_cache: Mutex<Option<(Query, Arc<Vec<u64>>)>>,
+    /// `estimator.mask_cache.hit` — lookups served from the cache.
+    cache_hit: Counter,
+    /// `estimator.mask_cache.miss` — lookups that rebuilt the masks.
+    cache_miss: Counter,
 }
 
 impl<'d> CountingEstimator<'d> {
@@ -57,14 +63,29 @@ impl<'d> CountingEstimator<'d> {
                 })
                 .collect(),
         );
-        CountingEstimator { data, root_ranges: ranges, mask_cache: Mutex::new(None) }
+        Self::with_ranges(data, ranges)
     }
 
     /// Builds an estimator whose root context carries the given (full)
     /// ranges — normally `Ranges::root(schema)`.
     pub fn with_ranges(data: &'d Dataset, ranges: Ranges) -> Self {
         debug_assert_eq!(ranges.len(), data.width());
-        CountingEstimator { data, root_ranges: ranges, mask_cache: Mutex::new(None) }
+        CountingEstimator {
+            data,
+            root_ranges: ranges,
+            mask_cache: Mutex::new(None),
+            cache_hit: Counter::new(),
+            cache_miss: Counter::new(),
+        }
+    }
+
+    /// Registers the mask-cache hit/miss counters
+    /// (`estimator.mask_cache.hit` / `.miss`) on `rec`, replacing the
+    /// detached defaults.
+    pub fn with_recorder(mut self, rec: &Recorder) -> Self {
+        self.cache_hit = rec.counter("estimator.mask_cache.hit");
+        self.cache_miss = rec.counter("estimator.mask_cache.miss");
+        self
     }
 
     /// The underlying dataset.
@@ -76,9 +97,11 @@ impl<'d> CountingEstimator<'d> {
         let mut cache = self.mask_cache.lock().unwrap();
         if let Some((q, masks)) = cache.as_ref() {
             if q == query {
+                self.cache_hit.incr(1);
                 return Arc::clone(masks);
             }
         }
+        self.cache_miss.incr(1);
         let masks: Vec<u64> =
             (0..self.data.len()).map(|row| query.truth_mask(|a| self.data.value(row, a))).collect();
         let masks = Arc::new(masks);
@@ -288,6 +311,26 @@ mod tests {
         assert_eq!(a, a2);
         assert!((a.prob_all(0b1) - 0.5).abs() < 1e-12);
         assert!((b.prob_all(0b1) - 0.5).abs() < 1e-12);
+    }
+
+    /// Satellite check for PR 2: planning the same query repeatedly must
+    /// serve truth masks from the cache, and the recorder must see it.
+    #[test]
+    fn mask_cache_hit_rate_reported_through_recorder() {
+        use acqp_obs::{NoopSink, Recorder};
+
+        let (schema, data) = setup();
+        let rec = Recorder::new(std::sync::Arc::new(NoopSink));
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema)).with_recorder(&rec);
+        let q = Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 0, 1)]).unwrap();
+        let root = est.root();
+        for _ in 0..3 {
+            est.truth_table(&root, &q);
+            est.truth_by_value(&root, 0, &q);
+        }
+        let snap = rec.drain();
+        assert_eq!(snap.counter("estimator.mask_cache.miss"), 1);
+        assert_eq!(snap.counter("estimator.mask_cache.hit"), 5);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use acqp_core::{AttrId, Estimator, Query, Range, Ranges, TruthTable};
+use acqp_obs::{Counter, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,16 +41,27 @@ pub struct GmEstimator<'t> {
     root_ranges: Ranges,
     sample_size: usize,
     seed: u64,
+    /// `estimator.gm.ctx_built` — conditioned contexts materialized
+    /// (each costs one message pass plus `sample_size` draws).
+    ctx_built: Counter,
 }
 
 impl<'t> GmEstimator<'t> {
     /// Creates an estimator drawing `sample_size` tuples per subproblem.
     pub fn new(tree: &'t ChowLiuTree, root_ranges: Ranges, sample_size: usize, seed: u64) -> Self {
         assert_eq!(tree.len(), root_ranges.len());
-        GmEstimator { tree, root_ranges, sample_size, seed }
+        GmEstimator { tree, root_ranges, sample_size, seed, ctx_built: Counter::new() }
+    }
+
+    /// Registers the context-build counter (`estimator.gm.ctx_built`) on
+    /// `rec`, replacing the detached default.
+    pub fn with_recorder(mut self, rec: &Recorder) -> Self {
+        self.ctx_built = rec.counter("estimator.gm.ctx_built");
+        self
     }
 
     fn build_ctx(&self, ranges: Ranges) -> GmCtx {
+        self.ctx_built.incr(1);
         let cond = self.tree.condition(&ranges);
         let mass = cond.mass();
         let n = self.tree.len();

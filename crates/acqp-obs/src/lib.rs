@@ -1,0 +1,569 @@
+//! # acqp-obs — zero-dependency tracing and metrics
+//!
+//! Plan search, plan execution and the sensornet simulator all need the
+//! same observability primitives: *why* was a search slow (memo hit
+//! rates, prune effectiveness, split evaluations), *where* did an
+//! execution spend its acquisition budget, *which* mote drained its
+//! battery. This crate provides them without any external dependency
+//! (the build has no registry access — the same constraint that produced
+//! the `vendor/*` stand-ins):
+//!
+//! * [`Counter`] — a monotonically increasing `u64`, striped over
+//!   per-thread shards so parallel planner workers record without
+//!   contention; shards are summed on [`Recorder::drain`].
+//! * [`FloatCounter`] — the same for `f64` accumulation (energy in µJ,
+//!   accrued acquisition cost), implemented as a CAS loop over bit
+//!   patterns.
+//! * [`Hist`] — a fixed-bucket power-of-two histogram (`le_1`, `le_2`,
+//!   `le_4`, …), for per-tuple cost and per-span latency distributions.
+//! * [`Span`] — a hierarchical RAII timer over the monotonic clock
+//!   ([`std::time::Instant`]); dropping the guard records the elapsed
+//!   microseconds and streams an event to the sink.
+//! * [`Recorder`] — the `Sync` handle tying it together. A *disabled*
+//!   recorder ([`Recorder::disabled`]) hands out detached instruments:
+//!   every record call is a branch or a relaxed atomic add and nothing
+//!   is ever drained, so instrumented code needs no `if` guards and the
+//!   default (no-op) configuration costs well under the 2% overhead
+//!   budget (see `DESIGN.md` §8).
+//!
+//! Metrics flow to a pluggable [`Sink`]: [`NoopSink`] (default),
+//! [`JsonLinesSink`] (one JSON object per line: `{"span": name,
+//! "elapsed_us": n}` for span ends, `{"counter": name, "value": v}` for
+//! everything else), or [`MemorySink`] (in-memory, for tests).
+//!
+//! ## Naming
+//!
+//! Metric names are dot-separated paths, lowest layer first:
+//! `planner.memo.hit`, `exec.acquire.temp`, `sensornet.mote3.sensing_uj`.
+//! The full taxonomy lives in `DESIGN.md` §8.
+
+#![warn(missing_docs)]
+
+mod sink;
+
+pub use sink::{JsonLinesSink, MemorySink, NoopSink, Sink, SpanEvent};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of stripes per instrument. A power of two so the thread-shard
+/// hash reduces with a mask; 16 covers the planner's worker-pool cap.
+const SHARDS: usize = 16;
+
+/// Histogram bucket count: bucket `i` counts values `<= 2^i`, the last
+/// bucket is the overflow (`+inf`) bucket.
+const HIST_BUCKETS: usize = 32;
+
+thread_local! {
+    /// This thread's stripe index, assigned round-robin on first use.
+    static THREAD_SHARD: usize = {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS
+    };
+}
+
+#[inline]
+fn shard_index() -> usize {
+    THREAD_SHARD.with(|s| *s)
+}
+
+/// A cache-line-padded atomic cell, so neighbouring stripes do not
+/// false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// A monotonically increasing counter striped over per-thread shards.
+///
+/// `incr` is a single relaxed atomic add on the calling thread's stripe;
+/// `value` sums the stripes (drain-time only).
+#[derive(Clone, Default)]
+pub struct Counter {
+    shards: Arc<[PaddedU64; SHARDS]>,
+}
+
+impl Counter {
+    /// A detached counter (not registered with any recorder).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn incr(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across all stripes.
+    pub fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.value())
+    }
+}
+
+/// A float accumulator striped like [`Counter`], for energy/cost sums.
+#[derive(Clone, Default)]
+pub struct FloatCounter {
+    shards: Arc<[PaddedU64; SHARDS]>,
+}
+
+impl FloatCounter {
+    /// A detached float counter.
+    pub fn new() -> Self {
+        FloatCounter::default()
+    }
+
+    /// Adds `v` (CAS loop over the stripe's bit pattern).
+    #[inline]
+    pub fn add(&self, v: f64) {
+        let cell = &self.shards[shard_index()].0;
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Current total across all stripes.
+    pub fn value(&self) -> f64 {
+        self.shards.iter().map(|s| f64::from_bits(s.0.load(Ordering::Relaxed))).sum()
+    }
+}
+
+impl std::fmt::Debug for FloatCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FloatCounter({})", self.value())
+    }
+}
+
+/// A fixed-bucket histogram over `u64` values with power-of-two bucket
+/// bounds: bucket `i` counts observations `v` with `v <= 2^i`; the last
+/// bucket absorbs everything larger. Buckets are plain atomics (not
+/// striped): a histogram observation is already rarer than a counter
+/// bump, and contention on one bucket is harmless.
+#[derive(Clone, Default)]
+pub struct Hist {
+    buckets: Arc<[AtomicU64; HIST_BUCKETS]>,
+    count: Arc<AtomicU64>,
+    sum: Arc<AtomicU64>,
+}
+
+impl Hist {
+    /// A detached histogram.
+    pub fn new() -> Self {
+        Hist::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        // Smallest i with v <= 2^i (v = 0 and 1 both land in `le_1`).
+        let b = (64 - v.saturating_sub(1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// `(upper_bound, count)` per non-empty bucket.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then(|| (1u64 << i, n))
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Hist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Hist(count={}, sum={})", self.count(), self.sum())
+    }
+}
+
+/// Aggregated timing of all spans sharing one path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStat {
+    /// Completed spans with this path.
+    pub count: u64,
+    /// Total elapsed microseconds.
+    pub total_us: u64,
+    /// Longest single span.
+    pub max_us: u64,
+}
+
+/// Flattened histogram state in a [`Snapshot`]: the non-empty
+/// `(upper_bound, count)` buckets, the total observation count, and the
+/// sum of all observed values.
+pub type HistData = (Vec<(u64, u64)>, u64, u64);
+
+/// Everything a recorder accumulated, merged across shards. Maps are
+/// ordered so renderings and JSON emissions are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Float totals and gauges by name.
+    pub values: BTreeMap<String, f64>,
+    /// Histograms: `(buckets, count, sum)` by name.
+    pub hists: BTreeMap<String, HistData>,
+    /// Span timings by path.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl Snapshot {
+    /// Counter value, defaulting to 0 when never recorded.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Float value (gauge or float counter), defaulting to 0.
+    pub fn value(&self, name: &str) -> f64 {
+        self.values.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Renders an aligned human-readable table (the CLI's `--metrics`).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "  {:<44} {:>8} {:>12} {:>10}\n",
+                "span", "count", "total_us", "max_us"
+            ));
+            for (name, s) in &self.spans {
+                out.push_str(&format!(
+                    "  {name:<44} {:>8} {:>12} {:>10}\n",
+                    s.count, s.total_us, s.max_us
+                ));
+            }
+        }
+        if !(self.counters.is_empty() && self.values.is_empty()) {
+            out.push_str(&format!("  {:<44} {:>12}\n", "counter", "value"));
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<44} {v:>12}\n"));
+            }
+            for (name, v) in &self.values {
+                out.push_str(&format!("  {name:<44} {v:>12.3}\n"));
+            }
+        }
+        for (name, (buckets, count, sum)) in &self.hists {
+            let mean = *sum as f64 / (*count).max(1) as f64;
+            out.push_str(&format!("  {name:<44} n={count} mean={mean:.2} buckets: "));
+            for (le, n) in buckets {
+                out.push_str(&format!("le_{le}:{n} "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Shared state behind an enabled [`Recorder`].
+struct Inner {
+    sink: Arc<dyn Sink>,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    floats: Mutex<BTreeMap<String, FloatCounter>>,
+    hists: Mutex<BTreeMap<String, Hist>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+/// The `Sync` observability handle. Clones share the same registry, so a
+/// recorder can be handed to planner, executor and simulator and drained
+/// once at the end.
+///
+/// Instrument handles (`counter`, `float_counter`, `hist`) are meant to
+/// be hoisted out of hot loops: look the instrument up once, then record
+/// through the handle with no lock on the hot path.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A recorder draining to `sink`.
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                sink,
+                counters: Mutex::new(BTreeMap::new()),
+                floats: Mutex::new(BTreeMap::new()),
+                hists: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// The no-op recorder: hands out detached instruments, never times
+    /// spans, never drains. This is the default everywhere.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Whether this recorder retains anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The named counter, registered for drain (or detached when
+    /// disabled). Repeated calls with the same name return handles over
+    /// the same stripes.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter::new(),
+            Some(inner) => {
+                inner.counters.lock().unwrap().entry(name.to_string()).or_default().clone()
+            }
+        }
+    }
+
+    /// The named float counter.
+    pub fn float_counter(&self, name: &str) -> FloatCounter {
+        match &self.inner {
+            None => FloatCounter::new(),
+            Some(inner) => {
+                inner.floats.lock().unwrap().entry(name.to_string()).or_default().clone()
+            }
+        }
+    }
+
+    /// The named histogram.
+    pub fn hist(&self, name: &str) -> Hist {
+        match &self.inner {
+            None => Hist::new(),
+            Some(inner) => inner.hists.lock().unwrap().entry(name.to_string()).or_default().clone(),
+        }
+    }
+
+    /// Sets a gauge — a value reported once at drain (per-shard memo
+    /// stats, per-mote energy totals, estimated selectivities). Last
+    /// write wins.
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.gauges.lock().unwrap().insert(name.to_string(), value);
+        }
+    }
+
+    /// Starts a root span. Timing only happens when the recorder is
+    /// enabled; a disabled recorder's span is a zero-cost token.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            rec: self.clone(),
+            path: if self.enabled() { name.to_string() } else { String::new() },
+            start: self.enabled().then(Instant::now),
+        }
+    }
+
+    fn record_span(&self, path: &str, elapsed_us: u64) {
+        if let Some(inner) = &self.inner {
+            {
+                let mut spans = inner.spans.lock().unwrap();
+                let s = spans.entry(path.to_string()).or_default();
+                s.count += 1;
+                s.total_us += elapsed_us;
+                s.max_us = s.max_us.max(elapsed_us);
+            }
+            inner.sink.span_end(&SpanEvent { path: path.to_string(), elapsed_us });
+        }
+    }
+
+    /// Merges every instrument into a [`Snapshot`], flushes it to the
+    /// sink, and returns it. Instruments keep their totals; draining
+    /// twice reports the same (or grown) values.
+    pub fn drain(&self) -> Snapshot {
+        let Some(inner) = &self.inner else { return Snapshot::default() };
+        let mut snap = Snapshot::default();
+        for (name, c) in inner.counters.lock().unwrap().iter() {
+            snap.counters.insert(name.clone(), c.value());
+        }
+        for (name, c) in inner.floats.lock().unwrap().iter() {
+            snap.values.insert(name.clone(), c.value());
+        }
+        for (name, v) in inner.gauges.lock().unwrap().iter() {
+            snap.values.insert(name.clone(), *v);
+        }
+        for (name, h) in inner.hists.lock().unwrap().iter() {
+            snap.hists.insert(name.clone(), (h.nonzero_buckets(), h.count(), h.sum()));
+        }
+        snap.spans = inner.spans.lock().unwrap().clone();
+        inner.sink.flush(&snap);
+        snap
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Recorder(enabled={})", self.enabled())
+    }
+}
+
+/// RAII span guard: created by [`Recorder::span`] or [`Span::child`],
+/// records its elapsed time when dropped. Child spans extend the path
+/// with a `.`-separated segment, giving the hierarchical taxonomy
+/// (`planner.search.warm`) without thread-local ambient state.
+#[derive(Debug)]
+pub struct Span {
+    rec: Recorder,
+    path: String,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// A child span: same recorder, path extended with `name`.
+    pub fn child(&self, name: &str) -> Span {
+        let timed = self.start.is_some();
+        Span {
+            rec: self.rec.clone(),
+            path: if timed { format!("{}.{name}", self.path) } else { String::new() },
+            start: timed.then(Instant::now),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            self.rec.record_span(&self.path, us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 4000);
+    }
+
+    #[test]
+    fn float_counter_accumulates() {
+        let c = FloatCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        c.add(0.25);
+                    }
+                });
+            }
+        });
+        assert!((c.value() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hist_buckets_by_power_of_two() {
+        let h = Hist::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        let b: std::collections::HashMap<u64, u64> = h.nonzero_buckets().into_iter().collect();
+        assert_eq!(b[&1], 2); // 0 and 1
+        assert_eq!(b[&2], 1); // 2
+        assert_eq!(b[&4], 2); // 3 and 4
+        assert_eq!(b[&1024], 1); // 1000
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::disabled();
+        assert!(!rec.enabled());
+        let c = rec.counter("x");
+        c.incr(5);
+        let _span = rec.span("s");
+        drop(_span);
+        let snap = rec.drain();
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn same_name_returns_same_instrument() {
+        let rec = Recorder::new(Arc::new(NoopSink));
+        rec.counter("a").incr(2);
+        rec.counter("a").incr(3);
+        rec.float_counter("f").add(1.5);
+        rec.float_counter("f").add(1.5);
+        let snap = rec.drain();
+        assert_eq!(snap.counter("a"), 5);
+        assert!((snap.value("f") - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_aggregate_and_nest() {
+        let sink = Arc::new(MemorySink::new());
+        let rec = Recorder::new(sink.clone());
+        {
+            let root = rec.span("search");
+            {
+                let _warm = root.child("warm");
+            }
+            {
+                let _warm = root.child("warm");
+            }
+        }
+        let snap = rec.drain();
+        assert_eq!(snap.spans["search"].count, 1);
+        assert_eq!(snap.spans["search.warm"].count, 2);
+        let events = sink.span_events();
+        assert_eq!(events.len(), 3);
+        // Children complete before their parent.
+        assert_eq!(events[0].path, "search.warm");
+        assert_eq!(events[2].path, "search");
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let rec = Recorder::new(Arc::new(NoopSink));
+        rec.gauge("g", 1.0);
+        rec.gauge("g", 2.5);
+        assert_eq!(rec.drain().value("g"), 2.5);
+    }
+
+    #[test]
+    fn drain_is_idempotent_on_totals() {
+        let rec = Recorder::new(Arc::new(NoopSink));
+        rec.counter("c").incr(7);
+        assert_eq!(rec.drain().counter("c"), 7);
+        assert_eq!(rec.drain().counter("c"), 7);
+    }
+}

@@ -34,5 +34,5 @@ pub use basestation::{Basestation, PlannedQuery, PlannerChoice};
 pub use energy::{EnergyLedger, EnergyModel};
 pub use interp::execute_wire;
 pub use mote::Mote;
-pub use sim::{run_simulation, run_simulation_multihop, SimReport};
+pub use sim::{run_simulation, run_simulation_multihop, run_simulation_recorded, SimReport};
 pub use topology::Topology;

@@ -2,6 +2,7 @@
 //! every mote, result reporting, network-wide energy accounting.
 
 use acqp_core::{Dataset, Query, Schema};
+use acqp_obs::Recorder;
 
 use crate::basestation::PlannedQuery;
 use crate::energy::{EnergyLedger, EnergyModel};
@@ -46,9 +47,31 @@ pub fn run_simulation(
     model: &EnergyModel,
     epochs: usize,
 ) -> SimReport {
+    run_simulation_recorded(schema, query, planned, motes, model, epochs, &Recorder::disabled())
+}
+
+/// Like [`run_simulation`], recording `sensornet.*` metrics: tuple /
+/// result / radio-message counters, a per-epoch acquisition histogram,
+/// and per-mote energy gauges (see `DESIGN.md` §8).
+pub fn run_simulation_recorded(
+    schema: &Schema,
+    query: &Query,
+    planned: &PlannedQuery,
+    motes: &mut [Mote],
+    model: &EnergyModel,
+    epochs: usize,
+    rec: &Recorder,
+) -> SimReport {
+    let span = rec.span("sensornet.simulate");
+    let tuples_c = rec.counter("sensornet.tuples");
+    let results_c = rec.counter("sensornet.results");
+    let radio_c = rec.counter("sensornet.radio.msgs");
+    let acq_hist = rec.hist("sensornet.acquisitions_per_tuple");
+
     // Dissemination.
     for m in motes.iter_mut() {
         m.receive(planned.wire.len(), model);
+        radio_c.incr(1);
     }
 
     let mut results = 0usize;
@@ -60,25 +83,38 @@ pub fn run_simulation(
                 continue;
             }
             tuples += 1;
+            tuples_c.incr(1);
             let out = {
                 let mut src = m.epoch_source(e, schema, model);
                 execute_wire(&planned.wire, query, schema, &mut src)
                     .expect("basestation-produced wire plans are well-formed")
             };
+            acq_hist.observe(out.acquired.len() as u64);
             let truth = query.eval_with(|a| m.peek(e, a));
             all_correct &= out.verdict == truth;
             if out.verdict {
                 results += 1;
+                results_c.incr(1);
+                radio_c.incr(1);
                 m.transmit(RESULT_BYTES, model);
             }
         }
     }
 
     let per_mote: Vec<EnergyLedger> = motes.iter().map(|m| *m.ledger()).collect();
+    if rec.enabled() {
+        for (m, l) in motes.iter().zip(&per_mote) {
+            let id = m.id();
+            rec.gauge(&format!("sensornet.mote{id}.sensing_uj"), l.sensing_uj);
+            rec.gauge(&format!("sensornet.mote{id}.radio_uj"), l.radio_tx_uj + l.radio_rx_uj);
+            rec.gauge(&format!("sensornet.mote{id}.total_uj"), l.total_uj());
+        }
+    }
     let mut network = EnergyLedger::default();
     for l in &per_mote {
         network.absorb(l);
     }
+    drop(span);
     SimReport {
         epochs,
         tuples,
@@ -213,6 +249,39 @@ mod tests {
         // two-sensor cost.
         assert!(report.sensing_uj_per_tuple >= 1.0);
         assert!(report.sensing_uj_per_tuple <= 201.0);
+    }
+
+    #[test]
+    fn recorded_simulation_reports_network_metrics() {
+        use acqp_obs::{NoopSink, Recorder};
+        use std::sync::Arc;
+
+        let (schema, data, query) = setup();
+        let (train, live) = data.split_at(0.5);
+        let bs = Basestation::new(schema.clone(), &train);
+        let planned = bs.plan_query(&query, PlannerChoice::Heuristic(4), 0.0).unwrap();
+        let mut motes = fleet_from_trace(&live, 2);
+        let rec = Recorder::new(Arc::new(NoopSink));
+        let report = run_simulation_recorded(
+            &schema,
+            &query,
+            &planned,
+            &mut motes,
+            &EnergyModel::mica_like(),
+            live.len(),
+            &rec,
+        );
+        let snap = rec.drain();
+        assert_eq!(snap.counter("sensornet.tuples"), report.tuples as u64);
+        assert_eq!(snap.counter("sensornet.results"), report.results as u64);
+        // Radio messages = one dissemination rx per mote + one tx per result.
+        assert_eq!(snap.counter("sensornet.radio.msgs"), 2 + report.results as u64);
+        assert_eq!(snap.hists["sensornet.acquisitions_per_tuple"].1, report.tuples as u64);
+        for (m, l) in motes.iter().zip(&report.per_mote) {
+            let g = snap.value(&format!("sensornet.mote{}.total_uj", m.id()));
+            assert!((g - l.total_uj()).abs() < 1e-9);
+        }
+        assert_eq!(snap.spans["sensornet.simulate"].count, 1);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! * [`data`] — dataset substrates: Lab, Garden and Babu-et-al synthetic
 //!   sensor-trace generators, CSV I/O.
 //! * [`gm`] — §7 extension: Chow–Liu tree graphical-model estimation.
+//! * [`obs`] — observability: zero-dependency spans, counters and
+//!   histograms recorded by the planners, executor and simulator.
 //! * [`sensornet`] — execution substrate: motes, energy accounting,
 //!   radio costs, basestation planning, plan byte-code interpreter.
 //! * [`stream`] — §7 extension: sliding-window statistics, drift
@@ -21,6 +23,7 @@
 pub use acqp_core as core;
 pub use acqp_data as data;
 pub use acqp_gm as gm;
+pub use acqp_obs as obs;
 pub use acqp_sensornet as sensornet;
 pub use acqp_stream as stream;
 
@@ -33,6 +36,7 @@ pub mod prelude {
     pub use acqp_data::synthetic::SyntheticConfig;
     pub use acqp_data::Generated;
     pub use acqp_gm::{ChowLiuTree, GmEstimator};
+    pub use acqp_obs::{MemorySink, NoopSink, Recorder, Snapshot};
     pub use acqp_sensornet::{Basestation, EnergyModel, PlannerChoice, Topology};
     pub use acqp_stream::{AdaptivePlanner, SlidingWindow};
 }

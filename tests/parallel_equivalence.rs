@@ -14,7 +14,9 @@
 //! super-optimal one.
 
 use acqp::core::prelude::*;
+use acqp::obs::{NoopSink, Recorder};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 mod common;
 use common::{instance_strategy, Instance};
@@ -67,6 +69,38 @@ proptest! {
                 "threads={}: {} vs {}", threads, serial.expected_cost, par.expected_cost);
             prop_assert_eq!(&serial.plan, &par.plan, "threads={}", threads);
         }
+    }
+
+    /// Recording is free of observer effects: with a live recorder the
+    /// exhaustive planner returns the identical plan and bitwise-equal
+    /// cost, and the `planner.subproblems.opened` counter agrees exactly
+    /// with [`PlanReport::subproblems`] — the counter increment sits
+    /// adjacent to every budget grant, so a drift here means a code path
+    /// opens subproblems without accounting for them (or vice versa).
+    #[test]
+    fn recording_does_not_perturb_search(inst in instance_strategy()) {
+        let Instance { schema, data, query } = inst;
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let plain = ExhaustivePlanner::new()
+            .max_subproblems(500_000)
+            .plan_with_report(&schema, &query, &est)
+            .unwrap();
+        let rec = Recorder::new(Arc::new(NoopSink));
+        let recorded = ExhaustivePlanner::new()
+            .max_subproblems(500_000)
+            .threads(1)
+            .with_recorder(rec.clone())
+            .plan_with_report(&schema, &query, &est)
+            .unwrap();
+        prop_assert_eq!(
+            plain.expected_cost.to_bits(), recorded.expected_cost.to_bits(),
+            "recording changed the expected cost: {} vs {}",
+            plain.expected_cost, recorded.expected_cost);
+        prop_assert_eq!(&plain.plan, &recorded.plan, "recording changed the chosen plan");
+        let snap = rec.drain();
+        prop_assert_eq!(
+            snap.counter("planner.subproblems.opened"), recorded.subproblems as u64,
+            "metrics counter disagrees with PlanReport::subproblems");
     }
 
     /// A budget-truncated exhaustive search still returns a correct plan
