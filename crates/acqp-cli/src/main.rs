@@ -20,9 +20,49 @@ use std::sync::Arc;
 use acqp_core::prelude::*;
 use acqp_obs::{JsonLinesSink, NoopSink, Recorder};
 
+/// A CLI failure: either a typed error from the core library (bad flag
+/// values, I/O on user-supplied paths) or a free-form usage message.
+#[derive(Debug, Clone, PartialEq)]
+enum CliError {
+    /// Typed error carrying structured context.
+    Core(Error),
+    /// Plain usage / parse message.
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Core(e) => write!(f, "{e}"),
+            CliError::Usage(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<Error> for CliError {
+    fn from(e: Error) -> Self {
+        CliError::Core(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> Self {
+        CliError::Usage(m.to_string())
+    }
+}
+
 /// CLI-level result (the core prelude shadows `Result`).
-type CliResult<T> = std::result::Result<T, String>;
-use acqp_sensornet::{run_simulation_recorded, sim::fleet_from_trace, Basestation, EnergyModel};
+type CliResult<T> = std::result::Result<T, CliError>;
+use acqp_sensornet::{
+    run_simulation_adaptive, run_simulation_faulty, sim::fleet_from_trace, AdaptiveConfig,
+    Basestation, EnergyModel, FaultModel, ReplanBudget,
+};
 use args::Args;
 
 const USAGE: &str = "\
@@ -38,10 +78,19 @@ USAGE:
                 [--threads N] [--plan-budget-ms MS]
                 [--trace-json <file>] [--metrics yes]
   acqp simulate --dataset <kind> --query \"<expr>\" [--motes M] [--splits K]
+                [--fault-seed N] [--loss-rate F] [--sensing-fail F]
+                [--max-attempts N] [--dropout m:from:until[,...]]
+                [--replan-threshold F] [--replan-budget N] [--sample-every N]
                 [--trace-json <file>] [--metrics yes]
 
   --trace-json <file>  stream spans and drained metrics as JSON lines
   --metrics yes        append a metrics summary table to the output
+
+  fault injection (simulate): --loss-rate / --sensing-fail are
+  probabilities in [0, 1]; --fault-seed makes lossy runs reproducible;
+  --dropout takes mote outage windows. --replan-threshold (0, 1]
+  enables drift-triggered re-planning under --replan-budget subproblems,
+  with a full-tuple statistics sample every --sample-every epochs.
 
   <kind> = lab | garden5 | garden11 | synthetic
   <expr> = clause (AND clause)*          values in natural units
@@ -67,7 +116,7 @@ fn run(raw: Vec<String>) -> CliResult<()> {
         Some("gen") => cmd_gen(&args),
         Some("plan") => cmd_plan(&args),
         Some("simulate") => cmd_simulate(&args),
-        Some(other) => Err(format!("unknown subcommand `{other}`")),
+        Some(other) => Err(format!("unknown subcommand `{other}`").into()),
         None => Err("no subcommand given".into()),
     }
 }
@@ -103,8 +152,8 @@ fn cmd_gen(args: &Args) -> CliResult<()> {
 /// Observability stays disabled (zero overhead) unless one was asked for.
 fn recorder_from(args: &Args) -> CliResult<Recorder> {
     if let Some(path) = args.get("trace-json") {
-        let sink =
-            JsonLinesSink::create(Path::new(path)).map_err(|e| format!("creating {path}: {e}"))?;
+        let sink = JsonLinesSink::create(Path::new(path))
+            .map_err(|e| Error::Io { path: path.to_string(), what: e.to_string() })?;
         return Ok(Recorder::new(Arc::new(sink)));
     }
     if args.get("metrics").is_some_and(|v| v != "no") {
@@ -124,6 +173,66 @@ fn finish_metrics(args: &Args, rec: &Recorder) {
         println!("\nmetrics:");
         print!("{}", snap.render_table());
     }
+}
+
+/// A typed bad-flag error.
+fn invalid(flag: &str, value: &str, why: &'static str) -> CliError {
+    CliError::Core(Error::InvalidFlag { flag: format!("--{flag}"), value: value.to_string(), why })
+}
+
+/// Parses a probability flag, rejecting values outside `[0, 1]` with a
+/// typed error.
+fn prob_flag(args: &Args, flag: &str, default: f64) -> CliResult<f64> {
+    let v: f64 = args.get_or(flag, default)?;
+    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+        return Err(invalid(flag, args.get(flag).unwrap_or(""), "must be a probability in [0, 1]"));
+    }
+    Ok(v)
+}
+
+/// Builds the simulate command's fault model from its flags, with every
+/// out-of-range value rejected as a typed error before anything runs.
+fn fault_model_from(args: &Args) -> CliResult<FaultModel> {
+    let seed: u64 = args.get_or("fault-seed", 0)?;
+    let loss = prob_flag(args, "loss-rate", 0.0)?;
+    let sensing = prob_flag(args, "sensing-fail", 0.0)?;
+    let max_attempts: u32 = args.get_or("max-attempts", 4)?;
+    if max_attempts == 0 {
+        return Err(invalid("max-attempts", "0", "at least one attempt is required"));
+    }
+    let mut faults = FaultModel::lossy(seed, loss)
+        .with_sensing_failures(sensing)
+        .with_max_attempts(max_attempts);
+    if let Some(spec) = args.get("dropout") {
+        for part in spec.split(',') {
+            let fields: Vec<&str> = part.split(':').collect();
+            let parsed = if fields.len() == 3 {
+                match (
+                    fields[0].parse::<u16>(),
+                    fields[1].parse::<usize>(),
+                    fields[2].parse::<usize>(),
+                ) {
+                    (Ok(m), Ok(from), Ok(until)) => Some((m, from, until)),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            match parsed {
+                Some((m, from, until)) if from < until => {
+                    faults = faults.with_dropout(m, from, until);
+                }
+                _ => {
+                    return Err(invalid(
+                        "dropout",
+                        spec,
+                        "expected mote:from:until[,mote:from:until...] with from < until",
+                    ));
+                }
+            }
+        }
+    }
+    Ok(faults)
 }
 
 fn planner_label(algo: &str, splits: usize) -> String {
@@ -185,7 +294,7 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
                 r.plan
             })
         }
-        other => return Err(format!("unknown --algo `{other}`")),
+        other => return Err(format!("unknown --algo `{other}`").into()),
     }
     .map_err(|e| format!("planning: {e}"))?;
     let plan = plan.simplify();
@@ -270,7 +379,29 @@ fn cmd_simulate(args: &Args) -> CliResult<()> {
 
     let (history, live) = g.data.split_at(0.5);
     let fleet: u16 = args.get_or("motes", 4)?;
+    if fleet == 0 {
+        return Err(invalid("motes", "0", "the fleet needs at least one mote"));
+    }
     let splits: usize = args.get_or("splits", 8)?;
+    let faults = fault_model_from(args)?;
+    let replan_threshold = if args.get("replan-threshold").is_some() {
+        let t: f64 = args.get_or("replan-threshold", 0.15)?;
+        if !t.is_finite() || t <= 0.0 || t > 1.0 {
+            return Err(invalid(
+                "replan-threshold",
+                args.get("replan-threshold").unwrap_or(""),
+                "must be a divergence in (0, 1]",
+            ));
+        }
+        Some(t)
+    } else {
+        None
+    };
+    let sample_every: usize = args.get_or("sample-every", 4)?;
+    if sample_every == 0 {
+        return Err(invalid("sample-every", "0", "sampling period must be at least 1 epoch"));
+    }
+    let replan_budget: usize = args.get_or("replan-budget", 50_000)?;
     let bs = Basestation::new(g.schema.clone(), &history);
     let model = EnergyModel::mica_like();
     let alpha = Basestation::alpha_for(&model, fleet as usize, live.len());
@@ -286,23 +417,82 @@ fn cmd_simulate(args: &Args) -> CliResult<()> {
     );
     let rec = recorder_from(args)?;
     let mut motes = fleet_from_trace(&live, fleet);
-    let rep =
-        run_simulation_recorded(&g.schema, &query, &planned, &mut motes, &model, live.len(), &rec);
-    if !rep.all_correct {
-        return Err("internal error: simulation verdicts diverged".into());
+    let rep = if let Some(threshold) = replan_threshold {
+        let cfg = AdaptiveConfig {
+            drift: DriftConfig { threshold, ..DriftConfig::default() },
+            sample_every,
+            budget: ReplanBudget { max_subproblems: replan_budget.max(1), grid_splits: 3 },
+            alpha,
+            ..AdaptiveConfig::default()
+        };
+        run_simulation_adaptive(
+            &bs,
+            &query,
+            &planned,
+            &mut motes,
+            &model,
+            live.len(),
+            &faults,
+            &cfg,
+            &rec,
+        )?
+    } else {
+        run_simulation_faulty(
+            &g.schema,
+            &query,
+            &planned,
+            &mut motes,
+            &model,
+            live.len(),
+            &faults,
+            &rec,
+        )
+    };
+    if !rep.sim.all_correct {
+        return Err(CliError::Usage("internal error: simulation verdicts diverged".into()));
     }
     println!(
         "\nsimulated {} tuples over {} motes x {} epochs: {} results",
-        rep.tuples, fleet, rep.epochs, rep.results
+        rep.sim.tuples, fleet, rep.sim.epochs, rep.sim.results
     );
     println!(
         "energy: sensing {:.0} uJ + boards {:.0} uJ + radio {:.0} uJ = {:.0} uJ total",
-        rep.network.sensing_uj,
-        rep.network.board_uj,
-        rep.network.radio_tx_uj + rep.network.radio_rx_uj,
-        rep.network.total_uj()
+        rep.sim.network.sensing_uj,
+        rep.sim.network.board_uj,
+        rep.sim.network.radio_tx_uj + rep.sim.network.radio_rx_uj,
+        rep.sim.network.total_uj()
     );
-    println!("sensing energy per tuple: {:.1} uJ", rep.sensing_uj_per_tuple);
+    println!("sensing energy per tuple: {:.1} uJ", rep.sim.sensing_uj_per_tuple);
+    // Fault and re-plan summaries print only when the feature is
+    // active, so a `--loss-rate 0.0` run stays byte-identical to the
+    // lossless default.
+    if !faults.is_lossless() {
+        println!(
+            "faults: seed {}, delivered {}/{} results ({:.1}%), {} aborted tuples, \
+             {} offline epochs, {} undisseminated",
+            faults.seed,
+            rep.delivered_results,
+            rep.sim.results,
+            100.0 * rep.delivery_rate(),
+            rep.aborted_tuples,
+            rep.offline_epochs,
+            rep.undisseminated_epochs
+        );
+    }
+    if replan_threshold.is_some() {
+        let adopted = rep.replans.iter().filter(|r| r.adopted).count();
+        println!("replans: {} triggered, {} adopted", rep.replans.len(), adopted);
+        for r in rep.replans.iter().filter(|r| r.adopted) {
+            println!(
+                "  epoch {}: divergence {:.2}, cost {:.1} -> {:.1}{}",
+                r.epoch,
+                r.divergence,
+                r.stale_cost,
+                r.new_cost,
+                if r.fell_back { " (greedy fallback)" } else { "" }
+            );
+        }
+    }
     finish_metrics(args, &rec);
     Ok(())
 }

@@ -1,0 +1,101 @@
+//! End-to-end CLI tests through the real binary: typed errors for bad
+//! user input exit nonzero with a structured message, and the fault
+//! flags keep the documented determinism guarantees.
+
+use std::process::{Command, Output};
+
+fn acqp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_acqp")).args(args).output().expect("spawning the acqp binary")
+}
+
+const SIM: &[&str] = &[
+    "simulate",
+    "--dataset",
+    "garden5",
+    "--epochs",
+    "240",
+    "--query",
+    "temp0 BETWEEN 5 AND 25 AND hum0 <= 90",
+    "--motes",
+    "2",
+    "--splits",
+    "2",
+];
+
+fn sim_with(extra: &[&str]) -> Output {
+    let mut v: Vec<&str> = SIM.to_vec();
+    v.extend_from_slice(extra);
+    acqp(&v)
+}
+
+fn assert_rejected(out: &Output, needle: &str, ctx: &str) {
+    assert!(!out.status.success(), "{ctx}: expected nonzero exit");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains(needle), "{ctx}: stderr missing `{needle}`:\n{stderr}");
+}
+
+#[test]
+fn malformed_trace_path_is_a_typed_io_error() {
+    let out = sim_with(&["--trace-json", "/nonexistent-dir/trace.jsonl"]);
+    assert_rejected(&out, "io error on", "bad --trace-json path");
+}
+
+#[test]
+fn out_of_range_fault_flags_are_typed_errors() {
+    let out = sim_with(&["--loss-rate", "1.5"]);
+    assert_rejected(&out, "invalid value `1.5` for --loss-rate", "loss rate above 1");
+
+    let out = sim_with(&["--sensing-fail", "-0.1"]);
+    assert_rejected(&out, "invalid value", "negative sensing-fail");
+
+    let out = sim_with(&["--max-attempts", "0"]);
+    assert_rejected(&out, "invalid value `0` for --max-attempts", "zero attempts");
+
+    let out = sim_with(&["--dropout", "0:9:3"]);
+    assert_rejected(&out, "invalid value", "dropout window with from >= until");
+
+    let out = sim_with(&["--dropout", "banana"]);
+    assert_rejected(&out, "invalid value", "unparseable dropout spec");
+}
+
+#[test]
+fn zero_motes_and_bad_replan_threshold_are_typed_errors() {
+    let mut v: Vec<&str> = SIM.to_vec();
+    let m = v.iter().position(|a| *a == "--motes").unwrap();
+    v[m + 1] = "0";
+    assert_rejected(&acqp(&v), "invalid value `0` for --motes", "zero motes");
+
+    let out = sim_with(&["--replan-threshold", "1.5"]);
+    assert_rejected(&out, "invalid value `1.5` for --replan-threshold", "threshold above 1");
+
+    let out = sim_with(&["--replan-threshold", "0"]);
+    assert_rejected(&out, "invalid value `0` for --replan-threshold", "zero threshold");
+}
+
+#[test]
+fn zero_loss_faulty_flags_leave_output_bitwise_identical() {
+    let base = acqp(SIM);
+    assert!(base.status.success(), "{}", String::from_utf8_lossy(&base.stderr));
+    let zero = sim_with(&["--loss-rate", "0.0", "--fault-seed", "99"]);
+    assert!(zero.status.success(), "{}", String::from_utf8_lossy(&zero.stderr));
+    assert_eq!(base.stdout, zero.stdout, "loss-rate 0 must not perturb output");
+}
+
+#[test]
+fn lossy_runs_are_deterministic_for_a_fixed_seed() {
+    let flags = &["--loss-rate", "0.3", "--fault-seed", "7", "--sensing-fail", "0.1"];
+    let a = sim_with(flags);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let b = sim_with(flags);
+    assert_eq!(a.stdout, b.stdout, "same seed must reproduce the run bitwise");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("faults: seed 7"), "lossy run must print the fault summary:\n{text}");
+}
+
+#[test]
+fn adaptive_run_prints_replan_summary() {
+    let out = sim_with(&["--replan-threshold", "0.2"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("replans:"), "adaptive run must print the replan summary:\n{text}");
+}

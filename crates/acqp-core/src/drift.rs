@@ -1,0 +1,267 @@
+//! Selectivity-drift detection on top of exec metering.
+//!
+//! A conditional plan is chosen against *historical* per-predicate
+//! selectivities; deployed, the executor streams back how often each
+//! predicate actually held (the `exec.pred<j>.evaluated` /
+//! `exec.pred<j>.passed` counters of [`crate::exec::ExecMetrics`]). When
+//! the live pass fractions diverge from the estimates the plan was built
+//! on, the plan's cost model is stale and a supervisor should re-plan —
+//! the re-optimize-under-uncertainty loop of *Probably Approximately
+//! Optimal Query Optimization* (Trummer & Koch), specialized to the
+//! paper's per-predicate marginals.
+//!
+//! [`DriftMonitor`] is deliberately passive: it accumulates counts and
+//! answers [`DriftMonitor::drifted`]; *acting* on drift (re-planning,
+//! re-dissemination, hysteresis) lives with the caller — in this
+//! workspace, the sensornet basestation.
+
+use crate::error::{Error, Result};
+use crate::exec::ExecMetrics;
+use crate::prob::Estimator;
+use crate::query::Query;
+
+/// Thresholds governing when selectivity divergence counts as drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Maximum tolerated absolute divergence `|estimated − actual|` on
+    /// any single predicate before [`DriftMonitor::drifted`] fires.
+    /// Selectivities live in `[0, 1]`, so useful thresholds do too.
+    pub threshold: f64,
+    /// Minimum number of evaluations of a predicate before its actual
+    /// selectivity is trusted (small samples are noise, not drift).
+    pub min_samples: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig { threshold: 0.15, min_samples: 32 }
+    }
+}
+
+impl DriftConfig {
+    /// Validates the configuration: the threshold must be a finite
+    /// positive fraction.
+    pub fn validate(&self) -> Result<()> {
+        if !self.threshold.is_finite() || self.threshold <= 0.0 || self.threshold > 1.0 {
+            return Err(Error::InvalidFlag {
+                flag: "drift threshold".into(),
+                value: format!("{}", self.threshold),
+                why: "must be a finite value in (0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The per-predicate selectivities an estimator predicts at the root
+/// context — what the planner believed when it built the plan.
+pub fn estimated_selectivities<E: Estimator>(query: &Query, est: &E) -> Vec<f64> {
+    let table = est.truth_table(&est.root(), query);
+    (0..query.len()).map(|j| table.marginal(j)).collect()
+}
+
+/// Accumulates per-predicate evaluated/passed counts and compares the
+/// implied actual selectivities against the planning-time estimates.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    est: Vec<f64>,
+    evaluated: Vec<u64>,
+    passed: Vec<u64>,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor for a plan whose planning-time per-predicate
+    /// selectivities were `est` (see [`estimated_selectivities`]).
+    pub fn new(est: Vec<f64>, cfg: DriftConfig) -> Result<Self> {
+        cfg.validate()?;
+        if est.is_empty() {
+            return Err(Error::EmptyQuery);
+        }
+        let n = est.len();
+        Ok(DriftMonitor { cfg, est, evaluated: vec![0; n], passed: vec![0; n] })
+    }
+
+    /// Number of predicates tracked.
+    pub fn len(&self) -> usize {
+        self.est.len()
+    }
+
+    /// True if the monitor tracks no predicates (unreachable through
+    /// [`DriftMonitor::new`], which rejects empty estimates).
+    pub fn is_empty(&self) -> bool {
+        self.est.is_empty()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+
+    /// Records one evaluation of predicate `j` and whether it held.
+    pub fn observe(&mut self, j: usize, held: bool) {
+        self.evaluated[j] += 1;
+        self.passed[j] += u64::from(held);
+    }
+
+    /// Records a batch of evaluations of predicate `j` (e.g. counters
+    /// piggybacked on an uplink packet). `passed` must not exceed
+    /// `evaluated`.
+    pub fn observe_counts(&mut self, j: usize, evaluated: u64, passed: u64) {
+        debug_assert!(passed <= evaluated);
+        self.evaluated[j] += evaluated;
+        self.passed[j] += passed;
+    }
+
+    /// Overwrites the accumulated counts with the cumulative totals of
+    /// `metrics` (idempotent sync for callers that keep a single
+    /// [`ExecMetrics`] alive, where counters only ever grow).
+    pub fn sync_from_exec(&mut self, metrics: &ExecMetrics) {
+        for j in 0..self.est.len() {
+            let (evaluated, passed) = metrics.pred_counts(j);
+            self.evaluated[j] = evaluated;
+            self.passed[j] = passed;
+        }
+    }
+
+    /// The planning-time estimate for predicate `j`.
+    pub fn estimated(&self, j: usize) -> f64 {
+        self.est[j]
+    }
+
+    /// The observed pass fraction of predicate `j`, or `None` while it
+    /// has fewer than `min_samples` evaluations.
+    pub fn actual(&self, j: usize) -> Option<f64> {
+        (self.evaluated[j] >= self.cfg.min_samples.max(1))
+            .then(|| self.passed[j] as f64 / self.evaluated[j] as f64)
+    }
+
+    /// `|estimated − actual|` for predicate `j`, when enough samples
+    /// have accumulated.
+    pub fn divergence(&self, j: usize) -> Option<f64> {
+        self.actual(j).map(|a| (self.est[j] - a).abs())
+    }
+
+    /// The largest per-predicate divergence with enough samples
+    /// (`0.0` when no predicate qualifies yet).
+    pub fn max_divergence(&self) -> f64 {
+        (0..self.est.len()).filter_map(|j| self.divergence(j)).fold(0.0, f64::max)
+    }
+
+    /// Total evaluations absorbed across all predicates.
+    pub fn total_evaluated(&self) -> u64 {
+        self.evaluated.iter().sum()
+    }
+
+    /// True when some sufficiently-sampled predicate's actual
+    /// selectivity strays beyond the configured threshold.
+    pub fn drifted(&self) -> bool {
+        self.max_divergence() > self.cfg.threshold
+    }
+
+    /// Re-arms the monitor for a freshly installed plan: new estimates,
+    /// counts back to zero. The estimate vector must keep its length —
+    /// the query (and hence predicate indexing) is unchanged.
+    pub fn reset(&mut self, est: Vec<f64>) {
+        assert_eq!(est.len(), self.est.len(), "query shape changed under the monitor");
+        self.est = est;
+        self.evaluated.iter_mut().for_each(|c| *c = 0);
+        self.passed.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{Attribute, Schema};
+    use crate::dataset::Dataset;
+    use crate::prob::CountingEstimator;
+    use crate::query::Pred;
+    use crate::range::Ranges;
+
+    fn monitor(est: Vec<f64>, threshold: f64, min_samples: u64) -> DriftMonitor {
+        DriftMonitor::new(est, DriftConfig { threshold, min_samples }).unwrap()
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_thresholds() {
+        for t in [0.0, -1.0, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(DriftConfig { threshold: t, min_samples: 1 }.validate().is_err(), "{t}");
+        }
+        assert!(DriftConfig::default().validate().is_ok());
+        assert!(DriftMonitor::new(vec![], DriftConfig::default()).is_err());
+    }
+
+    #[test]
+    fn min_samples_gates_actuals() {
+        let mut m = monitor(vec![0.5], 0.1, 4);
+        for _ in 0..3 {
+            m.observe(0, false);
+        }
+        assert_eq!(m.actual(0), None);
+        assert_eq!(m.max_divergence(), 0.0);
+        assert!(!m.drifted());
+        m.observe(0, false);
+        assert_eq!(m.actual(0), Some(0.0));
+        assert!(m.drifted());
+    }
+
+    #[test]
+    fn divergence_tracks_worst_predicate() {
+        let mut m = monitor(vec![0.5, 0.9], 0.3, 1);
+        m.observe_counts(0, 10, 5); // matches the estimate exactly
+        m.observe_counts(1, 10, 2); // actual 0.2 vs estimated 0.9
+        assert!((m.divergence(0).unwrap() - 0.0).abs() < 1e-12);
+        assert!((m.divergence(1).unwrap() - 0.7).abs() < 1e-12);
+        assert!((m.max_divergence() - 0.7).abs() < 1e-12);
+        assert!(m.drifted());
+        assert_eq!(m.total_evaluated(), 20);
+
+        m.reset(vec![0.5, 0.2]);
+        assert!(!m.drifted());
+        assert_eq!(m.total_evaluated(), 0);
+    }
+
+    #[test]
+    fn estimated_selectivities_match_truth_table() {
+        let schema =
+            Schema::new(vec![Attribute::new("a", 2, 1.0), Attribute::new("b", 2, 1.0)]).unwrap();
+        // a passes 3/4 of rows; b passes 1/4.
+        let data =
+            Dataset::from_rows(&schema, vec![vec![1, 0], vec![1, 0], vec![1, 1], vec![0, 0]])
+                .unwrap();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let q = Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)]).unwrap();
+        let sels = estimated_selectivities(&q, &est);
+        assert!((sels[0] - 0.75).abs() < 1e-12);
+        assert!((sels[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_from_exec_reuses_metering_counters() {
+        use crate::exec::ExecMetrics;
+        use acqp_obs::Recorder;
+
+        let schema = Schema::new(vec![Attribute::new("a", 2, 1.0)]).unwrap();
+        let q = Query::new(vec![Pred::in_range(0, 1, 1)]).unwrap();
+        let rec = Recorder::disabled();
+        let metrics = ExecMetrics::new(&rec, &schema, &q);
+        let mut m = monitor(vec![0.9], 0.2, 2);
+        m.sync_from_exec(&metrics);
+        assert_eq!(m.actual(0), None);
+        // Simulate the executor evaluating pred 0 four times, one pass.
+        let plan = crate::plan::Plan::Seq(crate::plan::SeqOrder::new(vec![0]));
+        let model = crate::costmodel::CostModel::PerAttribute;
+        let data = Dataset::from_rows(&schema, vec![vec![0], vec![0], vec![0], vec![1]]).unwrap();
+        for row in 0..data.len() {
+            let mut src = crate::exec::RowSource::new(&data, row);
+            crate::exec::execute_metered(&plan, &q, &schema, &model, &mut src, &metrics);
+        }
+        m.sync_from_exec(&metrics);
+        assert_eq!(m.actual(0), Some(0.25));
+        assert!(m.drifted());
+        // Sync is idempotent — counters are cumulative, not deltas.
+        m.sync_from_exec(&metrics);
+        assert_eq!(m.total_evaluated(), 4);
+    }
+}

@@ -67,6 +67,24 @@ pub enum Error {
     /// The training data (or conditioned model) had no support at all,
     /// so no probabilities can be estimated.
     NoData,
+    /// An I/O operation on a user-supplied path failed (the underlying
+    /// `std::io::Error` message is captured as text so the variant stays
+    /// `Clone + PartialEq`).
+    Io {
+        /// Path that failed.
+        path: String,
+        /// Explanation from the operating system.
+        what: String,
+    },
+    /// A command-line flag carried a value outside its admissible range.
+    InvalidFlag {
+        /// Flag name, e.g. `--loss-rate`.
+        flag: String,
+        /// The offending value, as supplied.
+        value: String,
+        /// What the flag requires.
+        why: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -95,6 +113,10 @@ impl fmt::Display for Error {
             }
             Error::Parse { what } => write!(f, "parse error: {what}"),
             Error::NoData => write!(f, "no historical data to estimate probabilities from"),
+            Error::Io { path, what } => write!(f, "io error on `{path}`: {what}"),
+            Error::InvalidFlag { flag, value, why } => {
+                write!(f, "invalid value `{value}` for {flag}: {why}")
+            }
         }
     }
 }

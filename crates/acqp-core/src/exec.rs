@@ -187,6 +187,13 @@ impl ExecMetrics {
         let n = self.pred_evaluated[j].value();
         (n > 0).then(|| self.pred_passed[j].value() as f64 / n as f64)
     }
+
+    /// Cumulative `(evaluated, passed)` counts for predicate `j` — the
+    /// raw inputs behind [`ExecMetrics::actual_selectivity`], consumed
+    /// by the drift monitor.
+    pub fn pred_counts(&self, j: usize) -> (u64, u64) {
+        (self.pred_evaluated[j].value(), self.pred_passed[j].value())
+    }
 }
 
 struct ExecState {

@@ -25,6 +25,8 @@
 //! * [`exec`] — the per-tuple plan interpreter implementing the traversal
 //!   cost of Eq. (1).
 //! * [`cost`] — measured expected cost over a dataset (Eq. 4).
+//! * [`drift`] — estimated-vs-actual selectivity monitoring on top of
+//!   exec metering, the trigger for re-planning deployed plans.
 //! * [`prob`] — probability estimation from historical data (§5).
 //! * [`planner`] — `Naive`, `OptSeq`, `GreedySeq` (§4.1), the exhaustive
 //!   dynamic program (Fig. 5), and the greedy conditional planner
@@ -73,6 +75,7 @@ pub mod attr;
 pub mod cost;
 pub mod costmodel;
 pub mod dataset;
+pub mod drift;
 pub mod error;
 pub mod exec;
 pub mod exists;
@@ -92,6 +95,7 @@ pub mod prelude {
     };
     pub use crate::costmodel::{acquired_mask, CostModel};
     pub use crate::dataset::{Dataset, Discretizer};
+    pub use crate::drift::{estimated_selectivities, DriftConfig, DriftMonitor};
     pub use crate::error::{Error, Result};
     pub use crate::exec::{
         execute, execute_metered, execute_model, ExecMetrics, ExecOutcome, RowSource, TupleSource,

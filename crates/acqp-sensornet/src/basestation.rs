@@ -31,6 +31,48 @@ pub struct PlannedQuery {
     pub objective: f64,
 }
 
+/// Search budget for a drift-triggered re-plan. Re-planning happens
+/// *during* query execution, so it runs under the PR 1 planning budget
+/// (`max_subproblems`) rather than unbounded; a wall-clock budget is
+/// deliberately not used here so re-planning stays deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplanBudget {
+    /// Subproblem cap handed to [`ExhaustivePlanner::max_subproblems`].
+    pub max_subproblems: usize,
+    /// Equal-width split points per attribute for the re-plan grid.
+    pub grid_splits: usize,
+}
+
+impl Default for ReplanBudget {
+    fn default() -> Self {
+        ReplanBudget { max_subproblems: 50_000, grid_splits: 3 }
+    }
+}
+
+/// What a drift-triggered re-plan decided.
+#[derive(Debug, Clone)]
+pub struct ReplanOutcome {
+    /// The candidate plan (adopted or not).
+    pub planned: PlannedQuery,
+    /// True when the candidate beat the stale plan under the drifted
+    /// estimator and should be re-disseminated.
+    pub adopted: bool,
+    /// True when the exhaustive search hit its subproblem budget.
+    pub truncated: bool,
+    /// True when the candidate came from the `GreedySeq` fallback
+    /// (budget truncation or too many predicates for the DP).
+    pub fell_back: bool,
+    /// Expected per-tuple cost of *continuing the stale plan* under the
+    /// drifted-window estimator.
+    pub stale_cost: f64,
+    /// Expected per-tuple cost of the candidate under the same
+    /// estimator. When `adopted`, strictly below `stale_cost`.
+    pub new_cost: f64,
+    /// Per-predicate selectivities of the window estimator — what the
+    /// drift monitor should be re-armed with.
+    pub est_selectivities: Vec<f64>,
+}
+
 /// The well-provisioned node that plans for the network.
 pub struct Basestation<'h> {
     schema: Schema,
@@ -94,6 +136,65 @@ impl<'h> Basestation<'h> {
         best.ok_or(Error::EmptyQuery)
     }
 
+    /// The per-predicate selectivities the historical estimator
+    /// predicts for `query` — what a freshly planned query's drift
+    /// monitor is armed with.
+    pub fn estimated_selectivities(&self, query: &Query) -> Vec<f64> {
+        let est = CountingEstimator::with_ranges(self.history, Ranges::root(&self.schema));
+        estimated_selectivities(query, &est)
+    }
+
+    /// Re-plans `query` against a drifted window of live tuples,
+    /// deciding whether the stale plan should be replaced.
+    ///
+    /// The candidate comes from the budgeted [`ExhaustivePlanner`];
+    /// when the budget truncates the search (or the query is too large
+    /// for the DP at all), the basestation falls back to `GreedySeq` —
+    /// a cheaper-but-sound sequential plan beats an arbitrarily
+    /// truncated tree. The candidate is **adopted only if it is
+    /// strictly cheaper than continuing the stale plan under the same
+    /// drifted estimator** (hysteresis: a noisy window never makes the
+    /// fleet re-disseminate a worse plan).
+    pub fn replan(
+        &self,
+        query: &Query,
+        window: &Dataset,
+        budget: &ReplanBudget,
+        alpha: f64,
+        stale: &PlannedQuery,
+    ) -> Result<ReplanOutcome> {
+        let est = CountingEstimator::with_ranges(window, Ranges::root(&self.schema));
+        let stale_cost = expected_cost(&stale.plan, query, &self.schema, &est);
+        let grid = SplitGrid::equal_width(&self.schema, budget.grid_splits);
+        let attempt = ExhaustivePlanner::with_grid(grid)
+            .max_subproblems(budget.max_subproblems)
+            .plan_with_report(&self.schema, query, &est);
+        let (plan, new_cost, truncated, fell_back) = match attempt {
+            Ok(r) if !r.truncated => (r.plan, r.expected_cost, false, false),
+            Ok(_) => {
+                let (p, c) = SeqPlanner::greedy().plan_with_cost(&self.schema, query, &est)?;
+                (p, c, true, true)
+            }
+            Err(Error::TooManyPredicates { .. }) => {
+                let (p, c) = SeqPlanner::greedy().plan_with_cost(&self.schema, query, &est)?;
+                (p, c, false, true)
+            }
+            Err(e) => return Err(e),
+        };
+        let wire = plan.encode();
+        let objective = new_cost + alpha * wire.len() as f64;
+        let adopted = new_cost + 1e-9 < stale_cost;
+        Ok(ReplanOutcome {
+            planned: PlannedQuery { plan, wire, expected_cost: new_cost, objective },
+            adopted,
+            truncated,
+            fell_back,
+            stale_cost,
+            new_cost,
+            est_selectivities: estimated_selectivities(query, &est),
+        })
+    }
+
     /// The §2.4 scaling factor for a deployment: transmit cost per byte
     /// divided by the number of tuples the query will process.
     pub fn alpha_for(model: &EnergyModel, motes: usize, epochs: usize) -> f64 {
@@ -151,6 +252,28 @@ mod tests {
         let (k_short, p_short) = bs.plan_query_sized(&query, 1e6, &candidates).unwrap();
         assert!(k_short <= k_long);
         assert_eq!(p_short.plan.split_count(), 0, "huge alpha must force a leaf plan");
+    }
+
+    #[test]
+    fn replan_gate_and_budget_fallback() {
+        let (schema, data, query) = setup();
+        let bs = Basestation::new(schema, &data);
+        let stale = bs.plan_query(&query, PlannerChoice::Naive, 0.0).unwrap();
+        // A naive stale plan is strictly beatable on this data.
+        let out = bs.replan(&query, &data, &ReplanBudget::default(), 0.0, &stale).unwrap();
+        assert!(out.adopted);
+        assert!(out.new_cost < out.stale_cost);
+        assert_eq!(out.est_selectivities.len(), query.len());
+        // Hysteresis: against a plan already optimal for the window,
+        // nothing strictly cheaper exists and nothing is adopted.
+        let again = bs.replan(&query, &data, &ReplanBudget::default(), 0.0, &out.planned).unwrap();
+        assert!(!again.adopted);
+        // A starved budget truncates the exhaustive search and falls
+        // back to a GreedySeq (leaf) plan.
+        let tiny = ReplanBudget { max_subproblems: 1, grid_splits: 3 };
+        let fb = bs.replan(&query, &data, &tiny, 0.0, &stale).unwrap();
+        assert!(fb.fell_back);
+        assert_eq!(fb.planned.plan.split_count(), 0);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!
 //! * [`energy`] — energy accounting: per-sensor µJ, shared-board
 //!   power-up, radio per-byte costs.
+//! * [`fault`] — deterministic seeded fault injection: lossy links with
+//!   bounded retry + exponential backoff, mote dropout schedules,
+//!   sensing failures (`sensornet.fault.*` taxonomy, `DESIGN.md` §9).
 //! * [`interp`] — a byte-code interpreter that executes the *wire
 //!   encoding* of a plan directly (no decoding, no heap) — what a mote
 //!   would run.
@@ -25,14 +28,20 @@
 #![warn(missing_docs)]
 pub mod basestation;
 pub mod energy;
+pub mod fault;
 pub mod interp;
 pub mod mote;
 pub mod sim;
 pub mod topology;
 
-pub use basestation::{Basestation, PlannedQuery, PlannerChoice};
+pub use basestation::{Basestation, PlannedQuery, PlannerChoice, ReplanBudget, ReplanOutcome};
 pub use energy::{EnergyLedger, EnergyModel};
+pub use fault::{attempt_packet, Delivery, Dropout, FaultModel, FaultStats, FaultStream};
 pub use interp::execute_wire;
 pub use mote::Mote;
-pub use sim::{run_simulation, run_simulation_multihop, run_simulation_recorded, SimReport};
+pub use sim::{
+    result_packet_bytes, run_simulation, run_simulation_adaptive, run_simulation_faulty,
+    run_simulation_multihop, run_simulation_recorded, sample_packet_bytes, AdaptiveConfig,
+    FaultReport, ReplanEvent, SimReport,
+};
 pub use topology::Topology;

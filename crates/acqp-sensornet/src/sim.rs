@@ -1,11 +1,22 @@
 //! The epoch-loop simulation: dissemination, per-epoch plan execution on
-//! every mote, result reporting, network-wide energy accounting.
+//! every mote, result reporting, network-wide energy accounting — with
+//! optional fault injection ([`run_simulation_faulty`]) and
+//! drift-triggered re-planning ([`run_simulation_adaptive`]).
+//!
+//! All entry points share one engine; the lossless [`run_simulation`]
+//! simply runs it with [`FaultModel::none`], so a faulty run with a
+//! zero loss rate is *bit-identical* to the lossless simulator by
+//! construction (at zero loss the first attempt of every packet
+//! succeeds and no extra energy is charged).
 
-use acqp_core::{Dataset, Query, Schema};
+use acqp_core::drift::DriftMonitor;
+use acqp_core::{Dataset, DriftConfig, Query, Schema, TupleSource};
 use acqp_obs::Recorder;
+use acqp_stream::SlidingWindow;
 
-use crate::basestation::PlannedQuery;
+use crate::basestation::{Basestation, PlannedQuery, ReplanBudget};
 use crate::energy::{EnergyLedger, EnergyModel};
+use crate::fault::{attempt_packet, FaultModel, FaultStats, FaultStream, FaultySource};
 use crate::interp::execute_wire;
 use crate::mote::Mote;
 
@@ -14,9 +25,10 @@ use crate::mote::Mote;
 pub struct SimReport {
     /// Epochs executed.
     pub epochs: usize,
-    /// Tuples evaluated (motes × epochs).
+    /// Tuples evaluated (mote-epochs that actually executed a plan).
     pub tuples: usize,
-    /// Tuples that satisfied the query (transmitted to the basestation).
+    /// Tuples that satisfied the query (the mote transmitted a result,
+    /// delivered or not).
     pub results: usize,
     /// Whether every verdict matched ground truth.
     pub all_correct: bool,
@@ -25,20 +37,150 @@ pub struct SimReport {
     /// Per-mote energy ledgers.
     pub per_mote: Vec<EnergyLedger>,
     /// Mean per-tuple sensing energy (µJ) — the quantity conditional
-    /// plans minimize.
+    /// plans minimize. `0.0` when no tuple was evaluated (zero epochs
+    /// or an empty fleet), never `NaN`.
     pub sensing_uj_per_tuple: f64,
 }
 
-/// Size of one reported result tuple on air, in bytes (id + values of
-/// the selected attributes; a fixed small constant keeps the model
-/// simple).
-const RESULT_BYTES: usize = 8;
+impl SimReport {
+    /// Assembles a report, computing the network aggregate and the
+    /// per-tuple sensing mean with the degenerate cases (`epochs == 0`,
+    /// empty fleet) pinned to `0.0` instead of `NaN`.
+    fn assemble(
+        epochs: usize,
+        tuples: usize,
+        results: usize,
+        all_correct: bool,
+        per_mote: Vec<EnergyLedger>,
+    ) -> SimReport {
+        let mut network = EnergyLedger::default();
+        for l in &per_mote {
+            network.absorb(l);
+        }
+        let sensing_uj_per_tuple =
+            if tuples > 0 { network.sensing_uj / tuples as f64 } else { 0.0 };
+        SimReport { epochs, tuples, results, all_correct, network, per_mote, sensing_uj_per_tuple }
+    }
+}
 
-/// Runs `planned` for `epochs` epochs on the given motes.
+/// On-air width of one attribute value: one byte for domains that fit,
+/// two otherwise.
+fn attr_width(domain: u16) -> usize {
+    if domain as u32 <= 256 {
+        1
+    } else {
+        2
+    }
+}
+
+/// Size of one reported result packet: a two-byte header (mote id +
+/// sequence) plus the values of the attributes the query selects, each
+/// at its domain's width. Replaces the old fixed 8-byte packet, which
+/// mischarged radio energy for narrow and wide queries alike.
+pub fn result_packet_bytes(schema: &Schema, query: &Query) -> usize {
+    2 + query.attrs().iter().map(|&a| attr_width(schema.domain(a))).sum::<usize>()
+}
+
+/// Size of one statistics-sample packet: header, every attribute of the
+/// schema at its width, plus two bytes per predicate of piggybacked
+/// evaluated/passed counter deltas.
+pub fn sample_packet_bytes(schema: &Schema, query: &Query) -> usize {
+    2 + schema.attrs().iter().map(|a| attr_width(a.domain())).sum::<usize>() + 2 * query.len()
+}
+
+/// One drift-triggered re-planning decision during an adaptive run.
+#[derive(Debug, Clone)]
+pub struct ReplanEvent {
+    /// Epoch at whose end the check fired.
+    pub epoch: usize,
+    /// The monitor's max per-predicate divergence at that point.
+    pub divergence: f64,
+    /// Whether the candidate plan was adopted and re-disseminated.
+    pub adopted: bool,
+    /// Whether the budgeted exhaustive search truncated.
+    pub truncated: bool,
+    /// Whether the candidate came from the `GreedySeq` fallback.
+    pub fell_back: bool,
+    /// Expected cost of continuing the stale plan under the window.
+    pub stale_cost: f64,
+    /// Expected cost of the candidate under the window.
+    pub new_cost: f64,
+}
+
+/// A [`SimReport`] extended with fault-path accounting.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// The core simulation report.
+    pub sim: SimReport,
+    /// Passing tuples whose result packet reached the basestation.
+    pub delivered_results: usize,
+    /// Passing tuples whose result packet timed out (all attempts lost).
+    pub lost_results: usize,
+    /// Tuples abandoned because a sensor read failed past the cap.
+    pub aborted_tuples: usize,
+    /// Mote-epochs lost to dropout schedules.
+    pub offline_epochs: usize,
+    /// Mote-epochs skipped because the mote never received any plan.
+    pub undisseminated_epochs: usize,
+    /// Statistics samples that reached the basestation (adaptive runs).
+    pub samples_delivered: usize,
+    /// Basestation transmit energy spent on (re-)dissemination.
+    pub bs_tx_uj: f64,
+    /// Drift checks that ran a re-plan (adaptive runs only).
+    pub replans: Vec<ReplanEvent>,
+}
+
+impl FaultReport {
+    /// Fraction of passing tuples whose results actually arrived
+    /// (`1.0` when nothing passed — nothing was lost).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.sim.results > 0 {
+            self.delivered_results as f64 / self.sim.results as f64
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Knobs for the adaptive (drift-triggered re-planning) loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Divergence threshold / sample gating (see [`DriftConfig`]).
+    pub drift: DriftConfig,
+    /// Epochs between drift checks at the basestation.
+    pub check_every: usize,
+    /// Every `sample_every` epochs each mote uploads one full tuple for
+    /// the statistics window (paying sensing + radio for it).
+    pub sample_every: usize,
+    /// Sliding-window capacity (tuples) behind the re-plan estimator.
+    pub window: usize,
+    /// Minimum window fill before a re-plan is attempted.
+    pub min_window: usize,
+    /// Planning budget for each re-plan.
+    pub budget: ReplanBudget,
+    /// §2.4 plan-size penalty applied to re-planned candidates.
+    pub alpha: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            drift: DriftConfig::default(),
+            check_every: 8,
+            sample_every: 4,
+            window: 256,
+            min_window: 32,
+            budget: ReplanBudget::default(),
+            alpha: 0.0,
+        }
+    }
+}
+
+/// Runs `planned` for `epochs` epochs on the given motes, losslessly.
 ///
 /// Each mote receives the plan (radio rx), executes its wire encoding
 /// once per epoch against its own trace (sensing + board energy), and
-/// transmits a fixed-size result packet for every passing tuple.
+/// transmits a result packet for every passing tuple.
 pub fn run_simulation(
     schema: &Schema,
     query: &Query,
@@ -62,41 +204,304 @@ pub fn run_simulation_recorded(
     epochs: usize,
     rec: &Recorder,
 ) -> SimReport {
+    run_engine(schema, query, planned, motes, model, epochs, &FaultModel::none(), None, rec).sim
+}
+
+/// Runs the simulation under a [`FaultModel`]: lossy dissemination and
+/// result reporting with bounded retry + exponential backoff, sensing
+/// failures, and mote dropouts — every retransmission charged to the
+/// energy ledgers and counted under `sensornet.fault.*`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simulation_faulty(
+    schema: &Schema,
+    query: &Query,
+    planned: &PlannedQuery,
+    motes: &mut [Mote],
+    model: &EnergyModel,
+    epochs: usize,
+    faults: &FaultModel,
+    rec: &Recorder,
+) -> FaultReport {
+    run_engine(schema, query, planned, motes, model, epochs, faults, None, rec)
+}
+
+/// Like [`run_simulation_faulty`] plus the basestation control loop:
+/// motes piggyback per-predicate evaluated/passed counters on their
+/// uplinks and periodically upload full statistics samples; the
+/// basestation's [`DriftMonitor`] compares actual selectivities against
+/// the plan's estimates, and when divergence crosses the threshold it
+/// re-plans under the planning budget (falling back to `GreedySeq` on
+/// truncation), adopting and re-disseminating the candidate only if it
+/// beats the stale plan under the drifted window.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simulation_adaptive(
+    bs: &Basestation<'_>,
+    query: &Query,
+    planned: &PlannedQuery,
+    motes: &mut [Mote],
+    model: &EnergyModel,
+    epochs: usize,
+    faults: &FaultModel,
+    cfg: &AdaptiveConfig,
+    rec: &Recorder,
+) -> acqp_core::Result<FaultReport> {
+    let monitor = DriftMonitor::new(bs.estimated_selectivities(query), cfg.drift)?;
+    let state = AdaptiveState {
+        bs,
+        cfg,
+        monitor,
+        window: SlidingWindow::new(bs.schema(), cfg.window.max(1)),
+        pend_eval: vec![vec![0; query.len()]; motes.len()],
+        pend_pass: vec![vec![0; query.len()]; motes.len()],
+    };
+    Ok(run_engine(bs.schema(), query, planned, motes, model, epochs, faults, Some(state), rec))
+}
+
+struct AdaptiveState<'a> {
+    bs: &'a Basestation<'a>,
+    cfg: &'a AdaptiveConfig,
+    monitor: DriftMonitor,
+    window: SlidingWindow,
+    /// Per-mote per-predicate counter deltas not yet flushed to the
+    /// basestation (they ride on the next *delivered* uplink).
+    pend_eval: Vec<Vec<u64>>,
+    pend_pass: Vec<Vec<u64>>,
+}
+
+impl AdaptiveState<'_> {
+    /// Flushes mote `i`'s pending predicate counters into the monitor —
+    /// called only when an uplink from `i` was actually delivered.
+    fn flush_counters(&mut self, i: usize) {
+        for j in 0..self.pend_eval[i].len() {
+            let (e, p) = (self.pend_eval[i][j], self.pend_pass[i][j]);
+            if e > 0 {
+                self.monitor.observe_counts(j, e, p);
+                self.pend_eval[i][j] = 0;
+                self.pend_pass[i][j] = 0;
+            }
+        }
+    }
+}
+
+/// The shared engine behind every simulation entry point.
+#[allow(clippy::too_many_arguments)]
+fn run_engine(
+    schema: &Schema,
+    query: &Query,
+    planned: &PlannedQuery,
+    motes: &mut [Mote],
+    model: &EnergyModel,
+    epochs: usize,
+    faults: &FaultModel,
+    mut adaptive: Option<AdaptiveState<'_>>,
+    rec: &Recorder,
+) -> FaultReport {
     let span = rec.span("sensornet.simulate");
     let tuples_c = rec.counter("sensornet.tuples");
     let results_c = rec.counter("sensornet.results");
     let radio_c = rec.counter("sensornet.radio.msgs");
     let acq_hist = rec.hist("sensornet.acquisitions_per_tuple");
+    let replan_trig_c = rec.counter("sensornet.replan.triggered");
+    let replan_adopt_c = rec.counter("sensornet.replan.adopted");
+    let stats = FaultStats::new(rec);
 
-    // Dissemination.
-    for m in motes.iter_mut() {
-        m.receive(planned.wire.len(), model);
-        radio_c.incr(1);
+    let result_bytes = result_packet_bytes(schema, query);
+    let sample_bytes = sample_packet_bytes(schema, query);
+    // Piggybacked counter deltas ride on result packets only when the
+    // adaptive loop is on (the plain simulators don't collect stats).
+    let uplink_bytes = result_bytes + if adaptive.is_some() { 2 * query.len() } else { 0 };
+    // pred_of[a] = index of the predicate on attribute `a`, if any.
+    let mut pred_of: Vec<Option<usize>> = vec![None; schema.len()];
+    for (j, &a) in query.attrs().iter().enumerate() {
+        pred_of[a] = Some(j);
+    }
+
+    // Plan versions: motes can lag behind the basestation's current
+    // plan when re-dissemination packets are lost. Any version still
+    // answers the query correctly — staleness costs energy, not
+    // soundness.
+    let mut plans: Vec<PlannedQuery> = vec![planned.clone()];
+    let mut cur = 0usize;
+    let mut mote_ver: Vec<Option<usize>> = vec![None; motes.len()];
+
+    let mut delivered_results = 0usize;
+    let mut lost_results = 0usize;
+    let mut aborted_tuples = 0usize;
+    let mut offline_epochs = 0usize;
+    let mut undisseminated_epochs = 0usize;
+    let mut samples_delivered = 0usize;
+    let mut bs_tx_uj = 0.0f64;
+    let mut replans: Vec<ReplanEvent> = Vec::new();
+
+    // Initial dissemination round (epoch 0 on the fault clock). Runs
+    // even for a zero-epoch simulation, exactly like the pre-fault
+    // simulator.
+    for (i, m) in motes.iter_mut().enumerate() {
+        if !faults.online(m.id(), 0) {
+            continue;
+        }
+        let d = attempt_packet(faults, FaultStream::Dissemination, m.id(), 0, &stats);
+        bs_tx_uj +=
+            (d.attempts as usize * plans[cur].wire.len()) as f64 * model.radio_tx_uj_per_byte;
+        radio_c.incr(d.attempts as u64);
+        if d.delivered {
+            m.receive(plans[cur].wire.len(), model);
+            mote_ver[i] = Some(cur);
+        }
     }
 
     let mut results = 0usize;
     let mut tuples = 0usize;
     let mut all_correct = true;
     for e in 0..epochs {
-        for m in motes.iter_mut() {
+        // Re-dissemination: any mote lagging the current plan gets a
+        // fresh per-epoch attempt window (the initial round already
+        // consumed epoch 0's).
+        if e > 0 {
+            for (i, m) in motes.iter_mut().enumerate() {
+                if mote_ver[i] == Some(cur) || !faults.online(m.id(), e) {
+                    continue;
+                }
+                let d = attempt_packet(faults, FaultStream::Dissemination, m.id(), e, &stats);
+                bs_tx_uj += (d.attempts as usize * plans[cur].wire.len()) as f64
+                    * model.radio_tx_uj_per_byte;
+                radio_c.incr(d.attempts as u64);
+                if d.delivered {
+                    m.receive(plans[cur].wire.len(), model);
+                    mote_ver[i] = Some(cur);
+                }
+            }
+        }
+
+        for (i, m) in motes.iter_mut().enumerate() {
             if e >= m.epochs() {
                 continue;
             }
+            let id = m.id();
+            if !faults.online(id, e) {
+                stats.offline_epochs.incr(1);
+                offline_epochs += 1;
+                continue;
+            }
+            let Some(ver) = mote_ver[i] else {
+                undisseminated_epochs += 1;
+                continue;
+            };
             tuples += 1;
             tuples_c.incr(1);
-            let out = {
-                let mut src = m.epoch_source(e, schema, model);
-                execute_wire(&planned.wire, query, schema, &mut src)
-                    .expect("basestation-produced wire plans are well-formed")
+            let wire = &plans[ver].wire;
+            let (out, aborted) = {
+                let src = m.epoch_source(e, schema, model);
+                let mut fsrc = FaultySource::new(src, faults, &stats, id, e);
+                let out = execute_wire(wire, query, schema, &mut fsrc)
+                    .expect("basestation-produced wire plans are well-formed");
+                (out, fsrc.aborted())
             };
             acq_hist.observe(out.acquired.len() as u64);
+            if aborted {
+                aborted_tuples += 1;
+                continue;
+            }
             let truth = query.eval_with(|a| m.peek(e, a));
             all_correct &= out.verdict == truth;
+
+            // Every acquired attribute with a predicate yields one
+            // evaluated/held observation for the drift monitor,
+            // buffered until an uplink actually gets through.
+            if let Some(st) = adaptive.as_mut() {
+                for &a in &out.acquired {
+                    if let Some(j) = pred_of[a] {
+                        st.pend_eval[i][j] += 1;
+                        st.pend_pass[i][j] += u64::from(query.pred(j).eval(m.peek(e, a)));
+                    }
+                }
+            }
+
             if out.verdict {
                 results += 1;
                 results_c.incr(1);
-                radio_c.incr(1);
-                m.transmit(RESULT_BYTES, model);
+                let d = attempt_packet(faults, FaultStream::Result, id, e, &stats);
+                m.transmit(d.attempts as usize * uplink_bytes, model);
+                radio_c.incr(d.attempts as u64);
+                if d.delivered {
+                    delivered_results += 1;
+                    if let Some(st) = adaptive.as_mut() {
+                        st.flush_counters(i);
+                    }
+                } else {
+                    lost_results += 1;
+                }
+            }
+
+            // Periodic statistics sample: read out the rest of the
+            // tuple (sensing honestly charged via the same source
+            // rules) and upload the full row for the re-plan window.
+            if let Some(st) = adaptive.as_mut() {
+                let k = st.cfg.sample_every.max(1);
+                if e % k == k - 1 {
+                    let mut sample_aborted = false;
+                    {
+                        let src = m.epoch_source(e, schema, model);
+                        let mut fsrc = FaultySource::new(src, faults, &stats, id, e);
+                        for a in 0..schema.len() {
+                            if !out.acquired.contains(&a) {
+                                fsrc.acquire(a);
+                                if fsrc.aborted() {
+                                    sample_aborted = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if !sample_aborted {
+                        let d = attempt_packet(faults, FaultStream::Sample, id, e, &stats);
+                        m.transmit(d.attempts as usize * sample_bytes, model);
+                        radio_c.incr(d.attempts as u64);
+                        if d.delivered {
+                            samples_delivered += 1;
+                            let row: Vec<u16> = (0..schema.len()).map(|a| m.peek(e, a)).collect();
+                            st.window.push(row);
+                            st.flush_counters(i);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Basestation drift check at epoch end.
+        if let Some(st) = adaptive.as_mut() {
+            let k = st.cfg.check_every.max(1);
+            if (e + 1) % k == 0
+                && st.monitor.drifted()
+                && st.window.len() >= st.cfg.min_window.max(1)
+            {
+                replan_trig_c.incr(1);
+                let divergence = st.monitor.max_divergence();
+                let window =
+                    st.window.snapshot(schema).expect("window rows come from schema-shaped traces");
+                let outcome = st
+                    .bs
+                    .replan(query, &window, &st.cfg.budget, st.cfg.alpha, &plans[cur])
+                    .expect("re-planning a valid query cannot fail");
+                replans.push(ReplanEvent {
+                    epoch: e,
+                    divergence,
+                    adopted: outcome.adopted,
+                    truncated: outcome.truncated,
+                    fell_back: outcome.fell_back,
+                    stale_cost: outcome.stale_cost,
+                    new_cost: outcome.new_cost,
+                });
+                // Either way the monitor is re-armed with the window's
+                // estimates — they are the basestation's current belief.
+                st.monitor.reset(outcome.est_selectivities.clone());
+                if outcome.adopted {
+                    replan_adopt_c.incr(1);
+                    plans.push(outcome.planned);
+                    cur = plans.len() - 1;
+                    // Every mote now lags; re-dissemination starts at
+                    // the top of the next epoch.
+                }
             }
         }
     }
@@ -110,19 +515,17 @@ pub fn run_simulation_recorded(
             rec.gauge(&format!("sensornet.mote{id}.total_uj"), l.total_uj());
         }
     }
-    let mut network = EnergyLedger::default();
-    for l in &per_mote {
-        network.absorb(l);
-    }
     drop(span);
-    SimReport {
-        epochs,
-        tuples,
-        results,
-        all_correct,
-        network,
-        per_mote,
-        sensing_uj_per_tuple: if tuples > 0 { network.sensing_uj / tuples as f64 } else { 0.0 },
+    FaultReport {
+        sim: SimReport::assemble(epochs, tuples, results, all_correct, per_mote),
+        delivered_results,
+        lost_results,
+        aborted_tuples,
+        offline_epochs,
+        undisseminated_epochs,
+        samples_delivered,
+        bs_tx_uj,
+        replans,
     }
 }
 
@@ -149,6 +552,7 @@ pub fn run_simulation_multihop(
     epochs: usize,
 ) -> (SimReport, f64) {
     assert_eq!(motes.len(), topo.len());
+    let result_bytes = result_packet_bytes(schema, query);
     // Dissemination down the tree.
     let mut ledgers: Vec<EnergyLedger> = motes.iter().map(|m| *m.ledger()).collect();
     let bs_tx = topo.charge_dissemination(planned.wire.len(), model, &mut ledgers);
@@ -171,7 +575,7 @@ pub fn run_simulation_multihop(
             all_correct &= out.verdict == truth;
             if out.verdict {
                 results += 1;
-                topo.charge_result(mi, RESULT_BYTES, model, &mut ledgers);
+                topo.charge_result(mi, result_bytes, model, &mut ledgers);
             }
         }
     }
@@ -183,19 +587,7 @@ pub fn run_simulation_multihop(
         l.radio_tx_uj = topo_ledger.radio_tx_uj;
     }
     let per_mote: Vec<EnergyLedger> = motes.iter().map(|m| *m.ledger()).collect();
-    let mut network = EnergyLedger::default();
-    for l in &per_mote {
-        network.absorb(l);
-    }
-    let report = SimReport {
-        epochs,
-        tuples,
-        results,
-        all_correct,
-        sensing_uj_per_tuple: if tuples > 0 { network.sensing_uj / tuples as f64 } else { 0.0 },
-        network,
-        per_mote,
-    };
+    let report = SimReport::assemble(epochs, tuples, results, all_correct, per_mote);
     (report, bs_tx)
 }
 
@@ -282,6 +674,10 @@ mod tests {
             assert!((g - l.total_uj()).abs() < 1e-9);
         }
         assert_eq!(snap.spans["sensornet.simulate"].count, 1);
+        // The lossless path never touches the fault taxonomy beyond
+        // first-attempt successes.
+        assert_eq!(snap.counter("sensornet.fault.result.lost"), 0);
+        assert_eq!(snap.counter("sensornet.fault.diss.timeouts"), 0);
     }
 
     #[test]
@@ -319,5 +715,259 @@ mod tests {
         assert!(report.network.board_uj > 0.0);
         // At most one power-up per tuple.
         assert!(report.network.board_uj <= 300.0 * report.tuples as f64);
+    }
+
+    #[test]
+    fn result_packet_scales_with_selected_attribute_widths() {
+        let (schema, _, query) = setup();
+        // Two selected attributes with 2-value domains: 2-byte header +
+        // 1 byte each.
+        assert_eq!(result_packet_bytes(&schema, &query), 4);
+        // A wide-domain attribute costs two bytes on air.
+        let wide = Schema::new(vec![Attribute::new("w", 1000, 10.0), Attribute::new("n", 4, 10.0)])
+            .unwrap();
+        let q1 = Query::new(vec![Pred::in_range(0, 0, 500)]).unwrap();
+        assert_eq!(result_packet_bytes(&wide, &q1), 2 + 2);
+        let q2 = Query::new(vec![Pred::in_range(0, 0, 500), Pred::in_range(1, 0, 1)]).unwrap();
+        assert_eq!(result_packet_bytes(&wide, &q2), 2 + 2 + 1);
+        // Sample packets carry the whole schema plus counter deltas.
+        assert_eq!(sample_packet_bytes(&wide, &q2), 2 + 3 + 2 * 2);
+    }
+
+    #[test]
+    fn result_radio_energy_uses_computed_packet_size() {
+        let (schema, data, query) = setup();
+        let (train, live) = data.split_at(0.5);
+        let bs = Basestation::new(schema.clone(), &train);
+        let model = EnergyModel::mica_like();
+        let planned = bs.plan_query(&query, PlannerChoice::Naive, 0.0).unwrap();
+        let mut motes = fleet_from_trace(&live, 1);
+        let report = run_simulation(&schema, &query, &planned, &mut motes, &model, live.len());
+        let expected_tx = report.results as f64
+            * result_packet_bytes(&schema, &query) as f64
+            * model.radio_tx_uj_per_byte;
+        assert!(report.results > 0);
+        assert!((report.network.radio_tx_uj - expected_tx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_configs_report_zero_not_nan() {
+        let (schema, data, query) = setup();
+        let (train, live) = data.split_at(0.5);
+        let bs = Basestation::new(schema.clone(), &train);
+        let planned = bs.plan_query(&query, PlannerChoice::Naive, 0.0).unwrap();
+        let model = EnergyModel::mica_like();
+
+        // Zero epochs: dissemination still happens, no tuples run.
+        let mut motes = fleet_from_trace(&live, 2);
+        let r = run_simulation(&schema, &query, &planned, &mut motes, &model, 0);
+        assert_eq!(r.tuples, 0);
+        assert_eq!(r.sensing_uj_per_tuple, 0.0);
+        assert!(r.sensing_uj_per_tuple.is_finite());
+        assert!(r.network.radio_rx_uj > 0.0, "plan was still disseminated");
+
+        // Empty fleet: nothing at all.
+        let mut none: Vec<Mote> = Vec::new();
+        let r = run_simulation(&schema, &query, &planned, &mut none, &model, 50);
+        assert_eq!(r.tuples, 0);
+        assert_eq!(r.sensing_uj_per_tuple, 0.0);
+        assert!(r.sensing_uj_per_tuple.is_finite());
+
+        // Same edges through the multihop path.
+        let topo = crate::topology::Topology::star(2);
+        let mut motes = fleet_from_trace(&live, 2);
+        let (r, _) =
+            run_simulation_multihop(&schema, &query, &planned, &mut motes, &topo, &model, 0);
+        assert_eq!(r.sensing_uj_per_tuple, 0.0);
+        assert!(r.sensing_uj_per_tuple.is_finite());
+    }
+
+    #[test]
+    fn zero_loss_faulty_run_is_bitwise_identical_to_lossless() {
+        let (schema, data, query) = setup();
+        let (train, live) = data.split_at(0.5);
+        let bs = Basestation::new(schema.clone(), &train);
+        let planned = bs.plan_query(&query, PlannerChoice::Heuristic(4), 0.0).unwrap();
+        let model = EnergyModel::mica_like();
+
+        let mut base_motes = fleet_from_trace(&live, 3);
+        let base = run_simulation(&schema, &query, &planned, &mut base_motes, &model, live.len());
+
+        let mut faulty_motes = fleet_from_trace(&live, 3);
+        let faults = FaultModel::lossy(0xDEAD_BEEF, 0.0);
+        let rep = run_simulation_faulty(
+            &schema,
+            &query,
+            &planned,
+            &mut faulty_motes,
+            &model,
+            live.len(),
+            &faults,
+            &Recorder::disabled(),
+        );
+        assert_eq!(rep.sim.tuples, base.tuples);
+        assert_eq!(rep.sim.results, base.results);
+        assert_eq!(rep.sim.all_correct, base.all_correct);
+        assert_eq!(rep.sim.per_mote, base.per_mote, "energy must match to the bit");
+        assert_eq!(rep.sim.sensing_uj_per_tuple.to_bits(), base.sensing_uj_per_tuple.to_bits());
+        assert_eq!(rep.delivered_results, rep.sim.results);
+        assert_eq!(rep.lost_results, 0);
+        assert_eq!(rep.delivery_rate(), 1.0);
+    }
+
+    #[test]
+    fn lossy_run_is_deterministic_and_loses_results() {
+        let (schema, data, query) = setup();
+        let (train, live) = data.split_at(0.5);
+        let bs = Basestation::new(schema.clone(), &train);
+        let planned = bs.plan_query(&query, PlannerChoice::Heuristic(4), 0.0).unwrap();
+        let model = EnergyModel::mica_like();
+        let faults = FaultModel::lossy(7, 0.4);
+
+        let run = || {
+            let mut motes = fleet_from_trace(&live, 3);
+            run_simulation_faulty(
+                &schema,
+                &query,
+                &planned,
+                &mut motes,
+                &model,
+                live.len(),
+                &faults,
+                &Recorder::disabled(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.sim.per_mote, b.sim.per_mote);
+        assert_eq!(a.delivered_results, b.delivered_results);
+        assert_eq!(a.lost_results, b.lost_results);
+        assert!(a.lost_results > 0, "40% loss with 4 attempts must lose something");
+        assert!(a.delivery_rate() < 1.0);
+        // Retransmissions cost strictly more tx energy than a lossless
+        // run of the same plan.
+        let mut lossless = fleet_from_trace(&live, 3);
+        let base = run_simulation(&schema, &query, &planned, &mut lossless, &model, live.len());
+        assert!(a.sim.network.radio_tx_uj > base.network.radio_tx_uj);
+    }
+
+    #[test]
+    fn dropout_epochs_do_not_execute_or_charge() {
+        let (schema, data, query) = setup();
+        let (train, live) = data.split_at(0.5);
+        let bs = Basestation::new(schema.clone(), &train);
+        let planned = bs.plan_query(&query, PlannerChoice::Naive, 0.0).unwrap();
+        let model = EnergyModel::mica_like();
+        let epochs = live.len();
+        // Mote 1 is down for 10 epochs mid-run.
+        let faults = FaultModel::lossy(3, 0.0).with_dropout(1, 20, 30);
+        let mut motes = fleet_from_trace(&live, 2);
+        let rep = run_simulation_faulty(
+            &schema,
+            &query,
+            &planned,
+            &mut motes,
+            &model,
+            epochs,
+            &faults,
+            &Recorder::disabled(),
+        );
+        assert_eq!(rep.offline_epochs, 10);
+        assert_eq!(rep.sim.tuples, 2 * epochs - 10);
+        assert!(rep.sim.all_correct);
+        // The dropped mote spent strictly less sensing energy.
+        assert!(rep.sim.per_mote[1].sensing_uj < rep.sim.per_mote[0].sensing_uj);
+    }
+
+    #[test]
+    fn sensing_failures_abort_tuples_but_charge_retries() {
+        let (schema, data, query) = setup();
+        let (train, live) = data.split_at(0.5);
+        let bs = Basestation::new(schema.clone(), &train);
+        let planned = bs.plan_query(&query, PlannerChoice::Naive, 0.0).unwrap();
+        let model = EnergyModel::mica_like();
+        let faults = FaultModel::lossy(11, 0.0).with_sensing_failures(0.2).with_max_attempts(2);
+        let mut motes = fleet_from_trace(&live, 2);
+        let rep = run_simulation_faulty(
+            &schema,
+            &query,
+            &planned,
+            &mut motes,
+            &model,
+            live.len(),
+            &faults,
+            &Recorder::disabled(),
+        );
+        assert!(rep.aborted_tuples > 0, "20% failure with cap 2 must abort some tuples");
+        // Verdict checking skips aborted tuples, so the run stays correct.
+        assert!(rep.sim.all_correct);
+        // Failed reads still drew sensor power: more sensing energy
+        // than the lossless run.
+        let mut lossless = fleet_from_trace(&live, 2);
+        let base = run_simulation(&schema, &query, &planned, &mut lossless, &model, live.len());
+        assert!(rep.sim.network.sensing_uj > base.network.sensing_uj);
+    }
+
+    #[test]
+    fn adaptive_replans_when_distribution_flips() {
+        use acqp_obs::{NoopSink, Recorder};
+        use std::sync::Arc;
+
+        let (schema, _, query) = setup();
+        // History: pred on `a` passes 90% of tuples, pred on `b` only
+        // 10% — the planner fronts `b` for cheap rejections.
+        let mut hist_rows = Vec::new();
+        for i in 0..200u16 {
+            let (a, b) = (u16::from(i % 10 != 0), u16::from(i % 10 == 0));
+            hist_rows.push(vec![a, b, i % 2]);
+        }
+        let hist = Dataset::from_rows(&schema, hist_rows).unwrap();
+        // Live: the selectivities flipped — `b` now passes 90% and the
+        // stale b-first plan acquires both sensors almost every epoch.
+        let mut live_rows = Vec::new();
+        for i in 0..240u16 {
+            let (a, b) = (u16::from(i % 10 == 0), u16::from(i % 10 != 0));
+            live_rows.push(vec![a, b, i % 2]);
+        }
+        let live = Dataset::from_rows(&schema, live_rows).unwrap();
+
+        let bs = Basestation::new(schema.clone(), &hist);
+        let planned = bs.plan_query(&query, PlannerChoice::Heuristic(4), 0.0).unwrap();
+        let model = EnergyModel::mica_like();
+        let rec = Recorder::new(Arc::new(NoopSink));
+        let cfg = AdaptiveConfig {
+            drift: DriftConfig { threshold: 0.2, min_samples: 16 },
+            check_every: 4,
+            sample_every: 2,
+            window: 64,
+            min_window: 8,
+            ..AdaptiveConfig::default()
+        };
+        let mut motes = fleet_from_trace(&live, 2);
+        let rep = run_simulation_adaptive(
+            &bs,
+            &query,
+            &planned,
+            &mut motes,
+            &model,
+            live.len(),
+            &FaultModel::lossy(5, 0.05),
+            &cfg,
+            &rec,
+        )
+        .unwrap();
+        assert!(rep.sim.all_correct, "re-planning must never corrupt verdicts");
+        assert!(!rep.replans.is_empty(), "flipped correlation must trigger a re-plan");
+        let adopted: Vec<_> = rep.replans.iter().filter(|r| r.adopted).collect();
+        assert!(!adopted.is_empty(), "a strictly cheaper plan exists and must be adopted");
+        for r in &rep.replans {
+            if r.adopted {
+                assert!(r.new_cost < r.stale_cost);
+            }
+        }
+        let snap = rec.drain();
+        assert_eq!(snap.counter("sensornet.replan.triggered"), rep.replans.len() as u64);
+        assert_eq!(snap.counter("sensornet.replan.adopted"), adopted.len() as u64);
+        assert!(rep.samples_delivered > 0);
     }
 }

@@ -33,4 +33,5 @@ run cargo bench -p acqp-bench --bench ablations
 run cargo bench -p acqp-bench --bench ablation_plan_size
 run cargo bench -p acqp-bench --bench estimator_ops
 run cargo bench -p acqp-bench --bench scalability
+run cargo bench -p acqp-bench --bench fault_sweep
 echo "ALL BENCHES RECORDED" | tee -a "$out"

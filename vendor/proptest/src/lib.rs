@@ -267,8 +267,13 @@ macro_rules! impl_range_strategy {
             fn new_value(&self, rng: &mut TestRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range strategy");
-                let span = (hi as u128 - lo as u128) as u64 + 1;
-                lo + rng.below(span) as $t
+                // Widen before the +1: `0u64..=u64::MAX` has 2^64 values,
+                // which overflows a u64 span (debug-mode add-overflow).
+                let span = hi as u128 - lo as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span as u64) as $t
             }
         }
     )*};
