@@ -60,8 +60,8 @@ impl From<&str> for CliError {
 /// CLI-level result (the core prelude shadows `Result`).
 type CliResult<T> = std::result::Result<T, CliError>;
 use acqp_sensornet::{
-    run_simulation_adaptive, run_simulation_faulty, sim::fleet_from_trace, AdaptiveConfig,
-    Basestation, EnergyModel, FaultModel, ReplanBudget,
+    run_simulation_adaptive, run_simulation_crashy, run_simulation_faulty, sim::fleet_from_trace,
+    AdaptiveConfig, Basestation, CrashConfig, EnergyModel, FaultModel, ReplanBudget,
 };
 use args::Args;
 
@@ -75,12 +75,14 @@ USAGE:
   acqp plan     --dataset <kind> --query \"<expr>\"
                 [--algo naive|corrseq|heuristic|exhaustive]
                 [--splits K] [--grid R] [--train-frac F] [--explain yes]
-                [--threads N] [--plan-budget-ms MS]
+                [--threads N] [--plan-budget-ms MS] [--fallback yes]
                 [--trace-json <file>] [--metrics yes]
   acqp simulate --dataset <kind> --query \"<expr>\" [--motes M] [--splits K]
                 [--fault-seed N] [--loss-rate F] [--sensing-fail F]
                 [--max-attempts N] [--dropout m:from:until[,...]]
                 [--replan-threshold F] [--replan-budget N] [--sample-every N]
+                [--checkpoint-dir <dir>] [--checkpoint-every N]
+                [--crash-epochs e1,e2,...] [--crash-rate F]
                 [--trace-json <file>] [--metrics yes]
 
   --trace-json <file>  stream spans and drained metrics as JSON lines
@@ -91,6 +93,12 @@ USAGE:
   --dropout takes mote outage windows. --replan-threshold (0, 1]
   enables drift-triggered re-planning under --replan-budget subproblems,
   with a full-tuple statistics sample every --sample-every epochs.
+
+  crash injection (simulate): --crash-epochs and --crash-rate kill and
+  restart the basestation, recovering from --checkpoint-dir (snapshot
+  every --checkpoint-every epochs + WAL replay; without a directory
+  every crash cold-starts to the genesis plan). --fallback yes (plan)
+  runs the degraded-mode ladder: planning never fails, it degrades.
 
   <kind> = lab | garden5 | garden11 | synthetic
   <expr> = clause (AND clause)*          values in natural units
@@ -264,46 +272,78 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
         None => None,
     };
     let mut truncated = false;
-    let plan = match algo {
-        "naive" => SeqPlanner::naive().plan(&g.schema, &query, &est),
-        "corrseq" => SeqPlanner::auto().plan(&g.schema, &query, &est),
-        "heuristic" => {
-            let mut p = GreedyPlanner::new(splits)
-                .with_grid(SplitGrid::for_query(&g.schema, &query, grid))
-                .threads(threads)
-                .with_recorder(rec.clone());
-            if let Some(d) = plan_budget {
-                p = p.time_budget(d);
-            }
-            p.plan_with_report(&g.schema, &query, &est).map(|r| {
-                truncated = r.truncated;
-                r.plan
-            })
+    let mut degradation = DegradationLevel::None;
+    let use_fallback = args.get("fallback").is_some_and(|v| v != "no");
+    let plan = if use_fallback {
+        // The degraded-mode ladder: Exhaustive -> GreedyPlan ->
+        // GreedySeq -> Naive under per-stage budgets. Never fails —
+        // worst case is a naive ordering tagged with its rung.
+        let mut p = FallbackPlanner::new()
+            .with_grid(SplitGrid::for_query(&g.schema, &query, grid))
+            .max_splits(splits)
+            .max_subproblems(args.get_or("budget", 1_000_000usize)?)
+            .threads(threads)
+            .with_recorder(rec.clone());
+        if let Some(d) = plan_budget {
+            p = p.stage_budget(d);
         }
-        "exhaustive" => {
-            let mut p =
-                ExhaustivePlanner::with_grid(SplitGrid::for_query(&g.schema, &query, grid.min(3)))
-                    .max_subproblems(args.get_or("budget", 1_000_000usize)?)
+        let r = p.plan_data(&g.schema, &query, &train);
+        truncated = r.truncated;
+        degradation = r.degradation;
+        Ok(r.plan)
+    } else {
+        match algo {
+            "naive" => SeqPlanner::naive().plan(&g.schema, &query, &est),
+            "corrseq" => SeqPlanner::auto().plan(&g.schema, &query, &est),
+            "heuristic" => {
+                let mut p = GreedyPlanner::new(splits)
+                    .with_grid(SplitGrid::for_query(&g.schema, &query, grid))
                     .threads(threads)
                     .with_recorder(rec.clone());
-            if let Some(d) = plan_budget {
-                p = p.time_budget(d);
+                if let Some(d) = plan_budget {
+                    p = p.time_budget(d);
+                }
+                p.plan_with_report(&g.schema, &query, &est).map(|r| {
+                    truncated = r.truncated;
+                    r.plan
+                })
             }
-            p.plan_with_report(&g.schema, &query, &est).map(|r| {
-                truncated = r.truncated;
-                r.plan
-            })
+            "exhaustive" => {
+                let mut p = ExhaustivePlanner::with_grid(SplitGrid::for_query(
+                    &g.schema,
+                    &query,
+                    grid.min(3),
+                ))
+                .max_subproblems(args.get_or("budget", 1_000_000usize)?)
+                .threads(threads)
+                .with_recorder(rec.clone());
+                if let Some(d) = plan_budget {
+                    p = p.time_budget(d);
+                }
+                p.plan_with_report(&g.schema, &query, &est).map(|r| {
+                    truncated = r.truncated;
+                    r.plan
+                })
+            }
+            other => return Err(format!("unknown --algo `{other}`").into()),
         }
-        other => return Err(format!("unknown --algo `{other}`").into()),
     }
     .map_err(|e| format!("planning: {e}"))?;
     let plan = plan.simplify();
     if truncated {
         println!("note   : planning budget exhausted; plan is best-effort, not optimal");
     }
+    if degradation != DegradationLevel::None {
+        println!("note   : fallback ladder degraded to `{}`", degradation.as_str());
+    }
 
     println!("query  : {query_text}");
-    println!("planner: {}", planner_label(algo, splits));
+    let label = if use_fallback {
+        format!("fallback ladder (landed on `{}`)", degradation.as_str())
+    } else {
+        planner_label(algo, splits)
+    };
+    println!("planner: {label}");
     println!("plan   : {} splits, {} bytes on the wire\n", plan.split_count(), plan.wire_size());
     if args.get("explain").is_some_and(|v| v != "no") {
         let ex = explain(&plan, &query, &g.schema, &CostModel::PerAttribute, &est);
@@ -402,6 +442,25 @@ fn cmd_simulate(args: &Args) -> CliResult<()> {
         return Err(invalid("sample-every", "0", "sampling period must be at least 1 epoch"));
     }
     let replan_budget: usize = args.get_or("replan-budget", 50_000)?;
+    let checkpoint_dir = args.get("checkpoint-dir").map(std::path::PathBuf::from);
+    let checkpoint_every: usize = args.get_or("checkpoint-every", 16)?;
+    let crash_rate = prob_flag(args, "crash-rate", 0.0)?;
+    let crash_epochs: Vec<usize> = match args.get("crash-epochs") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| s.trim().parse::<usize>())
+            .collect::<std::result::Result<_, _>>()
+            .map_err(|_| {
+                invalid("crash-epochs", spec, "expected a comma-separated list of epoch numbers")
+            })?,
+        None => Vec::new(),
+    };
+    // Any crash/checkpoint flag opts into the crash-prone engine; the
+    // default path stays byte-identical to previous releases.
+    let crashy = checkpoint_dir.is_some()
+        || !crash_epochs.is_empty()
+        || crash_rate > 0.0
+        || args.get("checkpoint-every").is_some();
     let bs = Basestation::new(g.schema.clone(), &history);
     let model = EnergyModel::mica_like();
     let alpha = Basestation::alpha_for(&model, fleet as usize, live.len());
@@ -417,14 +476,38 @@ fn cmd_simulate(args: &Args) -> CliResult<()> {
     );
     let rec = recorder_from(args)?;
     let mut motes = fleet_from_trace(&live, fleet);
-    let rep = if let Some(threshold) = replan_threshold {
-        let cfg = AdaptiveConfig {
-            drift: DriftConfig { threshold, ..DriftConfig::default() },
-            sample_every,
-            budget: ReplanBudget { max_subproblems: replan_budget.max(1), grid_splits: 3 },
-            alpha,
-            ..AdaptiveConfig::default()
-        };
+    let adaptive_cfg = replan_threshold.map(|threshold| AdaptiveConfig {
+        drift: DriftConfig { threshold, ..DriftConfig::default() },
+        sample_every,
+        budget: ReplanBudget { max_subproblems: replan_budget.max(1), grid_splits: 3 },
+        alpha,
+        ..AdaptiveConfig::default()
+    });
+    let mut crash_info = None;
+    let rep = if crashy {
+        let crash = CrashConfig { checkpoint_dir, checkpoint_every, crash_epochs, crash_rate };
+        let crep = run_simulation_crashy(
+            &bs,
+            &query,
+            &planned,
+            &mut motes,
+            &model,
+            live.len(),
+            &faults,
+            adaptive_cfg.as_ref(),
+            &crash,
+            &rec,
+        )?;
+        crash_info = Some((
+            crep.crashes,
+            crep.cold_starts,
+            crep.corrupt_snapshots,
+            crep.wal_replayed,
+            crep.checkpoints_written,
+            crep.recovery_rediss_uj,
+        ));
+        crep.fault
+    } else if let Some(cfg) = &adaptive_cfg {
         run_simulation_adaptive(
             &bs,
             &query,
@@ -433,7 +516,7 @@ fn cmd_simulate(args: &Args) -> CliResult<()> {
             &model,
             live.len(),
             &faults,
-            &cfg,
+            cfg,
             &rec,
         )?
     } else {
@@ -477,6 +560,15 @@ fn cmd_simulate(args: &Args) -> CliResult<()> {
             rep.aborted_tuples,
             rep.offline_epochs,
             rep.undisseminated_epochs
+        );
+    }
+    if let Some((crashes, cold, corrupt, replayed, checkpoints, rediss_uj)) = crash_info {
+        println!(
+            "crashes: {crashes} injected, {cold} cold starts, {corrupt} corrupt snapshots, \
+             {replayed} WAL records replayed"
+        );
+        println!(
+            "recovery: {checkpoints} checkpoints written, re-dissemination cost {rediss_uj:.0} uJ"
         );
     }
     if replan_threshold.is_some() {
@@ -658,6 +750,112 @@ mod tests {
         assert_eq!(run_vec(&["gen", "synthetic", "--rows", "100", "--out", out_s]), Ok(()));
         assert!(out.exists());
         std::fs::remove_file(out).ok();
+    }
+
+    #[test]
+    fn plan_with_fallback_ladder() {
+        assert_eq!(
+            run_vec(&[
+                "plan",
+                "--dataset",
+                "lab",
+                "--epochs",
+                "300",
+                "--motes",
+                "6",
+                "--query",
+                "light >= 350 AND temp <= 21",
+                "--splits",
+                "4",
+                "--grid",
+                "3",
+                "--fallback",
+                "yes",
+            ]),
+            Ok(())
+        );
+        // A starved budget descends the ladder instead of erroring.
+        assert_eq!(
+            run_vec(&[
+                "plan",
+                "--dataset",
+                "lab",
+                "--epochs",
+                "300",
+                "--motes",
+                "6",
+                "--query",
+                "light >= 350 AND temp <= 21",
+                "--fallback",
+                "yes",
+                "--budget",
+                "1",
+            ]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn simulate_with_crashes_and_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("acqp_cli_ckpt_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.to_str().unwrap();
+        assert_eq!(
+            run_vec(&[
+                "simulate",
+                "--dataset",
+                "garden5",
+                "--epochs",
+                "400",
+                "--query",
+                "temp0 BETWEEN 5 AND 25 AND hum0 <= 90",
+                "--motes",
+                "2",
+                "--splits",
+                "2",
+                "--checkpoint-dir",
+                dir_s,
+                "--checkpoint-every",
+                "8",
+                "--crash-epochs",
+                "20,60",
+            ]),
+            Ok(())
+        );
+        assert!(dir.join("wal.log").exists(), "journaling must have written a WAL");
+        std::fs::remove_dir_all(&dir).ok();
+        // Crashes without a checkpoint dir cold-start; still succeeds.
+        assert_eq!(
+            run_vec(&[
+                "simulate",
+                "--dataset",
+                "garden5",
+                "--epochs",
+                "300",
+                "--query",
+                "temp0 BETWEEN 5 AND 25",
+                "--motes",
+                "2",
+                "--splits",
+                "2",
+                "--crash-rate",
+                "0.05",
+            ]),
+            Ok(())
+        );
+        // Bad crash schedules are typed flag errors.
+        assert!(run_vec(&[
+            "simulate",
+            "--dataset",
+            "garden5",
+            "--epochs",
+            "100",
+            "--query",
+            "temp0 BETWEEN 5 AND 25",
+            "--crash-epochs",
+            "ten,20",
+        ])
+        .is_err());
     }
 
     #[test]

@@ -168,6 +168,49 @@ impl DriftMonitor {
         self.evaluated.iter_mut().for_each(|c| *c = 0);
         self.passed.iter_mut().for_each(|c| *c = 0);
     }
+
+    /// Exports the monitor's full mutable state for checkpointing. The
+    /// estimates are f64 bit patterns and the counts are exact, so a
+    /// [`DriftMonitor::from_state`] round trip is bit-identical: the
+    /// restored monitor makes the same `drifted()` decisions at the
+    /// same instants as the original.
+    pub fn state(&self) -> DriftMonitorState {
+        DriftMonitorState {
+            est: self.est.clone(),
+            evaluated: self.evaluated.clone(),
+            passed: self.passed.clone(),
+        }
+    }
+
+    /// Rebuilds a monitor from a checkpointed state. Rejects shapes
+    /// that cannot have come from a valid monitor (empty or mismatched
+    /// vector lengths, passed counts exceeding evaluated counts) so a
+    /// corrupt checkpoint surfaces as an error, not a later panic.
+    pub fn from_state(state: DriftMonitorState, cfg: DriftConfig) -> Result<Self> {
+        cfg.validate()?;
+        let n = state.est.len();
+        if n == 0 {
+            return Err(Error::EmptyQuery);
+        }
+        if state.evaluated.len() != n || state.passed.len() != n {
+            return Err(Error::Parse { what: "drift-monitor state vectors disagree in length" });
+        }
+        if state.passed.iter().zip(&state.evaluated).any(|(p, e)| p > e) {
+            return Err(Error::Parse { what: "drift-monitor passed count exceeds evaluated" });
+        }
+        Ok(DriftMonitor { cfg, est: state.est, evaluated: state.evaluated, passed: state.passed })
+    }
+}
+
+/// A [`DriftMonitor`]'s checkpointable state (see [`DriftMonitor::state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftMonitorState {
+    /// Planning-time per-predicate selectivity estimates.
+    pub est: Vec<f64>,
+    /// Evaluations absorbed per predicate.
+    pub evaluated: Vec<u64>,
+    /// Passes absorbed per predicate.
+    pub passed: Vec<u64>,
 }
 
 #[cfg(test)]
@@ -220,6 +263,33 @@ mod tests {
         m.reset(vec![0.5, 0.2]);
         assert!(!m.drifted());
         assert_eq!(m.total_evaluated(), 0);
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        let mut m = monitor(vec![0.5, 0.9], 0.3, 2);
+        m.observe_counts(0, 10, 5);
+        m.observe_counts(1, 7, 1);
+        let state = m.state();
+        let restored = DriftMonitor::from_state(state.clone(), *m.config()).unwrap();
+        for j in 0..2 {
+            assert_eq!(m.estimated(j).to_bits(), restored.estimated(j).to_bits());
+            assert_eq!(m.actual(j), restored.actual(j));
+        }
+        assert_eq!(m.drifted(), restored.drifted());
+        assert_eq!(m.total_evaluated(), restored.total_evaluated());
+        assert_eq!(restored.state(), state);
+
+        // Corrupt shapes are rejected, never panicking later.
+        let bad = DriftMonitorState { est: vec![0.5], evaluated: vec![1, 2], passed: vec![0] };
+        assert!(DriftMonitor::from_state(bad, DriftConfig::default()).is_err());
+        let inverted = DriftMonitorState { est: vec![0.5], evaluated: vec![1], passed: vec![2] };
+        assert!(DriftMonitor::from_state(inverted, DriftConfig::default()).is_err());
+        assert!(DriftMonitor::from_state(
+            DriftMonitorState { est: vec![], evaluated: vec![], passed: vec![] },
+            DriftConfig::default()
+        )
+        .is_err());
     }
 
     #[test]

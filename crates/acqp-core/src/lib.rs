@@ -85,6 +85,7 @@ pub mod planner;
 pub mod prob;
 pub mod query;
 pub mod range;
+pub mod sync;
 
 /// Convenient glob-import of the public API.
 pub mod prelude {
@@ -95,7 +96,7 @@ pub mod prelude {
     };
     pub use crate::costmodel::{acquired_mask, CostModel};
     pub use crate::dataset::{Dataset, Discretizer};
-    pub use crate::drift::{estimated_selectivities, DriftConfig, DriftMonitor};
+    pub use crate::drift::{estimated_selectivities, DriftConfig, DriftMonitor, DriftMonitorState};
     pub use crate::error::{Error, Result};
     pub use crate::exec::{
         execute, execute_metered, execute_model, ExecMetrics, ExecOutcome, RowSource, TupleSource,
@@ -106,14 +107,16 @@ pub mod prelude {
     pub use crate::explain::{explain, ExplainNode, SeqStepInfo};
     pub use crate::plan::{Plan, SeqOrder};
     pub use crate::planner::{
-        enumerate_plans, full_tree_count, EnumeratedPlans, ExhaustivePlanner, GreedyPlanner,
-        NaivePlanner, PlanReport, SeqAlgorithm, SeqPlanner, SplitGrid,
+        enumerate_plans, full_tree_count, DegradationLevel, EnumeratedPlans, ExhaustivePlanner,
+        FallbackPlanner, GreedyPlanner, NaivePlanner, PlanReport, SeqAlgorithm, SeqPlanner,
+        SplitGrid,
     };
     pub use crate::prob::{
         CountingEstimator, Estimator, IndependenceEstimator, TruthAccum, TruthTable,
     };
     pub use crate::query::{Pred, Query};
     pub use crate::range::{Range, Ranges};
+    pub use crate::sync::NoPoisonMutex;
 }
 
 pub use prelude::*;

@@ -17,6 +17,44 @@ use std::time::{Duration, Instant};
 
 use crate::plan::Plan;
 
+/// How far down the fallback ladder a plan came from (§ DESIGN.md §10).
+///
+/// The ladder `Exhaustive → GreedyPlan → GreedySeq → Naive` trades plan
+/// quality for robustness: each rung needs strictly less machinery (and
+/// less trust in the estimator) than the one above, and the bottom rung
+/// is a pure function of the schema that cannot fail. Every level yields
+/// an *executable, correct* plan — degradation affects expected cost
+/// only, never answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum DegradationLevel {
+    /// The primary (exhaustive dynamic-program) search succeeded.
+    #[default]
+    None,
+    /// The exhaustive search was unavailable (panic, budget exhausted)
+    /// and the greedy conditional planner produced the plan.
+    GreedyPlan,
+    /// Conditional planning was unavailable; the greedy sequential
+    /// ordering (§4.1.2) produced the plan.
+    GreedySeq,
+    /// Even sequential optimization was unavailable; the plan is the
+    /// naive cost-ordered predicate sequence, built without consulting
+    /// an estimator at all.
+    Naive,
+}
+
+impl DegradationLevel {
+    /// Stable lower-case label used in the `fallback.*` obs taxonomy and
+    /// CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradationLevel::None => "none",
+            DegradationLevel::GreedyPlan => "greedy_plan",
+            DegradationLevel::GreedySeq => "greedy_seq",
+            DegradationLevel::Naive => "naive",
+        }
+    }
+}
+
 /// The outcome of a plan search: the plan plus how the search went.
 #[derive(Debug, Clone)]
 pub struct PlanReport {
@@ -31,6 +69,15 @@ pub struct PlanReport {
     /// remaining work with sequential fallbacks. Untruncated exhaustive
     /// results are provably optimal under their split grid.
     pub truncated: bool,
+    /// Worker panics caught and isolated during a parallel search. The
+    /// plan is still valid — panicked subproblems were re-solved or
+    /// closed by surviving workers — but a nonzero count flags that the
+    /// process survived something abnormal.
+    pub worker_panics: usize,
+    /// Which rung of the fallback ladder produced this plan. Planners
+    /// invoked directly always report [`DegradationLevel::None`]; the
+    /// [`super::FallbackPlanner`] records how far it had to descend.
+    pub degradation: DegradationLevel,
 }
 
 /// Shared, thread-safe effort accounting for one plan search.

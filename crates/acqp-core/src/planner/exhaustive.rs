@@ -47,8 +47,8 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use acqp_obs::{Counter, Recorder};
@@ -60,8 +60,9 @@ use crate::plan::{Plan, SeqOrder};
 use crate::prob::Estimator;
 use crate::query::Query;
 use crate::range::{Range, Ranges};
+use crate::sync::NoPoisonMutex;
 
-use super::budget::{PlanReport, SearchLimits};
+use super::budget::{DegradationLevel, PlanReport, SearchLimits};
 use super::seq::SeqPlanner;
 use super::spsf::SplitGrid;
 
@@ -188,6 +189,7 @@ impl ExhaustivePlanner {
             model: self.cost_model.clone(),
             limits: SearchLimits::new(self.max_subproblems, self.time_budget),
             metrics: SearchMetrics::new(&self.recorder),
+            panics: AtomicUsize::new(0),
         };
         let root = est.root();
         let span = self.recorder.span("planner.exhaustive");
@@ -212,6 +214,8 @@ impl ExhaustivePlanner {
             expected_cost: cost,
             subproblems: search.limits.used(),
             truncated: search.limits.truncated(),
+            worker_panics: search.panics.load(Ordering::Relaxed),
+            degradation: DegradationLevel::None,
         })
     }
 }
@@ -236,6 +240,8 @@ struct SearchMetrics {
     budget_denied: Counter,
     /// 1 when the search ended truncated.
     budget_truncated: Counter,
+    /// Worker panics caught by the warm pool's isolation shell.
+    panic_caught: Counter,
 }
 
 impl SearchMetrics {
@@ -249,6 +255,7 @@ impl SearchMetrics {
             split_evaluated: rec.counter("planner.split.evaluated"),
             budget_denied: rec.counter("planner.budget.denied"),
             budget_truncated: rec.counter("planner.budget.truncated"),
+            panic_caught: rec.counter("planner.panic.caught"),
         }
     }
 }
@@ -260,7 +267,7 @@ const MEMO_SHARDS: usize = 64;
 /// Values are canonical (see the module docs), so racing writers for the
 /// same key always store the same value and overwrites are benign.
 struct ShardedMemo {
-    shards: Vec<Mutex<HashMap<Ranges, (f64, Plan)>>>,
+    shards: Vec<NoPoisonMutex<HashMap<Ranges, (f64, Plan)>>>,
     /// Per-shard lookup outcomes: `(hits, misses)` per shard, kept as
     /// plain relaxed atomics (noise next to the shard mutex) so shard
     /// balance can be reported even though lookups race.
@@ -270,7 +277,7 @@ struct ShardedMemo {
 impl ShardedMemo {
     fn new() -> Self {
         ShardedMemo {
-            shards: (0..MEMO_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..MEMO_SHARDS).map(|_| NoPoisonMutex::new(HashMap::new())).collect(),
             stats: (0..MEMO_SHARDS).map(|_| (AtomicU64::new(0), AtomicU64::new(0))).collect(),
         }
     }
@@ -283,14 +290,14 @@ impl ShardedMemo {
 
     fn get(&self, key: &Ranges) -> Option<(f64, Plan)> {
         let i = self.shard_index(key);
-        let found = self.shards[i].lock().unwrap().get(key).cloned();
+        let found = self.shards[i].lock().get(key).cloned();
         let (hits, misses) = &self.stats[i];
         if found.is_some() { hits } else { misses }.fetch_add(1, Ordering::Relaxed);
         found
     }
 
     fn insert(&self, key: Ranges, value: (f64, Plan)) {
-        self.shards[self.shard_index(&key)].lock().unwrap().insert(key, value);
+        self.shards[self.shard_index(&key)].lock().insert(key, value);
     }
 
     /// Publishes per-shard hit/miss/size gauges
@@ -305,7 +312,7 @@ impl ShardedMemo {
             rec.gauge(&format!("planner.memo.shard{i}.misses"), m as f64);
             rec.gauge(
                 &format!("planner.memo.shard{i}.entries"),
-                self.shards[i].lock().unwrap().len() as f64,
+                self.shards[i].lock().len() as f64,
             );
         }
     }
@@ -321,6 +328,8 @@ struct Search<'a, E: Estimator> {
     model: crate::costmodel::CostModel,
     limits: SearchLimits,
     metrics: SearchMetrics,
+    /// Worker panics caught during `warm_parallel` (see there).
+    panics: AtomicUsize,
 }
 
 impl<E: Estimator> Search<'_, E> {
@@ -499,6 +508,17 @@ impl<E: Estimator> Search<'_, E> {
     /// Worker errors are swallowed here — a failing subproblem is not
     /// memoized, so the serial pass re-encounters the same error
     /// deterministically.
+    ///
+    /// Worker *panics* are likewise isolated: each `solve` runs under
+    /// `catch_unwind`, so one panicking subproblem costs only its own
+    /// memo entry while the surviving workers drain the queue. The memo
+    /// shards use [`NoPoisonMutex`], so a panic inside an estimator call
+    /// cannot poison shared planner state (only whole `(cost, plan)`
+    /// values are ever inserted). Caught panics are counted into
+    /// `planner.panic.caught` and surface as
+    /// [`PlanReport::worker_panics`]; the combine pass still returns a
+    /// correct report because it re-solves anything the dead worker
+    /// failed to memoize.
     fn warm_parallel(&self, root: &E::Ctx, threads: usize) {
         let tasks = self.frontier(root, threads * 4);
         if tasks.len() < 2 {
@@ -508,20 +528,35 @@ impl<E: Estimator> Search<'_, E> {
         for t in tasks {
             injector.push(t);
         }
-        crossbeam::scope(|s| {
+        let scope_result = crossbeam::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|_| loop {
                     match injector.steal() {
                         Steal::Success(ctx) => {
-                            let _ = self.solve(&ctx);
+                            if catch_unwind(AssertUnwindSafe(|| {
+                                let _ = self.solve(&ctx);
+                            }))
+                            .is_err()
+                            {
+                                self.panics.fetch_add(1, Ordering::Relaxed);
+                                self.metrics.panic_caught.incr(1);
+                            }
                         }
                         Steal::Empty => break,
                         Steal::Retry => {}
                     }
                 });
             }
-        })
-        .expect("planner worker panicked");
+        });
+        // `catch_unwind` above absorbs worker panics, so the scope only
+        // errs if a thread died outside the isolation shell (e.g. the
+        // runtime failed to spawn). Even then the warm pass is merely an
+        // accelerator — record the event and let the serial combine
+        // produce the answer.
+        if scope_result.is_err() {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            self.metrics.panic_caught.incr(1);
+        }
     }
 
     /// Collects distinct reachable subproblems one or two split levels

@@ -31,8 +31,8 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use acqp_obs::{Counter, Recorder};
@@ -43,8 +43,9 @@ use crate::plan::{Plan, SeqOrder};
 use crate::prob::{Estimator, TruthAccum, TruthTable};
 use crate::query::Query;
 use crate::range::{Range, Ranges};
+use crate::sync::NoPoisonMutex;
 
-use super::budget::PlanReport;
+use super::budget::{DegradationLevel, PlanReport};
 use super::seq::{SeqAlgorithm, SeqPlanner};
 use super::spsf::SplitGrid;
 use super::OrdF64;
@@ -210,6 +211,8 @@ impl GreedyPlanner {
                 expected_cost: 0.0,
                 subproblems: 0,
                 truncated: false,
+                worker_panics: 0,
+                degradation: DegradationLevel::None,
             });
         }
         let deadline = self.time_budget.map(|d| Instant::now() + d);
@@ -218,6 +221,8 @@ impl GreedyPlanner {
         // `subproblems` field, mirroring the exhaustive planner.
         let opened = self.recorder.counter("planner.subproblems.opened");
         let split_eval = self.recorder.counter("planner.split.evaluated");
+        // Worker panics caught by the parallel sweep's isolation shell.
+        let panics = AtomicUsize::new(0);
 
         // Arena-based tree under construction. Leaf payloads live in
         // `leaves`; arena nodes reference them by slot.
@@ -247,8 +252,17 @@ impl GreedyPlanner {
             let table = est.truth_table(&root_ctx, query);
             let (order, seq_cost) = seq.order_for(schema, query, &root_ranges, &table)?;
             plan_cost = seq_cost;
-            let split =
-                self.greedy_split(schema, query, est, &seq, &grid, &root_ctx, &table, &split_eval)?;
+            let split = self.greedy_split(
+                schema,
+                query,
+                est,
+                &seq,
+                &grid,
+                &root_ctx,
+                &table,
+                &split_eval,
+                &panics,
+            )?;
             let state = LeafState {
                 ctx: root_ctx,
                 ranges: root_ranges,
@@ -306,7 +320,17 @@ impl GreedyPlanner {
                     None
                 } else {
                     let table = est.truth_table(&ctx, query);
-                    self.greedy_split(schema, query, est, &seq, &grid, &ctx, &table, &split_eval)?
+                    self.greedy_split(
+                        schema,
+                        query,
+                        est,
+                        &seq,
+                        &grid,
+                        &ctx,
+                        &table,
+                        &split_eval,
+                        &panics,
+                    )?
                 };
                 let state = LeafState { ctx, ranges, decided, order, seq_cost, split, arena_idx };
                 let leaf_slot = leaves.len();
@@ -345,11 +369,17 @@ impl GreedyPlanner {
                 ),
             }
         }
+        let worker_panics = panics.load(Ordering::Relaxed);
+        if worker_panics > 0 {
+            self.recorder.counter("planner.panic.caught").incr(worker_panics as u64);
+        }
         Ok(PlanReport {
             plan: realize(&arena, &leaves, 0),
             expected_cost: plan_cost,
             subproblems: splits_used,
             truncated,
+            worker_panics,
+            degradation: DegradationLevel::None,
         })
     }
 
@@ -360,6 +390,12 @@ impl GreedyPlanner {
     /// Each attribute's cut sweep is scored independently (optionally in
     /// parallel) and the winner is reduced in attribute-index order with
     /// a strict `<`, so the result does not depend on thread count.
+    ///
+    /// A worker that panics mid-sweep is isolated (`catch_unwind` around
+    /// each attribute's scoring, [`NoPoisonMutex`] around the result
+    /// slots): its slot is simply left empty and re-scored serially
+    /// after the pool drains, so the reduce still sees every candidate
+    /// and the chosen split stays bit-identical to the serial sweep.
     #[allow(clippy::too_many_arguments)] // mirrors Fig. 6's parameter list
     fn greedy_split<E: Estimator>(
         &self,
@@ -371,6 +407,7 @@ impl GreedyPlanner {
         ctx: &E::Ctx,
         table: &TruthTable,
         split_eval: &Counter,
+        panics: &AtomicUsize,
     ) -> Result<Option<BestSplit>> {
         let ranges = est.ranges(ctx).clone();
         let total_w = table.total();
@@ -380,30 +417,51 @@ impl GreedyPlanner {
         let cand: Vec<usize> = (0..schema.len()).filter(|&a| !ranges.get(a).is_point()).collect();
 
         let scored: Vec<Result<Option<BestSplit>>> = if self.threads > 1 && cand.len() > 1 {
-            let slots: Mutex<Vec<Option<Result<Option<BestSplit>>>>> =
-                Mutex::new(vec![None; cand.len()]);
+            let slots: NoPoisonMutex<Vec<Option<Result<Option<BestSplit>>>>> =
+                NoPoisonMutex::new(vec![None; cand.len()]);
             let next = AtomicUsize::new(0);
-            crossbeam::scope(|s| {
+            let scope_result = crossbeam::scope(|s| {
                 for _ in 0..self.threads.min(cand.len()) {
                     s.spawn(|_| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= cand.len() {
                             break;
                         }
-                        let r = self.score_attr(
-                            schema, query, est, seq, grid, ctx, table, &ranges, total_w, cand[i],
-                            split_eval,
-                        );
-                        slots.lock().unwrap()[i] = Some(r);
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            self.score_attr(
+                                schema, query, est, seq, grid, ctx, table, &ranges, total_w,
+                                cand[i], split_eval,
+                            )
+                        }));
+                        match r {
+                            Ok(r) => slots.lock()[i] = Some(r),
+                            Err(_) => {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
                     });
                 }
-            })
-            .expect("greedy-split worker panicked");
+            });
+            if scope_result.is_err() {
+                // A worker died outside its isolation shell; its slots
+                // are re-scored below like any other panicked slot.
+                panics.fetch_add(1, Ordering::Relaxed);
+            }
             slots
                 .into_inner()
-                .unwrap()
                 .into_iter()
-                .map(|slot| slot.expect("every candidate attribute was scored"))
+                .enumerate()
+                .map(|(i, slot)| match slot {
+                    Some(r) => r,
+                    // Panicked (or never-started) slot: re-score on this
+                    // thread. `score_attr` is a pure function of the
+                    // subproblem, so the serial retry returns exactly
+                    // what the healthy worker would have.
+                    None => self.score_attr(
+                        schema, query, est, seq, grid, ctx, table, &ranges, total_w, cand[i],
+                        split_eval,
+                    ),
+                })
                 .collect()
         } else {
             cand.iter()

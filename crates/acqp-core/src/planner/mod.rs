@@ -12,17 +12,23 @@
 //!   by the Split Point Selection Factor (SPSF).
 //! * [`enumerate_plans`] — brute-force enumeration of all conditional
 //!   plans for tiny instances (the Fig. 3 example).
+//! * [`FallbackPlanner`] — the degraded-mode ladder
+//!   `Exhaustive → GreedyPlan → GreedySeq → Naive`: panic-isolated,
+//!   budget-driven planning that always returns an executable plan
+//!   tagged with its [`DegradationLevel`].
 
 mod budget;
 mod enumerate;
 mod exhaustive;
+mod fallback;
 mod greedy;
 mod seq;
 mod spsf;
 
-pub use budget::PlanReport;
+pub use budget::{DegradationLevel, PlanReport};
 pub use enumerate::{enumerate_plans, full_tree_count, EnumeratedPlans};
 pub use exhaustive::ExhaustivePlanner;
+pub use fallback::FallbackPlanner;
 pub use greedy::GreedyPlanner;
 pub use seq::{NaivePlanner, SeqAlgorithm, SeqPlanner};
 pub use spsf::SplitGrid;

@@ -9,7 +9,7 @@
 //! cached, so building a conditioned joint truth distribution is a gather
 //! plus an aggregation.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use acqp_obs::{Counter, Recorder};
 
@@ -18,6 +18,7 @@ use crate::dataset::Dataset;
 use crate::prob::{Estimator, TruthTable};
 use crate::query::Query;
 use crate::range::{Range, Ranges};
+use crate::sync::NoPoisonMutex;
 
 /// A conditioned view of the dataset: range constraints plus the rows
 /// that satisfy them.
@@ -39,8 +40,9 @@ pub struct CountingEstimator<'d> {
     data: &'d Dataset,
     root_ranges: Ranges,
     /// Memoized per-row truth bitmasks for the most recent query,
-    /// behind a mutex so planner worker threads can share the estimator.
-    mask_cache: Mutex<Option<(Query, Arc<Vec<u64>>)>>,
+    /// behind a non-poisoning mutex so planner worker threads can share
+    /// the estimator even when one of them panics mid-search.
+    mask_cache: NoPoisonMutex<Option<(Query, Arc<Vec<u64>>)>>,
     /// `estimator.mask_cache.hit` — lookups served from the cache.
     cache_hit: Counter,
     /// `estimator.mask_cache.miss` — lookups that rebuilt the masks.
@@ -73,7 +75,7 @@ impl<'d> CountingEstimator<'d> {
         CountingEstimator {
             data,
             root_ranges: ranges,
-            mask_cache: Mutex::new(None),
+            mask_cache: NoPoisonMutex::new(None),
             cache_hit: Counter::new(),
             cache_miss: Counter::new(),
         }
@@ -93,8 +95,32 @@ impl<'d> CountingEstimator<'d> {
         self.data
     }
 
+    /// The cached per-row truth masks, if a query has been estimated:
+    /// the pair `(query, masks)` where `masks[row]` is
+    /// [`Query::truth_mask`] of that historical row. This is the
+    /// estimator's learned statistic worth checkpointing — recomputing
+    /// it is one full pass over the dataset per query.
+    pub fn cached_masks(&self) -> Option<(Query, Vec<u64>)> {
+        let cache = self.mask_cache.lock();
+        cache.as_ref().map(|(q, m)| (q.clone(), m.as_ref().clone()))
+    }
+
+    /// Seeds the mask cache from a recovered checkpoint. The masks must
+    /// have been produced by [`CountingEstimator::cached_masks`] over a
+    /// bit-identical dataset; a length mismatch means the checkpoint does
+    /// not describe this dataset and is ignored (the cache will simply
+    /// rebuild on first use).
+    pub fn seed_masks(&self, query: Query, masks: Vec<u64>) -> bool {
+        if masks.len() != self.data.len() {
+            return false;
+        }
+        let mut cache = self.mask_cache.lock();
+        *cache = Some((query, Arc::new(masks)));
+        true
+    }
+
     fn masks_for(&self, query: &Query) -> Arc<Vec<u64>> {
-        let mut cache = self.mask_cache.lock().unwrap();
+        let mut cache = self.mask_cache.lock();
         if let Some((q, masks)) = cache.as_ref() {
             if q == query {
                 self.cache_hit.incr(1);
@@ -331,6 +357,37 @@ mod tests {
         let snap = rec.drain();
         assert_eq!(snap.counter("estimator.mask_cache.miss"), 1);
         assert_eq!(snap.counter("estimator.mask_cache.hit"), 5);
+    }
+
+    /// Checkpoint support: exported masks re-seeded into a fresh
+    /// estimator must reproduce the same truth tables without a rebuild.
+    #[test]
+    fn cached_masks_round_trip_bitwise() {
+        let (schema, data) = setup();
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let q = Query::new(vec![Pred::in_range(0, 0, 1), Pred::in_range(1, 0, 1)]).unwrap();
+        assert!(est.cached_masks().is_none());
+        let root = est.root();
+        let before = est.truth_table(&root, &q);
+        let (cq, masks) = est.cached_masks().unwrap();
+        assert_eq!(cq, q);
+
+        use acqp_obs::{NoopSink, Recorder};
+        let rec = Recorder::new(std::sync::Arc::new(NoopSink));
+        let fresh =
+            CountingEstimator::with_ranges(&data, Ranges::root(&schema)).with_recorder(&rec);
+        assert!(fresh.seed_masks(cq, masks));
+        let after = fresh.truth_table(&fresh.root(), &q);
+        assert_eq!(before, after);
+        // The seeded cache serves the query without a single miss.
+        let snap = rec.drain();
+        assert_eq!(snap.counter("estimator.mask_cache.miss"), 0);
+        assert_eq!(snap.counter("estimator.mask_cache.hit"), 1);
+
+        // Masks for a different dataset shape are rejected, not trusted.
+        let thin = Dataset::from_rows(&schema, vec![vec![0, 0, 0]]).unwrap();
+        let other = CountingEstimator::with_ranges(&thin, Ranges::root(&schema));
+        assert!(!other.seed_masks(q, vec![0; 99]));
     }
 
     #[test]

@@ -4,57 +4,89 @@
 //! Format: a header row of attribute names, then one row of discretized
 //! `u16` values per tuple. Hand-rolled (the format is trivial and keeps
 //! the workspace dependency-light).
+//!
+//! Loading never panics, whatever the bytes: every failure mode —
+//! unreadable file, invalid UTF-8, bad header, malformed row, value
+//! outside the schema's domain — is a typed [`LoadError`].
 
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use acqp_core::{Dataset, Schema};
 
+use crate::error::{io_err, LoadError, Result};
+
 /// Writes `data` as CSV with a header derived from `schema`.
-pub fn save_csv(path: &Path, schema: &Schema, data: &Dataset) -> io::Result<()> {
-    let mut out = BufWriter::new(File::create(path)?);
-    let names: Vec<&str> = schema.attrs().iter().map(|a| a.name()).collect();
-    writeln!(out, "{}", names.join(","))?;
-    for row in 0..data.len() {
-        for a in 0..schema.len() {
-            if a > 0 {
-                write!(out, ",")?;
+pub fn save_csv(path: &Path, schema: &Schema, data: &Dataset) -> Result<()> {
+    let mut out = BufWriter::new(File::create(path).map_err(|e| io_err(path, e))?);
+    let write = |out: &mut BufWriter<File>| -> std::io::Result<()> {
+        let names: Vec<&str> = schema.attrs().iter().map(|a| a.name()).collect();
+        writeln!(out, "{}", names.join(","))?;
+        for row in 0..data.len() {
+            for a in 0..schema.len() {
+                if a > 0 {
+                    write!(out, ",")?;
+                }
+                write!(out, "{}", data.value(row, a))?;
             }
-            write!(out, "{}", data.value(row, a))?;
+            writeln!(out)?;
         }
-        writeln!(out)?;
-    }
-    out.flush()
+        out.flush()
+    };
+    write(&mut out).map_err(|e| io_err(path, e))
 }
 
 /// Reads a CSV produced by [`save_csv`] (or any header + u16 rows file
 /// whose columns match `schema` in order).
-pub fn load_csv(path: &Path, schema: &Schema) -> io::Result<Dataset> {
-    let mut lines = BufReader::new(File::open(path)?).lines();
-    let header =
-        lines.next().ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))??;
+pub fn load_csv(path: &Path, schema: &Schema) -> Result<Dataset> {
+    let file = File::open(path).map_err(|e| io_err(path, e))?;
+    parse_csv(BufReader::new(file), schema).map_err(|e| match e {
+        // Mid-stream read failures (including invalid UTF-8) carry the
+        // path for context.
+        LoadError::Io { what, .. } => LoadError::Io { path: path.display().to_string(), what },
+        other => other,
+    })
+}
+
+/// Parses CSV from any reader — the pure core behind [`load_csv`],
+/// directly fuzzable without touching the filesystem.
+pub fn parse_csv<R: BufRead>(reader: R, schema: &Schema) -> Result<Dataset> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or(LoadError::Header { what: "empty csv".into() })?
+        .map_err(|e| LoadError::Io { path: String::new(), what: e.to_string() })?;
     let names: Vec<&str> = header.split(',').collect();
     if names.len() != schema.len() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("csv has {} columns, schema has {}", names.len(), schema.len()),
-        ));
+        return Err(LoadError::Header {
+            what: format!("csv has {} columns, schema has {}", names.len(), schema.len()),
+        });
     }
     let mut rows = Vec::new();
     for (i, line) in lines.enumerate() {
-        let line = line?;
+        let lineno = i + 2;
+        let line = line.map_err(|e| LoadError::Io { path: String::new(), what: e.to_string() })?;
         if line.is_empty() {
             continue;
         }
-        let row: Result<Vec<u16>, _> = line.split(',').map(str::parse::<u16>).collect();
-        let row = row.map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("row {}: {e}", i + 2))
-        })?;
+        let mut row = Vec::with_capacity(schema.len());
+        for field in line.split(',') {
+            let v: u16 = field.trim().parse().map_err(|_| LoadError::Line {
+                line: lineno,
+                what: format!("`{field}` is not a u16 value"),
+            })?;
+            row.push(v);
+        }
+        if row.len() != schema.len() {
+            return Err(LoadError::Line {
+                line: lineno,
+                what: format!("{} values, schema has {} columns", row.len(), schema.len()),
+            });
+        }
         rows.push(row);
     }
-    Dataset::from_rows(schema, rows)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    Ok(Dataset::from_rows(schema, rows)?)
 }
 
 #[cfg(test)]
@@ -90,5 +122,28 @@ mod tests {
         std::fs::write(&path, "a\nx\n").unwrap();
         assert!(load_csv(&path, &schema).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn typed_errors_carry_location() {
+        let schema = Schema::new(vec![Attribute::new("a", 8, 1.0)]).unwrap();
+        match parse_csv("a\n1\nbogus\n".as_bytes(), &schema) {
+            Err(LoadError::Line { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected a line error, got {other:?}"),
+        }
+        match parse_csv("".as_bytes(), &schema) {
+            Err(LoadError::Header { .. }) => {}
+            other => panic!("expected a header error, got {other:?}"),
+        }
+        // Values beyond the domain surface core validation, not a panic.
+        match parse_csv("a\n9\n".as_bytes(), &schema) {
+            Err(LoadError::Data(_)) => {}
+            other => panic!("expected a data error, got {other:?}"),
+        }
+        // Missing file is an Io error with the path in it.
+        match load_csv(Path::new("/nonexistent/acqp.csv"), &schema) {
+            Err(LoadError::Io { path, .. }) => assert!(path.contains("acqp.csv")),
+            other => panic!("expected an io error, got {other:?}"),
+        }
     }
 }

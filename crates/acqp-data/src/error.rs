@@ -1,0 +1,62 @@
+//! Typed loader errors.
+//!
+//! The CSV and schema-file loaders ingest bytes from outside the
+//! process — exactly the inputs that show up truncated, corrupted, or
+//! malicious. Every failure mode is a variant here; none of them is a
+//! panic (see `tests/corruption.rs` for the fuzz-style guarantee).
+
+use std::fmt;
+
+/// Why a trace or schema file failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The underlying file could not be read or written.
+    Io {
+        /// Path involved.
+        path: String,
+        /// The OS error text.
+        what: String,
+    },
+    /// The file-level structure is wrong (empty file, bad header,
+    /// column count mismatch).
+    Header {
+        /// What was wrong.
+        what: String,
+    },
+    /// A specific line failed to parse (1-based line number).
+    Line {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What was wrong.
+        what: String,
+    },
+    /// The parsed content was rejected by `acqp-core` validation
+    /// (wrong arity, value outside the attribute's domain, ...).
+    Data(acqp_core::Error),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io { path, what } => write!(f, "{path}: {what}"),
+            LoadError::Header { what } => write!(f, "{what}"),
+            LoadError::Line { line, what } => write!(f, "line {line}: {what}"),
+            LoadError::Data(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<acqp_core::Error> for LoadError {
+    fn from(e: acqp_core::Error) -> Self {
+        LoadError::Data(e)
+    }
+}
+
+/// Shorthand for loader results.
+pub type Result<T> = std::result::Result<T, LoadError>;
+
+pub(crate) fn io_err(path: &std::path::Path, e: std::io::Error) -> LoadError {
+    LoadError::Io { path: path.display().to_string(), what: e.to_string() }
+}

@@ -21,7 +21,8 @@
 //!   NOT-range predicates over every mote, the synthetic all-expensive
 //!   conjunction).
 //! * [`csv`] — plain-text import/export so real TinyDB traces can be
-//!   dropped in.
+//!   dropped in. Loaders return typed [`LoadError`]s and never panic on
+//!   hostile bytes (fuzzed in `tests/corruption.rs`).
 //! * [`schema_file`] — textual schema descriptions (name, domain, cost,
 //!   natural range) so external traces plan without writing Rust.
 //!
@@ -29,6 +30,7 @@
 
 #![warn(missing_docs)]
 pub mod csv;
+pub mod error;
 pub mod garden;
 pub mod lab;
 pub mod rng;
@@ -37,6 +39,8 @@ pub mod synthetic;
 pub mod workload;
 
 use acqp_core::{Dataset, Discretizer, Schema};
+
+pub use error::LoadError;
 
 /// A generated dataset bundle: schema, discretized data, and the
 /// discretizers that map bins back to natural units (None for attributes

@@ -13,51 +13,67 @@
 //! Lines starting with `#` and blank lines are ignored. When the
 //! optional natural range is present, a uniform [`Discretizer`] is
 //! attached so queries can be written in natural units.
+//!
+//! Loading never panics, whatever the bytes: every failure mode is a
+//! typed [`LoadError`] naming the offending line.
 
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use acqp_core::{Attribute, Discretizer, Schema};
+
+use crate::error::{io_err, LoadError, Result};
 
 /// A schema plus its per-attribute discretizers.
 pub type SchemaWithUnits = (Schema, Vec<Option<Discretizer>>);
 
 /// Parses a schema description file.
-pub fn load_schema(path: &Path) -> io::Result<SchemaWithUnits> {
-    let reader = BufReader::new(File::open(path)?);
+pub fn load_schema(path: &Path) -> Result<SchemaWithUnits> {
+    let file = File::open(path).map_err(|e| io_err(path, e))?;
+    parse_schema(BufReader::new(file)).map_err(|e| match e {
+        LoadError::Io { what, .. } => LoadError::Io { path: path.display().to_string(), what },
+        other => other,
+    })
+}
+
+/// Parses a schema description from any reader — the pure core behind
+/// [`load_schema`], directly fuzzable without touching the filesystem.
+pub fn parse_schema<R: BufRead>(reader: R) -> Result<SchemaWithUnits> {
     let mut attrs = Vec::new();
     let mut discs = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+        let line = line.map_err(|e| LoadError::Io { path: String::new(), what: e.to_string() })?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        let err = |what: &str| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("schema line {}: {what}: `{line}`", lineno + 1),
-            )
-        };
+        let err =
+            |what: String| LoadError::Line { line: lineno + 1, what: format!("{what}: `{line}`") };
         if !(3..=5).contains(&fields.len()) || fields.len() == 4 {
-            return Err(err("expected `name, bins, cost` or `name, bins, cost, min, max`"));
+            return Err(err("expected `name, bins, cost` or `name, bins, cost, min, max`".into()));
         }
         let name = fields[0];
         if name.is_empty() {
-            return Err(err("empty attribute name"));
+            return Err(err("empty attribute name".into()));
         }
-        let bins: u16 = fields[1].parse().map_err(|_| err("bad domain size"))?;
+        let bins: u16 = fields[1].parse().map_err(|_| err("bad domain size".into()))?;
         if bins == 0 {
-            return Err(err("domain size must be positive"));
+            return Err(err("domain size must be positive".into()));
         }
-        let cost: f64 = fields[2].parse().map_err(|_| err("bad cost"))?;
+        let cost: f64 = fields[2].parse().map_err(|_| err("bad cost".into()))?;
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(err("cost must be finite and non-negative".into()));
+        }
         let disc = if fields.len() == 5 {
-            let min: f64 = fields[3].parse().map_err(|_| err("bad natural min"))?;
-            let max: f64 = fields[4].parse().map_err(|_| err("bad natural max"))?;
+            let min: f64 = fields[3].parse().map_err(|_| err("bad natural min".into()))?;
+            let max: f64 = fields[4].parse().map_err(|_| err("bad natural max".into()))?;
+            if !(min.is_finite() && max.is_finite()) {
+                return Err(err("natural range must be finite".into()));
+            }
             if max <= min {
-                return Err(err("natural max must exceed min"));
+                return Err(err("natural max must exceed min".into()));
             }
             Some(Discretizer::uniform(min, max, bins))
         } else {
@@ -66,8 +82,7 @@ pub fn load_schema(path: &Path) -> io::Result<SchemaWithUnits> {
         attrs.push(Attribute::new(name, bins, cost));
         discs.push(disc);
     }
-    let schema = Schema::new(attrs)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let schema = Schema::new(attrs)?;
     Ok((schema, discs))
 }
 
@@ -76,24 +91,27 @@ pub fn save_schema(
     path: &Path,
     schema: &Schema,
     discretizers: &[Option<Discretizer>],
-) -> io::Result<()> {
-    let mut out = BufWriter::new(File::create(path)?);
-    writeln!(out, "# name, domain_bins, acquisition_cost [, natural_min, natural_max]")?;
-    for (i, a) in schema.attrs().iter().enumerate() {
-        match discretizers.get(i).and_then(|d| d.as_ref()) {
-            Some(d) => writeln!(
-                out,
-                "{}, {}, {}, {}, {}",
-                a.name(),
-                a.domain(),
-                a.cost(),
-                d.bin_lo(0),
-                d.bin_hi(d.bins() - 1)
-            )?,
-            None => writeln!(out, "{}, {}, {}", a.name(), a.domain(), a.cost())?,
+) -> Result<()> {
+    let mut out = BufWriter::new(File::create(path).map_err(|e| io_err(path, e))?);
+    let write = |out: &mut BufWriter<File>| -> std::io::Result<()> {
+        writeln!(out, "# name, domain_bins, acquisition_cost [, natural_min, natural_max]")?;
+        for (i, a) in schema.attrs().iter().enumerate() {
+            match discretizers.get(i).and_then(|d| d.as_ref()) {
+                Some(d) => writeln!(
+                    out,
+                    "{}, {}, {}, {}, {}",
+                    a.name(),
+                    a.domain(),
+                    a.cost(),
+                    d.bin_lo(0),
+                    d.bin_hi(d.bins() - 1)
+                )?,
+                None => writeln!(out, "{}, {}, {}", a.name(), a.domain(), a.cost())?,
+            }
         }
-    }
-    out.flush()
+        out.flush()
+    };
+    write(&mut out).map_err(|e| io_err(path, e))
 }
 
 #[cfg(test)]
@@ -141,11 +159,21 @@ mod tests {
             ("f5", "light, 0, 1\n"),
             ("f6", ", 8, 1\n"),
             ("f7", ""),
+            ("f8", "light, 8, NaN\n"),
+            ("f9", "light, 8, 1, NaN, 5\n"),
         ] {
             let p = tmp(name);
             std::fs::write(&p, body).unwrap();
             assert!(load_schema(&p).is_err(), "{body:?} should fail");
             std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn errors_name_the_offending_line() {
+        match parse_schema("# header\nlight, 8, 1\nbroken\n".as_bytes()) {
+            Err(LoadError::Line { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected a line error, got {other:?}"),
         }
     }
 }

@@ -1,0 +1,63 @@
+//! Fuzz-style robustness for the external-input loaders: no byte
+//! stream — random garbage, truncated files, or a corrupted valid
+//! artifact — may panic the CSV or schema parsers. Failures must be
+//! typed [`LoadError`]s, successes must validate against the schema.
+
+use acqp_core::{Attribute, Schema};
+use acqp_data::csv::parse_csv;
+use acqp_data::schema_file::parse_schema;
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![Attribute::new("a", 16, 1.0), Attribute::new("b", 300, 2.0)]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    /// Arbitrary bytes (including invalid UTF-8) never panic the CSV
+    /// parser, and anything it accepts fits the schema.
+    #[test]
+    fn random_bytes_never_panic_csv(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(data) = parse_csv(&bytes[..], &schema()) {
+            for r in 0..data.len() {
+                prop_assert!(data.value(r, 0) < 16 && data.value(r, 1) < 300);
+            }
+        }
+    }
+
+    /// Arbitrary bytes never panic the schema parser, and anything it
+    /// accepts is a valid schema with finite costs.
+    #[test]
+    fn random_bytes_never_panic_schema(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok((schema, discs)) = parse_schema(&bytes[..]) {
+            prop_assert_eq!(schema.len(), discs.len());
+            for a in schema.attrs() {
+                prop_assert!(a.domain() > 0);
+                prop_assert!(a.cost().is_finite());
+            }
+        }
+    }
+
+    /// Corrupting a *valid* CSV — overwriting a window with garbage or
+    /// truncating it — degrades to a typed error or a still-valid
+    /// dataset, never a panic.
+    #[test]
+    fn corrupted_valid_csv_never_panics(
+        pos in 0usize..64,
+        garbage in proptest::collection::vec(any::<u8>(), 1..8),
+        cut in 0usize..64,
+    ) {
+        let good = b"a,b\n1,2\n15,299\n0,0\n3,7\n".to_vec();
+        let mut bytes = good.clone();
+        let pos = pos % bytes.len();
+        for (i, g) in garbage.iter().enumerate() {
+            if pos + i < bytes.len() {
+                bytes[pos + i] = *g;
+            }
+        }
+        let _ = parse_csv(&bytes[..], &schema());
+        let cut = cut % (good.len() + 1);
+        let _ = parse_csv(&good[..cut], &schema());
+    }
+}

@@ -1,0 +1,113 @@
+//! # acqp-persist — crash-safe basestation persistence
+//!
+//! The basestation's most expensive asset is state it *learned*: the
+//! counting estimator's per-row truth masks (one full dataset pass per
+//! query, §5), the drift monitor's accumulated per-predicate counts,
+//! the sliding window of live tuples, and the currently adopted plan
+//! version. A process crash that loses them forces a cold restart that
+//! re-pays all of it — plus a full re-dissemination over the radio,
+//! the paper's dominant energy cost. This crate persists that state
+//! with two cooperating artifacts, hand-rolled with zero external
+//! dependencies (like `acqp-obs`):
+//!
+//! * **Snapshots** ([`snapshot`]) — a versioned, checksummed, atomic
+//!   full-state image ([`BasestationCheckpoint`]), written at a
+//!   configurable epoch cadence.
+//! * **Write-ahead log** ([`wal`]) — an append-only journal of state
+//!   *deltas* ([`WalRecord`]) between snapshots, each record
+//!   sequence-numbered and individually checksummed.
+//!
+//! [`CheckpointStore`] ([`store`]) manages a directory of both and
+//! implements recovery: newest valid snapshot, plus replay of exactly
+//! the WAL records with sequence numbers beyond it. Sequence filtering
+//! makes replay **idempotent** — replaying the same log over the same
+//! snapshot any number of times produces the same state — and makes
+//! the snapshot/WAL pair redundant: if every snapshot is corrupt, the
+//! full WAL rebuilds the state from genesis; if the WAL tail is torn
+//! (the normal case after a crash), the valid prefix still applies.
+//!
+//! Corruption is detected, counted, and *contained*: a bad record ends
+//! replay at the last valid prefix, a bad snapshot falls back to the
+//! previous one (then to cold start), and nothing in this crate panics
+//! on hostile bytes — property-tested in the workspace's
+//! `tests/crash_recovery.rs`.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use snapshot::{BasestationCheckpoint, PlanRecord};
+pub use store::{CheckpointStore, RecoveryOutcome};
+pub use wal::WalRecord;
+
+/// Errors from persistence operations.
+///
+/// `Corrupt` is deliberately separate from `Io`: recovery treats
+/// corruption as *data loss to fall back from* (an earlier snapshot, a
+/// shorter WAL prefix, cold start) while I/O errors are surfaced to the
+/// caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// An operating-system level failure (open/read/write/rename).
+    Io {
+        /// Path involved.
+        path: String,
+        /// The OS error, stringified.
+        what: String,
+    },
+    /// Bytes that do not decode to a valid artifact: bad magic, version,
+    /// checksum mismatch, truncation, or invariant-violating contents.
+    Corrupt {
+        /// What failed to validate.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io { path, what } => write!(f, "i/o error on {path}: {what}"),
+            PersistError::Corrupt { what } => write!(f, "corrupt persistence artifact: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+pub(crate) fn io_err(path: &std::path::Path, e: std::io::Error) -> PersistError {
+    PersistError::Io { path: path.display().to_string(), what: e.to_string() }
+}
+
+/// FNV-1a 64-bit checksum — the same shape of tiny, dependency-free
+/// integrity hash the fault model uses for determinism (splitmix64).
+/// Not cryptographic; it guards against torn writes and bit rot, not
+/// adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        // Known-answer: FNV-1a 64 of the empty string is the offset
+        // basis; of "a" the published value.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        // Single-bit flips change the checksum.
+        assert_ne!(fnv1a64(&[0x00]), fnv1a64(&[0x01]));
+    }
+}

@@ -1,0 +1,362 @@
+//! Versioned, checksummed full-state snapshots.
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! +---------------------+  magic  b"ACQPSNAP"            (8 bytes)
+//! | header              |  format version u16            (2 bytes)
+//! |                     |  payload length  u32           (4 bytes)
+//! +---------------------+
+//! | payload             |  BasestationCheckpoint codec
+//! +---------------------+
+//! | checksum            |  fnv1a64(everything above)     (8 bytes)
+//! +---------------------+
+//! ```
+//!
+//! The checksum covers the header too, so a flipped version byte or a
+//! truncated payload both read as corruption, not as a different valid
+//! file. Writes go through a temp file + rename so a crash mid-write
+//! leaves either the old snapshot or a file that fails validation —
+//! never a half-written file that passes.
+
+use std::path::Path;
+
+use acqp_core::prelude::{DriftConfig, DriftMonitorState, Pred, Query};
+use acqp_stream::WindowState;
+
+use crate::codec::{Reader, Writer};
+use crate::{fnv1a64, io_err, PersistError, Result};
+
+/// Snapshot file magic.
+pub const SNAP_MAGIC: &[u8; 8] = b"ACQPSNAP";
+/// Snapshot format version this build writes and reads.
+pub const SNAP_VERSION: u16 = 1;
+
+/// The adopted plan, exactly as the basestation disseminates it: the
+/// wire encoding plus the bookkeeping the replan hysteresis needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRecord {
+    /// Monotonic plan version (dissemination counter).
+    pub version: u64,
+    /// The plan's wire encoding (`Plan::encode`).
+    pub wire: Vec<u8>,
+    /// Expected per-tuple cost under the estimator that produced it.
+    pub expected_cost: f64,
+    /// Planner objective value at adoption time.
+    pub objective: f64,
+}
+
+/// Everything the basestation needs to resume after a crash without
+/// re-learning: the adopted plan, drift-monitor counts, the live tuple
+/// window, the counting estimator's per-predicate mask cache, and the
+/// per-mote energy ledgers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasestationCheckpoint {
+    /// Epoch the snapshot was taken at (epochs `0..=epoch` are done).
+    pub epoch: u64,
+    /// Highest WAL sequence number already folded into this snapshot.
+    /// Recovery replays only records with `seq > last_seq`.
+    pub last_seq: u64,
+    /// The currently disseminated plan.
+    pub plan: PlanRecord,
+    /// Drift monitor configuration and accumulated counts, if a
+    /// monitor is running.
+    pub drift: Option<(DriftConfig, DriftMonitorState)>,
+    /// Sliding window of recent tuples, if windowed re-planning is on.
+    pub window: Option<WindowState>,
+    /// Counting-estimator mask cache: the query it was built for and
+    /// one bitmask word-vector per predicate.
+    pub mask_cache: Option<(Query, Vec<u64>)>,
+    /// Per-mote energy ledgers as `[sense, tx, rx, cpu]` µJ.
+    pub ledgers: Vec<[f64; 4]>,
+}
+
+fn put_query(w: &mut Writer, q: &Query) {
+    w.u16(q.preds().len() as u16);
+    for p in q.preds() {
+        let (lo, hi) = p.bounds();
+        w.u16(p.attr() as u16);
+        w.u16(lo);
+        w.u16(hi);
+        w.u8(p.is_negated() as u8);
+    }
+}
+
+fn get_query(r: &mut Reader<'_>) -> Result<Query> {
+    let n = r.u16()? as usize;
+    let mut preds = Vec::with_capacity(n);
+    for _ in 0..n {
+        let attr = r.u16()? as usize;
+        let lo = r.u16()?;
+        let hi = r.u16()?;
+        let negated = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(PersistError::Corrupt { what: "predicate negation flag" }),
+        };
+        preds.push(if negated {
+            Pred::not_in_range(attr, lo, hi)
+        } else {
+            Pred::in_range(attr, lo, hi)
+        });
+    }
+    Query::new(preds).map_err(|_| PersistError::Corrupt { what: "invalid persisted query" })
+}
+
+impl PlanRecord {
+    fn encode_into(&self, w: &mut Writer) {
+        w.u64(self.version);
+        w.bytes(&self.wire);
+        w.f64(self.expected_cost);
+        w.f64(self.objective);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(PlanRecord {
+            version: r.u64()?,
+            wire: r.bytes()?,
+            expected_cost: r.f64()?,
+            objective: r.f64()?,
+        })
+    }
+}
+
+impl BasestationCheckpoint {
+    /// Encodes the snapshot payload (no framing, no checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.epoch);
+        w.u64(self.last_seq);
+        self.plan.encode_into(&mut w);
+        match &self.drift {
+            None => w.u8(0),
+            Some((cfg, st)) => {
+                w.u8(1);
+                w.f64(cfg.threshold);
+                w.u64(cfg.min_samples);
+                w.f64s(&st.est);
+                w.u64s(&st.evaluated);
+                w.u64s(&st.passed);
+            }
+        }
+        match &self.window {
+            None => w.u8(0),
+            Some(ws) => {
+                w.u8(1);
+                w.u32(ws.width as u32);
+                w.u32(ws.capacity as u32);
+                w.u32(ws.rows.len() as u32);
+                for row in &ws.rows {
+                    w.u16s(row);
+                }
+                w.u32(ws.head as u32);
+                w.u64(ws.pushed);
+            }
+        }
+        match &self.mask_cache {
+            None => w.u8(0),
+            Some((q, masks)) => {
+                w.u8(1);
+                put_query(&mut w, q);
+                w.u64s(masks);
+            }
+        }
+        w.u32(self.ledgers.len() as u32);
+        for l in &self.ledgers {
+            for &v in l {
+                w.f64(v);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a snapshot payload, rejecting trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let epoch = r.u64()?;
+        let last_seq = r.u64()?;
+        let plan = PlanRecord::decode_from(&mut r)?;
+        let drift = match r.u8()? {
+            0 => None,
+            1 => {
+                let cfg = DriftConfig { threshold: r.f64()?, min_samples: r.u64()? };
+                let st =
+                    DriftMonitorState { est: r.f64s()?, evaluated: r.u64s()?, passed: r.u64s()? };
+                Some((cfg, st))
+            }
+            _ => return Err(PersistError::Corrupt { what: "drift presence flag" }),
+        };
+        let window = match r.u8()? {
+            0 => None,
+            1 => {
+                let width = r.u32()? as usize;
+                let capacity = r.u32()? as usize;
+                let nrows = r.u32()? as usize;
+                if nrows > (1 << 24) {
+                    return Err(PersistError::Corrupt { what: "implausible window row count" });
+                }
+                let mut rows = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    rows.push(r.u16s()?);
+                }
+                let head = r.u32()? as usize;
+                let pushed = r.u64()?;
+                Some(WindowState { width, capacity, rows, head, pushed })
+            }
+            _ => return Err(PersistError::Corrupt { what: "window presence flag" }),
+        };
+        let mask_cache = match r.u8()? {
+            0 => None,
+            1 => {
+                let q = get_query(&mut r)?;
+                Some((q, r.u64s()?))
+            }
+            _ => return Err(PersistError::Corrupt { what: "mask-cache presence flag" }),
+        };
+        let nled = r.u32()? as usize;
+        if nled > (1 << 24) {
+            return Err(PersistError::Corrupt { what: "implausible ledger count" });
+        }
+        let mut ledgers = Vec::with_capacity(nled);
+        for _ in 0..nled {
+            ledgers.push([r.f64()?, r.f64()?, r.f64()?, r.f64()?]);
+        }
+        r.finish()?;
+        Ok(BasestationCheckpoint { epoch, last_seq, plan, drift, window, mask_cache, ledgers })
+    }
+
+    /// Frames the payload into a complete snapshot file image:
+    /// magic + version + length + payload + checksum.
+    pub fn to_file_bytes(&self) -> Vec<u8> {
+        let payload = self.encode();
+        let mut out = Vec::with_capacity(payload.len() + 22);
+        out.extend_from_slice(SNAP_MAGIC);
+        out.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Validates and decodes a complete snapshot file image.
+    pub fn from_file_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 22 {
+            return Err(PersistError::Corrupt { what: "snapshot shorter than framing" });
+        }
+        if &bytes[..8] != SNAP_MAGIC {
+            return Err(PersistError::Corrupt { what: "snapshot magic" });
+        }
+        let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+        if version != SNAP_VERSION {
+            return Err(PersistError::Corrupt { what: "unsupported snapshot version" });
+        }
+        let plen = u32::from_le_bytes(bytes[10..14].try_into().unwrap()) as usize;
+        if bytes.len() != 14 + plen + 8 {
+            return Err(PersistError::Corrupt { what: "snapshot length disagrees with header" });
+        }
+        let body_end = 14 + plen;
+        let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+        if fnv1a64(&bytes[..body_end]) != stored {
+            return Err(PersistError::Corrupt { what: "snapshot checksum mismatch" });
+        }
+        Self::decode(&bytes[14..body_end])
+    }
+
+    /// Atomically writes the snapshot to `path` (temp file + rename).
+    pub fn write_to(&self, path: &Path) -> Result<()> {
+        let bytes = self.to_file_bytes();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+    }
+
+    /// Reads and validates a snapshot from `path`. Unreadable files are
+    /// `Io`; readable-but-invalid files are `Corrupt`.
+    pub fn read_from(path: &Path) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+        Self::from_file_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BasestationCheckpoint {
+        let q = Query::new(vec![Pred::in_range(0, 1, 5), Pred::not_in_range(2, 0, 3)]).unwrap();
+        BasestationCheckpoint {
+            epoch: 42,
+            last_seq: 137,
+            plan: PlanRecord {
+                version: 3,
+                wire: vec![0x03, 0x01, 0x00, 0x04],
+                expected_cost: 12.75,
+                objective: -1.0,
+            },
+            drift: Some((
+                DriftConfig { threshold: 0.15, min_samples: 32 },
+                DriftMonitorState {
+                    est: vec![0.25, 0.5],
+                    evaluated: vec![100, 40],
+                    passed: vec![25, 20],
+                },
+            )),
+            window: Some(WindowState {
+                width: 3,
+                capacity: 4,
+                rows: vec![vec![1, 2, 3], vec![4, 5, 6]],
+                head: 0,
+                pushed: 2,
+            }),
+            mask_cache: Some((q, vec![0b1011, 0b0110])),
+            ledgers: vec![[1.0, 2.0, 3.0, 4.0], [0.5, 0.0, 0.25, 0.125]],
+        }
+    }
+
+    #[test]
+    fn payload_round_trip_is_bit_identical() {
+        let cp = sample();
+        let back = BasestationCheckpoint::decode(&cp.encode()).unwrap();
+        assert_eq!(back, cp);
+        // Optional fields absent also round-trip.
+        let bare = BasestationCheckpoint {
+            drift: None,
+            window: None,
+            mask_cache: None,
+            ledgers: vec![],
+            ..cp
+        };
+        assert_eq!(BasestationCheckpoint::decode(&bare.encode()).unwrap(), bare);
+    }
+
+    #[test]
+    fn file_framing_detects_every_single_byte_flip() {
+        let cp = sample();
+        let good = cp.to_file_bytes();
+        assert_eq!(BasestationCheckpoint::from_file_bytes(&good).unwrap(), cp);
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                BasestationCheckpoint::from_file_bytes(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        // Truncation at any point is also rejected.
+        for cut in 0..good.len() {
+            assert!(BasestationCheckpoint::from_file_bytes(&good[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("acqp_persist_snap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap-0");
+        let cp = sample();
+        cp.write_to(&path).unwrap();
+        assert_eq!(BasestationCheckpoint::read_from(&path).unwrap(), cp);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

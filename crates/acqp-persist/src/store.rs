@@ -1,0 +1,302 @@
+//! Directory manager tying snapshots and the WAL into one recovery
+//! story.
+//!
+//! Layout of a checkpoint directory:
+//!
+//! ```text
+//! <dir>/snap-000001 ... snap-NNNNNN   snapshots, monotonic index
+//! <dir>/wal.log                       the write-ahead log
+//! ```
+//!
+//! Recovery policy, in order:
+//!
+//! 1. Try snapshots newest-first; the first one that validates wins.
+//!    Each invalid one increments `corrupt_snapshots`.
+//! 2. Replay WAL records with `seq > checkpoint.last_seq` — the
+//!    sequence filter is what makes replay idempotent.
+//! 3. If *no* snapshot validates, cold-start: the caller rebuilds
+//!    genesis state and the **entire** valid WAL prefix is replayed
+//!    onto it, so snapshot corruption alone loses nothing that was
+//!    logged.
+
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+
+use crate::snapshot::BasestationCheckpoint;
+use crate::wal::{self, WalRecord};
+use crate::{io_err, Result};
+
+const SNAP_PREFIX: &str = "snap-";
+const WAL_FILE: &str = "wal.log";
+
+/// Manages one checkpoint directory: snapshot writes, WAL appends, and
+/// recovery.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    next_snap: u64,
+    next_seq: u64,
+    wal: Option<File>,
+}
+
+/// What [`CheckpointStore::recover`] found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryOutcome {
+    /// The newest snapshot that validated, if any.
+    pub checkpoint: Option<BasestationCheckpoint>,
+    /// WAL records to apply on top, in order. With a checkpoint these
+    /// are exactly the records with `seq > checkpoint.last_seq`; on a
+    /// cold start they are the full valid prefix, to be applied onto
+    /// genesis state.
+    pub replayed: Vec<WalRecord>,
+    /// Snapshot files present but failing validation.
+    pub corrupt_snapshots: usize,
+    /// True if the WAL ended in invalid bytes (normal after a crash
+    /// mid-append; also set by corruption within the log).
+    pub corrupt_wal_tail: bool,
+    /// True if no snapshot validated and the caller must rebuild
+    /// genesis state before replaying.
+    pub cold_start: bool,
+}
+
+fn snap_index(name: &str) -> Option<u64> {
+    name.strip_prefix(SNAP_PREFIX)?.parse().ok()
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory and positions
+    /// the snapshot index and WAL sequence counter after any existing
+    /// artifacts, so appends never collide with prior runs.
+    pub fn open(dir: &Path) -> Result<Self> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let mut max_snap = 0u64;
+        for entry in std::fs::read_dir(dir).map_err(|e| io_err(dir, e))? {
+            let entry = entry.map_err(|e| io_err(dir, e))?;
+            if let Some(idx) = entry.file_name().to_str().and_then(snap_index) {
+                max_snap = max_snap.max(idx);
+            }
+        }
+        let wal_path = dir.join(WAL_FILE);
+        let scan = wal::scan_file(&wal_path)?;
+        let last_seq = scan.records.last().map(|(s, _)| *s).unwrap_or(0);
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+            next_snap: max_snap + 1,
+            next_seq: last_seq + 1,
+            wal: None,
+        })
+    }
+
+    /// The directory this store manages.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sequence number the next [`append`](Self::append) will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    fn wal_file(&mut self) -> Result<&mut File> {
+        if self.wal.is_none() {
+            let path = self.wal_path();
+            let fresh = !path.exists();
+            let mut f = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| io_err(&path, e))?;
+            if fresh {
+                wal::append_frame(&mut f, &path, &wal::wal_header())?;
+            }
+            self.wal = Some(f);
+        }
+        Ok(self.wal.as_mut().unwrap())
+    }
+
+    /// Appends one record to the WAL and returns the sequence number it
+    /// was stamped with.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64> {
+        let seq = self.next_seq;
+        let frame = record.to_frame(seq);
+        let path = self.wal_path();
+        let file = self.wal_file()?;
+        wal::append_frame(file, &path, &frame)?;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Writes a snapshot atomically. `checkpoint.last_seq` should be
+    /// the sequence of the last WAL record folded into it (i.e.
+    /// `next_seq() - 1` when the state is current); recovery replays
+    /// only records beyond it. Returns the snapshot's file index.
+    pub fn write_snapshot(&mut self, checkpoint: &BasestationCheckpoint) -> Result<u64> {
+        let idx = self.next_snap;
+        let path = self.dir.join(format!("{SNAP_PREFIX}{idx:06}"));
+        checkpoint.write_to(&path)?;
+        self.next_snap = idx + 1;
+        Ok(idx)
+    }
+
+    /// Recovers the latest consistent state: newest valid snapshot plus
+    /// the idempotent WAL replay beyond it (see module docs for the
+    /// full policy).
+    pub fn recover(&self) -> Result<RecoveryOutcome> {
+        let mut snaps: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, e))? {
+            let entry = entry.map_err(|e| io_err(&self.dir, e))?;
+            if let Some(idx) = entry.file_name().to_str().and_then(snap_index) {
+                snaps.push((idx, entry.path()));
+            }
+        }
+        snaps.sort_by_key(|(idx, _)| std::cmp::Reverse(*idx));
+
+        let mut corrupt_snapshots = 0;
+        let mut checkpoint = None;
+        for (_, path) in &snaps {
+            match BasestationCheckpoint::read_from(path) {
+                Ok(cp) => {
+                    checkpoint = Some(cp);
+                    break;
+                }
+                Err(_) => corrupt_snapshots += 1,
+            }
+        }
+
+        let scan = wal::scan_file(&self.wal_path())?;
+        let floor = checkpoint.as_ref().map(|cp| cp.last_seq).unwrap_or(0);
+        let replayed =
+            scan.records.into_iter().filter(|(seq, _)| *seq > floor).map(|(_, r)| r).collect();
+        let cold_start = checkpoint.is_none();
+        Ok(RecoveryOutcome {
+            checkpoint,
+            replayed,
+            corrupt_snapshots,
+            corrupt_wal_tail: scan.torn_tail,
+            cold_start,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlanRecord;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("acqp_persist_store_{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn checkpoint(epoch: u64, last_seq: u64) -> BasestationCheckpoint {
+        BasestationCheckpoint {
+            epoch,
+            last_seq,
+            plan: PlanRecord {
+                version: epoch,
+                wire: vec![0x01],
+                expected_cost: 1.0,
+                objective: 1.0,
+            },
+            drift: None,
+            window: None,
+            mask_cache: None,
+            ledgers: vec![],
+        }
+    }
+
+    #[test]
+    fn snapshot_plus_tail_replay() {
+        let dir = tmp_dir("tail");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        for e in 1..=4 {
+            store.append(&WalRecord::EpochEnd { epoch: e }).unwrap();
+        }
+        // Snapshot folds in seqs 1..=4.
+        store.write_snapshot(&checkpoint(4, 4)).unwrap();
+        store.append(&WalRecord::EpochEnd { epoch: 5 }).unwrap();
+        store.append(&WalRecord::EpochEnd { epoch: 6 }).unwrap();
+
+        let out = store.recover().unwrap();
+        assert!(!out.cold_start);
+        assert_eq!(out.corrupt_snapshots, 0);
+        assert!(!out.corrupt_wal_tail);
+        assert_eq!(out.checkpoint.as_ref().unwrap().epoch, 4);
+        assert_eq!(
+            out.replayed,
+            vec![WalRecord::EpochEnd { epoch: 5 }, WalRecord::EpochEnd { epoch: 6 }]
+        );
+        // Idempotence: recovering again yields the identical outcome.
+        assert_eq!(store.recover().unwrap(), out);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_older() {
+        let dir = tmp_dir("fallback");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.append(&WalRecord::EpochEnd { epoch: 1 }).unwrap();
+        store.write_snapshot(&checkpoint(1, 1)).unwrap();
+        store.append(&WalRecord::EpochEnd { epoch: 2 }).unwrap();
+        let idx = store.write_snapshot(&checkpoint(2, 2)).unwrap();
+        // Mangle the newest snapshot.
+        let newest = dir.join(format!("snap-{idx:06}"));
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let out = store.recover().unwrap();
+        assert_eq!(out.corrupt_snapshots, 1);
+        assert!(!out.cold_start);
+        assert_eq!(out.checkpoint.as_ref().unwrap().epoch, 1);
+        // Seq 2 is beyond the surviving snapshot, so it replays.
+        assert_eq!(out.replayed, vec![WalRecord::EpochEnd { epoch: 2 }]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_snapshots_corrupt_cold_starts_with_full_wal() {
+        let dir = tmp_dir("cold");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.append(&WalRecord::EpochEnd { epoch: 1 }).unwrap();
+        store.write_snapshot(&checkpoint(1, 1)).unwrap();
+        store.append(&WalRecord::EpochEnd { epoch: 2 }).unwrap();
+        std::fs::write(dir.join("snap-000001"), b"garbage").unwrap();
+
+        let out = store.recover().unwrap();
+        assert!(out.cold_start);
+        assert_eq!(out.corrupt_snapshots, 1);
+        // Full WAL replays from genesis: nothing logged was lost.
+        assert_eq!(
+            out.replayed,
+            vec![WalRecord::EpochEnd { epoch: 1 }, WalRecord::EpochEnd { epoch: 2 }]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_continues_sequences_and_indices() {
+        let dir = tmp_dir("reopen");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.next_seq(), 1);
+        store.append(&WalRecord::EpochEnd { epoch: 1 }).unwrap();
+        store.write_snapshot(&checkpoint(1, 1)).unwrap();
+        drop(store);
+
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(store.next_seq(), 2);
+        store.append(&WalRecord::EpochEnd { epoch: 2 }).unwrap();
+        let idx = store.write_snapshot(&checkpoint(2, 2)).unwrap();
+        assert_eq!(idx, 2);
+        let out = store.recover().unwrap();
+        assert_eq!(out.checkpoint.unwrap().epoch, 2);
+        assert!(out.replayed.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,96 @@
+//! Fuzz-style robustness: no byte stream — random, truncated, or a
+//! corrupted valid artifact — may panic the decoders, and nothing that
+//! fails validation may silently decode.
+
+use acqp_persist::snapshot::BasestationCheckpoint;
+use acqp_persist::wal::{scan_bytes, WalRecord};
+use acqp_persist::PlanRecord;
+use proptest::prelude::*;
+
+fn valid_snapshot() -> Vec<u8> {
+    BasestationCheckpoint {
+        epoch: 7,
+        last_seq: 21,
+        plan: PlanRecord {
+            version: 2,
+            wire: vec![0x02, 0x01, 0x00],
+            expected_cost: 3.5,
+            objective: 3.5,
+        },
+        drift: None,
+        window: None,
+        mask_cache: None,
+        ledgers: vec![[1.0, 0.5, 0.25, 0.0]],
+    }
+    .to_file_bytes()
+}
+
+fn valid_wal() -> Vec<u8> {
+    let mut bytes = acqp_persist::wal::wal_header();
+    for (i, rec) in [
+        WalRecord::Observe { pred: 0, evaluated: 12, passed: 5 },
+        WalRecord::WindowPush { row: vec![1, 2, 3] },
+        WalRecord::EpochEnd { epoch: 1 },
+    ]
+    .iter()
+    .enumerate()
+    {
+        bytes.extend_from_slice(&rec.to_frame(i as u64 + 1));
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Arbitrary bytes never panic the snapshot decoder, and (checksum
+    /// aside) essentially never validate.
+    #[test]
+    fn random_bytes_never_panic_snapshot_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = BasestationCheckpoint::from_file_bytes(&bytes);
+        let _ = BasestationCheckpoint::decode(&bytes);
+    }
+
+    /// Arbitrary bytes never panic the WAL scanner; it always returns a
+    /// (possibly empty) valid prefix.
+    #[test]
+    fn random_bytes_never_panic_wal_scanner(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let scan = scan_bytes(&bytes);
+        let _ = scan.records.len();
+    }
+
+    /// Flipping any single byte of a valid snapshot is detected.
+    #[test]
+    fn any_byte_flip_in_snapshot_is_detected(pos in 0usize..1024, mask in 1u8..=255) {
+        let mut bytes = valid_snapshot();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= mask;
+        prop_assert!(BasestationCheckpoint::from_file_bytes(&bytes).is_err());
+    }
+
+    /// Flipping a byte in a valid WAL never panics and never grows the
+    /// record count; truncating it keeps a valid prefix.
+    #[test]
+    fn wal_corruption_shrinks_to_a_valid_prefix(pos in 0usize..1024, mask in 1u8..=255, cut in 0usize..1024) {
+        let good = valid_wal();
+        let full = scan_bytes(&good);
+        prop_assert!(!full.torn_tail);
+
+        let mut flipped = good.clone();
+        let pos = pos % flipped.len();
+        flipped[pos] ^= mask;
+        let scan = scan_bytes(&flipped);
+        prop_assert!(scan.records.len() <= full.records.len());
+        // Whatever survives is a prefix of the original log.
+        for (a, b) in scan.records.iter().zip(full.records.iter()) {
+            prop_assert!(a == b);
+        }
+
+        let cut = cut % (good.len() + 1);
+        let scan = scan_bytes(&good[..cut]);
+        prop_assert!(scan.records.len() <= full.records.len());
+        for (a, b) in scan.records.iter().zip(full.records.iter()) {
+            prop_assert!(a == b);
+        }
+    }
+}

@@ -90,6 +90,12 @@ impl<'h> Basestation<'h> {
         &self.schema
     }
 
+    /// The historical readings the basestation plans from. Crash
+    /// recovery rebuilds estimators over exactly this dataset.
+    pub fn history(&self) -> &'h Dataset {
+        self.history
+    }
+
     /// Builds a plan with the given planner; `alpha` is the §2.4
     /// plan-size penalty (cost units per byte of plan).
     pub fn plan_query(

@@ -33,6 +33,11 @@ pub enum FaultStream {
     Sample,
     /// An on-board sensor acquisition.
     Sensing,
+    /// A basestation process crash (crash-recovery simulations). Its
+    /// own stream keeps crash scheduling from perturbing which packets
+    /// drop: a crashy run with a zero crash rate consumes exactly the
+    /// same rolls as a crash-free one.
+    Crash,
 }
 
 impl FaultStream {
@@ -42,6 +47,7 @@ impl FaultStream {
             FaultStream::Result => 2,
             FaultStream::Sample => 3,
             FaultStream::Sensing => 4,
+            FaultStream::Crash => 5,
         }
     }
 }
@@ -282,6 +288,9 @@ impl FaultStats {
             FaultStream::Sensing => {
                 unreachable!("sensing faults are counted via the sensing_* instruments")
             }
+            FaultStream::Crash => {
+                unreachable!("crashes are counted via the recovery.* instruments, not retried")
+            }
         }
     }
 }
@@ -401,6 +410,22 @@ mod tests {
         let lost = (0..4000).filter(|&e| !f.delivered(FaultStream::Result, 0, e, 0)).count();
         let frac = lost as f64 / 4000.0;
         assert!((frac - 0.25).abs() < 0.03, "observed loss {frac}");
+    }
+
+    #[test]
+    fn crash_stream_is_independent_of_packet_streams() {
+        // Same (mote, epoch, attempt) inputs on different streams must
+        // draw independent variates — enabling basestation crashes can
+        // never change which packets a run drops.
+        let f = FaultModel::lossy(99, 0.3);
+        let mut differs = false;
+        for e in 0..32 {
+            let crash = f.roll(FaultStream::Crash, 0, e, 0, 0);
+            let result = f.roll(FaultStream::Result, 0, e, 0, 0);
+            assert!((0.0..1.0).contains(&crash));
+            differs |= crash.to_bits() != result.to_bits();
+        }
+        assert!(differs, "crash stream must not alias the result stream");
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   choice, dissemination costing.
 //! * [`sim`] — the epoch loop tying it together, with a network-wide
 //!   energy report.
+//! * [`recovery`] — crash-safe basestation: checkpoint/WAL journaling
+//!   through `acqp-persist`, seeded basestation crashes
+//!   ([`sim::run_simulation_crashy`]), recovery with re-dissemination
+//!   charged to the energy model (`recovery.*` taxonomy).
 
 #![warn(missing_docs)]
 pub mod basestation;
@@ -31,6 +35,7 @@ pub mod energy;
 pub mod fault;
 pub mod interp;
 pub mod mote;
+pub mod recovery;
 pub mod sim;
 pub mod topology;
 
@@ -39,9 +44,10 @@ pub use energy::{EnergyLedger, EnergyModel};
 pub use fault::{attempt_packet, Delivery, Dropout, FaultModel, FaultStats, FaultStream};
 pub use interp::execute_wire;
 pub use mote::Mote;
+pub use recovery::{CrashConfig, CrashReport};
 pub use sim::{
-    result_packet_bytes, run_simulation, run_simulation_adaptive, run_simulation_faulty,
-    run_simulation_multihop, run_simulation_recorded, sample_packet_bytes, AdaptiveConfig,
-    FaultReport, ReplanEvent, SimReport,
+    result_packet_bytes, run_simulation, run_simulation_adaptive, run_simulation_crashy,
+    run_simulation_faulty, run_simulation_multihop, run_simulation_recorded, sample_packet_bytes,
+    AdaptiveConfig, FaultReport, ReplanEvent, SimReport,
 };
 pub use topology::Topology;

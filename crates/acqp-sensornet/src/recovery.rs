@@ -1,0 +1,236 @@
+//! Crash-recovery support for the basestation: checkpoint/WAL
+//! journaling during a run and state reconstruction after a seeded
+//! crash (`run_simulation_crashy`).
+//!
+//! The division of labor: `acqp-persist` owns the file formats and the
+//! recovery *policy* (newest valid snapshot + idempotent WAL replay);
+//! this module owns the simulation-side *semantics* — which engine
+//! events get journaled, what genesis state looks like on a cold start,
+//! and how replayed records fold back into the drift monitor, window,
+//! and plan version. Every recovery outcome is counted under the
+//! `recovery.*` metric taxonomy.
+
+use std::path::PathBuf;
+
+use acqp_obs::{Counter, Recorder};
+use acqp_persist::{BasestationCheckpoint, CheckpointStore, PersistError, WalRecord};
+
+/// Knobs for a crash-recovery simulation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CrashConfig {
+    /// Directory for snapshots and the WAL. `None` disables
+    /// persistence entirely: every crash is then a cold start back to
+    /// the genesis plan (the one recomputable from history).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Snapshot cadence in epochs (`0` = never snapshot; the WAL alone
+    /// still makes recovery lossless, just slower to replay).
+    pub checkpoint_every: usize,
+    /// Epochs at whose *start* the basestation crashes and restarts.
+    /// Epoch 0 cannot crash: the initial dissemination defines genesis.
+    pub crash_epochs: Vec<usize>,
+    /// Additionally, an independent per-epoch crash probability drawn
+    /// from the [`crate::fault::FaultStream::Crash`] stream of the
+    /// run's [`crate::fault::FaultModel`]. `0.0` consumes no rolls.
+    pub crash_rate: f64,
+}
+
+/// A [`crate::sim::FaultReport`] extended with crash-recovery
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// The underlying fault-path report.
+    pub fault: crate::sim::FaultReport,
+    /// Basestation crashes injected (each one triggered a recovery).
+    pub crashes: usize,
+    /// Recoveries that found no usable snapshot and rebuilt genesis
+    /// state before replaying the WAL.
+    pub cold_starts: usize,
+    /// Snapshot files that failed validation across all recoveries.
+    pub corrupt_snapshots: usize,
+    /// WAL records replayed across all recoveries.
+    pub wal_replayed: usize,
+    /// Snapshots written during the run.
+    pub checkpoints_written: usize,
+    /// Radio energy (µJ, basestation tx + mote rx) spent on post-crash
+    /// re-dissemination — the recovery tax the checkpoint cadence is
+    /// trading against.
+    pub recovery_rediss_uj: f64,
+}
+
+/// Pre-hoisted `recovery.*` instruments.
+#[derive(Debug)]
+pub(crate) struct CrashCounters {
+    /// `recovery.attempted` — one per injected crash.
+    pub attempted: Counter,
+    /// `recovery.cold_start` — recoveries with no usable snapshot.
+    pub cold_start: Counter,
+    /// `recovery.corrupt` — snapshot files that failed validation.
+    pub corrupt: Counter,
+    /// `recovery.wal.replayed` — records folded back in.
+    pub wal_replayed: Counter,
+    /// `recovery.checkpoint.written` — snapshots persisted.
+    pub checkpoints: Counter,
+    /// `recovery.masks.seeded` — estimator mask caches restored from a
+    /// checkpoint instead of re-paying the dataset pass.
+    pub masks_seeded: Counter,
+}
+
+impl CrashCounters {
+    pub(crate) fn new(rec: &Recorder) -> Self {
+        CrashCounters {
+            attempted: rec.counter("recovery.attempted"),
+            cold_start: rec.counter("recovery.cold_start"),
+            corrupt: rec.counter("recovery.corrupt"),
+            wal_replayed: rec.counter("recovery.wal.replayed"),
+            checkpoints: rec.counter("recovery.checkpoint.written"),
+            masks_seeded: rec.counter("recovery.masks.seeded"),
+        }
+    }
+}
+
+/// The engine's journaling handle: a [`CheckpointStore`] plus sticky
+/// error capture. Persistence failures must not unwind the epoch loop
+/// mid-flight (the simulation's energy accounting would be torn), so
+/// the first I/O error is latched and surfaced when the run returns.
+#[derive(Debug)]
+pub(crate) struct Journal {
+    store: CheckpointStore,
+    pub(crate) error: Option<PersistError>,
+    pub(crate) appended: u64,
+}
+
+impl Journal {
+    pub(crate) fn open(dir: &std::path::Path) -> Result<Self, PersistError> {
+        Ok(Journal { store: CheckpointStore::open(dir)?, error: None, appended: 0 })
+    }
+
+    /// Appends one WAL record, latching (not propagating) failures.
+    pub(crate) fn append(&mut self, record: &WalRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        match self.store.append(record) {
+            Ok(_) => self.appended += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    /// Sequence number the snapshot being written should record as
+    /// `last_seq` (everything appended so far is folded in).
+    pub(crate) fn folded_seq(&self) -> u64 {
+        self.store.next_seq() - 1
+    }
+
+    /// Writes a snapshot; true on success, latching failures.
+    pub(crate) fn write_snapshot(&mut self, cp: &BasestationCheckpoint) -> bool {
+        if self.error.is_some() {
+            return false;
+        }
+        match self.store.write_snapshot(cp) {
+            Ok(_) => true,
+            Err(e) => {
+                self.error = Some(e);
+                false
+            }
+        }
+    }
+
+    /// Recovers as a freshly restarted process would: reopens the store
+    /// (new handles, recomputed counters) and reads back the newest
+    /// valid snapshot plus the WAL tail beyond it. Corruption is
+    /// *absorbed* into the outcome, never an error; only I/O failures
+    /// latch.
+    pub(crate) fn recover(&mut self) -> RecoveredState {
+        let reopened = match CheckpointStore::open(self.store.dir()) {
+            Ok(s) => s,
+            Err(e) => {
+                self.error = Some(e);
+                return RecoveredState::genesis();
+            }
+        };
+        self.store = reopened;
+        match self.store.recover() {
+            Ok(out) => RecoveredState {
+                checkpoint: out.checkpoint,
+                replayed: out.replayed,
+                corrupt_snapshots: out.corrupt_snapshots,
+                cold_start: out.cold_start,
+            },
+            Err(e) => {
+                self.error = Some(e);
+                RecoveredState::genesis()
+            }
+        }
+    }
+}
+
+/// What a crash restart found on disk (or the genesis default when
+/// persistence is disabled or unreadable).
+#[derive(Debug)]
+pub(crate) struct RecoveredState {
+    pub(crate) checkpoint: Option<BasestationCheckpoint>,
+    pub(crate) replayed: Vec<WalRecord>,
+    pub(crate) corrupt_snapshots: usize,
+    pub(crate) cold_start: bool,
+}
+
+impl RecoveredState {
+    /// No persisted state at all: rebuild from the genesis plan.
+    pub(crate) fn genesis() -> Self {
+        RecoveredState {
+            checkpoint: None,
+            replayed: Vec::new(),
+            corrupt_snapshots: 0,
+            cold_start: true,
+        }
+    }
+}
+
+/// Per-run crash bookkeeping threaded through the engine.
+#[derive(Debug)]
+pub(crate) struct CrashRuntime<'a> {
+    pub(crate) cfg: &'a CrashConfig,
+    pub(crate) journal: Option<Journal>,
+    pub(crate) counters: CrashCounters,
+    pub(crate) crashes: usize,
+    pub(crate) cold_starts: usize,
+    pub(crate) corrupt_snapshots: usize,
+    pub(crate) wal_replayed: usize,
+    pub(crate) checkpoints_written: usize,
+    pub(crate) recovery_rediss_uj: f64,
+}
+
+impl<'a> CrashRuntime<'a> {
+    pub(crate) fn new(cfg: &'a CrashConfig, rec: &Recorder) -> Result<Self, PersistError> {
+        let journal = match &cfg.checkpoint_dir {
+            Some(dir) => Some(Journal::open(dir)?),
+            None => None,
+        };
+        Ok(CrashRuntime {
+            cfg,
+            journal,
+            counters: CrashCounters::new(rec),
+            crashes: 0,
+            cold_starts: 0,
+            corrupt_snapshots: 0,
+            wal_replayed: 0,
+            checkpoints_written: 0,
+            recovery_rediss_uj: 0.0,
+        })
+    }
+
+    /// The latched persistence error, if any append/snapshot/recover
+    /// failed during the run.
+    pub(crate) fn take_error(&mut self) -> Option<PersistError> {
+        self.journal.as_mut().and_then(|j| j.error.take())
+    }
+}
+
+/// Maps a persistence failure onto the workspace error type (only I/O
+/// can surface — corruption is always absorbed by recovery).
+pub(crate) fn core_err(e: PersistError) -> acqp_core::Error {
+    match e {
+        PersistError::Io { path, what } => acqp_core::Error::Io { path, what },
+        PersistError::Corrupt { what } => acqp_core::Error::Parse { what },
+    }
+}

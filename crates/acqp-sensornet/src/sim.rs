@@ -1,17 +1,32 @@
 //! The epoch-loop simulation: dissemination, per-epoch plan execution on
 //! every mote, result reporting, network-wide energy accounting — with
-//! optional fault injection ([`run_simulation_faulty`]) and
-//! drift-triggered re-planning ([`run_simulation_adaptive`]).
+//! optional fault injection ([`run_simulation_faulty`]),
+//! drift-triggered re-planning ([`run_simulation_adaptive`]), and
+//! basestation crash/recovery ([`run_simulation_crashy`]).
 //!
-//! All entry points share one engine; the lossless [`run_simulation`]
-//! simply runs it with [`FaultModel::none`], so a faulty run with a
-//! zero loss rate is *bit-identical* to the lossless simulator by
-//! construction (at zero loss the first attempt of every packet
-//! succeeds and no extra energy is charged).
+//! All entry points share one [`Engine`]; the lossless
+//! [`run_simulation`] simply runs it with [`FaultModel::none`], so a
+//! faulty run with a zero loss rate is *bit-identical* to the lossless
+//! simulator by construction (at zero loss the first attempt of every
+//! packet succeeds and no extra energy is charged). The same argument
+//! extends to crashes: a crashy run with an empty crash schedule only
+//! adds journaling side-writes, never a different fault roll or energy
+//! charge, so its [`FaultReport`] is bit-identical to
+//! [`run_simulation_faulty`]'s.
+//!
+//! Crash semantics: the engine distinguishes what each mote *actually
+//! holds* (`mote_has`, physical state that survives a basestation
+//! crash) from what the basestation *believes* it holds (`bs_known`,
+//! process memory wiped by a crash). A restart recovers the basestation
+//! from its checkpoint/WAL directory, then re-disseminates the current
+//! plan to every mote it no longer knows about — real radio energy,
+//! charged like any other dissemination.
 
 use acqp_core::drift::DriftMonitor;
+use acqp_core::prelude::{estimated_selectivities, CountingEstimator, Ranges};
 use acqp_core::{Dataset, DriftConfig, Query, Schema, TupleSource};
-use acqp_obs::Recorder;
+use acqp_obs::{Counter, Hist, Recorder};
+use acqp_persist::{BasestationCheckpoint, PlanRecord, WalRecord};
 use acqp_stream::SlidingWindow;
 
 use crate::basestation::{Basestation, PlannedQuery, ReplanBudget};
@@ -19,6 +34,7 @@ use crate::energy::{EnergyLedger, EnergyModel};
 use crate::fault::{attempt_packet, FaultModel, FaultStats, FaultStream, FaultySource};
 use crate::interp::execute_wire;
 use crate::mote::Mote;
+use crate::recovery::{core_err, CrashConfig, CrashReport, CrashRuntime, Journal, RecoveredState};
 
 /// Result of simulating one planned query over a fleet of motes.
 #[derive(Debug, Clone)]
@@ -204,7 +220,10 @@ pub fn run_simulation_recorded(
     epochs: usize,
     rec: &Recorder,
 ) -> SimReport {
-    run_engine(schema, query, planned, motes, model, epochs, &FaultModel::none(), None, rec).sim
+    let lossless = FaultModel::none();
+    let mut eng =
+        Engine::new(schema, query, planned, motes, model, &lossless, None, None, None, rec);
+    eng.run(epochs).sim
 }
 
 /// Runs the simulation under a [`FaultModel`]: lossy dissemination and
@@ -222,7 +241,8 @@ pub fn run_simulation_faulty(
     faults: &FaultModel,
     rec: &Recorder,
 ) -> FaultReport {
-    run_engine(schema, query, planned, motes, model, epochs, faults, None, rec)
+    let mut eng = Engine::new(schema, query, planned, motes, model, faults, None, None, None, rec);
+    eng.run(epochs)
 }
 
 /// Like [`run_simulation_faulty`] plus the basestation control loop:
@@ -254,7 +274,102 @@ pub fn run_simulation_adaptive(
         pend_eval: vec![vec![0; query.len()]; motes.len()],
         pend_pass: vec![vec![0; query.len()]; motes.len()],
     };
-    Ok(run_engine(bs.schema(), query, planned, motes, model, epochs, faults, Some(state), rec))
+    let mut eng = Engine::new(
+        bs.schema(),
+        query,
+        planned,
+        motes,
+        model,
+        faults,
+        Some(state),
+        None,
+        None,
+        rec,
+    );
+    Ok(eng.run(epochs))
+}
+
+/// Like [`run_simulation_adaptive`] (or [`run_simulation_faulty`] when
+/// `adaptive` is `None`) with a crash-prone basestation: at every epoch
+/// in `crash.crash_epochs` — plus independently at `crash.crash_rate`
+/// per epoch on the seeded [`FaultStream::Crash`] stream — the
+/// basestation process dies and restarts, losing all in-memory state.
+///
+/// The restart recovers from `crash.checkpoint_dir` (newest valid
+/// snapshot + idempotent WAL replay; cold start from the genesis plan
+/// when nothing validates) and re-disseminates its current plan to the
+/// whole fleet, with the radio energy charged like any other
+/// dissemination and totalled in
+/// [`CrashReport::recovery_rediss_uj`]. With an empty crash schedule
+/// and zero crash rate the returned [`FaultReport`] is bit-identical
+/// to the non-crashy run's: journaling writes files but never touches
+/// a fault roll or an energy ledger.
+///
+/// Only I/O failures (unwritable checkpoint directory) error; corrupt
+/// snapshots or a torn WAL are recovery *inputs*, absorbed and counted
+/// under `recovery.*`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simulation_crashy(
+    bs: &Basestation<'_>,
+    query: &Query,
+    planned: &PlannedQuery,
+    motes: &mut [Mote],
+    model: &EnergyModel,
+    epochs: usize,
+    faults: &FaultModel,
+    adaptive: Option<&AdaptiveConfig>,
+    crash: &CrashConfig,
+    rec: &Recorder,
+) -> acqp_core::Result<CrashReport> {
+    let runtime = CrashRuntime::new(crash, rec).map_err(core_err)?;
+    let schema = bs.schema();
+    // The long-lived history estimator models the basestation's warm
+    // in-memory state: arming the drift monitor computes the query's
+    // truth masks once, and checkpoints carry that mask cache so a
+    // recovery can skip re-paying the dataset pass.
+    let hist_est =
+        adaptive.map(|_| CountingEstimator::with_ranges(bs.history(), Ranges::root(schema)));
+    let adaptive_state = match adaptive {
+        None => None,
+        Some(cfg) => {
+            let est = hist_est.as_ref().expect("estimator built for adaptive runs above");
+            let monitor = DriftMonitor::new(estimated_selectivities(query, est), cfg.drift)?;
+            Some(AdaptiveState {
+                bs,
+                cfg,
+                monitor,
+                window: SlidingWindow::new(schema, cfg.window.max(1)),
+                pend_eval: vec![vec![0; query.len()]; motes.len()],
+                pend_pass: vec![vec![0; query.len()]; motes.len()],
+            })
+        }
+    };
+    let mut eng = Engine::new(
+        schema,
+        query,
+        planned,
+        motes,
+        model,
+        faults,
+        adaptive_state,
+        Some(runtime),
+        hist_est,
+        rec,
+    );
+    let fault = eng.run(epochs);
+    let mut cr = eng.crash.take().expect("crashy runs always carry a crash runtime");
+    if let Some(e) = cr.take_error() {
+        return Err(core_err(e));
+    }
+    Ok(CrashReport {
+        fault,
+        crashes: cr.crashes,
+        cold_starts: cr.cold_starts,
+        corrupt_snapshots: cr.corrupt_snapshots,
+        wal_replayed: cr.wal_replayed,
+        checkpoints_written: cr.checkpoints_written,
+        recovery_rediss_uj: cr.recovery_rediss_uj,
+    })
 }
 
 struct AdaptiveState<'a> {
@@ -263,7 +378,9 @@ struct AdaptiveState<'a> {
     monitor: DriftMonitor,
     window: SlidingWindow,
     /// Per-mote per-predicate counter deltas not yet flushed to the
-    /// basestation (they ride on the next *delivered* uplink).
+    /// basestation (they ride on the next *delivered* uplink). These
+    /// buffers live at the motes, so a basestation crash does not lose
+    /// them — they arrive with the next successful uplink as usual.
     pend_eval: Vec<Vec<u64>>,
     pend_pass: Vec<Vec<u64>>,
 }
@@ -271,10 +388,15 @@ struct AdaptiveState<'a> {
 impl AdaptiveState<'_> {
     /// Flushes mote `i`'s pending predicate counters into the monitor —
     /// called only when an uplink from `i` was actually delivered.
-    fn flush_counters(&mut self, i: usize) {
+    /// Crashy runs journal each flushed delta before applying it, so a
+    /// crash replays exactly the counts the monitor had absorbed.
+    fn flush_counters(&mut self, i: usize, mut journal: Option<&mut Journal>) {
         for j in 0..self.pend_eval[i].len() {
             let (e, p) = (self.pend_eval[i][j], self.pend_pass[i][j]);
             if e > 0 {
+                if let Some(jr) = journal.as_deref_mut() {
+                    jr.append(&WalRecord::Observe { pred: j as u16, evaluated: e, passed: p });
+                }
                 self.monitor.observe_counts(j, e, p);
                 self.pend_eval[i][j] = 0;
                 self.pend_pass[i][j] = 0;
@@ -283,167 +405,275 @@ impl AdaptiveState<'_> {
     }
 }
 
-/// The shared engine behind every simulation entry point.
-#[allow(clippy::too_many_arguments)]
-fn run_engine(
-    schema: &Schema,
-    query: &Query,
-    planned: &PlannedQuery,
-    motes: &mut [Mote],
-    model: &EnergyModel,
-    epochs: usize,
-    faults: &FaultModel,
-    mut adaptive: Option<AdaptiveState<'_>>,
-    rec: &Recorder,
-) -> FaultReport {
-    let span = rec.span("sensornet.simulate");
-    let tuples_c = rec.counter("sensornet.tuples");
-    let results_c = rec.counter("sensornet.results");
-    let radio_c = rec.counter("sensornet.radio.msgs");
-    let acq_hist = rec.hist("sensornet.acquisitions_per_tuple");
-    let replan_trig_c = rec.counter("sensornet.replan.triggered");
-    let replan_adopt_c = rec.counter("sensornet.replan.adopted");
-    let stats = FaultStats::new(rec);
+/// The shared engine behind every simulation entry point, stepped one
+/// epoch at a time so the crashy runner can interpose crashes at epoch
+/// boundaries without duplicating the loop.
+struct Engine<'a> {
+    schema: &'a Schema,
+    query: &'a Query,
+    motes: &'a mut [Mote],
+    model: &'a EnergyModel,
+    faults: &'a FaultModel,
+    rec: &'a Recorder,
+    adaptive: Option<AdaptiveState<'a>>,
+    crash: Option<CrashRuntime<'a>>,
+    /// The basestation's warm history estimator (crashy adaptive runs
+    /// only) — rebuilt, and its mask cache re-seeded, on recovery.
+    hist_est: Option<CountingEstimator<'a>>,
 
-    let result_bytes = result_packet_bytes(schema, query);
-    let sample_bytes = sample_packet_bytes(schema, query);
-    // Piggybacked counter deltas ride on result packets only when the
-    // adaptive loop is on (the plain simulators don't collect stats).
-    let uplink_bytes = result_bytes + if adaptive.is_some() { 2 * query.len() } else { 0 };
-    // pred_of[a] = index of the predicate on attribute `a`, if any.
-    let mut pred_of: Vec<Option<usize>> = vec![None; schema.len()];
-    for (j, &a) in query.attrs().iter().enumerate() {
-        pred_of[a] = Some(j);
+    // Pre-hoisted instruments.
+    tuples_c: Counter,
+    results_c: Counter,
+    radio_c: Counter,
+    acq_hist: Hist,
+    replan_trig_c: Counter,
+    replan_adopt_c: Counter,
+    stats: FaultStats,
+
+    // Packet wiring.
+    sample_bytes: usize,
+    uplink_bytes: usize,
+    /// `pred_of[a]` = index of the predicate on attribute `a`, if any.
+    pred_of: Vec<Option<usize>>,
+
+    /// Every plan version ever disseminated; `plans[0]` is the genesis
+    /// plan the basestation can always recompute from history.
+    plans: Vec<PlannedQuery>,
+    /// The version the basestation currently wants the fleet to run.
+    cur: usize,
+    /// Ground truth: the version mote `i` actually holds. Physical
+    /// state at the motes — survives basestation crashes.
+    mote_has: Vec<Option<usize>>,
+    /// The basestation's belief about `mote_has`. Process memory —
+    /// wiped to `None` by a crash, which is exactly what forces the
+    /// recovery re-dissemination.
+    bs_known: Vec<Option<usize>>,
+
+    // Accounting.
+    tuples: usize,
+    results: usize,
+    all_correct: bool,
+    delivered_results: usize,
+    lost_results: usize,
+    aborted_tuples: usize,
+    offline_epochs: usize,
+    undisseminated_epochs: usize,
+    samples_delivered: usize,
+    bs_tx_uj: f64,
+    replans: Vec<ReplanEvent>,
+}
+
+impl<'a> Engine<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        schema: &'a Schema,
+        query: &'a Query,
+        planned: &PlannedQuery,
+        motes: &'a mut [Mote],
+        model: &'a EnergyModel,
+        faults: &'a FaultModel,
+        adaptive: Option<AdaptiveState<'a>>,
+        crash: Option<CrashRuntime<'a>>,
+        hist_est: Option<CountingEstimator<'a>>,
+        rec: &'a Recorder,
+    ) -> Engine<'a> {
+        let result_bytes = result_packet_bytes(schema, query);
+        let sample_bytes = sample_packet_bytes(schema, query);
+        // Piggybacked counter deltas ride on result packets only when
+        // the adaptive loop is on (the plain simulators don't collect
+        // stats).
+        let uplink_bytes = result_bytes + if adaptive.is_some() { 2 * query.len() } else { 0 };
+        let mut pred_of: Vec<Option<usize>> = vec![None; schema.len()];
+        for (j, &a) in query.attrs().iter().enumerate() {
+            pred_of[a] = Some(j);
+        }
+        let n = motes.len();
+        Engine {
+            schema,
+            query,
+            motes,
+            model,
+            faults,
+            rec,
+            adaptive,
+            crash,
+            hist_est,
+            tuples_c: rec.counter("sensornet.tuples"),
+            results_c: rec.counter("sensornet.results"),
+            radio_c: rec.counter("sensornet.radio.msgs"),
+            acq_hist: rec.hist("sensornet.acquisitions_per_tuple"),
+            replan_trig_c: rec.counter("sensornet.replan.triggered"),
+            replan_adopt_c: rec.counter("sensornet.replan.adopted"),
+            stats: FaultStats::new(rec),
+            sample_bytes,
+            uplink_bytes,
+            pred_of,
+            plans: vec![planned.clone()],
+            cur: 0,
+            mote_has: vec![None; n],
+            bs_known: vec![None; n],
+            tuples: 0,
+            results: 0,
+            all_correct: true,
+            delivered_results: 0,
+            lost_results: 0,
+            aborted_tuples: 0,
+            offline_epochs: 0,
+            undisseminated_epochs: 0,
+            samples_delivered: 0,
+            bs_tx_uj: 0.0,
+            replans: Vec::new(),
+        }
     }
 
-    // Plan versions: motes can lag behind the basestation's current
-    // plan when re-dissemination packets are lost. Any version still
-    // answers the query correctly — staleness costs energy, not
-    // soundness.
-    let mut plans: Vec<PlannedQuery> = vec![planned.clone()];
-    let mut cur = 0usize;
-    let mut mote_ver: Vec<Option<usize>> = vec![None; motes.len()];
-
-    let mut delivered_results = 0usize;
-    let mut lost_results = 0usize;
-    let mut aborted_tuples = 0usize;
-    let mut offline_epochs = 0usize;
-    let mut undisseminated_epochs = 0usize;
-    let mut samples_delivered = 0usize;
-    let mut bs_tx_uj = 0.0f64;
-    let mut replans: Vec<ReplanEvent> = Vec::new();
-
-    // Initial dissemination round (epoch 0 on the fault clock). Runs
-    // even for a zero-epoch simulation, exactly like the pre-fault
-    // simulator.
-    for (i, m) in motes.iter_mut().enumerate() {
-        if !faults.online(m.id(), 0) {
-            continue;
-        }
-        let d = attempt_packet(faults, FaultStream::Dissemination, m.id(), 0, &stats);
-        bs_tx_uj +=
-            (d.attempts as usize * plans[cur].wire.len()) as f64 * model.radio_tx_uj_per_byte;
-        radio_c.incr(d.attempts as u64);
-        if d.delivered {
-            m.receive(plans[cur].wire.len(), model);
-            mote_ver[i] = Some(cur);
-        }
-    }
-
-    let mut results = 0usize;
-    let mut tuples = 0usize;
-    let mut all_correct = true;
-    for e in 0..epochs {
-        // Re-dissemination: any mote lagging the current plan gets a
-        // fresh per-epoch attempt window (the initial round already
-        // consumed epoch 0's).
-        if e > 0 {
-            for (i, m) in motes.iter_mut().enumerate() {
-                if mote_ver[i] == Some(cur) || !faults.online(m.id(), e) {
-                    continue;
-                }
-                let d = attempt_packet(faults, FaultStream::Dissemination, m.id(), e, &stats);
-                bs_tx_uj += (d.attempts as usize * plans[cur].wire.len()) as f64
-                    * model.radio_tx_uj_per_byte;
-                radio_c.incr(d.attempts as u64);
-                if d.delivered {
-                    m.receive(plans[cur].wire.len(), model);
-                    mote_ver[i] = Some(cur);
+    /// Drives the full run: initial dissemination, `epochs` stepped
+    /// epochs (with crash checks when a crash runtime is attached), and
+    /// the final report.
+    fn run(&mut self, epochs: usize) -> FaultReport {
+        let span = self.rec.span("sensornet.simulate");
+        self.disseminate_initial();
+        for e in 0..epochs {
+            // Crashes land at epoch *boundaries*: the process dies and
+            // restarts between epochs, never mid-tuple. Epoch 0 cannot
+            // crash — before the initial dissemination there is no
+            // state to lose.
+            let crashed = e > 0 && self.crash_scheduled(e);
+            if crashed {
+                self.crash_and_recover();
+            }
+            let pre_rediss =
+                if crashed { Some((self.bs_tx_uj, self.mote_rx_total())) } else { None };
+            if e > 0 {
+                self.redisseminate(e);
+            }
+            if let Some((tx0, rx0)) = pre_rediss {
+                let delta = (self.bs_tx_uj - tx0) + (self.mote_rx_total() - rx0);
+                if let Some(cr) = self.crash.as_mut() {
+                    cr.recovery_rediss_uj += delta;
                 }
             }
+            self.run_motes(e);
+            self.drift_check(e);
+            self.journal_epoch_end(e);
         }
+        let report = self.finish(epochs);
+        drop(span);
+        report
+    }
 
-        for (i, m) in motes.iter_mut().enumerate() {
+    /// Initial dissemination round (epoch 0 on the fault clock). Runs
+    /// even for a zero-epoch simulation, exactly like the pre-fault
+    /// simulator.
+    fn disseminate_initial(&mut self) {
+        for (i, m) in self.motes.iter_mut().enumerate() {
+            if !self.faults.online(m.id(), 0) {
+                continue;
+            }
+            let d = attempt_packet(self.faults, FaultStream::Dissemination, m.id(), 0, &self.stats);
+            self.bs_tx_uj += (d.attempts as usize * self.plans[self.cur].wire.len()) as f64
+                * self.model.radio_tx_uj_per_byte;
+            self.radio_c.incr(d.attempts as u64);
+            if d.delivered {
+                m.receive(self.plans[self.cur].wire.len(), self.model);
+                self.mote_has[i] = Some(self.cur);
+                self.bs_known[i] = Some(self.cur);
+            }
+        }
+    }
+
+    /// Re-dissemination: any mote the basestation believes to lag the
+    /// current plan gets a fresh per-epoch attempt window (the initial
+    /// round already consumed epoch 0's).
+    fn redisseminate(&mut self, e: usize) {
+        for (i, m) in self.motes.iter_mut().enumerate() {
+            if self.bs_known[i] == Some(self.cur) || !self.faults.online(m.id(), e) {
+                continue;
+            }
+            let d = attempt_packet(self.faults, FaultStream::Dissemination, m.id(), e, &self.stats);
+            self.bs_tx_uj += (d.attempts as usize * self.plans[self.cur].wire.len()) as f64
+                * self.model.radio_tx_uj_per_byte;
+            self.radio_c.incr(d.attempts as u64);
+            if d.delivered {
+                m.receive(self.plans[self.cur].wire.len(), self.model);
+                self.mote_has[i] = Some(self.cur);
+                self.bs_known[i] = Some(self.cur);
+            }
+        }
+    }
+
+    /// One epoch of plan execution and uplinks across the fleet.
+    fn run_motes(&mut self, e: usize) {
+        for (i, m) in self.motes.iter_mut().enumerate() {
             if e >= m.epochs() {
                 continue;
             }
             let id = m.id();
-            if !faults.online(id, e) {
-                stats.offline_epochs.incr(1);
-                offline_epochs += 1;
+            if !self.faults.online(id, e) {
+                self.stats.offline_epochs.incr(1);
+                self.offline_epochs += 1;
                 continue;
             }
-            let Some(ver) = mote_ver[i] else {
-                undisseminated_epochs += 1;
+            let Some(ver) = self.mote_has[i] else {
+                self.undisseminated_epochs += 1;
                 continue;
             };
-            tuples += 1;
-            tuples_c.incr(1);
-            let wire = &plans[ver].wire;
+            self.tuples += 1;
+            self.tuples_c.incr(1);
+            let wire = &self.plans[ver].wire;
             let (out, aborted) = {
-                let src = m.epoch_source(e, schema, model);
-                let mut fsrc = FaultySource::new(src, faults, &stats, id, e);
-                let out = execute_wire(wire, query, schema, &mut fsrc)
+                let src = m.epoch_source(e, self.schema, self.model);
+                let mut fsrc = FaultySource::new(src, self.faults, &self.stats, id, e);
+                let out = execute_wire(wire, self.query, self.schema, &mut fsrc)
                     .expect("basestation-produced wire plans are well-formed");
                 (out, fsrc.aborted())
             };
-            acq_hist.observe(out.acquired.len() as u64);
+            self.acq_hist.observe(out.acquired.len() as u64);
             if aborted {
-                aborted_tuples += 1;
+                self.aborted_tuples += 1;
                 continue;
             }
-            let truth = query.eval_with(|a| m.peek(e, a));
-            all_correct &= out.verdict == truth;
+            let truth = self.query.eval_with(|a| m.peek(e, a));
+            self.all_correct &= out.verdict == truth;
 
             // Every acquired attribute with a predicate yields one
             // evaluated/held observation for the drift monitor,
             // buffered until an uplink actually gets through.
-            if let Some(st) = adaptive.as_mut() {
+            if let Some(st) = self.adaptive.as_mut() {
                 for &a in &out.acquired {
-                    if let Some(j) = pred_of[a] {
+                    if let Some(j) = self.pred_of[a] {
                         st.pend_eval[i][j] += 1;
-                        st.pend_pass[i][j] += u64::from(query.pred(j).eval(m.peek(e, a)));
+                        st.pend_pass[i][j] += u64::from(self.query.pred(j).eval(m.peek(e, a)));
                     }
                 }
             }
 
             if out.verdict {
-                results += 1;
-                results_c.incr(1);
-                let d = attempt_packet(faults, FaultStream::Result, id, e, &stats);
-                m.transmit(d.attempts as usize * uplink_bytes, model);
-                radio_c.incr(d.attempts as u64);
+                self.results += 1;
+                self.results_c.incr(1);
+                let d = attempt_packet(self.faults, FaultStream::Result, id, e, &self.stats);
+                m.transmit(d.attempts as usize * self.uplink_bytes, self.model);
+                self.radio_c.incr(d.attempts as u64);
                 if d.delivered {
-                    delivered_results += 1;
-                    if let Some(st) = adaptive.as_mut() {
-                        st.flush_counters(i);
+                    self.delivered_results += 1;
+                    if let Some(st) = self.adaptive.as_mut() {
+                        st.flush_counters(i, self.crash.as_mut().and_then(|c| c.journal.as_mut()));
                     }
                 } else {
-                    lost_results += 1;
+                    self.lost_results += 1;
                 }
             }
 
             // Periodic statistics sample: read out the rest of the
             // tuple (sensing honestly charged via the same source
             // rules) and upload the full row for the re-plan window.
-            if let Some(st) = adaptive.as_mut() {
+            if let Some(st) = self.adaptive.as_mut() {
                 let k = st.cfg.sample_every.max(1);
                 if e % k == k - 1 {
                     let mut sample_aborted = false;
                     {
-                        let src = m.epoch_source(e, schema, model);
-                        let mut fsrc = FaultySource::new(src, faults, &stats, id, e);
-                        for a in 0..schema.len() {
+                        let src = m.epoch_source(e, self.schema, self.model);
+                        let mut fsrc = FaultySource::new(src, self.faults, &self.stats, id, e);
+                        for a in 0..self.schema.len() {
                             if !out.acquired.contains(&a) {
                                 fsrc.acquire(a);
                                 if fsrc.aborted() {
@@ -454,78 +684,270 @@ fn run_engine(
                         }
                     }
                     if !sample_aborted {
-                        let d = attempt_packet(faults, FaultStream::Sample, id, e, &stats);
-                        m.transmit(d.attempts as usize * sample_bytes, model);
-                        radio_c.incr(d.attempts as u64);
+                        let d =
+                            attempt_packet(self.faults, FaultStream::Sample, id, e, &self.stats);
+                        m.transmit(d.attempts as usize * self.sample_bytes, self.model);
+                        self.radio_c.incr(d.attempts as u64);
                         if d.delivered {
-                            samples_delivered += 1;
-                            let row: Vec<u16> = (0..schema.len()).map(|a| m.peek(e, a)).collect();
+                            self.samples_delivered += 1;
+                            let row: Vec<u16> =
+                                (0..self.schema.len()).map(|a| m.peek(e, a)).collect();
+                            let mut journal = self.crash.as_mut().and_then(|c| c.journal.as_mut());
+                            if let Some(jr) = journal.as_deref_mut() {
+                                jr.append(&WalRecord::WindowPush { row: row.clone() });
+                            }
                             st.window.push(row);
-                            st.flush_counters(i);
+                            st.flush_counters(i, journal);
                         }
                     }
                 }
             }
         }
+    }
 
-        // Basestation drift check at epoch end.
-        if let Some(st) = adaptive.as_mut() {
-            let k = st.cfg.check_every.max(1);
-            if (e + 1) % k == 0
-                && st.monitor.drifted()
-                && st.window.len() >= st.cfg.min_window.max(1)
-            {
-                replan_trig_c.incr(1);
-                let divergence = st.monitor.max_divergence();
-                let window =
-                    st.window.snapshot(schema).expect("window rows come from schema-shaped traces");
-                let outcome = st
-                    .bs
-                    .replan(query, &window, &st.cfg.budget, st.cfg.alpha, &plans[cur])
-                    .expect("re-planning a valid query cannot fail");
-                replans.push(ReplanEvent {
-                    epoch: e,
-                    divergence,
-                    adopted: outcome.adopted,
-                    truncated: outcome.truncated,
-                    fell_back: outcome.fell_back,
-                    stale_cost: outcome.stale_cost,
-                    new_cost: outcome.new_cost,
-                });
-                // Either way the monitor is re-armed with the window's
-                // estimates — they are the basestation's current belief.
-                st.monitor.reset(outcome.est_selectivities.clone());
-                if outcome.adopted {
-                    replan_adopt_c.incr(1);
-                    plans.push(outcome.planned);
-                    cur = plans.len() - 1;
-                    // Every mote now lags; re-dissemination starts at
-                    // the top of the next epoch.
+    /// Basestation drift check at epoch end.
+    fn drift_check(&mut self, e: usize) {
+        let Some(st) = self.adaptive.as_mut() else { return };
+        let k = st.cfg.check_every.max(1);
+        if (e + 1).is_multiple_of(k)
+            && st.monitor.drifted()
+            && st.window.len() >= st.cfg.min_window.max(1)
+        {
+            self.replan_trig_c.incr(1);
+            let divergence = st.monitor.max_divergence();
+            let window = st
+                .window
+                .snapshot(self.schema)
+                .expect("window rows come from schema-shaped traces");
+            let outcome = st
+                .bs
+                .replan(self.query, &window, &st.cfg.budget, st.cfg.alpha, &self.plans[self.cur])
+                .expect("re-planning a valid query cannot fail");
+            self.replans.push(ReplanEvent {
+                epoch: e,
+                divergence,
+                adopted: outcome.adopted,
+                truncated: outcome.truncated,
+                fell_back: outcome.fell_back,
+                stale_cost: outcome.stale_cost,
+                new_cost: outcome.new_cost,
+            });
+            // Either way the monitor is re-armed with the window's
+            // estimates — they are the basestation's current belief.
+            st.monitor.reset(outcome.est_selectivities.clone());
+            if outcome.adopted {
+                self.replan_adopt_c.incr(1);
+                self.plans.push(outcome.planned);
+                self.cur = self.plans.len() - 1;
+                // Every mote now lags; re-dissemination starts at the
+                // top of the next epoch. Journal the adoption so a
+                // crash restores this version, not the genesis plan.
+                if let Some(jr) = self.crash.as_mut().and_then(|c| c.journal.as_mut()) {
+                    let p = &self.plans[self.cur];
+                    jr.append(&WalRecord::PlanAdopted {
+                        plan: PlanRecord {
+                            version: self.cur as u64,
+                            wire: p.wire.clone(),
+                            expected_cost: p.expected_cost,
+                            objective: p.objective,
+                        },
+                        est_selectivities: outcome.est_selectivities,
+                    });
                 }
             }
         }
     }
 
-    let per_mote: Vec<EnergyLedger> = motes.iter().map(|m| *m.ledger()).collect();
-    if rec.enabled() {
-        for (m, l) in motes.iter().zip(&per_mote) {
-            let id = m.id();
-            rec.gauge(&format!("sensornet.mote{id}.sensing_uj"), l.sensing_uj);
-            rec.gauge(&format!("sensornet.mote{id}.radio_uj"), l.radio_tx_uj + l.radio_rx_uj);
-            rec.gauge(&format!("sensornet.mote{id}.total_uj"), l.total_uj());
+    /// Journals the epoch boundary and writes a snapshot when the
+    /// checkpoint cadence is due.
+    fn journal_epoch_end(&mut self, e: usize) {
+        let Some(cr) = self.crash.as_mut() else { return };
+        let Some(journal) = cr.journal.as_mut() else { return };
+        journal.append(&WalRecord::EpochEnd { epoch: e as u64 });
+        let every = cr.cfg.checkpoint_every;
+        if every == 0 || !(e + 1).is_multiple_of(every) {
+            return;
+        }
+        let p = &self.plans[self.cur];
+        let cp = BasestationCheckpoint {
+            epoch: e as u64,
+            last_seq: journal.folded_seq(),
+            plan: PlanRecord {
+                version: self.cur as u64,
+                wire: p.wire.clone(),
+                expected_cost: p.expected_cost,
+                objective: p.objective,
+            },
+            drift: self.adaptive.as_ref().map(|st| (st.cfg.drift, st.monitor.state())),
+            window: self.adaptive.as_ref().map(|st| st.window.state()),
+            mask_cache: self.hist_est.as_ref().and_then(|est| est.cached_masks()),
+            ledgers: self
+                .motes
+                .iter()
+                .map(|m| {
+                    let l = m.ledger();
+                    [l.sensing_uj, l.board_uj, l.radio_tx_uj, l.radio_rx_uj]
+                })
+                .collect(),
+        };
+        if journal.write_snapshot(&cp) {
+            cr.checkpoints_written += 1;
+            cr.counters.checkpoints.incr(1);
         }
     }
-    drop(span);
-    FaultReport {
-        sim: SimReport::assemble(epochs, tuples, results, all_correct, per_mote),
-        delivered_results,
-        lost_results,
-        aborted_tuples,
-        offline_epochs,
-        undisseminated_epochs,
-        samples_delivered,
-        bs_tx_uj,
-        replans,
+
+    /// Whether a crash is injected at the start of epoch `e`: scheduled
+    /// explicitly, or drawn from the seeded crash stream.
+    fn crash_scheduled(&self, e: usize) -> bool {
+        let Some(cr) = &self.crash else { return false };
+        cr.cfg.crash_epochs.contains(&e)
+            || (cr.cfg.crash_rate > 0.0
+                && self.faults.roll(FaultStream::Crash, 0, e, 0, 0) < cr.cfg.crash_rate)
+    }
+
+    /// Kills and restarts the basestation: wipes its process memory
+    /// (fleet beliefs, monitor, window, warm estimator, current plan),
+    /// then rebuilds from the checkpoint directory — newest valid
+    /// snapshot, idempotent WAL replay beyond it, genesis cold start
+    /// when nothing validates. Mote-side state (`mote_has`, energy
+    /// ledgers, pending piggyback counters) survives untouched: those
+    /// live in the field, not in the crashed process.
+    fn crash_and_recover(&mut self) {
+        let Some(cr) = self.crash.as_mut() else { return };
+        cr.crashes += 1;
+        cr.counters.attempted.incr(1);
+        for v in self.bs_known.iter_mut() {
+            *v = None;
+        }
+        let recovered = match cr.journal.as_mut() {
+            Some(j) => j.recover(),
+            None => RecoveredState::genesis(),
+        };
+        cr.corrupt_snapshots += recovered.corrupt_snapshots;
+        cr.counters.corrupt.incr(recovered.corrupt_snapshots as u64);
+        if recovered.cold_start {
+            cr.cold_starts += 1;
+            cr.counters.cold_start.incr(1);
+        }
+        cr.wal_replayed += recovered.replayed.len();
+        cr.counters.wal_replayed.incr(recovered.replayed.len() as u64);
+
+        // Plan version from the checkpoint, genesis otherwise. Clamped
+        // defensively: a version beyond what this run ever disseminated
+        // cannot index the plan table.
+        self.cur = recovered
+            .checkpoint
+            .as_ref()
+            .map(|cp| (cp.plan.version as usize).min(self.plans.len() - 1))
+            .unwrap_or(0);
+
+        // Rebuild the history estimator the restarted basestation
+        // needs, seeding its mask cache from the checkpoint when it
+        // matches this query — recovery then skips the full dataset
+        // pass the cold path would re-pay.
+        if let (Some(est), Some(st)) = (self.hist_est.as_mut(), self.adaptive.as_ref()) {
+            *est = CountingEstimator::with_ranges(st.bs.history(), Ranges::root(self.schema));
+            if let Some((q, masks)) =
+                recovered.checkpoint.as_ref().and_then(|cp| cp.mask_cache.clone())
+            {
+                if &q == self.query && est.seed_masks(q, masks) {
+                    cr.counters.masks_seeded.incr(1);
+                }
+            }
+        }
+
+        // Monitor and window: checkpoint state when it validates and
+        // matches this query's shape, genesis otherwise. The pending
+        // piggyback buffers are mote-side and survive as-is.
+        if let Some(st) = self.adaptive.as_mut() {
+            let from_cp = recovered
+                .checkpoint
+                .as_ref()
+                .and_then(|cp| cp.drift.clone())
+                .and_then(|(cfg, state)| DriftMonitor::from_state(state, cfg).ok())
+                .filter(|m| m.len() == self.query.len());
+            st.monitor = match from_cp {
+                Some(m) => m,
+                None => {
+                    let est = self
+                        .hist_est
+                        .as_ref()
+                        .expect("crashy adaptive runs hold a history estimator");
+                    DriftMonitor::new(estimated_selectivities(self.query, est), st.cfg.drift)
+                        .expect("a non-empty query always arms a monitor")
+                }
+            };
+            st.window = recovered
+                .checkpoint
+                .as_ref()
+                .and_then(|cp| cp.window.clone())
+                .filter(|w| w.width == self.schema.len())
+                .and_then(|w| SlidingWindow::from_state(w).ok())
+                .unwrap_or_else(|| SlidingWindow::new(self.schema, st.cfg.window.max(1)));
+        }
+
+        // Fold the WAL tail back in, in order. Every record is
+        // shape-checked — a checksum collision on hostile bytes must
+        // degrade to a skipped record, never an out-of-bounds panic.
+        for r in recovered.replayed {
+            match r {
+                WalRecord::Observe { pred, evaluated, passed } => {
+                    if let Some(st) = self.adaptive.as_mut() {
+                        let j = pred as usize;
+                        if j < self.query.len() && passed <= evaluated {
+                            st.monitor.observe_counts(j, evaluated, passed);
+                        }
+                    }
+                }
+                WalRecord::WindowPush { row } => {
+                    if let Some(st) = self.adaptive.as_mut() {
+                        if row.len() == self.schema.len() {
+                            st.window.push(row);
+                        }
+                    }
+                }
+                WalRecord::PlanAdopted { plan, est_selectivities } => {
+                    self.cur = (plan.version as usize).min(self.plans.len() - 1);
+                    if let Some(st) = self.adaptive.as_mut() {
+                        if est_selectivities.len() == self.query.len() {
+                            st.monitor.reset(est_selectivities);
+                        }
+                    }
+                }
+                WalRecord::EpochEnd { .. } => {}
+            }
+        }
+    }
+
+    /// Total radio receive energy across the fleet — used to attribute
+    /// the recovery re-dissemination tax.
+    fn mote_rx_total(&self) -> f64 {
+        self.motes.iter().map(|m| m.ledger().radio_rx_uj).sum()
+    }
+
+    /// Emits per-mote gauges and assembles the final report.
+    fn finish(&mut self, epochs: usize) -> FaultReport {
+        let per_mote: Vec<EnergyLedger> = self.motes.iter().map(|m| *m.ledger()).collect();
+        if self.rec.enabled() {
+            for (m, l) in self.motes.iter().zip(&per_mote) {
+                let id = m.id();
+                self.rec.gauge(&format!("sensornet.mote{id}.sensing_uj"), l.sensing_uj);
+                self.rec
+                    .gauge(&format!("sensornet.mote{id}.radio_uj"), l.radio_tx_uj + l.radio_rx_uj);
+                self.rec.gauge(&format!("sensornet.mote{id}.total_uj"), l.total_uj());
+            }
+        }
+        FaultReport {
+            sim: SimReport::assemble(epochs, self.tuples, self.results, self.all_correct, per_mote),
+            delivered_results: self.delivered_results,
+            lost_results: self.lost_results,
+            aborted_tuples: self.aborted_tuples,
+            offline_epochs: self.offline_epochs,
+            undisseminated_epochs: self.undisseminated_epochs,
+            samples_delivered: self.samples_delivered,
+            bs_tx_uj: self.bs_tx_uj,
+            replans: std::mem::take(&mut self.replans),
+        }
     }
 }
 
@@ -969,5 +1391,91 @@ mod tests {
         assert_eq!(snap.counter("sensornet.replan.triggered"), rep.replans.len() as u64);
         assert_eq!(snap.counter("sensornet.replan.adopted"), adopted.len() as u64);
         assert!(rep.samples_delivered > 0);
+    }
+
+    #[test]
+    fn crashes_recover_and_charge_rediss_energy() {
+        let (schema, data, query) = setup();
+        let (train, live) = data.split_at(0.5);
+        let bs = Basestation::new(schema.clone(), &train);
+        let planned = bs.plan_query(&query, PlannerChoice::Heuristic(4), 0.0).unwrap();
+        let model = EnergyModel::mica_like();
+        let faults = FaultModel::lossy(21, 0.0);
+        let dir = std::env::temp_dir().join("acqp_sim_crash_test");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let crash = CrashConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 8,
+            crash_epochs: vec![10, 30],
+            crash_rate: 0.0,
+        };
+        let mut motes = fleet_from_trace(&live, 3);
+        let rep = run_simulation_crashy(
+            &bs,
+            &query,
+            &planned,
+            &mut motes,
+            &model,
+            live.len(),
+            &faults,
+            None,
+            &crash,
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(rep.crashes, 2);
+        assert_eq!(rep.cold_starts, 0, "checkpoints were on disk for both crashes");
+        assert!(rep.checkpoints_written > 0);
+        assert!(rep.recovery_rediss_uj > 0.0, "recovery must re-pay dissemination radio");
+        assert!(rep.fault.sim.all_correct, "crashes must never corrupt verdicts");
+        // Same run without crashes: strictly less dissemination energy.
+        std::fs::remove_dir_all(&dir).ok();
+        let mut base_motes = fleet_from_trace(&live, 3);
+        let base = run_simulation_faulty(
+            &schema,
+            &query,
+            &planned,
+            &mut base_motes,
+            &model,
+            live.len(),
+            &faults,
+            &Recorder::disabled(),
+        );
+        assert!(rep.fault.bs_tx_uj > base.bs_tx_uj);
+        assert_eq!(rep.fault.sim.tuples, base.sim.tuples, "crashes cost energy, not tuples");
+    }
+
+    #[test]
+    fn crash_without_persistence_cold_starts_to_genesis() {
+        let (schema, data, query) = setup();
+        let (train, live) = data.split_at(0.5);
+        let bs = Basestation::new(schema.clone(), &train);
+        let planned = bs.plan_query(&query, PlannerChoice::Heuristic(4), 0.0).unwrap();
+        let model = EnergyModel::mica_like();
+        let crash = CrashConfig {
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            crash_epochs: vec![5],
+            crash_rate: 0.0,
+        };
+        let mut motes = fleet_from_trace(&live, 2);
+        let rep = run_simulation_crashy(
+            &bs,
+            &query,
+            &planned,
+            &mut motes,
+            &model,
+            20,
+            &FaultModel::none(),
+            None,
+            &crash,
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(rep.crashes, 1);
+        assert_eq!(rep.cold_starts, 1, "no checkpoint directory means every crash is cold");
+        assert_eq!(rep.checkpoints_written, 0);
+        assert!(rep.fault.sim.all_correct);
     }
 }

@@ -99,6 +99,53 @@ impl SlidingWindow {
     pub fn snapshot(&self, schema: &Schema) -> Result<Dataset> {
         Dataset::from_rows(schema, self.rows.clone())
     }
+
+    /// Exports the window's full state — ring contents in storage
+    /// order, head slot, lifetime push count — for checkpointing. A
+    /// [`SlidingWindow::from_state`] round trip is bit-identical: the
+    /// restored window produces the same snapshots *and* evicts in the
+    /// same order under future pushes.
+    pub fn state(&self) -> WindowState {
+        WindowState {
+            width: self.width,
+            capacity: self.capacity,
+            rows: self.rows.clone(),
+            head: self.head,
+            pushed: self.pushed,
+        }
+    }
+
+    /// Rebuilds a window from checkpointed state, validating every
+    /// invariant a healthy window maintains so a corrupt checkpoint is
+    /// rejected here rather than corrupting later estimates.
+    pub fn from_state(state: WindowState) -> Result<Self> {
+        let WindowState { width, capacity, rows, head, pushed } = state;
+        let ok = capacity > 0
+            && rows.len() <= capacity
+            && (head == 0 || head < capacity)
+            && (rows.len() == capacity || head == 0)
+            && pushed >= rows.len() as u64
+            && rows.iter().all(|r| r.len() == width);
+        if !ok {
+            return Err(Error::Parse { what: "sliding-window state violates ring invariants" });
+        }
+        Ok(SlidingWindow { width, capacity, rows, head, pushed })
+    }
+}
+
+/// A [`SlidingWindow`]'s checkpointable state (see [`SlidingWindow::state`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowState {
+    /// Tuple width (schema length).
+    pub width: usize,
+    /// Ring capacity.
+    pub capacity: usize,
+    /// Ring storage in *storage* order (not age order).
+    pub rows: Vec<Vec<u16>>,
+    /// Next slot to overwrite once the ring is full.
+    pub head: usize,
+    /// Total tuples ever pushed (evicted ones included).
+    pub pushed: u64,
 }
 
 /// Exponentially-weighted comparison of a plan's measured cost against
@@ -355,6 +402,49 @@ mod tests {
         // Rows 2, 3, 4 survive (in ring order).
         let vals: Vec<u16> = (0..3).map(|r| snap.value(r, 0)).collect();
         assert_eq!(vals.iter().filter(|&&v| v == 0).count(), 2); // rows 2 and 4
+    }
+
+    #[test]
+    fn window_state_round_trip_preserves_ring_and_future_evictions() {
+        let s = schema();
+        let mut w = SlidingWindow::new(&s, 3);
+        for i in 0..5u16 {
+            w.push(vec![i % 2, i % 2, i % 2]);
+        }
+        let state = w.state();
+        let mut restored = SlidingWindow::from_state(state.clone()).unwrap();
+        assert_eq!(restored.state(), state);
+        let (a, b) = (w.snapshot(&s).unwrap(), restored.snapshot(&s).unwrap());
+        assert_eq!(a.len(), b.len());
+        for r in 0..a.len() {
+            for c in 0..a.width() {
+                assert_eq!(a.value(r, c), b.value(r, c));
+            }
+        }
+        // Future pushes evict in the same order as the original.
+        w.push(vec![1, 0, 1]);
+        restored.push(vec![1, 0, 1]);
+        assert_eq!(w.state(), restored.state());
+    }
+
+    #[test]
+    fn window_state_rejects_corrupt_invariants() {
+        let s = schema();
+        let mut w = SlidingWindow::new(&s, 2);
+        w.push(vec![0, 0, 0]);
+        let good = w.state();
+        assert!(SlidingWindow::from_state(good.clone()).is_ok());
+        for bad in [
+            WindowState { capacity: 0, ..good.clone() },
+            WindowState { head: 5, ..good.clone() },
+            // Partially filled ring must keep head at slot 0.
+            WindowState { head: 1, ..good.clone() },
+            WindowState { pushed: 0, ..good.clone() },
+            WindowState { rows: vec![vec![0]], ..good.clone() },
+            WindowState { rows: vec![vec![0, 0, 0]; 9], ..good.clone() },
+        ] {
+            assert!(SlidingWindow::from_state(bad).is_err());
+        }
     }
 
     #[test]

@@ -34,4 +34,5 @@ run cargo bench -p acqp-bench --bench ablation_plan_size
 run cargo bench -p acqp-bench --bench estimator_ops
 run cargo bench -p acqp-bench --bench scalability
 run cargo bench -p acqp-bench --bench fault_sweep
+run cargo bench -p acqp-bench --bench crash_recovery
 echo "ALL BENCHES RECORDED" | tee -a "$out"

@@ -11,6 +11,8 @@
 //! * [`gm`] — §7 extension: Chow–Liu tree graphical-model estimation.
 //! * [`obs`] — observability: zero-dependency spans, counters and
 //!   histograms recorded by the planners, executor and simulator.
+//! * [`persist`] — crash safety: versioned, checksummed basestation
+//!   snapshots plus a write-ahead log with idempotent replay.
 //! * [`sensornet`] — execution substrate: motes, energy accounting,
 //!   radio costs, basestation planning, plan byte-code interpreter.
 //! * [`stream`] — §7 extension: sliding-window statistics, drift
@@ -24,6 +26,7 @@ pub use acqp_core as core;
 pub use acqp_data as data;
 pub use acqp_gm as gm;
 pub use acqp_obs as obs;
+pub use acqp_persist as persist;
 pub use acqp_sensornet as sensornet;
 pub use acqp_stream as stream;
 
