@@ -206,8 +206,5 @@ fn main() {
     }
     println!("\npersistence preserves adaptivity and snapshots bound replay: gates satisfied");
 
-    match acqp_bench::write_bench_json("crash_recovery", &fields) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_crash_recovery.json: {e}"),
-    }
+    acqp_bench::report::emit_bench_json("crash_recovery", &fields);
 }

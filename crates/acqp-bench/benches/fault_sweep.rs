@@ -135,8 +135,5 @@ fn main() {
     );
     println!("\nre-planning improves on the stale plan under loss: gate satisfied");
 
-    match acqp_bench::write_bench_json("fault_sweep", &fields) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_fault_sweep.json: {e}"),
-    }
+    acqp_bench::report::emit_bench_json("fault_sweep", &fields);
 }

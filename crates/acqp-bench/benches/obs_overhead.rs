@@ -98,8 +98,5 @@ fn main() {
         ("noop_overhead_pct".to_string(), pct(t_noop)),
         ("json_overhead_pct".to_string(), pct(t_json)),
     ];
-    match acqp_bench::write_bench_json("obs_overhead", &fields) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_obs_overhead.json: {e}"),
-    }
+    acqp_bench::report::emit_bench_json("obs_overhead", &fields);
 }

@@ -86,8 +86,5 @@ fn main() {
         ("speedup".to_string(), t_serial / t_par.max(1e-9)),
     ];
     fields.extend(acqp_bench::planner_rates(&snap));
-    match acqp_bench::write_bench_json("parallel_search", &fields) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write BENCH_parallel_search.json: {e}"),
-    }
+    acqp_bench::report::emit_bench_json("parallel_search", &fields);
 }

@@ -9,7 +9,15 @@
 //! one figure or table deterministically and prints it. Run them all
 //! with `cargo bench -p acqp-bench`.
 
+// Determinism tests assert bitwise-equal floats on purpose; the
+// workspace-level `float_cmp` warning stays on for library code.
+#![cfg_attr(test, allow(clippy::float_cmp))]
+
 use acqp_core::prelude::*;
+
+pub mod report;
+
+pub use report::{emit_bench_json, write_bench_json};
 
 /// An algorithm under evaluation, matching the names used in §6.
 #[derive(Debug, Clone)]
@@ -123,7 +131,7 @@ pub fn run_batch(
 ) -> Vec<Cell> {
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let cells = std::sync::Mutex::new(Vec::<Cell>::new());
+    let cells = NoPoisonMutex::new(Vec::<Cell>::new());
     crossbeam::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|_| loop {
@@ -150,12 +158,12 @@ pub fn run_batch(
                         exact,
                     });
                 }
-                cells.lock().unwrap().extend(local);
+                cells.lock().extend(local);
             });
         }
     })
     .expect("worker panicked");
-    let mut out = cells.into_inner().unwrap();
+    let mut out = cells.into_inner();
     out.sort_by(|a, b| (a.query_idx, &a.algo).cmp(&(b.query_idx, &b.algo)));
     out
 }
@@ -198,7 +206,7 @@ pub fn print_gain_cdf(title: &str, baseline: &[f64], subject: &[f64]) {
         .zip(subject)
         .map(|(b, s)| if *s > 0.0 { b / s } else { f64::INFINITY })
         .collect();
-    gains.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    gains.sort_by_key(|&g| OrdF64(g));
     println!("  {title}: cumulative frequency of gain (fraction of queries with gain >= x)");
     println!("    {:>8} {:>10}", "gain x", "frac >= x");
     for x in [0.5, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0] {
@@ -243,28 +251,6 @@ pub fn planner_rates(snap: &acqp_obs::Snapshot) -> Vec<(String, f64)> {
         ("planner.prune_rate".into(), pruned / evaluated.max(1.0)),
         ("planner.budget.truncated".into(), snap.counter("planner.budget.truncated") as f64),
     ]
-}
-
-/// Writes `BENCH_<name>.json` in the working directory: one flat JSON
-/// object mapping metric names to numbers, so bench results (wall
-/// clocks, planner rates) land in a machine-readable artifact next to
-/// the printed tables. Returns the path written.
-pub fn write_bench_json(
-    name: &str,
-    fields: &[(String, f64)],
-) -> std::io::Result<std::path::PathBuf> {
-    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
-    let mut body = String::from("{");
-    for (i, (k, v)) in fields.iter().enumerate() {
-        if i > 0 {
-            body.push(',');
-        }
-        let v = if v.is_finite() { *v } else { 0.0 };
-        body.push_str(&format!("\n  \"{k}\": {v}"));
-    }
-    body.push_str("\n}\n");
-    std::fs::write(&path, body)?;
-    Ok(path)
 }
 
 #[cfg(test)]

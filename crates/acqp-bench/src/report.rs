@@ -1,0 +1,60 @@
+//! The one place bench artifacts are stamped.
+//!
+//! Every bench target emits its machine-readable results through
+//! [`emit_bench_json`], so artifact naming (`BENCH_<name>.json`),
+//! number formatting and error handling live here and nowhere else —
+//! acqp-lint's `duplicate-bench-writer` advisory flags any writer or
+//! `BENCH_`-prefixed literal that grows back outside this module.
+
+use std::io;
+use std::path::PathBuf;
+
+/// Writes `BENCH_<name>.json` in the working directory: one flat JSON
+/// object mapping metric names to numbers, so bench results (wall
+/// clocks, planner rates) land in a machine-readable artifact next to
+/// the printed tables. Returns the path written.
+pub fn write_bench_json(name: &str, fields: &[(String, f64)]) -> io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    let mut body = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let v = if v.is_finite() { *v } else { 0.0 };
+        body.push_str(&format!("\n  \"{k}\": {v}"));
+    }
+    body.push_str("\n}\n");
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Writes the artifact and reports the outcome on stdout/stderr — the
+/// shared tail of every bench's `main`. A failed write is worth a
+/// complaint but never a failed bench run.
+pub fn emit_bench_json(name: &str, fields: &[(String, f64)]) {
+    match write_bench_json(name, fields) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench artifact for {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_artifact_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("acqp_bench_report_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cwd = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let path =
+            write_bench_json("unit_test", &[("a.b".to_string(), 1.5), ("c".to_string(), f64::NAN)])
+                .unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(cwd).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(body.contains("\"a.b\": 1.5"));
+        assert!(body.contains("\"c\": 0"), "non-finite values are zeroed: {body}");
+    }
+}

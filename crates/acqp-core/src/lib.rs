@@ -71,6 +71,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Determinism tests assert bitwise-equal floats on purpose; the
+// workspace-level `float_cmp` warning stays on for library code.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 pub mod attr;
 pub mod cost;
 pub mod costmodel;
@@ -108,7 +111,7 @@ pub mod prelude {
     pub use crate::plan::{Plan, SeqOrder};
     pub use crate::planner::{
         enumerate_plans, full_tree_count, DegradationLevel, EnumeratedPlans, ExhaustivePlanner,
-        FallbackPlanner, GreedyPlanner, NaivePlanner, PlanReport, SeqAlgorithm, SeqPlanner,
+        FallbackPlanner, GreedyPlanner, NaivePlanner, OrdF64, PlanReport, SeqAlgorithm, SeqPlanner,
         SplitGrid,
     };
     pub use crate::prob::{

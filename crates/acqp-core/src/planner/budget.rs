@@ -134,6 +134,28 @@ impl SearchLimits {
     }
 }
 
+/// A monotonic deadline for best-so-far search loops.
+///
+/// The greedy planner stops *improving* its plan when the deadline
+/// passes — expiry never invalidates work already done. Keeping the
+/// clock reads in this module confines wall-clock access to the one
+/// place where it may only truncate a search, never reorder it
+/// (enforced by acqp-lint's `wallclock-in-planner` rule).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// A deadline `budget` from now; `None` never expires.
+    pub(crate) fn after(budget: Option<Duration>) -> Self {
+        Deadline(budget.map(|d| Instant::now() + d))
+    }
+
+    /// Whether the deadline has passed.
+    pub(crate) fn expired(&self) -> bool {
+        self.0.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

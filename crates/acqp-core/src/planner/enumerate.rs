@@ -23,6 +23,8 @@ use crate::prob::Estimator;
 use crate::query::Query;
 use crate::range::Range;
 
+use super::OrdF64;
+
 /// All executed conditional plans for a (tiny) instance, each with its
 /// model-expected cost.
 #[derive(Debug, Clone)]
@@ -39,10 +41,7 @@ impl EnumeratedPlans {
 
     /// The plan achieving [`EnumeratedPlans::best_cost`].
     pub fn best_plan(&self) -> Option<&Plan> {
-        self.plans
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(p, _)| p)
+        self.plans.iter().min_by(|a, b| OrdF64(a.1).cmp(&OrdF64(b.1))).map(|(p, _)| p)
     }
 }
 

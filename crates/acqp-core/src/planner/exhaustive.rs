@@ -45,7 +45,9 @@
 //! running forever).
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeSet;
+// acqp-lint: allow(nondeterministic-iteration): memo shards are probed by key only — see MemoShard
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -65,6 +67,7 @@ use crate::sync::NoPoisonMutex;
 use super::budget::{DegradationLevel, PlanReport, SearchLimits};
 use super::seq::SeqPlanner;
 use super::spsf::SplitGrid;
+use super::OrdF64;
 
 /// The exhaustive dynamic-programming planner of Fig. 5.
 #[derive(Debug, Clone)]
@@ -262,12 +265,19 @@ impl SearchMetrics {
 
 const MEMO_SHARDS: usize = 64;
 
+/// One shard of the memo. A hash map is safe here despite the
+/// determinism rules: the table is probed by key only — results never
+/// depend on iteration order (`report_shards` reads `len()` alone) —
+/// and lookups are the hottest operation in the whole search.
+// acqp-lint: allow(nondeterministic-iteration): lookup-only table — iteration order never reaches planner output
+type MemoShard = HashMap<Ranges, (f64, Plan)>;
+
 /// A concurrent memo table: optimal `(cost, plan)` per range vector,
 /// striped over independently locked shards to keep contention low.
 /// Values are canonical (see the module docs), so racing writers for the
 /// same key always store the same value and overwrites are benign.
 struct ShardedMemo {
-    shards: Vec<NoPoisonMutex<HashMap<Ranges, (f64, Plan)>>>,
+    shards: Vec<NoPoisonMutex<MemoShard>>,
     /// Per-shard lookup outcomes: `(hits, misses)` per shard, kept as
     /// plain relaxed atomics (noise next to the shard mutex) so shard
     /// balance can be reported even though lookups race.
@@ -277,7 +287,7 @@ struct ShardedMemo {
 impl ShardedMemo {
     fn new() -> Self {
         ShardedMemo {
-            shards: (0..MEMO_SHARDS).map(|_| NoPoisonMutex::new(HashMap::new())).collect(),
+            shards: (0..MEMO_SHARDS).map(|_| NoPoisonMutex::new(MemoShard::new())).collect(),
             stats: (0..MEMO_SHARDS).map(|_| (AtomicU64::new(0), AtomicU64::new(0))).collect(),
         }
     }
@@ -387,10 +397,8 @@ impl<E: Estimator> Search<'_, E> {
         let mut attr_order: Vec<usize> =
             (0..self.schema.len()).filter(|&a| !ranges.get(a).is_point()).collect();
         attr_order.sort_by(|&a, &b| {
-            self.model
-                .cost(self.schema, a, mask)
-                .partial_cmp(&self.model.cost(self.schema, b, mask))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            OrdF64(self.model.cost(self.schema, a, mask))
+                .cmp(&OrdF64(self.model.cost(self.schema, b, mask)))
                 .then(a.cmp(&b))
         });
 
@@ -569,7 +577,7 @@ impl<E: Estimator> Search<'_, E> {
             if cur.len() >= target {
                 break;
             }
-            let mut seen: HashSet<Ranges> = HashSet::new();
+            let mut seen: BTreeSet<Ranges> = BTreeSet::new();
             let mut next = Vec::new();
             for ctx in &cur {
                 let ranges = self.est.ranges(ctx).clone();

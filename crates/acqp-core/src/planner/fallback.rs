@@ -49,6 +49,7 @@ use super::exhaustive::ExhaustivePlanner;
 use super::greedy::GreedyPlanner;
 use super::seq::SeqPlanner;
 use super::spsf::SplitGrid;
+use super::OrdF64;
 
 /// A planner that walks the degradation ladder and always returns a
 /// plan (note: [`FallbackPlanner::plan_with_report`] returns a bare
@@ -273,7 +274,7 @@ impl FallbackPlanner {
         order.sort_by(|&a, &b| {
             let ca = self.cost_model.cost(schema, query.pred(a).attr(), 0);
             let cb = self.cost_model.cost(schema, query.pred(b).attr(), 0);
-            ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            OrdF64(ca).cmp(&OrdF64(cb)).then(a.cmp(&b))
         });
         let mut mask = 0u64;
         let mut cost = 0.0;

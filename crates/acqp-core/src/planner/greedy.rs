@@ -33,7 +33,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use acqp_obs::{Counter, Recorder};
 
@@ -45,7 +45,7 @@ use crate::query::Query;
 use crate::range::{Range, Ranges};
 use crate::sync::NoPoisonMutex;
 
-use super::budget::{DegradationLevel, PlanReport};
+use super::budget::{Deadline, DegradationLevel, PlanReport};
 use super::seq::{SeqAlgorithm, SeqPlanner};
 use super::spsf::SplitGrid;
 use super::OrdF64;
@@ -215,7 +215,7 @@ impl GreedyPlanner {
                 degradation: DegradationLevel::None,
             });
         }
-        let deadline = self.time_budget.map(|d| Instant::now() + d);
+        let deadline = Deadline::after(self.time_budget);
         let _span = self.recorder.span("planner.greedy");
         // Leaf expansions applied; kept equal to the report's
         // `subproblems` field, mirroring the exhaustive planner.
@@ -286,7 +286,7 @@ impl GreedyPlanner {
         let mut splits_used = 0usize;
         let mut truncated = false;
         while splits_used < self.max_splits {
-            if deadline.is_some_and(|d| Instant::now() >= d) {
+            if deadline.expired() {
                 // Best-so-far degradation: the current tree is already a
                 // complete, valid plan; we just stop improving it.
                 truncated = !heap.is_empty();
@@ -294,7 +294,13 @@ impl GreedyPlanner {
             }
             let Some((OrdF64(gain), _, slot)) = heap.pop() else { break };
             let Some(leaf) = leaves[slot].take() else { continue };
-            let split = leaf.split.expect("enqueued leaves always carry a split");
+            let Some(split) = leaf.split else {
+                // Only split-bearing leaves are enqueued; if one arrives
+                // anyway, restore it so the arena stays realizable.
+                debug_assert!(false, "enqueued leaf without a split");
+                leaves[slot] = Some(leaf);
+                continue;
+            };
             plan_cost -= gain;
 
             let r = leaf.ranges.get(split.attr);
@@ -355,6 +361,7 @@ impl GreedyPlanner {
         fn realize<C>(arena: &[TNode], leaves: &[Option<LeafState<C>>], idx: usize) -> Plan {
             match &arena[idx] {
                 TNode::Leaf(slot) => {
+                    // acqp-lint: allow(panic-in-lib): arena leaves are populated before any node references their slot, and expansion restores the slot on every path
                     let leaf = leaves[*slot].as_ref().expect("live leaf");
                     match leaf.decided {
                         Some(b) => Plan::Decided(b),

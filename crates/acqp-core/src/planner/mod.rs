@@ -33,10 +33,14 @@ pub use greedy::GreedyPlanner;
 pub use seq::{NaivePlanner, SeqAlgorithm, SeqPlanner};
 pub use spsf::SplitGrid;
 
-/// A totally ordered f64 for priority queues; NaNs compare smallest so a
-/// NaN priority can never displace a finite one.
+/// A totally ordered f64 for priority queues, sorts and argmin
+/// selections; NaNs compare smallest so a NaN priority can never
+/// displace a finite one. This is the workspace's *only* sanctioned way
+/// to order floats — acqp-lint's `float-partial-cmp` rule rejects raw
+/// `partial_cmp` everywhere else, because `unwrap_or(Equal)` silently
+/// turns a NaN cost into an order-dependent sort.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct OrdF64(pub f64);
+pub struct OrdF64(pub f64);
 
 impl Eq for OrdF64 {}
 
@@ -48,12 +52,14 @@ impl PartialOrd for OrdF64 {
 
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // acqp-lint: allow(float-partial-cmp): OrdF64 is the one place the partial order is totalized
         self.0.partial_cmp(&other.0).unwrap_or_else(|| {
             // Treat NaN as -inf.
             match (self.0.is_nan(), other.0.is_nan()) {
                 (true, true) => std::cmp::Ordering::Equal,
                 (true, false) => std::cmp::Ordering::Less,
                 (false, true) => std::cmp::Ordering::Greater,
+                // acqp-lint: allow(panic-in-lib): partial_cmp on f64 only returns None when an operand is NaN
                 (false, false) => unreachable!(),
             }
         })

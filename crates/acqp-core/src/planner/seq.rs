@@ -25,6 +25,8 @@ use crate::prob::{Estimator, TruthTable};
 use crate::query::Query;
 use crate::range::Ranges;
 
+use super::OrdF64;
+
 /// Hard cap on `m` for the `O(m·2^m)` optimal-sequential DP.
 pub const OPTSEQ_MAX_PREDS: usize = 20;
 
@@ -146,6 +148,7 @@ impl SeqPlanner {
             SeqAlgorithm::Naive => naive_order(&undecided, &env, table),
             SeqAlgorithm::Greedy => greedy_order(&undecided, &env, table),
             SeqAlgorithm::Optimal => optimal_order(&undecided, &env, table)?,
+            // acqp-lint: allow(panic-in-lib): Auto is resolved to a concrete algorithm by the match directly above
             SeqAlgorithm::Auto => unreachable!(),
         };
         let cost = table.seq_cost_model(&order, &attr_of, schema, &self.cost_model, initial);
@@ -200,9 +203,7 @@ fn naive_order(undecided: &[usize], env: &SeqEnv<'_>, table: &TruthTable) -> Vec
             env.cost(j, 0) / denom
         }
     };
-    order.sort_by(|&a, &b| {
-        rank(a).partial_cmp(&rank(b)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| OrdF64(rank(a)).cmp(&OrdF64(rank(b))).then(a.cmp(&b)));
     order
 }
 
@@ -225,6 +226,11 @@ fn greedy_order(undecided: &[usize], env: &SeqEnv<'_>, table: &TruthTable) -> Ve
             let rank = if denom <= 0.0 { f64::INFINITY } else { c / denom };
             // Primary: minimize rank; among all-infinite ranks (predicates
             // that never fail) prefer the cheapest; final tie on index.
+            // Exact float equality is deliberate: ties only matter when two
+            // candidates produce the *same* computed rank/cost, and an
+            // epsilon here would make the chosen order depend on iteration
+            // position instead of the index tie-break.
+            #[allow(clippy::float_cmp)]
             let better = rank < best_rank
                 || (rank == best_rank && c < best_cost)
                 || (rank == best_rank && c == best_cost && j < remaining[best]);

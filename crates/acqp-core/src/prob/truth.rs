@@ -10,7 +10,7 @@
 //! probabilities, greedy conditionals, the `O(m·2^m)` subset DP — reads
 //! straight off it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Weighted multiset of predicate-truth bitmasks (bit `j` ⇔ predicate
 /// `j` holds).
@@ -43,14 +43,14 @@ impl TruthTable {
     /// predicates.
     pub fn from_weighted(m: usize, it: impl IntoIterator<Item = (u64, f64)>) -> Self {
         debug_assert!(m <= 64);
-        let mut agg: HashMap<u64, f64> = HashMap::new();
+        let mut agg: BTreeMap<u64, f64> = BTreeMap::new();
         for (mask, w) in it {
             debug_assert!(m == 64 || mask < (1u64 << m));
             *agg.entry(mask).or_insert(0.0) += w;
         }
-        let mut masks: Vec<u64> = agg.keys().copied().collect();
-        masks.sort_unstable();
-        let weights: Vec<f64> = masks.iter().map(|k| agg[k]).collect();
+        // BTreeMap iteration is already mask-ordered — the canonical
+        // layout the planners' bitwise-determinism guarantee rests on.
+        let (masks, weights): (Vec<u64>, Vec<f64>) = agg.into_iter().unzip();
         let total = weights.iter().sum();
         TruthTable { m, masks, weights, total }
     }
@@ -239,13 +239,13 @@ impl TruthTable {
 /// prefix-merge used when sweeping split points left to right.
 #[derive(Debug, Clone, Default)]
 pub struct TruthAccum {
-    agg: HashMap<u64, f64>,
+    agg: BTreeMap<u64, f64>,
 }
 
 impl TruthAccum {
     /// Empty accumulator.
     pub fn new() -> Self {
-        TruthAccum { agg: HashMap::new() }
+        TruthAccum { agg: BTreeMap::new() }
     }
 
     /// Adds weight `w` to pattern `mask`.

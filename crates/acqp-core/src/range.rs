@@ -9,7 +9,7 @@
 use crate::attr::{AttrId, Schema};
 
 /// An inclusive range `[lo, hi]` of discretized attribute values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Range {
     lo: u16,
     hi: u16,
@@ -92,7 +92,7 @@ impl Range {
 
 /// A vector of ranges, one per schema attribute: the key identifying a
 /// subproblem in the exhaustive planner's memo table.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ranges(Box<[Range]>);
 
 impl Ranges {

@@ -2,6 +2,9 @@
 //! know about shared sensor boards cluster same-board predicates, and
 //! every cost claim matches the model-priced executor.
 
+// Cost assertions compare exact model-priced floats on purpose.
+#![allow(clippy::float_cmp)]
+
 use acqp_core::prelude::*;
 
 /// Schema: light/temp share board 0; humidity sits on board 1; hour is

@@ -29,6 +29,9 @@
 //! All generators are deterministic given a seed.
 
 #![warn(missing_docs)]
+// Determinism tests assert bitwise-equal floats on purpose; the
+// workspace-level `float_cmp` warning stays on for library code.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 pub mod csv;
 pub mod error;
 pub mod garden;

@@ -1,5 +1,6 @@
 //! Query workload generators reproducing §6's experimental setups.
 
+use acqp_core::planner::OrdF64;
 use acqp_core::{Dataset, Pred, Query, Schema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,7 +54,7 @@ pub fn lab_queries(
                 // Fall back to the endpoint closest to 50%.
                 let best = (0..k)
                     .min_by(|&x, &y| {
-                        (sel(x) - 0.5).abs().partial_cmp(&(sel(y) - 0.5).abs()).unwrap()
+                        OrdF64((sel(x) - 0.5).abs()).cmp(&OrdF64((sel(y) - 0.5).abs()))
                     })
                     .unwrap_or(0);
                 good.push(best);

@@ -1,0 +1,157 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! acqp-lint --workspace [--root <dir>] [--json <file|->]
+//! acqp-lint --explain <rule>
+//! acqp-lint --rules
+//! ```
+//!
+//! Exit codes: 0 clean (advisories allowed), 1 unsuppressed error
+//! findings, 2 usage or environment error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use acqp_lint::rules::{self, Severity};
+
+struct Options {
+    root: PathBuf,
+    json: Option<PathBuf>,
+}
+
+const USAGE: &str = "\
+acqp-lint: workspace invariant checker
+
+USAGE:
+    acqp-lint --workspace [--root <dir>] [--json <file|->]
+    acqp-lint --explain <rule>
+    acqp-lint --rules
+
+OPTIONS:
+    --workspace        lint every .rs file under the root (default: cwd)
+    --root <dir>       workspace root to lint
+    --json <file|->    additionally write findings as JSON ('-' = stdout)
+    --explain <rule>   print the rationale behind a rule
+    --rules            list all rules
+    -h, --help         this text
+
+Suppress a finding in place with a justified comment on the same line
+or the line above:  // acqp-lint: allow(<rule>): <reason>
+";
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args().skip(1).collect()) {
+        Ok(Command::Lint(opts)) => run_lint(&opts),
+        Ok(Command::Explain(rule)) => run_explain(&rule),
+        Ok(Command::Rules) => {
+            for r in rules::RULES {
+                println!("{:<26} {:<9} {}", r.id, r.severity.as_str(), r.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum Command {
+    Lint(Options),
+    Explain(String),
+    Rules,
+    Help,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Command, String> {
+    let mut opts = Options { root: PathBuf::from("."), json: None };
+    let mut lint = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => lint = true,
+            "--root" => {
+                opts.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+                lint = true;
+            }
+            "--json" => opts.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?)),
+            "--explain" => {
+                return Ok(Command::Explain(it.next().ok_or("--explain needs a rule id")?))
+            }
+            "--rules" => return Ok(Command::Rules),
+            "-h" | "--help" => return Ok(Command::Help),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if lint || opts.json.is_some() {
+        Ok(Command::Lint(opts))
+    } else {
+        Ok(Command::Help)
+    }
+}
+
+fn run_lint(opts: &Options) -> ExitCode {
+    let report = match acqp_lint::lint_workspace(&opts.root) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &opts.json {
+        let json = acqp_lint::render_json(&report);
+        if path.as_os_str() == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    print!("{}", acqp_lint::render_human(&report));
+    if report.findings.iter().any(|f| f.severity == Severity::Error) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_explain(rule: &str) -> ExitCode {
+    match rules::rule_info(rule) {
+        Some(info) => {
+            println!("{} ({})\n", info.id, info.severity.as_str());
+            println!("{}\n", info.summary);
+            // Re-wrap the explain text to the terminal-friendly width it
+            // was written at.
+            for line in wrap(info.explain, 78) {
+                println!("{line}");
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("error: unknown rule `{rule}` — see acqp-lint --rules");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn wrap(text: &str, width: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    for word in text.split_whitespace() {
+        if !line.is_empty() && line.len() + 1 + word.len() > width {
+            lines.push(std::mem::take(&mut line));
+        }
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        line.push_str(word);
+    }
+    if !line.is_empty() {
+        lines.push(line);
+    }
+    lines
+}

@@ -1,0 +1,502 @@
+//! Comment/string/char-literal-aware Rust source scanner.
+//!
+//! acqp-lint deliberately avoids a real parser — `syn` would be an
+//! external dependency, and the build environment has no registry
+//! access — so this module lexes just enough of Rust's surface syntax
+//! to answer three questions *exactly*:
+//!
+//! 1. which bytes are code (as opposed to comment, string or char
+//!    literal), so `HashMap` in a doc comment or `".unwrap()"` in a
+//!    string never trips a pattern rule;
+//! 2. which string literals exist, where, and with what content, so
+//!    the `metric-taxonomy` rule can collect `Recorder` dot-paths;
+//! 3. which byte ranges belong to `#[cfg(test)]` items, so test-only
+//!    code is exempt from the library-code rules.
+//!
+//! The scanner handles line and (nested) block comments, doc comments,
+//! plain/byte/raw string literals (any `#` count), char and byte-char
+//! literals, and distinguishes lifetimes from char literals.
+
+/// One string literal found in a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// Byte offset of the opening quote (or `r`/`b` prefix).
+    pub start: usize,
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// Literal content, escapes left as written.
+    pub content: String,
+}
+
+/// One `acqp-lint: allow(<rule>)` suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// The rule id inside `allow(...)`.
+    pub rule: String,
+    /// The justification after `allow(rule):`, trimmed. Empty when the
+    /// comment carries no reason — itself a finding (`bare-allow`).
+    pub reason: String,
+}
+
+/// A lexed source file: the mask plus everything extracted on the way.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Source with every comment, string and char literal blanked to
+    /// spaces. Newlines are preserved, so byte offsets and line numbers
+    /// in the mask match the original text exactly.
+    pub masked: String,
+    /// Every string literal, in file order.
+    pub strings: Vec<StrLit>,
+    /// Half-open byte ranges covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Suppression comments, in file order.
+    pub allows: Vec<Allow>,
+    /// Byte offset of each line start (index 0 = line 1).
+    line_starts: Vec<usize>,
+}
+
+impl ScannedFile {
+    /// Lexes `source` into a scanned file.
+    pub fn new(source: &str) -> ScannedFile {
+        let mut masked = source.as_bytes().to_vec();
+        let mut strings = Vec::new();
+        let mut comments = Vec::new();
+        lex(source.as_bytes(), &mut masked, &mut strings, &mut comments);
+        // The mask only ever replaces bytes with ASCII spaces, so it
+        // stays valid UTF-8 even when multi-byte chars are blanked.
+        let masked = String::from_utf8(masked).unwrap_or_default();
+        let line_starts = line_starts(source);
+        let mut out = ScannedFile {
+            test_regions: find_test_regions(masked.as_bytes()),
+            allows: find_allows(source, &comments, &line_starts),
+            masked,
+            line_starts,
+            strings: Vec::new(),
+        };
+        for s in &mut strings {
+            s.line = out.line_of(s.start);
+        }
+        out.strings = strings;
+        out
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    /// Whether byte `offset` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_regions.iter().any(|&(a, b)| (a..b).contains(&offset))
+    }
+
+    /// The trimmed source line at 1-based `line`, for snippets.
+    pub fn line_text<'a>(&self, source: &'a str, line: usize) -> &'a str {
+        let start = self.line_starts[line - 1];
+        let end = self.line_starts.get(line).map_or(source.len(), |&e| e);
+        source[start..end].trim_end_matches('\n').trim()
+    }
+
+    /// The allow entry suppressing rule `rule` at `line`, if any: the
+    /// comment may share the line or sit on the line directly above.
+    pub fn allow_for(&self, rule: &str, line: usize) -> Option<&Allow> {
+        self.allows.iter().find(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+}
+
+fn line_starts(source: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in source.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Blanks byte `i..j` of the mask, keeping newlines.
+fn blank(masked: &mut [u8], range: std::ops::Range<usize>) {
+    for b in &mut masked[range] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Core lexer: walks `src`, blanking comments/strings/chars in
+/// `masked`, pushing string literals (line numbers filled later) and
+/// comment byte ranges.
+fn lex(
+    src: &[u8],
+    masked: &mut [u8],
+    strings: &mut Vec<StrLit>,
+    comments: &mut Vec<(usize, usize)>,
+) {
+    let mut i = 0usize;
+    while i < src.len() {
+        let b = src[i];
+        match b {
+            b'/' if src.get(i + 1) == Some(&b'/') => {
+                let end = src[i..].iter().position(|&b| b == b'\n').map_or(src.len(), |p| i + p);
+                blank(masked, i..end);
+                comments.push((i, end));
+                i = end;
+            }
+            b'/' if src.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < src.len() && depth > 0 {
+                    if src[j] == b'/' && src.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if src[j] == b'*' && src.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(masked, i..j);
+                comments.push((i, j));
+                i = j;
+            }
+            b'"' => i = lex_string(src, masked, strings, i, i),
+            b'r' | b'b' if !prev_is_ident(src, i) => {
+                if let Some(next) = raw_or_byte_literal(src, i) {
+                    i = next(src, masked, strings, i);
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => i = lex_char_or_lifetime(src, masked, i),
+            _ => i += 1,
+        }
+    }
+}
+
+fn prev_is_ident(src: &[u8], i: usize) -> bool {
+    i > 0 && is_ident(src[i - 1])
+}
+
+type LitLexer = fn(&[u8], &mut [u8], &mut Vec<StrLit>, usize) -> usize;
+
+/// Dispatches `r"`, `r#`, `b"`, `br`, `b'` prefixes at `i`, or `None`
+/// when `i` starts a plain identifier.
+fn raw_or_byte_literal(src: &[u8], i: usize) -> Option<LitLexer> {
+    match (src[i], src.get(i + 1)) {
+        (b'r', Some(b'"' | b'#')) => Some(lex_raw_from_prefix),
+        (b'b', Some(b'"')) => Some(|s, m, out, i| lex_string(s, m, out, i, i + 1)),
+        (b'b', Some(b'r')) if matches!(src.get(i + 2), Some(b'"' | b'#')) => {
+            Some(|s, m, out, i| lex_raw(s, m, out, i, i + 2))
+        }
+        (b'b', Some(b'\'')) => Some(|s, m, _out, i| lex_byte_char(s, m, i)),
+        _ => None,
+    }
+}
+
+fn lex_raw_from_prefix(src: &[u8], masked: &mut [u8], out: &mut Vec<StrLit>, i: usize) -> usize {
+    lex_raw(src, masked, out, i, i + 1)
+}
+
+/// Lexes a plain or byte string whose opening quote is at `quote`;
+/// `start` is where the literal began (`b` prefix included).
+fn lex_string(
+    src: &[u8],
+    masked: &mut [u8],
+    out: &mut Vec<StrLit>,
+    start: usize,
+    quote: usize,
+) -> usize {
+    let mut j = quote + 1;
+    while j < src.len() {
+        match src[j] {
+            b'\\' => j += 2,
+            b'"' => break,
+            _ => j += 1,
+        }
+    }
+    let end = (j + 1).min(src.len());
+    out.push(StrLit {
+        start,
+        line: 0,
+        content: String::from_utf8_lossy(&src[quote + 1..j.min(src.len())]).into_owned(),
+    });
+    blank(masked, start..end);
+    end
+}
+
+/// Lexes a raw string starting at `start` whose `#`/quote run begins at
+/// `hashes_at` (after the `r` / `br` prefix).
+fn lex_raw(
+    src: &[u8],
+    masked: &mut [u8],
+    out: &mut Vec<StrLit>,
+    start: usize,
+    hashes_at: usize,
+) -> usize {
+    let mut h = 0usize;
+    while src.get(hashes_at + h) == Some(&b'#') {
+        h += 1;
+    }
+    let quote = hashes_at + h;
+    if src.get(quote) != Some(&b'"') {
+        return start + 1; // `r#[cfg]`-style attribute syntax, not a string
+    }
+    let body_start = quote + 1;
+    let mut j = body_start;
+    let end = loop {
+        match src[j..].iter().position(|&b| b == b'"') {
+            None => break src.len(),
+            Some(p) => {
+                let q = j + p;
+                if src[q + 1..].len() >= h && src[q + 1..q + 1 + h].iter().all(|&b| b == b'#') {
+                    break q + 1 + h;
+                }
+                j = q + 1;
+            }
+        }
+    };
+    let body_end = end.saturating_sub(1 + h).max(body_start);
+    out.push(StrLit {
+        start,
+        line: 0,
+        content: String::from_utf8_lossy(&src[body_start..body_end]).into_owned(),
+    });
+    blank(masked, start..end);
+    end
+}
+
+/// Lexes `'x'` / `'\n'` char literals; leaves lifetimes (`'a`) alone.
+fn lex_char_or_lifetime(src: &[u8], masked: &mut [u8], i: usize) -> usize {
+    match src.get(i + 1) {
+        Some(b'\\') => {
+            let mut j = i + 2;
+            while j < src.len() && src[j] != b'\'' {
+                j += 1;
+            }
+            let end = (j + 1).min(src.len());
+            blank(masked, i..end);
+            end
+        }
+        Some(&c) => {
+            // One UTF-8 char then a closing quote ⇒ char literal;
+            // anything else is a lifetime or loop label.
+            let ch_len = match c {
+                0x00..=0x7f => 1,
+                0xc0..=0xdf => 2,
+                0xe0..=0xef => 3,
+                _ => 4,
+            };
+            if src.get(i + 1 + ch_len) == Some(&b'\'') {
+                let end = i + 2 + ch_len;
+                blank(masked, i..end);
+                end
+            } else {
+                i + 1
+            }
+        }
+        None => i + 1,
+    }
+}
+
+fn lex_byte_char(src: &[u8], masked: &mut [u8], i: usize) -> usize {
+    // `b'` then either an escape or a single byte, then `'`.
+    let mut j = i + 2;
+    if src.get(j) == Some(&b'\\') {
+        j += 2;
+    } else {
+        j += 1;
+    }
+    let end = (j + 1).min(src.len());
+    blank(masked, i..end);
+    end
+}
+
+/// Finds `#[cfg(test)]`-guarded items in already-masked source and
+/// returns the byte range of each (attribute through closing brace or
+/// semicolon). Works on the mask so braces inside strings or comments
+/// cannot unbalance the match.
+fn find_test_regions(masked: &[u8]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < masked.len() {
+        if masked[i] != b'#' || masked[i + 1] != b'[' {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let Some(attr_end) = match_delim(masked, i + 1, b'[', b']') else { break };
+        let attr = &masked[i + 2..attr_end - 1];
+        i = attr_end;
+        if !contains(attr, b"cfg(test") && !contains(attr, b"cfg(all(test") {
+            continue;
+        }
+        // Skip whitespace and any further attributes to the guarded
+        // item, then to its body.
+        let mut j = attr_end;
+        loop {
+            while j < masked.len() && masked[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j + 1 < masked.len() && masked[j] == b'#' && masked[j + 1] == b'[' {
+                match match_delim(masked, j + 1, b'[', b']') {
+                    Some(e) => j = e,
+                    None => return regions,
+                }
+            } else {
+                break;
+            }
+        }
+        let body = masked[j..].iter().position(|&b| b == b'{' || b == b';').map(|p| j + p);
+        let end = match body {
+            Some(p) if masked[p] == b';' => p + 1,
+            Some(p) => match match_delim(masked, p, b'{', b'}') {
+                Some(e) => e,
+                None => masked.len(),
+            },
+            None => masked.len(),
+        };
+        regions.push((attr_start, end));
+        i = attr_end;
+    }
+    regions
+}
+
+/// Byte offset one past the delimiter closing the one at `open_at`.
+fn match_delim(masked: &[u8], open_at: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, &b) in masked.iter().enumerate().skip(open_at) {
+        if b == open {
+            depth += 1;
+        } else if b == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        }
+    }
+    None
+}
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Extracts `// acqp-lint: allow(rule): reason` comments. The marker
+/// must sit inside an actual comment (ranges come from the lexer), so
+/// a string literal spelling the marker cannot suppress anything. Doc
+/// comments don't count either: a suppression is a directive, not
+/// documentation, and docs should be free to *describe* the syntax.
+fn find_allows(source: &str, comments: &[(usize, usize)], line_starts: &[usize]) -> Vec<Allow> {
+    const MARKER: &str = "acqp-lint: allow(";
+    let mut allows = Vec::new();
+    for &(start, end) in comments {
+        let text = &source[start..end.min(source.len())];
+        if ["///", "//!", "/**", "/*!"].iter().any(|d| text.starts_with(d)) {
+            continue;
+        }
+        let Some(at) = text.find(MARKER) else { continue };
+        let rest = &text[at + MARKER.len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let rule = rest[..close].trim().to_string();
+        let after = rest[close + 1..].lines().next().unwrap_or("").trim();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("").to_string();
+        let line = line_starts.partition_point(|&s| s <= start + at);
+        allows.push(Allow { line, rule, reason });
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = r#"
+let a = "Instant::now() in a string";
+// Instant::now() in a line comment
+/* Instant::now() in a block /* nested */ comment */
+/// Doc comment: HashMap<K, V>
+let b = a; // trailing
+"#;
+        let f = ScannedFile::new(src);
+        assert!(!f.masked.contains("Instant::now"));
+        assert!(!f.masked.contains("HashMap"));
+        assert!(f.masked.contains("let a ="));
+        assert!(f.masked.contains("let b = a;"));
+        assert_eq!(f.masked.len(), src.len());
+        assert_eq!(f.strings.len(), 1);
+        assert_eq!(f.strings[0].content, "Instant::now() in a string");
+        assert_eq!(f.strings[0].line, 2);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_blanked() {
+        let src = r##"let x = r#"raw "quoted" HashMap"#; let y = b"bytes"; let z = br#"raw"#;"##;
+        let f = ScannedFile::new(src);
+        assert!(!f.masked.contains("HashMap"));
+        assert!(!f.masked.contains("bytes"));
+        assert!(f.masked.contains("let y ="));
+        assert_eq!(f.strings.len(), 3);
+        assert_eq!(f.strings[0].content, r#"raw "quoted" HashMap"#);
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '{'; let d = '\\n'; c }";
+        let f = ScannedFile::new(src);
+        assert!(f.masked.contains("fn f<'a>(x: &'a str)"));
+        assert!(!f.masked.contains("'{'"));
+        // The masked `{` inside the char literal must not unbalance
+        // brace matching: the fn body still closes.
+        assert!(f.masked.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod_bodies() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = ScannedFile::new(src);
+        assert_eq!(f.test_regions.len(), 1);
+        let unwrap_at = src.find(".unwrap").expect("fixture");
+        assert!(f.in_test_code(unwrap_at));
+        assert!(!f.in_test_code(src.find("fn lib").expect("fixture")));
+        assert!(!f.in_test_code(src.find("fn after").expect("fixture")));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attribute_and_strings_with_braces() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t { const S: &str = \"}\"; fn u() { v.unwrap() } }\nfn real() {}\n";
+        let f = ScannedFile::new(src);
+        let unwrap_at = src.find(".unwrap").expect("fixture");
+        assert!(f.in_test_code(unwrap_at));
+        assert!(!f.in_test_code(src.find("fn real").expect("fixture")));
+    }
+
+    #[test]
+    fn allows_parse_rule_and_reason() {
+        let src = "let m = std::sync::Mutex::new(()); // acqp-lint: allow(raw-mutex): dependency root\n// acqp-lint: allow(panic-in-lib)\nx.unwrap();\nlet s = \"acqp-lint: allow(raw-mutex): not a comment\";\n/// Doc text describing acqp-lint: allow(raw-mutex): not a directive\nfn g() {}\n";
+        let f = ScannedFile::new(src);
+        assert_eq!(f.allows.len(), 2, "string literals and doc comments are not suppressions");
+        assert_eq!(f.allows[0].rule, "raw-mutex");
+        assert_eq!(f.allows[0].reason, "dependency root");
+        assert_eq!(f.allows[1].rule, "panic-in-lib");
+        assert_eq!(f.allows[1].reason, "");
+        assert!(f.allow_for("raw-mutex", 1).is_some());
+        assert!(f.allow_for("panic-in-lib", 3).is_some(), "allow on preceding line applies");
+        assert!(f.allow_for("raw-mutex", 4).is_none(), "string literal is not a suppression");
+    }
+
+    #[test]
+    fn line_numbers_are_exact() {
+        let src = "a\nb\nc Instant::now()\n";
+        let f = ScannedFile::new(src);
+        assert_eq!(f.line_of(src.find("Instant").expect("fixture")), 3);
+    }
+}

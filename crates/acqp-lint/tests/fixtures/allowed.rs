@@ -1,0 +1,20 @@
+//! Fixture: violations behind justified allow comments (suppressed),
+//! plus the three allow-hygiene failure shapes.
+
+pub fn suppressed_same_line(v: Option<u32>) -> u32 {
+    v.unwrap() // acqp-lint: allow(panic-in-lib): fixture exercises same-line suppression
+}
+
+pub fn suppressed_line_above(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    // acqp-lint: allow(float-partial-cmp): fixture exercises line-above suppression
+    a.partial_cmp(&b)
+}
+
+// acqp-lint: allow(panic-in-lib)
+pub fn bare_allow_is_an_error() {}
+
+// acqp-lint: allow(no-such-rule): the rule id does not exist
+pub fn unknown_rule_is_an_error() {}
+
+// acqp-lint: allow(raw-mutex): nothing on the next line uses a mutex
+pub fn stale_allow_is_advisory() {}

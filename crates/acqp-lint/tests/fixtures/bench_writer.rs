@@ -1,0 +1,7 @@
+//! Fixture: a re-grown bench artifact writer outside
+//! `acqp-bench/src/report.rs` — both advisory shapes.
+
+pub fn write_bench_json(name: &str) -> String {
+    // MARK:writer-fn (the `fn write_bench_json` above is the finding)
+    format!("BENCH_{name}.json") // MARK:bench-literal
+}

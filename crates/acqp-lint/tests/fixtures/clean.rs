@@ -1,0 +1,47 @@
+//! Fixture: every rule pattern appears here, yet nothing may be
+//! flagged — each occurrence is in a string literal, a doc comment,
+//! or `#[cfg(test)]` code, none of which the scanner may match.
+
+/// Planners must never call `Instant::now()` or `SystemTime::now`;
+/// nor may library code reach for `std::sync::Mutex`, a `HashMap`
+/// in a result path, `.unwrap()` on recovery data, or
+/// `.partial_cmp(` on floats.
+pub fn doc_only() {}
+
+pub fn patterns_in_strings() -> Vec<&'static str> {
+    vec![
+        "Instant::now() is banned in planners",
+        "std::sync::Mutex poisons",
+        "HashMap iteration order is seeded",
+        "call .unwrap() and die",
+        ".partial_cmp( returns Option",
+        "fn write_bench_json lives in report.rs",
+    ]
+}
+
+pub fn escaped_and_raw() {
+    let _ = "quote \" then Instant::now()";
+    let _ = r#"raw string with .unwrap() and "quotes""#;
+    let _ = 'x';
+    let _: Vec<&'static str> = Vec::new(); // lifetime, not a char literal
+}
+
+/* block comment mentioning SystemTime::now and unreachable!()
+   /* nested: panic! todo! unimplemented! */
+   still inside the outer comment */
+pub fn after_comments() {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let t = Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1u32, t);
+        assert!(m.get(&1).unwrap().elapsed().as_secs() < 1);
+        assert_eq!(1.0f64.partial_cmp(&2.0).unwrap(), std::cmp::Ordering::Less);
+    }
+}

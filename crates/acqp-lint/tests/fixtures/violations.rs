@@ -1,0 +1,27 @@
+//! Fixture: one unsuppressed violation per pattern rule. Never
+//! compiled — the rule tests feed it to `check_file` under scoped
+//! fake paths and assert each marker line is flagged.
+
+use std::collections::HashMap; // MARK:nondet-import
+use std::sync::{Arc, Mutex}; // MARK:mutex-grouped
+use std::time::Instant;
+
+fn wallclock_probe() -> Instant {
+    Instant::now() // MARK:wallclock
+}
+
+fn nondet_probe(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.values().copied().collect()
+}
+
+fn mutex_probe() -> std::sync::Mutex<u32> {
+    std::sync::Mutex::new(0) // MARK:mutex-qualified
+}
+
+fn panic_probe(v: Option<u32>) -> u32 {
+    v.unwrap() // MARK:unwrap
+}
+
+fn float_probe(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap() // MARK:partial-cmp
+}

@@ -1,0 +1,27 @@
+//! The linter must hold its own workspace to the standard it enforces:
+//! a clean tree lints clean, and every allow carries its weight.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+#[test]
+fn shipped_tree_has_no_unsuppressed_errors() {
+    let report = acqp_lint::lint_workspace(&workspace_root()).unwrap();
+    let errors: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == acqp_lint::rules::Severity::Error)
+        .collect();
+    assert!(errors.is_empty(), "lint errors in shipped tree:\n{errors:#?}");
+    assert!(report.files_scanned > 50, "walked only {} files — wrong root?", report.files_scanned);
+}
+
+#[test]
+fn shipped_tree_has_no_stale_allows() {
+    let report = acqp_lint::lint_workspace(&workspace_root()).unwrap();
+    let stale: Vec<_> = report.findings.iter().filter(|f| f.rule == "unused-allow").collect();
+    assert!(stale.is_empty(), "stale allow comments:\n{stale:#?}");
+}

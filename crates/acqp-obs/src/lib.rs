@@ -38,6 +38,9 @@
 //! The full taxonomy lives in `DESIGN.md` §8.
 
 #![warn(missing_docs)]
+// Determinism tests assert bitwise-equal floats on purpose; the
+// workspace-level `float_cmp` warning stays on for library code.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 
 mod sink;
 
@@ -45,6 +48,7 @@ pub use sink::{JsonLinesSink, MemorySink, NoopSink, Sink, SpanEvent};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+// acqp-lint: allow(raw-mutex): acqp-obs sits below acqp-core in the dependency graph, so NoPoisonMutex is out of reach; no lock here is held across user code that could panic
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -373,6 +377,7 @@ impl Recorder {
         Span {
             rec: self.clone(),
             path: if self.enabled() { name.to_string() } else { String::new() },
+            // acqp-lint: allow(wallclock-in-planner): span timing is observational — never read back into a planning decision
             start: self.enabled().then(Instant::now),
         }
     }
@@ -438,6 +443,7 @@ impl Span {
         Span {
             rec: self.rec.clone(),
             path: if timed { format!("{}.{name}", self.path) } else { String::new() },
+            // acqp-lint: allow(wallclock-in-planner): span timing is observational — never read back into a planning decision
             start: timed.then(Instant::now),
         }
     }

@@ -3,6 +3,7 @@
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+// acqp-lint: allow(raw-mutex): acqp-obs sits below acqp-core in the dependency graph, so NoPoisonMutex is out of reach; sink locks only guard plain buffer writes
 use std::sync::Mutex;
 
 use crate::Snapshot;

@@ -140,17 +140,17 @@ impl<'a> Reader<'a> {
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        le_u16(self.take(2)?).ok_or(PersistError::Corrupt { what: "truncated input" })
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        le_u32(self.take(4)?).ok_or(PersistError::Corrupt { what: "truncated input" })
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        le_u64(self.take(8)?).ok_or(PersistError::Corrupt { what: "truncated input" })
     }
 
     /// Reads an `f64` from its bit pattern.
@@ -180,6 +180,33 @@ impl<'a> Reader<'a> {
     pub fn f64s(&mut self) -> Result<Vec<f64>> {
         let n = self.len_prefix()?;
         (0..n).map(|_| self.f64()).collect()
+    }
+}
+
+/// Decodes a little-endian `u16` from exactly two bytes, `None` on any
+/// other length. Slice patterns instead of `try_into().unwrap()`: the
+/// recovery paths that call these must survive arbitrarily truncated
+/// on-disk bytes without a panic (acqp-lint `panic-in-lib`).
+pub(crate) fn le_u16(b: &[u8]) -> Option<u16> {
+    match *b {
+        [a, b] => Some(u16::from_le_bytes([a, b])),
+        _ => None,
+    }
+}
+
+/// See [`le_u16`].
+pub(crate) fn le_u32(b: &[u8]) -> Option<u32> {
+    match *b {
+        [a, b, c, d] => Some(u32::from_le_bytes([a, b, c, d])),
+        _ => None,
+    }
+}
+
+/// See [`le_u16`].
+pub(crate) fn le_u64(b: &[u8]) -> Option<u64> {
+    match *b {
+        [a, b, c, d, e, f, g, h] => Some(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+        _ => None,
     }
 }
 

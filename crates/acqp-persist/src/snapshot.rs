@@ -247,17 +247,20 @@ impl BasestationCheckpoint {
         if &bytes[..8] != SNAP_MAGIC {
             return Err(PersistError::Corrupt { what: "snapshot magic" });
         }
-        let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+        let version = crate::codec::le_u16(&bytes[8..10])
+            .ok_or(PersistError::Corrupt { what: "snapshot header truncated" })?;
         if version != SNAP_VERSION {
             return Err(PersistError::Corrupt { what: "unsupported snapshot version" });
         }
-        let plen = u32::from_le_bytes(bytes[10..14].try_into().unwrap()) as usize;
+        let plen = crate::codec::le_u32(&bytes[10..14])
+            .ok_or(PersistError::Corrupt { what: "snapshot header truncated" })?
+            as usize;
         if bytes.len() != 14 + plen + 8 {
             return Err(PersistError::Corrupt { what: "snapshot length disagrees with header" });
         }
         let body_end = 14 + plen;
-        let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
-        if fnv1a64(&bytes[..body_end]) != stored {
+        let stored = crate::codec::le_u64(&bytes[body_end..]);
+        if stored != Some(fnv1a64(&bytes[..body_end])) {
             return Err(PersistError::Corrupt { what: "snapshot checksum mismatch" });
         }
         Self::decode(&bytes[14..body_end])

@@ -24,7 +24,7 @@ use std::path::{Path, PathBuf};
 
 use crate::snapshot::BasestationCheckpoint;
 use crate::wal::{self, WalRecord};
-use crate::{io_err, Result};
+use crate::{io_err, PersistError, Result};
 
 const SNAP_PREFIX: &str = "snap-";
 const WAL_FILE: &str = "wal.log";
@@ -115,7 +115,9 @@ impl CheckpointStore {
             }
             self.wal = Some(f);
         }
-        Ok(self.wal.as_mut().unwrap())
+        // Assigned `Some` above when it was `None`; kept panic-free all
+        // the same — persistence code never gets to abort the process.
+        self.wal.as_mut().ok_or(PersistError::Corrupt { what: "wal handle missing after open" })
     }
 
     /// Appends one record to the WAL and returns the sequence number it

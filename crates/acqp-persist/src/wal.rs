@@ -167,8 +167,7 @@ pub fn scan_bytes(bytes: &[u8]) -> WalScan {
     let mut records = Vec::new();
     let mut last_seq = 0u64;
     while pos < bytes.len() {
-        let Some(frame) = bytes.get(pos..pos + 4) else { break };
-        let len = u32::from_le_bytes(frame.try_into().unwrap());
+        let Some(len) = bytes.get(pos..pos + 4).and_then(crate::codec::le_u32) else { break };
         if len > MAX_RECORD {
             return WalScan { records, torn_tail: true };
         }
@@ -179,8 +178,8 @@ pub fn scan_bytes(bytes: &[u8]) -> WalScan {
             return WalScan { records, torn_tail: true };
         }
         let body = &bytes[body_start..body_end];
-        let stored = u64::from_le_bytes(bytes[body_end..sum_end].try_into().unwrap());
-        if fnv1a64(body) != stored {
+        let stored = crate::codec::le_u64(&bytes[body_end..sum_end]);
+        if stored != Some(fnv1a64(body)) {
             return WalScan { records, torn_tail: true };
         }
         let Ok((seq, rec)) = WalRecord::decode_body(body) else {

@@ -30,6 +30,9 @@
 //!   charged to the energy model (`recovery.*` taxonomy).
 
 #![warn(missing_docs)]
+// Determinism tests assert bitwise-equal floats on purpose; the
+// workspace-level `float_cmp` warning stays on for library code.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 pub mod basestation;
 pub mod energy;
 pub mod fault;

@@ -23,6 +23,9 @@
 //!   window (hysteresis, so a noisy batch does not thrash plans).
 
 #![warn(missing_docs)]
+// Determinism tests assert bitwise-equal floats on purpose; the
+// workspace-level `float_cmp` warning stays on for library code.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 use acqp_core::prelude::*;
 
 /// A fixed-capacity sliding window of tuples over a schema.

@@ -22,6 +22,9 @@
 //! `cargo run --release --example quickstart`.
 
 #![warn(missing_docs)]
+// Determinism tests assert bitwise-equal floats on purpose; the
+// workspace-level `float_cmp` warning stays on for library code.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 pub use acqp_core as core;
 pub use acqp_data as data;
 pub use acqp_gm as gm;

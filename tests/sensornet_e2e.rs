@@ -1,6 +1,9 @@
 //! End-to-end sensor-network tests: basestation → wire → motes, with
 //! energy accounting (Fig. 4's architecture).
 
+// Energy assertions compare exact model-priced floats on purpose.
+#![allow(clippy::float_cmp)]
+
 use acqp::core::prelude::*;
 use acqp::data::garden::{self, GardenAttrs, GardenConfig};
 use acqp::sensornet::{
