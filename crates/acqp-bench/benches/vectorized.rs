@@ -1,0 +1,127 @@
+//! Vectorized executor throughput gate: historical-trace replay through
+//! the columnar batch path (`DESIGN.md` §12) against the seed per-tuple
+//! interpreter.
+//!
+//! Two replay scenarios:
+//!
+//! * **synthetic** (gated) — the §6.3 all-expensive conjunction over a
+//!   wide correlated schema. Many predicates per tuple is where the
+//!   per-tuple interpreter pays its fixed costs (tuple-state
+//!   allocation, tree pointer chases, per-acquisition cost-model
+//!   calls) over and over, and where the batch path amortizes all of
+//!   them across a column window.
+//! * **lab** (reported) — the §6.1 three-predicate Lab workload under a
+//!   conditional plan, closer to the narrow-query regime.
+//!
+//! Both paths replay the identical held-out window and must produce
+//! bitwise-identical [`CostReport`]s — correctness is asserted before
+//! any clock is trusted, so the timing numbers can never come from
+//! divergent work. Timing takes the best of several full-replay passes
+//! (min, not mean: the minimum is the least-noisy estimator of the
+//! true cost on a shared machine).
+//!
+//! Acceptance gate: vectorized replay sustains at least 10x the scalar
+//! path's tuples/sec on the synthetic conjunction.
+
+use std::time::Instant;
+
+use acqp_core::prelude::*;
+use acqp_data::replay::replay_trace;
+use acqp_data::synthetic::SyntheticConfig;
+use acqp_data::{lab, synthetic, workload};
+
+const PASSES: usize = 7;
+const GATE: f64 = 10.0;
+
+struct Scenario {
+    name: &'static str,
+    schema: Schema,
+    live: Dataset,
+    plan: Plan,
+    query: Query,
+}
+
+fn synthetic_scenario() -> Scenario {
+    let cfg = SyntheticConfig::new(24, 3, 0.95).with_rows(80_000).with_seed(0xbeef);
+    let g = synthetic::generate(&cfg);
+    let (train, live) = g.split(0.5);
+    let query = workload::synthetic_query(&cfg, &g.schema);
+    let est = CountingEstimator::new(&train);
+    // CorrSeq (§4.1): the correlation-aware sequential plan — the wide
+    // conjunction replays through the dense root-leaf sweep.
+    let plan = SeqPlanner::auto().plan(&g.schema, &query, &est).expect("planning").simplify();
+    Scenario { name: "synthetic", schema: g.schema, live, plan, query }
+}
+
+fn lab_scenario() -> Scenario {
+    let cfg = lab::LabConfig { motes: 10, epochs: 4_000, seed: 0xbeef, ..lab::LabConfig::small() };
+    let g = lab::generate(&cfg);
+    let (train, live) = g.split(0.5);
+    let query = workload::lab_queries(&g.schema, &train, 1, 3, 42).pop().expect("workload query");
+    let est = CountingEstimator::new(&train);
+    let plan = GreedyPlanner::new(8).plan(&g.schema, &query, &est).expect("planning").simplify();
+    Scenario { name: "lab", schema: g.schema, live, plan, query }
+}
+
+fn best_tuples_per_sec(sc: &Scenario, mode: ExecMode) -> (f64, CostReport) {
+    let model = CostModel::PerAttribute;
+    let mut best = f64::INFINITY;
+    let mut report = replay_trace(&sc.plan, &sc.query, &sc.schema, &model, &sc.live, mode);
+    for _ in 0..PASSES {
+        let t0 = Instant::now();
+        report = replay_trace(&sc.plan, &sc.query, &sc.schema, &model, &sc.live, mode);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (sc.live.len() as f64 / best.max(1e-12), report)
+}
+
+/// Times both paths, asserts their reports are bitwise-identical, and
+/// returns the speedup after pushing this scenario's numbers.
+fn run_scenario(sc: &Scenario, fields: &mut Vec<(String, f64)>) -> f64 {
+    let (scalar_tps, s) = best_tuples_per_sec(sc, ExecMode::Scalar);
+    let (vec_tps, v) = best_tuples_per_sec(sc, ExecMode::Vectorized);
+
+    // Equal work or the clocks mean nothing.
+    assert!(s.all_correct && v.all_correct);
+    assert_eq!(s.tuples, v.tuples);
+    assert_eq!(s.mean_cost.to_bits(), v.mean_cost.to_bits(), "{}: paths diverged", sc.name);
+    assert_eq!(s.max_cost.to_bits(), v.max_cost.to_bits());
+    assert_eq!(s.pass_rate.to_bits(), v.pass_rate.to_bits());
+
+    let speedup = vec_tps / scalar_tps.max(1e-12);
+    println!(
+        "{:<10} {:>7} rows {:>2} preds {:>2} splits {:>14.0} scalar t/s {:>14.0} vec t/s {:>7.1}x",
+        sc.name,
+        sc.live.len(),
+        sc.query.len(),
+        sc.plan.split_count(),
+        scalar_tps,
+        vec_tps,
+        speedup
+    );
+    fields.push((format!("{}.rows", sc.name), sc.live.len() as f64));
+    fields.push((format!("{}.scalar.tuples_per_sec", sc.name), scalar_tps));
+    fields.push((format!("{}.vectorized.tuples_per_sec", sc.name), vec_tps));
+    fields.push((format!("{}.speedup", sc.name), speedup));
+    speedup
+}
+
+fn main() {
+    let mut fields = Vec::new();
+    let gated = run_scenario(&synthetic_scenario(), &mut fields);
+    // Top-level aliases for the gated scenario.
+    let gated_tps =
+        fields.iter().find(|(k, _)| k == "synthetic.vectorized.tuples_per_sec").map(|(_, v)| *v);
+    fields.push(("speedup".to_string(), gated));
+    fields.push(("tuples_per_sec".to_string(), gated_tps.unwrap_or(0.0)));
+    run_scenario(&lab_scenario(), &mut fields);
+
+    assert!(
+        gated >= GATE,
+        "vectorized replay must sustain >= {GATE}x scalar tuples/sec \
+         on the synthetic conjunction, got {gated:.1}x"
+    );
+    println!("\nvectorized replay clears the {GATE}x gate");
+
+    acqp_bench::report::emit_bench_json("vectorized", &fields);
+}

@@ -60,8 +60,9 @@ impl From<&str> for CliError {
 /// CLI-level result (the core prelude shadows `Result`).
 type CliResult<T> = std::result::Result<T, CliError>;
 use acqp_sensornet::{
-    run_simulation_adaptive, run_simulation_crashy, run_simulation_faulty, sim::fleet_from_trace,
-    AdaptiveConfig, Basestation, CrashConfig, EnergyModel, FaultModel, ReplanBudget,
+    run_simulation_adaptive, run_simulation_crashy, run_simulation_faulty, run_simulation_mode,
+    sim::fleet_from_trace, AdaptiveConfig, Basestation, CrashConfig, EnergyModel, FaultModel,
+    FaultReport, ReplanBudget,
 };
 use args::Args;
 
@@ -76,8 +77,10 @@ USAGE:
                 [--algo naive|corrseq|heuristic|exhaustive]
                 [--splits K] [--grid R] [--train-frac F] [--explain yes]
                 [--threads N] [--plan-budget-ms MS] [--fallback yes]
+                [--exec scalar|vectorized]
                 [--trace-json <file>] [--metrics yes]
   acqp simulate --dataset <kind> --query \"<expr>\" [--motes M] [--splits K]
+                [--exec scalar|vectorized]
                 [--fault-seed N] [--loss-rate F] [--sensing-fail F]
                 [--max-attempts N] [--dropout m:from:until[,...]]
                 [--replan-threshold F] [--replan-budget N] [--sample-every N]
@@ -87,6 +90,10 @@ USAGE:
 
   --trace-json <file>  stream spans and drained metrics as JSON lines
   --metrics yes        append a metrics summary table to the output
+  --exec vectorized    run trace replay / the lossless simulation
+                       through the columnar batch executor (results are
+                       bitwise-identical to scalar; incompatible with
+                       fault, re-plan and crash flags)
 
   fault injection (simulate): --loss-rate / --sensing-fail are
   probabilities in [0, 1]; --fault-seed makes lossy runs reproducible;
@@ -186,6 +193,15 @@ fn finish_metrics(args: &Args, rec: &Recorder) {
 /// A typed bad-flag error.
 fn invalid(flag: &str, value: &str, why: &'static str) -> CliError {
     CliError::Core(Error::InvalidFlag { flag: format!("--{flag}"), value: value.to_string(), why })
+}
+
+/// Parses `--exec scalar|vectorized` (scalar when absent).
+fn exec_mode_from(args: &Args) -> CliResult<ExecMode> {
+    match args.get("exec") {
+        None | Some("scalar") => Ok(ExecMode::Scalar),
+        Some("vectorized") => Ok(ExecMode::Vectorized),
+        Some(other) => Err(invalid("exec", other, "expected `scalar` or `vectorized`")),
+    }
 }
 
 /// Parses a probability flag, rejecting values outside `[0, 1]` with a
@@ -353,23 +369,44 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
         println!("{}", plan.pretty(&g.schema, &query));
     }
 
-    let rtr = measure(&plan, &query, &g.schema, &train);
+    let mode = exec_mode_from(args)?;
+    let rtr = measure_mode(
+        &plan,
+        &query,
+        &g.schema,
+        &CostModel::PerAttribute,
+        &train,
+        0..train.len(),
+        mode,
+    );
     let (rte, exec_metrics) = if rec.enabled() {
         // Meter the held-out window: per-attribute acquisitions, cost
         // distribution, per-predicate outcomes.
         let m = ExecMetrics::new(&rec, &g.schema, &query);
-        let r = measure_metered(
+        let r = measure_metered_mode(
             &plan,
             &query,
             &g.schema,
             &CostModel::PerAttribute,
             &test,
             0..test.len(),
+            mode,
             &m,
         );
         (r, Some(m))
     } else {
-        (measure(&plan, &query, &g.schema, &test), None)
+        (
+            measure_mode(
+                &plan,
+                &query,
+                &g.schema,
+                &CostModel::PerAttribute,
+                &test,
+                0..test.len(),
+                mode,
+            ),
+            None,
+        )
     };
     if !(rtr.all_correct && rte.all_correct) {
         return Err("internal error: plan disagreed with direct evaluation".into());
@@ -461,6 +498,17 @@ fn cmd_simulate(args: &Args) -> CliResult<()> {
         || !crash_epochs.is_empty()
         || crash_rate > 0.0
         || args.get("checkpoint-every").is_some();
+    let mode = exec_mode_from(args)?;
+    if mode == ExecMode::Vectorized
+        && (crashy || replan_threshold.is_some() || !faults.is_lossless())
+    {
+        return Err(invalid(
+            "exec",
+            "vectorized",
+            "vectorized execution covers only the lossless simulation \
+             (drop the fault, re-plan and crash flags)",
+        ));
+    }
     let bs = Basestation::new(g.schema.clone(), &history);
     let model = EnergyModel::mica_like();
     let alpha = Basestation::alpha_for(&model, fleet as usize, live.len());
@@ -484,7 +532,32 @@ fn cmd_simulate(args: &Args) -> CliResult<()> {
         ..AdaptiveConfig::default()
     });
     let mut crash_info = None;
-    let rep = if crashy {
+    let rep = if mode == ExecMode::Vectorized {
+        // The lossless batch path: same SimReport, metrics and ledgers
+        // as the scalar engine, to the bit. Nothing can be lost, so the
+        // fault ledger is trivially clean.
+        let sim = run_simulation_mode(
+            &g.schema,
+            &query,
+            &planned,
+            &mut motes,
+            &model,
+            live.len(),
+            mode,
+            &rec,
+        );
+        FaultReport {
+            delivered_results: sim.results,
+            lost_results: 0,
+            aborted_tuples: 0,
+            offline_epochs: 0,
+            undisseminated_epochs: 0,
+            samples_delivered: 0,
+            bs_tx_uj: fleet as f64 * planned.wire.len() as f64 * model.radio_tx_uj_per_byte,
+            replans: Vec::new(),
+            sim,
+        }
+    } else if crashy {
         let crash = CrashConfig { checkpoint_dir, checkpoint_every, crash_epochs, crash_rate };
         let crep = run_simulation_crashy(
             &bs,
@@ -876,5 +949,82 @@ mod tests {
             ]),
             Ok(())
         );
+    }
+
+    #[test]
+    fn exec_flag_selects_the_vectorized_path() {
+        // Both commands accept --exec vectorized end to end.
+        assert_eq!(
+            run_vec(&[
+                "plan",
+                "--dataset",
+                "synthetic",
+                "--rows",
+                "200",
+                "--query",
+                "x0 = 1 AND x1 = 1",
+                "--splits",
+                "2",
+                "--exec",
+                "vectorized",
+            ]),
+            Ok(())
+        );
+        assert_eq!(
+            run_vec(&[
+                "simulate",
+                "--dataset",
+                "garden5",
+                "--epochs",
+                "300",
+                "--query",
+                "temp0 BETWEEN 5 AND 25 AND hum0 <= 90",
+                "--motes",
+                "2",
+                "--splits",
+                "2",
+                "--exec",
+                "vectorized",
+                "--metrics",
+                "yes",
+            ]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn exec_flag_rejects_bad_values_and_fault_combinations() {
+        let base = |extra: &[&str]| {
+            let mut v = vec![
+                "simulate",
+                "--dataset",
+                "garden5",
+                "--epochs",
+                "100",
+                "--query",
+                "temp0 BETWEEN 5 AND 25",
+                "--exec",
+                "vectorized",
+            ];
+            v.extend_from_slice(extra);
+            run_vec(&v)
+        };
+        assert!(run_vec(&[
+            "plan",
+            "--dataset",
+            "synthetic",
+            "--rows",
+            "100",
+            "--query",
+            "x0 = 1",
+            "--exec",
+            "simd",
+        ])
+        .is_err());
+        assert!(base(&["--loss-rate", "0.2"]).is_err());
+        assert!(base(&["--replan-threshold", "0.3"]).is_err());
+        assert!(base(&["--crash-rate", "0.05"]).is_err());
+        // Lossless vectorized stays fine even with explicit zero rates.
+        assert_eq!(base(&["--loss-rate", "0.0"]), Ok(()));
     }
 }

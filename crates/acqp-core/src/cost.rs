@@ -80,6 +80,66 @@ pub fn measure_metered(
     measure_loop(plan, query, schema, model, data, rows, Some(metrics))
 }
 
+/// Like [`measure_rows_model`], dispatching on [`crate::exec::ExecMode`]:
+/// `Scalar` is the seed per-tuple loop verbatim, `Vectorized` routes
+/// through the columnar batch executor (`DESIGN.md` §12) and returns a
+/// bitwise-identical [`CostReport`]. A non-monotone row list falls back
+/// to the scalar loop — batching would reorder the `f64` folds.
+pub fn measure_mode(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &crate::costmodel::CostModel,
+    data: &Dataset,
+    rows: impl IntoIterator<Item = usize>,
+    mode: crate::exec::ExecMode,
+) -> CostReport {
+    measure_mode_inner(plan, query, schema, model, data, rows, mode, None)
+}
+
+/// [`measure_mode`] with metering: both modes record the same `exec.*`
+/// series ([`crate::exec::ExecMetrics`]); the vectorized path
+/// additionally fills the `exec.batch.*` subtree.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_metered_mode(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &crate::costmodel::CostModel,
+    data: &Dataset,
+    rows: impl IntoIterator<Item = usize>,
+    mode: crate::exec::ExecMode,
+    metrics: &crate::exec::ExecMetrics,
+) -> CostReport {
+    measure_mode_inner(plan, query, schema, model, data, rows, mode, Some(metrics))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure_mode_inner(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &crate::costmodel::CostModel,
+    data: &Dataset,
+    rows: impl IntoIterator<Item = usize>,
+    mode: crate::exec::ExecMode,
+    metrics: Option<&crate::exec::ExecMetrics>,
+) -> CostReport {
+    match mode {
+        crate::exec::ExecMode::Scalar => {
+            measure_loop(plan, query, schema, model, data, rows, metrics)
+        }
+        crate::exec::ExecMode::Vectorized => {
+            let rows: Vec<usize> = rows.into_iter().collect();
+            if rows.windows(2).all(|w| w[0] < w[1]) {
+                crate::batch::measure_vectorized(plan, query, schema, model, data, &rows, metrics)
+            } else {
+                measure_loop(plan, query, schema, model, data, rows, metrics)
+            }
+        }
+    }
+}
+
 fn measure_loop(
     plan: &Plan,
     query: &Query,

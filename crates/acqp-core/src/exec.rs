@@ -13,6 +13,24 @@ use crate::dataset::Dataset;
 use crate::plan::Plan;
 use crate::query::Query;
 
+/// Selects the execution path for batch-capable entry points
+/// ([`crate::cost::measure_mode`], historical-trace replay and the
+/// sensornet simulation loop). `Scalar` — the default — is the seed
+/// per-tuple interpreter, unchanged. `Vectorized` routes through the
+/// columnar batch executor of [`crate::batch`], which is proven
+/// bitwise-equal to the scalar path by the differential harness in
+/// `tests/vectorized_equivalence.rs` (see `DESIGN.md` §12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Per-tuple root-to-leaf tree walk (the seed path).
+    #[default]
+    Scalar,
+    /// Columnar selection-vector execution over
+    /// [`crate::batch::ColumnBatch`]es of [`crate::batch::BATCH_ROWS`]
+    /// tuples.
+    Vectorized,
+}
+
 /// Source of attribute values for one tuple. The dataset-backed
 /// [`RowSource`] simply reads a stored row; the sensornet substrate
 /// implements this with energy-accounting sensor reads.
@@ -97,28 +115,13 @@ fn execute_inner(
     src: &mut impl TupleSource,
     metrics: Option<&ExecMetrics>,
 ) -> ExecOutcome {
-    let mut st =
-        ExecState { cache: vec![None; schema.len()], mask: 0, cost: 0.0, acquired: Vec::new() };
+    let mut st = TupleState::new(schema.len());
     let mut node = plan;
     let verdict = loop {
         match node {
             Plan::Decided(b) => break *b,
             Plan::Seq(seq) => {
-                let mut pass = true;
-                for &j in &seq.order {
-                    let p = query.pred(j);
-                    let v = st.fetch(p.attr(), schema, model, src, metrics);
-                    let held = p.eval(v);
-                    if let Some(m) = metrics {
-                        m.pred_evaluated[j].incr(1);
-                        m.pred_passed[j].incr(u64::from(held));
-                    }
-                    if !held {
-                        pass = false;
-                        break;
-                    }
-                }
-                break pass;
+                break eval_seq_leaf(&mut st, &seq.order, query, schema, model, src, metrics)
             }
             Plan::Split { attr, cut, lo, hi } => {
                 let v = st.fetch(*attr, schema, model, src, metrics);
@@ -133,7 +136,39 @@ fn execute_inner(
         m.cost_per_tuple.observe(st.cost.round().max(0.0) as u64);
         m.acquisitions_per_tuple.observe(st.acquired.len() as u64);
     }
-    ExecOutcome { verdict, cost: st.cost, acquired: st.acquired }
+    st.into_outcome(verdict)
+}
+
+/// Evaluates one sequential leaf — predicates in `order`, early
+/// termination on the first failure — fetching each predicate's
+/// attribute through `st` and recording per-predicate outcomes.
+///
+/// This is *the* scalar predicate kernel: the tree executor above, the
+/// sensornet wire interpreter and the vectorized path's per-leaf cost
+/// tables all go through it (directly or via [`TupleState::charge`]),
+/// so the paths cannot drift semantically.
+pub fn eval_seq_leaf(
+    st: &mut TupleState,
+    order: &[usize],
+    query: &Query,
+    schema: &Schema,
+    model: &crate::costmodel::CostModel,
+    src: &mut impl TupleSource,
+    metrics: Option<&ExecMetrics>,
+) -> bool {
+    for &j in order {
+        let p = query.pred(j);
+        let v = st.fetch(p.attr(), schema, model, src, metrics);
+        let held = p.eval(v);
+        if let Some(m) = metrics {
+            m.pred_evaluated[j].incr(1);
+            m.pred_passed[j].incr(u64::from(held));
+        }
+        if !held {
+            return false;
+        }
+    }
+    true
 }
 
 /// Pre-hoisted executor instruments (`exec.*`), built once per
@@ -142,21 +177,24 @@ fn execute_inner(
 #[derive(Debug)]
 pub struct ExecMetrics {
     /// `exec.acquire.<attr>` — acquisitions charged, per attribute.
-    acquire: Vec<Counter>,
+    pub(crate) acquire: Vec<Counter>,
     /// `exec.tuples` — tuples executed.
-    tuples: Counter,
+    pub(crate) tuples: Counter,
     /// `exec.outputs` — tuples the plan output.
-    outputs: Counter,
+    pub(crate) outputs: Counter,
     /// `exec.cost_total` — summed acquisition cost over all tuples.
-    cost_total: FloatCounter,
+    pub(crate) cost_total: FloatCounter,
     /// `exec.cost_per_tuple` — per-tuple cost distribution (rounded).
-    cost_per_tuple: Hist,
+    pub(crate) cost_per_tuple: Hist,
     /// `exec.acquisitions_per_tuple` — attributes acquired per tuple.
-    acquisitions_per_tuple: Hist,
+    pub(crate) acquisitions_per_tuple: Hist,
     /// `exec.pred<j>.evaluated` — times predicate `j` was evaluated.
-    pred_evaluated: Vec<Counter>,
+    pub(crate) pred_evaluated: Vec<Counter>,
     /// `exec.pred<j>.passed` — times predicate `j` held.
-    pred_passed: Vec<Counter>,
+    pub(crate) pred_passed: Vec<Counter>,
+    /// `exec.batch.*` — batch-path instruments (zero on scalar runs;
+    /// registering them unconditionally keeps snapshots mode-agnostic).
+    pub(crate) batch: crate::batch::BatchMetrics,
 }
 
 impl ExecMetrics {
@@ -177,6 +215,7 @@ impl ExecMetrics {
             pred_passed: (0..query.len())
                 .map(|j| rec.counter(&format!("exec.pred{j}.passed")))
                 .collect(),
+            batch: crate::batch::BatchMetrics::new(rec),
         }
     }
 
@@ -196,16 +235,30 @@ impl ExecMetrics {
     }
 }
 
-struct ExecState {
+/// Per-tuple acquisition state: the value cache, the acquired-set
+/// bitmask, the running cost and the acquisition order. Shared by the
+/// tree executor, the sensornet wire interpreter and the vectorized
+/// path's plan preparation, so every path charges Eq. (1) through the
+/// same arithmetic.
+#[derive(Debug, Clone)]
+pub struct TupleState {
     cache: Vec<Option<u16>>,
     mask: u64,
     cost: f64,
     acquired: Vec<AttrId>,
 }
 
-impl ExecState {
+impl TupleState {
+    /// Fresh state for a schema of `n_attrs` attributes: nothing
+    /// acquired, zero cost.
+    pub fn new(n_attrs: usize) -> TupleState {
+        TupleState { cache: vec![None; n_attrs], mask: 0, cost: 0.0, acquired: Vec::new() }
+    }
+
+    /// Returns `attr`'s value, acquiring (and charging) it on first use;
+    /// re-reads are free per Eq. (1).
     #[inline]
-    fn fetch(
+    pub fn fetch(
         &mut self,
         attr: AttrId,
         schema: &Schema,
@@ -218,13 +271,52 @@ impl ExecState {
         }
         let v = src.acquire(attr);
         self.cache[attr] = Some(v);
-        self.cost += model.cost(schema, attr, self.mask);
-        self.mask |= 1u64 << attr;
-        self.acquired.push(attr);
+        self.charge(attr, schema, model);
         if let Some(m) = metrics {
             m.acquire[attr].incr(1);
         }
         v
+    }
+
+    /// Charges the first acquisition of `attr` (cost under the current
+    /// acquired mask, mask update, acquisition order) without reading a
+    /// value — already-acquired attributes are a no-op. The vectorized
+    /// plan preparation drives this against a value-less state to
+    /// precompute every path's cost with scalar-identical arithmetic.
+    #[inline]
+    pub(crate) fn charge(
+        &mut self,
+        attr: AttrId,
+        schema: &Schema,
+        model: &crate::costmodel::CostModel,
+    ) {
+        let bit = 1u64 << attr;
+        if self.mask & bit != 0 {
+            return;
+        }
+        self.cost += model.cost(schema, attr, self.mask);
+        self.mask |= bit;
+        self.acquired.push(attr);
+    }
+
+    /// Acquired-set bitmask (bit `a` set once attribute `a` is charged).
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Running acquisition cost `C(P, x)` so far.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Attributes acquired so far, in acquisition order.
+    pub fn acquired(&self) -> &[AttrId] {
+        &self.acquired
+    }
+
+    /// Finalizes the walk into an [`ExecOutcome`].
+    pub fn into_outcome(self, verdict: bool) -> ExecOutcome {
+        ExecOutcome { verdict, cost: self.cost, acquired: self.acquired }
     }
 }
 

@@ -75,6 +75,7 @@
 // workspace-level `float_cmp` warning stays on for library code.
 #![cfg_attr(test, allow(clippy::float_cmp))]
 pub mod attr;
+pub mod batch;
 pub mod cost;
 pub mod costmodel;
 pub mod dataset;
@@ -93,16 +94,21 @@ pub mod sync;
 /// Convenient glob-import of the public API.
 pub mod prelude {
     pub use crate::attr::{AttrId, Attribute, Schema};
+    pub use crate::batch::{
+        truth_columnar, BatchExecutor, BatchMetrics, BatchOutcome, ColumnBatch, FlatPlan,
+        PreparedPlan, BATCH_ROWS,
+    };
     pub use crate::cost::{
-        expected_cost, expected_cost_model, measure, measure_metered, measure_model, measure_rows,
-        CostReport,
+        expected_cost, expected_cost_model, measure, measure_metered, measure_metered_mode,
+        measure_mode, measure_model, measure_rows, CostReport,
     };
     pub use crate::costmodel::{acquired_mask, CostModel};
     pub use crate::dataset::{Dataset, Discretizer};
     pub use crate::drift::{estimated_selectivities, DriftConfig, DriftMonitor, DriftMonitorState};
     pub use crate::error::{Error, Result};
     pub use crate::exec::{
-        execute, execute_metered, execute_model, ExecMetrics, ExecOutcome, RowSource, TupleSource,
+        eval_seq_leaf, execute, execute_metered, execute_model, ExecMetrics, ExecMode, ExecOutcome,
+        RowSource, TupleSource, TupleState,
     };
     pub use crate::exists::{
         execute_exists, measure_exists, BranchStep, ExistsPlan, ExistsPlanner, ExistsQuery,

@@ -62,12 +62,15 @@ impl Pred {
         matches!(self, Pred::NotIn { .. })
     }
 
-    /// Truth of the predicate on a concrete value.
+    /// Truth of the predicate on a concrete value. Evaluated without
+    /// short-circuiting: both compares are data-independent, so the
+    /// non-branching form lets the batch executor's tight loops (and
+    /// `truth_columnar`) auto-vectorize.
     #[inline]
     pub fn eval(&self, v: u16) -> bool {
         match *self {
-            Pred::In { lo, hi, .. } => lo <= v && v <= hi,
-            Pred::NotIn { lo, hi, .. } => v < lo || hi < v,
+            Pred::In { lo, hi, .. } => (lo <= v) & (v <= hi),
+            Pred::NotIn { lo, hi, .. } => (v < lo) | (hi < v),
         }
     }
 

@@ -36,6 +36,7 @@ pub mod csv;
 pub mod error;
 pub mod garden;
 pub mod lab;
+pub mod replay;
 pub mod rng;
 pub mod schema_file;
 pub mod synthetic;

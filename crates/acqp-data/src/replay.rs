@@ -1,0 +1,69 @@
+//! Historical-trace replay: run a plan over every row of a recorded
+//! dataset as if each row arrived as a live tuple.
+//!
+//! This is the evaluation harness of §6 — expected cost is measured by
+//! replaying the held-out portion of a trace through the plan — and the
+//! entry point the vectorized executor is benchmarked against. Both
+//! functions dispatch on [`ExecMode`]: `Scalar` walks the plan tree per
+//! tuple, `Vectorized` batches the trace through the columnar executor;
+//! the two are bitwise-identical (reports, metrics) by construction and
+//! by the differential suite in `tests/vectorized_equivalence.rs`.
+
+use acqp_core::{
+    measure_metered_mode, measure_mode, CostModel, CostReport, Dataset, ExecMetrics, ExecMode,
+    Plan, Query, Schema,
+};
+
+/// Replays `plan` over every row of `data` and reports measured cost,
+/// selectivity and correctness (Eq. 4 over the trace).
+pub fn replay_trace(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &CostModel,
+    data: &Dataset,
+    mode: ExecMode,
+) -> CostReport {
+    measure_mode(plan, query, schema, model, data, 0..data.len(), mode)
+}
+
+/// Like [`replay_trace`], additionally recording per-tuple executor
+/// metrics (`exec.*`, and `exec.batch.*` under
+/// [`ExecMode::Vectorized`]) into `metrics`.
+pub fn replay_trace_metered(
+    plan: &Plan,
+    query: &Query,
+    schema: &Schema,
+    model: &CostModel,
+    data: &Dataset,
+    mode: ExecMode,
+    metrics: &ExecMetrics,
+) -> CostReport {
+    measure_metered_mode(plan, query, schema, model, data, 0..data.len(), mode, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::{self, LabConfig};
+    use crate::workload;
+    use acqp_core::prelude::*;
+
+    #[test]
+    fn replay_modes_are_bitwise_identical_on_lab_trace() {
+        let g = lab::generate(&LabConfig { motes: 4, epochs: 128, seed: 11, ..LabConfig::small() });
+        let (train, live) = g.split(0.5);
+        let query = workload::lab_queries(&g.schema, &train, 1, 3, 7).pop().unwrap();
+        let est = CountingEstimator::new(&train);
+        let plan = GreedyPlanner::new(8).plan(&g.schema, &query, &est).unwrap();
+        let model = CostModel::PerAttribute;
+
+        let s = replay_trace(&plan, &query, &g.schema, &model, &live, ExecMode::Scalar);
+        let v = replay_trace(&plan, &query, &g.schema, &model, &live, ExecMode::Vectorized);
+        assert_eq!(s.tuples, v.tuples);
+        assert_eq!(s.pass_rate.to_bits(), v.pass_rate.to_bits());
+        assert_eq!(s.mean_cost.to_bits(), v.mean_cost.to_bits());
+        assert_eq!(s.max_cost.to_bits(), v.max_cost.to_bits());
+        assert_eq!(s.all_correct, v.all_correct);
+    }
+}

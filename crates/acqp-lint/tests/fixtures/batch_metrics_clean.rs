@@ -1,0 +1,9 @@
+//! Fixture: exactly the documented `exec.batch.*` subtree, one emit per
+//! taxonomy row — lints clean in both directions.
+
+pub fn register(rec: &acqp_obs::Recorder) {
+    let _ = rec.counter("exec.batch.batches");
+    let _ = rec.counter("exec.batch.rows");
+    let _ = rec.counter("exec.batch.partitions");
+    let _ = rec.hist("exec.batch.fill");
+}

@@ -1,0 +1,14 @@
+//! Fixture: `exec.batch.*` emits that break the taxonomy contract in
+//! both directions. Never compiled — the batch-taxonomy test copies it
+//! into a fake workspace and lints it.
+//!
+//! * `exec.batch.bogus` is emitted but undocumented (code leads docs).
+//! * `exec.batch.partitions` is documented in the fake DESIGN.md but
+//!   never emitted here (docs lead code — stale row).
+
+pub fn register(rec: &acqp_obs::Recorder) {
+    let _ = rec.counter("exec.batch.batches");
+    let _ = rec.counter("exec.batch.rows");
+    let _ = rec.counter("exec.batch.bogus"); // MARK:undocumented
+    let _ = rec.hist("exec.batch.fill");
+}

@@ -53,6 +53,18 @@ fn instrumented_snapshot() -> acqp_obs::Snapshot {
     let metrics = ExecMetrics::new(&rec, &schema, &query);
     let model = CostModel::PerAttribute;
     measure_metered(&plan, &query, &schema, &model, &data, 0..data.len(), &metrics);
+    // Vectorized pass so the exec.batch.* subtree carries real values,
+    // not just its unconditional registrations.
+    measure_metered_mode(
+        &plan,
+        &query,
+        &schema,
+        &model,
+        &data,
+        0..data.len(),
+        ExecMode::Vectorized,
+        &metrics,
+    );
 
     rec.drain()
 }
@@ -103,6 +115,10 @@ fn exercised_table_rows_are_hit_by_the_run() {
         "exec.acquire.<*>",
         "exec.pred<*>.evaluated",
         "exec.pred<*>.passed",
+        "exec.batch.batches",
+        "exec.batch.rows",
+        "exec.batch.partitions",
+        "exec.batch.fill",
     ];
     for pattern in must_hit {
         assert!(

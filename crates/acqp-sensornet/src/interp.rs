@@ -2,30 +2,38 @@
 //!
 //! Motes receive a plan as the compact wire encoding of
 //! [`acqp_core::Plan::encode`] and execute it *directly from the bytes*:
-//! no tree materialization, no heap — matching the "minimal
-//! computational power" execution story of §2.5. Branching to the high
-//! side of a split skips over the low subtree with a structural scan.
+//! no tree materialization — matching the "minimal computational power"
+//! execution story of §2.5. Branching to the high side of a split skips
+//! over the low subtree with a structural scan. Acquisition accounting
+//! and leaf evaluation are the shared scalar kernel of
+//! [`acqp_core::exec`], so the interpreter cannot drift from the tree
+//! executor (or from the vectorized path proven equal to it).
 
+use acqp_core::costmodel::CostModel;
+use acqp_core::exec::{eval_seq_leaf, TupleState};
 use acqp_core::{Error, ExecOutcome, Query, Result, Schema, TupleSource};
 
 /// Executes the wire-encoded plan for one tuple, charging acquisition
 /// costs from `schema` exactly like [`acqp_core::execute`] does for the
-/// decoded tree.
+/// decoded tree. Acquisition state and leaf evaluation go through the
+/// shared scalar kernel ([`TupleState`] / [`eval_seq_leaf`]) — the seed
+/// interpreter duplicated that logic, which let the paths drift.
+/// Sequential bodies are validated eagerly: a leaf naming an
+/// out-of-range predicate is rejected before any of it runs.
 pub fn execute_wire(
     bytes: &[u8],
     query: &Query,
     schema: &Schema,
     src: &mut impl TupleSource,
 ) -> Result<ExecOutcome> {
-    let mut cache: Vec<Option<u16>> = vec![None; schema.len()];
-    let mut cost = 0.0;
-    let mut acquired = Vec::new();
+    let model = CostModel::PerAttribute;
+    let mut st = TupleState::new(schema.len());
     let mut pos = 0usize;
     loop {
         let tag = *bytes.get(pos).ok_or(Error::BadWireFormat { offset: pos, what: "truncated" })?;
         match tag {
             0x00 | 0x01 => {
-                return Ok(ExecOutcome { verdict: tag == 0x01, cost, acquired });
+                return Ok(st.into_outcome(tag == 0x01));
             }
             0x02 => {
                 let len = *bytes
@@ -35,6 +43,7 @@ pub fn execute_wire(
                 let body = bytes
                     .get(pos + 2..pos + 2 + len)
                     .ok_or(Error::BadWireFormat { offset: pos + 2, what: "truncated seq body" })?;
+                let mut order = Vec::with_capacity(body.len());
                 for &pb in body {
                     let j = pb as usize;
                     if j >= query.len() {
@@ -43,13 +52,10 @@ pub fn execute_wire(
                             what: "predicate index out of range",
                         });
                     }
-                    let p = query.pred(j);
-                    let v = fetch(p.attr(), schema, src, &mut cache, &mut cost, &mut acquired);
-                    if !p.eval(v) {
-                        return Ok(ExecOutcome { verdict: false, cost, acquired });
-                    }
+                    order.push(j);
                 }
-                return Ok(ExecOutcome { verdict: true, cost, acquired });
+                let verdict = eval_seq_leaf(&mut st, &order, query, schema, &model, src, None);
+                return Ok(st.into_outcome(verdict));
             }
             0x03 => {
                 let hdr = bytes
@@ -63,7 +69,7 @@ pub fn execute_wire(
                     });
                 }
                 let cut = u16::from_le_bytes([hdr[1], hdr[2]]);
-                let v = fetch(attr, schema, src, &mut cache, &mut cost, &mut acquired);
+                let v = st.fetch(attr, schema, &model, src, None);
                 if v < cut {
                     pos += 4;
                 } else {
@@ -100,25 +106,6 @@ pub fn skip_subtree(bytes: &[u8], pos: usize) -> Result<usize> {
         }
         _ => Err(Error::BadWireFormat { offset: pos, what: "unknown tag" }),
     }
-}
-
-#[inline]
-fn fetch(
-    attr: usize,
-    schema: &Schema,
-    src: &mut impl TupleSource,
-    cache: &mut [Option<u16>],
-    cost: &mut f64,
-    acquired: &mut Vec<usize>,
-) -> u16 {
-    if let Some(v) = cache[attr] {
-        return v;
-    }
-    let v = src.acquire(attr);
-    cache[attr] = Some(v);
-    *cost += schema.cost(attr);
-    acquired.push(attr);
-    v
 }
 
 #[cfg(test)]

@@ -50,7 +50,7 @@ pub use mote::Mote;
 pub use recovery::{CrashConfig, CrashReport};
 pub use sim::{
     result_packet_bytes, run_simulation, run_simulation_adaptive, run_simulation_crashy,
-    run_simulation_faulty, run_simulation_multihop, run_simulation_recorded, sample_packet_bytes,
-    AdaptiveConfig, FaultReport, ReplanEvent, SimReport,
+    run_simulation_faulty, run_simulation_mode, run_simulation_multihop, run_simulation_recorded,
+    sample_packet_bytes, AdaptiveConfig, FaultReport, ReplanEvent, SimReport,
 };
 pub use topology::Topology;

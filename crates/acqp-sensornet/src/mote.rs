@@ -57,6 +57,37 @@ impl Mote {
         self.trace.value(epoch, attr)
     }
 
+    /// The mote's full trace — the vectorized simulator executes it in
+    /// column batches instead of row-by-row sensor reads.
+    pub(crate) fn trace(&self) -> &Dataset {
+        &self.trace
+    }
+
+    /// Charges one epoch's acquisitions in the given order, exactly as
+    /// a [`MeteredSource`] would have for the same acquisition sequence
+    /// (sensing per read, one board power-up per board per epoch). The
+    /// vectorized simulator replays each tuple's precomputed chain
+    /// through this, so ledgers stay bitwise-identical to the scalar
+    /// run's.
+    pub(crate) fn charge_epoch(
+        &mut self,
+        acquired: &[AttrId],
+        schema: &Schema,
+        model: &EnergyModel,
+    ) {
+        let mut boards_on = 0u64;
+        for &attr in acquired {
+            self.ledger.sensing_uj += model.sense_uj(schema, attr);
+            if let Some(b) = model.board_of(attr) {
+                let bit = 1u64 << b;
+                if boards_on & bit == 0 {
+                    boards_on |= bit;
+                    self.ledger.board_uj += model.board_powerup_uj;
+                }
+            }
+        }
+    }
+
     /// Begins epoch `epoch`, returning a metered [`TupleSource`] that
     /// charges this mote's ledger for every acquisition.
     pub fn epoch_source<'m>(

@@ -24,7 +24,10 @@
 
 use acqp_core::drift::DriftMonitor;
 use acqp_core::prelude::{estimated_selectivities, CountingEstimator, Ranges};
-use acqp_core::{Dataset, DriftConfig, Query, Schema, TupleSource};
+use acqp_core::{
+    truth_columnar, BatchExecutor, BatchOutcome, ColumnBatch, CostModel, Dataset, DriftConfig,
+    ExecMode, PreparedPlan, Query, Schema, TupleSource, BATCH_ROWS,
+};
 use acqp_obs::{Counter, Hist, Recorder};
 use acqp_persist::{BasestationCheckpoint, PlanRecord, WalRecord};
 use acqp_stream::SlidingWindow;
@@ -224,6 +227,122 @@ pub fn run_simulation_recorded(
     let mut eng =
         Engine::new(schema, query, planned, motes, model, &lossless, None, None, None, rec);
     eng.run(epochs).sim
+}
+
+/// Like [`run_simulation_recorded`], dispatching on [`ExecMode`]:
+/// `Scalar` is the engine-based lossless loop verbatim, `Vectorized`
+/// executes each mote's trace through the columnar batch executor and
+/// replays the precomputed acquisition chains into the energy ledgers —
+/// reports, ledgers and recorded `sensornet.*` metrics are bitwise
+/// identical (see `DESIGN.md` §12). Fault injection, adaptivity and
+/// crash recovery remain scalar-only: their per-tuple retry state is
+/// inherently sequential.
+#[allow(clippy::too_many_arguments)]
+pub fn run_simulation_mode(
+    schema: &Schema,
+    query: &Query,
+    planned: &PlannedQuery,
+    motes: &mut [Mote],
+    model: &EnergyModel,
+    epochs: usize,
+    mode: ExecMode,
+    rec: &Recorder,
+) -> SimReport {
+    match mode {
+        ExecMode::Scalar => {
+            run_simulation_recorded(schema, query, planned, motes, model, epochs, rec)
+        }
+        ExecMode::Vectorized => {
+            run_simulation_vectorized(schema, query, planned, motes, model, epochs, rec)
+        }
+    }
+}
+
+/// The vectorized lossless simulation: per mote, the trace is executed
+/// in [`BATCH_ROWS`] column windows by the batch executor, then each
+/// epoch's energy is charged by replaying its (node-constant)
+/// acquisition chain in order through [`Mote::charge_epoch`] — the
+/// exact `f64` additions a [`crate::mote::MeteredSource`] performs, in
+/// the same per-mote order, so ledgers match the scalar engine to the
+/// bit. Instruments mirror the engine's lossless path one-for-one,
+/// including the first-attempt `sensornet.fault.*` counters.
+fn run_simulation_vectorized(
+    schema: &Schema,
+    query: &Query,
+    planned: &PlannedQuery,
+    motes: &mut [Mote],
+    model: &EnergyModel,
+    epochs: usize,
+    rec: &Recorder,
+) -> SimReport {
+    let span = rec.span("sensornet.simulate");
+    let tuples_c = rec.counter("sensornet.tuples");
+    let results_c = rec.counter("sensornet.results");
+    let radio_c = rec.counter("sensornet.radio.msgs");
+    let acq_hist = rec.hist("sensornet.acquisitions_per_tuple");
+    let stats = FaultStats::new(rec);
+    // The engine registers the replan taxonomy even on runs that never
+    // replan; mirror that so snapshots are key-identical across modes.
+    rec.counter("sensornet.replan.triggered");
+    rec.counter("sensornet.replan.adopted");
+    let uplink_bytes = result_packet_bytes(schema, query);
+    let prepared = PreparedPlan::new(&planned.plan, query, schema, &CostModel::PerAttribute);
+    let mut exec = BatchExecutor::new();
+    let mut out = BatchOutcome::default();
+    let mut truth = Vec::new();
+
+    // Initial dissemination: every mote is online and the first attempt
+    // always succeeds at zero loss.
+    for m in motes.iter_mut() {
+        stats.diss_attempts.incr(1);
+        radio_c.incr(1);
+        m.receive(planned.wire.len(), model);
+    }
+
+    let mut tuples = 0usize;
+    let mut results = 0usize;
+    let mut all_correct = true;
+    for m in motes.iter_mut() {
+        let n = epochs.min(m.epochs());
+        let mut start = 0usize;
+        while start < n {
+            let len = BATCH_ROWS.min(n - start);
+            {
+                let batch = ColumnBatch::slice(m.trace(), start, len);
+                exec.execute_batch(&prepared, &batch, None, &mut out);
+                truth_columnar(query, &batch, &mut truth);
+            }
+            for (slot, &t) in truth.iter().enumerate().take(len) {
+                tuples += 1;
+                tuples_c.incr(1);
+                let chain = out.acquired(&prepared, slot);
+                m.charge_epoch(chain, schema, model);
+                acq_hist.observe(chain.len() as u64);
+                all_correct &= out.verdict(slot) == t;
+                if out.verdict(slot) {
+                    results += 1;
+                    results_c.incr(1);
+                    stats.result_attempts.incr(1);
+                    m.transmit(uplink_bytes, model);
+                    radio_c.incr(1);
+                }
+            }
+            start += len;
+        }
+    }
+
+    let per_mote: Vec<EnergyLedger> = motes.iter().map(|m| *m.ledger()).collect();
+    if rec.enabled() {
+        for (m, l) in motes.iter().zip(&per_mote) {
+            let id = m.id();
+            rec.gauge(&format!("sensornet.mote{id}.sensing_uj"), l.sensing_uj);
+            rec.gauge(&format!("sensornet.mote{id}.radio_uj"), l.radio_tx_uj + l.radio_rx_uj);
+            rec.gauge(&format!("sensornet.mote{id}.total_uj"), l.total_uj());
+        }
+    }
+    let report = SimReport::assemble(epochs, tuples, results, all_correct, per_mote);
+    drop(span);
+    report
 }
 
 /// Runs the simulation under a [`FaultModel`]: lossy dissemination and
@@ -1235,6 +1354,54 @@ mod tests {
         assert_eq!(rep.delivered_results, rep.sim.results);
         assert_eq!(rep.lost_results, 0);
         assert_eq!(rep.delivery_rate(), 1.0);
+    }
+
+    #[test]
+    fn vectorized_sim_is_bitwise_identical_to_scalar() {
+        use acqp_obs::{NoopSink, Recorder};
+        use std::sync::Arc;
+
+        let (schema, data, query) = setup();
+        let (train, live) = data.split_at(0.5);
+        let bs = Basestation::new(schema.clone(), &train);
+        let planned = bs.plan_query(&query, PlannerChoice::Heuristic(4), 0.0).unwrap();
+        let model = EnergyModel::mica_like().with_board(vec![0, 1], 500.0);
+
+        let run = |mode: acqp_core::ExecMode| {
+            let mut motes = fleet_from_trace(&live, 3);
+            let rec = Recorder::new(Arc::new(NoopSink));
+            let rep = run_simulation_mode(
+                &schema,
+                &query,
+                &planned,
+                &mut motes,
+                &model,
+                live.len(),
+                mode,
+                &rec,
+            );
+            (rep, rec.drain())
+        };
+        let (base, base_snap) = run(acqp_core::ExecMode::Scalar);
+        let (vec_rep, vec_snap) = run(acqp_core::ExecMode::Vectorized);
+
+        assert_eq!(vec_rep.tuples, base.tuples);
+        assert_eq!(vec_rep.results, base.results);
+        assert_eq!(vec_rep.all_correct, base.all_correct);
+        assert_eq!(vec_rep.per_mote, base.per_mote, "ledgers must match to the bit");
+        assert_eq!(vec_rep.sensing_uj_per_tuple.to_bits(), base.sensing_uj_per_tuple.to_bits());
+
+        assert_eq!(vec_snap.counters, base_snap.counters);
+        assert_eq!(vec_snap.hists, base_snap.hists);
+        let base_vals: Vec<(&String, u64)> =
+            base_snap.values.iter().map(|(k, v)| (k, v.to_bits())).collect();
+        let vec_vals: Vec<(&String, u64)> =
+            vec_snap.values.iter().map(|(k, v)| (k, v.to_bits())).collect();
+        assert_eq!(vec_vals, base_vals, "gauges must match to the bit");
+        let spans = |s: &acqp_obs::Snapshot| {
+            s.spans.iter().map(|(k, v)| (k.clone(), v.count)).collect::<Vec<_>>()
+        };
+        assert_eq!(spans(&vec_snap), spans(&base_snap));
     }
 
     #[test]

@@ -35,4 +35,5 @@ run cargo bench -p acqp-bench --bench estimator_ops
 run cargo bench -p acqp-bench --bench scalability
 run cargo bench -p acqp-bench --bench fault_sweep
 run cargo bench -p acqp-bench --bench crash_recovery
+run cargo bench -p acqp-bench --bench vectorized
 echo "ALL BENCHES RECORDED" | tee -a "$out"
