@@ -2,10 +2,12 @@
 //! workload timed three ways — recorder disabled, recorder live with a
 //! no-op sink, and live with a JSON-lines sink to a temp file.
 //!
-//! Acceptance gate for the `acqp-obs` layer: the no-op-sink run must
-//! stay within 2% of the disabled run (the planner's hot loops pre-hoist
-//! every instrument, so the per-subproblem cost is a handful of relaxed
-//! atomic adds). The JSON sink is allowed to cost more — it is I/O.
+//! Acceptance gates for the `acqp-obs` layer: the no-op-sink run and
+//! the flight-recorder run must each stay within 2% of the disabled run
+//! (the planner's hot loops pre-hoist every instrument, so the
+//! per-subproblem cost is a handful of relaxed atomic adds; the flight
+//! ring takes one mutex + a few pushes per *plan*, not per subproblem).
+//! The JSON sink is allowed to cost more — it is I/O.
 //!
 //! Env: `ACQP_QUERIES` (default 8), `ACQP_REPS` (default 3),
 //! `ACQP_GRID` (default 2; grid 3 deepens the search ~10x).
@@ -16,7 +18,7 @@ use std::time::Instant;
 use acqp_core::prelude::*;
 use acqp_data::lab::{self, LabConfig};
 use acqp_data::workload::lab_queries;
-use acqp_obs::{JsonLinesSink, NoopSink, Recorder};
+use acqp_obs::{FlightRecorder, Hist, JsonLinesSink, NoopSink, Recorder};
 
 fn plan_all(
     schema: &Schema,
@@ -62,6 +64,8 @@ fn main() {
     let mut t_off = f64::MAX;
     let mut t_noop = f64::MAX;
     let mut t_json = f64::MAX;
+    let mut t_flight = f64::MAX;
+    let mut flight_events = 0u64;
     for _ in 0..reps {
         let (t, bits_off) = plan_all(&g.schema, &queries, &est, grid_r, &Recorder::disabled());
         t_off = t_off.min(t);
@@ -78,25 +82,65 @@ fn main() {
         t_json = t_json.min(t);
         assert_eq!(bits_off, bits, "json-sink recording changed a plan cost");
         drop(rec.drain());
+
+        // Flight recorder on, metrics recorder off: measures the ring
+        // buffer alone against the fully disabled baseline.
+        let rec = Recorder::disabled().with_flight(FlightRecorder::new(1 << 16));
+        let (t, bits) = plan_all(&g.schema, &queries, &est, grid_r, &rec);
+        t_flight = t_flight.min(t);
+        assert_eq!(bits_off, bits, "flight recording changed a plan cost");
+        flight_events = rec.flight().emitted();
     }
     let _ = std::fs::remove_file(&json_path);
+
+    // Per-query planning-time distribution (flight recorder live), to
+    // exercise the Hist percentile accessors end to end in a bench
+    // artifact.
+    let plan_us = Hist::new();
+    let rec = Recorder::disabled().with_flight(FlightRecorder::new(1 << 16));
+    for query in &queries {
+        let t0 = Instant::now();
+        let _ = ExhaustivePlanner::with_grid(SplitGrid::for_query(&g.schema, query, grid_r))
+            .max_subproblems(700_000)
+            .with_recorder(rec.clone())
+            .plan_with_report(&g.schema, query, &est)
+            .expect("planning failed");
+        plan_us.observe(t0.elapsed().as_micros() as u64);
+    }
 
     let pct = |t: f64| (t / t_off - 1.0) * 100.0;
     println!("\n{:<12} {:>12} {:>10}", "recorder", "wall (s)", "vs off");
     println!("{:<12} {:>12.3} {:>9}%", "disabled", t_off, "0.0");
     println!("{:<12} {:>12.3} {:>+9.1}%", "noop sink", t_noop, pct(t_noop));
     println!("{:<12} {:>12.3} {:>+9.1}%", "json sink", t_json, pct(t_json));
+    println!("{:<12} {:>12.3} {:>+9.1}%", "flight ring", t_flight, pct(t_flight));
     println!(
-        "\nno-op overhead {:+.2}% (gate: < 2%); costs bitwise identical in all modes",
-        pct(t_noop)
+        "\nno-op overhead {:+.2}%, flight overhead {:+.2}% (gates: < 2%); \
+         costs bitwise identical in all modes",
+        pct(t_noop),
+        pct(t_flight)
+    );
+    println!(
+        "per-query planning time: p50 {} us, p90 {} us, p99 {} us ({} flight events)",
+        plan_us.p50(),
+        plan_us.p90(),
+        plan_us.p99(),
+        flight_events
     );
 
     let fields = vec![
         ("wall_disabled_s".to_string(), t_off),
         ("wall_noop_s".to_string(), t_noop),
         ("wall_json_s".to_string(), t_json),
+        ("wall_flight_s".to_string(), t_flight),
         ("noop_overhead_pct".to_string(), pct(t_noop)),
         ("json_overhead_pct".to_string(), pct(t_json)),
+        ("flight_overhead_pct".to_string(), pct(t_flight)),
+        ("flight_gate_pass".to_string(), if pct(t_flight) < 2.0 { 1.0 } else { 0.0 }),
+        ("flight_events".to_string(), flight_events as f64),
+        ("plan_us_p50".to_string(), plan_us.p50() as f64),
+        ("plan_us_p90".to_string(), plan_us.p90() as f64),
+        ("plan_us_p99".to_string(), plan_us.p99() as f64),
     ];
     acqp_bench::report::emit_bench_json("obs_overhead", &fields);
 }

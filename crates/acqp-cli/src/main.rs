@@ -6,7 +6,7 @@
 //! acqp plan     --dataset lab --query "light >= 350 AND temp <= 21" \
 //!               [--algo naive|corrseq|heuristic|exhaustive] [--splits K] [--grid R]
 //! acqp simulate --dataset garden5 --query "temp0 BETWEEN 10 AND 18 AND hum0 <= 75" \
-//!               [--motes M] [--splits K]
+//!               [--motes M] [--splits K] [--flight-recorder out.json]
 //! ```
 
 mod args;
@@ -18,7 +18,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use acqp_core::prelude::*;
-use acqp_obs::{JsonLinesSink, NoopSink, Recorder};
+use acqp_obs::{FlightRecorder, JsonLinesSink, NoopSink, Recorder, DEFAULT_FLIGHT_CAP};
 
 /// A CLI failure: either a typed error from the core library (bad flag
 /// values, I/O on user-supplied paths) or a free-form usage message.
@@ -77,8 +77,10 @@ USAGE:
                 [--algo naive|corrseq|heuristic|exhaustive]
                 [--splits K] [--grid R] [--train-frac F] [--explain yes]
                 [--threads N] [--plan-budget-ms MS] [--fallback yes]
-                [--exec scalar|vectorized]
+                [--exec scalar|vectorized] [--explain-analyze yes]
                 [--trace-json <file>] [--metrics yes]
+                [--flight-recorder <file>] [--flight-jsonl <file>]
+                [--flight-timeline yes] [--flight-cap N]
   acqp simulate --dataset <kind> --query \"<expr>\" [--motes M] [--splits K]
                 [--exec scalar|vectorized]
                 [--fault-seed N] [--loss-rate F] [--sensing-fail F]
@@ -87,9 +89,20 @@ USAGE:
                 [--checkpoint-dir <dir>] [--checkpoint-every N]
                 [--crash-epochs e1,e2,...] [--crash-rate F]
                 [--trace-json <file>] [--metrics yes]
+                [--flight-recorder <file>] [--flight-jsonl <file>]
+                [--flight-timeline yes] [--flight-cap N]
 
   --trace-json <file>  stream spans and drained metrics as JSON lines
   --metrics yes        append a metrics summary table to the output
+  --flight-recorder <file>  write the deterministic event log as Chrome
+                       trace-event JSON (load in Perfetto / about:tracing)
+  --flight-jsonl <file>  write per-epoch `epoch.tick` time series as JSONL
+  --flight-timeline yes  print a text timeline of the event log
+  --flight-cap N       flight ring capacity in events (default 65536);
+                       overflow evicts oldest and is counted, never silent
+  --explain-analyze yes  (plan) print the predicted-vs-actual cost table
+                       with per-predicate regret attribution over the
+                       held-out window
   --exec vectorized    run trace replay / the lossless simulation
                        through the columnar batch executor (results are
                        bitwise-identical to scalar; incompatible with
@@ -163,18 +176,71 @@ fn cmd_gen(args: &Args) -> CliResult<()> {
     Ok(())
 }
 
-/// Builds the command's recorder from `--trace-json` / `--metrics`.
-/// Observability stays disabled (zero overhead) unless one was asked for.
+/// Builds the command's recorder from `--trace-json` / `--metrics`,
+/// attaching a flight recorder when any `--flight-*` output was asked
+/// for. Observability stays disabled (zero overhead) otherwise.
 fn recorder_from(args: &Args) -> CliResult<Recorder> {
-    if let Some(path) = args.get("trace-json") {
+    let flight = flight_from(args)?;
+    let rec = if let Some(path) = args.get("trace-json") {
         let sink = JsonLinesSink::create(Path::new(path))
             .map_err(|e| Error::Io { path: path.to_string(), what: e.to_string() })?;
-        return Ok(Recorder::new(Arc::new(sink)));
+        Recorder::new(Arc::new(sink))
+    } else if args.get("metrics").is_some_and(|v| v != "no") {
+        Recorder::new(Arc::new(NoopSink))
+    } else {
+        Recorder::disabled()
+    };
+    Ok(rec.with_flight(flight))
+}
+
+/// Builds the flight recorder from the `--flight-*` flags. Disabled
+/// (every emit a no-op) unless at least one output was requested, so
+/// default runs stay byte-identical to previous releases.
+fn flight_from(args: &Args) -> CliResult<FlightRecorder> {
+    let wanted = args.get("flight-recorder").is_some()
+        || args.get("flight-jsonl").is_some()
+        || args.get("flight-timeline").is_some_and(|v| v != "no");
+    if !wanted {
+        return Ok(FlightRecorder::disabled());
     }
-    if args.get("metrics").is_some_and(|v| v != "no") {
-        return Ok(Recorder::new(Arc::new(NoopSink)));
+    let cap: usize = args.get_or("flight-cap", DEFAULT_FLIGHT_CAP)?;
+    if cap == 0 {
+        return Err(invalid("flight-cap", "0", "the ring needs room for at least one event"));
     }
-    Ok(Recorder::disabled())
+    Ok(FlightRecorder::new(cap))
+}
+
+/// Writes the requested flight-recorder exports and folds the ring's
+/// totals into the metric stream (`trace.events` / `trace.dropped`).
+fn finish_flight(args: &Args, rec: &Recorder) -> CliResult<()> {
+    let flight = rec.flight();
+    if !flight.enabled() {
+        return Ok(());
+    }
+    rec.counter("trace.events").incr(flight.emitted());
+    rec.counter("trace.dropped").incr(flight.dropped());
+    if let Some(path) = args.get("flight-recorder") {
+        std::fs::write(path, flight.to_chrome_json())
+            .map_err(|e| Error::Io { path: path.to_string(), what: e.to_string() })?;
+        println!(
+            "flight recorder: {} events retained ({} dropped) -> {path}",
+            flight.len(),
+            flight.dropped()
+        );
+    }
+    if let Some(path) = args.get("flight-jsonl") {
+        std::fs::write(path, flight.to_epoch_jsonl())
+            .map_err(|e| Error::Io { path: path.to_string(), what: e.to_string() })?;
+        println!("flight time series -> {path}");
+    }
+    if args.get("flight-timeline").is_some_and(|v| v != "no") {
+        println!(
+            "
+flight timeline:"
+        );
+        print!("{}", flight.to_timeline());
+    }
+    Ok(())
 }
 
 /// Drains `rec` (flushing any `--trace-json` sink) and prints the
@@ -417,6 +483,20 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
     );
     println!("pass rate : {:.1}% of held-out tuples", 100.0 * rte.pass_rate);
 
+    if args.get("explain-analyze").is_some_and(|v| v != "no") {
+        // Plan-regret attribution: re-cost the adopted plan under a
+        // held-out estimator and decompose predicted-vs-actual into
+        // per-predicate estimator-error contributions (telescoping
+        // walk; the contributions sum bitwise to the total gap).
+        let actual = CountingEstimator::with_ranges(&test, Ranges::root(&g.schema));
+        let rep = regret_report(&plan, &query, &g.schema, &CostModel::PerAttribute, &est, &actual);
+        println!(
+            "
+explain-analyze (train-estimated vs held-out actual):"
+        );
+        print!("{}", rep.render(&g.schema, &query));
+    }
+
     if let Some(m) = &exec_metrics {
         // Estimated-vs-actual selectivity per predicate: the training
         // marginal against the held-out pass fraction (§7's train/test
@@ -444,6 +524,7 @@ fn cmd_plan(args: &Args) -> CliResult<()> {
             base.mean_cost / rte.mean_cost.max(1e-9)
         );
     }
+    finish_flight(args, &rec)?;
     finish_metrics(args, &rec);
     Ok(())
 }
@@ -658,6 +739,7 @@ fn cmd_simulate(args: &Args) -> CliResult<()> {
             );
         }
     }
+    finish_flight(args, &rec)?;
     finish_metrics(args, &rec);
     Ok(())
 }

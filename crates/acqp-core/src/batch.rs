@@ -28,7 +28,7 @@
 //! `tests/vectorized_equivalence.rs` enforces it property-wise; the
 //! batch path additionally records its own `exec.batch.*` subtree.
 
-use acqp_obs::{Counter, Hist, Recorder};
+use acqp_obs::{Counter, FlightRecorder, Hist, Recorder};
 
 use crate::attr::{AttrId, Schema};
 use crate::costmodel::CostModel;
@@ -368,6 +368,9 @@ pub struct BatchMetrics {
     partitions: Counter,
     /// `exec.batch.fill` — valid tuples per executed batch.
     fill: Hist,
+    /// Flight handle for the batch-stage trace events emitted by
+    /// [`measure_vectorized`]; disabled unless the recorder carries one.
+    pub(crate) flight: FlightRecorder,
 }
 
 impl BatchMetrics {
@@ -378,6 +381,7 @@ impl BatchMetrics {
             rows: rec.counter("exec.batch.rows"),
             partitions: rec.counter("exec.batch.partitions"),
             fill: rec.hist("exec.batch.fill"),
+            flight: rec.flight().clone(),
         }
     }
 }
@@ -711,6 +715,15 @@ pub(crate) fn measure_vectorized(
     metrics: Option<&ExecMetrics>,
 ) -> crate::cost::CostReport {
     let prepared = PreparedPlan::new(plan, query, schema, model);
+    // Stage trace: deterministic work tallies, never wall clock
+    // (DESIGN.md §13.2) — the flight log stays bitwise-reproducible.
+    let flight = metrics.map(|m| m.batch.flight.clone()).unwrap_or_default();
+    let prep_seq = flight.emit(
+        0,
+        0,
+        "exec.batch.prepare",
+        &[("preds", query.len().into()), ("rows", rows.len().into())],
+    );
     let mut exec = BatchExecutor::new();
     let mut out = BatchOutcome::default();
     let mut truth = Vec::new();
@@ -721,10 +734,17 @@ pub(crate) fn measure_vectorized(
     let mut passes = 0usize;
     let mut all_correct = true;
     let mut tuples = 0usize;
+    let mut dense_batches = 0u64;
+    let mut masked_batches = 0u64;
     for chunk in rows.chunks(BATCH_ROWS) {
         let start = chunk[0];
         let span = chunk[chunk.len() - 1] + 1 - start;
         let dense = span == chunk.len();
+        if dense {
+            dense_batches += 1;
+        } else {
+            masked_batches += 1;
+        }
         let batch = if dense {
             ColumnBatch::slice(data, start, span)
         } else {
@@ -746,6 +766,19 @@ pub(crate) fn measure_vectorized(
             tuples += 1;
         }
     }
+    flight.emit(
+        0,
+        prep_seq,
+        "exec.batch.run",
+        &[
+            ("batches", (dense_batches + masked_batches).into()),
+            ("dense", dense_batches.into()),
+            ("masked", masked_batches.into()),
+            ("tuples", tuples.into()),
+            ("outputs", passes.into()),
+            ("cost_total", total.into()),
+        ],
+    );
     let d = tuples.max(1) as f64;
     crate::cost::CostReport {
         mean_cost: total / d,

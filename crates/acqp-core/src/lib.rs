@@ -89,6 +89,7 @@ pub mod planner;
 pub mod prob;
 pub mod query;
 pub mod range;
+pub mod regret;
 pub mod sync;
 
 /// Convenient glob-import of the public API.
@@ -125,6 +126,7 @@ pub mod prelude {
     };
     pub use crate::query::{Pred, Query};
     pub use crate::range::{Range, Ranges};
+    pub use crate::regret::{regret_report, NodeCostRow, PredRegret, RegretReport};
     pub use crate::sync::NoPoisonMutex;
 }
 

@@ -195,6 +195,17 @@ impl ExhaustivePlanner {
             panics: AtomicUsize::new(0),
         };
         let root = est.root();
+        let flight = self.recorder.flight().clone();
+        let start_seq = flight.emit(
+            0,
+            0,
+            "plan.search.start",
+            &[
+                ("planner", "exhaustive".into()),
+                ("preds", query.len().into()),
+                ("threads", self.threads.into()),
+            ],
+        );
         let span = self.recorder.span("planner.exhaustive");
         if self.threads > 1 {
             let _warm = span.child("warm");
@@ -208,10 +219,39 @@ impl ExhaustivePlanner {
         drop(span);
         if search.limits.truncated() {
             search.metrics.budget_truncated.incr(1);
+            flight.emit(
+                0,
+                start_seq,
+                "plan.search.truncated",
+                &[("subproblems", search.limits.used().into())],
+            );
         }
         if self.recorder.enabled() {
             search.memo.report_shards(&self.recorder);
         }
+        // Search-effort summary. Cost and plan are bitwise-deterministic
+        // (PR 1's serial/parallel equality); the memo/prune tallies are
+        // exact single-threaded and may vary run-to-run under a parallel
+        // warm, like the counters they mirror.
+        flight.emit(
+            0,
+            start_seq,
+            "plan.search.end",
+            &[
+                ("cost", cost.into()),
+                ("subproblems", search.limits.used().into()),
+                ("truncated", search.limits.truncated().into()),
+                ("memo_hits", search.metrics.memo_hit.value().into()),
+                ("memo_misses", search.metrics.memo_miss.value().into()),
+                (
+                    "pruned",
+                    (search.metrics.prune_attr_cost.value()
+                        + search.metrics.prune_lower_bound.value())
+                    .into(),
+                ),
+                ("budget_denied", search.metrics.budget_denied.value().into()),
+            ],
+        );
         Ok(PlanReport {
             plan,
             expected_cost: cost,

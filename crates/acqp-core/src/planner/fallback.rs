@@ -246,6 +246,12 @@ impl FallbackPlanner {
 
     fn descend(&self, stage: &str, why: &str) {
         self.recorder.counter(&format!("fallback.descend.{stage}.{why}")).incr(1);
+        self.recorder.flight().emit(
+            0,
+            0,
+            "plan.fallback.descend",
+            &[("stage", stage.into()), ("why", why.into())],
+        );
     }
 
     fn finish(&self, mut report: PlanReport, level: DegradationLevel, panics: usize) -> PlanReport {
@@ -258,6 +264,12 @@ impl FallbackPlanner {
             DegradationLevel::Naive => "naive",
         };
         self.recorder.counter(&format!("fallback.stage.{stage}")).incr(1);
+        self.recorder.flight().emit(
+            0,
+            0,
+            "plan.fallback.stage",
+            &[("stage", stage.into()), ("cost", report.expected_cost.into())],
+        );
         if level != DegradationLevel::None {
             self.recorder.gauge("fallback.degradation_level", level as u8 as f64);
         }

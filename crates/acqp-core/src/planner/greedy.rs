@@ -205,7 +205,24 @@ impl GreedyPlanner {
         let seq = SeqPlanner::new(self.base).with_cost_model(self.cost_model.clone());
         let root_ctx = est.root();
         let root_ranges = est.ranges(&root_ctx).clone();
+        let flight = self.recorder.flight().clone();
+        let start_seq = flight.emit(
+            0,
+            0,
+            "plan.search.start",
+            &[("planner", "greedy".into()), ("preds", query.len().into())],
+        );
         if let Some(b) = query.truth_given(&root_ranges) {
+            flight.emit(
+                0,
+                start_seq,
+                "plan.search.end",
+                &[
+                    ("cost", 0.0.into()),
+                    ("subproblems", 0usize.into()),
+                    ("truncated", false.into()),
+                ],
+            );
             return Ok(PlanReport {
                 plan: Plan::Decided(b),
                 expected_cost: 0.0,
@@ -355,6 +372,12 @@ impl GreedyPlanner {
         }
         if truncated {
             self.recorder.counter("planner.budget.truncated").incr(1);
+            flight.emit(
+                0,
+                start_seq,
+                "plan.search.truncated",
+                &[("subproblems", splits_used.into())],
+            );
         }
 
         // Realize the arena into a Plan.
@@ -380,6 +403,17 @@ impl GreedyPlanner {
         if worker_panics > 0 {
             self.recorder.counter("planner.panic.caught").incr(worker_panics as u64);
         }
+        flight.emit(
+            0,
+            start_seq,
+            "plan.search.end",
+            &[
+                ("cost", plan_cost.into()),
+                ("subproblems", splits_used.into()),
+                ("truncated", truncated.into()),
+                ("split_evaluated", split_eval.value().into()),
+            ],
+        );
         Ok(PlanReport {
             plan: realize(&arena, &leaves, 0),
             expected_cost: plan_cost,

@@ -1,0 +1,90 @@
+//! Plan-regret attribution invariants (DESIGN.md §13.4).
+//!
+//! The explain-analyze report decomposes the predicted-vs-actual
+//! expected-cost gap into per-predicate estimator-error contributions
+//! via a telescoping mixed-cost walk. Two properties must hold on any
+//! plan and any train/test split:
+//!
+//!  * the contributions (plus the structure residual) sum — in the
+//!    report's own fold order, bitwise — to the reported total regret;
+//!  * pricing the plan against the *same* estimator on both sides
+//!    yields exactly zero regret everywhere.
+
+use acqp_core::prelude::*;
+use proptest::prelude::*;
+
+fn setup(div_a: u16, div_b: u16, rows: usize) -> (Schema, Dataset, Query) {
+    let schema = Schema::new(vec![
+        Attribute::new("a", 6, 90.0),
+        Attribute::new("b", 6, 40.0),
+        Attribute::new("t", 6, 5.0),
+    ])
+    .unwrap();
+    let rows: Vec<Vec<u16>> =
+        (0..rows as u16).map(|i| vec![(i / div_a) % 6, (i / div_b) % 6, i % 6]).collect();
+    let data = Dataset::from_rows(&schema, rows).unwrap();
+    let query = Query::new(vec![Pred::in_range(0, 0, 2), Pred::in_range(1, 1, 4)]).unwrap();
+    (schema, data, query)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn contributions_sum_bitwise_to_the_total_gap(
+        div_a in 2u16..11,
+        div_b in 2u16..11,
+        rows in 60usize..200,
+        frac_pct in 30usize..70,
+        splits in 0usize..4,
+    ) {
+        let frac = frac_pct as f64 / 100.0;
+        let (schema, data, query) = setup(div_a, div_b, rows);
+        let (train, test) = data.split_at(frac);
+        let train_est = CountingEstimator::with_ranges(&train, Ranges::root(&schema));
+        let test_est = CountingEstimator::with_ranges(&test, Ranges::root(&schema));
+        let plan = GreedyPlanner::new(splits)
+            .with_grid(SplitGrid::for_query(&schema, &query, 6))
+            .plan(&schema, &query, &train_est)
+            .unwrap();
+
+        let rep = regret_report(
+            &plan, &query, &schema, &CostModel::PerAttribute, &train_est, &test_est,
+        );
+        // The report's own definition: an in-order left fold of the
+        // per-predicate rows plus the structure residual. Bitwise.
+        let fold = rep
+            .contributions
+            .iter()
+            .fold(0.0f64, |acc, c| acc + c.contribution)
+            + rep.structure_regret;
+        prop_assert_eq!(fold.to_bits(), rep.total_regret.to_bits());
+        // And the decomposition is exhaustive: the telescoping walk
+        // starts at the predicted cost and ends at the actual cost.
+        prop_assert!(
+            (rep.predicted_cost + rep.total_regret - rep.actual_cost).abs() < 1e-6,
+            "walk endpoints drifted: {} + {} != {}",
+            rep.predicted_cost, rep.total_regret, rep.actual_cost
+        );
+    }
+
+    #[test]
+    fn same_estimator_means_zero_regret(
+        div_a in 2u16..11,
+        rows in 60usize..200,
+        splits in 0usize..4,
+    ) {
+        let (schema, data, query) = setup(div_a, 3, rows);
+        let est = CountingEstimator::with_ranges(&data, Ranges::root(&schema));
+        let plan = GreedyPlanner::new(splits)
+            .with_grid(SplitGrid::for_query(&schema, &query, 6))
+            .plan(&schema, &query, &est)
+            .unwrap();
+        let rep = regret_report(&plan, &query, &schema, &CostModel::PerAttribute, &est, &est);
+        prop_assert_eq!(rep.total_regret.to_bits(), 0.0f64.to_bits());
+        prop_assert_eq!(rep.structure_regret.to_bits(), 0.0f64.to_bits());
+        for c in &rep.contributions {
+            prop_assert_eq!(c.contribution.to_bits(), 0.0f64.to_bits());
+        }
+    }
+}

@@ -138,10 +138,12 @@ pub const RULES: &[RuleInfo] = &[
                   artifacts and downstream dashboards parse these names. This rule collects \
                   every dot-path string literal passed to Recorder::counter/float_counter/\
                   hist/gauge/span (including through format!, with `{…}` normalized to `<*>`) \
-                  and checks it against the table between the acqp-lint:taxonomy markers in \
-                  DESIGN.md §8 — in both directions, so documentation can neither lag nor \
-                  lead the code. Rows of kind `span-child` document child-span paths that are \
-                  assembled at runtime and are exempt from the source-side check.",
+                  plus every flight-recorder event name (the third argument of \
+                  FlightRecorder::emit/emit_owned, documented as kind `event` — DESIGN.md \
+                  §13) and checks them against the table between the acqp-lint:taxonomy \
+                  markers in DESIGN.md §8 — in both directions, so documentation can neither \
+                  lag nor lead the code. Rows of kind `span-child` document child-span paths \
+                  that are assembled at runtime and are exempt from the source-side check.",
     },
     RuleInfo {
         id: "duplicate-bench-writer",

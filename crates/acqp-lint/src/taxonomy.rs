@@ -3,13 +3,16 @@
 //! Source side, every dot-path string literal handed to a
 //! `Recorder` method (`counter`, `float_counter`, `hist`, `gauge`,
 //! `span` — directly or through `format!`) is collected, with `{…}`
-//! interpolations normalized to the `<*>` wildcard. Doc side, the
-//! markdown table between the `acqp-lint:taxonomy:begin/end` markers
-//! in DESIGN.md is parsed into patterns. The rule then checks both
-//! directions: no emitted name may be undocumented, and no documented
-//! name may be dead — except rows of kind `span-child`, which describe
-//! paths assembled at runtime (`span.child("warm")`) and are covered
-//! by the runtime round-trip test instead.
+//! interpolations normalized to the `<*>` wildcard. Flight-recorder
+//! event names — the third argument of `FlightRecorder::emit` /
+//! `emit_owned` — are collected the same way and documented as rows of
+//! kind `event` (DESIGN.md §13). Doc side, the markdown table between
+//! the `acqp-lint:taxonomy:begin/end` markers in DESIGN.md is parsed
+//! into patterns. The rule then checks both directions: no emitted
+//! name may be undocumented, and no documented name may be dead —
+//! except rows of kind `span-child`, which describe paths assembled at
+//! runtime (`span.child("warm")`) and are covered by the runtime
+//! round-trip test instead.
 
 use crate::scan::ScannedFile;
 
@@ -58,7 +61,8 @@ pub fn collect_metric_emits(relpath: &str, source: &str, scan: &ScannedFile) -> 
         if scan.in_test_code(lit.start) || !is_metric_name(&lit.content) {
             continue;
         }
-        if !is_recorder_call(&scan.masked[..lit.start]) {
+        let prefix = &scan.masked[..lit.start];
+        if !is_recorder_call(prefix) && !is_emit_call(prefix) {
             continue;
         }
         out.push(MetricEmit {
@@ -102,6 +106,43 @@ fn is_recorder_call(prefix: &str) -> bool {
         p = p.strip_suffix('&').unwrap_or(p).trim_end();
     }
     METHODS.iter().any(|m| p.ends_with(m))
+}
+
+/// Whether the masked text before a literal places it as the *name*
+/// argument (third position) of a `FlightRecorder::emit` /
+/// `emit_owned` call: the prefix since the call opener must hold
+/// exactly two top-level commas (`epoch`, `cause`) and no statement
+/// boundary.
+fn is_emit_call(prefix: &str) -> bool {
+    for marker in [".emit(", ".emit_owned("] {
+        let Some(i) = prefix.rfind(marker) else { continue };
+        let tail = &prefix[i + marker.len()..];
+        let mut depth = 0usize;
+        let mut commas = 0usize;
+        let mut open = true;
+        for c in tail.chars() {
+            match c {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    if depth == 0 {
+                        open = false;
+                        break;
+                    }
+                    depth -= 1;
+                }
+                ',' if depth == 0 => commas += 1,
+                ';' if depth == 0 => {
+                    open = false;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if open && commas == 2 {
+            return true;
+        }
+    }
+    false
 }
 
 /// `{…}` → `<*>`.
@@ -203,6 +244,41 @@ fn f(rec: &Recorder) {
         assert_eq!(e[0].normalized, "planner.memo.hit");
         assert_eq!(e[1].normalized, "planner.memo.shard<*>.hits");
         assert_eq!(e[2].normalized, "planner.memo.shard<*>.entries", "multiline call collects");
+    }
+
+    #[test]
+    fn flight_emit_names_collect_from_the_third_argument() {
+        let src = r#"
+fn f(flight: &FlightRecorder) {
+    flight.emit(0, 0, "plan.search.start", &[("preds", 2.into())]);
+    flight.emit(
+        e as u64,
+        down_seq,
+        "crash.recover",
+        &[("cold_start", true.into())],
+    );
+    let seq = flight.emit_owned(e as u64, root, "epoch.tick", fields);
+}
+"#;
+        let e = emits(src);
+        assert_eq!(e.len(), 3, "{e:#?}");
+        assert_eq!(e[0].normalized, "plan.search.start");
+        assert_eq!(e[1].normalized, "crash.recover", "multiline emit collects");
+        assert_eq!(e[2].normalized, "epoch.tick");
+    }
+
+    #[test]
+    fn emit_field_keys_and_later_arguments_do_not_collect() {
+        let src = r#"
+fn f(flight: &FlightRecorder) {
+    flight.emit(0, 0, "sim.start", &[("a.dotted.key", 1.into())]);
+    let far = 1; // an unrelated statement after an emit call
+    other("plan.search.end");
+}
+"#;
+        let e = emits(src);
+        assert_eq!(e.len(), 1, "{e:#?}");
+        assert_eq!(e[0].normalized, "sim.start");
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! Fixture: flight-recorder emits matching the documented `event` rows
+//! exactly — lints clean in both directions.
+
+pub fn run(flight: &acqp_obs::FlightRecorder) {
+    let start = flight.emit(0, 0, "sim.start", &[("motes", 2u64.into())]);
+    for e in 0..4u64 {
+        flight.emit_owned(e, start, "epoch.tick", vec![("tuples".to_string(), 2u64.into())]);
+    }
+    flight.emit(
+        4,
+        start,
+        "sim.end",
+        &[("tuples", 8u64.into()), ("all_correct", true.into())],
+    );
+}

@@ -1,0 +1,8 @@
+//! Fixture: one undocumented flight event (`sim.bogus`) and no emit for
+//! the documented `epoch.tick` row — violates in both directions.
+
+pub fn run(flight: &acqp_obs::FlightRecorder) {
+    let start = flight.emit(0, 0, "sim.start", &[("motes", 2u64.into())]);
+    flight.emit(1, start, "sim.bogus", &[]);
+    flight.emit(4, start, "sim.end", &[("tuples", 8u64.into())]);
+}

@@ -1,0 +1,76 @@
+//! Both directions of the `metric-taxonomy` contract on flight-recorder
+//! event names (DESIGN.md §13, rows of kind `event`): the violating
+//! fixture must produce an undocumented-event finding *and* a
+//! stale-row finding; the clean fixture must lint to zero findings
+//! against the same table.
+
+use std::path::{Path, PathBuf};
+
+use acqp_lint::lint_workspace;
+use acqp_lint::rules::Severity;
+
+const VIOLATING: &str = include_str!("fixtures/flight_events_violating.rs");
+const CLEAN: &str = include_str!("fixtures/flight_events_clean.rs");
+
+/// A minimal marker-delimited table holding only `event` rows.
+const FAKE_DESIGN: &str = concat!(
+    "# fake\n\n<!-- acqp-lint:taxonomy:begin -->\n",
+    "| name | kind | meaning |\n|---|---|---|\n",
+    "| `sim.start` | event | run opened |\n",
+    "| `sim.end` | event | run closed |\n",
+    "| `epoch.tick` | event | per-epoch time series |\n",
+    "<!-- acqp-lint:taxonomy:end -->\n",
+);
+
+fn fake_workspace(tag: &str, fixture: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("acqp_lint_flight_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let src = dir.join("crates/acqp-sensornet/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(dir.join("DESIGN.md"), FAKE_DESIGN).unwrap();
+    std::fs::write(src.join("flight_fixture.rs"), fixture).unwrap();
+    dir
+}
+
+fn taxonomy_messages(root: &Path) -> Vec<String> {
+    let report = lint_workspace(root).expect("lint runs");
+    report
+        .findings
+        .iter()
+        .inspect(|f| assert_eq!(f.severity, Severity::Error, "{f:?}"))
+        .filter(|f| f.rule == "metric-taxonomy")
+        .map(|f| format!("{}: {}", f.file, f.message))
+        .collect()
+}
+
+#[test]
+fn violating_fixture_is_flagged_in_both_directions() {
+    let dir = fake_workspace("viol", VIOLATING);
+    let messages = taxonomy_messages(&dir);
+
+    // Code leads docs: the bogus event is undocumented.
+    assert!(
+        messages.iter().any(|m| {
+            m.starts_with("crates/acqp-sensornet/src/flight_fixture.rs:")
+                && m.contains("`sim.bogus` is not documented")
+        }),
+        "missing undocumented-event finding: {messages:#?}"
+    );
+    // Docs lead code: the epoch.tick row matches no emit.
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.starts_with("DESIGN.md:") && m.contains("`epoch.tick` is emitted nowhere")),
+        "missing stale-row finding: {messages:#?}"
+    );
+    assert_eq!(messages.len(), 2, "{messages:#?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_fixture_lints_to_zero_findings() {
+    let dir = fake_workspace("clean", CLEAN);
+    let report = lint_workspace(&dir).expect("lint runs");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -43,8 +43,10 @@
 #![cfg_attr(test, allow(clippy::float_cmp))]
 
 mod sink;
+pub mod trace;
 
 pub use sink::{JsonLinesSink, MemorySink, NoopSink, Sink, SpanEvent};
+pub use trace::{FlightRecorder, TraceEvent, TraceValue, DEFAULT_FLIGHT_CAP};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -188,6 +190,35 @@ impl Hist {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Nearest-rank percentile estimate: the power-of-two upper bound
+    /// of the bucket holding the `q`-quantile observation (`q` in
+    /// `[0, 1]`). Resolution is the bucket width — one octave — which
+    /// is plenty for the latency/cost tails bench gates care about.
+    /// Returns 0 when nothing was observed.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        percentile_from_buckets(
+            counts.iter().enumerate().map(|(i, n)| (1u64 << i.min(63), *n)),
+            self.count(),
+            q,
+        )
+    }
+
+    /// The median bucket bound.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// The 90th-percentile bucket bound.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// The 99th-percentile bucket bound.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
     /// `(upper_bound, count)` per non-empty bucket.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -205,6 +236,31 @@ impl std::fmt::Debug for Hist {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Hist(count={}, sum={})", self.count(), self.sum())
     }
+}
+
+/// Nearest-rank percentile over `(upper_bound, count)` buckets sorted
+/// by bound ascending: the bound of the bucket containing the
+/// `ceil(q * count)`-th observation. Shared by [`Hist::percentile`]
+/// and [`Snapshot::hist_percentile`].
+fn percentile_from_buckets(
+    buckets: impl IntoIterator<Item = (u64, u64)>,
+    count: u64,
+    q: f64,
+) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    let mut last = 0u64;
+    for (le, n) in buckets {
+        last = le;
+        seen += n;
+        if seen >= rank {
+            return le;
+        }
+    }
+    last
 }
 
 /// Aggregated timing of all spans sharing one path.
@@ -246,6 +302,14 @@ impl Snapshot {
     /// Float value (gauge or float counter), defaulting to 0.
     pub fn value(&self, name: &str) -> f64 {
         self.values.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Nearest-rank percentile of a snapshotted histogram (bucket
+    /// upper bound, like [`Hist::percentile`]); `None` when the
+    /// histogram was never recorded.
+    pub fn hist_percentile(&self, name: &str, q: f64) -> Option<u64> {
+        let (buckets, count, _) = self.hists.get(name)?;
+        Some(percentile_from_buckets(buckets.iter().copied(), *count, q))
     }
 
     /// Renders an aligned human-readable table (the CLI's `--metrics`).
@@ -304,6 +368,7 @@ struct Inner {
 #[derive(Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Inner>>,
+    flight: FlightRecorder,
 }
 
 impl Recorder {
@@ -318,18 +383,36 @@ impl Recorder {
                 gauges: Mutex::new(BTreeMap::new()),
                 spans: Mutex::new(BTreeMap::new()),
             })),
+            flight: FlightRecorder::disabled(),
         }
     }
 
     /// The no-op recorder: hands out detached instruments, never times
     /// spans, never drains. This is the default everywhere.
     pub fn disabled() -> Self {
-        Recorder { inner: None }
+        Recorder { inner: None, flight: FlightRecorder::disabled() }
     }
 
     /// Whether this recorder retains anything.
     pub fn enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Attaches a [`FlightRecorder`]: every layer the recorder reaches
+    /// can then emit causally-ordered trace events. A flight recorder
+    /// rides along independently of the aggregate side — a
+    /// [`Recorder::disabled`] recorder can still carry an enabled
+    /// flight ring (and vice versa).
+    pub fn with_flight(mut self, flight: FlightRecorder) -> Self {
+        self.flight = flight;
+        self
+    }
+
+    /// The flight-recorder handle (disabled unless attached via
+    /// [`Recorder::with_flight`]). Cheap to clone; clones share the
+    /// ring.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// The named counter, registered for drain (or detached when
@@ -507,6 +590,43 @@ mod tests {
         assert_eq!(b[&2], 1); // 2
         assert_eq!(b[&4], 2); // 3 and 4
         assert_eq!(b[&1024], 1); // 1000
+    }
+
+    #[test]
+    fn hist_percentiles_nearest_rank() {
+        let h = Hist::new();
+        assert_eq!(h.p50(), 0); // empty
+        for _ in 0..90 {
+            h.observe(1);
+        }
+        for _ in 0..9 {
+            h.observe(100); // le_128
+        }
+        h.observe(10_000); // le_16384
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p90(), 1); // rank 90 of 100 is the last le_1 obs
+        assert_eq!(h.p99(), 128);
+        assert_eq!(h.percentile(1.0), 16_384);
+        // Snapshot-side percentile agrees with the live handle.
+        let rec = Recorder::new(std::sync::Arc::new(MemorySink::new()));
+        let rh = rec.hist("t.lat");
+        for v in [1u64, 1, 1, 1000] {
+            rh.observe(v);
+        }
+        let snap = rec.drain();
+        assert_eq!(snap.hist_percentile("t.lat", 0.5), Some(1));
+        assert_eq!(snap.hist_percentile("t.lat", 1.0), Some(1024));
+        assert_eq!(snap.hist_percentile("absent", 0.5), None);
+    }
+
+    #[test]
+    fn recorder_carries_flight() {
+        let rec = Recorder::disabled().with_flight(FlightRecorder::new(8));
+        assert!(!rec.enabled());
+        assert!(rec.flight().enabled());
+        rec.flight().emit(0, 0, "x", &[]);
+        assert_eq!(rec.clone().flight().len(), 1);
+        assert!(!Recorder::disabled().flight().enabled());
     }
 
     #[test]

@@ -136,8 +136,9 @@ impl Sink for JsonLinesSink {
 
 /// Minimal JSON string encoding (quotes, backslashes, control chars).
 /// Metric names are plain identifiers, but the output must stay valid
-/// JSON whatever a caller passes.
-fn json_string(s: &str) -> String {
+/// JSON whatever a caller passes. Shared with the flight-recorder
+/// exporters in [`crate::trace`].
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

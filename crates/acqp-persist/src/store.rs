@@ -51,6 +51,11 @@ pub struct RecoveryOutcome {
     pub replayed: Vec<WalRecord>,
     /// Snapshot files present but failing validation.
     pub corrupt_snapshots: usize,
+    /// Snapshot files examined (newest-first) before one validated or
+    /// the candidates ran out. Flight-recorder introspection: lets the
+    /// recovery trace distinguish "no snapshots at all" from "walked
+    /// past N corrupt ones".
+    pub snapshots_scanned: usize,
     /// True if the WAL ended in invalid bytes (normal after a crash
     /// mid-append; also set by corruption within the log).
     pub corrupt_wal_tail: bool,
@@ -158,8 +163,10 @@ impl CheckpointStore {
         snaps.sort_by_key(|(idx, _)| std::cmp::Reverse(*idx));
 
         let mut corrupt_snapshots = 0;
+        let mut snapshots_scanned = 0;
         let mut checkpoint = None;
         for (_, path) in &snaps {
+            snapshots_scanned += 1;
             match BasestationCheckpoint::read_from(path) {
                 Ok(cp) => {
                     checkpoint = Some(cp);
@@ -178,6 +185,7 @@ impl CheckpointStore {
             checkpoint,
             replayed,
             corrupt_snapshots,
+            snapshots_scanned,
             corrupt_wal_tail: scan.torn_tail,
             cold_start,
         })

@@ -154,6 +154,7 @@ impl Journal {
                 checkpoint: out.checkpoint,
                 replayed: out.replayed,
                 corrupt_snapshots: out.corrupt_snapshots,
+                snapshots_scanned: out.snapshots_scanned,
                 cold_start: out.cold_start,
             },
             Err(e) => {
@@ -171,6 +172,7 @@ pub(crate) struct RecoveredState {
     pub(crate) checkpoint: Option<BasestationCheckpoint>,
     pub(crate) replayed: Vec<WalRecord>,
     pub(crate) corrupt_snapshots: usize,
+    pub(crate) snapshots_scanned: usize,
     pub(crate) cold_start: bool,
 }
 
@@ -181,6 +183,7 @@ impl RecoveredState {
             checkpoint: None,
             replayed: Vec::new(),
             corrupt_snapshots: 0,
+            snapshots_scanned: 0,
             cold_start: true,
         }
     }

@@ -28,7 +28,7 @@ use acqp_core::{
     truth_columnar, BatchExecutor, BatchOutcome, ColumnBatch, CostModel, Dataset, DriftConfig,
     ExecMode, PreparedPlan, Query, Schema, TupleSource, BATCH_ROWS,
 };
-use acqp_obs::{Counter, Hist, Recorder};
+use acqp_obs::{Counter, FlightRecorder, Hist, Recorder, TraceValue};
 use acqp_persist::{BasestationCheckpoint, PlanRecord, WalRecord};
 use acqp_stream::SlidingWindow;
 
@@ -276,6 +276,9 @@ fn run_simulation_vectorized(
     rec: &Recorder,
 ) -> SimReport {
     let span = rec.span("sensornet.simulate");
+    let flight = rec.flight().clone();
+    let start_seq =
+        flight.emit(0, 0, "sim.start", &[("motes", motes.len().into()), ("epochs", epochs.into())]);
     let tuples_c = rec.counter("sensornet.tuples");
     let results_c = rec.counter("sensornet.results");
     let radio_c = rec.counter("sensornet.radio.msgs");
@@ -292,17 +295,44 @@ fn run_simulation_vectorized(
     let mut truth = Vec::new();
 
     // Initial dissemination: every mote is online and the first attempt
-    // always succeeds at zero loss.
+    // always succeeds at zero loss. `bs_tx_uj` mirrors the scalar
+    // engine's per-mote accumulation expression exactly.
+    let mut bs_tx_uj = 0.0;
     for m in motes.iter_mut() {
         stats.diss_attempts.incr(1);
         radio_c.incr(1);
         m.receive(planned.wire.len(), model);
+        bs_tx_uj += (planned.wire.len()) as f64 * model.radio_tx_uj_per_byte;
     }
+
+    // Flight tick bookkeeping: the engine emits `epoch.tick` in epoch
+    // order with fleet sums folded in mote order; this mote-major loop
+    // instead records per-(mote, epoch) ledger totals and per-epoch
+    // tallies, then emits the same ticks after the loop — same values,
+    // same fold order, so fixed-seed traces are byte-identical across
+    // exec modes. All of it is gated: a disabled flight costs nothing.
+    let track = flight.enabled();
+    let mut last_energy = 0.0;
+    if track {
+        last_energy = motes.iter().fold(0.0, |acc, m| acc + m.ledger().total_uj());
+        let delivered = motes.len();
+        flight.emit(
+            0,
+            start_seq,
+            "sim.disseminate",
+            &[("delivered", delivered.into()), ("bs_tx_uj", bs_tx_uj.into())],
+        );
+    }
+    let mut ep_tuples = vec![0u64; if track { epochs } else { 0 }];
+    let mut ep_results = vec![0u64; if track { epochs } else { 0 }];
+    let mut ep_acq = vec![0u64; if track { epochs } else { 0 }];
+    let mut energy: Vec<Vec<f64>> =
+        if track { vec![vec![0.0; epochs]; motes.len()] } else { Vec::new() };
 
     let mut tuples = 0usize;
     let mut results = 0usize;
     let mut all_correct = true;
-    for m in motes.iter_mut() {
+    for (mi, m) in motes.iter_mut().enumerate() {
         let n = epochs.min(m.epochs());
         let mut start = 0usize;
         while start < n {
@@ -326,10 +356,52 @@ fn run_simulation_vectorized(
                     m.transmit(uplink_bytes, model);
                     radio_c.incr(1);
                 }
+                if track {
+                    let e = start + slot;
+                    ep_tuples[e] += 1;
+                    ep_acq[e] += chain.len() as u64;
+                    ep_results[e] += u64::from(out.verdict(slot));
+                    energy[mi][e] = m.ledger().total_uj();
+                }
             }
             start += len;
         }
+        if track {
+            // Epochs past this mote's trace leave its ledger untouched
+            // (the scalar engine skips them), so its total carries over.
+            let rest = m.ledger().total_uj();
+            for slot in energy[mi].iter_mut().skip(n) {
+                *slot = rest;
+            }
+        }
     }
+    if track {
+        for e in 0..epochs {
+            let fleet = (0..energy.len()).fold(0.0, |acc, mi| acc + energy[mi][e]);
+            let mut fields: Vec<(String, TraceValue)> = vec![
+                ("tuples".to_string(), ep_tuples[e].into()),
+                ("results".to_string(), ep_results[e].into()),
+                ("acquisitions".to_string(), ep_acq[e].into()),
+                ("energy_uj".to_string(), fleet.into()),
+                ("denergy_uj".to_string(), (fleet - last_energy).into()),
+            ];
+            for (mi, m) in motes.iter().enumerate() {
+                fields.push((format!("mote{}_uj", m.id()), energy[mi][e].into()));
+            }
+            flight.emit_owned(e as u64, start_seq, "epoch.tick", fields);
+            last_energy = fleet;
+        }
+    }
+    flight.emit(
+        epochs as u64,
+        start_seq,
+        "sim.end",
+        &[
+            ("tuples", tuples.into()),
+            ("results", results.into()),
+            ("all_correct", all_correct.into()),
+        ],
+    );
 
     let per_mote: Vec<EnergyLedger> = motes.iter().map(|m| *m.ledger()).collect();
     if rec.enabled() {
@@ -524,6 +596,33 @@ impl AdaptiveState<'_> {
     }
 }
 
+/// Emits a `fault.retry` flight event for any packet needing more than
+/// one attempt or lost outright. Lossless runs (first attempt always
+/// delivers) emit none — which keeps their traces identical across
+/// scalar and vectorized exec modes.
+fn emit_retry(
+    flight: &FlightRecorder,
+    cause: u64,
+    e: usize,
+    stream: &str,
+    mote: u16,
+    d: &crate::fault::Delivery,
+) {
+    if d.attempts > 1 || !d.delivered {
+        flight.emit(
+            e as u64,
+            cause,
+            "fault.retry",
+            &[
+                ("stream", stream.into()),
+                ("mote", u64::from(mote).into()),
+                ("attempts", u64::from(d.attempts).into()),
+                ("delivered", d.delivered.into()),
+            ],
+        );
+    }
+}
+
 /// The shared engine behind every simulation entry point, stepped one
 /// epoch at a time so the crashy runner can interpose crashes at epoch
 /// boundaries without duplicating the loop.
@@ -548,6 +647,19 @@ struct Engine<'a> {
     replan_trig_c: Counter,
     replan_adopt_c: Counter,
     stats: FaultStats,
+
+    // Flight recorder (DESIGN.md §13): causal control events plus the
+    // per-epoch time series. Disabled unless the recorder carries one.
+    flight: FlightRecorder,
+    /// `seq` of this run's `sim.start` event — the causal root every
+    /// engine event points back to.
+    start_seq: u64,
+    // Per-epoch tick accumulators, reset by `epoch_tick`.
+    ep_tuples: u64,
+    ep_results: u64,
+    ep_acq: u64,
+    /// Fleet energy total at the previous tick (for per-epoch deltas).
+    last_energy: f64,
 
     // Packet wiring.
     sample_bytes: usize,
@@ -624,6 +736,12 @@ impl<'a> Engine<'a> {
             replan_trig_c: rec.counter("sensornet.replan.triggered"),
             replan_adopt_c: rec.counter("sensornet.replan.adopted"),
             stats: FaultStats::new(rec),
+            flight: rec.flight().clone(),
+            start_seq: 0,
+            ep_tuples: 0,
+            ep_results: 0,
+            ep_acq: 0,
+            last_energy: 0.0,
             sample_bytes,
             uplink_bytes,
             pred_of,
@@ -650,7 +768,23 @@ impl<'a> Engine<'a> {
     /// the final report.
     fn run(&mut self, epochs: usize) -> FaultReport {
         let span = self.rec.span("sensornet.simulate");
+        self.start_seq = self.flight.emit(
+            0,
+            0,
+            "sim.start",
+            &[("motes", self.motes.len().into()), ("epochs", epochs.into())],
+        );
         self.disseminate_initial();
+        if self.flight.enabled() {
+            let delivered = self.mote_has.iter().filter(|v| v.is_some()).count();
+            self.last_energy = self.fleet_total_uj();
+            self.flight.emit(
+                0,
+                self.start_seq,
+                "sim.disseminate",
+                &[("delivered", delivered.into()), ("bs_tx_uj", self.bs_tx_uj.into())],
+            );
+        }
         for e in 0..epochs {
             // Crashes land at epoch *boundaries*: the process dies and
             // restarts between epochs, never mid-tuple. Epoch 0 cannot
@@ -658,7 +792,7 @@ impl<'a> Engine<'a> {
             // state to lose.
             let crashed = e > 0 && self.crash_scheduled(e);
             if crashed {
-                self.crash_and_recover();
+                self.crash_and_recover(e);
             }
             let pre_rediss =
                 if crashed { Some((self.bs_tx_uj, self.mote_rx_total())) } else { None };
@@ -674,6 +808,7 @@ impl<'a> Engine<'a> {
             self.run_motes(e);
             self.drift_check(e);
             self.journal_epoch_end(e);
+            self.epoch_tick(e);
         }
         let report = self.finish(epochs);
         drop(span);
@@ -684,11 +819,14 @@ impl<'a> Engine<'a> {
     /// even for a zero-epoch simulation, exactly like the pre-fault
     /// simulator.
     fn disseminate_initial(&mut self) {
+        let flight = self.flight.clone();
+        let root = self.start_seq;
         for (i, m) in self.motes.iter_mut().enumerate() {
             if !self.faults.online(m.id(), 0) {
                 continue;
             }
             let d = attempt_packet(self.faults, FaultStream::Dissemination, m.id(), 0, &self.stats);
+            emit_retry(&flight, root, 0, "diss", m.id(), &d);
             self.bs_tx_uj += (d.attempts as usize * self.plans[self.cur].wire.len()) as f64
                 * self.model.radio_tx_uj_per_byte;
             self.radio_c.incr(d.attempts as u64);
@@ -704,11 +842,14 @@ impl<'a> Engine<'a> {
     /// current plan gets a fresh per-epoch attempt window (the initial
     /// round already consumed epoch 0's).
     fn redisseminate(&mut self, e: usize) {
+        let flight = self.flight.clone();
+        let root = self.start_seq;
         for (i, m) in self.motes.iter_mut().enumerate() {
             if self.bs_known[i] == Some(self.cur) || !self.faults.online(m.id(), e) {
                 continue;
             }
             let d = attempt_packet(self.faults, FaultStream::Dissemination, m.id(), e, &self.stats);
+            emit_retry(&flight, root, e, "diss", m.id(), &d);
             self.bs_tx_uj += (d.attempts as usize * self.plans[self.cur].wire.len()) as f64
                 * self.model.radio_tx_uj_per_byte;
             self.radio_c.incr(d.attempts as u64);
@@ -722,6 +863,8 @@ impl<'a> Engine<'a> {
 
     /// One epoch of plan execution and uplinks across the fleet.
     fn run_motes(&mut self, e: usize) {
+        let flight = self.flight.clone();
+        let root = self.start_seq;
         for (i, m) in self.motes.iter_mut().enumerate() {
             if e >= m.epochs() {
                 continue;
@@ -738,6 +881,7 @@ impl<'a> Engine<'a> {
             };
             self.tuples += 1;
             self.tuples_c.incr(1);
+            self.ep_tuples += 1;
             let wire = &self.plans[ver].wire;
             let (out, aborted) = {
                 let src = m.epoch_source(e, self.schema, self.model);
@@ -747,6 +891,7 @@ impl<'a> Engine<'a> {
                 (out, fsrc.aborted())
             };
             self.acq_hist.observe(out.acquired.len() as u64);
+            self.ep_acq += out.acquired.len() as u64;
             if aborted {
                 self.aborted_tuples += 1;
                 continue;
@@ -769,7 +914,9 @@ impl<'a> Engine<'a> {
             if out.verdict {
                 self.results += 1;
                 self.results_c.incr(1);
+                self.ep_results += 1;
                 let d = attempt_packet(self.faults, FaultStream::Result, id, e, &self.stats);
+                emit_retry(&flight, root, e, "result", id, &d);
                 m.transmit(d.attempts as usize * self.uplink_bytes, self.model);
                 self.radio_c.incr(d.attempts as u64);
                 if d.delivered {
@@ -805,6 +952,7 @@ impl<'a> Engine<'a> {
                     if !sample_aborted {
                         let d =
                             attempt_packet(self.faults, FaultStream::Sample, id, e, &self.stats);
+                        emit_retry(&flight, root, e, "sample", id, &d);
                         m.transmit(d.attempts as usize * self.sample_bytes, self.model);
                         self.radio_c.incr(d.attempts as u64);
                         if d.delivered {
@@ -851,6 +999,19 @@ impl<'a> Engine<'a> {
                 stale_cost: outcome.stale_cost,
                 new_cost: outcome.new_cost,
             });
+            self.flight.emit(
+                e as u64,
+                self.start_seq,
+                "plan.replan",
+                &[
+                    ("divergence", divergence.into()),
+                    ("adopted", outcome.adopted.into()),
+                    ("truncated", outcome.truncated.into()),
+                    ("fell_back", outcome.fell_back.into()),
+                    ("stale_cost", outcome.stale_cost.into()),
+                    ("new_cost", outcome.new_cost.into()),
+                ],
+            );
             // Either way the monitor is re-armed with the window's
             // estimates — they are the basestation's current belief.
             st.monitor.reset(outcome.est_selectivities.clone());
@@ -909,9 +1070,16 @@ impl<'a> Engine<'a> {
                 })
                 .collect(),
         };
+        let last_seq = cp.last_seq;
         if journal.write_snapshot(&cp) {
             cr.checkpoints_written += 1;
             cr.counters.checkpoints.incr(1);
+            self.flight.emit(
+                e as u64,
+                self.start_seq,
+                "recovery.checkpoint",
+                &[("last_seq", last_seq.into()), ("plan_version", self.cur.into())],
+            );
         }
     }
 
@@ -931,7 +1099,8 @@ impl<'a> Engine<'a> {
     /// when nothing validates. Mote-side state (`mote_has`, energy
     /// ledgers, pending piggyback counters) survives untouched: those
     /// live in the field, not in the crashed process.
-    fn crash_and_recover(&mut self) {
+    fn crash_and_recover(&mut self, e: usize) {
+        let down_seq = self.flight.emit(e as u64, self.start_seq, "crash.down", &[]);
         let Some(cr) = self.crash.as_mut() else { return };
         cr.crashes += 1;
         cr.counters.attempted.incr(1);
@@ -942,6 +1111,13 @@ impl<'a> Engine<'a> {
             Some(j) => j.recover(),
             None => RecoveredState::genesis(),
         };
+        let (rec_cold, rec_corrupt, rec_replayed, rec_scanned) = (
+            recovered.cold_start,
+            recovered.corrupt_snapshots,
+            recovered.replayed.len(),
+            recovered.snapshots_scanned,
+        );
+        let rec_cp_epoch = recovered.checkpoint.as_ref().map(|cp| cp.epoch);
         cr.corrupt_snapshots += recovered.corrupt_snapshots;
         cr.counters.corrupt.incr(recovered.corrupt_snapshots as u64);
         if recovered.cold_start {
@@ -1036,6 +1212,63 @@ impl<'a> Engine<'a> {
                 WalRecord::EpochEnd { .. } => {}
             }
         }
+        self.flight.emit(
+            e as u64,
+            down_seq,
+            "crash.recover",
+            &[
+                ("cold_start", rec_cold.into()),
+                ("plan_version", self.cur.into()),
+                ("wal_replayed", rec_replayed.into()),
+                ("corrupt_snapshots", rec_corrupt.into()),
+                ("snapshots_scanned", rec_scanned.into()),
+                (
+                    "checkpoint_epoch",
+                    rec_cp_epoch.map(i64::try_from).and_then(Result::ok).unwrap_or(-1).into(),
+                ),
+            ],
+        );
+    }
+
+    /// Fleet energy total in mote-index order — the vectorized path
+    /// sums the same per-mote values in the same order, so per-epoch
+    /// ticks match bitwise across exec modes.
+    fn fleet_total_uj(&self) -> f64 {
+        self.motes.iter().fold(0.0, |acc, m| acc + m.ledger().total_uj())
+    }
+
+    /// Emits the per-epoch `epoch.tick` time-series event and resets
+    /// the epoch accumulators. No wall clock anywhere: every field is
+    /// a deterministic function of the seeded run.
+    fn epoch_tick(&mut self, e: usize) {
+        if !self.flight.enabled() {
+            return;
+        }
+        let fleet = self.fleet_total_uj();
+        let mut fields: Vec<(String, TraceValue)> = vec![
+            ("tuples".to_string(), self.ep_tuples.into()),
+            ("results".to_string(), self.ep_results.into()),
+            ("acquisitions".to_string(), self.ep_acq.into()),
+            ("energy_uj".to_string(), fleet.into()),
+            ("denergy_uj".to_string(), (fleet - self.last_energy).into()),
+        ];
+        for m in self.motes.iter() {
+            fields.push((format!("mote{}_uj", m.id()), m.ledger().total_uj().into()));
+        }
+        if let Some(st) = &self.adaptive {
+            fields.push(("drift".to_string(), st.monitor.max_divergence().into()));
+            for j in 0..self.query.len() {
+                fields.push((format!("p{j}_est"), st.monitor.estimated(j).into()));
+                if let Some(a) = st.monitor.actual(j) {
+                    fields.push((format!("p{j}_act"), a.into()));
+                }
+            }
+        }
+        self.flight.emit_owned(e as u64, self.start_seq, "epoch.tick", fields);
+        self.last_energy = fleet;
+        self.ep_tuples = 0;
+        self.ep_results = 0;
+        self.ep_acq = 0;
     }
 
     /// Total radio receive energy across the fleet — used to attribute
@@ -1056,6 +1289,16 @@ impl<'a> Engine<'a> {
                 self.rec.gauge(&format!("sensornet.mote{id}.total_uj"), l.total_uj());
             }
         }
+        self.flight.emit(
+            epochs as u64,
+            self.start_seq,
+            "sim.end",
+            &[
+                ("tuples", self.tuples.into()),
+                ("results", self.results.into()),
+                ("all_correct", self.all_correct.into()),
+            ],
+        );
         FaultReport {
             sim: SimReport::assemble(epochs, self.tuples, self.results, self.all_correct, per_mote),
             delivered_results: self.delivered_results,
