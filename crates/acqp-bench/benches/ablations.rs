@@ -40,7 +40,7 @@ fn ablation_board_costs() {
     let g = lab::generate(&LabConfig::default());
     let (train_full, test) = g.split(0.6);
     let train = train_full.thin(3);
-    let queries = lab_queries(&g.schema, &train, 25, 3, 0xab7);
+    let queries = lab_queries(&g.schema, &train, 25, 3, 0xab7).expect("lab workload");
     // Light and temperature share a board; humidity sits on its own.
     // Prefix sets that stay on a warm board are cheaper, so the aware
     // planner reorders probes (the total for a fixed acquired set is
@@ -92,7 +92,7 @@ fn ablation_independence() {
     let g = lab::generate(&LabConfig::default());
     let (train_full, test) = g.split(0.6);
     let train = train_full.thin(3);
-    let queries = lab_queries(&g.schema, &train, 25, 3, 0xab6);
+    let queries = lab_queries(&g.schema, &train, 25, 3, 0xab6).expect("lab workload");
     let mut corr_sum = 0.0;
     let mut indep_sum = 0.0;
     let mut indep_splits = 0usize;
@@ -131,7 +131,7 @@ fn ablation_bnb() {
     println!("--- exhaustive planner: effort budget vs plan quality ---");
     let g = lab::generate(&LabConfig { epochs: 800, ..LabConfig::default() });
     let (train, _) = g.split(0.8);
-    let queries = lab_queries(&g.schema, &train, 4, 3, 0xab1);
+    let queries = lab_queries(&g.schema, &train, 4, 3, 0xab1).expect("lab workload");
     println!("{:>12} {:>14} {:>10} {:>8}", "budget", "mean model", "expansions", "exact");
     for budget in [1_000usize, 10_000, 100_000, 1_000_000] {
         let mut cost_sum = 0.0;
@@ -164,7 +164,7 @@ fn ablation_base_plan() {
     let g = lab::generate(&LabConfig::default());
     let (train_full, test) = g.split(0.6);
     let train = train_full.thin(3);
-    let queries = lab_queries(&g.schema, &train, 25, 3, 0xab2);
+    let queries = lab_queries(&g.schema, &train, 25, 3, 0xab2).expect("lab workload");
     println!("{:>12} {:>14}", "base", "mean test cost");
     for (name, base) in [
         ("OptSeq", SeqAlgorithm::Optimal),
@@ -194,7 +194,7 @@ fn ablation_spsf() {
     let g = lab::generate(&LabConfig::default());
     let (train_full, test) = g.split(0.6);
     let train = train_full.thin(3);
-    let queries = lab_queries(&g.schema, &train, 25, 3, 0xab3);
+    let queries = lab_queries(&g.schema, &train, 25, 3, 0xab3).expect("lab workload");
     println!("{:>6} {:>10} {:>14}", "r", "log10SPSF", "mean test cost");
     for r in [1usize, 2, 4, 8, 16, 32] {
         let mut sum = 0.0;
@@ -236,7 +236,8 @@ fn ablation_estimator() {
     // Starve the planner: plan from a small training slice where
     // counting overfits but the fitted model generalizes.
     let small_train = train.take(300);
-    let queries = garden_queries_on(&g.schema, Some(&train), 5, 20, 0xab4);
+    let queries =
+        garden_queries_on(&g.schema, Some(&train), 5, 20, 0xab4).expect("garden workload");
 
     let mut counting_sum = 0.0;
     let mut gm_sum = 0.0;
@@ -273,7 +274,8 @@ fn ablation_min_gain() {
     println!("--- min-gain regularizer (garden-5, test-set cost) ---");
     let g = garden::generate(&GardenConfig { epochs: 6_000, ..GardenConfig::garden5() });
     let (train, test) = g.split(0.5);
-    let queries = garden_queries_on(&g.schema, Some(&train), 5, 20, 0xab5);
+    let queries =
+        garden_queries_on(&g.schema, Some(&train), 5, 20, 0xab5).expect("garden workload");
     println!("{:>10} {:>14} {:>12}", "min_gain", "mean test", "mean splits");
     for mg in [0.0f64, 1.0, 2.0, 5.0, 10.0] {
         let mut sum = 0.0;

@@ -23,7 +23,7 @@ fn main() {
         std::env::var("ACQP_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(20);
     let threads: usize =
         std::env::var("ACQP_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
-    let queries = lab_queries(&g.schema, &train, n_queries, 3, 0x8b);
+    let queries = lab_queries(&g.schema, &train, n_queries, 3, 0x8b).expect("lab workload");
 
     let heuristic = Algo::Heuristic { splits: 5, grid_r: 12, base: SeqAlgorithm::Optimal };
     let mut algos = vec![heuristic.clone()];

@@ -17,7 +17,7 @@ fn main() {
     let train = train_full.thin(2);
     let n_queries: usize =
         std::env::var("ACQP_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(95);
-    let queries = lab_queries(&g.schema, &train, n_queries, 3, 0x8c);
+    let queries = lab_queries(&g.schema, &train, n_queries, 3, 0x8c).expect("lab workload");
 
     let algos = vec![
         Algo::Naive,

@@ -18,7 +18,8 @@ fn main() {
     let (train, test) = g.split(0.5);
     let n_queries: usize =
         std::env::var("ACQP_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(90);
-    let queries = garden_queries_on(&g.schema, Some(&train), 5, n_queries, 0x6a10);
+    let queries =
+        garden_queries_on(&g.schema, Some(&train), 5, n_queries, 0x6a10).expect("garden workload");
 
     let algos = vec![
         Algo::Naive,

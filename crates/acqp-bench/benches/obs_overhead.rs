@@ -48,7 +48,7 @@ fn main() {
         std::env::var("ACQP_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(8);
     let reps: usize = std::env::var("ACQP_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3);
     let grid_r: usize = std::env::var("ACQP_GRID").ok().and_then(|s| s.parse().ok()).unwrap_or(2);
-    let queries = lab_queries(&g.schema, &train, n_queries, 3, 0x8b);
+    let queries = lab_queries(&g.schema, &train, n_queries, 3, 0x8b).expect("lab workload");
     let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
 
     println!(

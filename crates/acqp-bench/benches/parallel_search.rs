@@ -49,7 +49,7 @@ fn main() {
         std::env::var("ACQP_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(12);
     let threads: usize =
         std::env::var("ACQP_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(4);
-    let queries = lab_queries(&g.schema, &train, n_queries, 3, 0x8b);
+    let queries = lab_queries(&g.schema, &train, n_queries, 3, 0x8b).expect("lab workload");
     let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
 
     println!("=== Parallel exhaustive search: threads=1 vs threads={threads} ===");

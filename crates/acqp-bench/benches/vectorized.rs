@@ -57,7 +57,10 @@ fn lab_scenario() -> Scenario {
     let cfg = lab::LabConfig { motes: 10, epochs: 4_000, seed: 0xbeef, ..lab::LabConfig::small() };
     let g = lab::generate(&cfg);
     let (train, live) = g.split(0.5);
-    let query = workload::lab_queries(&g.schema, &train, 1, 3, 42).pop().expect("workload query");
+    let query = workload::lab_queries(&g.schema, &train, 1, 3, 42)
+        .expect("lab workload")
+        .pop()
+        .expect("workload query");
     let est = CountingEstimator::new(&train);
     let plan = GreedyPlanner::new(8).plan(&g.schema, &query, &est).expect("planning").simplify();
     Scenario { name: "lab", schema: g.schema, live, plan, query }

@@ -263,7 +263,7 @@ mod tests {
     fn batch_runner_smoke() {
         let g = lab::generate(&LabConfig { motes: 6, epochs: 220, ..LabConfig::default() });
         let (train, test) = g.split(0.7);
-        let queries = lab_queries(&g.schema, &train, 4, 3, 5);
+        let queries = lab_queries(&g.schema, &train, 4, 3, 5).unwrap();
         let algos = vec![
             Algo::Naive,
             Algo::CorrSeq(SeqAlgorithm::Auto),
@@ -294,7 +294,7 @@ mod tests {
 
         let g = lab::generate(&LabConfig { motes: 6, epochs: 220, ..LabConfig::default() });
         let (train, _) = g.split(0.7);
-        let queries = lab_queries(&g.schema, &train, 2, 3, 5);
+        let queries = lab_queries(&g.schema, &train, 2, 3, 5).unwrap();
         let rec = Recorder::new(Arc::new(NoopSink));
         for q in &queries {
             let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));

@@ -7,6 +7,8 @@
 //!               [--algo naive|corrseq|heuristic|exhaustive] [--splits K] [--grid R]
 //! acqp simulate --dataset garden5 --query "temp0 BETWEEN 10 AND 18 AND hum0 <= 75" \
 //!               [--motes M] [--splits K] [--flight-recorder out.json]
+//! acqp serve    --dataset garden5 --schedule "0:200:temp0 <= 18;40:100:hum0 <= 75" \
+//!               [--motes M] [--splits K] [--baseline yes]
 //! ```
 
 mod args;
@@ -62,8 +64,9 @@ type CliResult<T> = std::result::Result<T, CliError>;
 use acqp_sensornet::{
     run_simulation_adaptive, run_simulation_crashy, run_simulation_faulty, run_simulation_mode,
     sim::fleet_from_trace, AdaptiveConfig, Basestation, CrashConfig, EnergyModel, FaultModel,
-    FaultReport, ReplanBudget,
+    FaultReport, ReplanBudget, ScheduleEntry,
 };
+use acqp_serve::{independent_schedule_energy, serve_schedule, ServeConfig};
 use args::Args;
 
 const USAGE: &str = "\
@@ -91,6 +94,11 @@ USAGE:
                 [--trace-json <file>] [--metrics yes]
                 [--flight-recorder <file>] [--flight-jsonl <file>]
                 [--flight-timeline yes] [--flight-cap N]
+  acqp serve    --dataset <kind> --schedule \"admit:window:<expr>[;...]\"
+                [--motes M] [--splits K] [--exec scalar|vectorized]
+                [--baseline yes] [--trace-json <file>] [--metrics yes]
+                [--flight-recorder <file>] [--flight-jsonl <file>]
+                [--flight-timeline yes] [--flight-cap N]
 
   --trace-json <file>  stream spans and drained metrics as JSON lines
   --metrics yes        append a metrics summary table to the output
@@ -113,6 +121,13 @@ USAGE:
   --dropout takes mote outage windows. --replan-threshold (0, 1]
   enables drift-triggered re-planning under --replan-budget subproblems,
   with a full-tuple statistics sample every --sample-every epochs.
+
+  serving: --schedule admits each query at its `admit` epoch for
+  `window` epochs; overlapping queries share sensor acquisitions and
+  repeat admissions hit the signature-keyed plan cache. --baseline yes
+  also runs every query independently and prints the energy ratio.
+  The serve loop is lossless: fault, re-plan and crash flags apply to
+  `simulate` only.
 
   crash injection (simulate): --crash-epochs and --crash-rate kill and
   restart the basestation, recovering from --checkpoint-dir (snapshot
@@ -144,6 +159,7 @@ fn run(raw: Vec<String>) -> CliResult<()> {
         Some("gen") => cmd_gen(&args),
         Some("plan") => cmd_plan(&args),
         Some("simulate") => cmd_simulate(&args),
+        Some("serve") => cmd_serve(&args),
         Some(other) => Err(format!("unknown subcommand `{other}`").into()),
         None => Err("no subcommand given".into()),
     }
@@ -744,6 +760,213 @@ fn cmd_simulate(args: &Args) -> CliResult<()> {
     Ok(())
 }
 
+/// Flags that opt into behaviour the lossless serve loop does not
+/// support; each is rejected with a typed error before anything runs.
+const SERVE_INCOMPATIBLE: &[&str] = &[
+    "loss-rate",
+    "sensing-fail",
+    "dropout",
+    "max-attempts",
+    "fault-seed",
+    "replan-threshold",
+    "replan-budget",
+    "sample-every",
+    "checkpoint-dir",
+    "checkpoint-every",
+    "crash-epochs",
+    "crash-rate",
+];
+
+/// Parses `--schedule "admit:window:<expr>[;...]"` into schedule
+/// entries plus the verbatim query texts (for echoing).
+fn schedule_from(
+    spec: &str,
+    schema: &Schema,
+    discretizers: &[Option<acqp_core::Discretizer>],
+) -> CliResult<Vec<(String, ScheduleEntry)>> {
+    let mut out = Vec::new();
+    for part in spec.split(';') {
+        let fields: Vec<&str> = part.splitn(3, ':').collect();
+        if fields.len() != 3 {
+            return Err(invalid("schedule", part, "expected admit:window:<expr>[;...]"));
+        }
+        let admit: usize = fields[0]
+            .trim()
+            .parse()
+            .map_err(|_| invalid("schedule", part, "admission epoch must be a whole number"))?;
+        let window: usize = fields[1]
+            .trim()
+            .parse()
+            .map_err(|_| invalid("schedule", part, "window must be a whole number of epochs"))?;
+        if window == 0 {
+            return Err(invalid("schedule", part, "the observation window needs at least 1 epoch"));
+        }
+        let text = fields[2].trim();
+        let query = query_parse::parse_query(text, schema, discretizers)
+            .map_err(|e| format!("parsing query `{text}`: {e}"))?;
+        out.push((text.to_string(), ScheduleEntry { query, admit, window }));
+    }
+    Ok(out)
+}
+
+fn cmd_serve(args: &Args) -> CliResult<()> {
+    for flag in SERVE_INCOMPATIBLE {
+        if let Some(v) = args.get(flag) {
+            return Err(invalid(
+                flag,
+                v,
+                "the serve loop is lossless; fault, re-plan and crash flags apply to `simulate`",
+            ));
+        }
+    }
+    let g = datasets::resolve(args)?;
+    let schedule = schedule_from(args.require("schedule")?, &g.schema, &g.discretizers)?;
+
+    let (history, live) = g.data.split_at(0.5);
+    let fleet: u16 = args.get_or("motes", 4)?;
+    if fleet == 0 {
+        return Err(invalid("motes", "0", "the fleet needs at least one mote"));
+    }
+    let splits: usize = args.get_or("splits", 8)?;
+    let mode = exec_mode_from(args)?;
+    let model = EnergyModel::mica_like();
+    let alpha = Basestation::alpha_for(&model, fleet as usize, live.len());
+    let candidates = vec![0, 1, 2, 4, splits.max(1)];
+
+    // Echo every entry's plan the way `simulate` does, planning each
+    // distinct signature once (presentation only — the service itself
+    // plans through its own cache). A single-entry schedule therefore
+    // prints a preamble byte-identical to `acqp simulate`.
+    let bs = Basestation::new(g.schema.clone(), &history);
+    let mut shown: std::collections::BTreeMap<u64, (usize, usize, usize)> =
+        std::collections::BTreeMap::new();
+    for (text, entry) in &schedule {
+        let sig = entry.query.signature();
+        let (k, split_count, wire_bytes) = match shown.get(&sig) {
+            Some(&v) => v,
+            None => {
+                let (k, planned) = bs
+                    .plan_query_sized(&entry.query, alpha, &candidates)
+                    .map_err(|e| format!("planning: {e}"))?;
+                let v = (k, planned.plan.split_count(), planned.wire.len());
+                shown.insert(sig, v);
+                v
+            }
+        };
+        println!("query : {text}");
+        println!(
+            "plan  : Heuristic-{k}, {split_count} splits, {wire_bytes} bytes (alpha = {alpha:.5})"
+        );
+    }
+
+    let rec = recorder_from(args)?;
+    let cfg = ServeConfig { alpha, candidate_splits: candidates, drift: DriftConfig::default() };
+    let entries: Vec<ScheduleEntry> = schedule.iter().map(|(_, e)| e.clone()).collect();
+    let rep = serve_schedule(
+        &g.schema,
+        &history,
+        &live,
+        &entries,
+        fleet,
+        &model,
+        live.len(),
+        mode,
+        cfg.clone(),
+        &rec,
+    )
+    .map_err(|e| format!("serving: {e}"))?;
+    if !rep.service.all_correct() {
+        return Err(CliError::Usage("internal error: service verdicts diverged".into()));
+    }
+
+    let tuples = rep.service.tuples();
+    println!(
+        "\nsimulated {} tuples over {} motes x {} epochs: {} results",
+        tuples,
+        fleet,
+        rep.service.epochs,
+        rep.service.results()
+    );
+    println!(
+        "energy: sensing {:.0} uJ + boards {:.0} uJ + radio {:.0} uJ = {:.0} uJ total",
+        rep.service.network.sensing_uj,
+        rep.service.network.board_uj,
+        rep.service.network.radio_tx_uj + rep.service.network.radio_rx_uj,
+        rep.service.network.total_uj()
+    );
+    let per_tuple = if tuples > 0 { rep.service.network.sensing_uj / tuples as f64 } else { 0.0 };
+    println!("sensing energy per tuple: {per_tuple:.1} uJ");
+
+    // Everything service-specific carries the `serve` prefix so a
+    // single-query run can be byte-compared against plain `simulate`
+    // by filtering these lines out.
+    println!(
+        "serve : {} of {} queries admitted; plan cache {} hits / {} misses / {} invalidations",
+        rep.admitted,
+        entries.len(),
+        rep.cache_hits,
+        rep.cache_misses,
+        rep.cache_invalidations
+    );
+    println!(
+        "serve : plan search expanded {} subproblems ({} on cache hits)",
+        rep.total_subproblems, rep.hit_subproblems
+    );
+    println!(
+        "serve : latency p50 {} epochs, p99 {} epochs (admission to first result)",
+        rep.p50_latency_epochs, rep.p99_latency_epochs
+    );
+    println!(
+        "serve : acquisitions {} performed / {} demanded; amortized sensing {:.1} uJ/query",
+        rep.service.performed_acquisitions,
+        rep.service.demanded_acquisitions,
+        rep.amortized_sensing_uj_per_query
+    );
+    for (i, q) in rep.service.queries.iter().enumerate() {
+        if !q.admitted {
+            println!("serve : q{i} never admitted (admission epoch beyond the run)");
+            continue;
+        }
+        let lat = match q.latency_epochs {
+            Some(l) => format!("first result after {l} epochs"),
+            None => "no results".to_string(),
+        };
+        println!(
+            "serve : q{i} epochs {}..{}, {}/{} results, {}, {}",
+            q.admit,
+            q.completed_at,
+            q.results,
+            q.tuples,
+            if q.cache_hit { "cached plan" } else { "planned" },
+            lat
+        );
+    }
+    if args.get("baseline").is_some_and(|v| v != "no") {
+        let independent = independent_schedule_energy(
+            &g.schema,
+            &history,
+            &live,
+            &entries,
+            fleet,
+            &model,
+            live.len(),
+            mode,
+            &cfg,
+        )
+        .map_err(|e| format!("baseline: {e}"))?;
+        println!(
+            "serve : shared {:.0} uJ vs {:.0} uJ over {} independent runs ({:.2}x)",
+            rep.shared_total_uj,
+            independent,
+            rep.admitted,
+            independent / rep.shared_total_uj.max(1e-9)
+        );
+    }
+    finish_flight(args, &rec)?;
+    finish_metrics(args, &rec);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1072,6 +1295,63 @@ mod tests {
             ]),
             Ok(())
         );
+    }
+
+    #[test]
+    fn serve_end_to_end_small() {
+        assert_eq!(
+            run_vec(&[
+                "serve",
+                "--dataset",
+                "garden5",
+                "--epochs",
+                "300",
+                "--schedule",
+                "0:80:temp0 BETWEEN 5 AND 25 AND hum0 <= 90;20:60:temp0 BETWEEN 5 AND 25",
+                "--motes",
+                "2",
+                "--splits",
+                "2",
+                "--baseline",
+                "yes",
+                "--metrics",
+                "yes",
+            ]),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn serve_rejects_fault_flags_and_bad_schedules() {
+        let base = |extra: &[&str]| {
+            let mut v = vec![
+                "serve",
+                "--dataset",
+                "garden5",
+                "--epochs",
+                "200",
+                "--schedule",
+                "0:40:temp0 BETWEEN 5 AND 25",
+            ];
+            v.extend_from_slice(extra);
+            run_vec(&v)
+        };
+        assert!(base(&["--loss-rate", "0.2"]).is_err());
+        assert!(base(&["--replan-threshold", "0.3"]).is_err());
+        assert!(base(&["--crash-rate", "0.05"]).is_err());
+        assert!(base(&["--checkpoint-every", "8"]).is_err());
+        assert!(base(&["--motes", "0"]).is_err());
+        assert!(run_vec(&[
+            "serve",
+            "--dataset",
+            "garden5",
+            "--epochs",
+            "200",
+            "--schedule",
+            "0:0:temp0 BETWEEN 5 AND 25",
+        ])
+        .is_err());
+        assert!(run_vec(&["serve", "--dataset", "garden5", "--epochs", "200"]).is_err());
     }
 
     #[test]

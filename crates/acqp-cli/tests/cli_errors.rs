@@ -99,3 +99,119 @@ fn adaptive_run_prints_replan_summary() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("replans:"), "adaptive run must print the replan summary:\n{text}");
 }
+
+/// Every fault / re-plan / crash flag, with a value that activates it.
+/// `--exec vectorized` must reject each one; the scalar path accepts
+/// them all. Exhaustive on purpose: a new engine-forking flag added to
+/// `simulate` must either join this list or be vectorized-safe.
+const ENGINE_FORKING: &[(&str, &str)] = &[
+    ("--loss-rate", "0.2"),
+    ("--sensing-fail", "0.1"),
+    ("--dropout", "0:3:9"),
+    ("--max-attempts", "2"),
+    ("--fault-seed", "7"),
+    ("--replan-threshold", "0.3"),
+    ("--checkpoint-every", "8"),
+    ("--checkpoint-dir", "/tmp/acqp_cli_vec_conflict_ckpt"),
+    ("--crash-epochs", "20"),
+    ("--crash-rate", "0.05"),
+];
+
+#[test]
+fn vectorized_conflicts_with_every_engine_forking_flag() {
+    for (flag, value) in ENGINE_FORKING {
+        // --fault-seed and --max-attempts alone leave the fault model
+        // lossless, so they stay vectorized-safe; pair them with a
+        // loss rate to confirm the combination is still rejected.
+        let lossless_alone = matches!(*flag, "--fault-seed" | "--max-attempts");
+        let mut extra = vec!["--exec", "vectorized", *flag, *value];
+        if lossless_alone {
+            let accepted = sim_with(&extra);
+            assert!(
+                accepted.status.success(),
+                "{flag} without a loss rate must stay vectorized-safe:\n{}",
+                String::from_utf8_lossy(&accepted.stderr)
+            );
+            extra.extend_from_slice(&["--loss-rate", "0.2"]);
+        }
+        let out = sim_with(&extra);
+        assert_rejected(&out, "invalid value `vectorized` for --exec", flag);
+        assert_rejected(&out, "lossless simulation", flag);
+    }
+}
+
+#[test]
+fn scalar_accepts_each_engine_forking_flag() {
+    for (flag, value) in ENGINE_FORKING {
+        let out = sim_with(&[*flag, *value]);
+        assert!(
+            out.status.success(),
+            "{flag} {value} must run on the scalar engine:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    std::fs::remove_dir_all("/tmp/acqp_cli_vec_conflict_ckpt").ok();
+}
+
+const SERVE: &[&str] = &[
+    "serve",
+    "--dataset",
+    "garden5",
+    "--epochs",
+    "240",
+    "--schedule",
+    "0:60:temp0 BETWEEN 5 AND 25 AND hum0 <= 90;10:40:temp0 BETWEEN 5 AND 25",
+    "--motes",
+    "2",
+    "--splits",
+    "2",
+];
+
+fn serve_with(extra: &[&str]) -> Output {
+    let mut v: Vec<&str> = SERVE.to_vec();
+    v.extend_from_slice(extra);
+    acqp(&v)
+}
+
+#[test]
+fn serve_rejects_every_fault_replan_and_crash_flag() {
+    for (flag, value) in ENGINE_FORKING {
+        let out = serve_with(&[*flag, *value]);
+        assert_rejected(&out, &format!("invalid value `{value}` for {flag}"), flag);
+        assert_rejected(&out, "serve loop is lossless", flag);
+    }
+}
+
+#[test]
+fn serve_rejects_malformed_schedules_with_typed_errors() {
+    let cases: &[(&str, &str)] = &[
+        ("temp0 <= 25", "expected admit:window:<expr>"),
+        ("0:60", "expected admit:window:<expr>"),
+        ("x:60:temp0 <= 25", "admission epoch must be a whole number"),
+        ("0:x:temp0 <= 25", "window must be a whole number"),
+        ("0:0:temp0 <= 25", "at least 1 epoch"),
+        ("0:60:temp0 <= 25;;", "expected admit:window:<expr>"),
+    ];
+    for (spec, needle) in cases {
+        let mut v: Vec<&str> = SERVE.to_vec();
+        let s = v.iter().position(|a| *a == "--schedule").unwrap();
+        v[s + 1] = spec;
+        assert_rejected(&acqp(&v), needle, spec);
+    }
+    let mut v: Vec<&str> = SERVE.to_vec();
+    let s = v.iter().position(|a| *a == "--schedule").unwrap();
+    v[s + 1] = "0:60:bogus_attr <= 25";
+    let out = acqp(&v);
+    assert!(!out.status.success(), "unknown attribute in a schedule must fail");
+}
+
+#[test]
+fn serve_runs_both_exec_modes_bitwise_identically() {
+    let scalar = serve_with(&[]);
+    assert!(scalar.status.success(), "{}", String::from_utf8_lossy(&scalar.stderr));
+    let vec = serve_with(&["--exec", "vectorized"]);
+    assert!(vec.status.success(), "{}", String::from_utf8_lossy(&vec.stderr));
+    assert_eq!(scalar.stdout, vec.stdout, "serve must not fork on the exec mode");
+    let text = String::from_utf8_lossy(&scalar.stdout);
+    assert!(text.contains("serve : 2 of 2 queries admitted"), "{text}");
+}

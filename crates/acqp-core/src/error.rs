@@ -37,6 +37,15 @@ pub enum Error {
     },
     /// A query had no predicates.
     EmptyQuery,
+    /// An attribute's domain is too narrow to carry a non-trivial range
+    /// predicate (workload generators need at least two values to place
+    /// a range with nonzero width).
+    DegenerateDomain {
+        /// Offending attribute name.
+        attr: String,
+        /// Observed domain size.
+        k: u16,
+    },
     /// A dataset row had the wrong arity or an out-of-domain value.
     BadRow {
         /// Row index in the input.
@@ -104,6 +113,9 @@ impl fmt::Display for Error {
                 write!(f, "more than one predicate on attribute {attr}")
             }
             Error::EmptyQuery => write!(f, "query must contain at least one predicate"),
+            Error::DegenerateDomain { attr, k } => {
+                write!(f, "attribute `{attr}` has a degenerate domain of {k} value(s); range workloads need at least 2")
+            }
             Error::BadRow { row, what } => write!(f, "bad dataset row {row}: {what}"),
             Error::TooManyPredicates { m, max } => {
                 write!(f, "query has {m} predicates; this algorithm accepts at most {max}")

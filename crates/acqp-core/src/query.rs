@@ -167,6 +167,34 @@ impl Query {
         self.preds.iter().map(Pred::attr).collect()
     }
 
+    /// A stable 64-bit signature of the query's predicate structure:
+    /// FNV-1a over the canonical `(attr, lo, hi, negated)` encoding of
+    /// every predicate in declaration order. Unlike `std::hash::Hash`
+    /// (whose output may vary between runs and toolchains), this value
+    /// is a fixed function of the query alone, so it can key plan
+    /// caches that outlive a process — `acqp-serve` keys cached
+    /// `PlanReport`s by `(signature, stats epoch)`.
+    pub fn signature(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h
+        }
+        let mut h = FNV_OFFSET;
+        for p in &self.preds {
+            let (lo, hi) = p.bounds();
+            h = eat(h, &(p.attr() as u64).to_le_bytes());
+            h = eat(h, &lo.to_le_bytes());
+            h = eat(h, &hi.to_le_bytes());
+            h = eat(h, &[u8::from(p.is_negated())]);
+        }
+        h
+    }
+
     /// Evaluates `φ(x)` on a full tuple.
     pub fn eval(&self, tuple: &[u16]) -> bool {
         self.preds.iter().all(|p| p.eval(tuple[p.attr()]))
@@ -330,5 +358,30 @@ mod tests {
         let sel = q.selectivities(&d);
         assert!((sel[0] - 0.5).abs() < 1e-12);
         assert!((sel[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signature_is_stable_and_discriminating() {
+        let q = Query::new(vec![Pred::in_range(0, 1, 4), Pred::not_in_range(1, 2, 3)]).unwrap();
+        // Pure function of the predicate list: recomputing and cloning
+        // cannot change it (this is what makes it a valid cache key).
+        assert_eq!(q.signature(), q.signature());
+        assert_eq!(q.signature(), q.clone().signature());
+        // Every component of a predicate participates.
+        let variants = [
+            Query::new(vec![Pred::in_range(0, 1, 4), Pred::in_range(1, 2, 3)]).unwrap(),
+            Query::new(vec![Pred::in_range(0, 1, 5), Pred::not_in_range(1, 2, 3)]).unwrap(),
+            Query::new(vec![Pred::in_range(0, 2, 4), Pred::not_in_range(1, 2, 3)]).unwrap(),
+            Query::new(vec![Pred::in_range(2, 1, 4), Pred::not_in_range(1, 2, 3)]).unwrap(),
+            Query::new(vec![Pred::in_range(0, 1, 4)]).unwrap(),
+        ];
+        for v in &variants {
+            assert_ne!(q.signature(), v.signature(), "{v:?}");
+        }
+        // Declaration order matters: plans depend on it, so the cache
+        // key must too.
+        let swapped =
+            Query::new(vec![Pred::not_in_range(1, 2, 3), Pred::in_range(0, 1, 4)]).unwrap();
+        assert_ne!(q.signature(), swapped.signature());
     }
 }

@@ -53,7 +53,7 @@ mod tests {
     fn replay_modes_are_bitwise_identical_on_lab_trace() {
         let g = lab::generate(&LabConfig { motes: 4, epochs: 128, seed: 11, ..LabConfig::small() });
         let (train, live) = g.split(0.5);
-        let query = workload::lab_queries(&g.schema, &train, 1, 3, 7).pop().unwrap();
+        let query = workload::lab_queries(&g.schema, &train, 1, 3, 7).unwrap().pop().unwrap();
         let est = CountingEstimator::new(&train);
         let plan = GreedyPlanner::new(8).plan(&g.schema, &query, &est).unwrap();
         let model = CostModel::PerAttribute;

@@ -1,7 +1,7 @@
 //! Query workload generators reproducing §6's experimental setups.
 
 use acqp_core::planner::OrdF64;
-use acqp_core::{Dataset, Pred, Query, Schema};
+use acqp_core::{Dataset, Error, Pred, Query, Result, Schema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -15,15 +15,29 @@ use crate::synthetic::SyntheticConfig;
 /// endpoint is uniform over the domain and the width is two standard
 /// deviations of the attribute, which makes most predicates ~50%
 /// selective — the challenging regime the paper deliberately chose.
+///
+/// Errors with [`Error::NoData`] when the training set is empty (no
+/// distribution to place ranges against) and
+/// [`Error::DegenerateDomain`] when an expensive attribute's domain has
+/// fewer than two values (no nonzero-width range fits).
 pub fn lab_queries(
     schema: &Schema,
     train: &Dataset,
     n_queries: usize,
     preds: usize,
     seed: u64,
-) -> Vec<Query> {
+) -> Result<Vec<Query>> {
     assert!((1..=3).contains(&preds), "lab queries use 1..=3 expensive predicates");
+    if train.is_empty() {
+        return Err(Error::NoData);
+    }
     let expensive = [lab_attrs::LIGHT, lab_attrs::TEMP, lab_attrs::HUMIDITY];
+    for &a in &expensive {
+        let k = schema.domain(a);
+        if k < 2 {
+            return Err(Error::DegenerateDomain { attr: schema.attr(a).name().to_string(), k });
+        }
+    }
     let sigma: Vec<f64> = expensive.iter().map(|&a| column_std(train, a)).collect();
     // Per attribute: the left endpoints whose 2σ-wide range is satisfied
     // by roughly half the training data — the paper's "challenging
@@ -36,7 +50,7 @@ pub fn lab_queries(
             let k = schema.domain(a);
             let width = (2.0 * sigma[i]).round().max(1.0) as u16;
             let col = train.column(a);
-            let n = col.len().max(1) as f64;
+            let n = col.len() as f64; // nonzero: empty training sets error out above
             let mut counts = vec![0usize; usize::from(k) + 1];
             for &v in col {
                 counts[usize::from(v) + 1] += 1;
@@ -78,7 +92,7 @@ pub fn lab_queries(
             queries.push(q);
         }
     }
-    queries
+    Ok(queries)
 }
 
 /// §6.2's Garden workload: *identical* range predicates over temperature
@@ -91,21 +105,41 @@ pub fn lab_queries(
 /// the occupied region and makes every query degenerate-selective).
 /// With probability 1/2 the predicates are negated (`NOT(a ≤ x ≤ b)`),
 /// matching the two query forms the paper lists.
-pub fn garden_queries(schema: &Schema, motes: u16, n_queries: usize, seed: u64) -> Vec<Query> {
+pub fn garden_queries(
+    schema: &Schema,
+    motes: u16,
+    n_queries: usize,
+    seed: u64,
+) -> Result<Vec<Query>> {
     garden_queries_on(schema, None, motes, n_queries, seed)
 }
 
 /// [`garden_queries`] with ranges placed against the given training
 /// data's pooled per-sensor-type distributions (recommended); passing
 /// `None` falls back to uniform placement over the raw domains.
+///
+/// Errors with [`Error::EmptyQuery`] for a zero-mote fleet (the shared
+/// predicates would be over nothing), [`Error::NoData`] when a training
+/// set is supplied but pools no values, and
+/// [`Error::DegenerateDomain`] when a sensor domain has fewer than two
+/// values.
 pub fn garden_queries_on(
     schema: &Schema,
     train: Option<&Dataset>,
     motes: u16,
     n_queries: usize,
     seed: u64,
-) -> Vec<Query> {
+) -> Result<Vec<Query>> {
+    if motes == 0 {
+        return Err(Error::EmptyQuery);
+    }
     let layout = GardenAttrs::new(motes);
+    for attr in [layout.temp(0), layout.humidity(0)] {
+        let k = schema.domain(attr);
+        if k < 2 {
+            return Err(Error::DegenerateDomain { attr: schema.attr(attr).name().to_string(), k });
+        }
+    }
     // Pooled values and std-dev per sensor type (temp = 0, humidity = 1).
     let pooled: Option<[(Vec<u16>, f64); 2]> = train.map(|d| {
         let collect = |pick: &dyn Fn(u16) -> usize| -> (Vec<u16>, f64) {
@@ -120,6 +154,11 @@ pub fn garden_queries_on(
         };
         [collect(&|m| layout.temp(m)), collect(&|m| layout.humidity(m))]
     });
+    if let Some(p) = &pooled {
+        if p.iter().any(|(vals, _)| vals.is_empty()) {
+            return Err(Error::NoData);
+        }
+    }
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut queries = Vec::with_capacity(n_queries);
@@ -162,7 +201,7 @@ pub fn garden_queries_on(
             queries.push(q);
         }
     }
-    queries
+    Ok(queries)
 }
 
 /// §6.3's synthetic workload: the conjunction `X_e = 1` over every
@@ -183,7 +222,7 @@ mod tests {
     fn lab_queries_have_requested_shape() {
         let g = lab::generate(&LabConfig::small());
         let (train, _) = g.split(0.7);
-        let qs = lab_queries(&g.schema, &train, 20, 3, 1);
+        let qs = lab_queries(&g.schema, &train, 20, 3, 1).unwrap();
         assert_eq!(qs.len(), 20);
         for q in &qs {
             assert_eq!(q.len(), 3);
@@ -193,7 +232,7 @@ mod tests {
             assert!(attrs.contains(&lab_attrs::HUMIDITY));
         }
         // Deterministic given the seed.
-        let qs2 = lab_queries(&g.schema, &train, 20, 3, 1);
+        let qs2 = lab_queries(&g.schema, &train, 20, 3, 1).unwrap();
         assert_eq!(qs, qs2);
     }
 
@@ -203,7 +242,7 @@ mod tests {
         // median marginal selectivity lands in a broad middle band.
         let g = lab::generate(&LabConfig::small());
         let (train, _) = g.split(0.7);
-        let qs = lab_queries(&g.schema, &train, 40, 3, 2);
+        let qs = lab_queries(&g.schema, &train, 40, 3, 2).unwrap();
         let mut sels: Vec<f64> = qs.iter().flat_map(|q| q.selectivities(&train)).collect();
         sels.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = sels[sels.len() / 2];
@@ -216,13 +255,13 @@ mod tests {
     #[test]
     fn garden_queries_cover_all_motes() {
         let g = garden::generate(&GardenConfig::garden5());
-        let qs = garden_queries(&g.schema, 5, 15, 3);
+        let qs = garden_queries(&g.schema, 5, 15, 3).unwrap();
         assert_eq!(qs.len(), 15);
         for q in &qs {
             assert_eq!(q.len(), 10, "temp+humidity per mote");
         }
         let g11 = garden::generate(&GardenConfig::garden11());
-        let qs11 = garden_queries(&g11.schema, 11, 5, 3);
+        let qs11 = garden_queries(&g11.schema, 11, 5, 3).unwrap();
         for q in &qs11 {
             assert_eq!(q.len(), 22);
         }
@@ -231,7 +270,7 @@ mod tests {
     #[test]
     fn garden_queries_mix_negated_and_plain() {
         let g = garden::generate(&GardenConfig::garden5());
-        let qs = garden_queries(&g.schema, 5, 40, 9);
+        let qs = garden_queries(&g.schema, 5, 40, 9).unwrap();
         let negated = qs.iter().filter(|q| q.preds()[0].is_negated()).count();
         assert!(negated > 5 && negated < 35, "negated {negated}/40");
         // Within a query all predicates share the negation form.
@@ -239,6 +278,59 @@ mod tests {
             let first = q.preds()[0].is_negated();
             assert!(q.preds().iter().all(|p| p.is_negated() == first));
         }
+    }
+
+    #[test]
+    fn empty_training_set_is_a_typed_error() {
+        let g = lab::generate(&LabConfig::small());
+        let empty = Dataset::from_rows(&g.schema, Vec::new()).unwrap();
+        assert_eq!(lab_queries(&g.schema, &empty, 4, 3, 1), Err(Error::NoData));
+        // The garden generator pools per-sensor-type values; an empty
+        // training set pools nothing and must error the same way rather
+        // than silently yielding 0.0 selectivities (or panicking on an
+        // empty sample pool).
+        let g5 = garden::generate(&GardenConfig::garden5());
+        let empty5 = Dataset::from_rows(&g5.schema, Vec::new()).unwrap();
+        assert_eq!(garden_queries_on(&g5.schema, Some(&empty5), 5, 4, 1), Err(Error::NoData));
+    }
+
+    #[test]
+    fn degenerate_domains_are_typed_errors() {
+        use acqp_core::Attribute;
+        // A lab-shaped schema whose expensive attributes collapse to a
+        // single value: no nonzero-width range fits, and the old code
+        // underflowed on `k - 1`.
+        let g = lab::generate(&LabConfig::small());
+        let narrow = Schema::new(
+            g.schema
+                .attrs()
+                .iter()
+                .map(|a| Attribute::new(a.name(), 1, a.cost()))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let train = Dataset::from_rows(&narrow, vec![vec![0; narrow.len()]]).unwrap();
+        match lab_queries(&narrow, &train, 4, 3, 1) {
+            Err(Error::DegenerateDomain { k: 1, .. }) => {}
+            other => panic!("expected DegenerateDomain, got {other:?}"),
+        }
+        // Same for the garden generator, whose width clamp paniced
+        // (`clamp(1, 0)`) on single-valued domains.
+        let g5 = garden::generate(&GardenConfig::garden5());
+        let narrow5 = Schema::new(
+            g5.schema
+                .attrs()
+                .iter()
+                .map(|a| Attribute::new(a.name(), 1, a.cost()))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        match garden_queries_on(&narrow5, None, 5, 4, 1) {
+            Err(Error::DegenerateDomain { k: 1, .. }) => {}
+            other => panic!("expected DegenerateDomain, got {other:?}"),
+        }
+        // Zero motes: no predicates to generate at all.
+        assert_eq!(garden_queries_on(&g5.schema, None, 0, 4, 1), Err(Error::EmptyQuery));
     }
 
     #[test]

@@ -1,0 +1,14 @@
+//! Fixture: the multi-query service's instruments and flight events
+//! matching the documented `serve.*` rows exactly — lints clean in
+//! both directions.
+
+pub fn run(rec: &acqp_obs::Recorder, flight: &acqp_obs::FlightRecorder) {
+    let _span = rec.span("serve.run");
+    let hits = rec.counter("serve.cache.hits");
+    let latency = rec.hist("serve.latency_epochs");
+    let admit = flight.emit(0, 0, "serve.admit", &[("cache_hit", true.into())]);
+    hits.incr(1);
+    latency.observe(3);
+    rec.gauge("serve.stats_epoch", 1.0);
+    flight.emit(1, admit, "serve.complete", &[("results", 4u64.into())]);
+}

@@ -1,0 +1,13 @@
+//! Fixture: one undocumented service counter (`serve.bogus`), one
+//! undocumented flight event (`serve.vanish`), and no emit for the
+//! documented `serve.latency_epochs` and `serve.complete` rows —
+//! violates in both directions, for both instrument families.
+
+pub fn run(rec: &acqp_obs::Recorder, flight: &acqp_obs::FlightRecorder) {
+    let _span = rec.span("serve.run");
+    rec.counter("serve.cache.hits").incr(1);
+    rec.counter("serve.bogus").incr(1);
+    rec.gauge("serve.stats_epoch", 1.0);
+    let admit = flight.emit(0, 0, "serve.admit", &[("cache_hit", true.into())]);
+    flight.emit(1, admit, "serve.vanish", &[]);
+}

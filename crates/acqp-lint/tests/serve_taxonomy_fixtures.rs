@@ -1,0 +1,95 @@
+//! Both directions of the `metric-taxonomy` contract on the
+//! multi-query service's `serve.*` names (DESIGN.md §14): Recorder
+//! instruments (span/counter/hist/gauge) and flight events in one
+//! table. The violating fixture must be flagged for an undocumented
+//! counter, an undocumented event, and two stale rows; the clean
+//! fixture must lint to zero findings against the same table.
+
+use std::path::{Path, PathBuf};
+
+use acqp_lint::lint_workspace;
+use acqp_lint::rules::Severity;
+
+const VIOLATING: &str = include_str!("fixtures/serve_metrics_violating.rs");
+const CLEAN: &str = include_str!("fixtures/serve_metrics_clean.rs");
+
+/// A minimal marker-delimited table mixing every instrument kind the
+/// service emits.
+const FAKE_DESIGN: &str = concat!(
+    "# fake\n\n<!-- acqp-lint:taxonomy:begin -->\n",
+    "| name | kind | meaning |\n|---|---|---|\n",
+    "| `serve.run` | span | whole service run |\n",
+    "| `serve.cache.hits` | counter | admissions served from the cache |\n",
+    "| `serve.latency_epochs` | hist | admission-to-first-result latency |\n",
+    "| `serve.stats_epoch` | gauge | policy statistics epoch |\n",
+    "| `serve.admit` | event | one admission |\n",
+    "| `serve.complete` | event | one completion |\n",
+    "<!-- acqp-lint:taxonomy:end -->\n",
+);
+
+fn fake_workspace(tag: &str, fixture: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("acqp_lint_serve_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let src = dir.join("crates/acqp-sensornet/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(dir.join("DESIGN.md"), FAKE_DESIGN).unwrap();
+    std::fs::write(src.join("serve_fixture.rs"), fixture).unwrap();
+    dir
+}
+
+fn taxonomy_messages(root: &Path) -> Vec<String> {
+    let report = lint_workspace(root).expect("lint runs");
+    report
+        .findings
+        .iter()
+        .inspect(|f| assert_eq!(f.severity, Severity::Error, "{f:?}"))
+        .filter(|f| f.rule == "metric-taxonomy")
+        .map(|f| format!("{}: {}", f.file, f.message))
+        .collect()
+}
+
+#[test]
+fn violating_fixture_is_flagged_in_both_directions() {
+    let dir = fake_workspace("viol", VIOLATING);
+    let messages = taxonomy_messages(&dir);
+
+    // Code leads docs: the bogus counter and the vanished event.
+    assert!(
+        messages.iter().any(|m| {
+            m.starts_with("crates/acqp-sensornet/src/serve_fixture.rs:")
+                && m.contains("`serve.bogus` is not documented")
+        }),
+        "missing undocumented-counter finding: {messages:#?}"
+    );
+    assert!(
+        messages.iter().any(|m| {
+            m.starts_with("crates/acqp-sensornet/src/serve_fixture.rs:")
+                && m.contains("`serve.vanish` is not documented")
+        }),
+        "missing undocumented-event finding: {messages:#?}"
+    );
+    // Docs lead code: the hist row and the completion event row are
+    // emitted nowhere.
+    assert!(
+        messages.iter().any(
+            |m| m.starts_with("DESIGN.md:") && m.contains("`serve.latency_epochs` is emitted")
+        ),
+        "missing stale-hist-row finding: {messages:#?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.starts_with("DESIGN.md:") && m.contains("`serve.complete` is emitted")),
+        "missing stale-event-row finding: {messages:#?}"
+    );
+    assert_eq!(messages.len(), 4, "{messages:#?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_fixture_lints_to_zero_findings() {
+    let dir = fake_workspace("clean", CLEAN);
+    let report = lint_workspace(&dir).expect("lint runs");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -226,7 +226,10 @@ impl Hist {
             .enumerate()
             .filter_map(|(i, c)| {
                 let n = c.load(Ordering::Relaxed);
-                (n > 0).then(|| (1u64 << i, n))
+                // Same clamp as `percentile`: the two bucket views must
+                // agree on the bound of every bucket, whatever
+                // HIST_BUCKETS grows to.
+                (n > 0).then(|| (1u64 << i.min(63), n))
             })
             .collect()
     }
@@ -312,6 +315,15 @@ impl Snapshot {
         Some(percentile_from_buckets(buckets.iter().copied(), *count, q))
     }
 
+    /// Mean of a snapshotted histogram; `None` when the histogram is
+    /// absent *or* registered but never observed — a never-observed
+    /// histogram has no mean, and reporting `0.0` for it would be
+    /// indistinguishable from a true zero mean.
+    pub fn hist_mean(&self, name: &str) -> Option<f64> {
+        let (_, count, sum) = self.hists.get(name)?;
+        (*count > 0).then(|| *sum as f64 / *count as f64)
+    }
+
     /// Renders an aligned human-readable table (the CLI's `--metrics`).
     pub fn render_table(&self) -> String {
         let mut out = String::new();
@@ -337,8 +349,14 @@ impl Snapshot {
             }
         }
         for (name, (buckets, count, sum)) in &self.hists {
-            let mean = *sum as f64 / (*count).max(1) as f64;
-            out.push_str(&format!("  {name:<44} n={count} mean={mean:.2} buckets: "));
+            // A registered-but-never-observed histogram has no mean;
+            // render `-` so it cannot be mistaken for a true 0.0 mean.
+            let mean = if *count == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.2}", *sum as f64 / *count as f64)
+            };
+            out.push_str(&format!("  {name:<44} n={count} mean={mean} buckets: "));
             for (le, n) in buckets {
                 out.push_str(&format!("le_{le}:{n} "));
             }
@@ -617,6 +635,41 @@ mod tests {
         assert_eq!(snap.hist_percentile("t.lat", 0.5), Some(1));
         assert_eq!(snap.hist_percentile("t.lat", 1.0), Some(1024));
         assert_eq!(snap.hist_percentile("absent", 0.5), None);
+    }
+
+    #[test]
+    fn never_observed_hist_renders_absent_mean() {
+        let rec = Recorder::new(Arc::new(NoopSink));
+        let _registered = rec.hist("t.empty");
+        rec.hist("t.zeros").observe(0);
+        let snap = rec.drain();
+        // The never-observed histogram must be distinguishable from one
+        // whose observations genuinely average to zero.
+        assert_eq!(snap.hist_mean("t.empty"), None);
+        assert_eq!(snap.hist_mean("t.zeros"), Some(0.0));
+        assert_eq!(snap.hist_mean("t.absent"), None);
+        let table = snap.render_table();
+        let empty_line = table.lines().find(|l| l.contains("t.empty")).unwrap();
+        assert!(empty_line.contains("n=0 mean=- buckets:"), "{empty_line}");
+        let zeros_line = table.lines().find(|l| l.contains("t.zeros")).unwrap();
+        assert!(zeros_line.contains("n=1 mean=0.00 buckets:"), "{zeros_line}");
+    }
+
+    #[test]
+    fn top_bucket_bound_agrees_between_views() {
+        let h = Hist::new();
+        h.observe(u64::MAX); // lands in the overflow bucket
+        h.observe(1u64 << 40); // also beyond the last finite bound
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 1, "{buckets:?}");
+        let (top_le, n) = buckets[0];
+        assert_eq!(n, 2);
+        // The overflow bucket's bound must be exactly what `percentile`
+        // reports for the same observations — the two views may never
+        // disagree on a bucket bound.
+        assert_eq!(top_le, 1u64 << (HIST_BUCKETS - 1).min(63));
+        assert_eq!(h.percentile(1.0), top_le);
+        assert_eq!(h.p50(), top_le);
     }
 
     #[test]

@@ -142,6 +142,34 @@ impl<'h> Basestation<'h> {
         best.ok_or(Error::EmptyQuery)
     }
 
+    /// Like [`Basestation::plan_query_sized`] but also reports how many
+    /// plan-search subproblems the sweep expanded — the work a plan
+    /// cache saves on a hit. Produces identical plans to the unreported
+    /// variant (`plan_with_cost` is itself a thin wrapper over
+    /// `plan_with_report`).
+    pub fn plan_query_sized_reported(
+        &self,
+        query: &Query,
+        alpha: f64,
+        candidate_splits: &[usize],
+    ) -> Result<(usize, PlannedQuery, u64)> {
+        let est = CountingEstimator::with_ranges(self.history, Ranges::root(&self.schema));
+        let mut best: Option<(usize, PlannedQuery)> = None;
+        let mut subproblems = 0u64;
+        for &k in candidate_splits {
+            let r = GreedyPlanner::new(k).plan_with_report(&self.schema, query, &est)?;
+            subproblems += r.subproblems as u64;
+            let wire = r.plan.encode();
+            let objective = r.expected_cost + alpha * wire.len() as f64;
+            let p = PlannedQuery { plan: r.plan, wire, expected_cost: r.expected_cost, objective };
+            if best.as_ref().is_none_or(|(_, b)| p.objective < b.objective) {
+                best = Some((k, p));
+            }
+        }
+        let (k, p) = best.ok_or(Error::EmptyQuery)?;
+        Ok((k, p, subproblems))
+    }
+
     /// The per-predicate selectivities the historical estimator
     /// predicts for `query` — what a freshly planned query's drift
     /// monitor is armed with.
@@ -258,6 +286,22 @@ mod tests {
         let (k_short, p_short) = bs.plan_query_sized(&query, 1e6, &candidates).unwrap();
         assert!(k_short <= k_long);
         assert_eq!(p_short.plan.split_count(), 0, "huge alpha must force a leaf plan");
+    }
+
+    #[test]
+    fn reported_sweep_matches_plain_sweep() {
+        let (schema, data, query) = setup();
+        let bs = Basestation::new(schema, &data);
+        let candidates = [0usize, 1, 2, 4, 8];
+        for alpha in [0.0, 0.05, 1e6] {
+            let (k, p) = bs.plan_query_sized(&query, alpha, &candidates).unwrap();
+            let (kr, pr, subs) = bs.plan_query_sized_reported(&query, alpha, &candidates).unwrap();
+            assert_eq!(k, kr);
+            assert_eq!(p.wire, pr.wire);
+            assert_eq!(p.expected_cost, pr.expected_cost);
+            assert_eq!(p.objective, pr.objective);
+            assert!(subs > 0, "a real sweep expands at least one subproblem");
+        }
     }
 
     #[test]

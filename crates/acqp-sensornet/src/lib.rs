@@ -28,6 +28,10 @@
 //!   through `acqp-persist`, seeded basestation crashes
 //!   ([`sim::run_simulation_crashy`]), recovery with re-dissemination
 //!   charged to the energy model (`recovery.*` taxonomy).
+//! * [`service`] — the multi-query service loop: a schedule of
+//!   concurrent queries over one fleet with per-epoch acquisition
+//!   merging and a pluggable planning policy (`serve.*` taxonomy,
+//!   `DESIGN.md` §14; the policy layer lives in `acqp-serve`).
 
 #![warn(missing_docs)]
 // Determinism tests assert bitwise-equal floats on purpose; the
@@ -39,6 +43,7 @@ pub mod fault;
 pub mod interp;
 pub mod mote;
 pub mod recovery;
+pub mod service;
 pub mod sim;
 pub mod topology;
 
@@ -48,6 +53,9 @@ pub use fault::{attempt_packet, Delivery, Dropout, FaultModel, FaultStats, Fault
 pub use interp::execute_wire;
 pub use mote::Mote;
 pub use recovery::{CrashConfig, CrashReport};
+pub use service::{
+    run_service, AdmittedPlan, QueryOutcome, ScheduleEntry, ServePlanner, ServiceReport,
+};
 pub use sim::{
     result_packet_bytes, run_simulation, run_simulation_adaptive, run_simulation_crashy,
     run_simulation_faulty, run_simulation_mode, run_simulation_multihop, run_simulation_recorded,

@@ -1,0 +1,851 @@
+//! The multi-query basestation service loop (`DESIGN.md` §14).
+//!
+//! [`run_service`] admits a *schedule* of queries over one fleet and
+//! runs them concurrently, merging their acquisition demands per epoch:
+//! within one `(epoch, mote)` slot the first query to demand an
+//! attribute pays for the sensor read and every later live query is
+//! served from the shared value cache for free
+//! ([`acqp_core::SharedSource`]). Planning is delegated to a
+//! [`ServePlanner`] hook so the policy layer (`acqp-serve`) can cache
+//! plans and invalidate them on drift without this engine knowing
+//! about either.
+//!
+//! Determinism: queries are admitted in schedule order, executed in
+//! admission order within every slot, and motes are visited in index
+//! order — the *arbitration order* is a pure function of the schedule,
+//! so fixed seeds reproduce runs bit-for-bit. A service run with a
+//! single scheduled query performs exactly the `f64` ledger additions
+//! of [`crate::sim::run_simulation_mode`] per accumulator, in the same
+//! order, and is therefore bitwise identical to it (pinned by
+//! `tests/serve_equivalence.rs`). Latency is measured in **epochs**,
+//! never wall-clock time.
+
+use acqp_core::{
+    AttrId, BatchExecutor, BatchOutcome, ColumnBatch, CostModel, ExecMode, ExecOutcome,
+    PreparedPlan, Query, Result, Schema, SharedScratch, SharedSource, BATCH_ROWS,
+};
+use acqp_obs::{Counter, FlightRecorder, Hist, Recorder};
+
+use crate::basestation::PlannedQuery;
+use crate::energy::{EnergyLedger, EnergyModel};
+use crate::interp::execute_wire;
+use crate::mote::Mote;
+use crate::sim::result_packet_bytes;
+
+/// One entry of a service schedule: `query` is admitted at epoch
+/// `admit` and runs for `window` epochs (a zero window is treated as
+/// one epoch). Entries are admitted in schedule order — ties at the
+/// same admission epoch keep their relative order, which is the
+/// service's deterministic arbitration order.
+#[derive(Debug, Clone)]
+pub struct ScheduleEntry {
+    /// The query to run.
+    pub query: Query,
+    /// Epoch at which the query is admitted.
+    pub admit: usize,
+    /// Number of epochs the query stays live.
+    pub window: usize,
+}
+
+/// What the planning layer decided for an admitted query.
+#[derive(Debug, Clone)]
+pub struct AdmittedPlan {
+    /// The plan to disseminate and execute.
+    pub planned: PlannedQuery,
+    /// True when the plan came out of a cache rather than a search.
+    pub cache_hit: bool,
+    /// Plan-search subproblems expanded to produce it (zero on a hit).
+    pub subproblems: u64,
+}
+
+/// The planning policy behind [`run_service`]: the engine calls
+/// [`ServePlanner::plan_admitted`] once per admission and
+/// [`ServePlanner::query_completed`] once per completion (handing over
+/// the query's observed per-predicate counts so the policy can track
+/// drift and invalidate cached plans).
+pub trait ServePlanner {
+    /// Produces the plan for `query`, admitted at `epoch`.
+    fn plan_admitted(&mut self, query: &Query, epoch: usize) -> Result<AdmittedPlan>;
+
+    /// Notifies the policy that `query` completed at `epoch` with the
+    /// given cumulative `(evaluated, passed)` counts per predicate.
+    /// Returns how many cached plans this completion invalidated.
+    fn query_completed(&mut self, query: &Query, epoch: usize, pred_counts: &[(u64, u64)]) -> u64;
+
+    /// The policy's current statistics epoch (bumped on invalidation).
+    fn stats_epoch(&self) -> u64;
+}
+
+/// Per-query accounting for one schedule entry.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Whether the query was admitted at all (entries whose admission
+    /// epoch falls beyond the run are never admitted).
+    pub admitted: bool,
+    /// Epoch the query was admitted at.
+    pub admit: usize,
+    /// Epoch the query completed at (one past its last live epoch).
+    pub completed_at: usize,
+    /// Mote-epochs this query evaluated.
+    pub tuples: usize,
+    /// Tuples that satisfied the query.
+    pub results: usize,
+    /// Whether every verdict matched ground truth.
+    pub all_correct: bool,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Plan-search subproblems expanded on admission.
+    pub subproblems: u64,
+    /// Admission-to-first-result latency in epochs (`None` when the
+    /// query produced no result).
+    pub latency_epochs: Option<u64>,
+    /// Cached plans invalidated when this query's completion stats
+    /// were absorbed.
+    pub invalidated: u64,
+}
+
+/// Result of one service run.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Epochs the service ran for.
+    pub epochs: usize,
+    /// One outcome per schedule entry, in schedule order.
+    pub queries: Vec<QueryOutcome>,
+    /// Aggregate energy over all motes.
+    pub network: EnergyLedger,
+    /// Per-mote energy ledgers.
+    pub per_mote: Vec<EnergyLedger>,
+    /// Basestation transmit energy spent on dissemination.
+    pub bs_tx_uj: f64,
+    /// Sensor reads physically performed (after cross-query merging).
+    pub performed_acquisitions: u64,
+    /// Sensor reads the live queries demanded (before merging) — the
+    /// gap to `performed_acquisitions` is the sharing win.
+    pub demanded_acquisitions: u64,
+}
+
+impl ServiceReport {
+    /// Total query-tuples evaluated across the schedule.
+    pub fn tuples(&self) -> usize {
+        self.queries.iter().map(|q| q.tuples).sum()
+    }
+
+    /// Total results across the schedule.
+    pub fn results(&self) -> usize {
+        self.queries.iter().map(|q| q.results).sum()
+    }
+
+    /// Whether every verdict of every query matched ground truth.
+    pub fn all_correct(&self) -> bool {
+        self.queries.iter().all(|q| q.all_correct)
+    }
+}
+
+/// Vectorized-mode precomputation for one live query on one mote: the
+/// per-epoch verdicts and (node-constant) acquisition chains of its
+/// plan over the mote's trace window, produced by the batch executor.
+struct MotePre {
+    verdicts: Vec<bool>,
+    chains: Vec<Vec<AttrId>>,
+}
+
+/// One admitted, still-running query.
+struct LiveQuery {
+    /// Index into the schedule (also the arbitration key).
+    idx: usize,
+    planned: PlannedQuery,
+    admit: usize,
+    /// One past the query's last live epoch.
+    end: usize,
+    uplink_bytes: usize,
+    /// `pred_of[a]` = index of the predicate on attribute `a`, if any.
+    pred_of: Vec<Option<usize>>,
+    /// Cumulative per-predicate `(evaluated, passed)` counts.
+    pend: Vec<(u64, u64)>,
+    tuples: usize,
+    results: usize,
+    all_correct: bool,
+    first_result: Option<usize>,
+    cache_hit: bool,
+    subproblems: u64,
+    /// Per-mote batch precomputation (vectorized mode only).
+    pre: Vec<MotePre>,
+}
+
+/// Pre-hoisted `serve.*` instruments (see `DESIGN.md` §8).
+struct ServeMetrics {
+    admitted: Counter,
+    completed: Counter,
+    tuples: Counter,
+    results: Counter,
+    radio: Counter,
+    demanded: Counter,
+    performed: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    invalidations: Counter,
+    subproblems: Counter,
+    latency: Hist,
+}
+
+impl ServeMetrics {
+    fn new(rec: &Recorder) -> ServeMetrics {
+        ServeMetrics {
+            admitted: rec.counter("serve.queries.admitted"),
+            completed: rec.counter("serve.queries.completed"),
+            tuples: rec.counter("serve.tuples"),
+            results: rec.counter("serve.results"),
+            radio: rec.counter("serve.radio.msgs"),
+            demanded: rec.counter("serve.acquisitions.demanded"),
+            performed: rec.counter("serve.acquisitions.performed"),
+            cache_hits: rec.counter("serve.cache.hits"),
+            cache_misses: rec.counter("serve.cache.misses"),
+            invalidations: rec.counter("serve.cache.invalidations"),
+            subproblems: rec.counter("serve.plan.subproblems"),
+            latency: rec.hist("serve.latency_epochs"),
+        }
+    }
+}
+
+/// Runs `schedule` as a concurrent multi-query service over the fleet,
+/// losslessly, for `epochs` epochs. Plans come from `planner`; every
+/// admission is disseminated to the whole fleet (radio energy charged
+/// like the single-query engine's), every live query executes once per
+/// `(epoch, mote)` slot with acquisitions merged across queries, and
+/// every passing tuple transmits that query's result packet.
+///
+/// Returns one [`QueryOutcome`] per schedule entry, in schedule order.
+#[allow(clippy::too_many_arguments)]
+pub fn run_service(
+    schema: &Schema,
+    schedule: &[ScheduleEntry],
+    planner: &mut dyn ServePlanner,
+    motes: &mut [Mote],
+    model: &EnergyModel,
+    epochs: usize,
+    mode: ExecMode,
+    rec: &Recorder,
+) -> Result<ServiceReport> {
+    let span = rec.span("serve.run");
+    let flight = rec.flight().clone();
+    let start_seq = flight.emit(
+        0,
+        0,
+        "serve.start",
+        &[
+            ("queries", schedule.len().into()),
+            ("motes", motes.len().into()),
+            ("epochs", epochs.into()),
+        ],
+    );
+    let m = ServeMetrics::new(rec);
+
+    // Outcomes in schedule order; entries admitted beyond the run keep
+    // their zeroed row with `admitted: false`.
+    let mut outcomes: Vec<QueryOutcome> = schedule
+        .iter()
+        .map(|s| QueryOutcome {
+            admitted: false,
+            admit: s.admit,
+            completed_at: s.admit,
+            tuples: 0,
+            results: 0,
+            all_correct: true,
+            cache_hit: false,
+            subproblems: 0,
+            latency_epochs: None,
+            invalidated: 0,
+        })
+        .collect();
+
+    // Admission index: schedule entries by admission epoch, preserving
+    // schedule order within an epoch (the arbitration order).
+    let mut admissions_at: Vec<Vec<usize>> = vec![Vec::new(); epochs];
+    for (i, s) in schedule.iter().enumerate() {
+        if s.admit < epochs {
+            admissions_at[s.admit].push(i);
+        }
+    }
+
+    let mut live: Vec<LiveQuery> = Vec::new();
+    let mut scratch = SharedScratch::new(schema.len());
+    let mut slot_outs: Vec<ExecOutcome> = Vec::new();
+    let mut bs_tx_uj = 0.0;
+    let mut demanded = 0u64;
+    let mut performed = 0u64;
+    let mut exec = BatchExecutor::new();
+    let mut out = BatchOutcome::default();
+
+    for (e, admitted_now) in admissions_at.iter().enumerate() {
+        // 1. Admissions, in schedule order.
+        for &idx in admitted_now {
+            let entry = &schedule[idx];
+            let plan = planner.plan_admitted(&entry.query, e)?;
+            m.admitted.incr(1);
+            m.subproblems.incr(plan.subproblems);
+            if plan.cache_hit {
+                m.cache_hits.incr(1);
+            } else {
+                m.cache_misses.incr(1);
+            }
+            // Dissemination: every mote receives the plan, exactly like
+            // the single-query engine's lossless round.
+            for mote in motes.iter_mut() {
+                m.radio.incr(1);
+                mote.receive(plan.planned.wire.len(), model);
+                bs_tx_uj += (plan.planned.wire.len()) as f64 * model.radio_tx_uj_per_byte;
+            }
+            flight.emit(
+                e as u64,
+                start_seq,
+                "serve.admit",
+                &[
+                    ("query", idx.into()),
+                    ("cache_hit", plan.cache_hit.into()),
+                    ("subproblems", plan.subproblems.into()),
+                    ("wire_bytes", plan.planned.wire.len().into()),
+                ],
+            );
+            let mut pred_of: Vec<Option<usize>> = vec![None; schema.len()];
+            for (j, &a) in entry.query.attrs().iter().enumerate() {
+                pred_of[a] = Some(j);
+            }
+            let end = (entry.admit + entry.window.max(1)).min(epochs);
+            let pre = match mode {
+                ExecMode::Scalar => Vec::new(),
+                ExecMode::Vectorized => precompute_batches(
+                    &mut exec,
+                    &mut out,
+                    &plan.planned,
+                    &entry.query,
+                    schema,
+                    motes,
+                    entry.admit,
+                    end,
+                ),
+            };
+            outcomes[idx].admitted = true;
+            live.push(LiveQuery {
+                idx,
+                planned: plan.planned,
+                admit: entry.admit,
+                end,
+                uplink_bytes: result_packet_bytes(schema, &entry.query),
+                pred_of,
+                pend: vec![(0, 0); entry.query.len()],
+                tuples: 0,
+                results: 0,
+                all_correct: true,
+                first_result: None,
+                cache_hit: plan.cache_hit,
+                subproblems: plan.subproblems,
+                pre,
+            });
+        }
+
+        // 2. One merged execution pass per mote, in index order. Phase
+        // A runs every live query against the shared source (charging
+        // sensing + board energy in first-demand order); phase B does
+        // per-query accounting and result uplinks once the metered
+        // source has released the mote.
+        for (mi, mote) in motes.iter_mut().enumerate() {
+            if live.is_empty() || e >= mote.epochs() {
+                continue;
+            }
+            scratch.reset();
+            match mode {
+                ExecMode::Scalar => {
+                    slot_outs.clear();
+                    {
+                        // One metered source per slot: its board
+                        // power-up state spans every query in the slot,
+                        // so a board powers up at most once per epoch
+                        // per mote no matter how many queries read it.
+                        let mut src = mote.epoch_source(e, schema, model);
+                        for q in live.iter() {
+                            let mut shared = SharedSource::new(&mut src, &mut scratch);
+                            let o = execute_wire(
+                                &q.planned.wire,
+                                &schedule[q.idx].query,
+                                schema,
+                                &mut shared,
+                            )
+                            .expect("basestation-produced wire plans are well-formed");
+                            slot_outs.push(o);
+                        }
+                    }
+                    for (q, o) in live.iter_mut().zip(&slot_outs) {
+                        account_slot(
+                            q,
+                            &schedule[q.idx].query,
+                            mote,
+                            model,
+                            e,
+                            o.verdict,
+                            &o.acquired,
+                            &m,
+                        );
+                        demanded += o.acquired.len() as u64;
+                    }
+                }
+                ExecMode::Vectorized => {
+                    // Merge the precomputed per-query chains into one
+                    // deduplicated chain in first-demand order (the
+                    // exact order the scalar shared source acquires
+                    // in), then charge it once.
+                    let mut seen = 0u64;
+                    let mut merged: Vec<AttrId> = Vec::new();
+                    for q in live.iter_mut() {
+                        let off = e - q.admit;
+                        let (verdict, chain) = {
+                            let pre = &q.pre[mi];
+                            (pre.verdicts[off], pre.chains[off].clone())
+                        };
+                        for &a in &chain {
+                            let bit = 1u64 << a;
+                            if seen & bit == 0 {
+                                seen |= bit;
+                                merged.push(a);
+                            }
+                        }
+                        account_slot(
+                            q,
+                            &schedule[q.idx].query,
+                            mote,
+                            model,
+                            e,
+                            verdict,
+                            &chain,
+                            &m,
+                        );
+                        demanded += chain.len() as u64;
+                    }
+                    mote.charge_epoch(&merged, schema, model);
+                    m.performed.incr(merged.len() as u64);
+                    performed += merged.len() as u64;
+                }
+            }
+            if mode == ExecMode::Scalar {
+                m.performed.incr(scratch.acquired().len() as u64);
+                performed += scratch.acquired().len() as u64;
+            }
+        }
+
+        // 3. Completions: queries whose last live epoch was `e`.
+        let (done, rest): (Vec<LiveQuery>, Vec<LiveQuery>) =
+            live.into_iter().partition(|q| q.end == e + 1);
+        live = rest;
+        for q in done {
+            complete(q, e + 1, schedule, planner, &mut outcomes, &m, &flight, start_seq);
+        }
+    }
+    // `end` is clamped to `epochs`, so nothing should still be live
+    // here; drain defensively all the same.
+    for q in std::mem::take(&mut live) {
+        complete(q, epochs, schedule, planner, &mut outcomes, &m, &flight, start_seq);
+    }
+
+    rec.gauge("serve.stats_epoch", planner.stats_epoch() as f64);
+    let per_mote: Vec<EnergyLedger> = motes.iter().map(|mt| *mt.ledger()).collect();
+    if rec.enabled() {
+        for (mt, l) in motes.iter().zip(&per_mote) {
+            let id = mt.id();
+            rec.gauge(&format!("sensornet.mote{id}.sensing_uj"), l.sensing_uj);
+            rec.gauge(&format!("sensornet.mote{id}.radio_uj"), l.radio_tx_uj + l.radio_rx_uj);
+            rec.gauge(&format!("sensornet.mote{id}.total_uj"), l.total_uj());
+        }
+    }
+    let mut network = EnergyLedger::default();
+    for l in &per_mote {
+        network.absorb(l);
+    }
+    let report = ServiceReport {
+        epochs,
+        queries: outcomes,
+        network,
+        per_mote,
+        bs_tx_uj,
+        performed_acquisitions: performed,
+        demanded_acquisitions: demanded,
+    };
+    flight.emit(
+        epochs as u64,
+        start_seq,
+        "serve.end",
+        &[
+            ("results", report.results().into()),
+            ("all_correct", report.all_correct().into()),
+            ("performed", performed.into()),
+            ("demanded", demanded.into()),
+        ],
+    );
+    drop(span);
+    Ok(report)
+}
+
+/// Per-query slot accounting shared by both exec modes: tuple/result
+/// counters, drift observations over the query's own acquisition
+/// chain, ground-truth verification and the result uplink.
+#[allow(clippy::too_many_arguments)]
+fn account_slot(
+    q: &mut LiveQuery,
+    query: &Query,
+    mote: &mut Mote,
+    model: &EnergyModel,
+    e: usize,
+    verdict: bool,
+    chain: &[AttrId],
+    m: &ServeMetrics,
+) {
+    q.tuples += 1;
+    m.tuples.incr(1);
+    m.demanded.incr(chain.len() as u64);
+    // Per-query drift observations use the query's own acquisition
+    // chain — identical to what an independent run would observe.
+    for &a in chain {
+        if let Some(j) = q.pred_of[a] {
+            q.pend[j].0 += 1;
+            q.pend[j].1 += u64::from(query.pred(j).eval(mote.peek(e, a)));
+        }
+    }
+    let truth = query.eval_with(|a| mote.peek(e, a));
+    q.all_correct &= verdict == truth;
+    if verdict {
+        q.results += 1;
+        m.results.incr(1);
+        q.first_result.get_or_insert(e);
+        mote.transmit(q.uplink_bytes, model);
+        m.radio.incr(1);
+    }
+}
+
+/// Finalizes one completed query: hands its drift counts to the
+/// planner, records its outcome row, and emits the completion event.
+#[allow(clippy::too_many_arguments)]
+fn complete(
+    q: LiveQuery,
+    at: usize,
+    schedule: &[ScheduleEntry],
+    planner: &mut dyn ServePlanner,
+    outcomes: &mut [QueryOutcome],
+    m: &ServeMetrics,
+    flight: &FlightRecorder,
+    start_seq: u64,
+) {
+    let invalidated = planner.query_completed(&schedule[q.idx].query, at, &q.pend);
+    m.completed.incr(1);
+    m.invalidations.incr(invalidated);
+    let latency = q.first_result.map(|f| (f - q.admit) as u64 + 1);
+    if let Some(l) = latency {
+        m.latency.observe(l);
+    }
+    let lat_field = latency.map(i64::try_from).and_then(std::result::Result::ok).unwrap_or(-1);
+    flight.emit(
+        at as u64,
+        start_seq,
+        "serve.complete",
+        &[
+            ("query", q.idx.into()),
+            ("results", q.results.into()),
+            ("latency", lat_field.into()),
+            ("invalidated", invalidated.into()),
+        ],
+    );
+    let o = &mut outcomes[q.idx];
+    o.completed_at = at;
+    o.tuples = q.tuples;
+    o.results = q.results;
+    o.all_correct = q.all_correct;
+    o.cache_hit = q.cache_hit;
+    o.subproblems = q.subproblems;
+    o.latency_epochs = latency;
+    o.invalidated = invalidated;
+}
+
+/// Vectorized-mode admission work: runs the batch executor over each
+/// mote's trace window and stores per-epoch verdicts and owned
+/// acquisition chains for the epoch loop to merge.
+#[allow(clippy::too_many_arguments)]
+fn precompute_batches(
+    exec: &mut BatchExecutor,
+    out: &mut BatchOutcome,
+    planned: &PlannedQuery,
+    query: &Query,
+    schema: &Schema,
+    motes: &[Mote],
+    admit: usize,
+    end: usize,
+) -> Vec<MotePre> {
+    let prepared = PreparedPlan::new(&planned.plan, query, schema, &CostModel::PerAttribute);
+    motes
+        .iter()
+        .map(|mote| {
+            let stop = end.min(mote.epochs());
+            let mut verdicts = Vec::new();
+            let mut chains = Vec::new();
+            let mut start = admit;
+            while start < stop {
+                let len = BATCH_ROWS.min(stop - start);
+                let batch = ColumnBatch::slice(mote.trace(), start, len);
+                exec.execute_batch(&prepared, &batch, None, out);
+                for slot in 0..len {
+                    verdicts.push(out.verdict(slot));
+                    chains.push(out.acquired(&prepared, slot).to_vec());
+                }
+                start += len;
+            }
+            MotePre { verdicts, chains }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basestation::Basestation;
+    use crate::sim::{fleet_from_trace, run_simulation_mode};
+    use acqp_core::{Attribute, Dataset, Pred};
+
+    /// A minimal cache-free policy for engine tests: plans every
+    /// admission from scratch via the reported sweep.
+    struct PlainPlanner<'h> {
+        bs: Basestation<'h>,
+        alpha: f64,
+    }
+
+    impl ServePlanner for PlainPlanner<'_> {
+        fn plan_admitted(&mut self, query: &Query, _epoch: usize) -> Result<AdmittedPlan> {
+            let (_, planned, subproblems) =
+                self.bs.plan_query_sized_reported(query, self.alpha, &[0, 1, 2, 4])?;
+            Ok(AdmittedPlan { planned, cache_hit: false, subproblems })
+        }
+
+        fn query_completed(&mut self, _: &Query, _: usize, _: &[(u64, u64)]) -> u64 {
+            0
+        }
+
+        fn stats_epoch(&self) -> u64 {
+            0
+        }
+    }
+
+    fn setup() -> (Schema, Dataset, Query) {
+        let schema = Schema::new(vec![
+            Attribute::new("a", 2, 100.0),
+            Attribute::new("b", 2, 100.0),
+            Attribute::new("t", 2, 1.0),
+        ])
+        .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..240u16 {
+            let t = i % 2;
+            let a = if i % 10 == 0 { 1 - t } else { t };
+            let b = if i % 12 == 0 { t } else { 1 - t };
+            rows.push(vec![a, b, t]);
+        }
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(1, 1, 1)]).unwrap();
+        (schema, data, query)
+    }
+
+    #[test]
+    fn single_query_service_matches_engine_bitwise() {
+        let (schema, data, query) = setup();
+        let bs = Basestation::new(schema.clone(), &data);
+        let model = EnergyModel::mica_like();
+        let epochs = 64usize;
+        for mode in [ExecMode::Scalar, ExecMode::Vectorized] {
+            // Reference: the single-query engine.
+            let planned = bs.plan_query_sized(&query, 0.01, &[0, 1, 2, 4]).unwrap().1;
+            let mut ref_fleet = fleet_from_trace(&data, 3);
+            let sim = run_simulation_mode(
+                &schema,
+                &query,
+                &planned,
+                &mut ref_fleet,
+                &model,
+                epochs,
+                mode,
+                &Recorder::disabled(),
+            );
+
+            // The service with one scheduled query covering the run.
+            let mut planner =
+                PlainPlanner { bs: Basestation::new(schema.clone(), &data), alpha: 0.01 };
+            let mut fleet = fleet_from_trace(&data, 3);
+            let schedule = [ScheduleEntry { query: query.clone(), admit: 0, window: epochs }];
+            let rep = run_service(
+                &schema,
+                &schedule,
+                &mut planner,
+                &mut fleet,
+                &model,
+                epochs,
+                mode,
+                &Recorder::disabled(),
+            )
+            .unwrap();
+
+            assert_eq!(rep.tuples(), sim.tuples);
+            assert_eq!(rep.results(), sim.results);
+            assert!(rep.all_correct() && sim.all_correct);
+            assert_eq!(rep.per_mote.len(), sim.per_mote.len());
+            for (a, b) in rep.per_mote.iter().zip(&sim.per_mote) {
+                assert_eq!(a.sensing_uj.to_bits(), b.sensing_uj.to_bits());
+                assert_eq!(a.board_uj.to_bits(), b.board_uj.to_bits());
+                assert_eq!(a.radio_tx_uj.to_bits(), b.radio_tx_uj.to_bits());
+                assert_eq!(a.radio_rx_uj.to_bits(), b.radio_rx_uj.to_bits());
+            }
+            assert_eq!(rep.network.total_uj().to_bits(), sim.network.total_uj().to_bits());
+            // With one query nothing can be shared.
+            assert_eq!(rep.performed_acquisitions, rep.demanded_acquisitions);
+        }
+    }
+
+    #[test]
+    fn overlapping_queries_share_acquisitions() {
+        let (schema, data, query) = setup();
+        let q2 = Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(2, 0, 0)]).unwrap();
+        let model = EnergyModel::mica_like();
+        let epochs = 48usize;
+        let schedule = [
+            ScheduleEntry { query: query.clone(), admit: 0, window: epochs },
+            ScheduleEntry { query: q2.clone(), admit: 0, window: epochs },
+        ];
+
+        let mut planner = PlainPlanner { bs: Basestation::new(schema.clone(), &data), alpha: 0.01 };
+        let mut fleet = fleet_from_trace(&data, 2);
+        let shared = run_service(
+            &schema,
+            &schedule,
+            &mut planner,
+            &mut fleet,
+            &model,
+            epochs,
+            ExecMode::Scalar,
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert!(shared.performed_acquisitions < shared.demanded_acquisitions);
+
+        // N-independent-runs baseline: each query on its own fleet.
+        let mut independent = 0.0;
+        for entry in &schedule {
+            let bs = Basestation::new(schema.clone(), &data);
+            let planned = bs.plan_query_sized(&entry.query, 0.01, &[0, 1, 2, 4]).unwrap().1;
+            let mut f = fleet_from_trace(&data, 2);
+            let sim = run_simulation_mode(
+                &schema,
+                &entry.query,
+                &planned,
+                &mut f,
+                &model,
+                epochs,
+                ExecMode::Scalar,
+                &Recorder::disabled(),
+            );
+            independent += sim.network.total_uj();
+        }
+        assert!(
+            shared.network.total_uj() < independent,
+            "shared {} !< independent {independent}",
+            shared.network.total_uj()
+        );
+        // Both queries ran to completion with correct verdicts.
+        assert!(shared.all_correct());
+        assert_eq!(shared.queries.len(), 2);
+        assert!(shared.queries.iter().all(|q| q.admitted && q.tuples == 2 * epochs));
+    }
+
+    #[test]
+    fn scalar_and_vectorized_service_agree_bitwise() {
+        let (schema, data, query) = setup();
+        let q2 = Query::new(vec![Pred::in_range(1, 1, 1), Pred::in_range(2, 1, 1)]).unwrap();
+        let model = EnergyModel::mica_like();
+        let epochs = 40usize;
+        let schedule = [
+            ScheduleEntry { query, admit: 0, window: 30 },
+            ScheduleEntry { query: q2, admit: 8, window: 40 },
+        ];
+        let mut reports = Vec::new();
+        for mode in [ExecMode::Scalar, ExecMode::Vectorized] {
+            let mut planner =
+                PlainPlanner { bs: Basestation::new(schema.clone(), &data), alpha: 0.01 };
+            let mut fleet = fleet_from_trace(&data, 2);
+            reports.push(
+                run_service(
+                    &schema,
+                    &schedule,
+                    &mut planner,
+                    &mut fleet,
+                    &model,
+                    epochs,
+                    mode,
+                    &Recorder::disabled(),
+                )
+                .unwrap(),
+            );
+        }
+        let (s, v) = (&reports[0], &reports[1]);
+        assert_eq!(s.performed_acquisitions, v.performed_acquisitions);
+        assert_eq!(s.demanded_acquisitions, v.demanded_acquisitions);
+        for (a, b) in s.per_mote.iter().zip(&v.per_mote) {
+            assert_eq!(a.sensing_uj.to_bits(), b.sensing_uj.to_bits());
+            assert_eq!(a.board_uj.to_bits(), b.board_uj.to_bits());
+            assert_eq!(a.radio_tx_uj.to_bits(), b.radio_tx_uj.to_bits());
+            assert_eq!(a.radio_rx_uj.to_bits(), b.radio_rx_uj.to_bits());
+        }
+        for (a, b) in s.queries.iter().zip(&v.queries) {
+            assert_eq!(a.tuples, b.tuples);
+            assert_eq!(a.results, b.results);
+            assert_eq!(a.latency_epochs, b.latency_epochs);
+            assert!(a.all_correct && b.all_correct);
+        }
+    }
+
+    #[test]
+    fn schedule_edges_are_handled() {
+        let (schema, data, query) = setup();
+        let model = EnergyModel::mica_like();
+        let schedule = [
+            // Zero window is clamped to one epoch.
+            ScheduleEntry { query: query.clone(), admit: 2, window: 0 },
+            // Admission beyond the run: never admitted.
+            ScheduleEntry { query: query.clone(), admit: 100, window: 5 },
+        ];
+        let mut planner = PlainPlanner { bs: Basestation::new(schema.clone(), &data), alpha: 0.0 };
+        let mut fleet = fleet_from_trace(&data, 2);
+        let rep = run_service(
+            &schema,
+            &schedule,
+            &mut planner,
+            &mut fleet,
+            &model,
+            10,
+            ExecMode::Scalar,
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert!(rep.queries[0].admitted);
+        assert_eq!(rep.queries[0].tuples, 2);
+        assert_eq!(rep.queries[0].completed_at, 3);
+        assert!(!rep.queries[1].admitted);
+        assert_eq!(rep.queries[1].tuples, 0);
+
+        // A zero-epoch run admits nothing and spends nothing.
+        let mut fleet = fleet_from_trace(&data, 2);
+        let rep = run_service(
+            &schema,
+            &schedule,
+            &mut planner,
+            &mut fleet,
+            &model,
+            0,
+            ExecMode::Scalar,
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert!(rep.queries.iter().all(|q| !q.admitted));
+        assert_eq!(rep.network.total_uj(), 0.0);
+    }
+}

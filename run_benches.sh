@@ -36,4 +36,5 @@ run cargo bench -p acqp-bench --bench scalability
 run cargo bench -p acqp-bench --bench fault_sweep
 run cargo bench -p acqp-bench --bench crash_recovery
 run cargo bench -p acqp-bench --bench vectorized
+run cargo bench -p acqp-bench --bench serve
 echo "ALL BENCHES RECORDED" | tee -a "$out"

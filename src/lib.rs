@@ -15,6 +15,9 @@
 //!   snapshots plus a write-ahead log with idempotent replay.
 //! * [`sensornet`] — execution substrate: motes, energy accounting,
 //!   radio costs, basestation planning, plan byte-code interpreter.
+//! * [`serve`] — the long-running multi-query service: concurrent
+//!   admission over one fleet, shared acquisitions, signature-keyed
+//!   plan caching with drift-triggered invalidation.
 //! * [`stream`] — §7 extension: sliding-window statistics, drift
 //!   detection and automatic re-planning over data streams.
 //!
@@ -31,6 +34,7 @@ pub use acqp_gm as gm;
 pub use acqp_obs as obs;
 pub use acqp_persist as persist;
 pub use acqp_sensornet as sensornet;
+pub use acqp_serve as serve;
 pub use acqp_stream as stream;
 
 /// Everything most programs need: the core prelude plus generators and

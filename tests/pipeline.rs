@@ -14,7 +14,7 @@ use acqp::data::workload::{garden_queries_on, lab_queries, synthetic_query};
 fn lab_dominance_chain_on_training_data() {
     let g = lab::generate(&LabConfig { motes: 8, epochs: 500, ..LabConfig::default() });
     let (train, _) = g.split(0.8);
-    let queries = lab_queries(&g.schema, &train, 6, 3, 11);
+    let queries = lab_queries(&g.schema, &train, 6, 3, 11).unwrap();
     for (qi, q) in queries.iter().enumerate() {
         let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
         let grid = SplitGrid::for_query(&g.schema, q, 2);
@@ -50,7 +50,7 @@ fn lab_dominance_chain_on_training_data() {
 fn garden_planners_exact_and_no_train_regression() {
     let g = garden::generate(&GardenConfig { epochs: 1_500, ..GardenConfig::garden5() });
     let (train, test) = g.split(0.5);
-    let queries = garden_queries_on(&g.schema, Some(&train), 5, 5, 22);
+    let queries = garden_queries_on(&g.schema, Some(&train), 5, 5, 22).unwrap();
     for q in &queries {
         let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
         let corr = SeqPlanner::greedy().plan(&g.schema, q, &est).unwrap();
@@ -102,7 +102,7 @@ fn synthetic_conditional_beats_naive_out_of_sample() {
 fn model_cost_equals_training_cost_everywhere() {
     let g = lab::generate(&LabConfig { motes: 6, epochs: 400, ..LabConfig::default() });
     let (train, _) = g.split(0.9);
-    let queries = lab_queries(&g.schema, &train, 4, 3, 33);
+    let queries = lab_queries(&g.schema, &train, 4, 3, 33).unwrap();
     for q in &queries {
         let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
         let checks: Vec<(&str, Plan, f64)> = vec![
@@ -147,7 +147,7 @@ fn csv_roundtrip_preserves_planning() {
     let reloaded = acqp::data::csv::load_csv(&path, &g.schema).unwrap();
     std::fs::remove_file(&path).ok();
 
-    let queries = lab_queries(&g.schema, &g.data, 2, 3, 44);
+    let queries = lab_queries(&g.schema, &g.data, 2, 3, 44).unwrap();
     for q in &queries {
         let e1 = CountingEstimator::with_ranges(&g.data, Ranges::root(&g.schema));
         let e2 = CountingEstimator::with_ranges(&reloaded, Ranges::root(&g.schema));
@@ -164,7 +164,7 @@ fn gm_estimator_drives_all_planners() {
     let (train, test) = g.split(0.7);
     let tree = acqp::gm::ChowLiuTree::fit(&g.schema, &train, 0.5);
     let est = acqp::gm::GmEstimator::new(&tree, Ranges::root(&g.schema), 1_500, 9);
-    let queries = lab_queries(&g.schema, &train, 3, 3, 55);
+    let queries = lab_queries(&g.schema, &train, 3, 3, 55).unwrap();
     for q in &queries {
         for plan in [
             SeqPlanner::naive().plan(&g.schema, q, &est).unwrap(),
