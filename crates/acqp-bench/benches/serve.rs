@@ -84,11 +84,11 @@ fn zipf_scenario(fields: &mut Vec<(String, f64)>) {
     let schedule: Vec<ScheduleEntry> = (0..ADMISSIONS)
         .map(|i| {
             let rank = sample_rank(&cdf, rng.unit());
-            ScheduleEntry {
-                query: population[rank].clone(),
-                admit: i * usable / ADMISSIONS,
-                window: 4 + (rng.next() % 8) as usize,
-            }
+            ScheduleEntry::new(
+                population[rank].clone(),
+                i * usable / ADMISSIONS,
+                4 + (rng.next() % 8) as usize,
+            )
         })
         .collect();
 
@@ -161,7 +161,7 @@ fn overlap_scenario(fields: &mut Vec<(String, f64)>) {
     let schedule: Vec<ScheduleEntry> = population
         .into_iter()
         .enumerate()
-        .map(|(i, query)| ScheduleEntry { query, admit: i * 4, window: epochs })
+        .map(|(i, query)| ScheduleEntry::new(query, i * 4, epochs))
         .collect();
 
     let model = EnergyModel::mica_like();

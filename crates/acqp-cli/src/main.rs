@@ -64,7 +64,7 @@ type CliResult<T> = std::result::Result<T, CliError>;
 use acqp_sensornet::{
     run_simulation_adaptive, run_simulation_crashy, run_simulation_faulty, run_simulation_mode,
     sim::fleet_from_trace, AdaptiveConfig, Basestation, CrashConfig, EnergyModel, FaultModel,
-    FaultReport, ReplanBudget, ScheduleEntry,
+    FaultReport, ReplanBudget, ScheduleEntry, ServicePolicy,
 };
 use acqp_serve::{independent_schedule_energy, serve_schedule, ServeConfig};
 use args::Args;
@@ -96,7 +96,12 @@ USAGE:
                 [--flight-timeline yes] [--flight-cap N]
   acqp serve    --dataset <kind> --schedule \"admit:window:<expr>[;...]\"
                 [--motes M] [--splits K] [--exec scalar|vectorized]
-                [--baseline yes] [--trace-json <file>] [--metrics yes]
+                [--baseline yes] [--deadline N] [--epoch-budget F]
+                [--fault-seed N] [--loss-rate F] [--sensing-fail F]
+                [--max-attempts N] [--dropout m:from:until[,...]]
+                [--checkpoint-dir <dir>] [--checkpoint-every N]
+                [--crash-epochs e1,e2,...] [--crash-rate F]
+                [--trace-json <file>] [--metrics yes]
                 [--flight-recorder <file>] [--flight-jsonl <file>]
                 [--flight-timeline yes] [--flight-cap N]
 
@@ -125,9 +130,15 @@ USAGE:
   serving: --schedule admits each query at its `admit` epoch for
   `window` epochs; overlapping queries share sensor acquisitions and
   repeat admissions hit the signature-keyed plan cache. --baseline yes
-  also runs every query independently and prints the energy ratio.
-  The serve loop is lossless: fault, re-plan and crash flags apply to
-  `simulate` only.
+  also runs every query independently and prints the energy ratio
+  (lossless runs only). Fault and crash flags work like `simulate`'s;
+  --epoch-budget caps the summed expected per-tuple cost of live plans
+  (excess admissions queue in schedule order, with a fairness bound so
+  one hot signature cannot starve the tail) and --deadline N makes each
+  query terminate within N epochs of its scheduled admission — crossing
+  it returns the rows delivered so far as a typed timed-out outcome.
+  Mid-run re-plan flags (--replan-threshold and friends) stay
+  `simulate`-only: the service re-plans through its drift policy.
 
   crash injection (simulate): --crash-epochs and --crash-rate kill and
   restart the basestation, recovering from --checkpoint-dir (snapshot
@@ -760,22 +771,12 @@ fn cmd_simulate(args: &Args) -> CliResult<()> {
     Ok(())
 }
 
-/// Flags that opt into behaviour the lossless serve loop does not
-/// support; each is rejected with a typed error before anything runs.
-const SERVE_INCOMPATIBLE: &[&str] = &[
-    "loss-rate",
-    "sensing-fail",
-    "dropout",
-    "max-attempts",
-    "fault-seed",
-    "replan-threshold",
-    "replan-budget",
-    "sample-every",
-    "checkpoint-dir",
-    "checkpoint-every",
-    "crash-epochs",
-    "crash-rate",
-];
+/// Flags that opt into behaviour the serve loop does not support;
+/// each is rejected with a typed error before anything runs. Fault and
+/// crash flags are serve-compatible since the fault-tolerant service
+/// loop landed; mid-run re-planning remains `simulate`-only because
+/// the service already re-plans through its drift policy.
+const SERVE_INCOMPATIBLE: &[&str] = &["replan-threshold", "replan-budget", "sample-every"];
 
 /// Parses `--schedule "admit:window:<expr>[;...]"` into schedule
 /// entries plus the verbatim query texts (for echoing).
@@ -804,7 +805,7 @@ fn schedule_from(
         let text = fields[2].trim();
         let query = query_parse::parse_query(text, schema, discretizers)
             .map_err(|e| format!("parsing query `{text}`: {e}"))?;
-        out.push((text.to_string(), ScheduleEntry { query, admit, window }));
+        out.push((text.to_string(), ScheduleEntry::new(query, admit, window)));
     }
     Ok(out)
 }
@@ -815,12 +816,13 @@ fn cmd_serve(args: &Args) -> CliResult<()> {
             return Err(invalid(
                 flag,
                 v,
-                "the serve loop is lossless; fault, re-plan and crash flags apply to `simulate`",
+                "mid-run re-plan flags apply to `simulate`; the service \
+                 re-plans through its drift policy",
             ));
         }
     }
     let g = datasets::resolve(args)?;
-    let schedule = schedule_from(args.require("schedule")?, &g.schema, &g.discretizers)?;
+    let mut schedule = schedule_from(args.require("schedule")?, &g.schema, &g.discretizers)?;
 
     let (history, live) = g.data.split_at(0.5);
     let fleet: u16 = args.get_or("motes", 4)?;
@@ -829,6 +831,78 @@ fn cmd_serve(args: &Args) -> CliResult<()> {
     }
     let splits: usize = args.get_or("splits", 8)?;
     let mode = exec_mode_from(args)?;
+
+    // Robustness flags: faults and crashes exactly as `simulate` parses
+    // them, plus the serve-only deadline and admission budget.
+    let faults = fault_model_from(args)?;
+    let checkpoint_dir = args.get("checkpoint-dir").map(std::path::PathBuf::from);
+    let checkpoint_every: usize = args.get_or("checkpoint-every", 16)?;
+    let crash_rate = prob_flag(args, "crash-rate", 0.0)?;
+    let crash_epochs: Vec<usize> = match args.get("crash-epochs") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| s.trim().parse::<usize>())
+            .collect::<std::result::Result<_, _>>()
+            .map_err(|_| {
+                invalid("crash-epochs", spec, "expected a comma-separated list of epoch numbers")
+            })?,
+        None => Vec::new(),
+    };
+    let crashy = checkpoint_dir.is_some()
+        || !crash_epochs.is_empty()
+        || crash_rate > 0.0
+        || args.get("checkpoint-every").is_some();
+    let deadline = match args.get("deadline") {
+        Some(v) => {
+            let d: usize = v
+                .parse()
+                .map_err(|_| invalid("deadline", v, "must be a whole number of epochs"))?;
+            if d == 0 {
+                return Err(invalid("deadline", v, "a deadline needs at least 1 epoch"));
+            }
+            Some(d)
+        }
+        None => None,
+    };
+    let epoch_budget = match args.get("epoch-budget") {
+        Some(v) => {
+            let b: f64 = v
+                .parse()
+                .map_err(|_| invalid("epoch-budget", v, "must be a per-epoch cost budget in uJ"))?;
+            if !b.is_finite() || b <= 0.0 {
+                return Err(invalid(
+                    "epoch-budget",
+                    v,
+                    "the per-epoch cost budget must be a positive finite number",
+                ));
+            }
+            Some(b)
+        }
+        None => None,
+    };
+    if mode == ExecMode::Vectorized && (crashy || !faults.is_lossless()) {
+        return Err(invalid(
+            "exec",
+            "vectorized",
+            "the vectorized service covers only the lossless loop \
+             (drop the fault and crash flags)",
+        ));
+    }
+    let baseline = args.get("baseline").is_some_and(|v| v != "no");
+    if baseline && (crashy || !faults.is_lossless()) {
+        return Err(invalid(
+            "baseline",
+            args.get("baseline").unwrap_or("yes"),
+            "the independent-runs baseline is lossless; it cannot be \
+             compared against a faulty or crash-prone service run",
+        ));
+    }
+    let robust = crashy || !faults.is_lossless() || deadline.is_some() || epoch_budget.is_some();
+    if let Some(d) = deadline {
+        for (_, entry) in schedule.iter_mut() {
+            entry.deadline = Some(d);
+        }
+    }
     let model = EnergyModel::mica_like();
     let alpha = Basestation::alpha_for(&model, fleet as usize, live.len());
     let candidates = vec![0, 1, 2, 4, splits.max(1)];
@@ -860,7 +934,26 @@ fn cmd_serve(args: &Args) -> CliResult<()> {
     }
 
     let rec = recorder_from(args)?;
-    let cfg = ServeConfig { alpha, candidate_splits: candidates, drift: DriftConfig::default() };
+    // An inactive crash config must stay `Default` (its nonzero
+    // checkpoint cadence would otherwise force the robust path).
+    let crash = if crashy {
+        CrashConfig { checkpoint_dir, checkpoint_every, crash_epochs, crash_rate }
+    } else {
+        CrashConfig::default()
+    };
+    let cfg = ServeConfig {
+        alpha,
+        candidate_splits: candidates,
+        drift: DriftConfig::default(),
+        faults: faults.clone(),
+        crash,
+        policy: ServicePolicy {
+            epoch_cost_budget: epoch_budget,
+            readmit_on_drift: robust,
+            ..ServicePolicy::default()
+        },
+        collect_rows: false,
+    };
     let entries: Vec<ScheduleEntry> = schedule.iter().map(|(_, e)| e.clone()).collect();
     let rep = serve_schedule(
         &g.schema,
@@ -924,24 +1017,74 @@ fn cmd_serve(args: &Args) -> CliResult<()> {
     );
     for (i, q) in rep.service.queries.iter().enumerate() {
         if !q.admitted {
-            println!("serve : q{i} never admitted (admission epoch beyond the run)");
+            match q.shed_at {
+                Some(e) => println!("serve : q{i} shed at epoch {e} by admission control"),
+                None => println!("serve : q{i} never admitted (admission epoch beyond the run)"),
+            }
             continue;
         }
         let lat = match q.latency_epochs {
             Some(l) => format!("first result after {l} epochs"),
             None => "no results".to_string(),
         };
+        // The status suffix appears only for degraded outcomes, so a
+        // lossless run's per-query lines are byte-identical to before.
+        let status = match q.status {
+            QueryStatus::Complete => String::new(),
+            other => format!(", {}", other.label()),
+        };
         println!(
-            "serve : q{i} epochs {}..{}, {}/{} results, {}, {}",
+            "serve : q{i} epochs {}..{}, {}/{} results, {}, {}{}",
             q.admit,
             q.completed_at,
             q.results,
             q.tuples,
             if q.cache_hit { "cached plan" } else { "planned" },
-            lat
+            lat,
+            status
         );
     }
-    if args.get("baseline").is_some_and(|v| v != "no") {
+    // Robustness summaries print only when their feature is active, so
+    // a default serve run stays byte-identical to the lossless loop.
+    if let Some(rob) = rep.service.robustness.as_ref() {
+        if !faults.is_lossless() {
+            println!(
+                "faults: seed {}, delivered {}/{} results, {} lost, {} aborted tuples, \
+                 {} offline epochs",
+                faults.seed,
+                rob.delivered_results,
+                rep.service.results(),
+                rob.lost_results,
+                rob.aborted_tuples,
+                rob.offline_epochs
+            );
+        }
+        if epoch_budget.is_some() || deadline.is_some() {
+            println!(
+                "policy: {} shed, {} timed out, {} partial; {} budget deferrals, \
+                 {} fairness deferrals",
+                rep.shed, rep.timed_out, rep.partial, rob.budget_deferrals, rob.fairness_deferrals
+            );
+        }
+        if rob.readmissions > 0 {
+            println!(
+                "policy: {} live queries re-planned onto fresh statistics after drift",
+                rob.readmissions
+            );
+        }
+        if crashy {
+            println!(
+                "crashes: {} injected, {} cold starts, {} corrupt snapshots, \
+                 {} WAL records replayed",
+                rob.crashes, rob.cold_starts, rob.corrupt_snapshots, rob.wal_replayed
+            );
+            println!(
+                "recovery: {} checkpoints written, re-dissemination cost {:.0} uJ",
+                rob.checkpoints_written, rob.recovery_rediss_uj
+            );
+        }
+    }
+    if baseline {
         let independent = independent_schedule_energy(
             &g.schema,
             &history,
@@ -1322,7 +1465,7 @@ mod tests {
     }
 
     #[test]
-    fn serve_rejects_fault_flags_and_bad_schedules() {
+    fn serve_accepts_fault_flags_and_rejects_invalid_combinations() {
         let base = |extra: &[&str]| {
             let mut v = vec![
                 "serve",
@@ -1336,10 +1479,27 @@ mod tests {
             v.extend_from_slice(extra);
             run_vec(&v)
         };
-        assert!(base(&["--loss-rate", "0.2"]).is_err());
+        // Fault, crash and policy flags are serve-compatible now.
+        assert_eq!(base(&["--loss-rate", "0.2", "--fault-seed", "7"]), Ok(()));
+        assert_eq!(base(&["--crash-rate", "0.05"]), Ok(()));
+        assert_eq!(base(&["--deadline", "8"]), Ok(()));
+        assert_eq!(base(&["--epoch-budget", "500"]), Ok(()));
+        // Mid-run re-planning stays `simulate`-only.
         assert!(base(&["--replan-threshold", "0.3"]).is_err());
-        assert!(base(&["--crash-rate", "0.05"]).is_err());
-        assert!(base(&["--checkpoint-every", "8"]).is_err());
+        assert!(base(&["--sample-every", "4"]).is_err());
+        // The vectorized service cannot inject faults or crashes.
+        assert!(base(&["--exec", "vectorized", "--loss-rate", "0.2"]).is_err());
+        assert!(base(&["--exec", "vectorized", "--crash-rate", "0.05"]).is_err());
+        // ...but lossless vectorized policy runs are fine.
+        assert_eq!(base(&["--exec", "vectorized", "--deadline", "8"]), Ok(()));
+        // The independent baseline is meaningless under faults/crashes.
+        assert!(base(&["--baseline", "yes", "--loss-rate", "0.2"]).is_err());
+        assert!(base(&["--baseline", "yes", "--crash-epochs", "10"]).is_err());
+        // Malformed robustness values are typed errors.
+        assert!(base(&["--deadline", "0"]).is_err());
+        assert!(base(&["--epoch-budget", "-1"]).is_err());
+        assert!(base(&["--epoch-budget", "nan"]).is_err());
+        assert!(base(&["--loss-rate", "1.5"]).is_err());
         assert!(base(&["--motes", "0"]).is_err());
         assert!(run_vec(&[
             "serve",

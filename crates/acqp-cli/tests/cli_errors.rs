@@ -173,13 +173,76 @@ fn serve_with(extra: &[&str]) -> Output {
     acqp(&v)
 }
 
+/// Fault and crash flags are serve-compatible since the fault-tolerant
+/// service landed; only the mid-run re-plan family stays
+/// `simulate`-only (the service re-plans through its drift policy).
 #[test]
-fn serve_rejects_every_fault_replan_and_crash_flag() {
+fn serve_accepts_fault_and_crash_flags_but_rejects_replan_flags() {
     for (flag, value) in ENGINE_FORKING {
         let out = serve_with(&[*flag, *value]);
-        assert_rejected(&out, &format!("invalid value `{value}` for {flag}"), flag);
-        assert_rejected(&out, "serve loop is lossless", flag);
+        if *flag == "--replan-threshold" {
+            assert_rejected(&out, &format!("invalid value `{value}` for {flag}"), flag);
+            assert_rejected(&out, "drift policy", flag);
+        } else {
+            assert!(
+                out.status.success(),
+                "{flag} {value} must run on the robust service:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
     }
+    for (flag, value) in [("--replan-budget", "1000"), ("--sample-every", "4")] {
+        let out = serve_with(&[flag, value]);
+        assert_rejected(&out, &format!("invalid value `{value}` for {flag}"), flag);
+    }
+    std::fs::remove_dir_all("/tmp/acqp_cli_vec_conflict_ckpt").ok();
+}
+
+/// Combinations the robust service still cannot honor stay typed
+/// errors: the vectorized loop cannot inject faults or crashes, and
+/// the independent-runs baseline is only meaningful losslessly.
+#[test]
+fn serve_rejects_still_invalid_flag_combinations() {
+    let out = serve_with(&["--exec", "vectorized", "--loss-rate", "0.2"]);
+    assert_rejected(&out, "invalid value `vectorized` for --exec", "vectorized + loss");
+    let out = serve_with(&["--exec", "vectorized", "--crash-epochs", "20"]);
+    assert_rejected(&out, "invalid value `vectorized` for --exec", "vectorized + crashes");
+    let out = serve_with(&["--baseline", "yes", "--loss-rate", "0.2"]);
+    assert_rejected(&out, "invalid value `yes` for --baseline", "baseline + loss");
+    let out = serve_with(&["--baseline", "yes", "--crash-rate", "0.05"]);
+    assert_rejected(&out, "invalid value `yes` for --baseline", "baseline + crashes");
+    let out = serve_with(&["--deadline", "0"]);
+    assert_rejected(&out, "invalid value `0` for --deadline", "zero deadline");
+    let out = serve_with(&["--epoch-budget", "-5"]);
+    assert_rejected(&out, "invalid value `-5` for --epoch-budget", "negative budget");
+}
+
+#[test]
+fn loss_zero_serve_output_is_bitwise_identical_to_default() {
+    for exec in [&["--exec", "scalar"][..], &["--exec", "vectorized"][..]] {
+        let mut base_args: Vec<&str> = exec.to_vec();
+        let base = serve_with(&base_args);
+        assert!(base.status.success(), "{}", String::from_utf8_lossy(&base.stderr));
+        base_args.extend_from_slice(&["--loss-rate", "0.0", "--crash-rate", "0.0"]);
+        base_args.extend_from_slice(&["--fault-seed", "123"]);
+        let zero = serve_with(&base_args);
+        assert!(zero.status.success(), "{}", String::from_utf8_lossy(&zero.stderr));
+        assert_eq!(
+            base.stdout, zero.stdout,
+            "loss-0/no-crash serve must match the lossless loop byte for byte ({exec:?})"
+        );
+    }
+}
+
+#[test]
+fn lossy_serve_runs_are_deterministic_for_a_fixed_seed() {
+    let flags = &["--loss-rate", "0.25", "--fault-seed", "11", "--sensing-fail", "0.05"];
+    let a = serve_with(flags);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let b = serve_with(flags);
+    assert_eq!(a.stdout, b.stdout, "same seed must reproduce the serve run bitwise");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("faults: seed 11"), "lossy serve must print the fault summary:\n{text}");
 }
 
 #[test]

@@ -31,6 +31,62 @@ pub enum ExecMode {
     Vectorized,
 }
 
+/// How one scheduled query ended, for callers that serve many queries
+/// with retry, deadline, and admission-control policies (the sensornet
+/// service loop). The lossless loop only ever produces `Complete`;
+/// every degraded terminal state is typed so downstream accounting can
+/// never silently conflate "finished" with "gave up".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryStatus {
+    /// Ran its full window and every produced result was delivered.
+    #[default]
+    Complete,
+    /// Ran its full window but lost work to faults along the way
+    /// (dropped result packets, aborted tuples, or offline motes): the
+    /// reported rows are a prefix-correct subset of the lossless run's.
+    Partial,
+    /// Never executed: admission control dropped it (budget exhausted
+    /// past its queueing bound, or its deadline expired while queued),
+    /// or its admission epoch fell beyond the run.
+    Shed,
+    /// Admitted but terminated at its deadline before the window ended;
+    /// rows delivered up to the cutoff are reported.
+    TimedOut,
+}
+
+impl QueryStatus {
+    /// Stable single-byte encoding for persistence (WAL records).
+    pub fn to_u8(self) -> u8 {
+        match self {
+            QueryStatus::Complete => 0,
+            QueryStatus::Partial => 1,
+            QueryStatus::Shed => 2,
+            QueryStatus::TimedOut => 3,
+        }
+    }
+
+    /// Inverse of [`QueryStatus::to_u8`]; `None` on unknown bytes.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(QueryStatus::Complete),
+            1 => Some(QueryStatus::Partial),
+            2 => Some(QueryStatus::Shed),
+            3 => Some(QueryStatus::TimedOut),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase label for reports and flight events.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryStatus::Complete => "complete",
+            QueryStatus::Partial => "partial",
+            QueryStatus::Shed => "shed",
+            QueryStatus::TimedOut => "timed_out",
+        }
+    }
+}
+
 /// Source of attribute values for one tuple. The dataset-backed
 /// [`RowSource`] simply reads a stored row; the sensornet substrate
 /// implements this with energy-accounting sensor reads.

@@ -109,7 +109,7 @@ pub mod prelude {
     pub use crate::error::{Error, Result};
     pub use crate::exec::{
         eval_seq_leaf, execute, execute_metered, execute_model, ExecMetrics, ExecMode, ExecOutcome,
-        RowSource, SharedScratch, SharedSource, TupleSource, TupleState,
+        QueryStatus, RowSource, SharedScratch, SharedSource, TupleSource, TupleState,
     };
     pub use crate::exists::{
         execute_exists, measure_exists, BranchStep, ExistsPlan, ExistsPlanner, ExistsQuery,

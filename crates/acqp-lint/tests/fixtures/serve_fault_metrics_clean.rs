@@ -1,0 +1,14 @@
+//! Fixture: the robust service's fault/shed/degradation instruments
+//! and flight events matching the documented rows exactly — lints
+//! clean in both directions.
+
+pub fn run(rec: &acqp_obs::Recorder, flight: &acqp_obs::FlightRecorder) {
+    rec.counter("serve.fault.result.lost").incr(1);
+    rec.counter("serve.shed.queries").incr(1);
+    rec.counter("serve.degraded.timeouts").incr(1);
+    let degraded = rec.hist("serve.latency.degraded");
+    degraded.observe(5);
+    let shed = flight.emit(3, 0, "serve.shed", &[("query", 1u64.into())]);
+    flight.emit(4, shed, "serve.timeout", &[("results", 2u64.into())]);
+    flight.emit(5, shed, "serve.readmit", &[("cache_hit", false.into())]);
+}

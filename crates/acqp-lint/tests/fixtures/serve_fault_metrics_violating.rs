@@ -1,0 +1,15 @@
+//! Fixture: one undocumented shed counter (`serve.shed.bogus`), one
+//! undocumented degradation event (`serve.degraded.vanish`), and no
+//! emit for the documented `serve.latency.degraded` and
+//! `serve.readmit` rows — violates in both directions, for both
+//! instrument families.
+
+pub fn run(rec: &acqp_obs::Recorder, flight: &acqp_obs::FlightRecorder) {
+    rec.counter("serve.fault.result.lost").incr(1);
+    rec.counter("serve.shed.queries").incr(1);
+    rec.counter("serve.shed.bogus").incr(1);
+    rec.counter("serve.degraded.timeouts").incr(1);
+    let shed = flight.emit(3, 0, "serve.shed", &[("query", 1u64.into())]);
+    flight.emit(4, shed, "serve.timeout", &[("results", 2u64.into())]);
+    flight.emit(5, shed, "serve.degraded.vanish", &[]);
+}

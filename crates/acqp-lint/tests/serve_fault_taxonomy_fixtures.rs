@@ -1,0 +1,99 @@
+//! Both directions of the `metric-taxonomy` contract on the robust
+//! service's fault/shed/degradation names (DESIGN.md §14.5):
+//! `serve.fault.*` counters, `serve.shed.*`/`serve.degraded.*`
+//! tallies, the `serve.latency.degraded` hist and the shed/timeout/
+//! readmit flight events. The violating fixture must be flagged for an
+//! undocumented counter, an undocumented event, and two stale rows;
+//! the clean fixture must lint to zero findings against the same
+//! table.
+
+use std::path::{Path, PathBuf};
+
+use acqp_lint::lint_workspace;
+use acqp_lint::rules::Severity;
+
+const VIOLATING: &str = include_str!("fixtures/serve_fault_metrics_violating.rs");
+const CLEAN: &str = include_str!("fixtures/serve_fault_metrics_clean.rs");
+
+/// A minimal marker-delimited table over the robustness rows.
+const FAKE_DESIGN: &str = concat!(
+    "# fake\n\n<!-- acqp-lint:taxonomy:begin -->\n",
+    "| name | kind | meaning |\n|---|---|---|\n",
+    "| `serve.fault.result.lost` | counter | result packets dropped after retry |\n",
+    "| `serve.shed.queries` | counter | entries shed by admission control |\n",
+    "| `serve.degraded.timeouts` | counter | queries cut at their deadline |\n",
+    "| `serve.latency.degraded` | hist | shed/timed-out latency (epochs) |\n",
+    "| `serve.shed` | event | one entry shed |\n",
+    "| `serve.timeout` | event | one deadline crossing |\n",
+    "| `serve.readmit` | event | one in-flight re-plan |\n",
+    "<!-- acqp-lint:taxonomy:end -->\n",
+);
+
+fn fake_workspace(tag: &str, fixture: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("acqp_lint_serve_fault_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let src = dir.join("crates/acqp-sensornet/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(dir.join("DESIGN.md"), FAKE_DESIGN).unwrap();
+    std::fs::write(src.join("serve_fault_fixture.rs"), fixture).unwrap();
+    dir
+}
+
+fn taxonomy_messages(root: &Path) -> Vec<String> {
+    let report = lint_workspace(root).expect("lint runs");
+    report
+        .findings
+        .iter()
+        .inspect(|f| assert_eq!(f.severity, Severity::Error, "{f:?}"))
+        .filter(|f| f.rule == "metric-taxonomy")
+        .map(|f| format!("{}: {}", f.file, f.message))
+        .collect()
+}
+
+#[test]
+fn violating_fixture_is_flagged_in_both_directions() {
+    let dir = fake_workspace("viol", VIOLATING);
+    let messages = taxonomy_messages(&dir);
+
+    // Code leads docs: the bogus counter and the phantom event.
+    assert!(
+        messages.iter().any(|m| {
+            m.starts_with("crates/acqp-sensornet/src/serve_fault_fixture.rs:")
+                && m.contains("`serve.shed.bogus` is not documented")
+        }),
+        "missing undocumented-counter finding: {messages:#?}"
+    );
+    assert!(
+        messages.iter().any(|m| {
+            m.starts_with("crates/acqp-sensornet/src/serve_fault_fixture.rs:")
+                && m.contains("`serve.degraded.vanish` is not documented")
+        }),
+        "missing undocumented-event finding: {messages:#?}"
+    );
+    // Docs lead code: the degraded-latency hist row and the readmit
+    // event row are emitted nowhere.
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.starts_with("DESIGN.md:")
+                && m.contains("`serve.latency.degraded` is emitted")),
+        "missing stale-hist-row finding: {messages:#?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.starts_with("DESIGN.md:") && m.contains("`serve.readmit` is emitted")),
+        "missing stale-event-row finding: {messages:#?}"
+    );
+    assert_eq!(messages.len(), 4, "{messages:#?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_fixture_lints_to_zero_findings() {
+    let dir = fake_workspace("clean", CLEAN);
+    let report = lint_workspace(&dir).expect("lint runs");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -39,8 +39,10 @@ pub mod snapshot;
 pub mod store;
 pub mod wal;
 
-pub use snapshot::{BasestationCheckpoint, PlanRecord};
-pub use store::{CheckpointStore, RecoveryOutcome};
+pub use snapshot::{
+    BasestationCheckpoint, PlanRecord, ServeCheckpoint, ServeLiveRecord, ServePlanEntry,
+};
+pub use store::{CheckpointStore, RecoveryOutcome, ServeRecoveryOutcome};
 pub use wal::WalRecord;
 
 /// Errors from persistence operations.

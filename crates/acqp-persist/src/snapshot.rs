@@ -282,6 +282,180 @@ impl BasestationCheckpoint {
     }
 }
 
+/// Serve snapshot file magic — distinct from [`SNAP_MAGIC`] so a serve
+/// checkpoint directory can never be mistaken for a single-query one.
+pub const SERVE_SNAP_MAGIC: &[u8; 8] = b"ACQPSRVS";
+/// Serve snapshot format version this build writes and reads.
+pub const SERVE_SNAP_VERSION: u16 = 1;
+
+/// One plan-cache row of a [`ServeCheckpoint`]: enough to rebuild the
+/// policy's `(signature, stats epoch)` entry *and* re-arm its drift
+/// monitor (which needs the query, not just the plan bytes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServePlanEntry {
+    /// The query the plan was built for.
+    pub query: Query,
+    /// The stats epoch the plan was cached under.
+    pub key_epoch: u64,
+    /// The cached plan (`version` mirrors `key_epoch`).
+    pub plan: PlanRecord,
+}
+
+/// Progress of one in-flight service query at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeLiveRecord {
+    /// Index of the entry in the service schedule.
+    pub idx: u64,
+    /// Epoch the query was admitted at.
+    pub admit: u64,
+    /// One past the query's last live epoch.
+    pub end: u64,
+    /// Cumulative per-predicate `(evaluated, passed)` drift counts.
+    pub pend: Vec<(u64, u64)>,
+}
+
+/// Everything the multi-query service needs to resume after a
+/// basestation crash without a cold start: the policy's plan cache and
+/// stats epoch plus the progress of every live query (`DESIGN.md`
+/// §14.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeCheckpoint {
+    /// Epoch the snapshot was taken at (epochs `0..=epoch` are done).
+    pub epoch: u64,
+    /// Highest WAL sequence number already folded into this snapshot.
+    pub last_seq: u64,
+    /// The policy's statistics epoch at snapshot time.
+    pub stats_epoch: u64,
+    /// The plan cache, in deterministic key order.
+    pub plans: Vec<ServePlanEntry>,
+    /// Live-query progress, in admission order.
+    pub live: Vec<ServeLiveRecord>,
+}
+
+impl ServeCheckpoint {
+    /// Encodes the snapshot payload (no framing, no checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.epoch);
+        w.u64(self.last_seq);
+        w.u64(self.stats_epoch);
+        w.u32(self.plans.len() as u32);
+        for p in &self.plans {
+            put_query(&mut w, &p.query);
+            w.u64(p.key_epoch);
+            p.plan.encode_into(&mut w);
+        }
+        w.u32(self.live.len() as u32);
+        for q in &self.live {
+            w.u64(q.idx);
+            w.u64(q.admit);
+            w.u64(q.end);
+            w.u32(q.pend.len() as u32);
+            for &(ev, pa) in &q.pend {
+                w.u64(ev);
+                w.u64(pa);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a snapshot payload, rejecting trailing bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let epoch = r.u64()?;
+        let last_seq = r.u64()?;
+        let stats_epoch = r.u64()?;
+        let nplans = r.u32()? as usize;
+        if nplans > (1 << 20) {
+            return Err(PersistError::Corrupt { what: "implausible plan-cache size" });
+        }
+        let mut plans = Vec::with_capacity(nplans);
+        for _ in 0..nplans {
+            let query = get_query(&mut r)?;
+            let key_epoch = r.u64()?;
+            let plan = PlanRecord::decode_from(&mut r)?;
+            plans.push(ServePlanEntry { query, key_epoch, plan });
+        }
+        let nlive = r.u32()? as usize;
+        if nlive > (1 << 20) {
+            return Err(PersistError::Corrupt { what: "implausible live-query count" });
+        }
+        let mut live = Vec::with_capacity(nlive);
+        for _ in 0..nlive {
+            let idx = r.u64()?;
+            let admit = r.u64()?;
+            let end = r.u64()?;
+            let npend = r.u32()? as usize;
+            if npend > (1 << 16) {
+                return Err(PersistError::Corrupt { what: "implausible predicate count" });
+            }
+            let mut pend = Vec::with_capacity(npend);
+            for _ in 0..npend {
+                pend.push((r.u64()?, r.u64()?));
+            }
+            live.push(ServeLiveRecord { idx, admit, end, pend });
+        }
+        r.finish()?;
+        Ok(ServeCheckpoint { epoch, last_seq, stats_epoch, plans, live })
+    }
+
+    /// Frames the payload into a complete snapshot file image.
+    pub fn to_file_bytes(&self) -> Vec<u8> {
+        let payload = self.encode();
+        let mut out = Vec::with_capacity(payload.len() + 22);
+        out.extend_from_slice(SERVE_SNAP_MAGIC);
+        out.extend_from_slice(&SERVE_SNAP_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Validates and decodes a complete snapshot file image.
+    pub fn from_file_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 22 {
+            return Err(PersistError::Corrupt { what: "serve snapshot shorter than framing" });
+        }
+        if &bytes[..8] != SERVE_SNAP_MAGIC {
+            return Err(PersistError::Corrupt { what: "serve snapshot magic" });
+        }
+        let version = crate::codec::le_u16(&bytes[8..10])
+            .ok_or(PersistError::Corrupt { what: "serve snapshot header truncated" })?;
+        if version != SERVE_SNAP_VERSION {
+            return Err(PersistError::Corrupt { what: "unsupported serve snapshot version" });
+        }
+        let plen = crate::codec::le_u32(&bytes[10..14])
+            .ok_or(PersistError::Corrupt { what: "serve snapshot header truncated" })?
+            as usize;
+        if bytes.len() != 14 + plen + 8 {
+            return Err(PersistError::Corrupt {
+                what: "serve snapshot length disagrees with header",
+            });
+        }
+        let body_end = 14 + plen;
+        let stored = crate::codec::le_u64(&bytes[body_end..]);
+        if stored != Some(fnv1a64(&bytes[..body_end])) {
+            return Err(PersistError::Corrupt { what: "serve snapshot checksum mismatch" });
+        }
+        Self::decode(&bytes[14..body_end])
+    }
+
+    /// Atomically writes the snapshot to `path` (temp file + rename).
+    pub fn write_to(&self, path: &Path) -> Result<()> {
+        let bytes = self.to_file_bytes();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+    }
+
+    /// Reads and validates a snapshot from `path`.
+    pub fn read_from(path: &Path) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+        Self::from_file_bytes(&bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +524,72 @@ mod tests {
         for cut in 0..good.len() {
             assert!(BasestationCheckpoint::from_file_bytes(&good[..cut]).is_err());
         }
+    }
+
+    fn serve_sample() -> ServeCheckpoint {
+        let q1 = Query::new(vec![Pred::in_range(0, 1, 5)]).unwrap();
+        let q2 = Query::new(vec![Pred::in_range(1, 0, 2), Pred::not_in_range(2, 3, 3)]).unwrap();
+        ServeCheckpoint {
+            epoch: 17,
+            last_seq: 91,
+            stats_epoch: 2,
+            plans: vec![
+                ServePlanEntry {
+                    query: q1,
+                    key_epoch: 2,
+                    plan: PlanRecord {
+                        version: 2,
+                        wire: vec![0x03, 0x01, 0x00, 0x04],
+                        expected_cost: 8.25,
+                        objective: 8.25,
+                    },
+                },
+                ServePlanEntry {
+                    query: q2,
+                    key_epoch: 2,
+                    plan: PlanRecord {
+                        version: 2,
+                        wire: vec![0x02, 0x01],
+                        expected_cost: 3.5,
+                        objective: 4.0,
+                    },
+                },
+            ],
+            live: vec![
+                ServeLiveRecord { idx: 0, admit: 4, end: 36, pend: vec![(12, 5)] },
+                ServeLiveRecord { idx: 3, admit: 10, end: 20, pend: vec![(6, 6), (6, 0)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn serve_payload_round_trip_is_bit_identical() {
+        let cp = serve_sample();
+        assert_eq!(ServeCheckpoint::decode(&cp.encode()).unwrap(), cp);
+        let bare = ServeCheckpoint { plans: vec![], live: vec![], ..cp };
+        assert_eq!(ServeCheckpoint::decode(&bare.encode()).unwrap(), bare);
+    }
+
+    #[test]
+    fn serve_framing_detects_every_single_byte_flip() {
+        let cp = serve_sample();
+        let good = cp.to_file_bytes();
+        assert_eq!(ServeCheckpoint::from_file_bytes(&good).unwrap(), cp);
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                ServeCheckpoint::from_file_bytes(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        for cut in 0..good.len() {
+            assert!(ServeCheckpoint::from_file_bytes(&good[..cut]).is_err());
+        }
+        // A basestation snapshot never decodes as a serve snapshot and
+        // vice versa: the magics are disjoint.
+        assert!(ServeCheckpoint::from_file_bytes(&sample().to_file_bytes()).is_err());
+        assert!(BasestationCheckpoint::from_file_bytes(&good).is_err());
     }
 
     #[test]

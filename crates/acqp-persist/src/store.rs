@@ -22,7 +22,7 @@
 use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
 
-use crate::snapshot::BasestationCheckpoint;
+use crate::snapshot::{BasestationCheckpoint, ServeCheckpoint};
 use crate::wal::{self, WalRecord};
 use crate::{io_err, PersistError, Result};
 
@@ -61,6 +61,26 @@ pub struct RecoveryOutcome {
     pub corrupt_wal_tail: bool,
     /// True if no snapshot validated and the caller must rebuild
     /// genesis state before replaying.
+    pub cold_start: bool,
+}
+
+/// What [`CheckpointStore::recover_serve`] found — the serve-state
+/// mirror of [`RecoveryOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRecoveryOutcome {
+    /// The newest serve snapshot that validated, if any.
+    pub checkpoint: Option<ServeCheckpoint>,
+    /// WAL records to apply on top, in order (full valid prefix on a
+    /// cold start).
+    pub replayed: Vec<WalRecord>,
+    /// Snapshot files present but failing validation.
+    pub corrupt_snapshots: usize,
+    /// Snapshot files examined before one validated or candidates ran
+    /// out.
+    pub snapshots_scanned: usize,
+    /// True if the WAL ended in invalid bytes.
+    pub corrupt_wal_tail: bool,
+    /// True if no snapshot validated.
     pub cold_start: bool,
 }
 
@@ -149,10 +169,14 @@ impl CheckpointStore {
         Ok(idx)
     }
 
-    /// Recovers the latest consistent state: newest valid snapshot plus
-    /// the idempotent WAL replay beyond it (see module docs for the
-    /// full policy).
-    pub fn recover(&self) -> Result<RecoveryOutcome> {
+    /// Walks the snapshot files newest-first, returning the first one
+    /// `read` validates plus the corrupt/scanned tallies. Generic over
+    /// the snapshot flavor so the basestation and serve recovery paths
+    /// share one scan policy.
+    fn newest_valid_snapshot<T>(
+        &self,
+        read: impl Fn(&Path) -> Result<T>,
+    ) -> Result<(Option<T>, usize, usize)> {
         let mut snaps: Vec<(u64, PathBuf)> = Vec::new();
         for entry in std::fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, e))? {
             let entry = entry.map_err(|e| io_err(&self.dir, e))?;
@@ -162,31 +186,72 @@ impl CheckpointStore {
         }
         snaps.sort_by_key(|(idx, _)| std::cmp::Reverse(*idx));
 
-        let mut corrupt_snapshots = 0;
-        let mut snapshots_scanned = 0;
-        let mut checkpoint = None;
+        let mut corrupt = 0;
+        let mut scanned = 0;
         for (_, path) in &snaps {
-            snapshots_scanned += 1;
-            match BasestationCheckpoint::read_from(path) {
-                Ok(cp) => {
-                    checkpoint = Some(cp);
-                    break;
-                }
-                Err(_) => corrupt_snapshots += 1,
+            scanned += 1;
+            match read(path) {
+                Ok(cp) => return Ok((Some(cp), corrupt, scanned)),
+                Err(_) => corrupt += 1,
             }
         }
+        Ok((None, corrupt, scanned))
+    }
 
+    /// Replays the WAL beyond `floor` (everything, on a cold start).
+    fn replay_beyond(&self, floor: u64) -> Result<(Vec<WalRecord>, bool)> {
         let scan = wal::scan_file(&self.wal_path())?;
-        let floor = checkpoint.as_ref().map(|cp| cp.last_seq).unwrap_or(0);
         let replayed =
             scan.records.into_iter().filter(|(seq, _)| *seq > floor).map(|(_, r)| r).collect();
+        Ok((replayed, scan.torn_tail))
+    }
+
+    /// Recovers the latest consistent state: newest valid snapshot plus
+    /// the idempotent WAL replay beyond it (see module docs for the
+    /// full policy).
+    pub fn recover(&self) -> Result<RecoveryOutcome> {
+        let (checkpoint, corrupt_snapshots, snapshots_scanned) =
+            self.newest_valid_snapshot(BasestationCheckpoint::read_from)?;
+        let floor = checkpoint.as_ref().map(|cp| cp.last_seq).unwrap_or(0);
+        let (replayed, corrupt_wal_tail) = self.replay_beyond(floor)?;
         let cold_start = checkpoint.is_none();
         Ok(RecoveryOutcome {
             checkpoint,
             replayed,
             corrupt_snapshots,
             snapshots_scanned,
-            corrupt_wal_tail: scan.torn_tail,
+            corrupt_wal_tail,
+            cold_start,
+        })
+    }
+
+    /// Writes a serve-state snapshot atomically (same naming and index
+    /// sequence as [`write_snapshot`](Self::write_snapshot) — a
+    /// directory holds one flavor or the other, distinguished by
+    /// magic). Returns the snapshot's file index.
+    pub fn write_serve_snapshot(&mut self, checkpoint: &ServeCheckpoint) -> Result<u64> {
+        let idx = self.next_snap;
+        let path = self.dir.join(format!("{SNAP_PREFIX}{idx:06}"));
+        checkpoint.write_to(&path)?;
+        self.next_snap = idx + 1;
+        Ok(idx)
+    }
+
+    /// Serve-flavored [`recover`](Self::recover): same newest-valid
+    /// snapshot walk and idempotent seq-filtered WAL replay, reading
+    /// [`ServeCheckpoint`] images.
+    pub fn recover_serve(&self) -> Result<ServeRecoveryOutcome> {
+        let (checkpoint, corrupt_snapshots, snapshots_scanned) =
+            self.newest_valid_snapshot(ServeCheckpoint::read_from)?;
+        let floor = checkpoint.as_ref().map(|cp| cp.last_seq).unwrap_or(0);
+        let (replayed, corrupt_wal_tail) = self.replay_beyond(floor)?;
+        let cold_start = checkpoint.is_none();
+        Ok(ServeRecoveryOutcome {
+            checkpoint,
+            replayed,
+            corrupt_snapshots,
+            snapshots_scanned,
+            corrupt_wal_tail,
             cold_start,
         })
     }
@@ -287,6 +352,38 @@ mod tests {
             out.replayed,
             vec![WalRecord::EpochEnd { epoch: 1 }, WalRecord::EpochEnd { epoch: 2 }]
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_snapshot_plus_tail_replay() {
+        let dir = tmp_dir("serve_tail");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store
+            .append(&WalRecord::ServeAdmit { idx: 0, epoch: 0, sig: 7, cache_hit: false })
+            .unwrap();
+        store
+            .write_serve_snapshot(&ServeCheckpoint {
+                epoch: 3,
+                last_seq: 1,
+                stats_epoch: 1,
+                plans: vec![],
+                live: vec![],
+            })
+            .unwrap();
+        store.append(&WalRecord::ServeComplete { idx: 0, epoch: 5, status: 0 }).unwrap();
+
+        let out = store.recover_serve().unwrap();
+        assert!(!out.cold_start);
+        assert_eq!(out.checkpoint.as_ref().unwrap().stats_epoch, 1);
+        assert_eq!(out.replayed, vec![WalRecord::ServeComplete { idx: 0, epoch: 5, status: 0 }]);
+        // Idempotence holds for the serve flavor too.
+        assert_eq!(store.recover_serve().unwrap(), out);
+        // A serve directory never recovers as a basestation one: the
+        // snapshot magic mismatches, so that flavor cold-starts.
+        let cross = store.recover().unwrap();
+        assert!(cross.cold_start);
+        assert_eq!(cross.corrupt_snapshots, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

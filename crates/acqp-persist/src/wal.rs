@@ -65,6 +65,27 @@ pub enum WalRecord {
         /// The epoch that just completed.
         epoch: u64,
     },
+    /// The multi-query service admitted (or drift-readmitted) a
+    /// schedule entry.
+    ServeAdmit {
+        /// Index of the entry in the service schedule.
+        idx: u64,
+        /// Epoch the admission happened at.
+        epoch: u64,
+        /// The admitted query's signature.
+        sig: u64,
+        /// Whether the plan came from the policy's cache.
+        cache_hit: bool,
+    },
+    /// A service query terminated.
+    ServeComplete {
+        /// Index of the entry in the service schedule.
+        idx: u64,
+        /// Epoch the query terminated at.
+        epoch: u64,
+        /// `QueryStatus::to_u8` of the terminal outcome.
+        status: u8,
+    },
 }
 
 impl WalRecord {
@@ -74,6 +95,8 @@ impl WalRecord {
             WalRecord::WindowPush { .. } => 2,
             WalRecord::PlanAdopted { .. } => 3,
             WalRecord::EpochEnd { .. } => 4,
+            WalRecord::ServeAdmit { .. } => 5,
+            WalRecord::ServeComplete { .. } => 6,
         }
     }
 
@@ -97,6 +120,17 @@ impl WalRecord {
                 w.f64s(est_selectivities);
             }
             WalRecord::EpochEnd { epoch } => w.u64(*epoch),
+            WalRecord::ServeAdmit { idx, epoch, sig, cache_hit } => {
+                w.u64(*idx);
+                w.u64(*epoch);
+                w.u64(*sig);
+                w.u8(*cache_hit as u8);
+            }
+            WalRecord::ServeComplete { idx, epoch, status } => {
+                w.u64(*idx);
+                w.u64(*epoch);
+                w.u8(*status);
+            }
         }
         w.into_bytes()
     }
@@ -118,6 +152,17 @@ impl WalRecord {
                 est_selectivities: r.f64s()?,
             },
             4 => WalRecord::EpochEnd { epoch: r.u64()? },
+            5 => WalRecord::ServeAdmit {
+                idx: r.u64()?,
+                epoch: r.u64()?,
+                sig: r.u64()?,
+                cache_hit: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(PersistError::Corrupt { what: "serve-admit hit flag" }),
+                },
+            },
+            6 => WalRecord::ServeComplete { idx: r.u64()?, epoch: r.u64()?, status: r.u8()? },
             _ => return Err(PersistError::Corrupt { what: "unknown WAL record tag" }),
         };
         r.finish()?;
@@ -235,6 +280,8 @@ mod tests {
                 est_selectivities: vec![0.25, 0.75],
             },
             WalRecord::EpochEnd { epoch: 9 },
+            WalRecord::ServeAdmit { idx: 4, epoch: 11, sig: 0xdead_beef, cache_hit: true },
+            WalRecord::ServeComplete { idx: 4, epoch: 19, status: 1 },
         ]
     }
 

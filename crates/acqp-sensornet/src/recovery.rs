@@ -13,7 +13,9 @@
 use std::path::PathBuf;
 
 use acqp_obs::{Counter, Recorder};
-use acqp_persist::{BasestationCheckpoint, CheckpointStore, PersistError, WalRecord};
+use acqp_persist::{
+    BasestationCheckpoint, CheckpointStore, PersistError, ServeCheckpoint, WalRecord,
+};
 
 /// Knobs for a crash-recovery simulation.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -32,6 +34,18 @@ pub struct CrashConfig {
     /// from the [`crate::fault::FaultStream::Crash`] stream of the
     /// run's [`crate::fault::FaultModel`]. `0.0` consumes no rolls.
     pub crash_rate: f64,
+}
+
+impl CrashConfig {
+    /// Whether this configuration does anything at all: any journaling
+    /// directory or any way a crash can fire. The default (inactive)
+    /// config is what transparency pins rely on.
+    pub fn is_active(&self) -> bool {
+        self.checkpoint_dir.is_some()
+            || !self.crash_epochs.is_empty()
+            || self.crash_rate > 0.0
+            || self.checkpoint_every > 0
+    }
 }
 
 /// A [`crate::sim::FaultReport`] extended with crash-recovery
@@ -135,6 +149,47 @@ impl Journal {
         }
     }
 
+    /// Writes a serve-state snapshot; true on success, latching
+    /// failures.
+    pub(crate) fn write_serve_snapshot(&mut self, cp: &ServeCheckpoint) -> bool {
+        if self.error.is_some() {
+            return false;
+        }
+        match self.store.write_serve_snapshot(cp) {
+            Ok(_) => true,
+            Err(e) => {
+                self.error = Some(e);
+                false
+            }
+        }
+    }
+
+    /// Serve-flavored [`recover`](Self::recover): same reopen + newest
+    /// valid snapshot + WAL tail policy, reading serve checkpoints.
+    pub(crate) fn recover_serve(&mut self) -> RecoveredServeState {
+        let reopened = match CheckpointStore::open(self.store.dir()) {
+            Ok(s) => s,
+            Err(e) => {
+                self.error = Some(e);
+                return RecoveredServeState::genesis();
+            }
+        };
+        self.store = reopened;
+        match self.store.recover_serve() {
+            Ok(out) => RecoveredServeState {
+                checkpoint: out.checkpoint,
+                replayed: out.replayed,
+                corrupt_snapshots: out.corrupt_snapshots,
+                snapshots_scanned: out.snapshots_scanned,
+                cold_start: out.cold_start,
+            },
+            Err(e) => {
+                self.error = Some(e);
+                RecoveredServeState::genesis()
+            }
+        }
+    }
+
     /// Recovers as a freshly restarted process would: reopens the store
     /// (new handles, recomputed counters) and reads back the newest
     /// valid snapshot plus the WAL tail beyond it. Corruption is
@@ -180,6 +235,29 @@ impl RecoveredState {
     /// No persisted state at all: rebuild from the genesis plan.
     pub(crate) fn genesis() -> Self {
         RecoveredState {
+            checkpoint: None,
+            replayed: Vec::new(),
+            corrupt_snapshots: 0,
+            snapshots_scanned: 0,
+            cold_start: true,
+        }
+    }
+}
+
+/// What a serve crash restart found on disk.
+#[derive(Debug)]
+pub(crate) struct RecoveredServeState {
+    pub(crate) checkpoint: Option<ServeCheckpoint>,
+    pub(crate) replayed: Vec<WalRecord>,
+    pub(crate) corrupt_snapshots: usize,
+    pub(crate) snapshots_scanned: usize,
+    pub(crate) cold_start: bool,
+}
+
+impl RecoveredServeState {
+    /// No persisted serve state at all: the policy cold-starts.
+    pub(crate) fn genesis() -> Self {
+        RecoveredServeState {
             checkpoint: None,
             replayed: Vec::new(),
             corrupt_snapshots: 0,

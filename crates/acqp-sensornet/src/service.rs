@@ -20,17 +20,23 @@
 //! `tests/serve_equivalence.rs`). Latency is measured in **epochs**,
 //! never wall-clock time.
 
+use std::collections::BTreeMap;
+
 use acqp_core::{
-    AttrId, BatchExecutor, BatchOutcome, ColumnBatch, CostModel, ExecMode, ExecOutcome,
-    PreparedPlan, Query, Result, Schema, SharedScratch, SharedSource, BATCH_ROWS,
+    AttrId, BatchExecutor, BatchOutcome, ColumnBatch, CostModel, Error, ExecMode, ExecOutcome,
+    Plan, PreparedPlan, Query, QueryStatus, Result, Schema, SharedScratch, SharedSource,
+    BATCH_ROWS,
 };
 use acqp_obs::{Counter, FlightRecorder, Hist, Recorder};
+use acqp_persist::{PlanRecord, ServeCheckpoint, ServeLiveRecord, ServePlanEntry, WalRecord};
 
 use crate::basestation::PlannedQuery;
 use crate::energy::{EnergyLedger, EnergyModel};
+use crate::fault::{attempt_packet, FaultModel, FaultStats, FaultStream, FaultySource};
 use crate::interp::execute_wire;
 use crate::mote::Mote;
-use crate::sim::result_packet_bytes;
+use crate::recovery::{core_err, CrashConfig, CrashRuntime, RecoveredServeState};
+use crate::sim::{emit_retry, result_packet_bytes};
 
 /// One entry of a service schedule: `query` is admitted at epoch
 /// `admit` and runs for `window` epochs (a zero window is treated as
@@ -45,6 +51,26 @@ pub struct ScheduleEntry {
     pub admit: usize,
     /// Number of epochs the query stays live.
     pub window: usize,
+    /// Optional deadline: the query must terminate within `deadline`
+    /// epochs of its *scheduled* admission (queueing time counts).
+    /// Crossing it while running degrades to a partial, typed
+    /// [`QueryStatus::TimedOut`] outcome; crossing it while queued
+    /// sheds the query. `None` — the lossless default — never binds.
+    pub deadline: Option<usize>,
+}
+
+impl ScheduleEntry {
+    /// A deadline-free entry: `query` admitted at `admit` for `window`
+    /// epochs.
+    pub fn new(query: Query, admit: usize, window: usize) -> Self {
+        ScheduleEntry { query, admit, window, deadline: None }
+    }
+
+    /// Sets the entry's deadline (epochs from scheduled admission).
+    pub fn with_deadline(mut self, deadline: usize) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// What the planning layer decided for an admitted query.
@@ -74,6 +100,32 @@ pub trait ServePlanner {
 
     /// The policy's current statistics epoch (bumped on invalidation).
     fn stats_epoch(&self) -> u64;
+
+    /// Snapshot of the policy's cached state for crash checkpoints.
+    /// Policies without durable state (the default) return `None`; the
+    /// engine then checkpoints live-query progress alone.
+    fn policy_state(&self) -> Option<ServePolicyState> {
+        None
+    }
+
+    /// Restores the policy after a basestation crash: `Some(state)`
+    /// from a recovered checkpoint, `None` for a cold start (the policy
+    /// must reset to genesis). The default does nothing.
+    fn restore_policy_state(&mut self, state: Option<ServePolicyState>) {
+        let _ = state;
+    }
+}
+
+/// The serializable face of a [`ServePlanner`]'s cached state: the
+/// stats epoch plus every cached plan as `(query, cache-key epoch,
+/// plan)`. The query rides along because restoring a drift monitor
+/// needs the predicates, not just the plan bytes.
+#[derive(Debug, Clone)]
+pub struct ServePolicyState {
+    /// The policy's statistics epoch.
+    pub stats_epoch: u64,
+    /// Cached plans in deterministic key order.
+    pub plans: Vec<(Query, u64, PlannedQuery)>,
 }
 
 /// Per-query accounting for one schedule entry.
@@ -102,6 +154,17 @@ pub struct QueryOutcome {
     /// Cached plans invalidated when this query's completion stats
     /// were absorbed.
     pub invalidated: u64,
+    /// Typed terminal outcome. The lossless loop only ever produces
+    /// [`QueryStatus::Complete`] (or `Shed` for entries scheduled
+    /// beyond the run).
+    pub status: QueryStatus,
+    /// Epoch admission control dropped the query, if it was shed by
+    /// policy rather than scheduled beyond the run.
+    pub shed_at: Option<usize>,
+    /// Delivered result rows as `(epoch, mote)` pairs in delivery
+    /// order, when [`ServiceOptions::collect_rows`] is on (the
+    /// partial-result prefix guarantee is stated over these).
+    pub rows: Vec<(usize, u16)>,
 }
 
 /// Result of one service run.
@@ -122,6 +185,8 @@ pub struct ServiceReport {
     /// Sensor reads the live queries demanded (before merging) — the
     /// gap to `performed_acquisitions` is the sharing win.
     pub demanded_acquisitions: u64,
+    /// Fault/crash/policy accounting — `None` on the lossless path.
+    pub robustness: Option<ServeRobustReport>,
 }
 
 impl ServiceReport {
@@ -138,6 +203,154 @@ impl ServiceReport {
     /// Whether every verdict of every query matched ground truth.
     pub fn all_correct(&self) -> bool {
         self.queries.iter().all(|q| q.all_correct)
+    }
+
+    /// Queries that terminated with the given status.
+    pub fn count_status(&self, status: QueryStatus) -> usize {
+        self.queries.iter().filter(|q| q.status == status).count()
+    }
+}
+
+/// Robustness accounting for one fault-tolerant service run
+/// (`DESIGN.md` §14.5).
+#[derive(Debug, Clone, Default)]
+pub struct ServeRobustReport {
+    /// Result packets that reached the basestation.
+    pub delivered_results: usize,
+    /// Result packets dropped after exhausting the attempt cap.
+    pub lost_results: usize,
+    /// Tuples abandoned because a sensor read aborted.
+    pub aborted_tuples: usize,
+    /// Mote-epochs lost to dropout schedules.
+    pub offline_epochs: usize,
+    /// Queries shed by admission control.
+    pub shed: usize,
+    /// Queries terminated at their deadline.
+    pub timed_out: usize,
+    /// Admissions deferred because the epoch budget was full.
+    pub budget_deferrals: u64,
+    /// Admissions deferred by the fairness rule (hot signature at its
+    /// fair share yielding to a waiting different signature).
+    pub fairness_deferrals: u64,
+    /// Live queries re-planned onto a new stats epoch after drift.
+    pub readmissions: u64,
+    /// Basestation crashes injected.
+    pub crashes: usize,
+    /// Recoveries that found no usable snapshot.
+    pub cold_starts: usize,
+    /// Snapshot files that failed validation across recoveries.
+    pub corrupt_snapshots: usize,
+    /// WAL records replayed across recoveries.
+    pub wal_replayed: usize,
+    /// Serve snapshots written during the run.
+    pub checkpoints_written: usize,
+    /// Radio energy (µJ, bs tx + mote rx) spent re-disseminating plans
+    /// after crashes.
+    pub recovery_rediss_uj: f64,
+}
+
+/// Admission-control and degradation policy for the robust service
+/// loop. The default is a no-op: admit everything immediately, never
+/// shed, never re-admit — required for loss-0 transparency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServicePolicy {
+    /// Per-epoch budget on the summed expected per-tuple cost of live
+    /// plans. Admissions that would exceed it wait in the queue (in
+    /// strict schedule order); `None` admits unconditionally.
+    pub epoch_cost_budget: Option<f64>,
+    /// Epochs an entry may wait in the admission queue before it is
+    /// shed (only enforced when a budget is set).
+    pub max_queue_epochs: usize,
+    /// Fairness bound: once a signature has this many live instances,
+    /// further admissions of it yield to waiting entries of *other*
+    /// signatures — one hot signature cannot starve the tail.
+    pub fair_share: usize,
+    /// Re-plan in-flight queries onto the new stats epoch when a
+    /// completion's drift firing invalidates the plan cache, instead of
+    /// letting them finish on stale plans.
+    pub readmit_on_drift: bool,
+}
+
+impl Default for ServicePolicy {
+    fn default() -> Self {
+        ServicePolicy {
+            epoch_cost_budget: None,
+            max_queue_epochs: 8,
+            fair_share: 2,
+            readmit_on_drift: false,
+        }
+    }
+}
+
+impl ServicePolicy {
+    /// Whether the policy can never alter a run (the transparency
+    /// precondition).
+    pub fn is_noop(&self) -> bool {
+        self.epoch_cost_budget.is_none() && !self.readmit_on_drift
+    }
+
+    /// Validates the knobs: a budget must be a positive finite µJ
+    /// figure and the fair share at least one.
+    pub fn validate(&self) -> Result<()> {
+        if let Some(b) = self.epoch_cost_budget {
+            if !b.is_finite() || b <= 0.0 {
+                return Err(Error::InvalidFlag {
+                    flag: "epoch-budget".into(),
+                    value: format!("{b}"),
+                    why: "the per-epoch cost budget must be a positive finite number",
+                });
+            }
+        }
+        if self.fair_share == 0 {
+            return Err(Error::InvalidFlag {
+                flag: "fair-share".into(),
+                value: "0".into(),
+                why: "the fairness bound must admit at least one instance per signature",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Everything optional about a service run: fault injection, crash
+/// recovery, admission policy, row collection. [`Default`] is exactly
+/// the lossless loop — [`run_service_with`] routes a default options
+/// struct through the identical code path as [`run_service`].
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Seeded fault model ([`FaultModel::none`] = lossless).
+    pub faults: FaultModel,
+    /// Crash/checkpoint configuration (inactive by default).
+    pub crash: CrashConfig,
+    /// Admission-control policy (no-op by default).
+    pub policy: ServicePolicy,
+    /// Collect delivered `(epoch, mote)` rows per query. Forces the
+    /// robust path even when everything else is default — the lever the
+    /// transparency proptests use to pin the robust loop at loss 0
+    /// against the lossless loop bitwise.
+    pub collect_rows: bool,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            faults: FaultModel::none(),
+            crash: CrashConfig::default(),
+            policy: ServicePolicy::default(),
+            collect_rows: false,
+        }
+    }
+}
+
+impl ServiceOptions {
+    /// Whether these options cannot change anything about `schedule`'s
+    /// lossless execution, so the run may take the lossless fast path.
+    pub fn is_transparent(&self, schedule: &[ScheduleEntry]) -> bool {
+        self.faults.is_lossless()
+            && !self.crash.is_active()
+            && self.policy.is_noop()
+            && !self.collect_rows
+            && schedule.iter().all(|s| s.deadline.is_none())
     }
 }
 
@@ -170,6 +383,36 @@ struct LiveQuery {
     subproblems: u64,
     /// Per-mote batch precomputation (vectorized mode only).
     pre: Vec<MotePre>,
+    /// Query signature (robust path; unused by the lossless loop).
+    sig: u64,
+    /// Absolute deadline epoch (scheduled admission + deadline).
+    deadline_at: Option<usize>,
+    /// Epoch `pre`'s arrays start at (re-set on drift readmission).
+    pre_base: usize,
+    /// Which motes physically hold the current plan. Empty on the
+    /// lossless path, where dissemination cannot fail.
+    mote_has: Vec<bool>,
+    /// The basestation's belief about `mote_has` — process memory,
+    /// wiped to all-false by a crash (which is what forces the
+    /// recovery re-dissemination).
+    bs_known: Vec<bool>,
+    /// Passing tuples whose result packet timed out.
+    lost_results: usize,
+    /// Tuples discarded because their chain hit an aborted sensor.
+    aborted_tuples: usize,
+    /// Mote-epochs this query could not execute (offline mote or plan
+    /// not yet disseminated).
+    missed_epochs: usize,
+    /// Delivered `(epoch, mote)` rows (robust path, opt-in).
+    rows: Vec<(usize, u16)>,
+}
+
+impl LiveQuery {
+    /// Whether any tuple or result was lost — a window-end termination
+    /// then reports [`QueryStatus::Partial`] instead of `Complete`.
+    fn is_degraded(&self) -> bool {
+        self.lost_results > 0 || self.aborted_tuples > 0 || self.missed_epochs > 0
+    }
 }
 
 /// Pre-hoisted `serve.*` instruments (see `DESIGN.md` §8).
@@ -255,6 +498,9 @@ pub fn run_service(
             subproblems: 0,
             latency_epochs: None,
             invalidated: 0,
+            status: QueryStatus::Shed,
+            shed_at: None,
+            rows: Vec::new(),
         })
         .collect();
 
@@ -340,6 +586,15 @@ pub fn run_service(
                 cache_hit: plan.cache_hit,
                 subproblems: plan.subproblems,
                 pre,
+                sig: 0,
+                deadline_at: None,
+                pre_base: entry.admit,
+                mote_has: Vec::new(),
+                bs_known: Vec::new(),
+                lost_results: 0,
+                aborted_tuples: 0,
+                missed_epochs: 0,
+                rows: Vec::new(),
             });
         }
 
@@ -467,6 +722,7 @@ pub fn run_service(
         bs_tx_uj,
         performed_acquisitions: performed,
         demanded_acquisitions: demanded,
+        robustness: None,
     };
     flight.emit(
         epochs as u64,
@@ -560,6 +816,1086 @@ fn complete(
     o.subproblems = q.subproblems;
     o.latency_epochs = latency;
     o.invalidated = invalidated;
+    o.status = QueryStatus::Complete;
+}
+
+/// Runs `schedule` as a service with explicit [`ServiceOptions`]:
+/// seeded faults, crash recovery, admission control, deadlines.
+/// Transparent options (the default) take the exact [`run_service`]
+/// code path — a `--loss-rate 0` run without crashes or policy is
+/// bitwise identical to the lossless service. Anything else runs the
+/// fault-tolerant loop, which:
+///
+/// - pushes every dissemination and result packet through the bounded
+///   retry + backoff of [`attempt_packet`], charging each attempt;
+/// - wraps sensing in [`FaultySource`] so failed reads retry and
+///   exhausted reads abort only the tuples whose chains touched them;
+/// - applies the [`ServicePolicy`] in schedule order: per-epoch budget
+///   admission with a fairness bound, queue-age and deadline shedding;
+/// - degrades gracefully: deadline crossings yield a typed
+///   [`QueryStatus::TimedOut`] outcome with the rows delivered so far,
+///   lossy windows end as [`QueryStatus::Partial`];
+/// - journals admissions/completions/epochs to the WAL and snapshots
+///   serve state on the checkpoint cadence, so an injected basestation
+///   crash recovers the plan cache, stats epoch and live-query
+///   progress instead of cold-starting.
+///
+/// The vectorized executor precomputes verdicts from admission-time
+/// plans, which is incompatible with lossy sensing and crash-induced
+/// replans — `ExecMode::Vectorized` is rejected unless the fault model
+/// is lossless and crashes are disabled.
+#[allow(clippy::too_many_arguments)]
+pub fn run_service_with(
+    schema: &Schema,
+    schedule: &[ScheduleEntry],
+    planner: &mut dyn ServePlanner,
+    motes: &mut [Mote],
+    model: &EnergyModel,
+    epochs: usize,
+    mode: ExecMode,
+    rec: &Recorder,
+    opts: &ServiceOptions,
+) -> Result<ServiceReport> {
+    opts.policy.validate()?;
+    if opts.is_transparent(schedule) {
+        return run_service(schema, schedule, planner, motes, model, epochs, mode, rec);
+    }
+    if mode == ExecMode::Vectorized && (!opts.faults.is_lossless() || opts.crash.is_active()) {
+        return Err(Error::InvalidFlag {
+            flag: "exec".into(),
+            value: "vectorized".into(),
+            why: "the vectorized service cannot inject faults or crashes; use scalar execution",
+        });
+    }
+
+    let span = rec.span("serve.run");
+    let flight = rec.flight().clone();
+    let start_seq = flight.emit(
+        0,
+        0,
+        "serve.start",
+        &[
+            ("queries", schedule.len().into()),
+            ("motes", motes.len().into()),
+            ("epochs", epochs.into()),
+        ],
+    );
+    let cr = CrashRuntime::new(&opts.crash, rec).map_err(core_err)?;
+    let outcomes: Vec<QueryOutcome> = schedule
+        .iter()
+        .map(|s| QueryOutcome {
+            admitted: false,
+            admit: s.admit,
+            completed_at: s.admit,
+            tuples: 0,
+            results: 0,
+            all_correct: true,
+            cache_hit: false,
+            subproblems: 0,
+            latency_epochs: None,
+            invalidated: 0,
+            status: QueryStatus::Shed,
+            shed_at: None,
+            rows: Vec::new(),
+        })
+        .collect();
+    let mut arrivals: Vec<Vec<usize>> = vec![Vec::new(); epochs];
+    for (i, s) in schedule.iter().enumerate() {
+        if s.admit < epochs {
+            arrivals[s.admit].push(i);
+        }
+    }
+    let scratch = SharedScratch::new(schema.len());
+    let engine = RobustEngine {
+        schema,
+        schedule,
+        planner,
+        motes,
+        model,
+        epochs,
+        mode,
+        rec,
+        opts,
+        flight,
+        start_seq,
+        m: ServeMetrics::new(rec),
+        rm: RobustMetrics::new(rec),
+        fstats: FaultStats::serve(rec),
+        cr,
+        outcomes,
+        arrivals,
+        live: Vec::new(),
+        queue: Vec::new(),
+        scratch,
+        exec: BatchExecutor::new(),
+        out: BatchOutcome::default(),
+        bs_tx_uj: 0.0,
+        demanded: 0,
+        performed: 0,
+        rob: ServeRobustReport::default(),
+    };
+    let report = engine.run()?;
+    drop(span);
+    Ok(report)
+}
+
+/// Robust-path instruments (`serve.shed.*`, `serve.degraded.*`,
+/// `serve.readmit.*`), registered only when the robust loop actually
+/// runs so a lossless run's metrics snapshot stays byte-identical to
+/// the pre-fault service.
+struct RobustMetrics {
+    /// `serve.shed.queries` — queries dropped by admission control.
+    shed: Counter,
+    /// `serve.shed.deferrals.budget` — admission passes stopped by a
+    /// full epoch budget.
+    defer_budget: Counter,
+    /// `serve.shed.deferrals.fairness` — hot-signature entries that
+    /// yielded to a waiting different signature.
+    defer_fair: Counter,
+    /// `serve.degraded.partial` — window-end terminations that lost
+    /// tuples or results along the way.
+    partial: Counter,
+    /// `serve.degraded.timeouts` — deadline terminations.
+    timeouts: Counter,
+    /// `serve.degraded.lost_results` — result packets dropped after
+    /// exhausting the attempt cap.
+    lost_results: Counter,
+    /// `serve.degraded.aborted_tuples` — tuples discarded on sensing
+    /// aborts.
+    aborted: Counter,
+    /// `serve.readmit.queries` — live queries re-planned onto a new
+    /// stats epoch after drift invalidation.
+    readmitted: Counter,
+    /// `serve.latency.degraded` — epochs spent by shed and timed-out
+    /// queries, kept out of the completion latency histogram.
+    degraded_latency: Hist,
+}
+
+impl RobustMetrics {
+    fn new(rec: &Recorder) -> RobustMetrics {
+        RobustMetrics {
+            shed: rec.counter("serve.shed.queries"),
+            defer_budget: rec.counter("serve.shed.deferrals.budget"),
+            defer_fair: rec.counter("serve.shed.deferrals.fairness"),
+            partial: rec.counter("serve.degraded.partial"),
+            timeouts: rec.counter("serve.degraded.timeouts"),
+            lost_results: rec.counter("serve.degraded.lost_results"),
+            aborted: rec.counter("serve.degraded.aborted_tuples"),
+            readmitted: rec.counter("serve.readmit.queries"),
+            degraded_latency: rec.hist("serve.latency.degraded"),
+        }
+    }
+}
+
+/// A schedule entry waiting in the admission queue.
+struct Pending {
+    /// Index into the schedule.
+    idx: usize,
+    /// The entry's query signature (fairness key).
+    sig: u64,
+    /// Plan computed on first consideration and reused across
+    /// deferrals. Basestation memory: wiped by crashes and by cache
+    /// invalidations, so a later admission re-plans on fresh state.
+    plan: Option<AdmittedPlan>,
+}
+
+/// The fault-tolerant service loop. One instance per
+/// [`run_service_with`] call on the robust path.
+struct RobustEngine<'a> {
+    schema: &'a Schema,
+    schedule: &'a [ScheduleEntry],
+    planner: &'a mut dyn ServePlanner,
+    motes: &'a mut [Mote],
+    model: &'a EnergyModel,
+    epochs: usize,
+    mode: ExecMode,
+    rec: &'a Recorder,
+    opts: &'a ServiceOptions,
+    flight: FlightRecorder,
+    start_seq: u64,
+    m: ServeMetrics,
+    rm: RobustMetrics,
+    fstats: FaultStats,
+    cr: CrashRuntime<'a>,
+    outcomes: Vec<QueryOutcome>,
+    /// Schedule indices by arrival epoch, in schedule order.
+    arrivals: Vec<Vec<usize>>,
+    live: Vec<LiveQuery>,
+    /// Admission queue, in schedule order.
+    queue: Vec<Pending>,
+    scratch: SharedScratch,
+    exec: BatchExecutor,
+    out: BatchOutcome,
+    bs_tx_uj: f64,
+    demanded: u64,
+    performed: u64,
+    rob: ServeRobustReport,
+}
+
+impl RobustEngine<'_> {
+    fn run(mut self) -> Result<ServiceReport> {
+        let epochs = self.epochs;
+        for e in 0..epochs {
+            // Crashes fire at epoch starts only; epoch 0 cannot crash
+            // (there is nothing to recover before the first
+            // admissions) — the same clock the single-query crashy
+            // simulator uses.
+            let crashed = e > 0 && self.crash_scheduled(e);
+            if crashed {
+                self.crash_and_recover(e);
+            }
+            self.redisseminate(e, crashed);
+            self.admissions(e)?;
+            self.exec_motes(e);
+            self.terminations(e)?;
+            self.journal_epoch(e);
+        }
+        // Entries still queued when the run ends never got capacity.
+        for p in std::mem::take(&mut self.queue) {
+            self.shed(p.idx, epochs);
+        }
+        // `end` is clamped to `epochs`, so nothing should still be
+        // live here; drain defensively all the same.
+        for q in std::mem::take(&mut self.live) {
+            let status = if q.is_degraded() { QueryStatus::Partial } else { QueryStatus::Complete };
+            self.finish(q, epochs, status);
+        }
+        if let Some(err) = self.cr.take_error() {
+            return Err(core_err(err));
+        }
+        Ok(self.report())
+    }
+
+    /// Whether the basestation crashes at the start of epoch `e`:
+    /// explicitly scheduled, or drawn from the crash stream (which is
+    /// hash-disjoint from every packet stream, so enabling crashes
+    /// never changes which packets drop).
+    fn crash_scheduled(&self, e: usize) -> bool {
+        self.cr.cfg.crash_epochs.contains(&e)
+            || (self.cr.cfg.crash_rate > 0.0
+                && self.opts.faults.roll(FaultStream::Crash, 0, e, 0, 0) < self.cr.cfg.crash_rate)
+    }
+
+    /// Kills and restarts the basestation process: belief state and
+    /// staged plans are wiped (physical mote state survives), then the
+    /// serve checkpoint + WAL tail are read back to restore the
+    /// policy's plan cache, stats epoch and live-query drift counters.
+    fn crash_and_recover(&mut self, e: usize) {
+        self.cr.crashes += 1;
+        self.cr.counters.attempted.incr(1);
+        let down_seq = self.flight.emit(e as u64, self.start_seq, "crash.down", &[]);
+        for q in self.live.iter_mut() {
+            for k in q.bs_known.iter_mut() {
+                *k = false;
+            }
+        }
+        for p in self.queue.iter_mut() {
+            p.plan = None;
+        }
+        let recovered = match self.cr.journal.as_mut() {
+            Some(j) => j.recover_serve(),
+            None => RecoveredServeState::genesis(),
+        };
+        let (cold, replayed, corrupt, scanned) = (
+            recovered.cold_start,
+            recovered.replayed.len(),
+            recovered.corrupt_snapshots,
+            recovered.snapshots_scanned,
+        );
+        self.cr.cold_starts += usize::from(cold);
+        if cold {
+            self.cr.counters.cold_start.incr(1);
+        }
+        self.cr.corrupt_snapshots += corrupt;
+        self.cr.counters.corrupt.incr(corrupt as u64);
+        self.cr.wal_replayed += replayed;
+        self.cr.counters.wal_replayed.incr(replayed as u64);
+        let cp_epoch = recovered.checkpoint.as_ref().map_or(-1, |c| c.epoch as i64);
+        match recovered.checkpoint {
+            Some(cp) => {
+                // Rebuild the policy's plan cache from the snapshot;
+                // entries whose wire bytes fail to decode are dropped
+                // (the policy simply re-plans them on demand).
+                let mut plans = Vec::new();
+                for entry in &cp.plans {
+                    if let Ok(plan) = Plan::decode(&entry.plan.wire) {
+                        plans.push((
+                            entry.query.clone(),
+                            entry.key_epoch,
+                            PlannedQuery {
+                                plan,
+                                wire: entry.plan.wire.clone(),
+                                expected_cost: entry.plan.expected_cost,
+                                objective: entry.plan.objective,
+                            },
+                        ));
+                    }
+                }
+                self.planner.restore_policy_state(Some(ServePolicyState {
+                    stats_epoch: cp.stats_epoch,
+                    plans,
+                }));
+                // Live-query drift counters recover to their
+                // checkpointed values; deltas since the snapshot are
+                // lost. (The report's tuple/result tallies are ground
+                // truth about what physically happened — a basestation
+                // restart does not rewrite them.)
+                for q in self.live.iter_mut() {
+                    match cp.live.iter().find(|l| l.idx == q.idx as u64) {
+                        Some(l) if l.pend.len() == q.pend.len() => q.pend = l.pend.clone(),
+                        _ => q.pend.iter_mut().for_each(|p| *p = (0, 0)),
+                    }
+                }
+            }
+            None => {
+                self.planner.restore_policy_state(None);
+                for q in self.live.iter_mut() {
+                    q.pend.iter_mut().for_each(|p| *p = (0, 0));
+                }
+            }
+        }
+        self.flight.emit(
+            e as u64,
+            down_seq,
+            "crash.recover",
+            &[
+                ("cold_start", cold.into()),
+                ("stats_epoch", (self.planner.stats_epoch() as i64).into()),
+                ("wal_replayed", replayed.into()),
+                ("corrupt_snapshots", corrupt.into()),
+                ("snapshots_scanned", scanned.into()),
+                ("checkpoint_epoch", cp_epoch.into()),
+            ],
+        );
+    }
+
+    /// Fresh per-epoch dissemination attempts for every live query the
+    /// basestation believes some mote is missing — covers lossy
+    /// admissions, post-crash belief wipes and drift readmissions. The
+    /// energy of a post-crash round is additionally tallied as the
+    /// recovery tax.
+    fn redisseminate(&mut self, e: usize, crashed: bool) {
+        let Self { live, motes, opts, fstats, flight, m, model, bs_tx_uj, cr, start_seq, .. } =
+            self;
+        let faults = &opts.faults;
+        for q in live.iter_mut() {
+            let wire_len = q.planned.wire.len();
+            for (mi, mote) in motes.iter_mut().enumerate() {
+                if q.bs_known[mi] || !faults.online(mote.id(), e) {
+                    continue;
+                }
+                let d = attempt_packet(faults, FaultStream::Dissemination, mote.id(), e, fstats);
+                emit_retry(flight, *start_seq, e, "diss", mote.id(), &d);
+                let tx = (d.attempts as usize * wire_len) as f64 * model.radio_tx_uj_per_byte;
+                *bs_tx_uj += tx;
+                m.radio.incr(d.attempts as u64);
+                let mut delta = tx;
+                if d.delivered {
+                    mote.receive(wire_len, model);
+                    delta += wire_len as f64 * model.radio_rx_uj_per_byte;
+                    q.mote_has[mi] = true;
+                    q.bs_known[mi] = true;
+                }
+                if crashed {
+                    cr.recovery_rediss_uj += delta;
+                }
+            }
+        }
+    }
+
+    /// Queues this epoch's arrivals, sheds entries that can no longer
+    /// run, and admits from the queue in schedule order under the
+    /// policy's budget and fairness rules.
+    fn admissions(&mut self, e: usize) -> Result<()> {
+        for idx in self.arrivals[e].clone() {
+            let sig = self.schedule[idx].query.signature();
+            self.queue.push(Pending { idx, sig, plan: None });
+        }
+        if self.queue.is_empty() {
+            return Ok(());
+        }
+        let budget = self.opts.policy.epoch_cost_budget;
+        let max_wait = self.opts.policy.max_queue_epochs;
+        let fair_share = self.opts.policy.fair_share;
+
+        // Shed pass: entries whose deadline already passed while
+        // queued, and (under a budget) entries past the queueing cap.
+        let queue = std::mem::take(&mut self.queue);
+        let mut kept: Vec<Pending> = Vec::with_capacity(queue.len());
+        for p in queue {
+            let s = &self.schedule[p.idx];
+            let expired = s.deadline.is_some_and(|d| e >= s.admit + d)
+                || (budget.is_some() && e > s.admit + max_wait);
+            if expired {
+                self.shed(p.idx, e);
+            } else {
+                kept.push(p);
+            }
+        }
+
+        // Admission pass. Fairness first (before planning, so a
+        // deferred hot entry costs nothing), then the budget check in
+        // strict FIFO order: the first entry that does not fit stops
+        // the pass, except that an oversized entry facing an *empty*
+        // service is admitted anyway — it could otherwise never run.
+        let sigs: Vec<u64> = kept.iter().map(|p| p.sig).collect();
+        let other_behind: Vec<bool> =
+            (0..sigs.len()).map(|i| sigs[i + 1..].iter().any(|&s| s != sigs[i])).collect();
+        let mut sig_live: BTreeMap<u64, usize> = BTreeMap::new();
+        for q in &self.live {
+            *sig_live.entry(q.sig).or_insert(0) += 1;
+        }
+        let mut live_cost: f64 = self.live.iter().map(|q| q.planned.expected_cost).sum();
+        let mut admitted_any = false;
+        let mut deferred: Vec<Pending> = Vec::new();
+        let mut iter = kept.into_iter().enumerate();
+        while let Some((pos, mut p)) = iter.next() {
+            if budget.is_some()
+                && sig_live.get(&p.sig).copied().unwrap_or(0) >= fair_share
+                && other_behind[pos]
+            {
+                self.rm.defer_fair.incr(1);
+                self.rob.fairness_deferrals += 1;
+                deferred.push(p);
+                continue;
+            }
+            let plan = match p.plan.take() {
+                Some(plan) => plan,
+                None => {
+                    let plan = self.planner.plan_admitted(&self.schedule[p.idx].query, e)?;
+                    self.m.subproblems.incr(plan.subproblems);
+                    if plan.cache_hit {
+                        self.m.cache_hits.incr(1);
+                    } else {
+                        self.m.cache_misses.incr(1);
+                    }
+                    plan
+                }
+            };
+            if let Some(b) = budget {
+                let cost = plan.planned.expected_cost;
+                if live_cost + cost > b && (admitted_any || !self.live.is_empty()) {
+                    self.rm.defer_budget.incr(1);
+                    self.rob.budget_deferrals += 1;
+                    p.plan = Some(plan);
+                    deferred.push(p);
+                    deferred.extend(iter.map(|(_, rest)| rest));
+                    break;
+                }
+                live_cost += cost;
+            }
+            *sig_live.entry(p.sig).or_insert(0) += 1;
+            admitted_any = true;
+            self.admit_now(p.idx, p.sig, plan, e);
+        }
+        self.queue = deferred;
+        Ok(())
+    }
+
+    /// Admits one entry at epoch `e`: counters, fleet dissemination
+    /// through the retry loop, WAL record, and the live-query state.
+    fn admit_now(&mut self, idx: usize, sig: u64, plan: AdmittedPlan, e: usize) {
+        let entry = &self.schedule[idx];
+        self.m.admitted.incr(1);
+        let wire_len = plan.planned.wire.len();
+        let faults = &self.opts.faults;
+        let mut mote_has = vec![false; self.motes.len()];
+        for (mi, mote) in self.motes.iter_mut().enumerate() {
+            if !faults.online(mote.id(), e) {
+                continue;
+            }
+            let d = attempt_packet(faults, FaultStream::Dissemination, mote.id(), e, &self.fstats);
+            emit_retry(&self.flight, self.start_seq, e, "diss", mote.id(), &d);
+            self.bs_tx_uj +=
+                (d.attempts as usize * wire_len) as f64 * self.model.radio_tx_uj_per_byte;
+            self.m.radio.incr(d.attempts as u64);
+            if d.delivered {
+                mote.receive(wire_len, self.model);
+                mote_has[mi] = true;
+            }
+        }
+        self.flight.emit(
+            e as u64,
+            self.start_seq,
+            "serve.admit",
+            &[
+                ("query", idx.into()),
+                ("cache_hit", plan.cache_hit.into()),
+                ("subproblems", plan.subproblems.into()),
+                ("wire_bytes", wire_len.into()),
+            ],
+        );
+        if let Some(j) = self.cr.journal.as_mut() {
+            j.append(&WalRecord::ServeAdmit {
+                idx: idx as u64,
+                epoch: e as u64,
+                sig,
+                cache_hit: plan.cache_hit,
+            });
+        }
+        let mut pred_of: Vec<Option<usize>> = vec![None; self.schema.len()];
+        for (j, &a) in entry.query.attrs().iter().enumerate() {
+            pred_of[a] = Some(j);
+        }
+        let end = (e + entry.window.max(1)).min(self.epochs);
+        let pre = match self.mode {
+            ExecMode::Scalar => Vec::new(),
+            ExecMode::Vectorized => precompute_batches(
+                &mut self.exec,
+                &mut self.out,
+                &plan.planned,
+                &entry.query,
+                self.schema,
+                self.motes,
+                e,
+                end,
+            ),
+        };
+        let o = &mut self.outcomes[idx];
+        o.admitted = true;
+        o.admit = e;
+        let bs_known = mote_has.clone();
+        self.live.push(LiveQuery {
+            idx,
+            planned: plan.planned,
+            admit: e,
+            end,
+            uplink_bytes: result_packet_bytes(self.schema, &entry.query),
+            pred_of,
+            pend: vec![(0, 0); entry.query.len()],
+            tuples: 0,
+            results: 0,
+            all_correct: true,
+            first_result: None,
+            cache_hit: plan.cache_hit,
+            subproblems: plan.subproblems,
+            pre,
+            sig,
+            deadline_at: entry.deadline.map(|d| entry.admit + d),
+            pre_base: e,
+            mote_has,
+            bs_known,
+            lost_results: 0,
+            aborted_tuples: 0,
+            missed_epochs: 0,
+            rows: Vec::new(),
+        });
+    }
+
+    /// One merged execution pass per mote, in index order — the
+    /// lossless slot discipline plus dropouts, sensing retries and
+    /// result-uplink retries.
+    fn exec_motes(&mut self, e: usize) {
+        if self.live.is_empty() {
+            return;
+        }
+        let mode = self.mode;
+        let Self {
+            schema,
+            schedule,
+            motes,
+            model,
+            opts,
+            m,
+            rm,
+            fstats,
+            flight,
+            live,
+            scratch,
+            rob,
+            demanded,
+            performed,
+            start_seq,
+            ..
+        } = self;
+        let faults = &opts.faults;
+        let collect_rows = opts.collect_rows;
+        let mut slot_outs: Vec<ExecOutcome> = Vec::new();
+        let mut execd: Vec<usize> = Vec::new();
+        for (mi, mote) in motes.iter_mut().enumerate() {
+            if e >= mote.epochs() {
+                continue;
+            }
+            let id = mote.id();
+            if !faults.online(id, e) {
+                fstats.offline_epochs.incr(1);
+                rob.offline_epochs += 1;
+                for q in live.iter_mut() {
+                    q.missed_epochs += 1;
+                }
+                continue;
+            }
+            scratch.reset();
+            match mode {
+                ExecMode::Scalar => {
+                    slot_outs.clear();
+                    execd.clear();
+                    let aborted_mask = {
+                        let mut src = FaultySource::new(
+                            mote.epoch_source(e, schema, model),
+                            faults,
+                            fstats,
+                            id,
+                            e,
+                        );
+                        for (qi, q) in live.iter().enumerate() {
+                            if !q.mote_has[mi] {
+                                continue;
+                            }
+                            execd.push(qi);
+                            let mut shared = SharedSource::new(&mut src, scratch);
+                            let o = execute_wire(
+                                &q.planned.wire,
+                                &schedule[q.idx].query,
+                                schema,
+                                &mut shared,
+                            )
+                            .expect("basestation-produced wire plans are well-formed");
+                            slot_outs.push(o);
+                        }
+                        src.aborted_mask()
+                    };
+                    for (&qi, o) in execd.iter().zip(&slot_outs) {
+                        let q = &mut live[qi];
+                        account_slot_robust(
+                            q,
+                            &schedule[q.idx].query,
+                            mote,
+                            model,
+                            e,
+                            o.verdict,
+                            &o.acquired,
+                            aborted_mask,
+                            m,
+                            rm,
+                            faults,
+                            fstats,
+                            flight,
+                            *start_seq,
+                            collect_rows,
+                            rob,
+                        );
+                        *demanded += o.acquired.len() as u64;
+                    }
+                    for q in live.iter_mut() {
+                        if !q.mote_has[mi] {
+                            q.missed_epochs += 1;
+                        }
+                    }
+                    m.performed.incr(scratch.acquired().len() as u64);
+                    *performed += scratch.acquired().len() as u64;
+                }
+                ExecMode::Vectorized => {
+                    // Lossless faults are a precondition for this mode,
+                    // so every mote holds every plan and nothing can
+                    // abort — the merge is the lossless loop's.
+                    let mut seen = 0u64;
+                    let mut merged: Vec<AttrId> = Vec::new();
+                    for q in live.iter_mut() {
+                        let off = e - q.pre_base;
+                        let (verdict, chain) = {
+                            let pre = &q.pre[mi];
+                            (pre.verdicts[off], pre.chains[off].clone())
+                        };
+                        for &a in &chain {
+                            let bit = 1u64 << a;
+                            if seen & bit == 0 {
+                                seen |= bit;
+                                merged.push(a);
+                            }
+                        }
+                        account_slot_robust(
+                            q,
+                            &schedule[q.idx].query,
+                            mote,
+                            model,
+                            e,
+                            verdict,
+                            &chain,
+                            0,
+                            m,
+                            rm,
+                            faults,
+                            fstats,
+                            flight,
+                            *start_seq,
+                            collect_rows,
+                            rob,
+                        );
+                        *demanded += chain.len() as u64;
+                    }
+                    mote.charge_epoch(&merged, schema, model);
+                    m.performed.incr(merged.len() as u64);
+                    *performed += merged.len() as u64;
+                }
+            }
+        }
+    }
+
+    /// Window-end and deadline terminations, then (when enabled) drift
+    /// readmission of the surviving live queries.
+    fn terminations(&mut self, e: usize) -> Result<()> {
+        let live = std::mem::take(&mut self.live);
+        let mut rest = Vec::with_capacity(live.len());
+        let mut invalidated_total = 0u64;
+        for q in live {
+            let due_window = q.end == e + 1;
+            let due_deadline = q.deadline_at.is_some_and(|d| e + 1 >= d);
+            if !(due_window || due_deadline) {
+                rest.push(q);
+                continue;
+            }
+            let status = if due_window {
+                if q.is_degraded() {
+                    QueryStatus::Partial
+                } else {
+                    QueryStatus::Complete
+                }
+            } else {
+                QueryStatus::TimedOut
+            };
+            invalidated_total += self.finish(q, e + 1, status);
+        }
+        self.live = rest;
+        if invalidated_total > 0 {
+            // Plans staged for queued entries were built against the
+            // invalidated statistics; drop them so admission re-plans.
+            for p in self.queue.iter_mut() {
+                p.plan = None;
+            }
+            if self.opts.policy.readmit_on_drift && !self.live.is_empty() {
+                self.readmit(e)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes one terminated query with a typed status. Returns how
+    /// many cached plans its completion stats invalidated.
+    fn finish(&mut self, q: LiveQuery, at: usize, status: QueryStatus) -> u64 {
+        let query = &self.schedule[q.idx].query;
+        let invalidated = self.planner.query_completed(query, at, &q.pend);
+        self.m.invalidations.incr(invalidated);
+        let latency = q.first_result.map(|f| (f - q.admit) as u64 + 1);
+        match status {
+            QueryStatus::Complete | QueryStatus::Partial => {
+                self.m.completed.incr(1);
+                if let Some(l) = latency {
+                    self.m.latency.observe(l);
+                }
+                if status == QueryStatus::Partial {
+                    self.rm.partial.incr(1);
+                }
+            }
+            QueryStatus::TimedOut => {
+                self.rm.timeouts.incr(1);
+                self.rob.timed_out += 1;
+                self.rm.degraded_latency.observe((at - q.admit) as u64);
+                self.flight.emit(
+                    at as u64,
+                    self.start_seq,
+                    "serve.timeout",
+                    &[("query", q.idx.into()), ("results", q.results.into())],
+                );
+            }
+            QueryStatus::Shed => unreachable!("shed queries never reach finish"),
+        }
+        let lat_field = latency.map(i64::try_from).and_then(std::result::Result::ok).unwrap_or(-1);
+        self.flight.emit(
+            at as u64,
+            self.start_seq,
+            "serve.complete",
+            &[
+                ("query", q.idx.into()),
+                ("results", q.results.into()),
+                ("latency", lat_field.into()),
+                ("invalidated", invalidated.into()),
+                ("status", status.label().into()),
+            ],
+        );
+        if let Some(j) = self.cr.journal.as_mut() {
+            j.append(&WalRecord::ServeComplete {
+                idx: q.idx as u64,
+                epoch: at as u64,
+                status: status.to_u8(),
+            });
+        }
+        let o = &mut self.outcomes[q.idx];
+        o.completed_at = at;
+        o.tuples = q.tuples;
+        o.results = q.results;
+        o.all_correct = q.all_correct;
+        o.cache_hit = q.cache_hit;
+        o.subproblems = q.subproblems;
+        o.latency_epochs = latency;
+        o.invalidated = invalidated;
+        o.status = status;
+        o.rows = q.rows;
+        invalidated
+    }
+
+    /// Drift invalidated the plan cache: re-plan every in-flight query
+    /// onto the new statistics epoch instead of letting it finish on a
+    /// stale plan. The new plans reach the fleet through the next
+    /// epoch's re-dissemination pass (belief state is reset here), so
+    /// no query is dropped by the invalidation.
+    fn readmit(&mut self, e: usize) -> Result<()> {
+        for qi in 0..self.live.len() {
+            let (idx, sig) = (self.live[qi].idx, self.live[qi].sig);
+            let plan = self.planner.plan_admitted(&self.schedule[idx].query, e + 1)?;
+            self.m.subproblems.incr(plan.subproblems);
+            if plan.cache_hit {
+                self.m.cache_hits.incr(1);
+            } else {
+                self.m.cache_misses.incr(1);
+            }
+            self.rm.readmitted.incr(1);
+            self.rob.readmissions += 1;
+            self.flight.emit(
+                (e + 1) as u64,
+                self.start_seq,
+                "serve.readmit",
+                &[
+                    ("query", idx.into()),
+                    ("cache_hit", plan.cache_hit.into()),
+                    ("subproblems", plan.subproblems.into()),
+                ],
+            );
+            if let Some(j) = self.cr.journal.as_mut() {
+                j.append(&WalRecord::ServeAdmit {
+                    idx: idx as u64,
+                    epoch: (e + 1) as u64,
+                    sig,
+                    cache_hit: plan.cache_hit,
+                });
+            }
+            let end = self.live[qi].end;
+            let pre = match self.mode {
+                ExecMode::Scalar => Vec::new(),
+                ExecMode::Vectorized => precompute_batches(
+                    &mut self.exec,
+                    &mut self.out,
+                    &plan.planned,
+                    &self.schedule[idx].query,
+                    self.schema,
+                    self.motes,
+                    e + 1,
+                    end,
+                ),
+            };
+            let q = &mut self.live[qi];
+            q.planned = plan.planned;
+            q.pre = pre;
+            q.pre_base = e + 1;
+            q.mote_has.iter_mut().for_each(|h| *h = false);
+            q.bs_known.iter_mut().for_each(|h| *h = false);
+        }
+        Ok(())
+    }
+
+    /// Sheds one queued entry at epoch `e`: typed outcome, degraded
+    /// latency observation, WAL record.
+    fn shed(&mut self, idx: usize, e: usize) {
+        let s = &self.schedule[idx];
+        self.rm.shed.incr(1);
+        self.rob.shed += 1;
+        let waited = (e - s.admit) as u64;
+        self.rm.degraded_latency.observe(waited);
+        self.flight.emit(
+            e as u64,
+            self.start_seq,
+            "serve.shed",
+            &[("query", idx.into()), ("waited", waited.into())],
+        );
+        if let Some(j) = self.cr.journal.as_mut() {
+            j.append(&WalRecord::ServeComplete {
+                idx: idx as u64,
+                epoch: e as u64,
+                status: QueryStatus::Shed.to_u8(),
+            });
+        }
+        let o = &mut self.outcomes[idx];
+        o.status = QueryStatus::Shed;
+        o.shed_at = Some(e);
+        o.completed_at = e;
+    }
+
+    /// Journals the epoch boundary and, on the checkpoint cadence,
+    /// snapshots the serve state: the policy's plan cache and stats
+    /// epoch plus every live query's progress record.
+    fn journal_epoch(&mut self, e: usize) {
+        let every = self.cr.cfg.checkpoint_every;
+        let state = if self.cr.journal.is_some() && every != 0 && (e + 1).is_multiple_of(every) {
+            Some(self.planner.policy_state())
+        } else {
+            None
+        };
+        let stats_epoch_now = self.planner.stats_epoch();
+        let Some(journal) = self.cr.journal.as_mut() else { return };
+        journal.append(&WalRecord::EpochEnd { epoch: e as u64 });
+        let Some(state) = state else { return };
+        let (stats_epoch, plans) = match state {
+            Some(st) => (
+                st.stats_epoch,
+                st.plans
+                    .into_iter()
+                    .map(|(query, key_epoch, planned)| ServePlanEntry {
+                        query,
+                        key_epoch,
+                        plan: PlanRecord {
+                            version: key_epoch,
+                            wire: planned.wire,
+                            expected_cost: planned.expected_cost,
+                            objective: planned.objective,
+                        },
+                    })
+                    .collect(),
+            ),
+            None => (stats_epoch_now, Vec::new()),
+        };
+        let live: Vec<ServeLiveRecord> = self
+            .live
+            .iter()
+            .map(|q| ServeLiveRecord {
+                idx: q.idx as u64,
+                admit: q.admit as u64,
+                end: q.end as u64,
+                pend: q.pend.clone(),
+            })
+            .collect();
+        let cp = ServeCheckpoint {
+            epoch: e as u64,
+            last_seq: journal.folded_seq(),
+            stats_epoch,
+            plans,
+            live,
+        };
+        let last_seq = cp.last_seq;
+        if journal.write_serve_snapshot(&cp) {
+            self.cr.checkpoints_written += 1;
+            self.cr.counters.checkpoints.incr(1);
+            self.flight.emit(
+                e as u64,
+                self.start_seq,
+                "recovery.checkpoint",
+                &[("last_seq", last_seq.into()), ("stats_epoch", stats_epoch.into())],
+            );
+        }
+    }
+
+    /// Final gauges, ledgers and the assembled [`ServiceReport`].
+    fn report(mut self) -> ServiceReport {
+        self.rob.crashes = self.cr.crashes;
+        self.rob.cold_starts = self.cr.cold_starts;
+        self.rob.corrupt_snapshots = self.cr.corrupt_snapshots;
+        self.rob.wal_replayed = self.cr.wal_replayed;
+        self.rob.checkpoints_written = self.cr.checkpoints_written;
+        self.rob.recovery_rediss_uj = self.cr.recovery_rediss_uj;
+        self.rec.gauge("serve.stats_epoch", self.planner.stats_epoch() as f64);
+        let per_mote: Vec<EnergyLedger> = self.motes.iter().map(|mt| *mt.ledger()).collect();
+        if self.rec.enabled() {
+            for (mt, l) in self.motes.iter().zip(&per_mote) {
+                let id = mt.id();
+                self.rec.gauge(&format!("sensornet.mote{id}.sensing_uj"), l.sensing_uj);
+                self.rec
+                    .gauge(&format!("sensornet.mote{id}.radio_uj"), l.radio_tx_uj + l.radio_rx_uj);
+                self.rec.gauge(&format!("sensornet.mote{id}.total_uj"), l.total_uj());
+            }
+        }
+        let mut network = EnergyLedger::default();
+        for l in &per_mote {
+            network.absorb(l);
+        }
+        let report = ServiceReport {
+            epochs: self.epochs,
+            queries: self.outcomes,
+            network,
+            per_mote,
+            bs_tx_uj: self.bs_tx_uj,
+            performed_acquisitions: self.performed,
+            demanded_acquisitions: self.demanded,
+            robustness: Some(self.rob),
+        };
+        self.flight.emit(
+            self.epochs as u64,
+            self.start_seq,
+            "serve.end",
+            &[
+                ("results", report.results().into()),
+                ("all_correct", report.all_correct().into()),
+                ("performed", report.performed_acquisitions.into()),
+                ("demanded", report.demanded_acquisitions.into()),
+            ],
+        );
+        report
+    }
+}
+
+/// The robust twin of [`account_slot`]: the same per-query accounting
+/// plus sensing-abort discards and the result-uplink retry loop. At a
+/// lossless fault model every branch reduces to the lossless path's
+/// exact `f64` operations.
+#[allow(clippy::too_many_arguments)]
+fn account_slot_robust(
+    q: &mut LiveQuery,
+    query: &Query,
+    mote: &mut Mote,
+    model: &EnergyModel,
+    e: usize,
+    verdict: bool,
+    chain: &[AttrId],
+    aborted_mask: u64,
+    m: &ServeMetrics,
+    rm: &RobustMetrics,
+    faults: &FaultModel,
+    fstats: &FaultStats,
+    flight: &FlightRecorder,
+    start_seq: u64,
+    collect_rows: bool,
+    rob: &mut ServeRobustReport,
+) {
+    q.tuples += 1;
+    m.tuples.incr(1);
+    m.demanded.incr(chain.len() as u64);
+    if aborted_mask != 0 {
+        let mask = chain.iter().fold(0u64, |acc, &a| acc | (1u64 << (a as u32).min(63)));
+        if mask & aborted_mask != 0 {
+            // A sensor this tuple's own chain touched could not be read
+            // within the attempt cap: discard the tuple. Queries that
+            // never demanded the failed sensor keep their epoch.
+            q.aborted_tuples += 1;
+            rm.aborted.incr(1);
+            rob.aborted_tuples += 1;
+            return;
+        }
+    }
+    for &a in chain {
+        if let Some(j) = q.pred_of[a] {
+            q.pend[j].0 += 1;
+            q.pend[j].1 += u64::from(query.pred(j).eval(mote.peek(e, a)));
+        }
+    }
+    let truth = query.eval_with(|a| mote.peek(e, a));
+    q.all_correct &= verdict == truth;
+    if verdict {
+        q.results += 1;
+        m.results.incr(1);
+        q.first_result.get_or_insert(e);
+        let d = attempt_packet(faults, FaultStream::Result, mote.id(), e, fstats);
+        emit_retry(flight, start_seq, e, "result", mote.id(), &d);
+        mote.transmit(d.attempts as usize * q.uplink_bytes, model);
+        m.radio.incr(d.attempts as u64);
+        if d.delivered {
+            rob.delivered_results += 1;
+            if collect_rows {
+                q.rows.push((e, mote.id()));
+            }
+        } else {
+            q.lost_results += 1;
+            rm.lost_results.incr(1);
+            rob.lost_results += 1;
+        }
+    }
 }
 
 /// Vectorized-mode admission work: runs the batch executor over each
@@ -673,7 +2009,7 @@ mod tests {
             let mut planner =
                 PlainPlanner { bs: Basestation::new(schema.clone(), &data), alpha: 0.01 };
             let mut fleet = fleet_from_trace(&data, 3);
-            let schedule = [ScheduleEntry { query: query.clone(), admit: 0, window: epochs }];
+            let schedule = [ScheduleEntry::new(query.clone(), 0, epochs)];
             let rep = run_service(
                 &schema,
                 &schedule,
@@ -709,8 +2045,8 @@ mod tests {
         let model = EnergyModel::mica_like();
         let epochs = 48usize;
         let schedule = [
-            ScheduleEntry { query: query.clone(), admit: 0, window: epochs },
-            ScheduleEntry { query: q2.clone(), admit: 0, window: epochs },
+            ScheduleEntry::new(query.clone(), 0, epochs),
+            ScheduleEntry::new(q2.clone(), 0, epochs),
         ];
 
         let mut planner = PlainPlanner { bs: Basestation::new(schema.clone(), &data), alpha: 0.01 };
@@ -763,10 +2099,7 @@ mod tests {
         let q2 = Query::new(vec![Pred::in_range(1, 1, 1), Pred::in_range(2, 1, 1)]).unwrap();
         let model = EnergyModel::mica_like();
         let epochs = 40usize;
-        let schedule = [
-            ScheduleEntry { query, admit: 0, window: 30 },
-            ScheduleEntry { query: q2, admit: 8, window: 40 },
-        ];
+        let schedule = [ScheduleEntry::new(query, 0, 30), ScheduleEntry::new(q2, 8, 40)];
         let mut reports = Vec::new();
         for mode in [ExecMode::Scalar, ExecMode::Vectorized] {
             let mut planner =
@@ -809,9 +2142,9 @@ mod tests {
         let model = EnergyModel::mica_like();
         let schedule = [
             // Zero window is clamped to one epoch.
-            ScheduleEntry { query: query.clone(), admit: 2, window: 0 },
+            ScheduleEntry::new(query.clone(), 2, 0),
             // Admission beyond the run: never admitted.
-            ScheduleEntry { query: query.clone(), admit: 100, window: 5 },
+            ScheduleEntry::new(query.clone(), 100, 5),
         ];
         let mut planner = PlainPlanner { bs: Basestation::new(schema.clone(), &data), alpha: 0.0 };
         let mut fleet = fleet_from_trace(&data, 2);
@@ -847,5 +2180,179 @@ mod tests {
         .unwrap();
         assert!(rep.queries.iter().all(|q| !q.admitted));
         assert_eq!(rep.network.total_uj(), 0.0);
+    }
+
+    #[test]
+    fn robust_path_at_loss_zero_is_bitwise_transparent() {
+        let (schema, data, query) = setup();
+        let q2 = Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(2, 0, 0)]).unwrap();
+        let model = EnergyModel::mica_like();
+        let epochs = 32usize;
+        let schedule =
+            [ScheduleEntry::new(query.clone(), 0, epochs), ScheduleEntry::new(q2.clone(), 4, 20)];
+        for mode in [ExecMode::Scalar, ExecMode::Vectorized] {
+            let mut planner =
+                PlainPlanner { bs: Basestation::new(schema.clone(), &data), alpha: 0.01 };
+            let mut fleet = fleet_from_trace(&data, 3);
+            let lossless = run_service(
+                &schema,
+                &schedule,
+                &mut planner,
+                &mut fleet,
+                &model,
+                epochs,
+                mode,
+                &Recorder::disabled(),
+            )
+            .unwrap();
+            assert!(lossless.robustness.is_none());
+
+            // `collect_rows` forces the robust loop with everything
+            // else default: same fleet physics, bit for bit.
+            let opts = ServiceOptions { collect_rows: true, ..ServiceOptions::default() };
+            let mut planner =
+                PlainPlanner { bs: Basestation::new(schema.clone(), &data), alpha: 0.01 };
+            let mut fleet = fleet_from_trace(&data, 3);
+            let robust = run_service_with(
+                &schema,
+                &schedule,
+                &mut planner,
+                &mut fleet,
+                &model,
+                epochs,
+                mode,
+                &Recorder::disabled(),
+                &opts,
+            )
+            .unwrap();
+            let rob = robust.robustness.as_ref().expect("robust path reports robustness");
+            assert_eq!(rob.shed, 0);
+            assert_eq!(rob.lost_results, 0);
+            assert_eq!(rob.aborted_tuples, 0);
+
+            assert_eq!(robust.bs_tx_uj.to_bits(), lossless.bs_tx_uj.to_bits());
+            assert_eq!(robust.performed_acquisitions, lossless.performed_acquisitions);
+            assert_eq!(robust.demanded_acquisitions, lossless.demanded_acquisitions);
+            for (a, b) in robust.per_mote.iter().zip(&lossless.per_mote) {
+                assert_eq!(a.sensing_uj.to_bits(), b.sensing_uj.to_bits());
+                assert_eq!(a.board_uj.to_bits(), b.board_uj.to_bits());
+                assert_eq!(a.radio_tx_uj.to_bits(), b.radio_tx_uj.to_bits());
+                assert_eq!(a.radio_rx_uj.to_bits(), b.radio_rx_uj.to_bits());
+            }
+            for (a, b) in robust.queries.iter().zip(&lossless.queries) {
+                assert_eq!(a.tuples, b.tuples);
+                assert_eq!(a.results, b.results);
+                assert_eq!(a.latency_epochs, b.latency_epochs);
+                assert_eq!(a.completed_at, b.completed_at);
+                assert_eq!(a.status, QueryStatus::Complete);
+                assert_eq!(a.rows.len(), a.results, "every lossless result is a delivered row");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_admission_is_fair_and_sheds_expired_entries() {
+        let (schema, data, query) = setup();
+        let q2 = Query::new(vec![Pred::in_range(0, 1, 1), Pred::in_range(2, 0, 0)]).unwrap();
+        let model = EnergyModel::mica_like();
+        let bs = Basestation::new(schema.clone(), &data);
+        let ca = bs.plan_query_sized(&query, 0.01, &[0, 1, 2, 4]).unwrap().1.expected_cost;
+        let cb = bs.plan_query_sized(&q2, 0.01, &[0, 1, 2, 4]).unwrap().1.expected_cost;
+        // Room for either query alone but never for two at once: the
+        // service serializes, one admission per window.
+        let budget = ca.max(cb) + 0.5 * ca.min(cb);
+        assert!(budget < ca + cb);
+        let schedule = [
+            ScheduleEntry::new(query.clone(), 0, 2),
+            ScheduleEntry::new(query.clone(), 0, 2),
+            ScheduleEntry::new(q2.clone(), 0, 2),
+            ScheduleEntry::new(query.clone(), 0, 2).with_deadline(2),
+        ];
+        let opts = ServiceOptions {
+            policy: ServicePolicy {
+                epoch_cost_budget: Some(budget),
+                max_queue_epochs: 8,
+                fair_share: 1,
+                readmit_on_drift: false,
+            },
+            ..ServiceOptions::default()
+        };
+        let mut planner = PlainPlanner { bs: Basestation::new(schema.clone(), &data), alpha: 0.01 };
+        let mut fleet = fleet_from_trace(&data, 2);
+        let rep = run_service_with(
+            &schema,
+            &schedule,
+            &mut planner,
+            &mut fleet,
+            &model,
+            8,
+            ExecMode::Scalar,
+            &Recorder::disabled(),
+            &opts,
+        )
+        .unwrap();
+        let rob = rep.robustness.as_ref().unwrap();
+
+        // First instance runs immediately; the duplicate yields to the
+        // different signature... but strict FIFO budget order still
+        // runs the duplicate before q2 once capacity frees up.
+        assert_eq!(rep.queries[0].admit, 0);
+        assert_eq!(rep.queries[0].status, QueryStatus::Complete);
+        assert_eq!(rep.queries[1].admit, 2);
+        assert_eq!(rep.queries[1].status, QueryStatus::Complete);
+        // The lone q2 is not starved by the hot signature.
+        assert!(rep.queries[2].admitted);
+        assert_eq!(rep.queries[2].status, QueryStatus::Complete);
+        // The deadlined duplicate expires in the queue and is shed.
+        assert_eq!(rep.queries[3].status, QueryStatus::Shed);
+        assert_eq!(rep.queries[3].shed_at, Some(2));
+        assert!(!rep.queries[3].admitted);
+
+        assert_eq!(rob.shed, 1);
+        assert!(rob.fairness_deferrals >= 2, "fairness deferrals: {}", rob.fairness_deferrals);
+        assert!(rob.budget_deferrals >= 2, "budget deferrals: {}", rob.budget_deferrals);
+        assert_eq!(rep.count_status(QueryStatus::Complete), 3);
+    }
+
+    #[test]
+    fn deadline_crossing_degrades_to_partial_prefix() {
+        let (schema, data, _) = setup();
+        // A predicate on `t` alone: passes on every odd epoch, so both
+        // runs deliver rows from the start.
+        let query = Query::new(vec![Pred::in_range(2, 1, 1)]).unwrap();
+        let model = EnergyModel::mica_like();
+        let epochs = 10usize;
+        let run = |schedule: &[ScheduleEntry]| {
+            let opts = ServiceOptions { collect_rows: true, ..ServiceOptions::default() };
+            let mut planner =
+                PlainPlanner { bs: Basestation::new(schema.clone(), &data), alpha: 0.01 };
+            let mut fleet = fleet_from_trace(&data, 2);
+            run_service_with(
+                &schema,
+                schedule,
+                &mut planner,
+                &mut fleet,
+                &model,
+                epochs,
+                ExecMode::Scalar,
+                &Recorder::disabled(),
+                &opts,
+            )
+            .unwrap()
+        };
+        let full = run(&[ScheduleEntry::new(query.clone(), 0, epochs)]);
+        let timed = run(&[ScheduleEntry::new(query.clone(), 0, epochs).with_deadline(3)]);
+
+        let f = &full.queries[0];
+        let t = &timed.queries[0];
+        assert_eq!(f.status, QueryStatus::Complete);
+        assert_eq!(t.status, QueryStatus::TimedOut);
+        assert_eq!(t.completed_at, 3);
+        assert_eq!(timed.robustness.as_ref().unwrap().timed_out, 1);
+        // Graceful degradation: the timed-out query's delivered rows
+        // are exactly the prefix of the unconstrained run's rows.
+        assert!(t.rows.len() < f.rows.len());
+        assert_eq!(t.rows[..], f.rows[..t.rows.len()]);
+        assert!(t.rows.iter().all(|&(e, _)| e < 3));
     }
 }

@@ -600,7 +600,7 @@ impl AdaptiveState<'_> {
 /// one attempt or lost outright. Lossless runs (first attempt always
 /// delivers) emit none — which keeps their traces identical across
 /// scalar and vectorized exec modes.
-fn emit_retry(
+pub(crate) fn emit_retry(
     flight: &FlightRecorder,
     cause: u64,
     e: usize,
@@ -1209,7 +1209,11 @@ impl<'a> Engine<'a> {
                         }
                     }
                 }
-                WalRecord::EpochEnd { .. } => {}
+                // Serve records in a single-query directory are stale
+                // bytes from another run flavor: shape-checked, skipped.
+                WalRecord::EpochEnd { .. }
+                | WalRecord::ServeAdmit { .. }
+                | WalRecord::ServeComplete { .. } => {}
             }
         }
         self.flight.emit(

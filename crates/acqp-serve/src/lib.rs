@@ -27,11 +27,16 @@
 
 use std::collections::BTreeMap;
 
-use acqp_core::{Dataset, DriftConfig, DriftMonitor, ExecMode, Query, Result, Schema};
+use acqp_core::{Dataset, DriftConfig, DriftMonitor, ExecMode, Query, QueryStatus, Result, Schema};
 use acqp_obs::Recorder;
-use acqp_sensornet::service::{AdmittedPlan, ScheduleEntry, ServePlanner, ServiceReport};
+use acqp_sensornet::service::{
+    AdmittedPlan, ScheduleEntry, ServePlanner, ServePolicyState, ServiceOptions, ServiceReport,
+};
 use acqp_sensornet::sim::{fleet_from_trace, run_simulation_mode};
-use acqp_sensornet::{run_service, Basestation, EnergyModel, PlannedQuery};
+use acqp_sensornet::{
+    run_service_with, Basestation, CrashConfig, EnergyModel, FaultModel, PlannedQuery,
+    ServicePolicy,
+};
 
 /// Planning knobs for a [`Service`].
 #[derive(Debug, Clone)]
@@ -42,6 +47,16 @@ pub struct ServeConfig {
     pub candidate_splits: Vec<usize>,
     /// Drift thresholds governing plan-cache invalidation.
     pub drift: DriftConfig,
+    /// Seeded fault model for the run ([`FaultModel::none`] keeps the
+    /// lossless fast path).
+    pub faults: FaultModel,
+    /// Crash/checkpoint configuration (inactive by default).
+    pub crash: CrashConfig,
+    /// Admission-control and degradation policy (no-op by default).
+    pub policy: ServicePolicy,
+    /// Collect delivered `(epoch, mote)` rows per query (forces the
+    /// robust engine path; used by transparency and prefix tests).
+    pub collect_rows: bool,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +65,10 @@ impl Default for ServeConfig {
             alpha: 0.0,
             candidate_splits: vec![0, 1, 2, 4, 8],
             drift: DriftConfig::default(),
+            faults: FaultModel::none(),
+            crash: CrashConfig::default(),
+            policy: ServicePolicy::default(),
+            collect_rows: false,
         }
     }
 }
@@ -64,6 +83,9 @@ pub struct Service<'h> {
     cfg: ServeConfig,
     cache: BTreeMap<(u64, u64), PlannedQuery>,
     monitors: BTreeMap<u64, DriftMonitor>,
+    /// Signature -> query, so checkpoints can serialize the cache with
+    /// enough context to re-arm drift monitors on recovery.
+    queries: BTreeMap<u64, Query>,
     stats_epoch: u64,
 }
 
@@ -75,7 +97,14 @@ impl<'h> Service<'h> {
         if cfg.candidate_splits.is_empty() {
             return Err(acqp_core::Error::EmptyQuery);
         }
-        Ok(Service { bs, cfg, cache: BTreeMap::new(), monitors: BTreeMap::new(), stats_epoch: 0 })
+        Ok(Service {
+            bs,
+            cfg,
+            cache: BTreeMap::new(),
+            monitors: BTreeMap::new(),
+            queries: BTreeMap::new(),
+            stats_epoch: 0,
+        })
     }
 
     /// Plans currently cached.
@@ -92,6 +121,7 @@ impl<'h> Service<'h> {
 impl ServePlanner for Service<'_> {
     fn plan_admitted(&mut self, query: &Query, _epoch: usize) -> Result<AdmittedPlan> {
         let sig = query.signature();
+        self.queries.entry(sig).or_insert_with(|| query.clone());
         if let Some(planned) = self.cache.get(&(sig, self.stats_epoch)) {
             return Ok(AdmittedPlan { planned: planned.clone(), cache_hit: true, subproblems: 0 });
         }
@@ -132,6 +162,43 @@ impl ServePlanner for Service<'_> {
     fn stats_epoch(&self) -> u64 {
         self.stats_epoch
     }
+
+    fn policy_state(&self) -> Option<ServePolicyState> {
+        let mut plans = Vec::new();
+        for (&(sig, key_epoch), planned) in &self.cache {
+            if let Some(query) = self.queries.get(&sig) {
+                plans.push((query.clone(), key_epoch, planned.clone()));
+            }
+        }
+        Some(ServePolicyState { stats_epoch: self.stats_epoch, plans })
+    }
+
+    fn restore_policy_state(&mut self, state: Option<ServePolicyState>) {
+        self.cache.clear();
+        self.monitors.clear();
+        self.queries.clear();
+        let Some(st) = state else {
+            // Cold start: the policy is back at genesis and re-plans
+            // (and re-arms monitors) on the next admission.
+            self.stats_epoch = 0;
+            return;
+        };
+        self.stats_epoch = st.stats_epoch;
+        for (query, key_epoch, planned) in st.plans {
+            let sig = query.signature();
+            // Monitors restart from the estimator baseline: drift
+            // deltas since the checkpoint are lost with the process.
+            if !self.monitors.contains_key(&sig) {
+                if let Ok(monitor) =
+                    DriftMonitor::new(self.bs.estimated_selectivities(&query), self.cfg.drift)
+                {
+                    self.monitors.insert(sig, monitor);
+                }
+            }
+            self.cache.insert((sig, key_epoch), planned);
+            self.queries.insert(sig, query);
+        }
+    }
 }
 
 /// What [`serve_schedule`] distills out of a service run.
@@ -161,6 +228,12 @@ pub struct ServeReport {
     pub amortized_sensing_uj_per_query: f64,
     /// Total mote-side energy of the shared run (µJ).
     pub shared_total_uj: f64,
+    /// Queries shed by admission control.
+    pub shed: usize,
+    /// Queries terminated at their deadline with partial results.
+    pub timed_out: usize,
+    /// Windows that completed but lost work to faults along the way.
+    pub partial: usize,
 }
 
 /// Nearest-rank percentile of a sorted slice (`p` in `(0, 1]`).
@@ -188,9 +261,25 @@ pub fn serve_schedule(
     cfg: ServeConfig,
     rec: &Recorder,
 ) -> Result<ServeReport> {
+    let opts = ServiceOptions {
+        faults: cfg.faults.clone(),
+        crash: cfg.crash.clone(),
+        policy: cfg.policy.clone(),
+        collect_rows: cfg.collect_rows,
+    };
     let mut service = Service::new(Basestation::new(schema.clone(), history), cfg)?;
     let mut fleet = fleet_from_trace(trace, motes);
-    let report = run_service(schema, schedule, &mut service, &mut fleet, model, epochs, mode, rec)?;
+    let report = run_service_with(
+        schema,
+        schedule,
+        &mut service,
+        &mut fleet,
+        model,
+        epochs,
+        mode,
+        rec,
+        &opts,
+    )?;
 
     let admitted_rows: Vec<_> = report.queries.iter().filter(|q| q.admitted).collect();
     let admitted = admitted_rows.len();
@@ -213,6 +302,9 @@ pub fn serve_schedule(
         p99_latency_epochs: percentile(&latencies, 0.99),
         amortized_sensing_uj_per_query: amortized,
         shared_total_uj: report.network.total_uj(),
+        shed: report.queries.iter().filter(|q| q.shed_at.is_some()).count(),
+        timed_out: report.count_status(QueryStatus::TimedOut),
+        partial: report.count_status(QueryStatus::Partial),
         service: report,
     })
 }
@@ -292,11 +384,7 @@ mod tests {
     fn repeat_admissions_hit_the_cache_with_zero_search() {
         let (schema, data, q1, q2) = setup();
         let schedule: Vec<ScheduleEntry> = (0..6)
-            .map(|i| ScheduleEntry {
-                query: if i % 2 == 0 { q1.clone() } else { q2.clone() },
-                admit: i * 4,
-                window: 8,
-            })
+            .map(|i| ScheduleEntry::new(if i % 2 == 0 { q1.clone() } else { q2.clone() }, i * 4, 8))
             .collect();
         let rep = serve_schedule(
             &schema,
@@ -326,9 +414,9 @@ mod tests {
     fn shared_service_beats_independent_runs_when_queries_overlap() {
         let (schema, data, q1, q2) = setup();
         let schedule = vec![
-            ScheduleEntry { query: q1.clone(), admit: 0, window: 32 },
-            ScheduleEntry { query: q2.clone(), admit: 0, window: 32 },
-            ScheduleEntry { query: q1, admit: 8, window: 24 },
+            ScheduleEntry::new(q1.clone(), 0, 32),
+            ScheduleEntry::new(q2.clone(), 0, 32),
+            ScheduleEntry::new(q1, 8, 24),
         ];
         let model = EnergyModel::mica_like();
         let cfg = ServeConfig::default();
@@ -373,10 +461,8 @@ mod tests {
         // never holds, which is far past the default 0.15 threshold.
         let drifted_rows: Vec<Vec<u16>> = (0..200u16).map(|i| vec![0, i % 2, i % 2]).collect();
         let drifted = Dataset::from_rows(&schema, drifted_rows).unwrap();
-        let schedule = vec![
-            ScheduleEntry { query: q1.clone(), admit: 0, window: 40 },
-            ScheduleEntry { query: q1.clone(), admit: 45, window: 40 },
-        ];
+        let schedule =
+            vec![ScheduleEntry::new(q1.clone(), 0, 40), ScheduleEntry::new(q1.clone(), 45, 40)];
         let rep = serve_schedule(
             &schema,
             &data,

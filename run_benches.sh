@@ -37,4 +37,5 @@ run cargo bench -p acqp-bench --bench fault_sweep
 run cargo bench -p acqp-bench --bench crash_recovery
 run cargo bench -p acqp-bench --bench vectorized
 run cargo bench -p acqp-bench --bench serve
+run cargo bench -p acqp-bench --bench serve_faults
 echo "ALL BENCHES RECORDED" | tee -a "$out"

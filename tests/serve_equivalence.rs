@@ -65,7 +65,7 @@ proptest! {
         let cfg = ServeConfig::default();
         let epochs = inst.data.len();
         let schedule =
-            vec![ScheduleEntry { query: inst.query.clone(), admit: 0, window: epochs }];
+            vec![ScheduleEntry::new(inst.query.clone(), 0, epochs)];
         let bs = Basestation::new(inst.schema.clone(), &inst.data);
         let (_, planned) = bs
             .plan_query_sized(&inst.query, cfg.alpha, &cfg.candidate_splits)
@@ -111,9 +111,9 @@ proptest! {
         // to drive the cache path in both modes.
         let sub = Query::new(vec![inst.query.pred(0)]).expect("one checked predicate");
         let schedule = vec![
-            ScheduleEntry { query: inst.query.clone(), admit: 0, window: epochs },
-            ScheduleEntry { query: sub, admit: epochs / 3, window: epochs },
-            ScheduleEntry { query: inst.query.clone(), admit: epochs / 2, window: epochs / 2 },
+            ScheduleEntry::new(inst.query.clone(), 0, epochs),
+            ScheduleEntry::new(sub, epochs / 3, epochs),
+            ScheduleEntry::new(inst.query.clone(), epochs / 2, epochs / 2),
         ];
         let scalar = serve_instance(&inst, &schedule, ExecMode::Scalar);
         let vec = serve_instance(&inst, &schedule, ExecMode::Vectorized);
