@@ -94,6 +94,11 @@ USAGE:
                 [--trace-json <file>] [--metrics yes]
                 [--flight-recorder <file>] [--flight-jsonl <file>]
                 [--flight-timeline yes] [--flight-cap N]
+  acqp verify   --dataset <kind> --query \"<expr>\"
+                [--algo naive|corrseq|heuristic|exhaustive]
+                [--splits K] [--grid R] [--json yes]
+                | --dataset <kind> --schedule \"admit:window:<expr>[;...]\"
+                | --dataset <kind> --query \"<expr>\" --wire <file>
   acqp serve    --dataset <kind> --schedule \"admit:window:<expr>[;...]\"
                 [--motes M] [--splits K] [--exec scalar|vectorized]
                 [--baseline yes] [--deadline N] [--epoch-budget F]
@@ -140,6 +145,13 @@ USAGE:
   Mid-run re-plan flags (--replan-threshold and friends) stay
   `simulate`-only: the service re-plans through its drift policy.
 
+  verifying: `verify` runs the static plan verifier (structural,
+  semantic and cost passes — no execution) over freshly planned wire
+  bytes, every plan of a --schedule, or raw bytes from --wire, and
+  reports findings. Exit codes mirror acqp-lint: 0 = all plans
+  verified, 1 = findings, 2 = operational error. --json yes emits the
+  findings as JSON.
+
   crash injection (simulate): --crash-epochs and --crash-rate kill and
   restart the basestation, recovering from --checkpoint-dir (snapshot
   every --checkpoint-every epochs + WAL replay; without a directory
@@ -155,7 +167,7 @@ USAGE:
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match run(raw) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -163,14 +175,15 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(raw: Vec<String>) -> CliResult<()> {
+fn run(raw: Vec<String>) -> CliResult<ExitCode> {
     let args = Args::parse(raw)?;
     match args.positional.first().map(String::as_str) {
-        Some("info") => cmd_info(&args),
-        Some("gen") => cmd_gen(&args),
-        Some("plan") => cmd_plan(&args),
-        Some("simulate") => cmd_simulate(&args),
-        Some("serve") => cmd_serve(&args),
+        Some("info") => cmd_info(&args).map(|()| ExitCode::SUCCESS),
+        Some("gen") => cmd_gen(&args).map(|()| ExitCode::SUCCESS),
+        Some("plan") => cmd_plan(&args).map(|()| ExitCode::SUCCESS),
+        Some("simulate") => cmd_simulate(&args).map(|()| ExitCode::SUCCESS),
+        Some("serve") => cmd_serve(&args).map(|()| ExitCode::SUCCESS),
+        Some("verify") => Ok(cmd_verify(&args)),
         Some(other) => Err(format!("unknown subcommand `{other}`").into()),
         None => Err("no subcommand given".into()),
     }
@@ -554,6 +567,144 @@ explain-analyze (train-estimated vs held-out actual):"
     finish_flight(args, &rec)?;
     finish_metrics(args, &rec);
     Ok(())
+}
+
+/// `acqp verify`: the static plan verifier as a command. Operational
+/// failures (bad flags, unreadable files) exit 2; verification findings
+/// exit 1; a fully verified corpus exits 0 — mirroring `acqp-lint`.
+fn cmd_verify(args: &Args) -> ExitCode {
+    match verify_corpus(args) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// One plan to verify: a display label, the query it must be meaningful
+/// for, the wire bytes, and the planner's claimed expected cost when
+/// one exists (raw `--wire` bytes carry no claim).
+type VerifyUnit = (String, Query, Vec<u8>, Option<f64>);
+
+/// Builds the corpus from the flags, runs the verifier over it, prints
+/// findings (human or `--json`), and returns how many there were.
+fn verify_corpus(args: &Args) -> CliResult<usize> {
+    let g = datasets::resolve(args)?;
+    let splits: usize = args.get_or("splits", 8)?;
+    let grid: usize = args.get_or("grid", 12)?;
+    let (train, _) = g.data.split_at(0.6);
+    let est = CountingEstimator::with_ranges(&train, Ranges::root(&g.schema));
+
+    let mut units: Vec<VerifyUnit> = Vec::new();
+    if let Some(path) = args.get("wire") {
+        let text = args.require("query")?;
+        let query = query_parse::parse_query(text, &g.schema, &g.discretizers)
+            .map_err(|e| format!("parsing query: {e}"))?;
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("reading wire bytes from {path}: {e}"))?;
+        units.push((format!("wire:{path}"), query, bytes, None));
+    } else if let Some(spec) = args.get("schedule") {
+        for (text, entry) in schedule_from(spec, &g.schema, &g.discretizers)? {
+            let plan = GreedyPlanner::new(splits)
+                .with_grid(SplitGrid::for_query(&g.schema, &entry.query, grid))
+                .plan(&g.schema, &entry.query, &est)
+                .map_err(|e| format!("planning `{text}`: {e}"))?;
+            let claimed = expected_cost(&plan, &entry.query, &g.schema, &est);
+            units.push((text, entry.query, plan.encode(), Some(claimed)));
+        }
+    } else {
+        let text = args.require("query")?;
+        let query = query_parse::parse_query(text, &g.schema, &g.discretizers)
+            .map_err(|e| format!("parsing query: {e}"))?;
+        let algo = args.get("algo").unwrap_or("heuristic");
+        let plan = match algo {
+            "naive" => SeqPlanner::naive().plan(&g.schema, &query, &est),
+            "corrseq" => SeqPlanner::auto().plan(&g.schema, &query, &est),
+            "heuristic" => GreedyPlanner::new(splits)
+                .with_grid(SplitGrid::for_query(&g.schema, &query, grid))
+                .plan(&g.schema, &query, &est),
+            "exhaustive" => {
+                ExhaustivePlanner::with_grid(SplitGrid::for_query(&g.schema, &query, grid.min(3)))
+                    .max_subproblems(args.get_or("budget", 1_000_000usize)?)
+                    .plan(&g.schema, &query, &est)
+            }
+            other => return Err(format!("unknown --algo `{other}`").into()),
+        }
+        .map_err(|e| format!("planning: {e}"))?;
+        let claimed = expected_cost(&plan, &query, &g.schema, &est);
+        units.push((text.to_string(), query, plan.encode(), Some(claimed)));
+    }
+
+    let json = args.get("json").is_some_and(|v| v != "no");
+    let mut findings: Vec<(String, acqp_verify::VerifyError)> = Vec::new();
+    for (label, query, wire, claimed) in &units {
+        let verdict = acqp_verify::verify_wire(wire, query, &g.schema).and_then(|cert| {
+            if let Some(c) = claimed {
+                cert.check_claim(*c)?;
+            }
+            Ok(cert)
+        });
+        match verdict {
+            Ok(cert) if !json => println!(
+                "plan `{label}`: {} bytes, {} split(s), {} path(s), cost in [{:.2}, {:.2}] — verified",
+                cert.stats.wire_len,
+                cert.stats.splits,
+                cert.stats.paths,
+                cert.bound.best_case,
+                cert.bound.worst_case,
+            ),
+            Ok(_) => {}
+            Err(e) => findings.push((label.clone(), e)),
+        }
+    }
+
+    if json {
+        let rows: Vec<String> = findings
+            .iter()
+            .map(|(label, e)| {
+                let offset = e.offset().map_or("null".to_string(), |o| o.to_string());
+                format!(
+                    "{{\"class\":{},\"plan\":{},\"offset\":{offset},\"message\":{}}}",
+                    verify_json_str(e.class()),
+                    verify_json_str(label),
+                    verify_json_str(&e.to_string()),
+                )
+            })
+            .collect();
+        println!(
+            "{{\"findings\":[{}],\"plans_checked\":{},\"errors\":{}}}",
+            rows.join(","),
+            units.len(),
+            findings.len(),
+        );
+    } else {
+        for (label, e) in &findings {
+            println!("error[{}]: {e}\n  --> plan `{label}`", e.class());
+        }
+        println!("{} plan(s) checked: {} finding(s)", units.len(), findings.len());
+    }
+    Ok(findings.len())
+}
+
+/// Minimal JSON string escaping for the `verify --json` output.
+fn verify_json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn cmd_simulate(args: &Args) -> CliResult<()> {
@@ -1115,7 +1266,7 @@ mod tests {
     use super::*;
 
     fn run_vec(v: &[&str]) -> CliResult<()> {
-        run(v.iter().map(|s| s.to_string()).collect())
+        run(v.iter().map(|s| s.to_string()).collect()).map(|_| ())
     }
 
     #[test]

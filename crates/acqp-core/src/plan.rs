@@ -211,11 +211,11 @@ impl Plan {
                 Ok(Plan::Seq(SeqOrder::new(body.iter().map(|&b| b as usize).collect())))
             }
             0x03 => {
-                let hdr = bytes
-                    .get(*pos..*pos + 3)
-                    .ok_or(Error::BadWireFormat { offset: *pos, what: "truncated split" })?;
-                let attr = hdr[0] as usize;
-                let cut = u16::from_le_bytes([hdr[1], hdr[2]]);
+                let Some(&[a, c0, c1]) = bytes.get(*pos..*pos + 3) else {
+                    return Err(Error::BadWireFormat { offset: *pos, what: "truncated split" });
+                };
+                let attr = a as usize;
+                let cut = u16::from_le_bytes([c0, c1]);
                 *pos += 3;
                 let lo = Self::decode_at(bytes, pos)?;
                 let hi = Self::decode_at(bytes, pos)?;

@@ -1,0 +1,554 @@
+//! Cross-file, call-graph-aware lint pass (lint v2).
+//!
+//! The per-file rules in [`crate::rules`] see one file at a time, so a
+//! violation reached *through* a helper is invisible to them: a planner
+//! calling a budget.rs function that reads the wall clock outside the
+//! sanctioned `Deadline`/`SearchLimits` impls, recovery code calling an
+//! exempt helper that unwraps, deterministic code calling into a crate
+//! that iterates a `HashMap`. This pass builds a lightweight
+//! intra-workspace call graph from the masked source — no parser, no
+//! type information:
+//!
+//! 1. **Definitions**: every `fn name` with a brace-matched body range,
+//!    its innermost `impl` header, and whether it sits in test code.
+//! 2. **Call sites**: an identifier immediately before `(` that is not
+//!    a keyword and not itself a definition. Macros never match (the
+//!    `!` sits between the name and the paren).
+//! 3. **Resolution**: a call binds to a definition only when the name
+//!    is defined exactly once in the whole workspace, so a method name
+//!    shared by two types can never mis-bind.
+//!
+//! Taint (a rule's pattern occurring in a function body) seeds only in
+//! *rule-exempt* library code — in-scope occurrences are already
+//! findings of the per-file pass — and propagates transitively through
+//! exempt functions. A finding is emitted at each in-scope call site
+//! that reaches a tainted function, carrying the witness chain from the
+//! call down to the raw pattern.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rules::{self, Finding, Severity};
+use crate::scan::{self, ScannedFile};
+
+/// One scanned workspace file handed to the cross-file pass.
+pub struct GraphFile<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub relpath: &'a str,
+    /// Raw source, for snippets.
+    pub source: &'a str,
+    /// Lexed view.
+    pub scan: &'a ScannedFile,
+}
+
+/// One `fn` definition found in the masked source.
+#[derive(Debug)]
+struct FnDef {
+    name: String,
+    /// Index into the file list.
+    file: usize,
+    /// 1-based line of the `fn` keyword.
+    line: usize,
+    /// Byte range of the brace-matched body (masked-source offsets).
+    body: (usize, usize),
+    in_test: bool,
+    /// Header text of the innermost `impl` block containing the def,
+    /// e.g. `impl SearchLimits`.
+    impl_header: Option<String>,
+}
+
+/// One call site: `name(` in the masked source.
+#[derive(Debug)]
+struct CallSite {
+    /// Definition whose body contains this site, if any.
+    caller: Option<usize>,
+    callee: String,
+    file: usize,
+    /// Byte offset of the callee identifier.
+    offset: usize,
+}
+
+/// The assembled graph over one workspace scan.
+struct Graph {
+    defs: Vec<FnDef>,
+    calls: Vec<CallSite>,
+    /// name → definition indices; a call resolves only on unique names.
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Configuration of one transitively-propagated rule.
+struct TaintRule {
+    rule: &'static str,
+    patterns: &'static [&'static str],
+    /// Files where the per-file pass reports the pattern directly and
+    /// where this pass reports tainted *calls*.
+    in_scope: fn(&str) -> bool,
+    /// Exempt definitions that may legitimately contain the pattern
+    /// and must not taint their callers.
+    sanctioned: fn(&FnDef, &str) -> bool,
+    /// Trailing advice appended to the witness chain.
+    advice: &'static str,
+}
+
+fn never_sanctioned(_def: &FnDef, _relpath: &str) -> bool {
+    false
+}
+
+/// Wall-clock reads are sanctioned only inside budget.rs's
+/// `impl Deadline` / `impl SearchLimits` blocks, where they can only
+/// truncate a search; any other budget.rs clock reader taints callers.
+fn wallclock_sanctioned(def: &FnDef, relpath: &str) -> bool {
+    relpath.ends_with("planner/budget.rs")
+        && def
+            .impl_header
+            .as_deref()
+            .is_some_and(|h| h.contains("Deadline") || h.contains("SearchLimits"))
+}
+
+const TAINT_RULES: &[TaintRule] = &[
+    TaintRule {
+        rule: "wallclock-in-planner",
+        patterns: &["Instant::now", "SystemTime::now"],
+        in_scope: |p| !rules::is_test_path(p) && !p.ends_with("planner/budget.rs"),
+        sanctioned: wallclock_sanctioned,
+        advice: "wall-clock reads make search behaviour load-dependent; route deadlines \
+                 through planner::budget's SearchLimits/Deadline",
+    },
+    TaintRule {
+        rule: "nondeterministic-iteration",
+        patterns: &["HashMap", "HashSet"],
+        in_scope: |p| !rules::is_test_path(p) && rules::in_deterministic_scope(p),
+        sanctioned: never_sanctioned,
+        advice: "the helper iterates a randomly-seeded std table; use BTreeMap/BTreeSet in \
+                 the helper or keep the call off deterministic result paths",
+    },
+    TaintRule {
+        rule: "panic-in-lib",
+        patterns: &[".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"],
+        in_scope: |p| !rules::is_test_path(p) && rules::in_panic_scope(p),
+        sanctioned: never_sanctioned,
+        advice: "a reachable panic inside an infallible-by-construction path; make the \
+                 helper return an error or degrade",
+    },
+];
+
+/// Runs the cross-file pass. Returns findings plus `(file, line)` of
+/// allow comments that suppressed one.
+pub fn check_workspace(files: &[GraphFile<'_>]) -> (Vec<Finding>, Vec<(String, usize)>) {
+    let graph = build_graph(files);
+    let mut findings = Vec::new();
+    let mut used = Vec::new();
+    for rule in TAINT_RULES {
+        run_rule(rule, files, &graph, &mut findings, &mut used);
+    }
+    (findings, used)
+}
+
+fn run_rule(
+    rule: &TaintRule,
+    files: &[GraphFile<'_>],
+    graph: &Graph,
+    findings: &mut Vec<Finding>,
+    used: &mut Vec<(String, usize)>,
+) {
+    // Definitions eligible to carry taint: exempt library code only.
+    // In-scope occurrences are the per-file pass's findings, and test
+    // code is exempt from the rule altogether.
+    let eligible = |d: &FnDef| {
+        let relpath = files[d.file].relpath;
+        !d.in_test
+            && !rules::is_test_path(relpath)
+            && !(rule.in_scope)(relpath)
+            && !(rule.sanctioned)(d, relpath)
+    };
+
+    // Seed: an unsuppressed pattern occurrence inside an eligible body.
+    let mut chains: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (i, def) in graph.defs.iter().enumerate() {
+        if !eligible(def) {
+            continue;
+        }
+        let gf = &files[def.file];
+        let body = &gf.scan.masked[def.body.0..def.body.1];
+        'pats: for pat in rule.patterns {
+            for at in rules::occurrences(body, pat) {
+                let line = gf.scan.line_of(def.body.0 + at);
+                if let Some(allow) = gf.scan.allow_for(rule.rule, line) {
+                    used.push((gf.relpath.to_string(), allow.line));
+                    continue;
+                }
+                chains.insert(i, vec![describe(def, gf), format!("`{pat}`")]);
+                break 'pats;
+            }
+        }
+    }
+
+    // Propagate to fixpoint among eligible definitions.
+    loop {
+        let mut grew = false;
+        for cs in &graph.calls {
+            let Some(caller) = cs.caller else { continue };
+            if chains.contains_key(&caller) || !eligible(&graph.defs[caller]) {
+                continue;
+            }
+            let Some(callee) = resolve(graph, &cs.callee) else { continue };
+            if let Some(tail) = chains.get(&callee) {
+                let mut chain =
+                    vec![describe(&graph.defs[caller], &files[graph.defs[caller].file])];
+                chain.extend(tail.iter().cloned());
+                chains.insert(caller, chain);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Report: every in-scope, non-test call site reaching a tainted def.
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for cs in &graph.calls {
+        let gf = &files[cs.file];
+        if !(rule.in_scope)(gf.relpath) || gf.scan.in_test_code(cs.offset) {
+            continue;
+        }
+        let Some(callee) = resolve(graph, &cs.callee) else { continue };
+        let Some(chain) = chains.get(&callee) else { continue };
+        let line = gf.scan.line_of(cs.offset);
+        if !seen.insert((cs.file, cs.offset)) {
+            continue;
+        }
+        if let Some(allow) = gf.scan.allow_for(rule.rule, line) {
+            used.push((gf.relpath.to_string(), allow.line));
+            continue;
+        }
+        findings.push(Finding {
+            rule: rule.rule,
+            severity: Severity::Error,
+            file: gf.relpath.to_string(),
+            line,
+            snippet: gf.scan.line_text(gf.source, line).to_string(),
+            message: format!(
+                "call to `{}` reaches {} through exempt code — {}",
+                cs.callee,
+                render_chain(chain),
+                rule.advice
+            ),
+        });
+    }
+}
+
+/// `name (file:line)` for witness chains.
+fn describe(def: &FnDef, gf: &GraphFile<'_>) -> String {
+    format!("`{}` ({}:{})", def.name, gf.relpath, def.line)
+}
+
+/// ` → `-joined chain, elided in the middle past five links.
+fn render_chain(chain: &[String]) -> String {
+    if chain.len() <= 5 {
+        return chain.join(" → ");
+    }
+    let head = chain[..3].join(" → ");
+    let tail = chain[chain.len() - 1].as_str();
+    format!("{head} → … → {tail}")
+}
+
+/// The unique definition of `name`, if exactly one exists anywhere in
+/// the workspace (ambiguous names never bind — see the module docs).
+fn resolve(graph: &Graph, name: &str) -> Option<usize> {
+    match graph.by_name.get(name)?.as_slice() {
+        [one] => Some(*one),
+        _ => None,
+    }
+}
+
+fn build_graph(files: &[GraphFile<'_>]) -> Graph {
+    let mut defs = Vec::new();
+    let mut calls = Vec::new();
+    for (fi, gf) in files.iter().enumerate() {
+        extract_defs(fi, gf, &mut defs);
+    }
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, d) in defs.iter().enumerate() {
+        by_name.entry(d.name.clone()).or_default().push(i);
+    }
+    for (fi, gf) in files.iter().enumerate() {
+        extract_calls(fi, gf, &defs, &mut calls);
+    }
+    Graph { defs, calls, by_name }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Every `fn` definition in one file, with brace-matched body ranges.
+fn extract_defs(file: usize, gf: &GraphFile<'_>, out: &mut Vec<FnDef>) {
+    let masked = &gf.scan.masked;
+    let bytes = masked.as_bytes();
+    let impls = impl_blocks(masked);
+    for at in rules::occurrences(masked, "fn") {
+        let mut j = at + 2;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < bytes.len() && is_ident(bytes[j]) {
+            j += 1;
+        }
+        if j == name_start || bytes[name_start].is_ascii_digit() {
+            continue; // `fn(` pointer types and stray keywords
+        }
+        let name = masked[name_start..j].to_string();
+        // The body is the first brace after the signature; a `;` first
+        // means a bodiless trait/extern declaration.
+        let Some(open) = masked[j..].find(['{', ';']).map(|p| j + p) else { continue };
+        if bytes[open] == b';' {
+            continue;
+        }
+        let end = scan::match_delim(bytes, open, b'{', b'}').unwrap_or(masked.len());
+        let impl_header = impls
+            .iter()
+            .filter(|(_, s, e)| (*s..*e).contains(&at))
+            .min_by_key(|(_, s, e)| e - s)
+            .map(|(h, _, _)| h.clone());
+        out.push(FnDef {
+            name,
+            file,
+            line: gf.scan.line_of(at),
+            body: (open, end),
+            in_test: gf.scan.in_test_code(at),
+            impl_header,
+        });
+    }
+}
+
+/// `(header, body_start, body_end)` of every `impl` block. Headers are
+/// the raw text between the keyword and the opening brace.
+fn impl_blocks(masked: &str) -> Vec<(String, usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    for at in rules::occurrences(masked, "impl") {
+        let Some(open) = masked[at..].find('{').map(|p| at + p) else { continue };
+        let header = masked[at..open].split_whitespace().collect::<Vec<_>>().join(" ");
+        let end = scan::match_delim(bytes, open, b'{', b'}').unwrap_or(masked.len());
+        out.push((header, open, end));
+    }
+    out
+}
+
+/// Every `name(` call site in one file, attributed to the innermost
+/// definition whose body contains it.
+fn extract_calls(file: usize, gf: &GraphFile<'_>, defs: &[FnDef], out: &mut Vec<CallSite>) {
+    let masked = &gf.scan.masked;
+    let bytes = masked.as_bytes();
+    for i in 1..bytes.len() {
+        if bytes[i] != b'(' || !is_ident(bytes[i - 1]) {
+            continue;
+        }
+        let mut s = i;
+        while s > 0 && is_ident(bytes[s - 1]) {
+            s -= 1;
+        }
+        let name = &masked[s..i];
+        if bytes[s].is_ascii_digit() || is_keyword(name) {
+            continue;
+        }
+        // `fn name(` is the definition, not a call.
+        let mut k = s;
+        while k > 0 && bytes[k - 1].is_ascii_whitespace() {
+            k -= 1;
+        }
+        if k >= 2 && &masked[k - 2..k] == "fn" && (k < 3 || !is_ident(bytes[k - 3])) {
+            continue;
+        }
+        let caller = defs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.file == file && (d.body.0..d.body.1).contains(&s))
+            .min_by_key(|(_, d)| d.body.1 - d.body.0)
+            .map(|(di, _)| di);
+        out.push(CallSite { caller, callee: name.to_string(), file, offset: s });
+    }
+}
+
+fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "fn"
+            | "as"
+            | "in"
+            | "move"
+            | "mut"
+            | "ref"
+            | "where"
+            | "unsafe"
+            | "async"
+            | "await"
+            | "dyn"
+            | "impl"
+            | "let"
+            | "pub"
+            | "use"
+            | "mod"
+            | "crate"
+            | "super"
+            | "self"
+            | "Self"
+            | "else"
+            | "break"
+            | "continue"
+            | "true"
+            | "false"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "const"
+            | "static"
+            | "extern"
+            | "box"
+            | "yield"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Owned {
+        relpath: String,
+        source: String,
+        scan: ScannedFile,
+    }
+
+    fn lint(files: &[(&str, &str)]) -> Vec<Finding> {
+        let owned: Vec<Owned> = files
+            .iter()
+            .map(|(p, s)| Owned {
+                relpath: p.to_string(),
+                source: s.to_string(),
+                scan: ScannedFile::new(s),
+            })
+            .collect();
+        let graph_files: Vec<GraphFile<'_>> = owned
+            .iter()
+            .map(|o| GraphFile { relpath: &o.relpath, source: &o.source, scan: &o.scan })
+            .collect();
+        check_workspace(&graph_files).0
+    }
+
+    const SNEAKY_BUDGET: &str = "pub struct Deadline(u64);\n\
+         impl Deadline {\n    pub fn expired(&self) -> bool { Instant::now(); false }\n}\n\
+         pub fn sneaky_now() -> u64 { Instant::now(); 0 }\n";
+
+    #[test]
+    fn transitive_wallclock_through_budget_helper_is_caught() {
+        let planner = "pub fn search() -> u64 { sneaky_now() }\n";
+        let f = lint(&[
+            ("crates/acqp-core/src/planner/budget.rs", SNEAKY_BUDGET),
+            ("crates/acqp-core/src/planner/search.rs", planner),
+        ]);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].rule, "wallclock-in-planner");
+        assert_eq!(f[0].file, "crates/acqp-core/src/planner/search.rs");
+        assert!(f[0].message.contains("sneaky_now"), "{}", f[0].message);
+        assert!(f[0].message.contains("Instant::now"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn sanctioned_deadline_impl_does_not_taint() {
+        let planner = "pub fn search(d: &Deadline) -> bool { d.expired() }\n";
+        let f = lint(&[
+            ("crates/acqp-core/src/planner/budget.rs", SNEAKY_BUDGET),
+            ("crates/acqp-core/src/planner/search.rs", planner),
+        ]);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn taint_propagates_through_chains_of_exempt_helpers() {
+        let obs = "pub fn leak_order() -> u64 { let m: HashMap<u64, u64> = HashMap::new(); 0 }\n\
+                   pub fn relay() -> u64 { leak_order() }\n";
+        let core = "pub fn total() -> u64 { relay() }\n";
+        let f = lint(&[
+            ("crates/acqp-obs/src/lib.rs", obs),
+            ("crates/acqp-core/src/estimator.rs", core),
+        ]);
+        let nd: Vec<_> = f.iter().filter(|f| f.rule == "nondeterministic-iteration").collect();
+        assert_eq!(nd.len(), 1, "{f:#?}");
+        assert_eq!(nd[0].file, "crates/acqp-core/src/estimator.rs");
+        assert!(nd[0].message.contains("relay"), "{}", nd[0].message);
+        assert!(nd[0].message.contains("leak_order"), "{}", nd[0].message);
+    }
+
+    #[test]
+    fn transitive_panic_into_recovery_is_caught_and_allow_suppresses() {
+        let helper = "pub fn decode_or_die(b: &[u8]) -> u8 { b.first().copied().unwrap() }\n";
+        let recovery = "pub fn recover(b: &[u8]) -> u8 { decode_or_die(b) }\n";
+        let f = lint(&[
+            ("crates/acqp-sensornet/src/wire_util.rs", helper),
+            ("crates/acqp-sensornet/src/recovery.rs", recovery),
+        ]);
+        let panics: Vec<_> = f.iter().filter(|f| f.rule == "panic-in-lib").collect();
+        assert_eq!(panics.len(), 1, "{f:#?}");
+        assert_eq!(panics[0].file, "crates/acqp-sensornet/src/recovery.rs");
+
+        let suppressed = "// acqp-lint: allow(panic-in-lib): helper is total on admitted plans\n\
+                          pub fn recover(b: &[u8]) -> u8 { decode_or_die(b) }\n";
+        let f = lint(&[
+            ("crates/acqp-sensornet/src/wire_util.rs", helper),
+            ("crates/acqp-sensornet/src/recovery.rs", suppressed),
+        ]);
+        assert!(f.iter().all(|f| f.rule != "panic-in-lib"), "{f:#?}");
+    }
+
+    #[test]
+    fn ambiguous_names_and_test_code_never_bind() {
+        // Two defs named `helper` → calls to it cannot resolve.
+        let a = "pub fn helper() { let m: HashMap<u8, u8> = HashMap::new(); }\n";
+        let b = "pub fn helper() {}\n";
+        let core = "pub fn go() { helper() }\n";
+        let f = lint(&[
+            ("crates/acqp-obs/src/a.rs", a),
+            ("crates/acqp-obs/src/b.rs", b),
+            ("crates/acqp-core/src/estimator.rs", core),
+        ]);
+        assert!(f.is_empty(), "{f:#?}");
+
+        // A seeded helper only reachable from #[cfg(test)] code is fine.
+        let test_only = "pub fn seeded() { let m: HashSet<u8> = HashSet::new(); }\n";
+        let core = "#[cfg(test)]\nmod tests { fn t() { seeded() } }\n";
+        let f = lint(&[
+            ("crates/acqp-obs/src/c.rs", test_only),
+            ("crates/acqp-core/src/estimator.rs", core),
+        ]);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn defs_and_calls_extract_with_impl_headers() {
+        let src = "impl Deadline {\n    pub fn after(d: u64) -> Self { mk(d) }\n}\n\
+                   fn mk(d: u64) -> Deadline { Deadline(d) }\n";
+        let scan = ScannedFile::new(src);
+        let gf = GraphFile { relpath: "x/src/a.rs", source: src, scan: &scan };
+        let mut defs = Vec::new();
+        extract_defs(0, &gf, &mut defs);
+        assert_eq!(defs.len(), 2, "{defs:#?}");
+        assert_eq!(defs[0].name, "after");
+        assert_eq!(defs[0].impl_header.as_deref(), Some("impl Deadline"));
+        assert_eq!(defs[1].name, "mk");
+        assert_eq!(defs[1].impl_header, None);
+        let mut calls = Vec::new();
+        extract_calls(0, &gf, &defs, &mut calls);
+        let names: Vec<&str> = calls.iter().map(|c| c.callee.as_str()).collect();
+        assert!(names.contains(&"mk"), "{names:?}");
+        assert!(names.contains(&"Deadline"), "tuple-struct ctor is a call: {names:?}");
+        let mk_call = calls.iter().find(|c| c.callee == "mk").expect("fixture");
+        assert_eq!(mk_call.caller, Some(0), "call attributed to `after`");
+    }
+}

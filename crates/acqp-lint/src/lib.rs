@@ -12,6 +12,7 @@
 //! `--explain <rule>` for the rationale behind each rule and DESIGN.md
 //! §11 for the suppression mechanism.
 
+pub mod callgraph;
 pub mod rules;
 pub mod scan;
 pub mod taxonomy;
@@ -55,11 +56,16 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     let mut used_allows: BTreeSet<(String, usize)> = BTreeSet::new();
     let mut all_allows: Vec<(String, usize, String)> = Vec::new();
 
+    let mut scanned_files: Vec<(String, String, scan::ScannedFile)> = Vec::new();
     for path in &files {
         let relpath = rel(root, path);
         let source = std::fs::read_to_string(path).map_err(|e| format!("{relpath}: {e}"))?;
         let scanned = scan::ScannedFile::new(&source);
-        let ctx = rules::FileCtx { relpath: &relpath, source: &source, scan: &scanned };
+        scanned_files.push((relpath, source, scanned));
+    }
+
+    for (relpath, source, scanned) in &scanned_files {
+        let ctx = rules::FileCtx { relpath, source, scan: scanned };
         let (findings, used) = rules::check_file(&ctx);
         report.findings.extend(findings);
         for line in used {
@@ -70,10 +76,20 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
         }
         // The linter's own crate is full of deliberately violating
         // fixture names; its emits are not part of the taxonomy.
-        if !relpath.starts_with("crates/acqp-lint/") && !rules::is_test_path(&relpath) {
-            emits.extend(taxonomy::collect_metric_emits(&relpath, &source, &scanned));
+        if !relpath.starts_with("crates/acqp-lint/") && !rules::is_test_path(relpath) {
+            emits.extend(taxonomy::collect_metric_emits(relpath, source, scanned));
         }
     }
+
+    // The v2 cross-file pass: violations reached through helpers in
+    // rule-exempt code (see `callgraph`).
+    let graph_files: Vec<callgraph::GraphFile<'_>> = scanned_files
+        .iter()
+        .map(|(relpath, source, scanned)| callgraph::GraphFile { relpath, source, scan: scanned })
+        .collect();
+    let (graph_findings, graph_used) = callgraph::check_workspace(&graph_files);
+    report.findings.extend(graph_findings);
+    used_allows.extend(graph_used);
 
     check_taxonomy(root, &emits, &mut used_allows, &mut report.findings)?;
 

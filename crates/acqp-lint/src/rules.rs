@@ -157,6 +157,22 @@ pub const RULES: &[RuleInfo] = &[
                   does not fail the lint.",
     },
     RuleInfo {
+        id: "unchecked-wire-access",
+        severity: Severity::Error,
+        summary: "wire-format decoders must use slice patterns or .get(), not scalar indexing",
+        explain: "The plan wire format and the persistence frames are parsed from untrusted \
+                  bytes: checkpoint files survive torn writes, and the static verifier's whole \
+                  job (PR 10) is rejecting corrupt plans with typed errors. A scalar index \
+                  expression (`buf[pos]`) in decode code panics on truncated input — the exact \
+                  failure the BadWireFormat/VerifyError paths exist to prevent. Destructure \
+                  with slice patterns (`let [tag, rest @ ..] = …`) or call `.get(..)` and \
+                  handle `None`. Range slicing (`buf[a..b]`) is exempt: it is the idiom \
+                  directly after an explicit length check, and a panic there is caught by the \
+                  same length discipline. acqp-persist/src/codec.rs, the one sanctioned \
+                  bounds-checked reader, is exempt wholesale. Suppress with \
+                  `// acqp-lint: allow(unchecked-wire-access): <why the index is in bounds>`.",
+    },
+    RuleInfo {
         id: "bare-allow",
         severity: Severity::Error,
         summary: "every acqp-lint allow comment must carry a reason",
@@ -201,22 +217,36 @@ pub fn is_test_path(relpath: &str) -> bool {
 }
 
 /// Deterministic-path crates covered by `nondeterministic-iteration`.
-fn in_deterministic_scope(relpath: &str) -> bool {
+pub(crate) fn in_deterministic_scope(relpath: &str) -> bool {
     [
         "crates/acqp-core/src/",
         "crates/acqp-gm/src/",
         "crates/acqp-sensornet/src/",
         "crates/acqp-persist/src/",
+        "crates/acqp-verify/src/",
     ]
     .iter()
     .any(|p| relpath.starts_with(p))
 }
 
-/// Paths covered by `panic-in-lib`: planner and recovery code.
-fn in_panic_scope(relpath: &str) -> bool {
+/// Paths covered by `panic-in-lib`: planner, recovery and verifier code.
+pub(crate) fn in_panic_scope(relpath: &str) -> bool {
     relpath.starts_with("crates/acqp-core/src/planner/")
         || relpath.starts_with("crates/acqp-persist/src/")
+        || relpath.starts_with("crates/acqp-verify/src/")
         || relpath == "crates/acqp-sensornet/src/recovery.rs"
+}
+
+/// Paths covered by `unchecked-wire-access`: code that parses the plan
+/// wire format or the persistence frames from raw bytes. codec.rs is
+/// the sanctioned bounds-checked reader and is exempt.
+pub(crate) fn in_wire_scope(relpath: &str) -> bool {
+    (relpath.starts_with("crates/acqp-persist/src/")
+        && relpath != "crates/acqp-persist/src/codec.rs")
+        || relpath == "crates/acqp-core/src/plan.rs"
+        || relpath == "crates/acqp-sensornet/src/interp.rs"
+        || relpath.starts_with("crates/acqp-verify/src/")
+        || relpath.rsplit('/').next().is_some_and(|f| f.contains("wire"))
 }
 
 /// One file's lint context.
@@ -251,7 +281,7 @@ impl FileCtx<'_> {
 /// Byte offsets of every occurrence of `pat` in `hay` that is not
 /// embedded in a longer identifier (checked when the pattern starts or
 /// ends with an identifier character).
-fn occurrences(hay: &str, pat: &str) -> Vec<usize> {
+pub(crate) fn occurrences(hay: &str, pat: &str) -> Vec<usize> {
     let bytes = hay.as_bytes();
     let first_ident =
         pat.as_bytes().first().is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
@@ -373,6 +403,10 @@ pub fn check_file(ctx: &FileCtx<'_>) -> (Vec<Finding>, Vec<usize>) {
         check_duplicate_bench_writer(ctx, &mut findings, &mut used);
     }
 
+    if lib && in_wire_scope(ctx.relpath) {
+        check_unchecked_wire_access(ctx, &mut findings, &mut used);
+    }
+
     check_allow_hygiene(ctx, &mut findings);
     (findings, used)
 }
@@ -446,6 +480,45 @@ fn check_duplicate_bench_writer(
             Severity::Advisory,
             line,
             "bench artifact stamping outside acqp-bench/src/report.rs — call report::emit_bench_json".to_string(),
+        ));
+    }
+}
+
+/// `unchecked-wire-access`: a scalar index expression (`buf[pos]`) in
+/// wire-parsing code. Range slicing (`buf[a..b]`, `buf[..n]`) is exempt
+/// — see the rule's `explain`.
+fn check_unchecked_wire_access(
+    ctx: &FileCtx<'_>,
+    findings: &mut Vec<Finding>,
+    used: &mut Vec<usize>,
+) {
+    const RULE: &str = "unchecked-wire-access";
+    let masked = ctx.scan.masked.as_bytes();
+    for i in 1..masked.len() {
+        if masked[i] != b'[' || !(masked[i - 1].is_ascii_alphanumeric() || masked[i - 1] == b'_') {
+            continue;
+        }
+        let Some(end) = crate::scan::match_delim(masked, i, b'[', b']') else { continue };
+        let content = ctx.scan.masked[i + 1..end - 1].trim();
+        // `buf[a..b]` is range slicing; an empty index never parses.
+        if content.is_empty() || content.contains("..") {
+            continue;
+        }
+        if ctx.scan.in_test_code(i) {
+            continue;
+        }
+        let line = ctx.scan.line_of(i);
+        if let Some(allow) = ctx.scan.allow_for(RULE, line) {
+            used.push(allow.line);
+            continue;
+        }
+        findings.push(ctx.finding(
+            RULE,
+            Severity::Error,
+            line,
+            format!(
+                "scalar index `[{content}]` in wire-parsing code panics on truncated input — use a slice pattern or .get()"
+            ),
         ));
     }
 }

@@ -369,7 +369,7 @@ fn find_test_regions(masked: &[u8]) -> Vec<(usize, usize)> {
 }
 
 /// Byte offset one past the delimiter closing the one at `open_at`.
-fn match_delim(masked: &[u8], open_at: usize, open: u8, close: u8) -> Option<usize> {
+pub(crate) fn match_delim(masked: &[u8], open_at: usize, open: u8, close: u8) -> Option<usize> {
     let mut depth = 0usize;
     for (k, &b) in masked.iter().enumerate().skip(open_at) {
         if b == open {

@@ -1,0 +1,15 @@
+//! Fixture: the static-verification gate's instruments matching the
+//! documented `verify.*` rows exactly — lints clean in both directions.
+
+pub fn gate(rec: &acqp_obs::Recorder) {
+    let checked = rec.counter("verify.checked");
+    let rejected = rec.counter("verify.rejected");
+    let demoted = rec.counter("verify.recovery.demoted");
+    let clamped = rec.counter("verify.cost.clamped");
+    let wire_bytes = rec.hist("verify.wire_bytes");
+    checked.incr(1);
+    rejected.incr(1);
+    demoted.incr(1);
+    clamped.incr(1);
+    wire_bytes.observe(17);
+}

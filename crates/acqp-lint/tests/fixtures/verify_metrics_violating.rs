@@ -1,0 +1,10 @@
+//! Fixture: one undocumented verifier counter (`verify.bogus`) and no
+//! emit for the documented `verify.cost.clamped` and `verify.wire_bytes`
+//! rows — violates the taxonomy in both directions.
+
+pub fn gate(rec: &acqp_obs::Recorder) {
+    rec.counter("verify.checked").incr(1);
+    rec.counter("verify.rejected").incr(1);
+    rec.counter("verify.recovery.demoted").incr(1);
+    rec.counter("verify.bogus").incr(1);
+}

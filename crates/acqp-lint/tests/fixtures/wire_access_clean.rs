@@ -1,0 +1,16 @@
+//! Fixture: the same decoder written the sanctioned way — slice
+//! patterns, `.get(..)`, and range slicing behind explicit length
+//! checks. Expected findings: none.
+
+pub fn decode_split_header(bytes: &[u8]) -> Option<(u8, u16)> {
+    let &[tag, c0, c1, ..] = bytes else { return None };
+    Some((tag, u16::from_le_bytes([c0, c1])))
+}
+
+pub fn seq_body(bytes: &[u8], len: usize) -> Option<&[u8]> {
+    bytes.get(2..2 + len)
+}
+
+pub fn header_prefix(bytes: &[u8]) -> &[u8] {
+    if bytes.len() >= 4 { &bytes[..4] } else { bytes }
+}

@@ -1,0 +1,9 @@
+//! Fixture: a wire-format decoder built on scalar indexing — every
+//! `bytes[i]` panics on truncated input instead of returning a typed
+//! decode error. Expected findings: three `unchecked-wire-access`.
+
+pub fn decode_split_header(bytes: &[u8]) -> (u8, u16) {
+    let tag = bytes[0];
+    let cut = u16::from_le_bytes([bytes[1], bytes[2]]);
+    (tag, cut)
+}

@@ -1,0 +1,85 @@
+//! Both directions of the `metric-taxonomy` contract on the static
+//! verifier's `verify.*` names (DESIGN.md §8): the violating fixture
+//! must be flagged for an undocumented counter and two stale rows; the
+//! clean fixture must lint to zero findings against the same table.
+
+use std::path::{Path, PathBuf};
+
+use acqp_lint::lint_workspace;
+use acqp_lint::rules::Severity;
+
+const VIOLATING: &str = include_str!("fixtures/verify_metrics_violating.rs");
+const CLEAN: &str = include_str!("fixtures/verify_metrics_clean.rs");
+
+/// A minimal marker-delimited table holding exactly the verification
+/// subtree the service registers.
+const FAKE_DESIGN: &str = concat!(
+    "# fake\n\n<!-- acqp-lint:taxonomy:begin -->\n",
+    "| name | kind | meaning |\n|---|---|---|\n",
+    "| `verify.checked` | counter | wire plans run through the three passes |\n",
+    "| `verify.rejected` | counter | plans rejected with a typed error |\n",
+    "| `verify.recovery.demoted` | counter | recovered plans demoted to a re-plan |\n",
+    "| `verify.cost.clamped` | counter | claimed costs clamped into the bound |\n",
+    "| `verify.wire_bytes` | hist | wire size of each verified plan |\n",
+    "<!-- acqp-lint:taxonomy:end -->\n",
+);
+
+fn fake_workspace(tag: &str, fixture: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("acqp_lint_verify_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let src = dir.join("crates/acqp-sensornet/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(dir.join("DESIGN.md"), FAKE_DESIGN).unwrap();
+    std::fs::write(src.join("verify_fixture.rs"), fixture).unwrap();
+    dir
+}
+
+fn taxonomy_messages(root: &Path) -> Vec<String> {
+    let report = lint_workspace(root).expect("lint runs");
+    report
+        .findings
+        .iter()
+        .inspect(|f| assert_eq!(f.severity, Severity::Error, "{f:?}"))
+        .filter(|f| f.rule == "metric-taxonomy")
+        .map(|f| format!("{}: {}", f.file, f.message))
+        .collect()
+}
+
+#[test]
+fn violating_fixture_is_flagged_in_both_directions() {
+    let dir = fake_workspace("viol", VIOLATING);
+    let messages = taxonomy_messages(&dir);
+
+    // Code leads docs: the bogus counter.
+    assert!(
+        messages.iter().any(|m| {
+            m.starts_with("crates/acqp-sensornet/src/verify_fixture.rs:")
+                && m.contains("`verify.bogus` is not documented")
+        }),
+        "missing undocumented-counter finding: {messages:#?}"
+    );
+    // Docs lead code: the clamp counter row and the size histogram row
+    // are emitted nowhere.
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.starts_with("DESIGN.md:") && m.contains("`verify.cost.clamped` is emitted")),
+        "missing stale-counter-row finding: {messages:#?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.starts_with("DESIGN.md:") && m.contains("`verify.wire_bytes` is emitted")),
+        "missing stale-hist-row finding: {messages:#?}"
+    );
+    assert_eq!(messages.len(), 3, "{messages:#?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_fixture_lints_to_zero_findings() {
+    let dir = fake_workspace("clean", CLEAN);
+    let report = lint_workspace(&dir).expect("lint runs");
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    std::fs::remove_dir_all(&dir).ok();
+}

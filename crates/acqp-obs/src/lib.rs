@@ -58,6 +58,15 @@ use std::time::Instant;
 /// hash reduces with a mask; 16 covers the planner's worker-pool cap.
 const SHARDS: usize = 16;
 
+/// Locks `m`, recovering the guard from a poisoned mutex instead of
+/// panicking. Observability must never turn one isolated worker panic
+/// into a process-wide abort: the instrument tables stay well-formed
+/// under poison (every update is a single insert or field bump), so the
+/// recovered guard is safe to use.
+pub(crate) fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Histogram bucket count: bucket `i` counts values `<= 2^i`, the last
 /// bucket is the overflow (`+inf`) bucket.
 const HIST_BUCKETS: usize = 32;
@@ -440,7 +449,7 @@ impl Recorder {
         match &self.inner {
             None => Counter::new(),
             Some(inner) => {
-                inner.counters.lock().unwrap().entry(name.to_string()).or_default().clone()
+                lock_unpoisoned(&inner.counters).entry(name.to_string()).or_default().clone()
             }
         }
     }
@@ -450,7 +459,7 @@ impl Recorder {
         match &self.inner {
             None => FloatCounter::new(),
             Some(inner) => {
-                inner.floats.lock().unwrap().entry(name.to_string()).or_default().clone()
+                lock_unpoisoned(&inner.floats).entry(name.to_string()).or_default().clone()
             }
         }
     }
@@ -459,7 +468,9 @@ impl Recorder {
     pub fn hist(&self, name: &str) -> Hist {
         match &self.inner {
             None => Hist::new(),
-            Some(inner) => inner.hists.lock().unwrap().entry(name.to_string()).or_default().clone(),
+            Some(inner) => {
+                lock_unpoisoned(&inner.hists).entry(name.to_string()).or_default().clone()
+            }
         }
     }
 
@@ -468,7 +479,7 @@ impl Recorder {
     /// write wins.
     pub fn gauge(&self, name: &str, value: f64) {
         if let Some(inner) = &self.inner {
-            inner.gauges.lock().unwrap().insert(name.to_string(), value);
+            lock_unpoisoned(&inner.gauges).insert(name.to_string(), value);
         }
     }
 
@@ -486,7 +497,7 @@ impl Recorder {
     fn record_span(&self, path: &str, elapsed_us: u64) {
         if let Some(inner) = &self.inner {
             {
-                let mut spans = inner.spans.lock().unwrap();
+                let mut spans = lock_unpoisoned(&inner.spans);
                 let s = spans.entry(path.to_string()).or_default();
                 s.count += 1;
                 s.total_us += elapsed_us;
@@ -502,19 +513,19 @@ impl Recorder {
     pub fn drain(&self) -> Snapshot {
         let Some(inner) = &self.inner else { return Snapshot::default() };
         let mut snap = Snapshot::default();
-        for (name, c) in inner.counters.lock().unwrap().iter() {
+        for (name, c) in lock_unpoisoned(&inner.counters).iter() {
             snap.counters.insert(name.clone(), c.value());
         }
-        for (name, c) in inner.floats.lock().unwrap().iter() {
+        for (name, c) in lock_unpoisoned(&inner.floats).iter() {
             snap.values.insert(name.clone(), c.value());
         }
-        for (name, v) in inner.gauges.lock().unwrap().iter() {
+        for (name, v) in lock_unpoisoned(&inner.gauges).iter() {
             snap.values.insert(name.clone(), *v);
         }
-        for (name, h) in inner.hists.lock().unwrap().iter() {
+        for (name, h) in lock_unpoisoned(&inner.hists).iter() {
             snap.hists.insert(name.clone(), (h.nonzero_buckets(), h.count(), h.sum()));
         }
-        snap.spans = inner.spans.lock().unwrap().clone();
+        snap.spans = lock_unpoisoned(&inner.spans).clone();
         inner.sink.flush(&snap);
         snap
     }

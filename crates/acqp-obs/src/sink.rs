@@ -6,7 +6,7 @@ use std::path::Path;
 // acqp-lint: allow(raw-mutex): acqp-obs sits below acqp-core in the dependency graph, so NoPoisonMutex is out of reach; sink locks only guard plain buffer writes
 use std::sync::Mutex;
 
-use crate::Snapshot;
+use crate::{lock_unpoisoned, Snapshot};
 
 /// A completed span, streamed to the sink as it ends.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,22 +50,22 @@ impl MemorySink {
 
     /// Every span completion seen so far, in completion order.
     pub fn span_events(&self) -> Vec<SpanEvent> {
-        self.spans.lock().unwrap().clone()
+        lock_unpoisoned(&self.spans).clone()
     }
 
     /// Every flushed snapshot, oldest first.
     pub fn snapshots(&self) -> Vec<Snapshot> {
-        self.snapshots.lock().unwrap().clone()
+        lock_unpoisoned(&self.snapshots).clone()
     }
 }
 
 impl Sink for MemorySink {
     fn span_end(&self, event: &SpanEvent) {
-        self.spans.lock().unwrap().push(event.clone());
+        lock_unpoisoned(&self.spans).push(event.clone());
     }
 
     fn flush(&self, snapshot: &Snapshot) {
-        self.snapshots.lock().unwrap().push(snapshot.clone());
+        lock_unpoisoned(&self.snapshots).push(snapshot.clone());
     }
 }
 
@@ -101,7 +101,7 @@ impl JsonLinesSink {
 
 impl Sink for JsonLinesSink {
     fn span_end(&self, event: &SpanEvent) {
-        let mut out = self.out.lock().unwrap();
+        let mut out = lock_unpoisoned(&self.out);
         let _ = writeln!(
             out,
             "{{\"span\":{},\"elapsed_us\":{}}}",
@@ -111,7 +111,7 @@ impl Sink for JsonLinesSink {
     }
 
     fn flush(&self, snapshot: &Snapshot) {
-        let mut out = self.out.lock().unwrap();
+        let mut out = lock_unpoisoned(&self.out);
         for (name, v) in &snapshot.counters {
             Self::counter_line(&mut *out, name, *v as f64);
         }

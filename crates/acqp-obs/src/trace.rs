@@ -28,6 +28,8 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+use crate::lock_unpoisoned;
 // acqp-obs sits below acqp-core in the dependency graph, so
 // NoPoisonMutex is out of reach; the ring lock only guards a plain
 // VecDeque push/pop and every critical section is panic-free.
@@ -218,7 +220,7 @@ impl FlightRecorder {
         fields: Vec<(String, TraceValue)>,
     ) -> u64 {
         let Some(inner) = &self.inner else { return 0 };
-        let mut ring = inner.lock().unwrap();
+        let mut ring = lock_unpoisoned(inner);
         let seq = ring.next_seq;
         ring.next_seq += 1;
         if ring.buf.len() == ring.cap {
@@ -233,7 +235,7 @@ impl FlightRecorder {
     pub fn events(&self) -> Vec<TraceEvent> {
         match &self.inner {
             None => Vec::new(),
-            Some(inner) => inner.lock().unwrap().buf.iter().cloned().collect(),
+            Some(inner) => lock_unpoisoned(inner).buf.iter().cloned().collect(),
         }
     }
 
@@ -241,7 +243,7 @@ impl FlightRecorder {
     pub fn dropped(&self) -> u64 {
         match &self.inner {
             None => 0,
-            Some(inner) => inner.lock().unwrap().dropped,
+            Some(inner) => lock_unpoisoned(inner).dropped,
         }
     }
 
@@ -249,7 +251,7 @@ impl FlightRecorder {
     pub fn len(&self) -> usize {
         match &self.inner {
             None => 0,
-            Some(inner) => inner.lock().unwrap().buf.len(),
+            Some(inner) => lock_unpoisoned(inner).buf.len(),
         }
     }
 
@@ -262,7 +264,7 @@ impl FlightRecorder {
     pub fn emitted(&self) -> u64 {
         match &self.inner {
             None => 0,
-            Some(inner) => inner.lock().unwrap().next_seq - 1,
+            Some(inner) => lock_unpoisoned(inner).next_seq - 1,
         }
     }
 
@@ -270,7 +272,7 @@ impl FlightRecorder {
     pub fn cap(&self) -> usize {
         match &self.inner {
             None => 0,
-            Some(inner) => inner.lock().unwrap().cap,
+            Some(inner) => lock_unpoisoned(inner).cap,
         }
     }
 

@@ -90,6 +90,18 @@ impl<'h> Basestation<'h> {
         &self.schema
     }
 
+    /// Statically verifies a freshly built plan before it can be
+    /// disseminated: wire bytes pass the structural and semantic
+    /// passes, and the planner's claimed expected cost lands inside the
+    /// certified per-tuple bound. A planner bug that emits malformed
+    /// bytes or an impossible cost claim is caught here, at the
+    /// basestation, instead of bricking motes in the field.
+    fn certify(&self, query: &Query, p: &PlannedQuery) -> Result<()> {
+        let cert = acqp_verify::verify_wire(&p.wire, query, &self.schema)?;
+        cert.check_claim(p.expected_cost)?;
+        Ok(())
+    }
+
     /// The historical readings the basestation plans from. Crash
     /// recovery rebuilds estimators over exactly this dataset.
     pub fn history(&self) -> &'h Dataset {
@@ -118,7 +130,9 @@ impl<'h> Basestation<'h> {
         };
         let wire = plan.encode();
         let objective = expected_cost + alpha * wire.len() as f64;
-        Ok(PlannedQuery { plan, wire, expected_cost, objective })
+        let planned = PlannedQuery { plan, wire, expected_cost, objective };
+        self.certify(query, &planned)?;
+        Ok(planned)
     }
 
     /// §2.4's joint optimization, by sweep: builds `Heuristic-k` plans
@@ -167,6 +181,7 @@ impl<'h> Basestation<'h> {
             }
         }
         let (k, p) = best.ok_or(Error::EmptyQuery)?;
+        self.certify(query, &p)?;
         Ok((k, p, subproblems))
     }
 
@@ -218,8 +233,10 @@ impl<'h> Basestation<'h> {
         let wire = plan.encode();
         let objective = new_cost + alpha * wire.len() as f64;
         let adopted = new_cost + 1e-9 < stale_cost;
+        let planned = PlannedQuery { plan, wire, expected_cost: new_cost, objective };
+        self.certify(query, &planned)?;
         Ok(ReplanOutcome {
-            planned: PlannedQuery { plan, wire, expected_cost: new_cost, objective },
+            planned,
             adopted,
             truncated,
             fell_back,

@@ -58,17 +58,17 @@ pub fn execute_wire(
                 return Ok(st.into_outcome(verdict));
             }
             0x03 => {
-                let hdr = bytes
-                    .get(pos + 1..pos + 4)
-                    .ok_or(Error::BadWireFormat { offset: pos + 1, what: "truncated split" })?;
-                let attr = hdr[0] as usize;
+                let Some(&[a, c0, c1]) = bytes.get(pos + 1..pos + 4) else {
+                    return Err(Error::BadWireFormat { offset: pos + 1, what: "truncated split" });
+                };
+                let attr = a as usize;
                 if attr >= schema.len() {
                     return Err(Error::BadWireFormat {
                         offset: pos + 1,
                         what: "attr out of range",
                     });
                 }
-                let cut = u16::from_le_bytes([hdr[1], hdr[2]]);
+                let cut = u16::from_le_bytes([c0, c1]);
                 let v = st.fetch(attr, schema, &model, src, None);
                 if v < cut {
                     pos += 4;
@@ -81,31 +81,133 @@ pub fn execute_wire(
     }
 }
 
-/// Returns the byte offset just past the subtree starting at `pos`.
-pub fn skip_subtree(bytes: &[u8], pos: usize) -> Result<usize> {
-    let tag = *bytes.get(pos).ok_or(Error::BadWireFormat { offset: pos, what: "truncated" })?;
-    match tag {
-        0x00 | 0x01 => Ok(pos + 1),
-        0x02 => {
-            let len = *bytes
-                .get(pos + 1)
-                .ok_or(Error::BadWireFormat { offset: pos + 1, what: "truncated seq" })?
-                as usize;
-            let end = pos + 2 + len;
-            if end > bytes.len() {
-                return Err(Error::BadWireFormat { offset: pos, what: "truncated seq body" });
+/// Executes a **verified** wire plan for one tuple: the checked-free
+/// fast path. The caller must hold an `acqp-verify` certificate for
+/// `(bytes, query, schema)` — structural and semantic validity are
+/// assumed, so the per-tuple predicate-index validation and the
+/// per-leaf order allocation of [`execute_wire`] are hoisted out
+/// entirely (the order is staged in a stack scratch instead). The
+/// function is still *total*: on unverified garbage it degrades to a
+/// reject verdict — never a panic, never an acquisition outside the
+/// schema — but its verdict on such bytes is otherwise unspecified.
+pub fn execute_wire_verified(
+    bytes: &[u8],
+    query: &Query,
+    schema: &Schema,
+    src: &mut impl TupleSource,
+) -> ExecOutcome {
+    let model = CostModel::PerAttribute;
+    let mut st = TupleState::new(schema.len());
+    // Seq bodies are length-prefixed by a u8, so 256 slots always fit.
+    let mut order = [0usize; 256];
+    let mut pos = 0usize;
+    loop {
+        match bytes.get(pos).copied() {
+            Some(0x01) => return st.into_outcome(true),
+            Some(0x02) => {
+                let len = bytes.get(pos + 1).copied().unwrap_or(0) as usize;
+                let Some(body) = bytes.get(pos + 2..pos + 2 + len) else {
+                    return st.into_outcome(false);
+                };
+                for (slot, &pb) in order.iter_mut().zip(body) {
+                    let j = pb as usize;
+                    // Unreachable under a certificate; on garbage the
+                    // guard keeps the path total instead of letting
+                    // `query.pred(j)` panic downstream.
+                    if j >= query.len() {
+                        return st.into_outcome(false);
+                    }
+                    *slot = j;
+                }
+                let verdict =
+                    eval_seq_leaf(&mut st, &order[..len], query, schema, &model, src, None);
+                return st.into_outcome(verdict);
             }
-            Ok(end)
-        }
-        0x03 => {
-            if pos + 4 > bytes.len() {
-                return Err(Error::BadWireFormat { offset: pos, what: "truncated split" });
+            Some(0x03) => {
+                let Some(&[a, c0, c1]) = bytes.get(pos + 1..pos + 4) else {
+                    return st.into_outcome(false);
+                };
+                let attr = a as usize;
+                if attr >= schema.len() {
+                    return st.into_outcome(false);
+                }
+                let cut = u16::from_le_bytes([c0, c1]);
+                let v = st.fetch(attr, schema, &model, src, None);
+                if v < cut {
+                    pos += 4;
+                } else {
+                    pos = skip_verified(bytes, pos + 4);
+                }
             }
-            let after_lo = skip_subtree(bytes, pos + 4)?;
-            skip_subtree(bytes, after_lo)
+            // 0x00, an out-of-grammar tag, or truncation: reject. Only
+            // 0x00 is reachable under a certificate.
+            _ => return st.into_outcome(false),
         }
-        _ => Err(Error::BadWireFormat { offset: pos, what: "unknown tag" }),
     }
+}
+
+/// Offset just past the subtree at `pos`, assuming verified bytes.
+/// Iterative (like the checked version) and total: on garbage it runs
+/// off the end and returns `bytes.len()`, which the caller treats as a
+/// reject leaf.
+fn skip_verified(bytes: &[u8], mut pos: usize) -> usize {
+    let mut open = 1usize;
+    while open > 0 {
+        match bytes.get(pos).copied() {
+            Some(0x00) | Some(0x01) => {
+                pos += 1;
+                open -= 1;
+            }
+            Some(0x02) => {
+                let len = bytes.get(pos + 1).copied().unwrap_or(0) as usize;
+                pos += 2 + len;
+                open -= 1;
+            }
+            Some(0x03) => {
+                pos += 4;
+                open += 1;
+            }
+            _ => return bytes.len(),
+        }
+    }
+    pos
+}
+
+/// Returns the byte offset just past the subtree starting at `pos`.
+/// Iterative: a split defers one extra subtree instead of recursing, so
+/// adversarially deep split chains cannot overflow the call stack.
+pub fn skip_subtree(bytes: &[u8], mut pos: usize) -> Result<usize> {
+    let mut open = 1usize;
+    while open > 0 {
+        let tag = *bytes.get(pos).ok_or(Error::BadWireFormat { offset: pos, what: "truncated" })?;
+        match tag {
+            0x00 | 0x01 => {
+                pos += 1;
+                open -= 1;
+            }
+            0x02 => {
+                let len = *bytes
+                    .get(pos + 1)
+                    .ok_or(Error::BadWireFormat { offset: pos + 1, what: "truncated seq" })?
+                    as usize;
+                let end = pos + 2 + len;
+                if end > bytes.len() {
+                    return Err(Error::BadWireFormat { offset: pos, what: "truncated seq body" });
+                }
+                pos = end;
+                open -= 1;
+            }
+            0x03 => {
+                if pos + 4 > bytes.len() {
+                    return Err(Error::BadWireFormat { offset: pos, what: "truncated split" });
+                }
+                pos += 4;
+                open += 1;
+            }
+            _ => return Err(Error::BadWireFormat { offset: pos, what: "unknown tag" }),
+        }
+    }
+    Ok(pos)
 }
 
 #[cfg(test)]
@@ -170,10 +272,40 @@ mod tests {
     }
 
     #[test]
+    fn verified_path_matches_checked_path_on_every_row() {
+        let (schema, data, query) = setup();
+        for plan in plans() {
+            let wire = plan.encode();
+            for row in 0..data.len() {
+                let checked =
+                    execute_wire(&wire, &query, &schema, &mut RowSource::new(&data, row)).unwrap();
+                let fast =
+                    execute_wire_verified(&wire, &query, &schema, &mut RowSource::new(&data, row));
+                assert_eq!(checked.verdict, fast.verdict, "row {row} plan {plan:?}");
+                assert_eq!(checked.cost, fast.cost);
+                assert_eq!(checked.acquired, fast.acquired);
+            }
+        }
+    }
+
+    #[test]
     fn skip_subtree_spans() {
         let plan = plans().pop().unwrap();
         let wire = plan.encode();
         // Skipping the whole tree lands exactly at the end.
+        assert_eq!(skip_subtree(&wire, 0).unwrap(), wire.len());
+    }
+
+    #[test]
+    fn skip_subtree_is_iterative_on_deep_chains() {
+        // 50_000 nested splits would overflow the stack under the old
+        // recursive scan.
+        let mut wire = Vec::new();
+        for _ in 0..50_000 {
+            wire.extend_from_slice(&[0x03, 0, 1, 0]);
+        }
+        wire.push(0x01);
+        wire.extend(std::iter::repeat_n(0x00, 50_000));
         assert_eq!(skip_subtree(&wire, 0).unwrap(), wire.len());
     }
 

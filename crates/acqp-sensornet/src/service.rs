@@ -29,11 +29,12 @@ use acqp_core::{
 };
 use acqp_obs::{Counter, FlightRecorder, Hist, Recorder};
 use acqp_persist::{PlanRecord, ServeCheckpoint, ServeLiveRecord, ServePlanEntry, WalRecord};
+use acqp_verify::verify_wire;
 
 use crate::basestation::PlannedQuery;
 use crate::energy::{EnergyLedger, EnergyModel};
 use crate::fault::{attempt_packet, FaultModel, FaultStats, FaultStream, FaultySource};
-use crate::interp::execute_wire;
+use crate::interp::execute_wire_verified;
 use crate::mote::Mote;
 use crate::recovery::{core_err, CrashConfig, CrashRuntime, RecoveredServeState};
 use crate::sim::{emit_retry, result_packet_bytes};
@@ -450,6 +451,58 @@ impl ServeMetrics {
     }
 }
 
+/// Pre-hoisted `verify.*` instruments (see `DESIGN.md` §8): the static
+/// plan-verification gates both service loops run in front of every
+/// dissemination and every checkpoint restore.
+struct VerifyMetrics {
+    checked: Counter,
+    rejected: Counter,
+    demoted: Counter,
+    clamped: Counter,
+    wire_bytes: Hist,
+}
+
+impl VerifyMetrics {
+    fn new(rec: &Recorder) -> VerifyMetrics {
+        VerifyMetrics {
+            checked: rec.counter("verify.checked"),
+            rejected: rec.counter("verify.rejected"),
+            demoted: rec.counter("verify.recovery.demoted"),
+            clamped: rec.counter("verify.cost.clamped"),
+            wire_bytes: rec.hist("verify.wire_bytes"),
+        }
+    }
+
+    /// Gate in front of every admission: the wire bytes must pass the
+    /// structural and semantic passes (a failure is a hard typed error
+    /// — malformed bytes never reach the radio), and the planner's
+    /// claimed expected cost is replaced by its certified clamp when it
+    /// falls outside the cost pass's bound, so admission control only
+    /// ever budgets on numbers the verifier stands behind. For honest
+    /// planners the clamp is the identity.
+    fn admit(&self, plan: &mut AdmittedPlan, query: &Query, schema: &Schema) -> Result<()> {
+        self.checked.incr(1);
+        self.wire_bytes.observe(plan.planned.wire.len() as u64);
+        let cert = match verify_wire(&plan.planned.wire, query, schema) {
+            Ok(cert) => cert,
+            Err(err) => {
+                self.rejected.incr(1);
+                return Err(err.into());
+            }
+        };
+        if cert.check_claim(plan.planned.expected_cost).is_err() {
+            self.clamped.incr(1);
+            let claimed = plan.planned.expected_cost;
+            plan.planned.expected_cost = if claimed.is_finite() {
+                claimed.clamp(cert.bound.best_case, cert.bound.worst_case)
+            } else {
+                cert.bound.worst_case
+            };
+        }
+        Ok(())
+    }
+}
+
 /// Runs `schedule` as a concurrent multi-query service over the fleet,
 /// losslessly, for `epochs` epochs. Plans come from `planner`; every
 /// admission is disseminated to the whole fleet (radio energy charged
@@ -482,6 +535,7 @@ pub fn run_service(
         ],
     );
     let m = ServeMetrics::new(rec);
+    let vm = VerifyMetrics::new(rec);
 
     // Outcomes in schedule order; entries admitted beyond the run keep
     // their zeroed row with `admitted: false`.
@@ -526,7 +580,8 @@ pub fn run_service(
         // 1. Admissions, in schedule order.
         for &idx in admitted_now {
             let entry = &schedule[idx];
-            let plan = planner.plan_admitted(&entry.query, e)?;
+            let mut plan = planner.plan_admitted(&entry.query, e)?;
+            vm.admit(&mut plan, &entry.query, schema)?;
             m.admitted.incr(1);
             m.subproblems.incr(plan.subproblems);
             if plan.cache_hit {
@@ -619,13 +674,14 @@ pub fn run_service(
                         let mut src = mote.epoch_source(e, schema, model);
                         for q in live.iter() {
                             let mut shared = SharedSource::new(&mut src, &mut scratch);
-                            let o = execute_wire(
+                            // Admission verified the plan, so the
+                            // checked-free interpreter path is sound.
+                            let o = execute_wire_verified(
                                 &q.planned.wire,
                                 &schedule[q.idx].query,
                                 schema,
                                 &mut shared,
-                            )
-                            .expect("basestation-produced wire plans are well-formed");
+                            );
                             slot_outs.push(o);
                         }
                     }
@@ -920,6 +976,7 @@ pub fn run_service_with(
         start_seq,
         m: ServeMetrics::new(rec),
         rm: RobustMetrics::new(rec),
+        vm: VerifyMetrics::new(rec),
         fstats: FaultStats::serve(rec),
         cr,
         outcomes,
@@ -1015,6 +1072,7 @@ struct RobustEngine<'a> {
     start_seq: u64,
     m: ServeMetrics,
     rm: RobustMetrics,
+    vm: VerifyMetrics,
     fstats: FaultStats,
     cr: CrashRuntime<'a>,
     outcomes: Vec<QueryOutcome>,
@@ -1113,13 +1171,23 @@ impl RobustEngine<'_> {
         let cp_epoch = recovered.checkpoint.as_ref().map_or(-1, |c| c.epoch as i64);
         match recovered.checkpoint {
             Some(cp) => {
-                // Rebuild the policy's plan cache from the snapshot;
-                // entries whose wire bytes fail to decode are dropped
-                // (the policy simply re-plans them on demand).
+                // Rebuild the policy's plan cache from the snapshot.
+                // Every recovered plan must re-earn a full verification
+                // certificate against its own query — the bytes sat on
+                // disk, and the checksum layer only covers whole-record
+                // corruption. A plan that fails any pass (or whose
+                // claimed cost falls outside the certified bound) is
+                // demoted: dropped from the cache so the policy
+                // re-plans it on demand, instead of disseminating
+                // corrupt bytes to the fleet.
                 let mut plans = Vec::new();
                 for entry in &cp.plans {
-                    if let Ok(plan) = Plan::decode(&entry.plan.wire) {
-                        plans.push((
+                    self.vm.checked.incr(1);
+                    self.vm.wire_bytes.observe(entry.plan.wire.len() as u64);
+                    let cert = verify_wire(&entry.plan.wire, &entry.query, self.schema)
+                        .and_then(|c| c.check_claim(entry.plan.expected_cost).map(|()| c));
+                    match (cert, Plan::decode(&entry.plan.wire)) {
+                        (Ok(_), Ok(plan)) => plans.push((
                             entry.query.clone(),
                             entry.key_epoch,
                             PlannedQuery {
@@ -1128,7 +1196,11 @@ impl RobustEngine<'_> {
                                 expected_cost: entry.plan.expected_cost,
                                 objective: entry.plan.objective,
                             },
-                        ));
+                        )),
+                        _ => {
+                            self.vm.rejected.incr(1);
+                            self.vm.demoted.incr(1);
+                        }
                     }
                 }
                 self.planner.restore_policy_state(Some(ServePolicyState {
@@ -1262,7 +1334,8 @@ impl RobustEngine<'_> {
             let plan = match p.plan.take() {
                 Some(plan) => plan,
                 None => {
-                    let plan = self.planner.plan_admitted(&self.schedule[p.idx].query, e)?;
+                    let mut plan = self.planner.plan_admitted(&self.schedule[p.idx].query, e)?;
+                    self.vm.admit(&mut plan, &self.schedule[p.idx].query, self.schema)?;
                     self.m.subproblems.incr(plan.subproblems);
                     if plan.cache_hit {
                         self.m.cache_hits.incr(1);
@@ -1444,13 +1517,16 @@ impl RobustEngine<'_> {
                             }
                             execd.push(qi);
                             let mut shared = SharedSource::new(&mut src, scratch);
-                            let o = execute_wire(
+                            // Every plan that reaches a live query was
+                            // verified at admission (or at checkpoint
+                            // restore), so the checked-free interpreter
+                            // path is sound.
+                            let o = execute_wire_verified(
                                 &q.planned.wire,
                                 &schedule[q.idx].query,
                                 schema,
                                 &mut shared,
-                            )
-                            .expect("basestation-produced wire plans are well-formed");
+                            );
                             slot_outs.push(o);
                         }
                         src.aborted_mask()
@@ -1642,7 +1718,8 @@ impl RobustEngine<'_> {
     fn readmit(&mut self, e: usize) -> Result<()> {
         for qi in 0..self.live.len() {
             let (idx, sig) = (self.live[qi].idx, self.live[qi].sig);
-            let plan = self.planner.plan_admitted(&self.schedule[idx].query, e + 1)?;
+            let mut plan = self.planner.plan_admitted(&self.schedule[idx].query, e + 1)?;
+            self.vm.admit(&mut plan, &self.schedule[idx].query, self.schema)?;
             self.m.subproblems.incr(plan.subproblems);
             if plan.cache_hit {
                 self.m.cache_hits.incr(1);

@@ -127,6 +127,10 @@ impl ServePlanner for Service<'_> {
         }
         let (_, planned, subproblems) =
             self.bs.plan_query_sized_reported(query, self.cfg.alpha, &self.cfg.candidate_splits)?;
+        // Nothing unverified is ever memoized: the cache boundary
+        // re-runs the static verifier, so every future hit hands out
+        // bytes that are known-good for this exact query.
+        acqp_verify::verify_wire(&planned.wire, query, self.bs.schema())?;
         self.cache.insert((sig, self.stats_epoch), planned.clone());
         if !self.monitors.contains_key(&sig) {
             let monitor =
@@ -185,6 +189,12 @@ impl ServePlanner for Service<'_> {
         };
         self.stats_epoch = st.stats_epoch;
         for (query, key_epoch, planned) in st.plans {
+            // Recovered bytes must re-earn verification before they can
+            // be handed out as cache hits; a failing entry is demoted
+            // to a re-plan on its next admission.
+            if acqp_verify::verify_wire(&planned.wire, &query, self.bs.schema()).is_err() {
+                continue;
+            }
             let sig = query.signature();
             // Monitors restart from the estimator baseline: drift
             // deltas since the checkpoint are lost with the process.

@@ -1,0 +1,233 @@
+//! Cost pass: certified per-tuple acquisition-cost bounds.
+//!
+//! Walks every root-to-leaf path, charging acquisitions with the *same
+//! arithmetic* the executor's `TupleState` uses — `cost +=
+//! model.cost(schema, attr, mask)` then `mask |= 1 << attr`, in path
+//! order — so the bounds are not approximations but exact fold-overs
+//! of the reachable executions:
+//!
+//! * a split charges its attribute (first acquisition only, Eq. 1),
+//! * a sequential leaf charges a *prefix* of its order: at least the
+//!   first predicate's attribute (evaluation always starts), at most
+//!   all of them (every predicate passes).
+//!
+//! `worst_case` is the maximum over paths of the full-prefix cost and
+//! `best_case` the minimum over paths of the one-predicate prefix, so
+//! for every tuple `best_case <= ExecOutcome.cost <= worst_case`, with
+//! equality bitwise when the tuple realizes the extremal path (the
+//! per-path sums are computed in the executor's exact charge order).
+//! Any expectation under any tuple distribution — in particular the
+//! planner's claimed `PlanReport.expected_cost` (Eq. 3) — is a convex
+//! combination of path costs and must land inside the interval; a
+//! claim outside it (mod float rounding) is typed as
+//! [`VerifyError::CostClaim`].
+
+use acqp_core::costmodel::CostModel;
+use acqp_core::{Query, Schema};
+
+use crate::error::VerifyError;
+
+/// Certified per-tuple cost interval for a verified wire plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBound {
+    /// Maximum acquisition cost any tuple can incur (deepest path, all
+    /// leaf predicates evaluated).
+    pub worst_case: f64,
+    /// Minimum acquisition cost any tuple can incur (cheapest path,
+    /// leaf evaluation stopping at its first predicate).
+    pub best_case: f64,
+}
+
+impl CostBound {
+    /// Whether a claimed *expected* per-tuple cost is consistent with
+    /// the certified interval. `eps` absorbs the float-rounding
+    /// difference between the recursive Eq. 3 evaluation and the
+    /// straight path sums.
+    pub fn admits_expected(&self, claimed: f64, eps: f64) -> bool {
+        claimed.is_finite() && claimed >= self.best_case - eps && claimed <= self.worst_case + eps
+    }
+
+    /// [`admits_expected`](Self::admits_expected) as a typed check with
+    /// the relative epsilon used across the engine integration.
+    pub fn check_claim(&self, claimed: f64) -> Result<(), VerifyError> {
+        let eps = 1e-9 * self.worst_case.abs().max(1.0);
+        if self.admits_expected(claimed, eps) {
+            Ok(())
+        } else {
+            Err(VerifyError::CostClaim {
+                claimed,
+                best_case: self.best_case,
+                worst_case: self.worst_case,
+            })
+        }
+    }
+}
+
+/// One suspended split arm during the iterative path walk.
+struct Arm {
+    /// Arms remaining at this split (1 = high arm unvisited).
+    remaining: u8,
+    /// Acquired-set bitmask the high arm starts from.
+    mask: u64,
+    /// Accumulated charge the high arm starts from.
+    cost: f64,
+}
+
+/// Walks all root-to-leaf paths of a structurally and semantically
+/// valid plan and folds the certified bound. Total on arbitrary bytes
+/// (truncation and bad tags surface as typed errors) so it can also
+/// run standalone.
+pub fn path_bounds(
+    bytes: &[u8],
+    query: &Query,
+    schema: &Schema,
+    model: &CostModel,
+) -> Result<CostBound, VerifyError> {
+    if bytes.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    let mut pos = 0usize;
+    let mut pending: Vec<Arm> = Vec::new();
+    let (mut mask, mut cost) = (0u64, 0.0f64);
+    let mut worst = f64::NEG_INFINITY;
+    let mut best = f64::INFINITY;
+    loop {
+        let tag = bytes
+            .get(pos)
+            .copied()
+            .ok_or(VerifyError::Truncated { offset: pos, what: "node tag" })?;
+        let mut leaf = true;
+        match tag {
+            0x00 | 0x01 => {
+                worst = worst.max(cost);
+                best = best.min(cost);
+                pos += 1;
+            }
+            0x02 => {
+                let len = *bytes
+                    .get(pos + 1)
+                    .ok_or(VerifyError::Truncated { offset: pos + 1, what: "seq length" })?
+                    as usize;
+                let body = bytes
+                    .get(pos + 2..pos + 2 + len)
+                    .ok_or(VerifyError::Truncated { offset: pos + 2, what: "seq body" })?;
+                // Cheapest completion: evaluation stops at the first
+                // predicate (an empty order decides immediately).
+                let mut path_best = cost;
+                if let Some(&first) = body.first() {
+                    let j = first as usize;
+                    if j >= query.len() {
+                        return Err(VerifyError::PredOutOfRange {
+                            offset: pos + 2,
+                            pred: j,
+                            len: query.len(),
+                        });
+                    }
+                    path_best += model.cost(schema, query.pred(j).attr(), mask);
+                }
+                // Costliest completion: every predicate passes, each
+                // attribute charged in order exactly as the executor
+                // would.
+                let (mut leaf_mask, mut path_worst) = (mask, cost);
+                for &pb in body {
+                    let j = pb as usize;
+                    if j >= query.len() {
+                        return Err(VerifyError::PredOutOfRange {
+                            offset: pos + 2,
+                            pred: j,
+                            len: query.len(),
+                        });
+                    }
+                    let a = query.pred(j).attr();
+                    path_worst += model.cost(schema, a, leaf_mask);
+                    leaf_mask |= 1u64 << a;
+                }
+                worst = worst.max(path_worst);
+                best = best.min(path_best);
+                pos += 2 + len;
+            }
+            0x03 => {
+                let Some(&[a, _, _]) = bytes.get(pos + 1..pos + 4) else {
+                    return Err(VerifyError::Truncated { offset: pos + 1, what: "split header" });
+                };
+                let attr = a as usize;
+                if attr >= schema.len() {
+                    return Err(VerifyError::AttrOutOfRange {
+                        offset: pos + 1,
+                        attr,
+                        n: schema.len(),
+                    });
+                }
+                cost += model.cost(schema, attr, mask);
+                mask |= 1u64 << attr;
+                pending.push(Arm { remaining: 1, mask, cost });
+                leaf = false;
+                pos += 4;
+            }
+            _ => return Err(VerifyError::UnknownTag { offset: pos, tag }),
+        }
+        if leaf {
+            loop {
+                let Some(top) = pending.last_mut() else {
+                    if pos != bytes.len() {
+                        return Err(VerifyError::TrailingBytes {
+                            offset: pos,
+                            len: bytes.len() - pos,
+                        });
+                    }
+                    return Ok(CostBound { worst_case: worst, best_case: best });
+                };
+                if top.remaining > 0 {
+                    top.remaining -= 1;
+                    mask = top.mask;
+                    cost = top.cost;
+                    break;
+                }
+                pending.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acqp_core::{Attribute, Pred};
+
+    fn setup() -> (Schema, Query) {
+        let schema =
+            Schema::new(vec![Attribute::new("a", 8, 10.0), Attribute::new("b", 8, 20.0)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 2, 5), Pred::not_in_range(1, 3, 6)]).unwrap();
+        (schema, query)
+    }
+
+    #[test]
+    fn seq_leaf_bounds_are_prefix_costs() {
+        let (schema, query) = setup();
+        let wire = [0x02, 2, 0, 1]; // evaluate pred0 (a), then pred1 (b)
+        let b = path_bounds(&wire, &query, &schema, &CostModel::PerAttribute).unwrap();
+        assert_eq!(b.best_case, 10.0);
+        assert_eq!(b.worst_case, 30.0);
+    }
+
+    #[test]
+    fn split_charges_its_attribute_once() {
+        let (schema, query) = setup();
+        // split(a<4, seq[0], seq[0,1]) — `a` is already acquired at
+        // both leaves, so pred0 re-charges nothing.
+        let wire = [0x03, 0, 4, 0, 0x02, 1, 0, 0x02, 2, 0, 1];
+        let b = path_bounds(&wire, &query, &schema, &CostModel::PerAttribute).unwrap();
+        assert_eq!(b.best_case, 10.0, "low path: a charged at the split, pred0 free");
+        assert_eq!(b.worst_case, 30.0, "high path: a at the split + b at the leaf");
+    }
+
+    #[test]
+    fn claim_check_brackets_the_interval() {
+        let b = CostBound { worst_case: 30.0, best_case: 10.0 };
+        assert!(b.check_claim(10.0).is_ok());
+        assert!(b.check_claim(27.5).is_ok());
+        assert!(matches!(b.check_claim(30.1), Err(VerifyError::CostClaim { .. })));
+        assert!(matches!(b.check_claim(9.9), Err(VerifyError::CostClaim { .. })));
+        assert!(matches!(b.check_claim(f64::NAN), Err(VerifyError::CostClaim { .. })));
+    }
+}

@@ -1,0 +1,198 @@
+//! Typed verification failures — one variant per corruption class.
+
+use std::fmt;
+
+/// Why a wire plan failed verification. Every variant carries the byte
+/// offset of the offending node, so a rejected plan can be diagnosed
+/// without re-running the verifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// The buffer ended inside a node (`what` names the missing part).
+    Truncated {
+        /// Byte offset where more input was required.
+        offset: usize,
+        /// Which part of the grammar was cut short.
+        what: &'static str,
+    },
+    /// A tag byte outside the wire grammar (`0x00..=0x03`).
+    UnknownTag {
+        /// Byte offset of the tag.
+        offset: usize,
+        /// The tag value found.
+        tag: u8,
+    },
+    /// Bytes remain after the root subtree — unreachable by any
+    /// execution, so either a splice or a truncated outer node.
+    TrailingBytes {
+        /// Offset of the first unreachable byte.
+        offset: usize,
+        /// How many bytes are unreachable.
+        len: usize,
+    },
+    /// The buffer was empty: there is no root node at all.
+    Empty,
+    /// A sequential leaf names a predicate the query does not have.
+    PredOutOfRange {
+        /// Byte offset of the predicate index.
+        offset: usize,
+        /// The out-of-range predicate index.
+        pred: usize,
+        /// Number of predicates in the query.
+        len: usize,
+    },
+    /// A predicate appears twice in one sequential leaf — it would be
+    /// evaluated (and mis-counted) twice on that root-to-leaf path.
+    DuplicatePred {
+        /// Byte offset of the second occurrence.
+        offset: usize,
+        /// The repeated predicate index.
+        pred: usize,
+    },
+    /// A split names an attribute the schema does not have.
+    AttrOutOfRange {
+        /// Byte offset of the attribute byte.
+        offset: usize,
+        /// The out-of-range attribute id.
+        attr: usize,
+        /// Number of attributes in the schema.
+        n: usize,
+    },
+    /// A split cut lies outside the attribute's domain: no value of the
+    /// attribute could ever reach one side.
+    CutOutOfDomain {
+        /// Byte offset of the cut.
+        offset: usize,
+        /// The splitting attribute.
+        attr: usize,
+        /// The cut value.
+        cut: u16,
+        /// The attribute's domain size.
+        domain: u16,
+    },
+    /// A split arm no value can reach, given the value ranges already
+    /// established by the splits above it on the same path.
+    DeadArm {
+        /// Byte offset of the split node.
+        offset: usize,
+        /// The splitting attribute.
+        attr: usize,
+        /// The cut value.
+        cut: u16,
+        /// Which arm is unreachable (`"lo"` or `"hi"`).
+        arm: &'static str,
+    },
+    /// The planner's claimed expected cost lies outside the certified
+    /// `[best_case, worst_case]` interval — no distribution over tuples
+    /// can produce it, so the claim (or the plan bytes) is corrupt.
+    CostClaim {
+        /// The claimed expected per-tuple cost.
+        claimed: f64,
+        /// Certified lower bound.
+        best_case: f64,
+        /// Certified upper bound.
+        worst_case: f64,
+    },
+}
+
+impl VerifyError {
+    /// Stable lower-case class label, one per corruption class — used
+    /// by JSON findings and the mutation-corpus coverage check.
+    pub fn class(&self) -> &'static str {
+        match self {
+            VerifyError::Truncated { .. } => "truncated",
+            VerifyError::UnknownTag { .. } => "unknown-tag",
+            VerifyError::TrailingBytes { .. } => "trailing-bytes",
+            VerifyError::Empty => "empty",
+            VerifyError::PredOutOfRange { .. } => "pred-out-of-range",
+            VerifyError::DuplicatePred { .. } => "duplicate-pred",
+            VerifyError::AttrOutOfRange { .. } => "attr-out-of-range",
+            VerifyError::CutOutOfDomain { .. } => "cut-out-of-domain",
+            VerifyError::DeadArm { .. } => "dead-arm",
+            VerifyError::CostClaim { .. } => "cost-claim",
+        }
+    }
+
+    /// Byte offset of the failure, when the class has one.
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            VerifyError::Truncated { offset, .. }
+            | VerifyError::UnknownTag { offset, .. }
+            | VerifyError::TrailingBytes { offset, .. }
+            | VerifyError::PredOutOfRange { offset, .. }
+            | VerifyError::DuplicatePred { offset, .. }
+            | VerifyError::AttrOutOfRange { offset, .. }
+            | VerifyError::CutOutOfDomain { offset, .. }
+            | VerifyError::DeadArm { offset, .. } => Some(*offset),
+            VerifyError::Empty | VerifyError::CostClaim { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Truncated { offset, what } => {
+                write!(f, "truncated at byte {offset}: {what}")
+            }
+            VerifyError::UnknownTag { offset, tag } => {
+                write!(f, "unknown tag 0x{tag:02x} at byte {offset}")
+            }
+            VerifyError::TrailingBytes { offset, len } => {
+                write!(f, "{len} unreachable byte(s) after the root subtree at byte {offset}")
+            }
+            VerifyError::Empty => write!(f, "empty plan: no root node"),
+            VerifyError::PredOutOfRange { offset, pred, len } => {
+                write!(f, "predicate index {pred} out of range at byte {offset} (query has {len})")
+            }
+            VerifyError::DuplicatePred { offset, pred } => {
+                write!(f, "predicate {pred} evaluated twice on one path (second at byte {offset})")
+            }
+            VerifyError::AttrOutOfRange { offset, attr, n } => {
+                write!(f, "split attribute {attr} out of range at byte {offset} (schema has {n})")
+            }
+            VerifyError::CutOutOfDomain { offset, attr, cut, domain } => {
+                write!(
+                    f,
+                    "split cut {cut} outside attribute {attr}'s domain of {domain} at byte {offset}"
+                )
+            }
+            VerifyError::DeadArm { offset, attr, cut, arm } => {
+                write!(
+                    f,
+                    "dead {arm} arm at byte {offset}: split on attribute {attr} at cut {cut} is \
+                     unreachable under the path's established ranges"
+                )
+            }
+            VerifyError::CostClaim { claimed, best_case, worst_case } => {
+                write!(
+                    f,
+                    "claimed expected cost {claimed} outside the certified bound \
+                     [{best_case}, {worst_case}]"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Maps a verification failure onto the workspace error type, so the
+/// engine layers can propagate it through `acqp_core::Result` paths.
+impl From<VerifyError> for acqp_core::Error {
+    fn from(e: VerifyError) -> acqp_core::Error {
+        let offset = e.offset().unwrap_or(0);
+        let what = match e {
+            VerifyError::Truncated { what, .. } => what,
+            VerifyError::UnknownTag { .. } => "unknown tag",
+            VerifyError::TrailingBytes { .. } => "trailing bytes",
+            VerifyError::Empty => "truncated",
+            VerifyError::PredOutOfRange { .. } => "predicate index out of range",
+            VerifyError::DuplicatePred { .. } => "predicate evaluated twice on one path",
+            VerifyError::AttrOutOfRange { .. } => "attr out of range",
+            VerifyError::CutOutOfDomain { .. } => "split cut outside attribute domain",
+            VerifyError::DeadArm { .. } => "dead split arm",
+            VerifyError::CostClaim { .. } => "claimed cost outside certified bound",
+        };
+        acqp_core::Error::BadWireFormat { offset, what }
+    }
+}

@@ -1,0 +1,144 @@
+//! # acqp-verify — static verification of plan wire bytes
+//!
+//! A zero-dependency analyzer that certifies a serialized conditional
+//! plan (`ζ(P)` wire format, `DESIGN.md` §9) **without executing it**:
+//! no attribute is acquired, no tuple is touched. The verifier
+//! abstractly interprets the bytecode in three passes, each total on
+//! arbitrary input (typed errors, never panics — the bytes may come
+//! straight off a corrupt checkpoint):
+//!
+//! 1. **Structural** ([`structural::check_structural`]) — every byte
+//!    belongs to exactly one node of the grammar, nothing is truncated,
+//!    nothing trails, and the walk terminates by a decreasing-offset
+//!    argument.
+//! 2. **Semantic** ([`semantic::check_semantic`]) — the plan is
+//!    meaningful for a `(Query, Schema)` pair: predicate indices in
+//!    range and unique per root-to-leaf path, split attributes in
+//!    range, cuts inside their domains, and no dead split arms under
+//!    the path's established value ranges.
+//! 3. **Cost** ([`cost::path_bounds`]) — folds every root-to-leaf path
+//!    with the executor's exact charge arithmetic into a certified
+//!    [`CostBound`]; the planner's claimed `expected_cost` must land
+//!    inside it.
+//!
+//! The product is a [`Certificate`]: proof-carrying metadata the
+//! basestation attaches before dissemination, the recovery path demands
+//! before trusting checkpointed bytes, and admission control uses in
+//! place of trusted planner cost claims.
+
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::float_cmp))]
+
+pub mod cost;
+pub mod error;
+pub mod semantic;
+pub mod structural;
+
+pub use cost::CostBound;
+pub use error::VerifyError;
+pub use structural::Structure;
+
+use acqp_core::costmodel::CostModel;
+use acqp_core::{Estimator, Plan, Query, Schema};
+
+/// Proof-carrying verification result for one wire plan.
+///
+/// Holding a `Certificate` means the bytes passed all three passes for
+/// the given `(Query, Schema, CostModel)`: the plan can be interpreted
+/// without bounds checks, and every per-tuple execution cost lies in
+/// `bound`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    /// Shape facts from the structural pass.
+    pub stats: Structure,
+    /// Certified per-tuple cost interval from the cost pass.
+    pub bound: CostBound,
+}
+
+impl Certificate {
+    /// Expected per-tuple cost under `est`, computed from the decoded
+    /// tree via the engine's Eq. 3 evaluator. Guaranteed (up to float
+    /// rounding) to lie inside [`Self::bound`], since any expectation
+    /// is a convex combination of root-to-leaf path costs.
+    pub fn expected_under<E: Estimator>(
+        &self,
+        plan: &Plan,
+        query: &Query,
+        schema: &Schema,
+        est: &E,
+    ) -> f64 {
+        acqp_core::expected_cost(plan, query, schema, est)
+    }
+
+    /// Checks the planner's claimed expected cost against the certified
+    /// bound ([`CostBound::check_claim`]).
+    pub fn check_claim(&self, claimed: f64) -> Result<(), VerifyError> {
+        self.bound.check_claim(claimed)
+    }
+}
+
+/// Runs all three passes under [`CostModel::PerAttribute`] — the model
+/// the wire interpreter hardcodes. This is the entry point the engine
+/// integration uses.
+pub fn verify_wire(
+    bytes: &[u8],
+    query: &Query,
+    schema: &Schema,
+) -> Result<Certificate, VerifyError> {
+    verify_wire_model(bytes, query, schema, &CostModel::PerAttribute)
+}
+
+/// Runs all three passes under an explicit cost model.
+pub fn verify_wire_model(
+    bytes: &[u8],
+    query: &Query,
+    schema: &Schema,
+    model: &CostModel,
+) -> Result<Certificate, VerifyError> {
+    let stats = structural::check_structural(bytes)?;
+    semantic::check_semantic(bytes, query, schema)?;
+    let bound = cost::path_bounds(bytes, query, schema, model)?;
+    Ok(Certificate { stats, bound })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acqp_core::{Attribute, CountingEstimator, Dataset, Pred};
+
+    fn setup() -> (Schema, Query, Dataset) {
+        let schema =
+            Schema::new(vec![Attribute::new("a", 4, 10.0), Attribute::new("b", 4, 20.0)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 1, 2), Pred::in_range(1, 0, 2)]).unwrap();
+        let mut rows = Vec::new();
+        for a in 0..4u16 {
+            for b in 0..4u16 {
+                rows.push(vec![a, b]);
+            }
+        }
+        let data = Dataset::from_rows(&schema, rows).unwrap();
+        (schema, query, data)
+    }
+
+    #[test]
+    fn encoded_plan_verifies_and_claim_checks() {
+        let (schema, query, data) = setup();
+        let est = CountingEstimator::new(&data);
+        let plan = acqp_core::GreedyPlanner::new(4).plan(&schema, &query, &est).unwrap();
+        let wire = plan.encode();
+        let cert = verify_wire(&wire, &query, &schema).unwrap();
+        assert!(cert.stats.nodes >= 1);
+        assert!(cert.bound.best_case <= cert.bound.worst_case);
+        let claimed = acqp_core::expected_cost(&plan, &query, &schema, &est);
+        cert.check_claim(claimed).unwrap();
+        let ex = cert.expected_under(&plan, &query, &schema, &est);
+        assert_eq!(ex, claimed);
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_typed_error() {
+        let (schema, query, _) = setup();
+        let err = verify_wire(&[0x42, 0x00], &query, &schema).unwrap_err();
+        assert_eq!(err.class(), "unknown-tag");
+    }
+}

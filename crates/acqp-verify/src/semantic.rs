@@ -1,0 +1,200 @@
+//! Semantic pass: the plan is meaningful for one `(Query, Schema)`.
+//!
+//! Runs after [`crate::structural`], but re-checks byte availability
+//! defensively all the same — the pass must be panic-free on arbitrary
+//! input (it sits on the recovery path, where plan bytes come straight
+//! off disk). It checks what the bytes *mean*:
+//!
+//! * every sequential-leaf predicate index is in the query,
+//! * no predicate is evaluated twice on any root-to-leaf path
+//!   (predicates only occur in leaves, so per-leaf uniqueness is
+//!   exactly per-path uniqueness),
+//! * every split attribute is in the schema,
+//! * every split cut lies strictly inside the attribute's domain
+//!   (`1 <= cut < k` — a cut of 0 or `>= k` decides nothing),
+//! * no split arm is dead under the value ranges established by the
+//!   splits above it: a nested split re-testing an attribute must cut
+//!   inside the surviving range, else one arm is unreachable and its
+//!   subtree is garbage the structural pass alone cannot see.
+//!
+//! The walk mirrors the structural one — explicit stack, wire order,
+//! strictly increasing offset, so the same decreasing-offset
+//! termination argument applies — and additionally threads the
+//! per-path [`Ranges`] refinement exactly the way the planner's
+//! subproblem recursion (§3.2) does.
+
+use acqp_core::{Query, Range, Ranges, Schema};
+
+use crate::error::VerifyError;
+
+fn byte(bytes: &[u8], pos: usize, what: &'static str) -> Result<u8, VerifyError> {
+    bytes.get(pos).copied().ok_or(VerifyError::Truncated { offset: pos, what })
+}
+
+/// Checks the plan against `query` and `schema`. Total on arbitrary
+/// bytes: truncation and bad tags surface as typed errors, never
+/// panics, even when the structural pass was skipped.
+pub fn check_semantic(bytes: &[u8], query: &Query, schema: &Schema) -> Result<(), VerifyError> {
+    if bytes.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    let mut pos = 0usize;
+    // Splits whose high arm is still unvisited: (arms remaining, the
+    // ranges the high arm starts from).
+    let mut pending: Vec<(u8, Ranges)> = Vec::new();
+    let mut ranges = Ranges::root(schema);
+    // Scratch for per-leaf duplicate detection, cleared between leaves.
+    let mut seen = vec![false; query.len()];
+    loop {
+        let tag = byte(bytes, pos, "node tag")?;
+        let mut leaf = true;
+        match tag {
+            0x00 | 0x01 => pos += 1,
+            0x02 => {
+                let len = byte(bytes, pos + 1, "seq length")? as usize;
+                let body = bytes
+                    .get(pos + 2..pos + 2 + len)
+                    .ok_or(VerifyError::Truncated { offset: pos + 2, what: "seq body" })?;
+                for (i, &pb) in body.iter().enumerate() {
+                    let j = pb as usize;
+                    // `seen` has one slot per predicate, so a missing
+                    // slot is exactly an out-of-range index.
+                    let Some(slot) = seen.get_mut(j) else {
+                        return Err(VerifyError::PredOutOfRange {
+                            offset: pos + 2 + i,
+                            pred: j,
+                            len: query.len(),
+                        });
+                    };
+                    if *slot {
+                        return Err(VerifyError::DuplicatePred { offset: pos + 2 + i, pred: j });
+                    }
+                    *slot = true;
+                }
+                for &pb in body {
+                    if let Some(slot) = seen.get_mut(pb as usize) {
+                        *slot = false;
+                    }
+                }
+                pos += 2 + len;
+            }
+            0x03 => {
+                let attr = byte(bytes, pos + 1, "split attr")? as usize;
+                if attr >= schema.len() {
+                    return Err(VerifyError::AttrOutOfRange {
+                        offset: pos + 1,
+                        attr,
+                        n: schema.len(),
+                    });
+                }
+                let c0 = byte(bytes, pos + 2, "split cut")?;
+                let c1 = byte(bytes, pos + 3, "split cut")?;
+                let cut = u16::from_le_bytes([c0, c1]);
+                let k = schema.domain(attr);
+                if cut == 0 || cut >= k {
+                    return Err(VerifyError::CutOutOfDomain {
+                        offset: pos + 2,
+                        attr,
+                        cut,
+                        domain: k,
+                    });
+                }
+                let r = ranges.get(attr);
+                // The low arm holds values `< cut`, the high arm values
+                // `>= cut`; each needs at least one surviving value.
+                if cut <= r.lo() {
+                    return Err(VerifyError::DeadArm { offset: pos, attr, cut, arm: "lo" });
+                }
+                if cut > r.hi() {
+                    return Err(VerifyError::DeadArm { offset: pos, attr, cut, arm: "hi" });
+                }
+                let hi_ranges = ranges.with(attr, Range::new(cut, r.hi()));
+                pending.push((1, hi_ranges));
+                ranges = ranges.with(attr, Range::new(r.lo(), cut - 1));
+                leaf = false;
+                pos += 4;
+            }
+            _ => return Err(VerifyError::UnknownTag { offset: pos, tag }),
+        }
+        if leaf {
+            loop {
+                let Some(top) = pending.last_mut() else {
+                    if pos != bytes.len() {
+                        return Err(VerifyError::TrailingBytes {
+                            offset: pos,
+                            len: bytes.len() - pos,
+                        });
+                    }
+                    return Ok(());
+                };
+                if top.0 > 0 {
+                    top.0 -= 1;
+                    ranges = top.1.clone();
+                    break;
+                }
+                pending.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acqp_core::{Attribute, Pred};
+
+    fn setup() -> (Schema, Query) {
+        let schema =
+            Schema::new(vec![Attribute::new("a", 8, 10.0), Attribute::new("b", 4, 20.0)]).unwrap();
+        let query = Query::new(vec![Pred::in_range(0, 2, 5), Pred::not_in_range(1, 1, 2)]).unwrap();
+        (schema, query)
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        let (schema, query) = setup();
+        // split(a<4, seq[0,1], seq[1,0])
+        let wire = [0x03, 0, 4, 0, 0x02, 2, 0, 1, 0x02, 2, 1, 0];
+        assert_eq!(check_semantic(&wire, &query, &schema), Ok(()));
+    }
+
+    #[test]
+    fn rejects_each_semantic_class() {
+        let (schema, query) = setup();
+        assert!(matches!(
+            check_semantic(&[0x02, 1, 9], &query, &schema),
+            Err(VerifyError::PredOutOfRange { pred: 9, .. })
+        ));
+        assert!(matches!(
+            check_semantic(&[0x02, 2, 1, 1], &query, &schema),
+            Err(VerifyError::DuplicatePred { pred: 1, .. })
+        ));
+        assert!(matches!(
+            check_semantic(&[0x03, 9, 1, 0, 0x00, 0x01], &query, &schema),
+            Err(VerifyError::AttrOutOfRange { attr: 9, .. })
+        ));
+        assert!(matches!(
+            check_semantic(&[0x03, 0, 0, 0, 0x00, 0x01], &query, &schema),
+            Err(VerifyError::CutOutOfDomain { cut: 0, .. })
+        ));
+        assert!(matches!(
+            check_semantic(&[0x03, 1, 4, 0, 0x00, 0x01], &query, &schema),
+            Err(VerifyError::CutOutOfDomain { cut: 4, domain: 4, .. })
+        ));
+        // Nested re-split of `a` at a cut outside the low arm's range.
+        let dead = [0x03, 0, 3, 0, 0x03, 0, 5, 0, 0x00, 0x01, 0x01];
+        assert!(matches!(
+            check_semantic(&dead, &query, &schema),
+            Err(VerifyError::DeadArm { arm: "hi", .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_detection_resets_between_leaves() {
+        let (schema, query) = setup();
+        // Two sibling leaves both naming predicate 0 is fine — they sit
+        // on different root-to-leaf paths.
+        let wire = [0x03, 0, 4, 0, 0x02, 1, 0, 0x02, 1, 0];
+        assert_eq!(check_semantic(&wire, &query, &schema), Ok(()));
+    }
+}

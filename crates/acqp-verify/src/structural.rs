@@ -1,0 +1,167 @@
+//! Structural pass: the bytes form exactly one well-formed subtree.
+//!
+//! The walk is an abstract interpretation of the wire grammar
+//! (`DESIGN.md` §9): it visits nodes in wire order without fetching a
+//! single attribute. Termination is by a decreasing-offset argument —
+//! every node consumes at least one byte, so `bytes.len() - pos`
+//! strictly decreases at each step and the loop runs at most
+//! `bytes.len()` iterations. The traversal stack is explicit (no
+//! recursion), so adversarially deep split chains cannot overflow the
+//! call stack the way a recursive descent could.
+//!
+//! What the pass certifies:
+//!
+//! * every tag is in the grammar (`0x00..=0x03`),
+//! * no node is truncated (leaf bodies and split headers fit),
+//! * every byte is reachable: the root subtree consumes the buffer
+//!   exactly — no trailing bytes an execution could never visit, and no
+//!   overlap (nodes are consumed left to right, each byte once).
+
+use crate::error::VerifyError;
+
+/// Shape facts established by [`check_structural`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Structure {
+    /// Total nodes (splits plus leaves).
+    pub nodes: usize,
+    /// Split nodes.
+    pub splits: usize,
+    /// Sequential leaves.
+    pub seq_leaves: usize,
+    /// Decided (accept/reject) leaves.
+    pub decided_leaves: usize,
+    /// Root-to-leaf paths (= leaves).
+    pub paths: usize,
+    /// Maximum split nesting depth (0 for a bare leaf).
+    pub max_depth: usize,
+    /// Total wire bytes.
+    pub wire_len: usize,
+}
+
+/// Walks the buffer as one subtree, returning its shape, or the first
+/// structural corruption found.
+pub fn check_structural(bytes: &[u8]) -> Result<Structure, VerifyError> {
+    if bytes.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    let mut s = Structure {
+        nodes: 0,
+        splits: 0,
+        seq_leaves: 0,
+        decided_leaves: 0,
+        paths: 0,
+        max_depth: 0,
+        wire_len: bytes.len(),
+    };
+    let mut pos = 0usize;
+    // Children still unvisited at each enclosing split. `pos` strictly
+    // increases every iteration, so the loop terminates after at most
+    // `bytes.len()` nodes.
+    let mut pending: Vec<u8> = Vec::new();
+    loop {
+        let tag =
+            *bytes.get(pos).ok_or(VerifyError::Truncated { offset: pos, what: "node tag" })?;
+        s.nodes += 1;
+        s.max_depth = s.max_depth.max(pending.len());
+        let mut leaf = true;
+        match tag {
+            0x00 | 0x01 => {
+                s.decided_leaves += 1;
+                pos += 1;
+            }
+            0x02 => {
+                let len = *bytes
+                    .get(pos + 1)
+                    .ok_or(VerifyError::Truncated { offset: pos + 1, what: "seq length" })?
+                    as usize;
+                if bytes.get(pos + 2..pos + 2 + len).is_none() {
+                    return Err(VerifyError::Truncated { offset: pos + 2, what: "seq body" });
+                }
+                s.seq_leaves += 1;
+                pos += 2 + len;
+            }
+            0x03 => {
+                if bytes.get(pos + 1..pos + 4).is_none() {
+                    return Err(VerifyError::Truncated { offset: pos + 1, what: "split header" });
+                }
+                s.splits += 1;
+                leaf = false;
+                pending.push(2);
+                pos += 4;
+            }
+            _ => return Err(VerifyError::UnknownTag { offset: pos, tag }),
+        }
+        if leaf {
+            s.paths += 1;
+            // Unwind completed subtrees; stop at the first split that
+            // still has its high arm to visit.
+            loop {
+                match pending.last_mut() {
+                    Some(n) if *n > 1 => {
+                        *n -= 1;
+                        break;
+                    }
+                    Some(_) => {
+                        pending.pop();
+                    }
+                    None => {
+                        if pos != bytes.len() {
+                            return Err(VerifyError::TrailingBytes {
+                                offset: pos,
+                                len: bytes.len() - pos,
+                            });
+                        }
+                        return Ok(s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaves_and_splits_count() {
+        // split(a<2, accept, seq[0]) — 4 + 1 + 3 bytes.
+        let wire = [0x03, 0, 2, 0, 0x01, 0x02, 1, 0];
+        let s = check_structural(&wire).unwrap();
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.splits, 1);
+        assert_eq!(s.decided_leaves, 1);
+        assert_eq!(s.seq_leaves, 1);
+        assert_eq!(s.paths, 2);
+        assert_eq!(s.max_depth, 1);
+    }
+
+    #[test]
+    fn corruption_classes() {
+        assert_eq!(check_structural(&[]), Err(VerifyError::Empty));
+        assert!(matches!(
+            check_structural(&[0x07]),
+            Err(VerifyError::UnknownTag { tag: 0x07, .. })
+        ));
+        assert!(matches!(check_structural(&[0x02, 3, 0]), Err(VerifyError::Truncated { .. })));
+        assert!(matches!(check_structural(&[0x03, 0, 2]), Err(VerifyError::Truncated { .. })));
+        assert!(matches!(
+            check_structural(&[0x01, 0x00]),
+            Err(VerifyError::TrailingBytes { offset: 1, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn deep_nesting_does_not_recurse() {
+        // 10_000 nested splits, low arm nested, high arm a leaf.
+        let mut wire = Vec::new();
+        for _ in 0..10_000 {
+            wire.extend_from_slice(&[0x03, 0, 1, 0]);
+        }
+        wire.push(0x01);
+        wire.extend(std::iter::repeat_n(0x00, 10_000));
+        let s = check_structural(&wire).unwrap();
+        assert_eq!(s.splits, 10_000);
+        assert_eq!(s.max_depth, 10_000);
+    }
+}

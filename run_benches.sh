@@ -38,4 +38,5 @@ run cargo bench -p acqp-bench --bench crash_recovery
 run cargo bench -p acqp-bench --bench vectorized
 run cargo bench -p acqp-bench --bench serve
 run cargo bench -p acqp-bench --bench serve_faults
+run cargo bench -p acqp-bench --bench verify
 echo "ALL BENCHES RECORDED" | tee -a "$out"

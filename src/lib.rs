@@ -20,6 +20,8 @@
 //!   plan caching with drift-triggered invalidation.
 //! * [`stream`] — §7 extension: sliding-window statistics, drift
 //!   detection and automatic re-planning over data streams.
+//! * [`verify`] — static verification: structural, semantic and cost
+//!   certification of plan wire bytes without executing them.
 //!
 //! See `examples/` for runnable end-to-end scenarios; start with
 //! `cargo run --release --example quickstart`.
@@ -36,6 +38,7 @@ pub use acqp_persist as persist;
 pub use acqp_sensornet as sensornet;
 pub use acqp_serve as serve;
 pub use acqp_stream as stream;
+pub use acqp_verify as verify;
 
 /// Everything most programs need: the core prelude plus generators and
 /// the sensornet front door.

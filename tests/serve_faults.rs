@@ -21,10 +21,12 @@
 #![allow(clippy::float_cmp)]
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use acqp::core::exec::ExecMode;
 use acqp::core::prelude::*;
-use acqp::obs::Recorder;
+use acqp::obs::{NoopSink, Recorder};
+use acqp::persist::ServeCheckpoint;
 use acqp::sensornet::{
     CrashConfig, EnergyLedger, EnergyModel, FaultModel, ScheduleEntry, ServicePolicy,
 };
@@ -395,6 +397,146 @@ fn mid_schedule_crash_recovers_from_checkpoint_without_cold_start() {
         rep2.service.bs_tx_uj.to_bits(),
         "dissemination energy incl. recovery must replay bitwise"
     );
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+/// A checkpointed plan whose wire bytes rot on disk *under* the
+/// checksum (re-sealed, so the snapshot itself validates) must be
+/// demoted on recovery — dropped from the restored plan cache and
+/// counted in `verify.recovery.demoted` — and the service re-plans the
+/// query instead of disseminating the corrupt bytes. The run still
+/// completes with correct verdicts.
+#[test]
+fn corrupted_checkpoint_plan_is_demoted_to_replan() {
+    let dir = tmp("demote");
+    let (schema, data, query) = small_instance();
+    let epochs = data.len();
+    let schedule = vec![ScheduleEntry::new(query.clone(), 0, epochs)];
+    let run = |crash: CrashConfig, rec: &Recorder| {
+        serve_schedule(
+            &schema,
+            &data,
+            &data,
+            &schedule,
+            3,
+            &EnergyModel::mica_like(),
+            epochs,
+            ExecMode::Scalar,
+            ServeConfig { crash, ..ServeConfig::default() },
+            rec,
+        )
+        .unwrap()
+    };
+
+    // Run 1: no crashes, checkpoints on cadence — leaves snapshots with
+    // a populated plan cache on disk.
+    let first = run(
+        CrashConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 8,
+            crash_epochs: vec![],
+            crash_rate: 0.0,
+        },
+        &Recorder::disabled(),
+    );
+    assert!(
+        first.service.robustness.as_ref().unwrap().checkpoints_written > 0,
+        "run 1 must leave snapshots behind"
+    );
+
+    // Keep only the oldest snapshot (an epoch the next run's crash will
+    // be past), drop the WAL, and rot the plan bytes inside it. The
+    // record is re-encoded, so the file-level checksum is *valid* — the
+    // corruption is visible to the plan verifier alone.
+    let mut snaps: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.file_name().unwrap().to_str().unwrap().starts_with("snap-"))
+        .collect();
+    snaps.sort();
+    assert!(!snaps.is_empty());
+    let keep = snaps.remove(0);
+    for p in snaps {
+        std::fs::remove_file(p).unwrap();
+    }
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let p = entry.unwrap().path();
+        if p != keep {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+    let mut cp = ServeCheckpoint::from_file_bytes(&std::fs::read(&keep).unwrap()).unwrap();
+    assert!(!cp.plans.is_empty(), "checkpoint must carry a plan cache");
+    let tampered = cp.plans.len();
+    for p in cp.plans.iter_mut() {
+        // Clobber the root tag: structurally garbage, caught by the
+        // verifier's first pass.
+        p.plan.wire[0] = 0x42;
+    }
+    std::fs::write(&keep, cp.to_file_bytes()).unwrap();
+    assert!(
+        ServeCheckpoint::from_file_bytes(&std::fs::read(&keep).unwrap()).is_ok(),
+        "tampered snapshot must still pass the checksum layer"
+    );
+
+    // Run 2: crash past the kept snapshot's epoch. Recovery reads the
+    // re-sealed snapshot, verification rejects every rotted plan, and
+    // the policy re-plans on demand.
+    let rec = Recorder::new(Arc::new(NoopSink));
+    let second = run(
+        CrashConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 0,
+            crash_epochs: vec![10],
+            crash_rate: 0.0,
+        },
+        &rec,
+    );
+    let rob = second.service.robustness.as_ref().unwrap();
+    assert_eq!(rob.crashes, 1);
+    assert_eq!(rob.cold_starts, 0, "the tampered snapshot must be accepted by the store");
+    let snap = rec.drain();
+    assert_eq!(
+        snap.counter("verify.recovery.demoted"),
+        tampered as u64,
+        "every rotted plan must be demoted: {:?}",
+        snap.counters
+    );
+    assert!(snap.counter("verify.rejected") >= tampered as u64);
+    // Demotion means replan, not failure: the query survives the crash
+    // and completes with correct verdicts.
+    assert!(second.service.all_correct());
+    for (i, q) in second.service.queries.iter().enumerate() {
+        assert!(q.admitted, "q{i} must be admitted");
+        assert_eq!(q.status, QueryStatus::Complete, "q{i} must complete after demotion");
+    }
+
+    // Control: the same crash against untampered snapshots demotes
+    // nothing — demotion is caused by the corruption, not by recovery.
+    let dir2 = tmp("demote_control");
+    let rec2 = Recorder::new(Arc::new(NoopSink));
+    run(
+        CrashConfig {
+            checkpoint_dir: Some(dir2.clone()),
+            checkpoint_every: 8,
+            crash_epochs: vec![],
+            crash_rate: 0.0,
+        },
+        &Recorder::disabled(),
+    );
+    run(
+        CrashConfig {
+            checkpoint_dir: Some(dir2.clone()),
+            checkpoint_every: 0,
+            crash_epochs: vec![10],
+            crash_rate: 0.0,
+        },
+        &rec2,
+    );
+    let snap2 = rec2.drain();
+    assert_eq!(snap2.counter("verify.recovery.demoted"), 0, "{:?}", snap2.counters);
+    assert!(snap2.counter("verify.checked") > 0, "recovery must have verified plans");
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_dir_all(&dir2).ok();
 }

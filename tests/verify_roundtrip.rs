@@ -1,0 +1,149 @@
+//! Static-verifier round-trip properties (`DESIGN.md` §15).
+//!
+//! The soundness contract of `acqp-verify`, pinned from the outside:
+//!
+//! 1. **Completeness on honest plans** — every wire image produced by
+//!    `Plan::encode` from a real planner verifies clean, and the
+//!    planner's claimed expected cost always lands inside the certified
+//!    bound (`check_claim` passes without clamping).
+//! 2. **Bound soundness** — no tuple's *actual* execution cost ever
+//!    escapes the certified `[best_case, worst_case]` interval, under
+//!    all three executors: the tree walker, the checked wire
+//!    interpreter, and the certificate-gated fast path.
+//! 3. **Executor agreement** — all three executors return the same
+//!    verdict and bitwise-identical cost for every row, so the
+//!    certified fast path (`execute_wire_verified`) is not buying its
+//!    speed with different arithmetic.
+
+// Bitwise f64 comparison is the point of the differential assertions.
+#![allow(clippy::float_cmp)]
+
+mod common;
+
+use acqp::core::prelude::*;
+use acqp::sensornet::interp::{execute_wire, execute_wire_verified};
+use acqp::verify::{verify_wire, Certificate};
+use common::{instance_strategy, Instance};
+use proptest::prelude::*;
+
+/// Honors the `PROPTEST_CASES` override the sanitizer CI jobs set.
+fn cases(default_n: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default_n)
+}
+
+/// Relative slack for interval membership, mirroring
+/// `CostBound::check_claim`'s tolerance: float summation order may
+/// differ between the verifier's path fold and an executor's traversal.
+fn eps(cert: &Certificate) -> f64 {
+    1e-9 * cert.bound.worst_case.abs().max(1.0)
+}
+
+/// One planner's report, verified and executed row-by-row against the
+/// certificate. Returns the certificate so callers can cross-check
+/// planner-independent facts.
+fn verify_and_execute(inst: &Instance, report: &PlanReport, label: &str) -> Certificate {
+    let wire = report.plan.encode();
+    let cert = verify_wire(&wire, &inst.query, &inst.schema)
+        .unwrap_or_else(|e| panic!("{label}: honest plan rejected: {e} ({wire:?})"));
+    assert!(
+        cert.bound.best_case <= cert.bound.worst_case,
+        "{label}: inverted bound {:?}",
+        cert.bound
+    );
+    cert.check_claim(report.expected_cost).unwrap_or_else(|e| {
+        panic!("{label}: claimed {} outside {:?}: {e}", report.expected_cost, cert.bound)
+    });
+    let slack = eps(&cert);
+    for r in 0..inst.data.len() {
+        let tree =
+            execute(&report.plan, &inst.query, &inst.schema, &mut RowSource::new(&inst.data, r));
+        let checked =
+            execute_wire(&wire, &inst.query, &inst.schema, &mut RowSource::new(&inst.data, r))
+                .unwrap_or_else(|e| panic!("{label}: row {r}: honest wire errored: {e}"));
+        let fast = execute_wire_verified(
+            &wire,
+            &inst.query,
+            &inst.schema,
+            &mut RowSource::new(&inst.data, r),
+        );
+        assert_eq!(tree.verdict, checked.verdict, "{label}: row {r}: tree vs wire verdict");
+        assert_eq!(tree.verdict, fast.verdict, "{label}: row {r}: tree vs fast-path verdict");
+        assert_eq!(
+            tree.cost.to_bits(),
+            checked.cost.to_bits(),
+            "{label}: row {r}: tree vs wire cost"
+        );
+        assert_eq!(
+            tree.cost.to_bits(),
+            fast.cost.to_bits(),
+            "{label}: row {r}: tree vs fast-path cost"
+        );
+        assert!(
+            tree.cost >= cert.bound.best_case - slack && tree.cost <= cert.bound.worst_case + slack,
+            "{label}: row {r}: cost {} escapes certified bound {:?}",
+            tree.cost,
+            cert.bound
+        );
+    }
+    cert
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: cases(24), ..ProptestConfig::default() })]
+
+    /// Every `Plan::encode` image from the whole planner family
+    /// verifies clean, claims check, and no row's actual cost escapes
+    /// the certified interval under any executor.
+    #[test]
+    fn encoded_plans_verify_clean_and_bounds_hold(inst in instance_strategy()) {
+        let est = CountingEstimator::new(&inst.data);
+        let seq = GreedyPlanner::new(0)
+            .plan_with_report(&inst.schema, &inst.query, &est)
+            .expect("seq planning succeeds");
+        let greedy = GreedyPlanner::new(3)
+            .plan_with_report(&inst.schema, &inst.query, &est)
+            .expect("greedy planning succeeds");
+        let exhaustive = ExhaustivePlanner::new()
+            .max_subproblems(20_000)
+            .plan_with_report(&inst.schema, &inst.query, &est)
+            .expect("exhaustive planning succeeds");
+
+        let c_seq = verify_and_execute(&inst, &seq, "seq");
+        let c_greedy = verify_and_execute(&inst, &greedy, "greedy");
+        let c_ex = verify_and_execute(&inst, &exhaustive, "exhaustive");
+
+        // The certificate's own expectation evaluator must agree with
+        // the planner's claim (both run Eq. 3 on the decoded tree), and
+        // convexity puts any expectation inside the certified interval.
+        for (cert, report, label) in
+            [(&c_seq, &seq, "seq"), (&c_greedy, &greedy, "greedy"), (&c_ex, &exhaustive, "ex")]
+        {
+            let ex = cert.expected_under(&report.plan, &inst.query, &inst.schema, &est);
+            let slack = eps(cert);
+            prop_assert!(
+                ex >= cert.bound.best_case - slack && ex <= cert.bound.worst_case + slack,
+                "{}: expectation {} outside {:?}", label, ex, cert.bound
+            );
+        }
+    }
+
+    /// Decode/encode round trips through the verifier: re-encoding the
+    /// decoded tree yields bytes the verifier certifies with the exact
+    /// same bound — verification is a property of the plan, not of one
+    /// particular byte image.
+    #[test]
+    fn reencoded_plans_keep_their_certificate(inst in instance_strategy()) {
+        let est = CountingEstimator::new(&inst.data);
+        let report = GreedyPlanner::new(2)
+            .plan_with_report(&inst.schema, &inst.query, &est)
+            .expect("planning succeeds");
+        let wire = report.plan.encode();
+        let cert = verify_wire(&wire, &inst.query, &inst.schema).expect("honest plan verifies");
+        let rewire = Plan::decode(&wire).expect("honest wire decodes").encode();
+        prop_assert_eq!(&wire, &rewire, "encode is canonical");
+        let recert = verify_wire(&rewire, &inst.query, &inst.schema).expect("re-encode verifies");
+        prop_assert_eq!(cert.bound.best_case.to_bits(), recert.bound.best_case.to_bits());
+        prop_assert_eq!(cert.bound.worst_case.to_bits(), recert.bound.worst_case.to_bits());
+        prop_assert_eq!(cert.stats, recert.stats);
+    }
+}
